@@ -1,0 +1,46 @@
+//! Baseline systems the integrated flow/schedule manager is compared
+//! against.
+//!
+//! The paper's introduction describes the status quo: "project managers
+//! acquire projected and actual completion dates from the different
+//! designers working on the project, and manually insert the
+//! information into their project management system." Section II's
+//! survey also covers VOV, which "concentrates on monitoring and
+//! tracking design activities" with no a-priori plan at all.
+//!
+//! Two baselines make those alternatives measurable:
+//!
+//! * [`ManualPm`] — a *separate* MacProject-style tool. Status reaches
+//!   it only at periodic status meetings, so every tracked fact is
+//!   stale by up to a reporting period and every fact costs a manual
+//!   entry. [`IntegratedTracker`] is the paper's system in the same
+//!   harness: zero staleness, zero manual entries, because the flow
+//!   manager generates the events itself.
+//! * [`vov`] — an a-posteriori trace builder: perfect at answering
+//!   "what happened and what must rerun", structurally unable to
+//!   forecast (no plan exists before execution).
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{FlowEvent, EventKind, IntegratedTracker, ManualPm};
+//!
+//! let events = vec![
+//!     FlowEvent::new(0.0, "Create", EventKind::Started),
+//!     FlowEvent::new(2.4, "Create", EventKind::Finished),
+//! ];
+//! let manual = ManualPm::new(5.0).track(&events);   // weekly meetings
+//! let integrated = IntegratedTracker.track(&events);
+//! assert!(manual.mean_staleness_days > 0.0);
+//! assert_eq!(integrated.mean_staleness_days, 0.0);
+//! assert_eq!(integrated.manual_updates, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manual;
+
+pub mod vov;
+
+pub use manual::{EventKind, FlowEvent, IntegratedTracker, ManualPm, TrackingReport};

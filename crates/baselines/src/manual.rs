@@ -1,0 +1,229 @@
+use std::fmt;
+
+/// What happened to an activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The first run of the activity began.
+    Started,
+    /// The designer declared the activity complete.
+    Finished,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Started => write!(f, "started"),
+            EventKind::Finished => write!(f, "finished"),
+        }
+    }
+}
+
+/// One status-relevant fact produced by executing a flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEvent {
+    /// When it happened (working days from project start).
+    pub time: f64,
+    /// Which activity.
+    pub activity: String,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl FlowEvent {
+    /// Creates an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative or not finite.
+    pub fn new(time: f64, activity: impl Into<String>, kind: EventKind) -> Self {
+        assert!(time.is_finite() && time >= 0.0, "event time must be a valid offset");
+        FlowEvent {
+            time,
+            activity: activity.into(),
+            kind,
+        }
+    }
+}
+
+/// How well a tracking system kept up with a stream of events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingReport {
+    /// Name of the tracking system.
+    pub system: String,
+    /// Number of events that occurred.
+    pub events: usize,
+    /// Manual data entries a human had to type.
+    pub manual_updates: usize,
+    /// Mean delay between an event and the tracker knowing it, days.
+    pub mean_staleness_days: f64,
+    /// Worst-case delay, days.
+    pub max_staleness_days: f64,
+}
+
+impl fmt::Display for TrackingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {} events, {} manual updates, staleness mean {:.2}d max {:.2}d",
+            self.system,
+            self.events,
+            self.manual_updates,
+            self.mean_staleness_days,
+            self.max_staleness_days
+        )
+    }
+}
+
+/// A *separate* project-management tool fed by periodic status
+/// meetings.
+///
+/// Designers report everything that happened since the last meeting,
+/// and the project manager types each fact in by hand. An event at time
+/// `t` becomes known at the first meeting at or after `t` (meetings at
+/// `period, 2·period, ...`), so staleness is uniform on
+/// `(0, period]` — mean `period / 2` for uniformly arriving events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManualPm {
+    period_days: f64,
+}
+
+impl ManualPm {
+    /// Creates a manual PM process with status meetings every
+    /// `period_days`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period_days` is positive and finite.
+    pub fn new(period_days: f64) -> Self {
+        assert!(
+            period_days.is_finite() && period_days > 0.0,
+            "meeting period must be positive"
+        );
+        ManualPm { period_days }
+    }
+
+    /// The meeting at which an event at `t` becomes known: the first
+    /// meeting strictly after... at or after `t`. An event landing
+    /// exactly on a meeting is reported in that meeting.
+    pub fn known_at(&self, t: f64) -> f64 {
+        (t / self.period_days).ceil() * self.period_days
+    }
+
+    /// Tracks an event stream, reporting staleness and manual-entry
+    /// cost.
+    pub fn track(&self, events: &[FlowEvent]) -> TrackingReport {
+        let staleness: Vec<f64> = events
+            .iter()
+            .map(|e| (self.known_at(e.time) - e.time).max(0.0))
+            .collect();
+        let n = staleness.len();
+        TrackingReport {
+            system: "manual-pm".to_owned(),
+            events: n,
+            // Every fact is typed into the PM tool by hand.
+            manual_updates: n,
+            mean_staleness_days: if n == 0 {
+                0.0
+            } else {
+                staleness.iter().sum::<f64>() / n as f64
+            },
+            max_staleness_days: staleness.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The integrated system in the same harness: the flow manager emits
+/// the events itself, so the schedule is updated the moment anything
+/// happens and nobody types anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegratedTracker;
+
+impl IntegratedTracker {
+    /// Tracks an event stream: zero staleness, zero manual entries.
+    pub fn track(&self, events: &[FlowEvent]) -> TrackingReport {
+        TrackingReport {
+            system: "integrated".to_owned(),
+            events: events.len(),
+            manual_updates: 0,
+            mean_staleness_days: 0.0,
+            max_staleness_days: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<FlowEvent> {
+        vec![
+            FlowEvent::new(0.5, "A", EventKind::Started),
+            FlowEvent::new(2.0, "A", EventKind::Finished),
+            FlowEvent::new(2.0, "B", EventKind::Started),
+            FlowEvent::new(6.5, "B", EventKind::Finished),
+        ]
+    }
+
+    #[test]
+    fn known_at_rounds_to_meetings() {
+        let pm = ManualPm::new(5.0);
+        assert_eq!(pm.known_at(0.5), 5.0);
+        assert_eq!(pm.known_at(5.0), 5.0);
+        assert_eq!(pm.known_at(5.1), 10.0);
+        assert_eq!(pm.known_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn manual_staleness_and_cost() {
+        let report = ManualPm::new(5.0).track(&events());
+        assert_eq!(report.events, 4);
+        assert_eq!(report.manual_updates, 4);
+        // Staleness: 4.5, 3.0, 3.0, 3.5 → mean 3.5, max 4.5.
+        assert!((report.mean_staleness_days - 3.5).abs() < 1e-9);
+        assert!((report.max_staleness_days - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_meetings_reduce_staleness() {
+        let weekly = ManualPm::new(5.0).track(&events());
+        let daily = ManualPm::new(1.0).track(&events());
+        assert!(daily.mean_staleness_days < weekly.mean_staleness_days);
+        // But manual cost is unchanged — every fact is still typed.
+        assert_eq!(daily.manual_updates, weekly.manual_updates);
+    }
+
+    #[test]
+    fn integrated_is_free_and_fresh() {
+        let report = IntegratedTracker.track(&events());
+        assert_eq!(report.manual_updates, 0);
+        assert_eq!(report.mean_staleness_days, 0.0);
+        assert_eq!(report.max_staleness_days, 0.0);
+        assert_eq!(report.events, 4);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let report = ManualPm::new(5.0).track(&[]);
+        assert_eq!(report.events, 0);
+        assert_eq!(report.mean_staleness_days, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_period_panics() {
+        ManualPm::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid offset")]
+    fn negative_event_time_panics() {
+        FlowEvent::new(-1.0, "A", EventKind::Started);
+    }
+
+    #[test]
+    fn report_display() {
+        let r = IntegratedTracker.track(&events());
+        assert!(r.to_string().contains("integrated"));
+        assert_eq!(EventKind::Started.to_string(), "started");
+    }
+}

@@ -1,0 +1,218 @@
+//! VOV-style trace tracking (Casotto & Sangiovanni-Vincentelli, TCAD
+//! 1993).
+//!
+//! VOV's position — quoted in the paper's §II — is that "a design
+//! process cannot be planned a priori and instead must be created as
+//! the designers work through the design process". The system therefore
+//! records a *trace*: a bipartite graph of tool invocations and the
+//! data they read and wrote, built during execution.
+//!
+//! The trace is excellent at retrospection and invalidation ("this
+//! input changed, what must rerun?") and structurally incapable of
+//! forecasting (there is nothing to forecast with until the work has
+//! happened). [`Trace::can_forecast`] makes that contrast explicit for
+//! the comparison benches.
+
+use std::collections::HashMap;
+
+use flowgraph::{Dag, NodeId};
+
+/// A node in the trace: a tool invocation or a datum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceNode {
+    /// One tool invocation, with the time it ran.
+    Invocation {
+        /// Tool name.
+        tool: String,
+        /// When it ran (days from project start).
+        at: f64,
+    },
+    /// A design datum, by name.
+    Datum(String),
+}
+
+impl TraceNode {
+    /// The tool or datum name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceNode::Invocation { tool, .. } => tool,
+            TraceNode::Datum(name) => name,
+        }
+    }
+}
+
+/// An execution trace built a posteriori, one invocation at a time.
+///
+/// # Example
+///
+/// ```
+/// let mut trace = baselines::vov::Trace::new();
+/// trace.record(0.5, "editor", &[], &["netlist"]);
+/// trace.record(1.5, "simulator", &["netlist", "stimuli"], &["perf"]);
+/// // Retrospection works; forecasting does not.
+/// assert_eq!(trace.invocations(), 2);
+/// assert!(!trace.can_forecast());
+/// assert_eq!(trace.must_rerun_after("netlist"), vec!["simulator"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    graph: Dag<TraceNode, ()>,
+    data_nodes: HashMap<String, NodeId>,
+    invocation_nodes: Vec<NodeId>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one tool invocation at time `at` reading `inputs` and
+    /// writing `outputs`. Data nodes are created on first mention;
+    /// re-written data gets a fresh node (the trace keeps history, it
+    /// never overwrites).
+    pub fn record(&mut self, at: f64, tool: &str, inputs: &[&str], outputs: &[&str]) {
+        let inv = self.graph.add_node(TraceNode::Invocation {
+            tool: tool.to_owned(),
+            at,
+        });
+        self.invocation_nodes.push(inv);
+        for &input in inputs {
+            let d = self.datum_node(input);
+            self.graph
+                .add_edge(d, inv, ())
+                .expect("inputs precede the invocation, so no cycle");
+        }
+        for &output in outputs {
+            // A fresh node per (re)write keeps the trace acyclic and
+            // versioned, exactly like VOV's transactions.
+            let d = self.graph.add_node(TraceNode::Datum(output.to_owned()));
+            self.data_nodes.insert(output.to_owned(), d);
+            self.graph
+                .add_edge(inv, d, ())
+                .expect("outputs are fresh nodes, so no cycle");
+        }
+    }
+
+    fn datum_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.data_nodes.get(name) {
+            return id;
+        }
+        let id = self.graph.add_node(TraceNode::Datum(name.to_owned()));
+        self.data_nodes.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Number of recorded invocations.
+    pub fn invocations(&self) -> usize {
+        self.invocation_nodes.len()
+    }
+
+    /// Whether the trace can answer forward-looking schedule questions.
+    /// Always `false`: there is no plan, only history. This is the
+    /// structural difference the integrated system's benches quantify.
+    pub fn can_forecast(&self) -> bool {
+        false
+    }
+
+    /// Tools that must rerun if the *latest version* of `datum`
+    /// changes: every invocation downstream of it in the trace, in
+    /// recorded order.
+    pub fn must_rerun_after(&self, datum: &str) -> Vec<&str> {
+        let Some(&node) = self.data_nodes.get(datum) else {
+            return Vec::new();
+        };
+        let cone = self.graph.output_cone(&[node]);
+        self.invocation_nodes
+            .iter()
+            .filter(|id| cone.contains(id))
+            .map(|&id| self.graph.node_weight(id).expect("trace node").name())
+            .collect()
+    }
+
+    /// The invocations in dependency order — VOV's re-execution recipe
+    /// for reproducing the design.
+    pub fn retrace_order(&self) -> Vec<&str> {
+        self.graph
+            .topological_order()
+            .expect("traces are acyclic by construction")
+            .into_iter()
+            .filter(|id| self.invocation_nodes.contains(id))
+            .map(|id| self.graph.node_weight(id).expect("trace node").name())
+            .collect()
+    }
+
+    /// Tool invocation times, oldest first — the only "schedule" a
+    /// trace has is the one that already happened.
+    pub fn timeline(&self) -> Vec<(f64, &str)> {
+        let mut out: Vec<(f64, &str)> = self
+            .invocation_nodes
+            .iter()
+            .filter_map(|&id| match self.graph.node_weight(id) {
+                Some(TraceNode::Invocation { tool, at }) => Some((*at, tool.as_str())),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit_trace() -> Trace {
+        let mut t = Trace::new();
+        t.record(0.5, "editor", &[], &["netlist"]);
+        t.record(1.5, "simulator", &["netlist", "stimuli"], &["perf"]);
+        t
+    }
+
+    #[test]
+    fn record_builds_bipartite_graph() {
+        let t = circuit_trace();
+        assert_eq!(t.invocations(), 2);
+        assert_eq!(t.timeline(), vec![(0.5, "editor"), (1.5, "simulator")]);
+    }
+
+    #[test]
+    fn rerun_analysis() {
+        let t = circuit_trace();
+        assert_eq!(t.must_rerun_after("netlist"), vec!["simulator"]);
+        assert_eq!(t.must_rerun_after("stimuli"), vec!["simulator"]);
+        assert!(t.must_rerun_after("perf").is_empty());
+        assert!(t.must_rerun_after("unknown").is_empty());
+    }
+
+    #[test]
+    fn rewrites_version_data() {
+        let mut t = circuit_trace();
+        // Editor reruns, producing a new netlist version; old simulator
+        // run is not downstream of the NEW netlist.
+        t.record(3.0, "editor", &[], &["netlist"]);
+        assert!(t.must_rerun_after("netlist").is_empty());
+        assert_eq!(t.invocations(), 3);
+    }
+
+    #[test]
+    fn retrace_is_dependency_ordered() {
+        let t = circuit_trace();
+        assert_eq!(t.retrace_order(), vec!["editor", "simulator"]);
+    }
+
+    #[test]
+    fn no_forecasting() {
+        assert!(!circuit_trace().can_forecast());
+        assert!(!Trace::new().can_forecast());
+    }
+
+    #[test]
+    fn node_names() {
+        assert_eq!(TraceNode::Datum("x".into()).name(), "x");
+        assert_eq!(
+            TraceNode::Invocation { tool: "t".into(), at: 0.0 }.name(),
+            "t"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! B6 — integrated tracking vs the separate manual-PM baseline: the
+//! tracking cost per event stream, plus (printed once) the staleness
+//! and manual-entry comparison the paper's introduction argues from.
+//!
+//! Expected shape: integrated tracking has zero staleness and zero
+//! manual entries at any meeting cadence; the manual baseline's mean
+//! staleness is ~period/2 and its entry count equals the event count.
+
+use std::time::Duration;
+
+use baselines::{EventKind, FlowEvent, IntegratedTracker, ManualPm};
+use bench::asic_manager;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Event stream from actually executing the ASIC flow.
+fn asic_events(seed: u64) -> Vec<FlowEvent> {
+    let mut h = asic_manager(3, seed);
+    h.plan("signoff_report").expect("plannable");
+    let report = h.execute("signoff_report").expect("executable");
+    let mut events = Vec::new();
+    for exec in report.activities() {
+        events.push(FlowEvent::new(
+            exec.started.days(),
+            exec.activity.clone(),
+            EventKind::Started,
+        ));
+        events.push(FlowEvent::new(
+            exec.finished.days(),
+            exec.activity.clone(),
+            EventKind::Finished,
+        ));
+    }
+    events
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let events = asic_events(5);
+    // One-shot comparison table (captured by EXPERIMENTS.md).
+    println!("\ntracking comparison on a real ASIC-flow event stream:");
+    println!("  {}", IntegratedTracker.track(&events));
+    for period in [1.0, 5.0, 10.0] {
+        println!("  {} (meetings every {period}d)", ManualPm::new(period).track(&events));
+    }
+
+    let mut group = c.benchmark_group("tracking_cost");
+    group.bench_with_input(BenchmarkId::new("integrated", events.len()), &events, |b, e| {
+        b.iter(|| IntegratedTracker.track(e))
+    });
+    group.bench_with_input(BenchmarkId::new("manual_pm", events.len()), &events, |b, e| {
+        b.iter(|| ManualPm::new(5.0).track(e))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_baselines
+}
+criterion_main!(benches);

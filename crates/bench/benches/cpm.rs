@@ -1,0 +1,57 @@
+//! B1 — CPM forward/backward pass scaling with flow size.
+//!
+//! Expected shape: near-linear in activities + constraints; even
+//! 10 000-activity networks analyze in milliseconds, which is why the
+//! integrated system can afford to replan on every status change.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schedule::{ScheduleNetwork, WorkDays};
+
+fn layered_network(layers: usize, width: usize) -> ScheduleNetwork {
+    let mut net = ScheduleNetwork::new();
+    let mut prev: Vec<_> = Vec::new();
+    for l in 0..layers {
+        let mut this = Vec::new();
+        for w in 0..width {
+            let id = net
+                .add_activity(format!("l{l}w{w}"), WorkDays::new(1.0 + (w % 3) as f64))
+                .expect("unique names");
+            for &p in prev.iter().take(2) {
+                net.add_precedence(p, id).expect("forward edges");
+            }
+            this.push(id);
+        }
+        prev = this;
+    }
+    net
+}
+
+fn bench_cpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpm_analyze");
+    for &activities in &[100usize, 1_000, 10_000] {
+        let net = layered_network(activities / 10, 10);
+        group.throughput(criterion::Throughput::Elements(activities as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(activities),
+            &net,
+            |b, net| b.iter(|| net.analyze().expect("acyclic")),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cpm
+}
+criterion_main!(benches);

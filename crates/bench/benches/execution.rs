@@ -1,0 +1,45 @@
+//! B3 — execution engine throughput: runs/second through the
+//! plan-execute-link cycle, including iteration loops and metadata
+//! writes.
+//!
+//! Expected shape: linear in total runs; the metadata layer adds
+//! negligible overhead on top of the tool models, supporting the
+//! paper's claim that tracking can live inside the flow manager.
+
+use std::time::Duration;
+
+use bench::pipeline_manager;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_pipeline");
+    for &stages in &[10usize, 50] {
+        group.throughput(criterion::Throughput::Elements(stages as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
+            b.iter_batched(
+                || {
+                    let mut h = pipeline_manager(stages, 4, 1);
+                    h.plan(&format!("d{stages}")).expect("plannable");
+                    h
+                },
+                |mut h| h.execute(&format!("d{stages}")).expect("executable"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B8 — Gantt rendering cost vs project size.
+//!
+//! Expected shape: linear in rows; even hundred-activity charts render
+//! in microseconds, keeping the status view interactive.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schedule::gantt::{render, GanttOptions, GanttRow};
+use schedule::WorkDays;
+
+fn rows(n: usize) -> Vec<GanttRow> {
+    (0..n)
+        .map(|i| {
+            let start = WorkDays::new(i as f64 * 0.7);
+            let finish = WorkDays::new(i as f64 * 0.7 + 2.0);
+            let mut row = GanttRow::planned(format!("activity{i}"), start, finish);
+            if i % 2 == 0 {
+                row = row.with_actual(start, finish + WorkDays::new(0.5), true);
+            }
+            row
+        })
+        .collect()
+}
+
+fn bench_gantt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gantt_render");
+    for &n in &[10usize, 100, 500] {
+        let rows = rows(n);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rows, |b, rows| {
+            b.iter(|| render(rows, &GanttOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gantt
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! B2 — schedule planning throughput: the simulated-execution
+//! traversal (schedule-instance creation + CPM + levelling) vs flow
+//! size.
+//!
+//! Expected shape: planning cost grows roughly linearly with the task
+//! tree; planning a 100-activity flow stays well under a second, so
+//! "the schedule plan can be updated at any time" is practical.
+
+use std::time::Duration;
+
+use bench::pipeline_manager;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_pipeline");
+    for &stages in &[10usize, 50, 100] {
+        group.throughput(criterion::Throughput::Elements(stages as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
+            b.iter_batched(
+                || pipeline_manager(stages, 4, 1),
+                |mut h| h.plan(&format!("d{stages}")).expect("plannable"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_planning
+}
+criterion_main!(benches);

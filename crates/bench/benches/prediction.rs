@@ -1,0 +1,59 @@
+//! B7 — prediction accuracy: history-based estimators vs designer
+//! intuition on synthetic duration histories (flat-noisy and trending).
+//!
+//! Expected shape: once a few observations exist, every history-based
+//! estimator beats a 2x-off intuition guess; the trend estimator wins
+//! on growing activities, smoothing estimators win on noisy-flat ones.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predict::{evaluate, Ewma, Intuition, LastValue, LinearTrend, MeanOfAll, Predictor};
+use simtools::workload::duration_history;
+
+fn estimators() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Intuition::new(10.0)), // designer guess, 2x off base 5
+        Box::new(LastValue),
+        Box::new(MeanOfAll),
+        Box::new(Ewma::new(0.3)),
+        Box::new(LinearTrend),
+    ]
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let flat = duration_history(5.0, 0.0, 0.25, 60, 17);
+    let trending = duration_history(5.0, 0.04, 0.10, 60, 23);
+
+    // One-shot accuracy table (captured by EXPERIMENTS.md).
+    for (name, history) in [("flat-noisy", &flat), ("trending", &trending)] {
+        println!("\nprediction accuracy on {name} history:");
+        for est in estimators() {
+            if let Some(report) = evaluate(est.as_ref(), history, 3) {
+                println!("  {report}");
+            }
+        }
+    }
+
+    c.bench_function("predict_rolling_eval_60pts", |b| {
+        b.iter(|| {
+            for est in estimators() {
+                let _ = evaluate(est.as_ref(), std::hint::black_box(&flat), 3);
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_prediction
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! B4 — metadata query latency: last-duration, plan-evolution chains,
+//! and status rollups on a populated database.
+//!
+//! Expected shape: microseconds — queries into schedule data are cheap
+//! enough to run on every UI refresh, which is what makes the Gantt
+//! view and browser interactive.
+
+use std::time::Duration;
+
+use bench::pipeline_manager;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hercules::Hercules;
+
+fn populated(stages: usize) -> Hercules {
+    let mut h = pipeline_manager(stages, 4, 1);
+    let target = format!("d{stages}");
+    // Several plan/execute cycles to grow history and versions.
+    h.plan(&target).expect("plannable");
+    h.execute(&target).expect("executable");
+    h.plan(&target).expect("plannable");
+    h.plan(&target).expect("plannable");
+    h
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let h = populated(50);
+    let current = h.db().current_plan("Stage25").expect("planned").id();
+
+    c.bench_function("query_last_duration", |b| {
+        b.iter(|| h.db().last_duration(std::hint::black_box("Stage25")))
+    });
+    c.bench_function("query_plan_evolution", |b| {
+        b.iter(|| h.db().plan_evolution(std::hint::black_box(current)))
+    });
+    c.bench_function("query_status_report", |b| b.iter(|| h.status()));
+    c.bench_function("query_completed_rollup", |b| {
+        b.iter(|| h.db().completed_activities())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! B5 — slip propagation vs full replan (the DESIGN.md ablation for
+//! versioned incremental updates).
+//!
+//! Expected shape: incremental propagation touches only the downstream
+//! cone and is cheaper than a full replanning pass; both stay fast
+//! enough for automatic updates on every completion event.
+
+use std::time::Duration;
+
+use bench::pipeline_manager;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::Hercules;
+
+/// A pipeline mid-execution: the front third complete (so a slip has
+/// somewhere to propagate from), the rest open.
+fn mid_project(stages: usize) -> (Hercules, String) {
+    let mut h = pipeline_manager(stages, 4, 1);
+    let target = format!("d{stages}");
+    h.plan(&target).expect("plannable");
+    let front = format!("d{}", stages / 3);
+    h.execute(&front).expect("executable");
+    (h, target)
+}
+
+fn bench_replan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replan");
+    for &stages in &[30usize, 90] {
+        let slipped = format!("Stage{}", stages / 3);
+        group.bench_with_input(
+            BenchmarkId::new("propagate_slip", stages),
+            &stages,
+            |b, &stages| {
+                b.iter_batched(
+                    || mid_project(stages),
+                    |(mut h, _)| h.propagate_slip(&slipped).expect("planned"),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_replan", stages),
+            &stages,
+            |b, &stages| {
+                b.iter_batched(
+                    || mid_project(stages),
+                    |(mut h, target)| h.replan(&target).expect("plannable"),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_replan
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment E9 (extension): resource optimization — "previous
+//! schedule data can be used ... to optimize the resources associated
+//! with future projects" (§I). Sweeps team sizes over the ASIC flow
+//! and a wide layered flow, printing the staffing curve, the minimal
+//! team for a deadline, and crash-analysis advice.
+
+use hercules::Hercules;
+use schedule::WorkDays;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn sweep(name: &str, h: &Hercules, target: &str, deadline: f64) {
+    let sweep = h
+        .sweep_team_sizes(target, WorkDays::new(deadline), 6)
+        .expect("sweepable");
+    println!("{name} (deadline day {deadline}):");
+    for p in &sweep.points {
+        println!(
+            "  {} designer(s) -> finish day {:>8} {}",
+            p.team_size,
+            p.finish.to_string(),
+            if p.finish.days() <= deadline { "meets deadline" } else { "" }
+        );
+    }
+    println!(
+        "  minimal team: {:?}, saturation at: {:?}\n",
+        sweep.minimal_team, sweep.saturation_team
+    );
+}
+
+fn main() {
+    let asic = Hercules::new(
+        examples::asic_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(1),
+        5,
+    );
+    sweep("ASIC flow (mostly a chain)", &asic, "signoff_report", 40.0);
+
+    let wide = Hercules::new(
+        examples::layered(3, 6, 2),
+        ToolLibrary::standard(),
+        Team::of_size(1),
+        5,
+    );
+    sweep("layered flow 3x6 (wide parallelism)", &wide, "merged", 30.0);
+
+    println!("crash analysis on the ASIC flow (shorten one estimate 50%):");
+    match asic.crash_advice("signoff_report", 0.5).expect("valid target") {
+        Some(advice) => println!(
+            "  crash {:?}: finish day {} (gain {:.1}d)",
+            advice.activity, advice.new_finish, advice.gain_days
+        ),
+        None => println!("  no single crash helps"),
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 2**: the four-level architecture as implemented
+//! in Hercules, dumped from a live database after one plan/execute
+//! cycle.
+
+use bench::circuit_manager;
+
+fn main() {
+    let mut h = circuit_manager(2, 42);
+    h.plan("performance").expect("plannable");
+    h.execute("performance").expect("executable");
+
+    println!("Level 1 — schema (entities and construction rules):");
+    for class in h.schema().classes() {
+        println!("  {class}");
+    }
+    for rule in h.schema().rules() {
+        println!("  {rule}");
+    }
+
+    println!("\nLevel 2 — flow model (task tree nodes and arcs):");
+    let tree = h.extract_task_tree("performance").expect("known target");
+    for activity in tree.activities() {
+        for input in tree.inputs_of(activity) {
+            println!("  [{input}] --arc--> ({activity})");
+        }
+        println!("  ({activity}) --arc--> [{}]", tree.output_of(activity));
+    }
+
+    println!("\nLevel 3 — metadata (runs, entity instances, schedules):");
+    for run in h.db().runs() {
+        println!("  {run}");
+    }
+    for activity in ["Create", "Simulate"] {
+        let sc = h.db().current_plan(activity).expect("planned");
+        println!("  {sc}");
+    }
+
+    println!("\nLevel 4 — design data objects:");
+    for class in h.db().entity_classes() {
+        for &id in h.db().entity_container(class).expect("listed class") {
+            let data = h.db().data_object(h.db().entity_instance(id).data());
+            println!("  {data}");
+        }
+    }
+}

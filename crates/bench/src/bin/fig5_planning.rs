@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 5**: the Hercules database during the planning
+//! phase. Two planning passes yield two versions of each schedule
+//! instance (the paper's SC1/SC2 and CC1/CC2), linked by provenance.
+
+use bench::{circuit_manager, render_db_state};
+
+fn main() {
+    let mut h = circuit_manager(2, 42);
+    h.plan("performance").expect("plannable");
+    println!("After first planning pass:\n");
+    print!("{}", render_db_state(h.db()));
+
+    // The schedule plan can be updated at any time: replan.
+    h.plan("performance").expect("plannable");
+    println!("\nAfter second planning pass (new versions, provenance kept):\n");
+    print!("{}", render_db_state(h.db()));
+
+    println!("\nPlan evolution (newest first):");
+    for activity in ["Create", "Simulate"] {
+        let current = h.db().current_plan(activity).expect("planned").id();
+        let chain: Vec<String> = h
+            .db()
+            .plan_evolution(current)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        println!("  {activity}: {}", chain.join(" <- "));
+    }
+}

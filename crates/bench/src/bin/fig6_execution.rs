@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 6**: the Hercules database during the execution
+//! phase — entity instances accumulate per iteration (the paper's
+//! N1/N2 netlist versions) while schedule instances await their
+//! completion links.
+
+use bench::{circuit_manager, render_db_state};
+
+fn main() {
+    // Find a seed where Create iterates, matching the figure's two
+    // netlist versions.
+    let seed = (0..200)
+        .find(|&s| {
+            let mut h = circuit_manager(2, s);
+            h.plan("performance").expect("plannable");
+            let r = h.execute("netlist").expect("executable");
+            r.activity("Create").map(|a| a.iterations) == Some(2)
+        })
+        .expect("some seed gives two iterations");
+    let mut h = circuit_manager(2, seed);
+    h.plan("performance").expect("plannable");
+    // Execute only the Create task so Simulate is still open, like the
+    // figure's mid-execution snapshot.
+    let report = h.execute("netlist").expect("executable");
+    println!(
+        "Mid-execution snapshot (seed {seed}; Create took {} iterations):\n",
+        report.activity("Create").expect("executed").iterations
+    );
+    print!("{}", render_db_state(h.db()));
+
+    println!("\nRuns recorded so far:");
+    for run in h.db().runs() {
+        println!("  {run}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates **Table I**: the six surveyed systems mapped onto the
+//! four-level flow-management architecture.
+
+fn main() {
+    let systems = survey::surveyed_systems();
+    print!("{}", survey::render_table(&systems));
+    println!("Sources:");
+    for s in &systems {
+        println!("  {:<14} {}", s.name(), s.reference());
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each `src/bin/*.rs` binary regenerates one of the paper's artifacts
+//! (Table I, Figures 1–8); the `benches/*.rs` targets measure the
+//! algorithmic components (B1–B8 in DESIGN.md). This library holds the
+//! scenario builders and the database-state renderer they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hercules::Hercules;
+use metadata::MetadataDb;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+/// A manager on the paper's circuit schema with `team` designers.
+pub fn circuit_manager(team: usize, seed: u64) -> Hercules {
+    Hercules::new(
+        examples::circuit_design(),
+        ToolLibrary::standard(),
+        Team::of_size(team),
+        seed,
+    )
+}
+
+/// A manager on the nine-activity ASIC flow with `team` designers.
+pub fn asic_manager(team: usize, seed: u64) -> Hercules {
+    Hercules::new(
+        examples::asic_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(team),
+        seed,
+    )
+}
+
+/// A manager on a synthetic pipeline schema of `stages` activities —
+/// the scaling knob for planning/execution benches.
+pub fn pipeline_manager(stages: usize, team: usize, seed: u64) -> Hercules {
+    Hercules::new(
+        examples::pipeline(stages),
+        ToolLibrary::standard(),
+        Team::of_size(team),
+        seed,
+    )
+}
+
+/// Renders the metadata database in the style of the paper's Figures
+/// 5–7: execution space (entity containers and their instances) beside
+/// schedule space (activity containers and their schedule instances),
+/// with completion links shown as arrows.
+pub fn render_db_state(db: &MetadataDb) -> String {
+    let mut out = String::new();
+    out.push_str("Execution Space                     | Schedule Space\n");
+    out.push_str("------------------------------------+------------------------------------\n");
+    let mut left: Vec<String> = Vec::new();
+    for class in db.entity_classes() {
+        let container = db.entity_container(class).expect("listed class exists");
+        left.push(format!("[{class}]"));
+        for &id in container {
+            let inst = db.entity_instance(id);
+            left.push(format!(
+                "  {} v{} at {} by {}",
+                id,
+                inst.version(),
+                inst.created_at(),
+                inst.creator()
+            ));
+        }
+    }
+    let mut right: Vec<String> = Vec::new();
+    for activity in db.activities() {
+        let container = db.schedule_container(activity).expect("listed activity exists");
+        right.push(format!("({activity})"));
+        for &id in container {
+            let sc = db.schedule_instance(id);
+            let link = match sc.linked_entity() {
+                Some(e) => format!(" -> {e}"),
+                None => String::new(),
+            };
+            right.push(format!(
+                "  {} v{} [{} .. {}]{}",
+                id,
+                sc.version(),
+                sc.planned_start(),
+                sc.planned_finish(),
+                link
+            ));
+        }
+    }
+    let rows = left.len().max(right.len());
+    for i in 0..rows {
+        let l = left.get(i).map(String::as_str).unwrap_or("");
+        let r = right.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("{l:<36}| {r}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_db_state_shows_both_spaces() {
+        let mut h = circuit_manager(2, 42);
+        h.plan("performance").unwrap();
+        h.execute("performance").unwrap();
+        let state = render_db_state(h.db());
+        assert!(state.contains("Execution Space"));
+        assert!(state.contains("[netlist]"));
+        assert!(state.contains("(Simulate)"));
+        assert!(state.contains(" -> ei")); // completion links
+    }
+
+    #[test]
+    fn scenario_builders_work() {
+        assert_eq!(circuit_manager(1, 0).schema().rules().len(), 2);
+        assert_eq!(asic_manager(1, 0).schema().rules().len(), 9);
+        assert_eq!(pipeline_manager(5, 1, 0).schema().rules().len(), 5);
+    }
+}

@@ -1,0 +1,259 @@
+//! `herc` — a command-line front end to the integrated workflow
+//! manager, the batch equivalent of the paper's Fig. 8 user interface.
+//!
+//! ```text
+//! herc schema <file>                         validate and print a task schema
+//! herc plan   <file> <target> [options]      propose a schedule
+//! herc run    <file> <target> [options]      plan, execute, and show status
+//! herc sweep  <file> <target> --deadline D   find the minimal team
+//! herc report <file> <target> --load DB      full report from a saved database
+//!
+//! options:
+//!   --team N      designers on the project (default 2)
+//!   --seed N      project seed (default 42)
+//!   --estimate ACTIVITY=DAYS   designer intuition (repeatable)
+//!   --save FILE   dump the metadata database after `run`
+//!   --load FILE   restore a previously saved database first
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! herc run examples.schema performance --team 2 --seed 7
+//! ```
+
+use std::process::ExitCode;
+
+use hercules::Hercules;
+use schedule::gantt::GanttOptions;
+use schedule::WorkDays;
+use simtools::{workload::Team, ToolLibrary};
+
+struct Options {
+    team: usize,
+    seed: u64,
+    deadline: Option<f64>,
+    estimates: Vec<(String, f64)>,
+    save: Option<String>,
+    load: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: herc <schema|plan|run|sweep> <schema-file> [<target>] \
+         [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        team: 2,
+        seed: 42,
+        deadline: None,
+        estimates: Vec::new(),
+        save: None,
+        load: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--team" => {
+                opts.team = value("--team")?
+                    .parse()
+                    .map_err(|e| format!("--team: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--deadline" => {
+                opts.deadline = Some(
+                    value("--deadline")?
+                        .parse()
+                        .map_err(|e| format!("--deadline: {e}"))?,
+                );
+            }
+            "--save" => {
+                opts.save = Some(value("--save")?);
+            }
+            "--load" => {
+                opts.load = Some(value("--load")?);
+            }
+            "--estimate" => {
+                let spec = value("--estimate")?;
+                let (activity, days) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--estimate wants ACTIVITY=DAYS, got {spec:?}"))?;
+                let days: f64 = days.parse().map_err(|e| format!("--estimate: {e}"))?;
+                opts.estimates.push((activity.to_owned(), days));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn manager(source: &str, opts: &Options) -> Result<Hercules, String> {
+    let schema = schema::parse_schema(source).map_err(|e| e.to_string())?;
+    let mut h = Hercules::new(
+        schema,
+        ToolLibrary::standard(),
+        Team::of_size(opts.team.max(1)),
+        opts.seed,
+    );
+    for (activity, days) in &opts.estimates {
+        h.set_estimate(activity, WorkDays::new(*days))
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &opts.load {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let db = metadata::MetadataDb::load(&text).map_err(|e| e.to_string())?;
+        h.restore_db(db);
+    }
+    Ok(h)
+}
+
+fn cmd_schema(source: &str) -> Result<(), String> {
+    let schema = schema::parse_schema(source).map_err(|e| e.to_string())?;
+    print!("{schema}");
+    let graph = schema::SchemaGraph::for_schema(&schema);
+    println!("activity order: {}", graph.activity_order().join(" -> "));
+    println!(
+        "primary inputs: {}",
+        schema
+            .primary_inputs()
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+fn cmd_plan(source: &str, target: &str, opts: &Options) -> Result<(), String> {
+    let mut h = manager(source, opts)?;
+    let plan = h.plan(target).map_err(|e| e.to_string())?;
+    println!("proposed schedule for {target:?} (team of {}):", opts.team);
+    for pa in plan.activities() {
+        println!(
+            "  {:<16} [{} .. {}] {} {}",
+            pa.activity,
+            pa.start,
+            pa.start + pa.duration,
+            if pa.critical { "*" } else { " " },
+            pa.assignee
+        );
+    }
+    println!("proposed finish: day {}", plan.project_finish());
+    Ok(())
+}
+
+fn cmd_run(source: &str, target: &str, opts: &Options) -> Result<(), String> {
+    let mut h = manager(source, opts)?;
+    h.plan(target).map_err(|e| e.to_string())?;
+    let report = h.execute(target).map_err(|e| e.to_string())?;
+    println!(
+        "executed {} activities in {} runs, finished day {}",
+        report.activities().len(),
+        report.total_runs(),
+        report.finished_at()
+    );
+    let status = h.status();
+    print!(
+        "\n{}",
+        status.gantt(&GanttOptions {
+            ascii: true,
+            width: 64,
+            label_width: 16,
+        ..GanttOptions::default()
+        })
+    );
+    println!("\n{status}");
+    println!("variance: {}", status.variance());
+    if let Some(path) = &opts.save {
+        std::fs::write(path, h.db().dump())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("database saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_report(source: &str, target: &str, opts: &Options) -> Result<(), String> {
+    let h = manager(source, opts)?;
+    let report = h
+        .project_report(&hercules::report::ReportOptions::for_target(target))
+        .map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_sweep(source: &str, target: &str, opts: &Options) -> Result<(), String> {
+    let deadline = opts
+        .deadline
+        .ok_or("sweep needs --deadline DAYS")?;
+    let h = manager(source, opts)?;
+    let sweep = h
+        .sweep_team_sizes(target, WorkDays::new(deadline), opts.team.max(1).max(6))
+        .map_err(|e| e.to_string())?;
+    println!("team-size sweep for {target:?} (deadline day {deadline}):");
+    for p in &sweep.points {
+        let marker = if p.finish.days() <= deadline { "meets" } else { "     " };
+        println!("  {} designer(s): finish day {}  {marker}", p.team_size, p.finish);
+    }
+    match sweep.minimal_team {
+        Some(team) => println!("minimal team meeting the deadline: {team}"),
+        None => println!("no team size within the sweep meets the deadline"),
+    }
+    if let Some(sat) = sweep.saturation_team {
+        println!("staffing saturates at {sat} designer(s)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let Some(file) = args.get(1) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("herc: cannot read {file:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match (command.as_str(), args.get(2)) {
+        ("schema", _) => parse_options(&args[2..]).and_then(|_| cmd_schema(&source)),
+        ("plan", Some(target)) => {
+            parse_options(&args[3..]).and_then(|o| cmd_plan(&source, target, &o))
+        }
+        ("run", Some(target)) => {
+            parse_options(&args[3..]).and_then(|o| cmd_run(&source, target, &o))
+        }
+        ("sweep", Some(target)) => {
+            parse_options(&args[3..]).and_then(|o| cmd_sweep(&source, target, &o))
+        }
+        ("report", Some(target)) => {
+            parse_options(&args[3..]).and_then(|o| cmd_report(&source, target, &o))
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("herc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

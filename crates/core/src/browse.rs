@@ -1,0 +1,242 @@
+//! The schedule instance browser (§IV-C).
+//!
+//! "A schedule instance browser was developed to browse the schedule
+//! instances located in the Hercules database ... the user can select,
+//! delete, or display schedule instances." This module is the textual
+//! equivalent: a filterable view over the schedule space with per-
+//! instance detail rendering. Deletion is browser-local (instances are
+//! hidden from the view); the database itself is append-only, matching
+//! the versioned-plan model.
+
+use metadata::{MetadataDb, ScheduleInstanceId};
+
+/// A filterable, hideable view over the schedule instances of a
+/// database.
+///
+/// # Example
+///
+/// ```
+/// use hercules::{browse::ScheduleBrowser, Hercules};
+/// use schema::examples;
+/// use simtools::{workload::Team, ToolLibrary};
+///
+/// # fn main() -> Result<(), hercules::HerculesError> {
+/// let mut h = Hercules::new(
+///     examples::circuit_design(),
+///     ToolLibrary::standard(),
+///     Team::of_size(1),
+///     1,
+/// );
+/// h.plan("performance")?;
+/// h.plan("performance")?; // second version of each plan
+/// let browser = ScheduleBrowser::new(h.db()).activity("Create");
+/// assert_eq!(browser.rows().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleBrowser<'db> {
+    db: &'db MetadataDb,
+    activity_filter: Option<String>,
+    only_complete: Option<bool>,
+    hidden: Vec<ScheduleInstanceId>,
+}
+
+impl<'db> ScheduleBrowser<'db> {
+    /// Opens a browser over `db` showing everything.
+    pub fn new(db: &'db MetadataDb) -> Self {
+        ScheduleBrowser {
+            db,
+            activity_filter: None,
+            only_complete: None,
+            hidden: Vec::new(),
+        }
+    }
+
+    /// Restricts the view to one activity.
+    #[must_use]
+    pub fn activity(mut self, name: &str) -> Self {
+        self.activity_filter = Some(name.to_owned());
+        self
+    }
+
+    /// Restricts the view to complete (`true`) or open (`false`)
+    /// instances.
+    #[must_use]
+    pub fn complete(mut self, complete: bool) -> Self {
+        self.only_complete = Some(complete);
+        self
+    }
+
+    /// Hides one instance from the view (the browser's "delete").
+    pub fn hide(&mut self, id: ScheduleInstanceId) {
+        if !self.hidden.contains(&id) {
+            self.hidden.push(id);
+        }
+    }
+
+    /// The visible instances, oldest first.
+    pub fn rows(&self) -> Vec<ScheduleInstanceId> {
+        let mut out = Vec::new();
+        let activities: Vec<&str> = match &self.activity_filter {
+            Some(a) => vec![a.as_str()],
+            None => self.db.activities().collect(),
+        };
+        for activity in activities {
+            let Some(container) = self.db.schedule_container(activity) else {
+                continue;
+            };
+            for &id in container {
+                if self.hidden.contains(&id) {
+                    continue;
+                }
+                let sc = self.db.schedule_instance(id);
+                if let Some(want) = self.only_complete {
+                    if sc.is_complete() != want {
+                        continue;
+                    }
+                }
+                out.push(id);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Renders one instance in detail: dates, assignees, provenance,
+    /// and the completion link if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this database.
+    pub fn display(&self, id: ScheduleInstanceId) -> String {
+        let sc = self.db.schedule_instance(id);
+        let mut out = format!(
+            "{} {} v{}\n  proposed: {} .. {} ({})\n  assigned: {}\n",
+            id,
+            sc.activity(),
+            sc.version(),
+            sc.planned_start(),
+            sc.planned_finish(),
+            sc.planned_duration(),
+            if sc.assignees().is_empty() {
+                "(nobody)".to_owned()
+            } else {
+                sc.assignees().join(", ")
+            },
+        );
+        let evolution = self.db.plan_evolution(id);
+        if evolution.len() > 1 {
+            let chain: Vec<String> = evolution.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!("  evolution: {}\n", chain.join(" <- ")));
+        }
+        match sc.linked_entity() {
+            Some(entity) => {
+                let inst = self.db.entity_instance(entity);
+                out.push_str(&format!(
+                    "  complete: linked to {} ({} v{}, finished {})\n",
+                    entity,
+                    inst.class(),
+                    inst.version(),
+                    inst.created_at()
+                ));
+            }
+            None => out.push_str("  open: no final result linked\n"),
+        }
+        out
+    }
+
+    /// Renders the whole visible view, one line per instance.
+    pub fn list(&self) -> String {
+        let mut out = String::new();
+        for id in self.rows() {
+            let sc = self.db.schedule_instance(id);
+            out.push_str(&format!(
+                "{} {:<16} v{} [{} .. {}] {}\n",
+                id,
+                sc.activity(),
+                sc.version(),
+                sc.planned_start(),
+                sc.planned_finish(),
+                if sc.is_complete() { "complete" } else { "open" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hercules;
+    use schema::examples;
+    use simtools::{workload::Team, ToolLibrary};
+
+    fn manager() -> Hercules {
+        Hercules::new(
+            examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(1),
+            42,
+        )
+    }
+
+    #[test]
+    fn rows_and_filters() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        h.plan("performance").unwrap();
+        let b = ScheduleBrowser::new(h.db());
+        assert_eq!(b.rows().len(), 4); // 2 activities × 2 versions
+        assert_eq!(b.clone().activity("Create").rows().len(), 2);
+        assert_eq!(b.clone().complete(true).rows().len(), 0);
+        assert_eq!(b.clone().complete(false).rows().len(), 4);
+    }
+
+    #[test]
+    fn completion_filter_after_execution() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        h.execute("performance").unwrap();
+        let b = ScheduleBrowser::new(h.db());
+        assert_eq!(b.clone().complete(true).rows().len(), 2);
+        assert_eq!(b.clone().complete(false).rows().len(), 0);
+    }
+
+    #[test]
+    fn hide_removes_from_view() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        let mut b = ScheduleBrowser::new(h.db());
+        let first = b.rows()[0];
+        b.hide(first);
+        b.hide(first); // idempotent
+        assert!(!b.rows().contains(&first));
+        assert_eq!(b.rows().len(), 1);
+    }
+
+    #[test]
+    fn display_shows_provenance_and_link() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        h.execute("performance").unwrap();
+        h.plan("performance").unwrap(); // v2 derived from linked v1
+        let b = ScheduleBrowser::new(h.db());
+        let create_rows = b.clone().activity("Create").rows();
+        let v1 = create_rows[0];
+        let v2 = create_rows[1];
+        let d1 = b.display(v1);
+        assert!(d1.contains("complete: linked to"));
+        let d2 = b.display(v2);
+        assert!(d2.contains("evolution:"));
+        assert!(d2.contains("open"));
+    }
+
+    #[test]
+    fn list_is_one_line_per_instance() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        let b = ScheduleBrowser::new(h.db());
+        assert_eq!(b.list().lines().count(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the workflow manager — either its own validation
+/// or a wrapped error from one of the substrate layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HerculesError {
+    /// The requested target names no data class or activity of the
+    /// schema.
+    UnknownTarget(String),
+    /// The named activity is not part of the schema.
+    UnknownActivity(String),
+    /// An operation needed a plan, but the activity has never been
+    /// planned.
+    NotPlanned(String),
+    /// An error from the metadata database.
+    Metadata(metadata::MetadataError),
+    /// An error from the schedule engine.
+    Schedule(schedule::ScheduleError),
+    /// An error from schema handling.
+    Schema(schema::SchemaError),
+}
+
+impl fmt::Display for HerculesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HerculesError::UnknownTarget(t) => {
+                write!(f, "target {t:?} names no data class or activity in the schema")
+            }
+            HerculesError::UnknownActivity(a) => {
+                write!(f, "activity {a:?} is not part of the schema")
+            }
+            HerculesError::NotPlanned(a) => {
+                write!(f, "activity {a:?} has no schedule plan yet")
+            }
+            HerculesError::Metadata(e) => write!(f, "metadata: {e}"),
+            HerculesError::Schedule(e) => write!(f, "schedule: {e}"),
+            HerculesError::Schema(e) => write!(f, "schema: {e}"),
+        }
+    }
+}
+
+impl Error for HerculesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HerculesError::Metadata(e) => Some(e),
+            HerculesError::Schedule(e) => Some(e),
+            HerculesError::Schema(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<metadata::MetadataError> for HerculesError {
+    fn from(e: metadata::MetadataError) -> Self {
+        HerculesError::Metadata(e)
+    }
+}
+
+impl From<schedule::ScheduleError> for HerculesError {
+    fn from(e: schedule::ScheduleError) -> Self {
+        HerculesError::Schedule(e)
+    }
+}
+
+impl From<schema::SchemaError> for HerculesError {
+    fn from(e: schema::SchemaError) -> Self {
+        HerculesError::Schema(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_preserves_source() {
+        let inner = metadata::MetadataError::UnknownActivity("X".into());
+        let outer: HerculesError = inner.clone().into();
+        assert_eq!(outer, HerculesError::Metadata(inner));
+        assert!(outer.source().is_some());
+        assert!(outer.to_string().starts_with("metadata:"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HerculesError>();
+    }
+}

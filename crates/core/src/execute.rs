@@ -1,0 +1,446 @@
+use std::collections::HashMap;
+
+use metadata::EntityInstanceId;
+use schedule::WorkDays;
+use simtools::ToolInvocation;
+
+use crate::error::HerculesError;
+use crate::manager::Hercules;
+
+/// Hard cap on iterations per activity, so a pathological tool model
+/// cannot spin forever. Real tool models converge far earlier.
+const ITERATION_CAP: u32 = 16;
+
+/// The record of executing one activity: its runs, dates, and final
+/// instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityExecution {
+    /// The executed activity.
+    pub activity: String,
+    /// The designer who ran it.
+    pub assignee: String,
+    /// When the first run started.
+    pub started: WorkDays,
+    /// When the final run finished.
+    pub finished: WorkDays,
+    /// How many runs (iterations) the activity needed.
+    pub iterations: u32,
+    /// Whether the final run met the design goals.
+    pub converged: bool,
+    /// The final entity instance (the one linked to the plan).
+    pub final_instance: EntityInstanceId,
+}
+
+impl ActivityExecution {
+    /// Elapsed activity duration (first start to final finish).
+    pub fn duration(&self) -> WorkDays {
+        self.finished.saturating_sub(self.started)
+    }
+}
+
+/// The record of executing a task tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    target: String,
+    activities: Vec<ActivityExecution>,
+    finished_at: WorkDays,
+}
+
+impl ExecutionReport {
+    /// The executed target.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Per-activity execution records, in dependency order.
+    pub fn activities(&self) -> &[ActivityExecution] {
+        &self.activities
+    }
+
+    /// The record for `activity`, if executed.
+    pub fn activity(&self, name: &str) -> Option<&ActivityExecution> {
+        self.activities.iter().find(|a| a.activity == name)
+    }
+
+    /// When the last activity finished (project clock afterwards).
+    pub fn finished_at(&self) -> WorkDays {
+        self.finished_at
+    }
+
+    /// Whether every activity converged within the iteration cap.
+    pub fn all_converged(&self) -> bool {
+        self.activities.iter().all(|a| a.converged)
+    }
+
+    /// Total number of tool runs across all activities.
+    pub fn total_runs(&self) -> u32 {
+        self.activities.iter().map(|a| a.iterations).sum()
+    }
+}
+
+impl Hercules {
+    /// Executes the task tree for `target`: the post-order traversal of
+    /// §IV-A, this time running tools.
+    ///
+    /// For each activity (inputs before outputs):
+    ///
+    /// 1. wait for its input instances and its designer (one activity
+    ///    at a time per designer — a deterministic list schedule);
+    /// 2. iterate tool runs until the result converges ("a given
+    ///    activity may need to be run several times before the design
+    ///    goals are achieved") — every run creates a [`metadata::Run`]
+    ///    and a new versioned entity instance;
+    /// 3. on convergence, **link** the final instance to the activity's
+    ///    current schedule instance, which is how actual dates reach
+    ///    the plan (§III's link between schedule and actual flow data).
+    ///
+    /// Primary inputs (e.g. `stimuli`) are supplied automatically at
+    /// the current clock. Activities whose current plan is already
+    /// complete are skipped (their final instance is reused), so
+    /// re-executing after replanning only redoes open work.
+    ///
+    /// # Errors
+    ///
+    /// * [`HerculesError::UnknownTarget`] — `target` names nothing.
+    /// * [`HerculesError::Metadata`] — database integrity failure
+    ///   (cannot happen through this API).
+    pub fn execute(&mut self, target: &str) -> Result<ExecutionReport, HerculesError> {
+        let tree = self.extract_task_tree(target)?;
+        // Supply primary inputs up front.
+        for class in tree.primary_inputs() {
+            let designer = self.team.designer(0).to_owned();
+            self.supply_primary_input(class, &designer)?;
+        }
+        // data_ready: class -> (time available, instance).
+        let mut data_ready: HashMap<String, (WorkDays, EntityInstanceId)> = HashMap::new();
+        for (class, &inst) in &self.supplied {
+            data_ready.insert(
+                class.clone(),
+                (self.db.entity_instance(inst).created_at(), inst),
+            );
+        }
+        // Completed activities contribute their linked instances.
+        for activity in tree.activities() {
+            if let Some(plan) = self.db.current_plan(activity) {
+                if let Some(inst) = plan.linked_entity() {
+                    let at = self.db.entity_instance(inst).created_at();
+                    data_ready.insert(tree.output_of(activity).to_owned(), (at, inst));
+                }
+            }
+        }
+        let mut designer_free: HashMap<String, WorkDays> = self
+            .team
+            .iter()
+            .map(|d| (d.to_owned(), self.clock))
+            .collect();
+
+        let mut executions = Vec::new();
+        let mut finished_at = self.clock;
+        for (k, activity) in tree.activities().iter().enumerate() {
+            // Skip work already declared complete.
+            if self
+                .db
+                .current_plan(activity)
+                .is_some_and(|p| p.is_complete())
+            {
+                continue;
+            }
+            let assignee = self
+                .db
+                .current_plan(activity)
+                .and_then(|p| p.assignees().first().cloned())
+                .unwrap_or_else(|| self.team.assignee(k).to_owned());
+            // Ready when all inputs exist.
+            let mut ready = self.clock;
+            let mut inputs: Vec<EntityInstanceId> = Vec::new();
+            let mut input_bytes = 0u64;
+            for class in tree.inputs_of(activity) {
+                let (at, inst) = data_ready
+                    .get(class)
+                    .copied()
+                    .expect("dependency order guarantees inputs exist");
+                ready = ready.max(at);
+                input_bytes += self.db.data_object(self.db.entity_instance(inst).data()).size()
+                    as u64;
+                inputs.push(inst);
+            }
+            let designer_at = designer_free
+                .get(&assignee)
+                .copied()
+                .unwrap_or(self.clock);
+            let start = ready.max(designer_at);
+
+            // Iterate runs until convergence.
+            let rule = self.schema.rule(activity).expect("tree activities exist");
+            let model = self.tools.resolve(rule.tool());
+            let output_class = tree.output_of(activity).to_owned();
+            let mut t = start;
+            let mut iterations = 0u32;
+            let mut converged = false;
+            let mut final_instance = None;
+            let prior_runs = self.db.runs_of(activity).len() as u32;
+            while iterations < ITERATION_CAP {
+                iterations += 1;
+                let outcome = model.invoke(&ToolInvocation {
+                    input_bytes,
+                    iteration: prior_runs + iterations,
+                    seed: self.seed,
+                });
+                let run = self.db.begin_run(activity, &assignee, t)?;
+                let end = t + WorkDays::new(outcome.duration_days);
+                let data = self.db.store_data(
+                    format!("{output_class}.v{}", prior_runs + iterations),
+                    outcome.output,
+                );
+                let inst = self.db.finish_run(run, &output_class, data, end, &inputs)?;
+                t = end;
+                final_instance = Some(inst);
+                if outcome.converged {
+                    converged = true;
+                    break;
+                }
+            }
+            let final_instance = final_instance.expect("at least one iteration ran");
+            // Designer declares completion: link plan to final result.
+            if converged {
+                if let Some(plan) = self.db.current_plan(activity) {
+                    let sc = plan.id();
+                    self.db.link_completion(sc, final_instance)?;
+                }
+            }
+            data_ready.insert(output_class, (t, final_instance));
+            designer_free.insert(assignee.clone(), t);
+            if t.days() > finished_at.days() {
+                finished_at = t;
+            }
+            executions.push(ActivityExecution {
+                activity: activity.clone(),
+                assignee,
+                started: start,
+                finished: t,
+                iterations,
+                converged,
+                final_instance,
+            });
+        }
+        self.clock = finished_at;
+        Ok(ExecutionReport {
+            target: target.to_owned(),
+            activities: executions,
+            finished_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+    use simtools::{workload::Team, ToolLibrary};
+
+    fn manager(seed: u64) -> Hercules {
+        Hercules::new(
+            examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            seed,
+        )
+    }
+
+    #[test]
+    fn execute_produces_instances_and_links() {
+        let mut h = manager(42);
+        h.plan("performance").unwrap();
+        let report = h.execute("performance").unwrap();
+        assert_eq!(report.target(), "performance");
+        assert_eq!(report.activities().len(), 2);
+        assert!(report.all_converged());
+        // Every activity's plan is now linked to its final instance.
+        for activity in ["Create", "Simulate"] {
+            let plan = h.db().current_plan(activity).unwrap();
+            assert!(plan.is_complete());
+            let exec = report.activity(activity).unwrap();
+            assert_eq!(plan.linked_entity(), Some(exec.final_instance));
+        }
+        // Runs recorded one per iteration.
+        assert_eq!(h.db().runs().len() as u32, report.total_runs());
+        assert_eq!(h.clock(), report.finished_at());
+    }
+
+    #[test]
+    fn execute_without_plan_still_works() {
+        let mut h = manager(42);
+        let report = h.execute("performance").unwrap();
+        assert!(report.all_converged());
+        // No plans, so nothing to link — but instances exist.
+        assert!(h.db().entity_container("performance").unwrap().len() == 1);
+        assert!(h.db().current_plan("Create").is_none());
+    }
+
+    #[test]
+    fn execution_respects_dependencies() {
+        let mut h = manager(7);
+        h.plan("performance").unwrap();
+        let report = h.execute("performance").unwrap();
+        let create = report.activity("Create").unwrap();
+        let simulate = report.activity("Simulate").unwrap();
+        assert!(simulate.started.days() >= create.finished.days() - 1e-9);
+        assert!(simulate.duration().days() > 0.0);
+    }
+
+    #[test]
+    fn iterations_create_versions() {
+        // Scan seeds for a run where Create needs more than one
+        // iteration (first-pass rate is 50%, so this is common).
+        let seed = (0..50)
+            .find(|&s| {
+                let mut h = manager(s);
+                let r = h.execute("netlist").unwrap();
+                r.activity("Create").unwrap().iterations > 1
+            })
+            .expect("some seed iterates");
+        let mut h = manager(seed);
+        let report = h.execute("netlist").unwrap();
+        let iters = report.activity("Create").unwrap().iterations;
+        assert!(iters > 1);
+        assert_eq!(h.db().entity_container("netlist").unwrap().len() as u32, iters);
+        // The linked instance is the LAST version.
+        let final_id = report.activity("Create").unwrap().final_instance;
+        assert_eq!(h.db().entity_instance(final_id).version(), iters);
+    }
+
+    #[test]
+    fn reexecution_skips_completed_work() {
+        let mut h = manager(42);
+        h.plan("performance").unwrap();
+        let first = h.execute("performance").unwrap();
+        let runs_before = h.db().runs().len();
+        // Everything complete: executing again does nothing.
+        let second = h.execute("performance").unwrap();
+        assert!(second.activities().is_empty());
+        assert_eq!(h.db().runs().len(), runs_before);
+        let _ = first;
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut h = manager(seed);
+            h.plan("performance").unwrap();
+            let r = h.execute("performance").unwrap();
+            (r.finished_at(), r.total_runs())
+        };
+        assert_eq!(run(9), run(9));
+        // Different seeds generally differ in at least one aspect.
+        let (f1, n1) = run(1);
+        let (f2, n2) = run(2);
+        assert!(f1 != f2 || n1 != n2);
+    }
+
+    #[test]
+    fn actuals_flow_into_schedule_space() {
+        let mut h = manager(42);
+        h.plan("performance").unwrap();
+        let report = h.execute("performance").unwrap();
+        let exec = report.activity("Create").unwrap();
+        // Metadata stores timestamps at milliday resolution, so compare
+        // within that tolerance.
+        let start = h.db().actual_start("Create").unwrap();
+        let finish = h.db().actual_finish("Create").unwrap();
+        assert!((start.days() - exec.started.days()).abs() < 1e-3);
+        assert!((finish.days() - exec.finished.days()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn primary_inputs_supplied_automatically() {
+        let mut h = manager(42);
+        h.execute("performance").unwrap();
+        assert_eq!(h.db().entity_container("stimuli").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn failure_injection_never_converging_tool() {
+        // A tool that never passes: execution must stop at the
+        // iteration cap, report non-convergence, and NOT link the plan.
+        let mut tools = ToolLibrary::new();
+        tools.add(
+            simtools::ToolModel::new("netlist_editor", 1.0)
+                .with_first_pass_rate(0.0)
+                .with_max_iterations(u32::MAX),
+        );
+        tools.add(simtools::ToolModel::new("simulator", 1.0));
+        let mut h = Hercules::new(
+            examples::circuit_design(),
+            tools,
+            Team::of_size(1),
+            3,
+        );
+        h.plan("netlist").unwrap();
+        let report = h.execute("netlist").unwrap();
+        let exec = report.activity("Create").unwrap();
+        assert!(!exec.converged);
+        assert!(!report.all_converged());
+        assert_eq!(exec.iterations, ITERATION_CAP);
+        // Every iteration still left auditable metadata...
+        assert_eq!(
+            h.db().entity_container("netlist").unwrap().len(),
+            ITERATION_CAP as usize
+        );
+        // ...but the designer never declared completion.
+        assert!(!h.db().current_plan("Create").unwrap().is_complete());
+        assert_eq!(h.db().actual_finish("Create"), None);
+    }
+
+    #[test]
+    fn failure_injection_downstream_still_runs_on_best_effort_data() {
+        // Even when Create never converges, Simulate consumes the last
+        // (best-effort) netlist — matching real flows, where designers
+        // push on with what they have.
+        let mut tools = ToolLibrary::new();
+        tools.add(
+            simtools::ToolModel::new("netlist_editor", 1.0)
+                .with_first_pass_rate(0.0)
+                .with_max_iterations(u32::MAX),
+        );
+        tools.add(
+            simtools::ToolModel::new("simulator", 1.0).with_first_pass_rate(1.0),
+        );
+        let mut h = Hercules::new(
+            examples::circuit_design(),
+            tools,
+            Team::of_size(1),
+            3,
+        );
+        h.plan("performance").unwrap();
+        let report = h.execute("performance").unwrap();
+        let simulate = report.activity("Simulate").unwrap();
+        assert!(simulate.converged);
+        let inputs = h
+            .db()
+            .entity_instance(simulate.final_instance)
+            .depends_on()
+            .to_vec();
+        // The consumed netlist is the final (cap-th) version.
+        let netlist = inputs
+            .iter()
+            .map(|&i| h.db().entity_instance(i))
+            .find(|e| e.class() == "netlist")
+            .expect("simulate consumed a netlist");
+        assert_eq!(netlist.version(), ITERATION_CAP);
+    }
+
+    #[test]
+    fn asic_flow_executes_end_to_end() {
+        let mut h = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            11,
+        );
+        h.plan("signoff_report").unwrap();
+        let report = h.execute("signoff_report").unwrap();
+        assert_eq!(report.activities().len(), 9);
+        assert!(report.all_converged());
+        assert_eq!(h.db().completed_activities().len(), 9);
+    }
+}

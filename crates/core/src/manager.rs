@@ -1,0 +1,313 @@
+use std::collections::HashMap;
+
+use metadata::{EntityInstanceId, MetadataDb};
+use schedule::WorkDays;
+use schema::TaskSchema;
+use simtools::workload::{primary_input_data, Team};
+use simtools::ToolLibrary;
+
+use crate::error::HerculesError;
+use crate::task::TaskTree;
+
+/// The integrated workflow manager: one object owning the task schema
+/// (Level 1), the metadata database (Levels 3–4), the tool substrate,
+/// and the design team — so that planning, executing, and tracking all
+/// read and write the *same* state.
+///
+/// See the [crate-level docs](crate) for the full walkthrough; the
+/// type's methods follow the paper's procedure:
+///
+/// 1. [`Hercules::new`] — define the schema, initialise the database.
+/// 2. [`Hercules::extract_task_tree`] — scope a task.
+/// 3. [`Hercules::plan`](crate::Hercules::plan) — simulate execution,
+///    creating schedule instances.
+/// 4. [`Hercules::execute`](crate::Hercules::execute) — run the flow,
+///    creating entity instances and completion links.
+/// 5. [`Hercules::status`](crate::Hercules::status) /
+///    [`Hercules::replan`](crate::Hercules::replan) — track and adapt.
+#[derive(Debug, Clone)]
+pub struct Hercules {
+    pub(crate) schema: TaskSchema,
+    pub(crate) db: MetadataDb,
+    pub(crate) tools: ToolLibrary,
+    pub(crate) team: Team,
+    pub(crate) seed: u64,
+    pub(crate) clock: WorkDays,
+    pub(crate) estimates: HashMap<String, WorkDays>,
+    pub(crate) supplied: HashMap<String, EntityInstanceId>,
+}
+
+impl Hercules {
+    /// Creates a manager for `schema`: the task database is initialised
+    /// with one entity container per class and one schedule container
+    /// per activity.
+    ///
+    /// `seed` controls all synthetic tool behaviour, making every run
+    /// of a project reproducible.
+    pub fn new(schema: TaskSchema, tools: ToolLibrary, team: Team, seed: u64) -> Self {
+        let db = MetadataDb::for_schema(&schema);
+        Hercules {
+            schema,
+            db,
+            tools,
+            team,
+            seed,
+            clock: WorkDays::ZERO,
+            estimates: HashMap::new(),
+            supplied: HashMap::new(),
+        }
+    }
+
+    /// The schema this manager was initialised from.
+    pub fn schema(&self) -> &TaskSchema {
+        &self.schema
+    }
+
+    /// Read access to the metadata database (both spaces).
+    pub fn db(&self) -> &MetadataDb {
+        &self.db
+    }
+
+    /// The design team.
+    pub fn team(&self) -> &Team {
+        &self.team
+    }
+
+    /// The current project clock (working days since project start).
+    pub fn clock(&self) -> WorkDays {
+        self.clock
+    }
+
+    /// Advances the project clock (e.g. idle calendar time between
+    /// planning and execution). The clock never moves backwards.
+    pub fn advance_clock(&mut self, to: WorkDays) {
+        if to.days() > self.clock.days() {
+            self.clock = to;
+        }
+    }
+
+    /// Records the designer's intuition estimate for an activity's
+    /// duration, used by planning when no measured history exists.
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::UnknownActivity`] if the schema has no such
+    /// activity.
+    pub fn set_estimate(
+        &mut self,
+        activity: &str,
+        duration: WorkDays,
+    ) -> Result<(), HerculesError> {
+        if self.schema.rule(activity).is_none() {
+            return Err(HerculesError::UnknownActivity(activity.to_owned()));
+        }
+        self.estimates.insert(activity.to_owned(), duration);
+        Ok(())
+    }
+
+    /// Extracts the task tree covering `target` — step 2 of the
+    /// procedure, shared by planning and execution.
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::UnknownTarget`] if `target` names nothing.
+    pub fn extract_task_tree(&self, target: &str) -> Result<TaskTree, HerculesError> {
+        TaskTree::extract(&self.schema, target)
+    }
+
+    /// The duration estimate planning uses for `activity`, in priority
+    /// order: (1) measured history from the metadata database — "the
+    /// duration of an activity can be based ... on the measured results
+    /// of similar tasks"; (2) the designer's intuition estimate;
+    /// (3) the tool model's expected activity duration.
+    pub fn duration_estimate(&self, activity: &str) -> Result<WorkDays, HerculesError> {
+        let rule = self
+            .schema
+            .rule(activity)
+            .ok_or_else(|| HerculesError::UnknownActivity(activity.to_owned()))?;
+        if let Some(measured) = self.db.last_duration(activity) {
+            return Ok(measured);
+        }
+        if let Some(&intuition) = self.estimates.get(activity) {
+            return Ok(intuition);
+        }
+        let input_bytes = self.planned_input_bytes(activity);
+        let model = self.tools.resolve(rule.tool());
+        Ok(WorkDays::new(model.expected_activity_duration(input_bytes)))
+    }
+
+    /// Estimated input size for `activity` before execution: the sum of
+    /// its producers' nominal output sizes (1 KiB for designer-supplied
+    /// primary inputs).
+    pub(crate) fn planned_input_bytes(&self, activity: &str) -> u64 {
+        let Some(rule) = self.schema.rule(activity) else {
+            return 0;
+        };
+        rule.inputs()
+            .iter()
+            .map(|input| match self.schema.producer_of(input) {
+                Some(producer) => self.tools.resolve(producer.tool()).output_bytes(),
+                None => 1024,
+            })
+            .sum()
+    }
+
+    /// Replaces the manager's database with a restored one (loaded via
+    /// [`metadata::MetadataDb::load`]), recomputing the clock (latest
+    /// timestamp in the database) and the primary-input registry.
+    ///
+    /// The database must have been produced by a manager on the same
+    /// schema; containers are not re-validated against it.
+    pub fn restore_db(&mut self, db: MetadataDb) {
+        let mut clock = WorkDays::ZERO;
+        for run in db.runs() {
+            if let Some(f) = run.finished_at() {
+                clock = clock.max(f);
+            } else {
+                clock = clock.max(run.started_at());
+            }
+        }
+        for session in db.planning_sessions() {
+            clock = clock.max(session.created_at());
+        }
+        // Rebuild the supplied-primary-input registry from instances
+        // with no producing run.
+        self.supplied.clear();
+        for class in db.entity_classes().map(str::to_owned).collect::<Vec<_>>() {
+            if let Some(container) = db.entity_container(&class) {
+                if let Some(&first_supplied) = container
+                    .iter()
+                    .find(|&&id| db.entity_instance(id).produced_by().is_none())
+                {
+                    self.supplied.insert(class, first_supplied);
+                }
+            }
+        }
+        self.db = db;
+        self.clock = clock;
+    }
+
+    /// Supplies a primary-input instance for `class` (synthetic content
+    /// derived from the project seed), or returns the already-supplied
+    /// instance — primary inputs are provided once, like the paper's
+    /// `stimuli`.
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::Metadata`] if `class` has no container.
+    pub fn supply_primary_input(
+        &mut self,
+        class: &str,
+        designer: &str,
+    ) -> Result<EntityInstanceId, HerculesError> {
+        if let Some(&id) = self.supplied.get(class) {
+            return Ok(id);
+        }
+        let content = primary_input_data(class, self.seed);
+        let data = self.db.store_data(format!("{class}.dat"), content);
+        let id = self.db.supply_input(class, designer, self.clock, data)?;
+        self.supplied.insert(class.to_owned(), id);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+
+    fn manager() -> Hercules {
+        Hercules::new(
+            examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            7,
+        )
+    }
+
+    #[test]
+    fn construction_initialises_containers() {
+        let h = manager();
+        assert!(h.db().entity_container("netlist").is_some());
+        assert!(h.db().schedule_container("Simulate").is_some());
+        assert_eq!(h.clock(), WorkDays::ZERO);
+        assert_eq!(h.team().len(), 2);
+        assert_eq!(h.schema().name(), "circuit");
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut h = manager();
+        h.advance_clock(WorkDays::new(5.0));
+        h.advance_clock(WorkDays::new(3.0));
+        assert_eq!(h.clock(), WorkDays::new(5.0));
+    }
+
+    #[test]
+    fn estimate_requires_known_activity() {
+        let mut h = manager();
+        assert!(h.set_estimate("Create", WorkDays::new(3.0)).is_ok());
+        assert!(matches!(
+            h.set_estimate("Fabricate", WorkDays::new(1.0)),
+            Err(HerculesError::UnknownActivity(_))
+        ));
+    }
+
+    #[test]
+    fn duration_estimate_priorities() {
+        let mut h = manager();
+        // No history, no intuition: tool-model estimate.
+        let model_est = h.duration_estimate("Create").unwrap();
+        assert!(model_est.days() > 0.0);
+        // Intuition overrides the model.
+        h.set_estimate("Create", WorkDays::new(9.0)).unwrap();
+        assert_eq!(h.duration_estimate("Create").unwrap(), WorkDays::new(9.0));
+        assert!(h.duration_estimate("Missing").is_err());
+    }
+
+    #[test]
+    fn planned_input_bytes_uses_producer_models() {
+        let h = manager();
+        // Create has no inputs.
+        assert_eq!(h.planned_input_bytes("Create"), 0);
+        // Simulate consumes netlist (producer: netlist_editor, 8 KiB)
+        // and stimuli (primary input, 1 KiB).
+        assert_eq!(h.planned_input_bytes("Simulate"), 8 * 1024 + 1024);
+    }
+
+    #[test]
+    fn restore_db_recovers_clock_and_supplied() {
+        let mut h = manager();
+        h.supply_primary_input("stimuli", "alice").unwrap();
+        let run = h
+            .db
+            .begin_run("Create", "alice", WorkDays::new(1.0))
+            .unwrap();
+        let data = h.db.store_data("x", vec![]);
+        h.db.finish_run(run, "netlist", data, WorkDays::new(4.0), &[])
+            .unwrap();
+        let dump = h.db().dump();
+
+        let mut restored = manager();
+        restored.restore_db(metadata::MetadataDb::load(&dump).unwrap());
+        assert_eq!(restored.clock(), WorkDays::new(4.0));
+        // The supplied registry is rebuilt: supplying again reuses the
+        // restored instance.
+        let again = restored.supply_primary_input("stimuli", "bob").unwrap();
+        assert_eq!(
+            restored.db().entity_container("stimuli").unwrap().len(),
+            1
+        );
+        assert_eq!(restored.db().entity_instance(again).creator(), "alice");
+    }
+
+    #[test]
+    fn primary_inputs_supplied_once() {
+        let mut h = manager();
+        let a = h.supply_primary_input("stimuli", "alice").unwrap();
+        let b = h.supply_primary_input("stimuli", "bob").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h.db().entity_container("stimuli").unwrap().len(), 1);
+        assert!(h.supply_primary_input("ghost", "alice").is_err());
+    }
+}

@@ -1,0 +1,324 @@
+use std::collections::HashMap;
+
+use metadata::{PlanningSessionId, ScheduleInstanceId};
+use schedule::{level_resources, Resource, ResourcePool, ScheduleNetwork, WorkDays};
+
+use crate::error::HerculesError;
+use crate::manager::Hercules;
+
+/// One activity's entry in a schedule plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedActivity {
+    /// The activity name.
+    pub activity: String,
+    /// The schedule instance recorded in the metadata database.
+    pub schedule: ScheduleInstanceId,
+    /// Proposed start (working days from project start).
+    pub start: WorkDays,
+    /// Proposed duration.
+    pub duration: WorkDays,
+    /// Assigned designer.
+    pub assignee: String,
+    /// Whether the activity is on the plan's critical path.
+    pub critical: bool,
+}
+
+/// The result of planning a target: the schedule instances created by
+/// one simulated execution of the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePlan {
+    session: PlanningSessionId,
+    target: String,
+    activities: Vec<PlannedActivity>,
+    project_finish: WorkDays,
+}
+
+impl SchedulePlan {
+    /// The planning session grouping these schedule instances.
+    pub fn session(&self) -> PlanningSessionId {
+        self.session
+    }
+
+    /// The planned target.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Planned activities in dependency order.
+    pub fn activities(&self) -> &[PlannedActivity] {
+        &self.activities
+    }
+
+    /// Number of planned activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Returns `true` if the plan is empty (never for successful
+    /// planning).
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// The proposed project finish (makespan under team constraints).
+    pub fn project_finish(&self) -> WorkDays {
+        self.project_finish
+    }
+
+    /// The entry for `activity`, if planned.
+    pub fn activity(&self, name: &str) -> Option<&PlannedActivity> {
+        self.activities.iter().find(|a| a.activity == name)
+    }
+}
+
+impl Hercules {
+    /// Plans a schedule for `target` by **simulating the execution of
+    /// the flow** (§III): the same post-order traversal execution uses,
+    /// but creating schedule instances instead of running tools.
+    ///
+    /// Per activity, the proposed duration comes from
+    /// [`duration_estimate`](Hercules::duration_estimate) (measured
+    /// history first, then designer intuition, then the tool model).
+    /// Proposed dates come from CPM over the task tree's precedence
+    /// constraints, levelled against the design team (one designer per
+    /// activity, round-robin assignment). Planning starts at the
+    /// current project clock.
+    ///
+    /// Replanning the same target later creates *new versions* of each
+    /// schedule instance with provenance to the previous version —
+    /// Fig. 5's SC1/SC2.
+    ///
+    /// # Errors
+    ///
+    /// * [`HerculesError::UnknownTarget`] — `target` names nothing.
+    /// * [`HerculesError::Schedule`] — the network rejected the plan
+    ///   (cannot happen for trees extracted from a valid schema).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hercules::Hercules;
+    /// use schema::examples;
+    /// use simtools::{workload::Team, ToolLibrary};
+    ///
+    /// # fn main() -> Result<(), hercules::HerculesError> {
+    /// let mut h = Hercules::new(
+    ///     examples::circuit_design(),
+    ///     ToolLibrary::standard(),
+    ///     Team::of_size(1),
+    ///     1,
+    /// );
+    /// let plan = h.plan("performance")?;
+    /// // Create precedes Simulate in the proposal.
+    /// let create = plan.activity("Create").expect("planned");
+    /// let simulate = plan.activity("Simulate").expect("planned");
+    /// assert!(create.start.days() <= simulate.start.days());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn plan(&mut self, target: &str) -> Result<SchedulePlan, HerculesError> {
+        let tree = self.extract_task_tree(target)?;
+        // Build the precedence network with estimated durations.
+        let mut net = ScheduleNetwork::new();
+        let mut ids = HashMap::new();
+        for activity in tree.activities() {
+            let duration = self.duration_estimate(activity)?;
+            let id = net.add_activity(activity.clone(), duration)?;
+            ids.insert(activity.clone(), id);
+        }
+        for activity in tree.activities() {
+            for consumer in tree.consumers_of_output(activity) {
+                net.add_precedence(ids[activity.as_str()], ids[consumer])?;
+            }
+        }
+        // Assign designers round-robin in dependency order and level
+        // against the team: one designer works one activity at a time.
+        let mut pool = ResourcePool::new();
+        for designer in self.team.iter() {
+            pool.add(Resource::new(designer, 1));
+        }
+        let mut assignees = HashMap::new();
+        for (k, activity) in tree.activities().iter().enumerate() {
+            let designer = self.team.assignee(k).to_owned();
+            net.add_demand(ids[activity], designer.clone(), 1)?;
+            assignees.insert(activity.clone(), designer);
+        }
+        let cpm = net.analyze()?;
+        let leveled = level_resources(&net, &pool)?;
+
+        // Record the simulated execution: one planning session, one
+        // schedule instance per activity, in post-order.
+        let session = self.db.begin_planning(self.clock);
+        let offset = self.clock;
+        let mut activities = Vec::with_capacity(tree.len());
+        let mut project_finish = offset;
+        for activity in tree.activities() {
+            let id = ids[activity];
+            let start = offset + leveled.start(id);
+            let duration = net.duration(id);
+            let sc = self.db.plan_activity(session, activity, start, duration)?;
+            let assignee = assignees[activity].clone();
+            self.db.assign(sc, &assignee)?;
+            let finish = start + duration;
+            if finish.days() > project_finish.days() {
+                project_finish = finish;
+            }
+            activities.push(PlannedActivity {
+                activity: activity.clone(),
+                schedule: sc,
+                start,
+                duration,
+                assignee,
+                critical: cpm.is_critical(id),
+            });
+        }
+        Ok(SchedulePlan {
+            session,
+            target: target.to_owned(),
+            activities,
+            project_finish,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+    use simtools::{workload::Team, ToolLibrary};
+
+    fn manager(team: usize) -> Hercules {
+        Hercules::new(
+            examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(team),
+            7,
+        )
+    }
+
+    #[test]
+    fn plan_creates_schedule_instances_in_db() {
+        let mut h = manager(2);
+        let plan = h.plan("performance").unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.target(), "performance");
+        assert!(!plan.is_empty());
+        assert_eq!(h.db().schedule_container("Create").unwrap().len(), 1);
+        assert_eq!(h.db().schedule_container("Simulate").unwrap().len(), 1);
+        let session = h.db().planning_session(plan.session());
+        assert_eq!(session.instances().len(), 2);
+    }
+
+    #[test]
+    fn plan_respects_precedence() {
+        let mut h = manager(2);
+        let plan = h.plan("performance").unwrap();
+        let create = plan.activity("Create").unwrap();
+        let simulate = plan.activity("Simulate").unwrap();
+        assert!(
+            simulate.start.days() >= create.start.days() + create.duration.days() - 1e-9
+        );
+        assert!(plan.project_finish().days() >= simulate.start.days());
+    }
+
+    #[test]
+    fn chain_is_fully_critical() {
+        let mut h = manager(2);
+        let plan = h.plan("performance").unwrap();
+        assert!(plan.activities().iter().all(|a| a.critical));
+    }
+
+    #[test]
+    fn replan_creates_versions_with_provenance() {
+        let mut h = manager(2);
+        let p1 = h.plan("performance").unwrap();
+        let p2 = h.plan("performance").unwrap();
+        let sc1 = p1.activity("Create").unwrap().schedule;
+        let sc2 = p2.activity("Create").unwrap().schedule;
+        assert_ne!(sc1, sc2);
+        assert_eq!(h.db().schedule_instance(sc2).version(), 2);
+        assert_eq!(h.db().schedule_instance(sc2).derived_from(), Some(sc1));
+        assert_eq!(h.db().plan_evolution(sc2), vec![sc2, sc1]);
+    }
+
+    #[test]
+    fn plan_uses_intuition_estimates() {
+        let mut h = manager(2);
+        h.set_estimate("Create", WorkDays::new(4.0)).unwrap();
+        h.set_estimate("Simulate", WorkDays::new(2.0)).unwrap();
+        let plan = h.plan("performance").unwrap();
+        assert_eq!(plan.activity("Create").unwrap().duration, WorkDays::new(4.0));
+        assert_eq!(plan.project_finish(), WorkDays::new(6.0));
+    }
+
+    #[test]
+    fn plan_starts_at_clock() {
+        let mut h = manager(2);
+        h.set_estimate("Create", WorkDays::new(1.0)).unwrap();
+        h.set_estimate("Simulate", WorkDays::new(1.0)).unwrap();
+        h.advance_clock(WorkDays::new(10.0));
+        let plan = h.plan("performance").unwrap();
+        assert_eq!(plan.activity("Create").unwrap().start, WorkDays::new(10.0));
+        assert_eq!(plan.project_finish(), WorkDays::new(12.0));
+    }
+
+    #[test]
+    fn single_designer_serializes_independent_activities() {
+        // asic flow has parallel branches; with one designer the plan
+        // must not overlap any two activities.
+        let mut h = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(1),
+            3,
+        );
+        let plan = h.plan("signoff_report").unwrap();
+        let mut spans: Vec<(f64, f64)> = plan
+            .activities()
+            .iter()
+            .map(|a| (a.start.days(), a.start.days() + a.duration.days()))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(w[1].0 >= w[0].1 - 1e-9, "activities overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn larger_team_never_slower() {
+        let mut h1 = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(1),
+            3,
+        );
+        let mut h3 = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            3,
+        );
+        let p1 = h1.plan("signoff_report").unwrap();
+        let p3 = h3.plan("signoff_report").unwrap();
+        assert!(p3.project_finish().days() <= p1.project_finish().days() + 1e-9);
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let mut h = manager(1);
+        assert!(matches!(
+            h.plan("gds"),
+            Err(HerculesError::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn assignees_recorded_in_db() {
+        let mut h = manager(2);
+        let plan = h.plan("performance").unwrap();
+        for pa in plan.activities() {
+            let sc = h.db().schedule_instance(pa.schedule);
+            assert_eq!(sc.assignees(), std::slice::from_ref(&pa.assignee));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+use metadata::ScheduleInstanceId;
+use schedule::WorkDays;
+
+use crate::error::HerculesError;
+use crate::manager::Hercules;
+use crate::plan::SchedulePlan;
+
+/// The result of a replanning step: which schedule instances were
+/// created and the new proposed project finish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanOutcome {
+    /// New schedule instance versions, one per replanned activity.
+    pub replanned: Vec<(String, ScheduleInstanceId)>,
+    /// The updated proposed finish of the affected scope.
+    pub project_finish: WorkDays,
+    /// The slip (in days) that triggered the replan, if it was a slip
+    /// propagation.
+    pub slip_days: Option<f64>,
+}
+
+impl ReplanOutcome {
+    /// Number of schedule instances created.
+    pub fn len(&self) -> usize {
+        self.replanned.len()
+    }
+
+    /// Returns `true` if nothing needed replanning.
+    pub fn is_empty(&self) -> bool {
+        self.replanned.is_empty()
+    }
+}
+
+impl Hercules {
+    /// Full replan of `target`: a fresh planning pass (new schedule
+    /// instance versions for every activity in scope) using the latest
+    /// duration estimates — which now include any measured history, so
+    /// replanning after execution "uses previous schedule information
+    /// for planning future projects".
+    ///
+    /// Completed activities keep their (linked) plans; only open work
+    /// is reversioned.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`plan`](Hercules::plan).
+    pub fn replan(&mut self, target: &str) -> Result<ReplanOutcome, HerculesError> {
+        let tree = self.extract_task_tree(target)?;
+        let open: Vec<String> = tree
+            .activities()
+            .iter()
+            .filter(|a| {
+                !self
+                    .db
+                    .current_plan(a)
+                    .is_some_and(|p| p.is_complete())
+            })
+            .cloned()
+            .collect();
+        if open.is_empty() {
+            return Ok(ReplanOutcome {
+                replanned: Vec::new(),
+                project_finish: self.clock,
+                slip_days: None,
+            });
+        }
+        // Planning starts no earlier than the actual finishes of
+        // completed prerequisites, which `plan` handles via the clock:
+        // advance it to the latest completion in scope first.
+        let latest_done = tree
+            .activities()
+            .iter()
+            .filter_map(|a| self.db.actual_finish(a))
+            .fold(self.clock, WorkDays::max);
+        self.advance_clock(latest_done);
+        let plan: SchedulePlan = self.plan(target)?;
+        let replanned = plan
+            .activities()
+            .iter()
+            .filter(|pa| open.contains(&pa.activity))
+            .map(|pa| (pa.activity.clone(), pa.schedule))
+            .collect();
+        Ok(ReplanOutcome {
+            replanned,
+            project_finish: plan.project_finish(),
+            slip_days: None,
+        })
+    }
+
+    /// Incremental slip propagation — the paper's automatic update:
+    /// "if any slip in the schedule occurs, the schedule plan updates
+    /// automatically to reflect the new schedule" (§IV-C).
+    ///
+    /// Compares `activity`'s actual finish against its latest plan;
+    /// when late, creates shifted versions of every *incomplete*
+    /// downstream schedule instance (planned start += slip), leaving
+    /// durations and assignments intact. This touches only the
+    /// downstream cone, unlike [`replan`](Hercules::replan) which
+    /// reprices the whole scope.
+    ///
+    /// # Errors
+    ///
+    /// * [`HerculesError::UnknownActivity`] — `activity` not in the
+    ///   schema.
+    /// * [`HerculesError::NotPlanned`] — no plan to compare against.
+    pub fn propagate_slip(&mut self, activity: &str) -> Result<ReplanOutcome, HerculesError> {
+        if self.schema.rule(activity).is_none() {
+            return Err(HerculesError::UnknownActivity(activity.to_owned()));
+        }
+        let Some(slip) = self.db.finish_slip(activity) else {
+            // Either not planned or not complete yet.
+            if self.db.current_plan(activity).is_none() {
+                return Err(HerculesError::NotPlanned(activity.to_owned()));
+            }
+            return Ok(ReplanOutcome {
+                replanned: Vec::new(),
+                project_finish: self.clock,
+                slip_days: None,
+            });
+        };
+        if slip <= 1e-9 {
+            return Ok(ReplanOutcome {
+                replanned: Vec::new(),
+                project_finish: self.clock,
+                slip_days: Some(slip),
+            });
+        }
+        // Downstream cone: activities consuming this activity's output,
+        // transitively. Walk the schema rules.
+        let mut affected: Vec<String> = Vec::new();
+        let mut frontier = vec![activity.to_owned()];
+        while let Some(current) = frontier.pop() {
+            let output = self
+                .schema
+                .rule(&current)
+                .expect("walking schema rules")
+                .output()
+                .to_owned();
+            for rule in self.schema.rules() {
+                if rule.inputs().contains(&output)
+                    && !affected.iter().any(|a| a == rule.activity())
+                {
+                    affected.push(rule.activity().to_owned());
+                    frontier.push(rule.activity().to_owned());
+                }
+            }
+        }
+        let session = self.db.begin_planning(self.clock);
+        let mut replanned = Vec::new();
+        let mut project_finish = self.clock;
+        for name in &affected {
+            let Some(plan) = self.db.current_plan(name) else {
+                continue;
+            };
+            if plan.is_complete() {
+                continue;
+            }
+            let new_start = plan.planned_start() + WorkDays::new(slip);
+            let duration = plan.planned_duration();
+            let assignees = plan.assignees().to_vec();
+            let sc = self.db.plan_activity(session, name, new_start, duration)?;
+            for a in assignees {
+                self.db.assign(sc, &a)?;
+            }
+            let finish = new_start + duration;
+            if finish.days() > project_finish.days() {
+                project_finish = finish;
+            }
+            replanned.push((name.clone(), sc));
+        }
+        Ok(ReplanOutcome {
+            replanned,
+            project_finish,
+            slip_days: Some(slip),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+    use simtools::{workload::Team, ToolLibrary};
+
+    fn asic() -> Hercules {
+        Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            5,
+        )
+    }
+
+    #[test]
+    fn replan_after_partial_execution() {
+        let mut h = asic();
+        h.plan("signoff_report").unwrap();
+        // Execute only the front of the flow.
+        h.execute("netlist").unwrap();
+        let outcome = h.replan("signoff_report").unwrap();
+        // Open activities replanned; completed ones untouched.
+        assert!(!outcome.is_empty());
+        assert!(outcome.len() < 9);
+        let names: Vec<&str> = outcome.replanned.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(!names.contains(&"Synthesize") || h.db().current_plan("Synthesize").is_some());
+        assert!(!names.contains(&"WriteRtl"), "completed work reversioned");
+        // New versions have provenance.
+        for (_, sc) in &outcome.replanned {
+            assert!(h.db().schedule_instance(*sc).version() >= 2);
+        }
+    }
+
+    #[test]
+    fn replan_complete_project_is_noop() {
+        let mut h = asic();
+        h.plan("signoff_report").unwrap();
+        h.execute("signoff_report").unwrap();
+        let outcome = h.replan("signoff_report").unwrap();
+        assert!(outcome.is_empty());
+    }
+
+    #[test]
+    fn propagate_slip_shifts_downstream_only() {
+        let mut h = asic();
+        h.plan("signoff_report").unwrap();
+        // Execute WriteRtl's scope so it completes (probably late or
+        // early; find a seed where it slips).
+        let mut seed = 0;
+        let slipping = loop {
+            let mut candidate = Hercules::new(
+                examples::asic_flow(),
+                ToolLibrary::standard(),
+                Team::of_size(3),
+                seed,
+            );
+            candidate.plan("signoff_report").unwrap();
+            candidate.execute("rtl").unwrap();
+            if candidate.db().finish_slip("WriteRtl").is_some_and(|s| s > 0.0) {
+                break candidate;
+            }
+            seed += 1;
+            assert!(seed < 200, "no slipping seed found");
+        };
+        let mut h = slipping;
+        let before: Vec<(String, WorkDays)> = h
+            .db()
+            .activities()
+            .map(|a| (a.to_owned(), h.db().current_plan(a).unwrap().planned_start()))
+            .collect();
+        let outcome = h.propagate_slip("WriteRtl").unwrap();
+        let slip = outcome.slip_days.unwrap();
+        assert!(slip > 0.0);
+        // Downstream of rtl: VerifyRtl, Synthesize, Floorplan, ... all
+        // incomplete, so replanned with shifted starts.
+        assert!(!outcome.is_empty());
+        for (name, sc) in &outcome.replanned {
+            let new_start = h.db().schedule_instance(*sc).planned_start();
+            let old_start = before
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .unwrap();
+            assert!(
+                (new_start.days() - old_start.days() - slip).abs() < 1e-9,
+                "{name} shifted by {} expected {slip}",
+                new_start.days() - old_start.days()
+            );
+        }
+        // CaptureSpec is upstream: never replanned.
+        assert!(outcome.replanned.iter().all(|(n, _)| n != "CaptureSpec"));
+    }
+
+    #[test]
+    fn propagate_slip_requires_plan() {
+        let mut h = asic();
+        assert!(matches!(
+            h.propagate_slip("WriteRtl"),
+            Err(HerculesError::NotPlanned(_))
+        ));
+        assert!(matches!(
+            h.propagate_slip("Ghost"),
+            Err(HerculesError::UnknownActivity(_))
+        ));
+    }
+
+    #[test]
+    fn propagate_no_slip_is_noop() {
+        let mut h = asic();
+        h.plan("signoff_report").unwrap();
+        // Not complete yet → no slip information → no-op.
+        let outcome = h.propagate_slip("WriteRtl").unwrap();
+        assert!(outcome.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The consolidated project report — everything a weekly status
+//! meeting used to assemble by hand, generated from the database in
+//! one call: status rows, Gantt, earned value, designer workload, and
+//! the completion forecast.
+
+use std::fmt::Write as _;
+
+use schedule::gantt::GanttOptions;
+
+use crate::error::HerculesError;
+use crate::manager::Hercules;
+
+/// Options for [`Hercules::project_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOptions {
+    /// The target whose scope the forecast covers.
+    pub target: String,
+    /// Gantt rendering options.
+    pub gantt: GanttOptions,
+    /// Include the per-designer workload table.
+    pub workload: bool,
+    /// Include the SPI trajectory (this many samples; 0 disables).
+    pub spi_samples: usize,
+}
+
+impl ReportOptions {
+    /// Defaults: ASCII Gantt, workload on, 5 SPI samples.
+    pub fn for_target(target: impl Into<String>) -> Self {
+        ReportOptions {
+            target: target.into(),
+            gantt: GanttOptions {
+                ascii: true,
+                ..GanttOptions::default()
+            },
+            workload: true,
+            spi_samples: 5,
+        }
+    }
+}
+
+impl Hercules {
+    /// Renders the full project report as text.
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::UnknownTarget`] if the options name an unknown
+    /// target.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hercules::{report::ReportOptions, Hercules};
+    /// use schema::examples;
+    /// use simtools::{workload::Team, ToolLibrary};
+    ///
+    /// # fn main() -> Result<(), hercules::HerculesError> {
+    /// let mut h = Hercules::new(
+    ///     examples::circuit_design(),
+    ///     ToolLibrary::standard(),
+    ///     Team::of_size(2),
+    ///     42,
+    /// );
+    /// h.plan("performance")?;
+    /// h.execute("performance")?;
+    /// let report = h.project_report(&ReportOptions::for_target("performance"))?;
+    /// assert!(report.contains("forecast"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn project_report(&self, options: &ReportOptions) -> Result<String, HerculesError> {
+        let status = self.status();
+        let forecast = self.forecast(&options.target)?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "PROJECT REPORT — target {:?} at day {}",
+            options.target,
+            self.clock()
+        );
+        let _ = writeln!(
+            out,
+            "{} of {} activities complete, {} slipped",
+            status.complete_count(),
+            status.rows().len(),
+            status.slipped_count()
+        );
+        let _ = writeln!(
+            out,
+            "forecast: finish day {} ({} open, {} remaining){}",
+            forecast.finish,
+            forecast.open,
+            forecast.remaining(),
+            if forecast.critical.is_empty() {
+                String::new()
+            } else {
+                format!("; critical: {}", forecast.critical.join(" -> "))
+            }
+        );
+        let _ = writeln!(out, "\n{status}");
+        out.push_str(&status.gantt(&options.gantt));
+        let _ = writeln!(out, "\nearned value: {}", status.variance());
+        if options.spi_samples >= 2 {
+            let _ = writeln!(out, "SPI trajectory:");
+            for (t, v) in status.variance_series(options.spi_samples) {
+                let _ = writeln!(out, "  day {:>8}  SPI {:.2}", t.to_string(), v.spi);
+            }
+        }
+        if options.workload {
+            let workload = self.db().workload_by_designer();
+            if !workload.is_empty() {
+                let _ = writeln!(out, "\ndesigner workload (measured run time):");
+                for (designer, days) in workload {
+                    let _ = writeln!(out, "  {designer:<14} {days}");
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+    use simtools::{workload::Team, ToolLibrary};
+
+    fn manager() -> Hercules {
+        Hercules::new(
+            examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            42,
+        )
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        h.execute("performance").unwrap();
+        let text = h
+            .project_report(&ReportOptions::for_target("performance"))
+            .unwrap();
+        assert!(text.contains("PROJECT REPORT"));
+        assert!(text.contains("2 of 2 activities complete"));
+        assert!(text.contains("forecast: finish day"));
+        assert!(text.contains("earned value: PV"));
+        assert!(text.contains("SPI trajectory:"));
+        assert!(text.contains("designer workload"));
+        assert!(text.contains("Create"));
+    }
+
+    #[test]
+    fn sections_toggle_off() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        h.execute("performance").unwrap();
+        let mut options = ReportOptions::for_target("performance");
+        options.workload = false;
+        options.spi_samples = 0;
+        let text = h.project_report(&options).unwrap();
+        assert!(!text.contains("designer workload"));
+        assert!(!text.contains("SPI trajectory"));
+    }
+
+    #[test]
+    fn report_before_any_work() {
+        let h = manager();
+        let text = h
+            .project_report(&ReportOptions::for_target("performance"))
+            .unwrap();
+        assert!(text.contains("0 of 2 activities complete"));
+        // No runs yet: workload section omitted.
+        assert!(!text.contains("designer workload"));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let h = manager();
+        assert!(h.project_report(&ReportOptions::for_target("gds")).is_err());
+    }
+}

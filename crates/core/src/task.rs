@@ -1,0 +1,193 @@
+use std::collections::HashMap;
+
+use schema::{SchemaGraph, TaskSchema};
+
+use crate::error::HerculesError;
+
+/// A task tree extracted for a target: the activities in the target's
+/// input cone, in dependency (post-order) order, with their data
+/// wiring.
+///
+/// "A user prepares a task for execution by first extracting a task
+/// tree that covers the scope of the intended task" (§IV-A). The same
+/// tree serves both schedule planning and execution — that sharing is
+/// the point of the integrated system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskTree {
+    target: String,
+    /// Activities in dependency order (inputs before outputs).
+    activities: Vec<String>,
+    /// Per activity: the data classes it consumes.
+    inputs: HashMap<String, Vec<String>>,
+    /// Per activity: the data class it produces.
+    outputs: HashMap<String, String>,
+    /// Data classes with no producing activity — designer-supplied.
+    primary_inputs: Vec<String>,
+}
+
+impl TaskTree {
+    /// Extracts the tree covering `target` (a data class or activity
+    /// name) from the schema.
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::UnknownTarget`] if `target` names nothing.
+    pub fn extract(schema: &TaskSchema, target: &str) -> Result<Self, HerculesError> {
+        let graph = SchemaGraph::for_schema(schema);
+        let activities = graph.activities_for_target(target);
+        if activities.is_empty() {
+            return Err(HerculesError::UnknownTarget(target.to_owned()));
+        }
+        let mut inputs = HashMap::new();
+        let mut outputs = HashMap::new();
+        let mut primary = Vec::new();
+        for activity in &activities {
+            let rule = schema
+                .rule(activity)
+                .expect("activities come from the schema");
+            inputs.insert(activity.clone(), rule.inputs().to_vec());
+            outputs.insert(activity.clone(), rule.output().to_owned());
+            for input in rule.inputs() {
+                if schema.producer_of(input).is_none() && !primary.contains(input) {
+                    primary.push(input.clone());
+                }
+            }
+        }
+        Ok(TaskTree {
+            target: target.to_owned(),
+            activities,
+            inputs,
+            outputs,
+            primary_inputs: primary,
+        })
+    }
+
+    /// The target this tree was extracted for.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Activities in dependency order — the order the post-order
+    /// traversal visits them for both planning and execution.
+    pub fn activities(&self) -> &[String] {
+        &self.activities
+    }
+
+    /// Number of activities in scope.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Returns `true` if the tree is empty (never: extraction fails on
+    /// empty scopes).
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// Data classes `activity` consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is not in this tree.
+    pub fn inputs_of(&self, activity: &str) -> &[String] {
+        &self.inputs[activity]
+    }
+
+    /// The data class `activity` produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is not in this tree.
+    pub fn output_of(&self, activity: &str) -> &str {
+        &self.outputs[activity]
+    }
+
+    /// Whether `activity` is part of this tree.
+    pub fn contains(&self, activity: &str) -> bool {
+        self.inputs.contains_key(activity)
+    }
+
+    /// Designer-supplied data classes the tree needs (no producer in
+    /// the schema), e.g. the paper's `stimuli`.
+    pub fn primary_inputs(&self) -> &[String] {
+        &self.primary_inputs
+    }
+
+    /// The activities of this tree that `activity`'s output feeds,
+    /// directly.
+    pub fn consumers_of_output(&self, activity: &str) -> Vec<&str> {
+        let Some(output) = self.outputs.get(activity) else {
+            return Vec::new();
+        };
+        self.activities
+            .iter()
+            .filter(|a| self.inputs[*a].iter().any(|i| i == output))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+
+    #[test]
+    fn extract_full_circuit_tree() {
+        let schema = examples::circuit_design();
+        let tree = TaskTree::extract(&schema, "performance").unwrap();
+        assert_eq!(tree.target(), "performance");
+        assert_eq!(tree.activities(), ["Create", "Simulate"]);
+        assert_eq!(tree.inputs_of("Simulate"), ["netlist", "stimuli"]);
+        assert_eq!(tree.output_of("Create"), "netlist");
+        assert_eq!(tree.primary_inputs(), ["stimuli"]);
+        assert_eq!(tree.len(), 2);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn extract_partial_scope() {
+        let schema = examples::circuit_design();
+        let tree = TaskTree::extract(&schema, "netlist").unwrap();
+        assert_eq!(tree.activities(), ["Create"]);
+        assert!(tree.primary_inputs().is_empty());
+        assert!(!tree.contains("Simulate"));
+    }
+
+    #[test]
+    fn extract_by_activity_name() {
+        let schema = examples::asic_flow();
+        let tree = TaskTree::extract(&schema, "Synthesize").unwrap();
+        assert!(tree.contains("WriteRtl"));
+        assert!(tree.contains("CaptureSpec"));
+        assert!(!tree.contains("Route"));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let schema = examples::circuit_design();
+        assert!(matches!(
+            TaskTree::extract(&schema, "gds"),
+            Err(HerculesError::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn consumers_of_output() {
+        let schema = examples::asic_flow();
+        let tree = TaskTree::extract(&schema, "signoff_report").unwrap();
+        let consumers = tree.consumers_of_output("Synthesize");
+        assert_eq!(consumers, vec!["Floorplan"]);
+        assert!(tree.consumers_of_output("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn dependency_order_holds() {
+        let schema = examples::asic_flow();
+        let tree = TaskTree::extract(&schema, "signoff_report").unwrap();
+        let pos = |a: &str| tree.activities().iter().position(|x| x == a).unwrap();
+        assert!(pos("CaptureSpec") < pos("WriteRtl"));
+        assert!(pos("WriteRtl") < pos("Synthesize"));
+        assert!(pos("Route") < pos("Signoff"));
+    }
+}

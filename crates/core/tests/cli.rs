@@ -1,0 +1,231 @@
+//! Integration tests driving the `herc` binary end-to-end.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const SCHEMA: &str = "schema circuit;
+data netlist, stimuli, performance;
+tool netlist_editor, simulator;
+activity Create:   netlist = netlist_editor();
+activity Simulate: performance = simulator(netlist, stimuli);
+";
+
+fn schema_file() -> tempfile::TempPath {
+    let mut f = tempfile::Builder::new()
+        .suffix(".schema")
+        .tempfile()
+        .expect("create temp schema");
+    f.write_all(SCHEMA.as_bytes()).expect("write schema");
+    f.into_temp_path()
+}
+
+// A tiny tempfile shim so the test has no external dependency: module
+// implementing just what the tests need on top of std.
+mod tempfile {
+    use std::path::{Path, PathBuf};
+
+    pub struct Builder {
+        suffix: String,
+    }
+
+    pub struct NamedTemp {
+        file: std::fs::File,
+        path: PathBuf,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder {
+                suffix: String::new(),
+            }
+        }
+
+        pub fn suffix(mut self, s: &str) -> Self {
+            self.suffix = s.to_owned();
+            self
+        }
+
+        pub fn tempfile(self) -> std::io::Result<NamedTemp> {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos();
+            let path = std::env::temp_dir().join(format!(
+                "herc-test-{}-{nanos}{}",
+                std::process::id(),
+                self.suffix
+            ));
+            let file = std::fs::File::create(&path)?;
+            Ok(NamedTemp { file, path })
+        }
+    }
+
+    impl NamedTemp {
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl std::io::Write for NamedTemp {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.file.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.file.flush()
+        }
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+fn herc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_herc"))
+        .args(args)
+        .output()
+        .expect("spawn herc")
+}
+
+#[test]
+fn schema_command_prints_rules() {
+    let path = schema_file();
+    let out = herc(&["schema", path.to_str().expect("utf-8 path")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Simulate: performance = simulator(netlist, stimuli)"));
+    assert!(stdout.contains("activity order: Create -> Simulate"));
+    assert!(stdout.contains("primary inputs: stimuli"));
+}
+
+#[test]
+fn plan_command_shows_proposal() {
+    let path = schema_file();
+    let out = herc(&[
+        "plan",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--team",
+        "2",
+        "--estimate",
+        "Create=3",
+        "--estimate",
+        "Simulate=2",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("proposed finish: day 5d"), "{stdout}");
+}
+
+#[test]
+fn run_command_produces_gantt_and_status() {
+    let path = schema_file();
+    let out = herc(&[
+        "run",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("executed 2 activities"));
+    assert!(stdout.contains("[done]"));
+    assert!(stdout.contains("variance: PV"));
+}
+
+#[test]
+fn sweep_requires_deadline() {
+    let path = schema_file();
+    let out = herc(&["sweep", path.to_str().expect("utf-8 path"), "performance"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--deadline"));
+}
+
+#[test]
+fn sweep_reports_minimal_team() {
+    let path = schema_file();
+    let out = herc(&[
+        "sweep",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--deadline",
+        "100",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("minimal team meeting the deadline: 1"));
+}
+
+#[test]
+fn save_and_report_roundtrip() {
+    let path = schema_file();
+    let db_path = std::env::temp_dir().join(format!("herc-db-{}.txt", std::process::id()));
+    let db_str = db_path.to_str().expect("utf-8 path");
+    let out = herc(&[
+        "run",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--seed",
+        "7",
+        "--save",
+        db_str,
+    ]);
+    assert!(out.status.success());
+    assert!(db_path.exists());
+    // Report over the saved database, from a fresh process.
+    let out = herc(&[
+        "report",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--load",
+        db_str,
+    ]);
+    let _ = std::fs::remove_file(&db_path);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PROJECT REPORT"));
+    assert!(stdout.contains("2 of 2 activities complete"));
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = herc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = herc(&["frobnicate", "/nonexistent"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unreadable_file_fails_cleanly() {
+    let out = herc(&["schema", "/nonexistent/path.schema"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn parse_errors_surface_with_position() {
+    let mut f = tempfile::Builder::new()
+        .suffix(".schema")
+        .tempfile()
+        .expect("create temp schema");
+    f.write_all(b"data a;\ndata ;\n").expect("write");
+    let path = f.into_temp_path();
+    let out = herc(&["schema", path.to_str().expect("utf-8 path")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2:6"), "{stderr}");
+}

@@ -1,0 +1,369 @@
+use std::collections::HashSet;
+
+use crate::dag::{Dag, NodeId};
+use crate::error::GraphError;
+
+/// The longest weighted path through a DAG.
+///
+/// For schedule networks this is the *critical path*: the chain of
+/// activities whose total duration determines the project finish date.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongestPath {
+    /// Nodes along the path, in dependency order.
+    pub nodes: Vec<NodeId>,
+    /// Total weight (e.g. duration) accumulated along the path.
+    pub length: f64,
+}
+
+/// Shape statistics of a flow graph, useful for characterising workloads
+/// in benchmarks and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of primary inputs (in-degree 0).
+    pub sources: usize,
+    /// Number of final outputs (out-degree 0).
+    pub sinks: usize,
+    /// Length (in edges) of the longest chain.
+    pub depth: usize,
+    /// Maximum number of nodes sharing a level — the flow's width.
+    pub width: usize,
+}
+
+impl<N, E> Dag<N, E> {
+    /// Computes the *input cone* of `roots`: every node that some root
+    /// transitively depends on, including the roots themselves.
+    ///
+    /// In Hercules terms this is "extracting a task tree that covers the
+    /// scope of the intended task": to produce a target datum one must
+    /// run every activity in its input cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root is not a node of this graph.
+    pub fn input_cone(&self, roots: &[NodeId]) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &root in roots {
+            assert!(self.contains_node(root), "unknown root {root}");
+            if seen.insert(root) {
+                stack.push(root);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for p in self.predecessors(v) {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Computes the *output cone* of `roots`: every node that
+    /// transitively depends on some root, including the roots.
+    ///
+    /// This is the set of downstream activities a schedule slip
+    /// propagates to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root is not a node of this graph.
+    pub fn output_cone(&self, roots: &[NodeId]) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &root in roots {
+            assert!(self.contains_node(root), "unknown root {root}");
+            if seen.insert(root) {
+                stack.push(root);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for s in self.successors(v) {
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Assigns each node its *level*: the length in edges of the longest
+    /// path from any source to the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleDetected`] if the graph contains a
+    /// cycle.
+    pub fn levels(&self) -> Result<Vec<usize>, GraphError> {
+        let order = self.topological_order()?;
+        let mut level = vec![0usize; self.node_count()];
+        for &v in &order {
+            for s in self.successors(v) {
+                if level[v.index()] + 1 > level[s.index()] {
+                    level[s.index()] = level[v.index()] + 1;
+                }
+            }
+        }
+        Ok(level)
+    }
+
+    /// Finds the longest path through the DAG where each node
+    /// contributes `node_weight(node)` units of length.
+    ///
+    /// Returns `None` for an empty graph. With durations as weights this
+    /// is the project's critical path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleDetected`] if the graph contains a
+    /// cycle.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flowgraph::Dag;
+    ///
+    /// # fn main() -> Result<(), flowgraph::GraphError> {
+    /// let mut g = Dag::new();
+    /// let a = g.add_node(2.0);
+    /// let b = g.add_node(10.0);
+    /// let c = g.add_node(1.0);
+    /// g.add_edge(a, b, ())?;
+    /// g.add_edge(a, c, ())?;
+    /// let path = g.longest_path_by(|w| *w)?.expect("nonempty");
+    /// assert_eq!(path.nodes, vec![a, b]);
+    /// assert_eq!(path.length, 12.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn longest_path_by<F>(&self, mut weight: F) -> Result<Option<LongestPath>, GraphError>
+    where
+        F: FnMut(&N) -> f64,
+    {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let order = self.topological_order()?;
+        let mut dist = vec![f64::NEG_INFINITY; self.node_count()];
+        let mut pred: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        for &v in &order {
+            let w = weight(self.node_weight(v).expect("node exists"));
+            if dist[v.index()] == f64::NEG_INFINITY {
+                dist[v.index()] = w;
+            }
+            for s in self.successors(v) {
+                let sw = weight(self.node_weight(s).expect("node exists"));
+                let cand = dist[v.index()] + sw;
+                if cand > dist[s.index()] {
+                    dist[s.index()] = cand;
+                    pred[s.index()] = Some(v);
+                }
+            }
+        }
+        let end = self
+            .node_ids()
+            .max_by(|&x, &y| dist[x.index()].total_cmp(&dist[y.index()]))
+            .expect("nonempty graph");
+        let mut nodes = vec![end];
+        while let Some(p) = pred[nodes.last().expect("nonempty").index()] {
+            nodes.push(p);
+        }
+        nodes.reverse();
+        Ok(Some(LongestPath {
+            length: dist[end.index()],
+            nodes,
+        }))
+    }
+
+    /// Computes the transitive reduction: the set of edges `(u, v)` such
+    /// that no alternative path `u -> ... -> v` exists.
+    ///
+    /// Redundant dependencies are common when flows are assembled from
+    /// overlapping task trees; the reduction is what a Gantt chart's
+    /// dependency arrows should draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleDetected`] if the graph contains a
+    /// cycle.
+    pub fn transitive_reduction(&self) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+        let order = self.topological_order()?;
+        let mut rank = vec![0usize; self.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v.index()] = i;
+        }
+        let mut kept = Vec::new();
+        for v in self.node_ids() {
+            let mut succs: Vec<NodeId> = {
+                let set: HashSet<NodeId> = self.successors(v).collect();
+                set.into_iter().collect()
+            };
+            succs.sort_by_key(|s| rank[s.index()]);
+            // A direct edge v->s is redundant iff s is reachable from an
+            // earlier kept successor of v.
+            let mut reachable: HashSet<NodeId> = HashSet::new();
+            for s in succs {
+                if reachable.contains(&s) {
+                    continue;
+                }
+                kept.push((v, s));
+                // Add everything reachable from s.
+                let mut stack = vec![s];
+                while let Some(x) = stack.pop() {
+                    if reachable.insert(x) {
+                        stack.extend(self.successors(x));
+                    }
+                }
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Summarises the graph's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleDetected`] if the graph contains a
+    /// cycle.
+    pub fn stats(&self) -> Result<GraphStats, GraphError> {
+        let levels = self.levels()?;
+        let depth = levels.iter().copied().max().unwrap_or(0);
+        let mut per_level = vec![0usize; depth + 1];
+        for &l in &levels {
+            per_level[l] += 1;
+        }
+        Ok(GraphStats {
+            nodes: self.node_count(),
+            edges: self.edge_count(),
+            sources: self.sources().len(),
+            sinks: self.sinks().len(),
+            depth,
+            width: per_level.iter().copied().max().unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<f64, ()>, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(5.0);
+        let c = g.add_node(2.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        g.add_edge(b, d, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn input_cone_of_sink_is_everything() {
+        let (g, [a, b, c, d]) = diamond();
+        let cone = g.input_cone(&[d]);
+        assert_eq!(cone, [a, b, c, d].into_iter().collect());
+    }
+
+    #[test]
+    fn input_cone_of_middle() {
+        let (g, [a, b, ..]) = diamond();
+        assert_eq!(g.input_cone(&[b]), [a, b].into_iter().collect());
+    }
+
+    #[test]
+    fn output_cone_mirrors_input_cone() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.output_cone(&[a]), [a, b, c, d].into_iter().collect());
+        assert_eq!(g.output_cone(&[c]), [c, d].into_iter().collect());
+        assert_eq!(g.output_cone(&[d]), [d].into_iter().collect());
+    }
+
+    #[test]
+    fn levels_longest_from_source() {
+        let (mut g, [a, _b, _c, d]) = diamond();
+        // Add a longer side path a -> x -> y -> d.
+        let x = g.add_node(0.0);
+        let y = g.add_node(0.0);
+        g.add_edge(a, x, ()).unwrap();
+        g.add_edge(x, y, ()).unwrap();
+        g.add_edge(y, d, ()).unwrap();
+        let levels = g.levels().unwrap();
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[d.index()], 3);
+    }
+
+    #[test]
+    fn longest_path_picks_heavier_branch() {
+        let (g, [a, b, _c, d]) = diamond();
+        let path = g.longest_path_by(|w| *w).unwrap().unwrap();
+        assert_eq!(path.nodes, vec![a, b, d]);
+        assert_eq!(path.length, 7.0);
+    }
+
+    #[test]
+    fn longest_path_empty_graph() {
+        let g: Dag<f64, ()> = Dag::new();
+        assert!(g.longest_path_by(|w| *w).unwrap().is_none());
+    }
+
+    #[test]
+    fn longest_path_single_node() {
+        let mut g: Dag<f64, ()> = Dag::new();
+        let a = g.add_node(3.5);
+        let p = g.longest_path_by(|w| *w).unwrap().unwrap();
+        assert_eq!(p.nodes, vec![a]);
+        assert_eq!(p.length, 3.5);
+    }
+
+    #[test]
+    fn transitive_reduction_drops_shortcut() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap(); // redundant shortcut
+        let kept = g.transitive_reduction().unwrap();
+        assert!(kept.contains(&(a, b)));
+        assert!(kept.contains(&(b, c)));
+        assert!(!kept.contains(&(a, c)));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let kept = g.transitive_reduction().unwrap();
+        assert_eq!(kept.len(), 4);
+        assert!(kept.contains(&(a, b)));
+        assert!(kept.contains(&(c, d)));
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn stats_shape() {
+        let (g, _) = diamond();
+        let s = g.stats().unwrap();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.width, 2);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let g: Dag<(), ()> = Dag::new();
+        let s = g.stats().unwrap();
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.width, 0);
+    }
+}

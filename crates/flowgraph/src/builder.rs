@@ -1,0 +1,240 @@
+//! Ergonomic construction of flow graphs from string keys.
+//!
+//! Flow models are usually written down by name ("simulate depends on
+//! netlist and stimuli"), not by node id. [`DagBuilder`] maps names to
+//! ids on first use and lets callers declare edges directly between
+//! names.
+//!
+//! ```
+//! use flowgraph::builder::DagBuilder;
+//!
+//! # fn main() -> Result<(), flowgraph::GraphError> {
+//! let mut b = DagBuilder::new();
+//! b.edge("netlist", "simulate")?;
+//! b.edge("stimuli", "simulate")?;
+//! let (dag, names) = b.finish();
+//! assert_eq!(dag.node_count(), 3);
+//! assert_eq!(dag.node_weight(names["simulate"]), Some(&"simulate".to_string()));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::dag::{Dag, NodeId};
+use crate::error::GraphError;
+
+/// Builds a [`Dag`] keyed by string names.
+///
+/// Node weights are the names themselves; edge weights are `()`. Use the
+/// returned name map to translate back to ids after
+/// [`finish`](DagBuilder::finish).
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder {
+    dag: Dag<String, ()>,
+    names: HashMap<String, NodeId>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, inserting a fresh node on first use.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = self.dag.add_node(name.to_owned());
+        self.names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declares the dependency `from -> to`, creating nodes as needed.
+    /// Duplicate declarations are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::WouldCycle`] if the edge would close a
+    /// cycle, or [`GraphError::SelfLoop`] for `from == to`.
+    pub fn edge(&mut self, from: &str, to: &str) -> Result<(), GraphError> {
+        let f = self.node(from);
+        let t = self.node(to);
+        if self.dag.has_edge(f, t) {
+            return Ok(());
+        }
+        self.dag.add_edge(f, t, ())?;
+        Ok(())
+    }
+
+    /// Declares a chain of dependencies `names[0] -> names[1] -> ...`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error from [`edge`](DagBuilder::edge).
+    pub fn chain(&mut self, names: &[&str]) -> Result<(), GraphError> {
+        for w in names.windows(2) {
+            self.edge(w[0], w[1])?;
+        }
+        Ok(())
+    }
+
+    /// Number of nodes declared so far.
+    pub fn node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Consumes the builder, returning the graph and the name → id map.
+    pub fn finish(self) -> (Dag<String, ()>, HashMap<String, NodeId>) {
+        (self.dag, self.names)
+    }
+}
+
+/// Generators for synthetic flow graphs used by benchmarks and tests.
+pub mod generate {
+    use super::*;
+
+    /// A linear pipeline of `n` stages: `s0 -> s1 -> ... -> s{n-1}`.
+    pub fn pipeline(n: usize) -> Dag<String, ()> {
+        let mut b = DagBuilder::new();
+        for i in 0..n {
+            b.node(&format!("s{i}"));
+        }
+        for i in 1..n {
+            b.edge(&format!("s{}", i - 1), &format!("s{i}"))
+                .expect("pipeline edges are acyclic");
+        }
+        b.finish().0
+    }
+
+    /// A layered flow with `layers` layers of `width` nodes each; every
+    /// node depends on `fanin` nodes of the previous layer (wrapping).
+    ///
+    /// This approximates the shape of real design flows: broad parallel
+    /// activities (per-block synthesis, per-corner simulation) with
+    /// converging integration steps.
+    pub fn layered(layers: usize, width: usize, fanin: usize) -> Dag<String, ()> {
+        let mut b = DagBuilder::new();
+        for l in 0..layers {
+            for w in 0..width {
+                b.node(&format!("l{l}w{w}"));
+            }
+        }
+        for l in 1..layers {
+            for w in 0..width {
+                for k in 0..fanin.min(width) {
+                    let src = format!("l{}w{}", l - 1, (w + k) % width);
+                    let dst = format!("l{l}w{w}");
+                    b.edge(&src, &dst).expect("layered edges are acyclic");
+                }
+            }
+        }
+        b.finish().0
+    }
+
+    /// A binary in-tree of the given `depth`: leaves feed pairwise into
+    /// parents until a single root. Mirrors hierarchical assembly flows.
+    pub fn reduction_tree(depth: usize) -> Dag<String, ()> {
+        let mut b = DagBuilder::new();
+        // Level 0 = leaves (2^depth), level `depth` = root.
+        for level in 0..=depth {
+            let count = 1usize << (depth - level);
+            for i in 0..count {
+                b.node(&format!("t{level}_{i}"));
+            }
+        }
+        for level in 1..=depth {
+            let count = 1usize << (depth - level);
+            for i in 0..count {
+                for c in 0..2 {
+                    b.edge(
+                        &format!("t{}_{}", level - 1, 2 * i + c),
+                        &format!("t{level}_{i}"),
+                    )
+                    .expect("tree edges are acyclic");
+                }
+            }
+        }
+        b.finish().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use super::*;
+
+    #[test]
+    fn node_is_idempotent() {
+        let mut b = DagBuilder::new();
+        let a1 = b.node("a");
+        let a2 = b.node("a");
+        assert_eq!(a1, a2);
+        assert_eq!(b.node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut b = DagBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("a", "b").unwrap();
+        let (dag, _) = b.finish();
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn chain_builds_pipeline() {
+        let mut b = DagBuilder::new();
+        b.chain(&["a", "b", "c", "d"]).unwrap();
+        let (dag, names) = b.finish();
+        assert_eq!(dag.edge_count(), 3);
+        assert!(dag.reaches(names["a"], names["d"]));
+    }
+
+    #[test]
+    fn builder_rejects_cycle() {
+        let mut b = DagBuilder::new();
+        b.chain(&["a", "b", "c"]).unwrap();
+        assert!(b.edge("c", "a").is_err());
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let g = generate::pipeline(10);
+        let s = g.stats().unwrap();
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.edges, 9);
+        assert_eq!(s.depth, 9);
+        assert_eq!(s.width, 1);
+    }
+
+    #[test]
+    fn layered_shape() {
+        let g = generate::layered(4, 5, 2);
+        let s = g.stats().unwrap();
+        assert_eq!(s.nodes, 20);
+        assert_eq!(s.sources, 5);
+        assert_eq!(s.sinks, 5);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 5);
+    }
+
+    #[test]
+    fn reduction_tree_shape() {
+        let g = generate::reduction_tree(3);
+        let s = g.stats().unwrap();
+        assert_eq!(s.nodes, 8 + 4 + 2 + 1);
+        assert_eq!(s.sources, 8);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn pipeline_zero_and_one() {
+        assert_eq!(generate::pipeline(0).node_count(), 0);
+        let g = generate::pipeline(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,539 @@
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// Stable identifier of a node within a [`Dag`].
+///
+/// Ids are dense indices assigned in insertion order and remain valid
+/// for the lifetime of the graph (nodes are never removed; flow models
+/// grow monotonically, and retirement is expressed at the metadata
+/// layer, not by graph surgery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// Mostly useful in tests; ids obtained from
+    /// [`Dag::add_node`] are always valid for their graph.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Stable identifier of an edge within a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeSlot<N> {
+    weight: N,
+    outgoing: Vec<EdgeId>,
+    incoming: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeSlot<E> {
+    weight: E,
+    from: NodeId,
+    to: NodeId,
+}
+
+/// A borrowed view of a node: its id and weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef<'a, N> {
+    /// Id of the node.
+    pub id: NodeId,
+    /// Weight stored on the node.
+    pub weight: &'a N,
+}
+
+/// A borrowed view of an edge: its id, endpoints, and weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'a, E> {
+    /// Id of the edge.
+    pub id: EdgeId,
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Weight stored on the edge.
+    pub weight: &'a E,
+}
+
+/// A directed graph that is acyclic by construction.
+///
+/// `Dag<N, E>` stores a weight of type `N` on every node and `E` on
+/// every edge. [`add_edge`](Dag::add_edge) performs an incremental cycle
+/// check and rejects any edge that would make the target reach the
+/// source, so every value of this type is guaranteed to be a DAG.
+///
+/// This is the Level-2 backbone of a flow management system: nodes model
+/// activities and data slots, edges model the dependencies between them.
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::Dag;
+///
+/// # fn main() -> Result<(), flowgraph::GraphError> {
+/// let mut g: Dag<&str, ()> = Dag::new();
+/// let a = g.add_node("edit");
+/// let b = g.add_node("simulate");
+/// g.add_edge(a, b, ())?;
+/// assert!(g.add_edge(b, a, ()).is_err()); // would cycle
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dag<N, E> {
+    nodes: Vec<NodeSlot<N>>,
+    edges: Vec<EdgeSlot<E>>,
+}
+
+// Manual impl so `Dag<N, E>: Default` holds without requiring
+// `N: Default` / `E: Default` (the derive would add those bounds).
+impl<N, E> Default for Dag<N, E> {
+    fn default() -> Self {
+        Dag::new()
+    }
+}
+
+impl<N, E> Dag<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dag {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Dag {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node carrying `weight` and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            weight,
+            outgoing: Vec::new(),
+            incoming: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds the directed edge `from -> to` carrying `weight`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if either endpoint is not a node of
+    ///   this graph.
+    /// * [`GraphError::SelfLoop`] if `from == to`.
+    /// * [`GraphError::WouldCycle`] if `to` can already reach `from`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: E) -> Result<EdgeId, GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if self.reaches(to, from) {
+            return Err(GraphError::WouldCycle { from, to });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeSlot { weight, from, to });
+        self.nodes[from.index()].outgoing.push(id);
+        self.nodes[to.index()].incoming.push(id);
+        Ok(id)
+    }
+
+    /// Returns `true` if an edge `from -> to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.nodes
+            .get(from.index())
+            .map(|slot| {
+                slot.outgoing
+                    .iter()
+                    .any(|&e| self.edges[e.index()].to == to)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Returns a reference to the weight of `node`, if it exists.
+    pub fn node_weight(&self, node: NodeId) -> Option<&N> {
+        self.nodes.get(node.index()).map(|slot| &slot.weight)
+    }
+
+    /// Returns a mutable reference to the weight of `node`, if it exists.
+    pub fn node_weight_mut(&mut self, node: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(node.index()).map(|slot| &mut slot.weight)
+    }
+
+    /// Returns a reference to the weight of `edge`, if it exists.
+    pub fn edge_weight(&self, edge: EdgeId) -> Option<&E> {
+        self.edges.get(edge.index()).map(|slot| &slot.weight)
+    }
+
+    /// Returns the `(from, to)` endpoints of `edge`, if it exists.
+    pub fn edge_endpoints(&self, edge: EdgeId) -> Option<(NodeId, NodeId)> {
+        self.edges.get(edge.index()).map(|slot| (slot.from, slot.to))
+    }
+
+    /// Returns `true` if `node` belongs to this graph.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.nodes.len()
+    }
+
+    /// Iterates over all nodes in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_, N>> + '_ {
+        self.nodes.iter().enumerate().map(|(i, slot)| NodeRef {
+            id: NodeId(i as u32),
+            weight: &slot.weight,
+        })
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.edges.iter().enumerate().map(|(i, slot)| EdgeRef {
+            id: EdgeId(i as u32),
+            from: slot.from,
+            to: slot.to,
+            weight: &slot.weight,
+        })
+    }
+
+    /// Iterates over the direct successors of `node` (edge targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.index()]
+            .outgoing
+            .iter()
+            .map(move |&e| self.edges[e.index()].to)
+    }
+
+    /// Iterates over the direct predecessors of `node` (edge sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.index()]
+            .incoming
+            .iter()
+            .map(move |&e| self.edges[e.index()].from)
+    }
+
+    /// Iterates over outgoing edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    pub fn outgoing_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.nodes[node.index()].outgoing.iter().map(move |&e| {
+            let slot = &self.edges[e.index()];
+            EdgeRef {
+                id: e,
+                from: slot.from,
+                to: slot.to,
+                weight: &slot.weight,
+            }
+        })
+    }
+
+    /// Iterates over incoming edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    pub fn incoming_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.nodes[node.index()].incoming.iter().map(move |&e| {
+            let slot = &self.edges[e.index()];
+            EdgeRef {
+                id: e,
+                from: slot.from,
+                to: slot.to,
+                weight: &slot.weight,
+            }
+        })
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].outgoing.len()
+    }
+
+    /// In-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].incoming.len()
+    }
+
+    /// Nodes with no incoming edges — the flow's primary inputs.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Nodes with no outgoing edges — the flow's final outputs.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+    }
+
+    /// Returns `true` if `to` is reachable from `from` (including
+    /// `from == to`).
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        if !self.contains_node(from) || !self.contains_node(to) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(v) = stack.pop() {
+            for succ in self.successors(v) {
+                if succ == to {
+                    return true;
+                }
+                if !seen[succ.index()] {
+                    seen[succ.index()] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        false
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if self.contains_node(node) {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode(node))
+        }
+    }
+}
+
+impl<N: fmt::Display, E> fmt::Display for Dag<N, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dag {{ {} nodes, {} edges }}", self.node_count(), self.edge_count())?;
+        for edge in self.edges() {
+            writeln!(
+                f,
+                "  {} -> {}",
+                self.nodes[edge.from.index()].weight,
+                self.nodes[edge.to.index()].weight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<&'static str, u32>, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 2).unwrap();
+        g.add_edge(b, d, 3).unwrap();
+        g.add_edge(c, d, 4).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Dag<(), ()> = Dag::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.sources().is_empty());
+        assert!(g.sinks().is_empty());
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.node_weight(a), Some(&"a"));
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        let _ = c;
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        assert_eq!(g.add_edge(a, a, ()), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let ghost = NodeId::from_index(7);
+        assert_eq!(g.add_edge(a, ghost, ()), Err(GraphError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn rejects_cycle_two_nodes() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        assert_eq!(g.add_edge(b, a, ()), Err(GraphError::WouldCycle { from: b, to: a }));
+    }
+
+    #[test]
+    fn rejects_cycle_long_path() {
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..10).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        assert!(g.add_edge(ids[9], ids[0], ()).is_err());
+        // Forward shortcuts remain fine.
+        assert!(g.add_edge(ids[0], ids[9], ()).is_ok());
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        // Two construction rules may connect the same pair (e.g. a tool
+        // consuming the same datum through two ports).
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, "port1").unwrap();
+        g.add_edge(a, b, "port2").unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.successors(a).count(), 2);
+    }
+
+    #[test]
+    fn reaches_is_reflexive_and_transitive() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert!(g.reaches(a, a));
+        assert!(g.reaches(a, d));
+        assert!(g.reaches(b, d));
+        assert!(!g.reaches(d, a));
+        assert!(!g.reaches(b, _c));
+    }
+
+    #[test]
+    fn neighbors_and_edge_views() {
+        let (g, [a, b, c, d]) = diamond();
+        let succ: Vec<_> = g.successors(a).collect();
+        assert_eq!(succ, vec![b, c]);
+        let pred: Vec<_> = g.predecessors(d).collect();
+        assert_eq!(pred, vec![b, c]);
+        let out: Vec<_> = g.outgoing_edges(a).map(|e| *e.weight).collect();
+        assert_eq!(out, vec![1, 2]);
+        let inc: Vec<_> = g.incoming_edges(d).map(|e| *e.weight).collect();
+        assert_eq!(inc, vec![3, 4]);
+    }
+
+    #[test]
+    fn edge_endpoints_roundtrip() {
+        let (g, [a, b, ..]) = diamond();
+        let e = g.edges().next().unwrap();
+        assert_eq!(g.edge_endpoints(e.id), Some((a, b)));
+        assert_eq!(g.edge_weight(e.id), Some(&1));
+        assert_eq!(g.edge_endpoints(EdgeId::from_index(99)), None);
+    }
+
+    #[test]
+    fn node_weight_mut_updates() {
+        let mut g = Dag::<u32, ()>::new();
+        let a = g.add_node(1);
+        *g.node_weight_mut(a).unwrap() = 5;
+        assert_eq!(g.node_weight(a), Some(&5));
+        assert!(g.node_weight(NodeId::from_index(3)).is_none());
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let (g, _) = diamond();
+        let s = g.to_string();
+        assert!(s.contains("4 nodes"));
+        assert!(s.contains("a -> b"));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(EdgeId::from_index(4).to_string(), "e4");
+    }
+}

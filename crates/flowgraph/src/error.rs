@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::dag::NodeId;
+
+/// Errors produced by graph construction and analysis.
+///
+/// Flow models must be acyclic: Hercules plans a schedule by walking a
+/// task tree "from primary inputs to outputs", which is only well-defined
+/// on a DAG. [`Dag::add_edge`](crate::Dag::add_edge) therefore rejects
+/// edges that would close a cycle instead of deferring the failure to
+/// traversal time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Adding the edge `from -> to` would create a cycle.
+    WouldCycle {
+        /// Source of the rejected edge.
+        from: NodeId,
+        /// Target of the rejected edge.
+        to: NodeId,
+    },
+    /// A node id did not refer to a node of this graph.
+    UnknownNode(NodeId),
+    /// A self-loop `v -> v` was requested.
+    SelfLoop(NodeId),
+    /// A cycle was detected during an analysis that requires a DAG.
+    ///
+    /// This can only occur on graphs built through unchecked paths
+    /// (e.g. deserialized externally); graphs built through
+    /// [`Dag::add_edge`](crate::Dag::add_edge) are acyclic by
+    /// construction.
+    CycleDetected {
+        /// A node known to participate in the cycle.
+        on: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop on node {id} is not allowed"),
+            GraphError::CycleDetected { on } => {
+                write!(f, "cycle detected through node {on}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = GraphError::WouldCycle {
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(1),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("edge"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the graph substrate.
+
+use std::collections::{HashMap, HashSet};
+
+use flowgraph::builder::generate;
+use flowgraph::{Dag, NodeId};
+use proptest::prelude::*;
+
+/// Build a random DAG by only ever adding edges from a lower-indexed
+/// node to a higher-indexed one, which is acyclic by construction and
+/// therefore must never be rejected.
+fn arb_dag() -> impl Strategy<Value = Dag<u32, ()>> {
+    (2usize..40, proptest::collection::vec((any::<u16>(), any::<u16>()), 0..120)).prop_map(
+        |(n, pairs)| {
+            let mut g = Dag::new();
+            let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i as u32)).collect();
+            for (a, b) in pairs {
+                let i = (a as usize) % n;
+                let j = (b as usize) % n;
+                if i < j {
+                    g.add_edge(ids[i], ids[j], ())
+                        .expect("forward edges never cycle");
+                }
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn topological_order_is_consistent(g in arb_dag()) {
+        let order = g.topological_order().expect("constructed acyclic");
+        prop_assert_eq!(order.len(), g.node_count());
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for e in g.edges() {
+            prop_assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    #[test]
+    fn post_order_respects_dependencies(g in arb_dag()) {
+        let sinks = g.sinks();
+        let order = g.post_order(&sinks);
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        // Every visited node's predecessors are visited, and earlier.
+        for &v in &order {
+            for p in g.predecessors(v) {
+                prop_assert!(pos.contains_key(&p));
+                prop_assert!(pos[&p] < pos[&v]);
+            }
+        }
+        // From all sinks, the whole graph is covered.
+        prop_assert_eq!(order.len(), g.node_count());
+    }
+
+    #[test]
+    fn cones_are_duals(g in arb_dag()) {
+        for v in g.node_ids() {
+            let input = g.input_cone(&[v]);
+            for &u in &input {
+                // If u is in v's input cone, v is in u's output cone.
+                prop_assert!(g.output_cone(&[u]).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_matches_cone(g in arb_dag()) {
+        for v in g.node_ids().take(10) {
+            let out = g.output_cone(&[v]);
+            for u in g.node_ids() {
+                prop_assert_eq!(g.reaches(v, u), out.contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability(g in arb_dag()) {
+        let kept = g.transitive_reduction().expect("acyclic");
+        let mut reduced: Dag<u32, ()> = Dag::new();
+        let ids: Vec<NodeId> = g.node_ids().map(|v| {
+            reduced.add_node(*g.node_weight(v).expect("exists"))
+        }).collect();
+        for (f, t) in &kept {
+            reduced
+                .add_edge(ids[f.index()], ids[t.index()], ())
+                .expect("reduction of a DAG is a DAG");
+        }
+        for v in g.node_ids().take(10) {
+            let orig: HashSet<usize> =
+                g.output_cone(&[v]).into_iter().map(|n| n.index()).collect();
+            let red: HashSet<usize> = reduced
+                .output_cone(&[ids[v.index()]])
+                .into_iter()
+                .map(|n| n.index())
+                .collect();
+            prop_assert_eq!(&orig, &red);
+        }
+        prop_assert!(kept.len() <= g.edge_count());
+    }
+
+    #[test]
+    fn longest_path_is_maximal_chain(g in arb_dag()) {
+        if let Some(path) = g.longest_path_by(|&w| w as f64 + 1.0).expect("acyclic") {
+            // The path is a real chain.
+            for w in path.nodes.windows(2) {
+                prop_assert!(g.reaches(w[0], w[1]));
+            }
+            // Its length equals the sum of its node weights.
+            let sum: f64 = path
+                .nodes
+                .iter()
+                .map(|&v| *g.node_weight(v).expect("exists") as f64 + 1.0)
+                .sum();
+            prop_assert!((sum - path.length).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn levels_are_edge_monotonic(g in arb_dag()) {
+        let levels = g.levels().expect("acyclic");
+        for e in g.edges() {
+            prop_assert!(levels[e.from.index()] < levels[e.to.index()]);
+        }
+    }
+}
+
+#[test]
+fn generators_are_acyclic_and_connected_enough() {
+    for g in [
+        generate::pipeline(50),
+        generate::layered(6, 8, 3),
+        generate::reduction_tree(5),
+    ] {
+        g.topological_order().expect("generator output is a DAG");
+        assert!(g.edge_count() > 0);
+    }
+}

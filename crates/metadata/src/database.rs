@@ -1,0 +1,771 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use schedule::WorkDays;
+use schema::TaskSchema;
+
+use crate::error::MetadataError;
+use crate::ids::{
+    DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId,
+};
+use crate::objects::{DataObject, EntityInstance, PlanningSession, Run, ScheduleInstance};
+
+/// The Hercules-style metadata database: entity containers (execution
+/// space), schedule containers (schedule space), runs, planning
+/// sessions, Level-4 data objects, and the links between the spaces.
+///
+/// "The Hercules task database is initialized from the schema by
+/// generating a series of containers that will hold the entity
+/// instances created during flow execution. ... As the task entities
+/// are parsed into the database, schedule containers are created from
+/// the functions associated with each construction rule" (§IV-A).
+///
+/// All mutation is through methods that preserve referential integrity;
+/// ids handed out by one database must not be used with another (they
+/// are dense indices, so misuse is caught only when out of range).
+#[derive(Debug, Clone, Default)]
+pub struct MetadataDb {
+    /// Per entity class: instance ids in creation order.
+    entity_containers: BTreeMap<String, Vec<EntityInstanceId>>,
+    /// Per activity: schedule instance ids in creation order.
+    schedule_containers: BTreeMap<String, Vec<ScheduleInstanceId>>,
+    /// Per activity: its declared output class (for link validation).
+    activity_outputs: BTreeMap<String, String>,
+    entities: Vec<EntityInstance>,
+    schedules: Vec<ScheduleInstance>,
+    runs: Vec<Run>,
+    sessions: Vec<PlanningSession>,
+    data: Vec<DataObject>,
+}
+
+impl MetadataDb {
+    /// Creates an empty database with no containers. Most callers want
+    /// [`MetadataDb::for_schema`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initialises containers from a validated Level-1 schema: one
+    /// entity container per class, one schedule container per activity.
+    pub fn for_schema(schema: &TaskSchema) -> Self {
+        let mut db = MetadataDb::new();
+        for class in schema.classes() {
+            db.entity_containers
+                .insert(class.name().to_owned(), Vec::new());
+        }
+        for rule in schema.rules() {
+            db.schedule_containers
+                .insert(rule.activity().to_owned(), Vec::new());
+            db.activity_outputs
+                .insert(rule.activity().to_owned(), rule.output().to_owned());
+        }
+        db
+    }
+
+    // ------------------------------------------------------------------
+    // Containers
+    // ------------------------------------------------------------------
+
+    /// Instance ids in the container for `class`, oldest first; `None`
+    /// if the class has no container.
+    pub fn entity_container(&self, class: &str) -> Option<&[EntityInstanceId]> {
+        self.entity_containers.get(class).map(Vec::as_slice)
+    }
+
+    /// Schedule instance ids in the container for `activity`, oldest
+    /// first; `None` if the activity has no container.
+    pub fn schedule_container(&self, activity: &str) -> Option<&[ScheduleInstanceId]> {
+        self.schedule_containers.get(activity).map(Vec::as_slice)
+    }
+
+    /// All entity-class container names, sorted.
+    pub fn entity_classes(&self) -> impl Iterator<Item = &str> + '_ {
+        self.entity_containers.keys().map(String::as_str)
+    }
+
+    /// All activity container names, sorted.
+    pub fn activities(&self) -> impl Iterator<Item = &str> + '_ {
+        self.schedule_containers.keys().map(String::as_str)
+    }
+
+    /// The output class an activity produces, per the schema.
+    pub fn output_class_of(&self, activity: &str) -> Option<&str> {
+        self.activity_outputs.get(activity).map(String::as_str)
+    }
+
+    /// Declares an entity container without a schema (used by the dump
+    /// loader and by callers assembling databases by hand). Idempotent.
+    pub fn declare_entity_container(&mut self, class: &str) {
+        self.entity_containers.entry(class.to_owned()).or_default();
+    }
+
+    /// Declares a schedule container and its activity's output class.
+    /// Idempotent.
+    pub fn declare_schedule_container(&mut self, activity: &str, output_class: &str) {
+        self.schedule_containers
+            .entry(activity.to_owned())
+            .or_default();
+        self.activity_outputs
+            .insert(activity.to_owned(), output_class.to_owned());
+    }
+
+    /// Number of Level-4 data objects stored.
+    pub fn data_count(&self) -> usize {
+        self.data.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Level 4: design data
+    // ------------------------------------------------------------------
+
+    /// Stores a Level-4 data object and returns its id.
+    pub fn store_data(&mut self, name: impl Into<String>, content: Vec<u8>) -> DataObjectId {
+        let id = DataObjectId(self.data.len() as u32);
+        self.data.push(DataObject::new(id, name.into(), content));
+        id
+    }
+
+    /// The data object behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this database.
+    pub fn data_object(&self, id: DataObjectId) -> &DataObject {
+        &self.data[id.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Execution space
+    // ------------------------------------------------------------------
+
+    /// Starts a run of `activity` by `operator` at `started_at`.
+    ///
+    /// The iteration number is one more than the number of existing
+    /// runs of the activity.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownActivity`] if the activity has no
+    /// container.
+    pub fn begin_run(
+        &mut self,
+        activity: &str,
+        operator: &str,
+        started_at: WorkDays,
+    ) -> Result<RunId, MetadataError> {
+        if !self.schedule_containers.contains_key(activity) {
+            return Err(MetadataError::UnknownActivity(activity.to_owned()));
+        }
+        let iteration = self
+            .runs
+            .iter()
+            .filter(|r| r.activity() == activity)
+            .count() as u32
+            + 1;
+        let id = RunId(self.runs.len() as u32);
+        self.runs.push(Run::new(
+            id,
+            activity.to_owned(),
+            operator.to_owned(),
+            iteration,
+            started_at,
+        ));
+        Ok(id)
+    }
+
+    /// Finishes a run: creates the output [`EntityInstance`] in
+    /// `output_class`'s container, linked to `data` and depending on
+    /// `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MetadataError::UnknownId`] — foreign run or input id.
+    /// * [`MetadataError::RunAlreadyFinished`] — double finish.
+    /// * [`MetadataError::UnknownClass`] — no container for the class.
+    /// * [`MetadataError::WrongOutputClass`] — the class is not what
+    ///   the activity produces.
+    /// * [`MetadataError::InvalidTimestamps`] — finish before start.
+    pub fn finish_run(
+        &mut self,
+        run: RunId,
+        output_class: &str,
+        data: DataObjectId,
+        finished_at: WorkDays,
+        inputs: &[EntityInstanceId],
+    ) -> Result<EntityInstanceId, MetadataError> {
+        let run_ref = self
+            .runs
+            .get(run.index())
+            .ok_or_else(|| MetadataError::UnknownId(run.to_string()))?;
+        if run_ref.finished_at().is_some() {
+            return Err(MetadataError::RunAlreadyFinished(run));
+        }
+        if !self.entity_containers.contains_key(output_class) {
+            return Err(MetadataError::UnknownClass(output_class.to_owned()));
+        }
+        let expected = self
+            .activity_outputs
+            .get(run_ref.activity())
+            .cloned()
+            .unwrap_or_else(|| output_class.to_owned());
+        if expected != output_class {
+            return Err(MetadataError::WrongOutputClass {
+                run,
+                expected,
+                found: output_class.to_owned(),
+            });
+        }
+        if finished_at.days() < run_ref.started_at().days() {
+            return Err(MetadataError::InvalidTimestamps {
+                started: run_ref.started_at().days(),
+                finished: finished_at.days(),
+            });
+        }
+        for input in inputs {
+            if input.index() >= self.entities.len() {
+                return Err(MetadataError::UnknownId(input.to_string()));
+            }
+        }
+        let operator = run_ref.operator().to_owned();
+        let id = self.insert_entity(
+            output_class,
+            finished_at,
+            operator,
+            Some(run),
+            inputs.to_vec(),
+            data,
+        );
+        self.runs[run.index()].finish(finished_at, id);
+        Ok(id)
+    }
+
+    /// Records a designer-supplied instance (a primary input such as
+    /// the paper's `stimuli`) with no producing run.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownClass`] if the class has no container.
+    pub fn supply_input(
+        &mut self,
+        class: &str,
+        creator: &str,
+        created_at: WorkDays,
+        data: DataObjectId,
+    ) -> Result<EntityInstanceId, MetadataError> {
+        if !self.entity_containers.contains_key(class) {
+            return Err(MetadataError::UnknownClass(class.to_owned()));
+        }
+        Ok(self.insert_entity(
+            class,
+            created_at,
+            creator.to_owned(),
+            None,
+            Vec::new(),
+            data,
+        ))
+    }
+
+    fn insert_entity(
+        &mut self,
+        class: &str,
+        created_at: WorkDays,
+        creator: String,
+        produced_by: Option<RunId>,
+        depends_on: Vec<EntityInstanceId>,
+        data: DataObjectId,
+    ) -> EntityInstanceId {
+        let container = self
+            .entity_containers
+            .get_mut(class)
+            .expect("caller checked the container exists");
+        let version = container.len() as u32 + 1;
+        let id = EntityInstanceId(self.entities.len() as u32);
+        self.entities.push(EntityInstance::new(
+            id,
+            class.to_owned(),
+            version,
+            created_at,
+            creator,
+            produced_by,
+            depends_on,
+            data,
+        ));
+        container.push(id);
+        id
+    }
+
+    /// Restores a run's finish timestamp without creating an output
+    /// instance — dump-loader plumbing: the entity record that follows
+    /// re-attaches the output via [`restore_entity`](Self::restore_entity).
+    pub(crate) fn restore_run_finish(&mut self, run: RunId, finished_at: WorkDays) {
+        // A placeholder output id; the matching `restore_entity` call
+        // overwrites it with the real instance.
+        let placeholder = EntityInstanceId(u32::MAX);
+        self.runs[run.index()].finish(finished_at, placeholder);
+    }
+
+    /// Restores an entity instance with explicit provenance — the dump
+    /// loader's counterpart of [`finish_run`](Self::finish_run) /
+    /// [`supply_input`](Self::supply_input).
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownClass`] / [`MetadataError::UnknownId`]
+    /// when references do not resolve.
+    pub(crate) fn restore_entity(
+        &mut self,
+        class: &str,
+        created_at: WorkDays,
+        creator: &str,
+        produced_by: Option<RunId>,
+        depends_on: Vec<EntityInstanceId>,
+        data: DataObjectId,
+    ) -> Result<EntityInstanceId, MetadataError> {
+        if !self.entity_containers.contains_key(class) {
+            return Err(MetadataError::UnknownClass(class.to_owned()));
+        }
+        if let Some(run) = produced_by {
+            if run.index() >= self.runs.len() {
+                return Err(MetadataError::UnknownId(run.to_string()));
+            }
+        }
+        for dep in &depends_on {
+            if dep.index() >= self.entities.len() {
+                return Err(MetadataError::UnknownId(dep.to_string()));
+            }
+        }
+        if data.index() >= self.data.len() {
+            return Err(MetadataError::UnknownId(data.to_string()));
+        }
+        let id = self.insert_entity(
+            class,
+            created_at,
+            creator.to_owned(),
+            produced_by,
+            depends_on,
+            data,
+        );
+        if let Some(run) = produced_by {
+            // Re-point the run's output at the restored instance.
+            let finished = self.runs[run.index()]
+                .finished_at()
+                .unwrap_or(created_at);
+            self.runs[run.index()].finish(finished, id);
+        }
+        Ok(id)
+    }
+
+    /// The entity instance behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this database.
+    pub fn entity_instance(&self, id: EntityInstanceId) -> &EntityInstance {
+        &self.entities[id.index()]
+    }
+
+    /// The run behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this database.
+    pub fn run(&self, id: RunId) -> &Run {
+        &self.runs[id.index()]
+    }
+
+    /// All runs, oldest first.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Runs of one activity, oldest first.
+    pub fn runs_of(&self, activity: &str) -> Vec<&Run> {
+        self.runs.iter().filter(|r| r.activity() == activity).collect()
+    }
+
+    /// Number of entity instances across all containers.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Schedule space
+    // ------------------------------------------------------------------
+
+    /// Opens a planning session (the schedule-space analog of a run).
+    pub fn begin_planning(&mut self, at: WorkDays) -> PlanningSessionId {
+        let id = PlanningSessionId(self.sessions.len() as u32);
+        self.sessions.push(PlanningSession::new(id, at));
+        id
+    }
+
+    /// Creates a schedule instance for `activity` inside `session`.
+    ///
+    /// The new instance's version is one more than the container's
+    /// count, and it records the previous latest instance (if any) as
+    /// its provenance (`derived_from`) — replanning never mutates old
+    /// plans, it versions them (Fig. 5's SC1/SC2).
+    ///
+    /// # Errors
+    ///
+    /// * [`MetadataError::UnknownActivity`] — no container.
+    /// * [`MetadataError::UnknownId`] — foreign session id.
+    pub fn plan_activity(
+        &mut self,
+        session: PlanningSessionId,
+        activity: &str,
+        planned_start: WorkDays,
+        planned_duration: WorkDays,
+    ) -> Result<ScheduleInstanceId, MetadataError> {
+        if session.index() >= self.sessions.len() {
+            return Err(MetadataError::UnknownId(session.to_string()));
+        }
+        let container = self
+            .schedule_containers
+            .get_mut(activity)
+            .ok_or_else(|| MetadataError::UnknownActivity(activity.to_owned()))?;
+        let version = container.len() as u32 + 1;
+        let derived_from = container.last().copied();
+        let id = ScheduleInstanceId(self.schedules.len() as u32);
+        self.schedules.push(ScheduleInstance::new(
+            id,
+            activity.to_owned(),
+            version,
+            session,
+            planned_start,
+            planned_duration,
+            derived_from,
+        ));
+        container.push(id);
+        self.sessions[session.index()].push(id);
+        Ok(id)
+    }
+
+    /// Assigns a designer to a planned activity.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownId`] for a foreign id.
+    pub fn assign(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        designer: &str,
+    ) -> Result<(), MetadataError> {
+        let sc = self
+            .schedules
+            .get_mut(schedule.index())
+            .ok_or_else(|| MetadataError::UnknownId(schedule.to_string()))?;
+        sc.assign(designer.to_owned());
+        Ok(())
+    }
+
+    /// The schedule instance behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this database.
+    pub fn schedule_instance(&self, id: ScheduleInstanceId) -> &ScheduleInstance {
+        &self.schedules[id.index()]
+    }
+
+    /// The planning session behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this database.
+    pub fn planning_session(&self, id: PlanningSessionId) -> &PlanningSession {
+        &self.sessions[id.index()]
+    }
+
+    /// All planning sessions, oldest first.
+    pub fn planning_sessions(&self) -> &[PlanningSession] {
+        &self.sessions
+    }
+
+    /// The latest schedule instance for `activity`, if any.
+    pub fn current_plan(&self, activity: &str) -> Option<&ScheduleInstance> {
+        self.schedule_containers
+            .get(activity)?
+            .last()
+            .map(|&id| self.schedule_instance(id))
+    }
+
+    /// Number of schedule instances across all containers.
+    pub fn schedule_count(&self) -> usize {
+        self.schedules.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Links between the spaces
+    // ------------------------------------------------------------------
+
+    /// Links a schedule instance to the entity instance the designer
+    /// declares to be the activity's final result — "this link is
+    /// created when the designer determines that the execution of an
+    /// activity is completed" (§III).
+    ///
+    /// # Errors
+    ///
+    /// * [`MetadataError::UnknownId`] — foreign ids.
+    /// * [`MetadataError::AlreadyLinked`] — the plan already has a
+    ///   final result.
+    /// * [`MetadataError::MismatchedLink`] — the instance's class is
+    ///   not the activity's output class, or it was produced by a
+    ///   different activity's run.
+    pub fn link_completion(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        entity: EntityInstanceId,
+    ) -> Result<(), MetadataError> {
+        if schedule.index() >= self.schedules.len() {
+            return Err(MetadataError::UnknownId(schedule.to_string()));
+        }
+        if entity.index() >= self.entities.len() {
+            return Err(MetadataError::UnknownId(entity.to_string()));
+        }
+        if self.schedules[schedule.index()].linked_entity().is_some() {
+            return Err(MetadataError::AlreadyLinked(schedule));
+        }
+        let activity = self.schedules[schedule.index()].activity().to_owned();
+        let inst = &self.entities[entity.index()];
+        let class_ok = self
+            .activity_outputs
+            .get(&activity)
+            .is_none_or(|out| out == inst.class());
+        let producer_ok = match inst.produced_by() {
+            Some(run) => self.runs[run.index()].activity() == activity,
+            None => false,
+        };
+        if !(class_ok && producer_ok) {
+            return Err(MetadataError::MismatchedLink { schedule, entity });
+        }
+        self.schedules[schedule.index()].set_link(entity);
+        Ok(())
+    }
+
+    /// Actual start of `activity`: the start of its first run. "Once a
+    /// data instance for the particular task is created, the actual
+    /// start date for the task is set" (§IV-C).
+    pub fn actual_start(&self, activity: &str) -> Option<WorkDays> {
+        self.runs
+            .iter()
+            .filter(|r| r.activity() == activity)
+            .map(Run::started_at)
+            .min_by(|a, b| a.days().total_cmp(&b.days()))
+    }
+
+    /// Actual finish of `activity`: the creation time of the entity
+    /// instance linked from its *latest* schedule instance. `None`
+    /// until the designer links completion.
+    pub fn actual_finish(&self, activity: &str) -> Option<WorkDays> {
+        let sc = self.current_plan(activity)?;
+        let entity = sc.linked_entity()?;
+        Some(self.entity_instance(entity).created_at())
+    }
+}
+
+impl fmt::Display for MetadataDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "metadata db: {} entity instances, {} schedule instances, {} runs, {} sessions, {} data objects",
+            self.entities.len(),
+            self.schedules.len(),
+            self.runs.len(),
+            self.sessions.len(),
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+
+    fn db() -> MetadataDb {
+        MetadataDb::for_schema(&examples::circuit_design())
+    }
+
+    #[test]
+    fn containers_created_from_schema() {
+        let db = db();
+        assert_eq!(db.entity_classes().count(), 5);
+        assert_eq!(db.activities().collect::<Vec<_>>(), vec!["Create", "Simulate"]);
+        assert_eq!(db.output_class_of("Create"), Some("netlist"));
+        assert!(db.entity_container("netlist").unwrap().is_empty());
+        assert!(db.schedule_container("Simulate").unwrap().is_empty());
+        assert!(db.entity_container("nonsense").is_none());
+    }
+
+    #[test]
+    fn run_produces_versioned_instances() {
+        let mut db = db();
+        let d1 = db.store_data("v1.net", b"a".to_vec());
+        let d2 = db.store_data("v2.net", b"bb".to_vec());
+        let r1 = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e1 = db.finish_run(r1, "netlist", d1, WorkDays::new(1.0), &[]).unwrap();
+        let r2 = db.begin_run("Create", "alice", WorkDays::new(1.0)).unwrap();
+        let e2 = db.finish_run(r2, "netlist", d2, WorkDays::new(2.0), &[]).unwrap();
+        assert_eq!(db.entity_instance(e1).version(), 1);
+        assert_eq!(db.entity_instance(e2).version(), 2);
+        assert_eq!(db.run(r2).iteration(), 2);
+        assert_eq!(db.entity_container("netlist").unwrap().len(), 2);
+        assert_eq!(db.entity_count(), 2);
+        assert_eq!(db.data_object(d2).size(), 2);
+    }
+
+    #[test]
+    fn finish_run_validates() {
+        let mut db = db();
+        let data = db.store_data("x", vec![]);
+        let run = db.begin_run("Create", "alice", WorkDays::new(1.0)).unwrap();
+        // Wrong class for the activity.
+        assert!(matches!(
+            db.finish_run(run, "performance", data, WorkDays::new(2.0), &[]),
+            Err(MetadataError::WrongOutputClass { .. })
+        ));
+        // Time travel.
+        assert!(matches!(
+            db.finish_run(run, "netlist", data, WorkDays::ZERO, &[]),
+            Err(MetadataError::InvalidTimestamps { .. })
+        ));
+        // Unknown input instance.
+        assert!(matches!(
+            db.finish_run(run, "netlist", data, WorkDays::new(2.0), &[EntityInstanceId(9)]),
+            Err(MetadataError::UnknownId(_))
+        ));
+        // Happy path then double finish.
+        db.finish_run(run, "netlist", data, WorkDays::new(2.0), &[]).unwrap();
+        assert!(matches!(
+            db.finish_run(run, "netlist", data, WorkDays::new(3.0), &[]),
+            Err(MetadataError::RunAlreadyFinished(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_activity_rejected() {
+        let mut db = db();
+        assert!(matches!(
+            db.begin_run("Fabricate", "alice", WorkDays::ZERO),
+            Err(MetadataError::UnknownActivity(_))
+        ));
+    }
+
+    #[test]
+    fn supply_input_has_no_run() {
+        let mut db = db();
+        let data = db.store_data("vectors.stim", b"0101".to_vec());
+        let e = db.supply_input("stimuli", "bob", WorkDays::ZERO, data).unwrap();
+        assert_eq!(db.entity_instance(e).produced_by(), None);
+        assert!(db.supply_input("ghost", "bob", WorkDays::ZERO, data).is_err());
+    }
+
+    #[test]
+    fn planning_creates_versions_with_provenance() {
+        let mut db = db();
+        let s1 = db.begin_planning(WorkDays::ZERO);
+        let sc1 = db.plan_activity(s1, "Create", WorkDays::ZERO, WorkDays::new(2.0)).unwrap();
+        let s2 = db.begin_planning(WorkDays::new(3.0));
+        let sc2 = db.plan_activity(s2, "Create", WorkDays::new(1.0), WorkDays::new(2.0)).unwrap();
+        assert_eq!(db.schedule_instance(sc1).version(), 1);
+        assert_eq!(db.schedule_instance(sc2).version(), 2);
+        assert_eq!(db.schedule_instance(sc2).derived_from(), Some(sc1));
+        assert_eq!(db.current_plan("Create").unwrap().id(), sc2);
+        assert_eq!(db.planning_session(s2).instances(), [sc2]);
+        assert_eq!(db.schedule_count(), 2);
+        assert_eq!(db.planning_sessions().len(), 2);
+    }
+
+    #[test]
+    fn plan_unknown_activity_or_session() {
+        let mut db = db();
+        let s = db.begin_planning(WorkDays::ZERO);
+        assert!(db.plan_activity(s, "ghost", WorkDays::ZERO, WorkDays::ZERO).is_err());
+        assert!(db
+            .plan_activity(PlanningSessionId(9), "Create", WorkDays::ZERO, WorkDays::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn assignment() {
+        let mut db = db();
+        let s = db.begin_planning(WorkDays::ZERO);
+        let sc = db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0)).unwrap();
+        db.assign(sc, "carol").unwrap();
+        assert_eq!(db.schedule_instance(sc).assignees(), ["carol"]);
+        assert!(db.assign(ScheduleInstanceId(5), "x").is_err());
+    }
+
+    #[test]
+    fn completion_link_happy_path() {
+        let mut db = db();
+        let s = db.begin_planning(WorkDays::ZERO);
+        let sc = db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0)).unwrap();
+        let data = db.store_data("x.net", vec![]);
+        let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        db.link_completion(sc, e).unwrap();
+        assert!(db.schedule_instance(sc).is_complete());
+        assert_eq!(db.actual_start("Create"), Some(WorkDays::ZERO));
+        assert_eq!(db.actual_finish("Create"), Some(WorkDays::new(1.0)));
+    }
+
+    #[test]
+    fn completion_link_rejects_wrong_activity() {
+        let mut db = db();
+        let s = db.begin_planning(WorkDays::ZERO);
+        let sc_sim = db
+            .plan_activity(s, "Simulate", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap();
+        let data = db.store_data("x.net", vec![]);
+        let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        // e is a netlist from Create; cannot complete Simulate with it.
+        assert!(matches!(
+            db.link_completion(sc_sim, e),
+            Err(MetadataError::MismatchedLink { .. })
+        ));
+    }
+
+    #[test]
+    fn completion_link_rejects_primary_input_and_double_link() {
+        let mut db = db();
+        let s = db.begin_planning(WorkDays::ZERO);
+        let sc = db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0)).unwrap();
+        let data = db.store_data("x", vec![]);
+        // A supplied input has no producing run — not a valid result.
+        let supplied = db.supply_input("netlist", "bob", WorkDays::ZERO, data).unwrap();
+        assert!(matches!(
+            db.link_completion(sc, supplied),
+            Err(MetadataError::MismatchedLink { .. })
+        ));
+        let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        db.link_completion(sc, e).unwrap();
+        assert!(matches!(
+            db.link_completion(sc, e),
+            Err(MetadataError::AlreadyLinked(_))
+        ));
+    }
+
+    #[test]
+    fn actuals_absent_until_linked() {
+        let mut db = db();
+        assert_eq!(db.actual_start("Create"), None);
+        let s = db.begin_planning(WorkDays::ZERO);
+        db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0)).unwrap();
+        let data = db.store_data("x", vec![]);
+        let run = db.begin_run("Create", "alice", WorkDays::new(0.5)).unwrap();
+        db.finish_run(run, "netlist", data, WorkDays::new(1.5), &[]).unwrap();
+        assert_eq!(db.actual_start("Create"), Some(WorkDays::new(0.5)));
+        // Finished a run, but the designer has not declared completion.
+        assert_eq!(db.actual_finish("Create"), None);
+    }
+
+    #[test]
+    fn display_summarises_counts() {
+        let db = db();
+        assert!(db.to_string().contains("0 entity instances"));
+    }
+}

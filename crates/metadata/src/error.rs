@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{EntityInstanceId, RunId, ScheduleInstanceId};
+
+/// Errors produced by metadata-database operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MetadataError {
+    /// The named activity has no schedule container (not in the schema
+    /// this database was initialised from).
+    UnknownActivity(String),
+    /// The named entity class has no container.
+    UnknownClass(String),
+    /// An id did not refer to an object of this database.
+    UnknownId(String),
+    /// `finish_run` was called with an output class that the run's
+    /// activity does not produce.
+    WrongOutputClass {
+        /// The run being finished.
+        run: RunId,
+        /// The activity's declared output class.
+        expected: String,
+        /// The class actually supplied.
+        found: String,
+    },
+    /// The run was already finished.
+    RunAlreadyFinished(RunId),
+    /// A completion link's endpoints disagree: the entity instance was
+    /// not produced by the schedule instance's activity.
+    MismatchedLink {
+        /// The schedule instance being linked.
+        schedule: ScheduleInstanceId,
+        /// The entity instance offered as the final result.
+        entity: EntityInstanceId,
+    },
+    /// The schedule instance is already linked to a final result.
+    AlreadyLinked(ScheduleInstanceId),
+    /// A run finished before it started, or another impossible
+    /// timestamp ordering.
+    InvalidTimestamps {
+        /// Start offset in days.
+        started: f64,
+        /// Finish offset in days.
+        finished: f64,
+    },
+}
+
+impl fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataError::UnknownActivity(name) => {
+                write!(f, "no schedule container for activity {name:?}")
+            }
+            MetadataError::UnknownClass(name) => {
+                write!(f, "no entity container for class {name:?}")
+            }
+            MetadataError::UnknownId(id) => write!(f, "unknown id {id}"),
+            MetadataError::WrongOutputClass {
+                run,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{run} must produce {expected:?} but was given {found:?}"
+            ),
+            MetadataError::RunAlreadyFinished(run) => {
+                write!(f, "{run} was already finished")
+            }
+            MetadataError::MismatchedLink { schedule, entity } => write!(
+                f,
+                "cannot link {schedule} to {entity}: the instance was not produced by that activity"
+            ),
+            MetadataError::AlreadyLinked(schedule) => {
+                write!(f, "{schedule} is already linked to a final result")
+            }
+            MetadataError::InvalidTimestamps { started, finished } => {
+                write!(f, "finish time {finished} precedes start time {started}")
+            }
+        }
+    }
+}
+
+impl Error for MetadataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = MetadataError::WrongOutputClass {
+            run: RunId(2),
+            expected: "netlist".into(),
+            found: "layout".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("run2") && s.contains("netlist") && s.contains("layout"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetadataError>();
+    }
+}

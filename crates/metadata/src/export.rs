@@ -1,0 +1,455 @@
+//! Persistence: a line-oriented text dump of the metadata database and
+//! its loader.
+//!
+//! The original Hercules persisted its task database in the Odyssey
+//! framework's object store; this module provides the equivalent so a
+//! project survives process restarts. The format is deliberately plain
+//! (one object per line, hex-encoded payloads) so diffs of two database
+//! states are human-readable — handy for the Fig. 5–7 style snapshots.
+//!
+//! ```text
+//! metadata-db v1
+//! container entity <class>
+//! container schedule <activity> <output-class>
+//! data <name-hex> <content-hex>
+//! session <millidays>
+//! run <activity> <operator> <iteration> <started> [<finished>]
+//! entity <class> <created> <creator> [run <idx>] deps <i,j,...> data <idx>
+//! sched <activity> <session> <start> <duration> assignees <a,b> [link <idx>]
+//! ```
+//!
+//! Objects are dumped in allocation order, so indices in the file are
+//! exactly the dense ids, and loading re-allocates identical ids.
+
+use std::fmt::Write as _;
+
+use schedule::WorkDays;
+
+use crate::database::MetadataDb;
+use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId};
+
+/// Errors produced while loading a database dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// The header line was missing or had the wrong version.
+    BadHeader,
+    /// A line could not be parsed; carries the 1-based line number and
+    /// a description.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The dump was internally inconsistent (e.g. a link to an object
+    /// that does not exist).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadHeader => write!(f, "missing or unsupported dump header"),
+            LoadError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+            LoadError::Inconsistent(m) => write!(f, "inconsistent dump: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    if out.is_empty() {
+        out.push('-'); // explicit empty marker keeps the line format fixed
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex payload".to_owned());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn fmt_days(t: WorkDays) -> String {
+    format!("{}", (t.days() * 1000.0).round() as i64)
+}
+
+fn parse_days(s: &str) -> Result<WorkDays, String> {
+    let md: i64 = s.parse().map_err(|e| format!("bad timestamp: {e}"))?;
+    WorkDays::try_new(md as f64 / 1000.0).map_err(|e| e.to_string())
+}
+
+impl MetadataDb {
+    /// Serialises the whole database to the dump format.
+    pub fn dump(&self) -> String {
+        let mut out = String::from("metadata-db v1\n");
+        for class in self.entity_classes() {
+            let _ = writeln!(out, "container entity {class}");
+        }
+        for activity in self.activities() {
+            let output = self.output_class_of(activity).unwrap_or("-");
+            let _ = writeln!(out, "container schedule {activity} {output}");
+        }
+        for idx in 0..self.data_count() {
+            let d = self.data_object(DataObjectId(idx as u32));
+            let _ = writeln!(
+                out,
+                "data {} {}",
+                hex_encode(d.name().as_bytes()),
+                hex_encode(d.content())
+            );
+        }
+        for session in self.planning_sessions() {
+            let _ = writeln!(out, "session {}", fmt_days(session.created_at()));
+        }
+        for run in self.runs() {
+            let _ = write!(
+                out,
+                "run {} {} {} {}",
+                run.activity(),
+                run.operator(),
+                run.iteration(),
+                fmt_days(run.started_at())
+            );
+            if let Some(f) = run.finished_at() {
+                let _ = write!(out, " {}", fmt_days(f));
+            }
+            out.push('\n');
+        }
+        for idx in 0..self.entity_count() {
+            let e = self.entity_instance(EntityInstanceId(idx as u32));
+            let _ = write!(
+                out,
+                "entity {} {} {}",
+                e.class(),
+                fmt_days(e.created_at()),
+                e.creator()
+            );
+            if let Some(run) = e.produced_by() {
+                let _ = write!(out, " run {}", run.index());
+            }
+            let deps: Vec<String> = e.depends_on().iter().map(|d| d.index().to_string()).collect();
+            let _ = write!(
+                out,
+                " deps {} data {}",
+                if deps.is_empty() { "-".to_owned() } else { deps.join(",") },
+                e.data().index()
+            );
+            out.push('\n');
+        }
+        for idx in 0..self.schedule_count() {
+            let sc = self.schedule_instance(crate::ids::ScheduleInstanceId(idx as u32));
+            let assignees = if sc.assignees().is_empty() {
+                "-".to_owned()
+            } else {
+                sc.assignees().join(",")
+            };
+            let _ = write!(
+                out,
+                "sched {} {} {} {} assignees {}",
+                sc.activity(),
+                sc.session().index(),
+                fmt_days(sc.planned_start()),
+                fmt_days(sc.planned_duration()),
+                assignees
+            );
+            if let Some(link) = sc.linked_entity() {
+                let _ = write!(out, " link {}", link.index());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Loads a database from a dump produced by
+    /// [`dump`](MetadataDb::dump).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] on malformed or inconsistent input. Loading a dump
+    /// of database `A` always yields a database whose own dump equals
+    /// `A`'s (round-trip property, tested).
+    pub fn load(text: &str) -> Result<MetadataDb, LoadError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "metadata-db v1")) => {}
+            _ => return Err(LoadError::BadHeader),
+        }
+        let mut db = MetadataDb::new();
+        let bad = |line: usize, message: &str| LoadError::BadLine {
+            line: line + 1,
+            message: message.to_owned(),
+        };
+        for (lineno, line) in lines {
+            let mut fields = line.split_whitespace();
+            let Some(kind) = fields.next() else {
+                continue; // blank line
+            };
+            let rest: Vec<&str> = fields.collect();
+            match kind {
+                "container" => match rest.as_slice() {
+                    ["entity", class] => db.declare_entity_container(class),
+                    ["schedule", activity, output] => {
+                        db.declare_schedule_container(activity, output)
+                    }
+                    _ => return Err(bad(lineno, "malformed container line")),
+                },
+                "data" => {
+                    let [name, content] = rest.as_slice() else {
+                        return Err(bad(lineno, "malformed data line"));
+                    };
+                    let name = String::from_utf8(
+                        hex_decode(name).map_err(|m| bad(lineno, &m))?,
+                    )
+                    .map_err(|_| bad(lineno, "data name is not UTF-8"))?;
+                    let content = hex_decode(content).map_err(|m| bad(lineno, &m))?;
+                    db.store_data(name, content);
+                }
+                "session" => {
+                    let [at] = rest.as_slice() else {
+                        return Err(bad(lineno, "malformed session line"));
+                    };
+                    db.begin_planning(parse_days(at).map_err(|m| bad(lineno, &m))?);
+                }
+                "run" => {
+                    let (activity, operator, started, finished) = match rest.as_slice() {
+                        [a, o, _iter, s] => (a, o, s, None),
+                        [a, o, _iter, s, f] => (a, o, s, Some(*f)),
+                        _ => return Err(bad(lineno, "malformed run line")),
+                    };
+                    let started = parse_days(started).map_err(|m| bad(lineno, &m))?;
+                    let run = db
+                        .begin_run(activity, operator, started)
+                        .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
+                    if let Some(f) = finished {
+                        let finished = parse_days(f).map_err(|m| bad(lineno, &m))?;
+                        db.restore_run_finish(run, finished);
+                    }
+                }
+                "entity" => {
+                    // entity <class> <created> <creator> [run <idx>]
+                    //        deps <list> data <idx>
+                    let mut it = rest.iter();
+                    let (Some(class), Some(created), Some(creator)) =
+                        (it.next(), it.next(), it.next())
+                    else {
+                        return Err(bad(lineno, "malformed entity line"));
+                    };
+                    let created = parse_days(created).map_err(|m| bad(lineno, &m))?;
+                    let mut produced_by = None;
+                    let mut deps = Vec::new();
+                    let mut data = None;
+                    let mut next = it.next();
+                    while let Some(word) = next {
+                        match *word {
+                            "run" => {
+                                let idx: usize = it
+                                    .next()
+                                    .ok_or_else(|| bad(lineno, "run needs an index"))?
+                                    .parse()
+                                    .map_err(|_| bad(lineno, "bad run index"))?;
+                                produced_by = Some(RunId(idx as u32));
+                            }
+                            "deps" => {
+                                let list = it
+                                    .next()
+                                    .ok_or_else(|| bad(lineno, "deps needs a list"))?;
+                                if *list != "-" {
+                                    for part in list.split(',') {
+                                        let idx: usize = part
+                                            .parse()
+                                            .map_err(|_| bad(lineno, "bad dep index"))?;
+                                        deps.push(EntityInstanceId(idx as u32));
+                                    }
+                                }
+                            }
+                            "data" => {
+                                let idx: usize = it
+                                    .next()
+                                    .ok_or_else(|| bad(lineno, "data needs an index"))?
+                                    .parse()
+                                    .map_err(|_| bad(lineno, "bad data index"))?;
+                                data = Some(DataObjectId(idx as u32));
+                            }
+                            other => {
+                                return Err(bad(lineno, &format!("unknown entity field {other:?}")))
+                            }
+                        }
+                        next = it.next();
+                    }
+                    let data = data.ok_or_else(|| bad(lineno, "entity without data"))?;
+                    db.restore_entity(class, created, creator, produced_by, deps, data)
+                        .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
+                }
+                "sched" => {
+                    // sched <activity> <session> <start> <duration>
+                    //       assignees <list> [link <idx>]
+                    let mut it = rest.iter();
+                    let (Some(activity), Some(session), Some(start), Some(duration)) =
+                        (it.next(), it.next(), it.next(), it.next())
+                    else {
+                        return Err(bad(lineno, "malformed sched line"));
+                    };
+                    let session_idx: usize = session
+                        .parse()
+                        .map_err(|_| bad(lineno, "bad session index"))?;
+                    let start = parse_days(start).map_err(|m| bad(lineno, &m))?;
+                    let duration = parse_days(duration).map_err(|m| bad(lineno, &m))?;
+                    let sc = db
+                        .plan_activity(
+                            PlanningSessionId(session_idx as u32),
+                            activity,
+                            start,
+                            duration,
+                        )
+                        .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
+                    let mut next = it.next();
+                    while let Some(word) = next {
+                        match *word {
+                            "assignees" => {
+                                let list = it
+                                    .next()
+                                    .ok_or_else(|| bad(lineno, "assignees needs a list"))?;
+                                if *list != "-" {
+                                    for designer in list.split(',') {
+                                        db.assign(sc, designer).map_err(|e| {
+                                            LoadError::Inconsistent(e.to_string())
+                                        })?;
+                                    }
+                                }
+                            }
+                            "link" => {
+                                let idx: usize = it
+                                    .next()
+                                    .ok_or_else(|| bad(lineno, "link needs an index"))?
+                                    .parse()
+                                    .map_err(|_| bad(lineno, "bad link index"))?;
+                                db.link_completion(sc, EntityInstanceId(idx as u32))
+                                    .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
+                            }
+                            other => {
+                                return Err(bad(lineno, &format!("unknown sched field {other:?}")))
+                            }
+                        }
+                        next = it.next();
+                    }
+                }
+                other => return Err(bad(lineno, &format!("unknown record kind {other:?}"))),
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+
+    fn populated() -> MetadataDb {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        let session = db.begin_planning(WorkDays::ZERO);
+        let sc = db
+            .plan_activity(session, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        db.assign(sc, "alice").unwrap();
+        db.plan_activity(session, "Simulate", WorkDays::new(2.0), WorkDays::new(3.0))
+            .unwrap();
+        let stim = db.store_data("vec.stim", b"0101".to_vec());
+        db.supply_input("stimuli", "bob", WorkDays::ZERO, stim).unwrap();
+        let run = db.begin_run("Create", "alice", WorkDays::new(0.5)).unwrap();
+        let data = db.store_data("v1.net", b"module".to_vec());
+        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.5), &[]).unwrap();
+        db.link_completion(sc, e).unwrap();
+        // An unfinished run, to exercise the optional finish field.
+        db.begin_run("Simulate", "bob", WorkDays::new(1.5)).unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = populated();
+        let dump = db.dump();
+        let loaded = MetadataDb::load(&dump).unwrap();
+        assert_eq!(loaded.dump(), dump);
+        // Spot checks beyond the textual identity.
+        assert_eq!(loaded.entity_count(), db.entity_count());
+        assert_eq!(loaded.schedule_count(), db.schedule_count());
+        assert_eq!(loaded.runs().len(), db.runs().len());
+        assert_eq!(
+            loaded.current_plan("Create").unwrap().linked_entity(),
+            db.current_plan("Create").unwrap().linked_entity()
+        );
+        assert_eq!(loaded.actual_start("Create"), db.actual_start("Create"));
+        assert_eq!(
+            loaded.data_object(DataObjectId(1)).content(),
+            db.data_object(DataObjectId(1)).content()
+        );
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = MetadataDb::for_schema(&examples::circuit_design());
+        let loaded = MetadataDb::load(&db.dump()).unwrap();
+        assert_eq!(loaded.dump(), db.dump());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(MetadataDb::load("").unwrap_err(), LoadError::BadHeader);
+        assert_eq!(
+            MetadataDb::load("metadata-db v9\n").unwrap_err(),
+            LoadError::BadHeader
+        );
+    }
+
+    #[test]
+    fn bad_lines_reported_with_numbers() {
+        let err = MetadataDb::load("metadata-db v1\nnonsense here\n").unwrap_err();
+        match err {
+            LoadError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected BadLine, got {other}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_reference_rejected() {
+        // A sched line pointing at a session that does not exist.
+        let text = "metadata-db v1\ncontainer schedule Create netlist\nsched Create 5 0 1000 assignees -\n";
+        assert!(matches!(
+            MetadataDb::load(text),
+            Err(LoadError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for payload in [&b""[..], b"\x00\xff", b"hello world"] {
+            assert_eq!(hex_decode(&hex_encode(payload)).unwrap(), payload);
+        }
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn dump_is_humane() {
+        let db = populated();
+        let dump = db.dump();
+        assert!(dump.contains("container schedule Create netlist"));
+        assert!(dump.contains("run Create alice 1"));
+        assert!(dump.lines().count() > 8);
+    }
+}

@@ -1,0 +1,78 @@
+//! Typed identifiers for the five object kinds in the metadata
+//! database. Separate newtypes keep the execution space and the
+//! schedule space statically distinct: a schedule instance id can never
+//! be used where an entity instance id is required.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Dense index (allocation order) backing this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies an [`EntityInstance`](crate::EntityInstance) — Level-3
+    /// execution metadata for one version of one entity.
+    EntityInstanceId,
+    "ei"
+);
+define_id!(
+    /// Identifies a [`ScheduleInstance`](crate::ScheduleInstance) —
+    /// Level-3 schedule data for one planned activity version.
+    ScheduleInstanceId,
+    "sc"
+);
+define_id!(
+    /// Identifies a [`Run`](crate::Run) — one execution of an activity.
+    RunId,
+    "run"
+);
+define_id!(
+    /// Identifies a [`PlanningSession`](crate::PlanningSession) — the
+    /// schedule-space analog of a run ("a Run in the actual flow space
+    /// corresponds to a Schedule in the schedule flow space").
+    PlanningSessionId,
+    "plan"
+);
+define_id!(
+    /// Identifies a [`DataObject`](crate::DataObject) — Level-4 actual
+    /// design data.
+    DataObjectId,
+    "do"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_distinguish_kinds() {
+        assert_eq!(EntityInstanceId(3).to_string(), "ei3");
+        assert_eq!(ScheduleInstanceId(3).to_string(), "sc3");
+        assert_eq!(RunId(0).to_string(), "run0");
+        assert_eq!(PlanningSessionId(1).to_string(), "plan1");
+        assert_eq!(DataObjectId(9).to_string(), "do9");
+    }
+
+    #[test]
+    fn ids_order_by_allocation() {
+        assert!(EntityInstanceId(1) < EntityInstanceId(2));
+        assert_eq!(EntityInstanceId(4).index(), 4);
+    }
+}

@@ -1,0 +1,537 @@
+use std::fmt;
+
+use schedule::WorkDays;
+
+use crate::ids::{
+    DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId,
+};
+
+/// Level-4 actual design data — the bytes a tool produced.
+///
+/// In the real Hercules this is a pointer into the design-data store;
+/// here the content is held inline (our tools are synthetic), which
+/// exercises the same code path: Level-3 metadata *links to* Level-4
+/// data rather than containing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataObject {
+    id: DataObjectId,
+    name: String,
+    content: Vec<u8>,
+}
+
+impl DataObject {
+    pub(crate) fn new(id: DataObjectId, name: String, content: Vec<u8>) -> Self {
+        DataObject { id, name, content }
+    }
+
+    /// This object's id.
+    pub fn id(&self) -> DataObjectId {
+        self.id
+    }
+
+    /// File-like name of the datum, e.g. `"counter.net"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw content.
+    pub fn content(&self) -> &[u8] {
+        &self.content
+    }
+
+    /// Content size in bytes.
+    pub fn size(&self) -> usize {
+        self.content.len()
+    }
+}
+
+impl fmt::Display for DataObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?} ({} bytes)", self.id, self.name, self.size())
+    }
+}
+
+/// Level-3 execution metadata for one version of one entity.
+///
+/// Created when a run of an activity completes: records *when* the
+/// datum was produced, *by whom*, which run produced it, which other
+/// instances it was derived from, and where the Level-4 data lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityInstance {
+    id: EntityInstanceId,
+    class: String,
+    version: u32,
+    created_at_millidays: i64,
+    creator: String,
+    produced_by: Option<RunId>,
+    depends_on: Vec<EntityInstanceId>,
+    data: DataObjectId,
+}
+
+impl EntityInstance {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: EntityInstanceId,
+        class: String,
+        version: u32,
+        created_at: WorkDays,
+        creator: String,
+        produced_by: Option<RunId>,
+        depends_on: Vec<EntityInstanceId>,
+        data: DataObjectId,
+    ) -> Self {
+        EntityInstance {
+            id,
+            class,
+            version,
+            created_at_millidays: to_millidays(created_at),
+            creator,
+            produced_by,
+            depends_on,
+            data,
+        }
+    }
+
+    /// This instance's id.
+    pub fn id(&self) -> EntityInstanceId {
+        self.id
+    }
+
+    /// The entity class this instance belongs to.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// Version number within the class container (1-based).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// When the instance was created, as an offset from project start.
+    pub fn created_at(&self) -> WorkDays {
+        from_millidays(self.created_at_millidays)
+    }
+
+    /// Who created it ("when an activity is performed *and by whom*").
+    pub fn creator(&self) -> &str {
+        &self.creator
+    }
+
+    /// The run that produced it (`None` for designer-supplied primary
+    /// inputs like the paper's `stimuli`).
+    pub fn produced_by(&self) -> Option<RunId> {
+        self.produced_by
+    }
+
+    /// Instance dependencies: the exact input instances consumed.
+    pub fn depends_on(&self) -> &[EntityInstanceId] {
+        &self.depends_on
+    }
+
+    /// The Level-4 design data this metadata describes.
+    pub fn data(&self) -> DataObjectId {
+        self.data
+    }
+}
+
+impl fmt::Display for EntityInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}@v{} by {} at {}",
+            self.id,
+            self.class,
+            self.version,
+            self.creator,
+            self.created_at()
+        )
+    }
+}
+
+/// Execution state of a [`Run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Started but not yet finished.
+    InProgress,
+    /// Finished, producing an output instance.
+    Finished,
+}
+
+/// One execution of an activity — "tools are not tied to specific
+/// tasks and iterations of tasks can be performed", so an activity's
+/// container accumulates a run per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    id: RunId,
+    activity: String,
+    operator: String,
+    iteration: u32,
+    started_at_millidays: i64,
+    finished_at_millidays: Option<i64>,
+    output: Option<EntityInstanceId>,
+}
+
+impl Run {
+    pub(crate) fn new(
+        id: RunId,
+        activity: String,
+        operator: String,
+        iteration: u32,
+        started_at: WorkDays,
+    ) -> Self {
+        Run {
+            id,
+            activity,
+            operator,
+            iteration,
+            started_at_millidays: to_millidays(started_at),
+            finished_at_millidays: None,
+            output: None,
+        }
+    }
+
+    pub(crate) fn finish(&mut self, finished_at: WorkDays, output: EntityInstanceId) {
+        self.finished_at_millidays = Some(to_millidays(finished_at));
+        self.output = Some(output);
+    }
+
+    /// This run's id.
+    pub fn id(&self) -> RunId {
+        self.id
+    }
+
+    /// The activity executed.
+    pub fn activity(&self) -> &str {
+        &self.activity
+    }
+
+    /// The designer who ran it.
+    pub fn operator(&self) -> &str {
+        &self.operator
+    }
+
+    /// 1-based iteration count of this activity.
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    /// Start offset from project start.
+    pub fn started_at(&self) -> WorkDays {
+        from_millidays(self.started_at_millidays)
+    }
+
+    /// Finish offset, once finished.
+    pub fn finished_at(&self) -> Option<WorkDays> {
+        self.finished_at_millidays.map(from_millidays)
+    }
+
+    /// Elapsed duration, once finished.
+    pub fn duration(&self) -> Option<WorkDays> {
+        self.finished_at()
+            .map(|f| f.saturating_sub(self.started_at()))
+    }
+
+    /// The produced entity instance, once finished.
+    pub fn output(&self) -> Option<EntityInstanceId> {
+        self.output
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RunState {
+        if self.finished_at_millidays.is_some() {
+            RunState::Finished
+        } else {
+            RunState::InProgress
+        }
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.finished_at() {
+            Some(end) => write!(
+                f,
+                "{} {}#{} by {} [{} .. {}]",
+                self.id,
+                self.activity,
+                self.iteration,
+                self.operator,
+                self.started_at(),
+                end
+            ),
+            None => write!(
+                f,
+                "{} {}#{} by {} [{} ..)",
+                self.id,
+                self.activity,
+                self.iteration,
+                self.operator,
+                self.started_at()
+            ),
+        }
+    }
+}
+
+/// Level-3 *schedule* data for one planned version of one activity —
+/// the mirror of [`EntityInstance`] in the schedule space.
+///
+/// Records when the activity *should* run, for how long, and who is
+/// assigned; once the designer declares the activity done, a link to
+/// the final [`EntityInstance`] connects plan to reality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleInstance {
+    id: ScheduleInstanceId,
+    activity: String,
+    version: u32,
+    session: PlanningSessionId,
+    planned_start_millidays: i64,
+    planned_duration_millidays: i64,
+    assignees: Vec<String>,
+    derived_from: Option<ScheduleInstanceId>,
+    linked_entity: Option<EntityInstanceId>,
+}
+
+impl ScheduleInstance {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: ScheduleInstanceId,
+        activity: String,
+        version: u32,
+        session: PlanningSessionId,
+        planned_start: WorkDays,
+        planned_duration: WorkDays,
+        derived_from: Option<ScheduleInstanceId>,
+    ) -> Self {
+        ScheduleInstance {
+            id,
+            activity,
+            version,
+            session,
+            planned_start_millidays: to_millidays(planned_start),
+            planned_duration_millidays: to_millidays(planned_duration),
+            assignees: Vec::new(),
+            derived_from,
+            linked_entity: None,
+        }
+    }
+
+    pub(crate) fn assign(&mut self, designer: String) {
+        if !self.assignees.contains(&designer) {
+            self.assignees.push(designer);
+        }
+    }
+
+    pub(crate) fn set_link(&mut self, entity: EntityInstanceId) {
+        self.linked_entity = Some(entity);
+    }
+
+    /// This schedule instance's id.
+    pub fn id(&self) -> ScheduleInstanceId {
+        self.id
+    }
+
+    /// The planned activity.
+    pub fn activity(&self) -> &str {
+        &self.activity
+    }
+
+    /// Version within the activity's schedule container (1-based) —
+    /// "different versions of schedule instances for each task can be
+    /// generated... the schedule plan can be updated at any time".
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The planning session that created this instance.
+    pub fn session(&self) -> PlanningSessionId {
+        self.session
+    }
+
+    /// Proposed start offset from project start.
+    pub fn planned_start(&self) -> WorkDays {
+        from_millidays(self.planned_start_millidays)
+    }
+
+    /// Proposed duration.
+    pub fn planned_duration(&self) -> WorkDays {
+        from_millidays(self.planned_duration_millidays)
+    }
+
+    /// Proposed finish offset.
+    pub fn planned_finish(&self) -> WorkDays {
+        self.planned_start() + self.planned_duration()
+    }
+
+    /// Designers assigned to the activity.
+    pub fn assignees(&self) -> &[String] {
+        &self.assignees
+    }
+
+    /// The prior schedule instance this plan was derived from, if any —
+    /// the provenance chain behind "which schedule plans were used to
+    /// create the present schedule plan".
+    pub fn derived_from(&self) -> Option<ScheduleInstanceId> {
+        self.derived_from
+    }
+
+    /// The final entity instance, once the designer linked completion.
+    pub fn linked_entity(&self) -> Option<EntityInstanceId> {
+        self.linked_entity
+    }
+
+    /// Whether the activity has been declared complete.
+    pub fn is_complete(&self) -> bool {
+        self.linked_entity.is_some()
+    }
+}
+
+impl fmt::Display for ScheduleInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}@v{} [{} + {}]",
+            self.id,
+            self.activity,
+            self.version,
+            self.planned_start(),
+            self.planned_duration()
+        )?;
+        if let Some(e) = self.linked_entity {
+            write!(f, " -> {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A planning session — the schedule-space analog of a [`Run`]. One
+/// simulated execution of the flow produces one session grouping the
+/// schedule instances it created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanningSession {
+    id: PlanningSessionId,
+    created_at_millidays: i64,
+    instances: Vec<ScheduleInstanceId>,
+}
+
+impl PlanningSession {
+    pub(crate) fn new(id: PlanningSessionId, created_at: WorkDays) -> Self {
+        PlanningSession {
+            id,
+            created_at_millidays: to_millidays(created_at),
+            instances: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, instance: ScheduleInstanceId) {
+        self.instances.push(instance);
+    }
+
+    /// This session's id.
+    pub fn id(&self) -> PlanningSessionId {
+        self.id
+    }
+
+    /// When planning happened, as an offset from project start.
+    pub fn created_at(&self) -> WorkDays {
+        from_millidays(self.created_at_millidays)
+    }
+
+    /// Schedule instances created by this session, in planning order.
+    pub fn instances(&self) -> &[ScheduleInstanceId] {
+        &self.instances
+    }
+}
+
+/// Timestamps are stored as integer milli-days so metadata objects stay
+/// `Eq`/hashable while keeping sub-minute planning resolution.
+fn to_millidays(t: WorkDays) -> i64 {
+    (t.days() * 1000.0).round() as i64
+}
+
+fn from_millidays(md: i64) -> WorkDays {
+    WorkDays::new(md as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millidays_roundtrip() {
+        for d in [0.0, 0.001, 1.5, 17.25, 9999.0] {
+            let t = WorkDays::new(d);
+            assert_eq!(from_millidays(to_millidays(t)), t);
+        }
+    }
+
+    #[test]
+    fn data_object_accessors() {
+        let d = DataObject::new(DataObjectId(0), "x.net".into(), vec![1, 2, 3]);
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.name(), "x.net");
+        assert!(d.to_string().contains("3 bytes"));
+    }
+
+    #[test]
+    fn run_lifecycle() {
+        let mut run = Run::new(RunId(0), "Simulate".into(), "bob".into(), 1, WorkDays::new(2.0));
+        assert_eq!(run.state(), RunState::InProgress);
+        assert_eq!(run.duration(), None);
+        assert!(run.to_string().ends_with("..)"));
+        run.finish(WorkDays::new(3.5), EntityInstanceId(0));
+        assert_eq!(run.state(), RunState::Finished);
+        assert_eq!(run.duration(), Some(WorkDays::new(1.5)));
+        assert_eq!(run.output(), Some(EntityInstanceId(0)));
+    }
+
+    #[test]
+    fn schedule_instance_dates() {
+        let sc = ScheduleInstance::new(
+            ScheduleInstanceId(0),
+            "Create".into(),
+            1,
+            PlanningSessionId(0),
+            WorkDays::new(1.0),
+            WorkDays::new(2.0),
+            None,
+        );
+        assert_eq!(sc.planned_finish(), WorkDays::new(3.0));
+        assert!(!sc.is_complete());
+        assert_eq!(sc.derived_from(), None);
+    }
+
+    #[test]
+    fn assign_is_idempotent() {
+        let mut sc = ScheduleInstance::new(
+            ScheduleInstanceId(0),
+            "Create".into(),
+            1,
+            PlanningSessionId(0),
+            WorkDays::ZERO,
+            WorkDays::ZERO,
+            None,
+        );
+        sc.assign("alice".into());
+        sc.assign("alice".into());
+        sc.assign("bob".into());
+        assert_eq!(sc.assignees(), ["alice", "bob"]);
+    }
+
+    #[test]
+    fn entity_instance_display() {
+        let e = EntityInstance::new(
+            EntityInstanceId(4),
+            "netlist".into(),
+            2,
+            WorkDays::new(1.0),
+            "alice".into(),
+            Some(RunId(1)),
+            vec![EntityInstanceId(0)],
+            DataObjectId(7),
+        );
+        let s = e.to_string();
+        assert!(s.contains("netlist@v2"));
+        assert!(s.contains("alice"));
+        assert_eq!(e.depends_on(), [EntityInstanceId(0)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over random operation sequences on the
+//! metadata database: referential integrity, dense versioning, and
+//! link validity must hold regardless of interleaving.
+
+use metadata::{EntityInstanceId, MetadataDb, ScheduleInstanceId};
+use proptest::prelude::*;
+use schedule::WorkDays;
+use schema::examples;
+
+/// An abstract operation against the circuit-schema database.
+#[derive(Debug, Clone)]
+enum Op {
+    Plan { activity: usize, start: u16, duration: u16 },
+    RunCreate { start: u16, extra: u16 },
+    SupplyStimuli { at: u16 },
+    LinkLatest { activity: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, any::<u16>(), any::<u16>())
+            .prop_map(|(activity, start, duration)| Op::Plan { activity, start, duration }),
+        (any::<u16>(), any::<u16>()).prop_map(|(start, extra)| Op::RunCreate { start, extra }),
+        any::<u16>().prop_map(|at| Op::SupplyStimuli { at }),
+        (0usize..2).prop_map(|activity| Op::LinkLatest { activity }),
+    ]
+}
+
+const ACTIVITIES: [&str; 2] = ["Create", "Simulate"];
+
+fn apply(db: &mut MetadataDb, op: &Op, clock: &mut f64) {
+    match op {
+        Op::Plan { activity, start, duration } => {
+            let session = db.begin_planning(WorkDays::new(*clock));
+            db.plan_activity(
+                session,
+                ACTIVITIES[*activity],
+                WorkDays::new(f64::from(*start) / 100.0),
+                WorkDays::new(f64::from(*duration) / 100.0),
+            )
+            .expect("known activity");
+        }
+        Op::RunCreate { start, extra } => {
+            let begin = clock.max(f64::from(*start) / 100.0);
+            let run = db
+                .begin_run("Create", "alice", WorkDays::new(begin))
+                .expect("known activity");
+            let end = begin + f64::from(*extra) / 100.0 + 0.01;
+            let data = db.store_data("n.net", vec![1, 2, 3]);
+            db.finish_run(run, "netlist", data, WorkDays::new(end), &[])
+                .expect("valid finish");
+            *clock = end;
+        }
+        Op::SupplyStimuli { at } => {
+            let data = db.store_data("s.stim", vec![9]);
+            db.supply_input(
+                "stimuli",
+                "bob",
+                WorkDays::new(f64::from(*at) / 100.0),
+                data,
+            )
+            .expect("known class");
+        }
+        Op::LinkLatest { activity } => {
+            let name = ACTIVITIES[*activity];
+            let Some(plan) = db.current_plan(name) else {
+                return;
+            };
+            if plan.is_complete() {
+                return;
+            }
+            let sc = plan.id();
+            // Find the newest instance produced by this activity.
+            let candidate = db
+                .runs_of(name)
+                .iter()
+                .rev()
+                .find_map(|r| r.output());
+            if let Some(entity) = candidate {
+                db.link_completion(sc, entity).expect("valid link");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_random_ops(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        let mut clock = 0.0;
+        for op in &ops {
+            apply(&mut db, op, &mut clock);
+        }
+
+        // Versions are dense and ordered per container.
+        for class in db.entity_classes().map(str::to_owned).collect::<Vec<_>>() {
+            let container = db.entity_container(&class).expect("exists");
+            for (i, &id) in container.iter().enumerate() {
+                let inst = db.entity_instance(id);
+                prop_assert_eq!(inst.version() as usize, i + 1);
+                prop_assert_eq!(inst.class(), class.as_str());
+            }
+        }
+        for activity in db.activities().map(str::to_owned).collect::<Vec<_>>() {
+            let container = db.schedule_container(&activity).expect("exists");
+            for (i, &id) in container.iter().enumerate() {
+                let sc = db.schedule_instance(id);
+                prop_assert_eq!(sc.version() as usize, i + 1);
+                // Provenance chains to the immediately preceding version.
+                if i > 0 {
+                    prop_assert_eq!(sc.derived_from(), Some(container[i - 1]));
+                } else {
+                    prop_assert_eq!(sc.derived_from(), None);
+                }
+            }
+        }
+
+        // Runs have ordered timestamps and dense iterations per activity.
+        for activity in ACTIVITIES {
+            for (i, run) in db.runs_of(activity).iter().enumerate() {
+                prop_assert_eq!(run.iteration() as usize, i + 1);
+                if let Some(f) = run.finished_at() {
+                    prop_assert!(f.days() >= run.started_at().days());
+                }
+            }
+        }
+
+        // Links always target instances of the activity's output class,
+        // produced by a run of that activity.
+        for activity in ACTIVITIES {
+            if let Some(plan) = db.current_plan(activity) {
+                if let Some(entity) = plan.linked_entity() {
+                    let inst = db.entity_instance(entity);
+                    prop_assert_eq!(
+                        inst.class(),
+                        db.output_class_of(activity).expect("declared")
+                    );
+                    let run = db.run(inst.produced_by().expect("linked instances have runs"));
+                    prop_assert_eq!(run.activity(), activity);
+                }
+            }
+        }
+
+        // actual_start is the min over run starts.
+        if let Some(start) = db.actual_start("Create") {
+            let min = db
+                .runs_of("Create")
+                .iter()
+                .map(|r| r.started_at().days())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((start.days() - min).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dump_load_roundtrip_under_random_ops(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        let mut clock = 0.0;
+        for op in &ops {
+            apply(&mut db, op, &mut clock);
+        }
+        let dump = db.dump();
+        let loaded = MetadataDb::load(&dump).expect("own dumps load");
+        prop_assert_eq!(loaded.dump(), dump);
+        // Derived queries agree too.
+        for activity in ACTIVITIES {
+            prop_assert_eq!(loaded.actual_start(activity), db.actual_start(activity));
+            prop_assert_eq!(loaded.actual_finish(activity), db.actual_finish(activity));
+            prop_assert_eq!(loaded.last_duration(activity), db.last_duration(activity));
+        }
+    }
+
+    #[test]
+    fn plan_evolution_is_a_version_chain(versions in 1usize..10) {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        let mut latest: Option<ScheduleInstanceId> = None;
+        for v in 0..versions {
+            let session = db.begin_planning(WorkDays::new(v as f64));
+            latest = Some(
+                db.plan_activity(session, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+                    .expect("known activity"),
+            );
+        }
+        let chain = db.plan_evolution(latest.expect("planned at least once"));
+        prop_assert_eq!(chain.len(), versions);
+        // Newest first, versions descending.
+        for (i, id) in chain.iter().enumerate() {
+            prop_assert_eq!(
+                db.schedule_instance(*id).version() as usize,
+                versions - i
+            );
+        }
+    }
+
+    #[test]
+    fn derivation_cone_is_closed(chain_len in 1usize..8) {
+        // Build a dependency chain of netlist instances (each run
+        // consumes the previous instance) and check the cone.
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        let mut prev: Option<EntityInstanceId> = None;
+        let mut t = 0.0;
+        for _ in 0..chain_len {
+            let run = db.begin_run("Create", "alice", WorkDays::new(t)).expect("known");
+            t += 1.0;
+            let data = db.store_data("n", vec![]);
+            let inputs: Vec<_> = prev.into_iter().collect();
+            let id = db
+                .finish_run(run, "netlist", data, WorkDays::new(t), &inputs)
+                .expect("valid");
+            prev = Some(id);
+        }
+        let last = prev.expect("built at least one");
+        let cone = db.derivation_of(last);
+        prop_assert_eq!(cone.len(), chain_len);
+        // Closed under depends_on.
+        for id in &cone {
+            for dep in db.entity_instance(*id).depends_on() {
+                prop_assert!(cone.contains(dep));
+            }
+        }
+    }
+}

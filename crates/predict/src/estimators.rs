@@ -1,0 +1,247 @@
+use crate::Predictor;
+
+/// Predicts whatever the designer guessed — the baseline the paper's
+/// integrated history beats. Always predicts, regardless of history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intuition {
+    guess: f64,
+}
+
+impl Intuition {
+    /// Creates an intuition "estimator" with a fixed guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guess` is not finite or is negative.
+    pub fn new(guess: f64) -> Self {
+        assert!(guess.is_finite() && guess >= 0.0, "guess must be a duration");
+        Intuition { guess }
+    }
+}
+
+impl Predictor for Intuition {
+    fn name(&self) -> &str {
+        "intuition"
+    }
+
+    fn predict(&self, _history: &[f64]) -> Option<f64> {
+        Some(self.guess)
+    }
+}
+
+/// Predicts the most recent measured duration — the paper's example
+/// query, "the duration of an activity the last time it was performed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LastValue;
+
+impl Predictor for LastValue {
+    fn name(&self) -> &str {
+        "last-value"
+    }
+
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        history.last().copied()
+    }
+}
+
+/// Predicts the mean of the entire history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeanOfAll;
+
+impl Predictor for MeanOfAll {
+    fn name(&self) -> &str {
+        "mean"
+    }
+
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            None
+        } else {
+            Some(history.iter().sum::<f64>() / history.len() as f64)
+        }
+    }
+}
+
+/// Predicts the mean of the last `window` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovingAverage {
+    window: usize,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverage { window }
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn name(&self) -> &str {
+        "moving-average"
+    }
+
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let tail = &history[history.len().saturating_sub(self.window)..];
+        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha`
+/// (1.0 = last value, → 0.0 = long memory).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha }
+    }
+}
+
+impl Predictor for Ewma {
+    fn name(&self) -> &str {
+        "ewma"
+    }
+
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        let (&first, rest) = history.split_first()?;
+        let mut level = first;
+        for &x in rest {
+            level = self.alpha * x + (1.0 - self.alpha) * level;
+        }
+        Some(level)
+    }
+}
+
+/// Ordinary-least-squares trend over observation index, extrapolated
+/// one step ahead; clamped non-negative. Needs at least two points.
+///
+/// Catches the systematic growth real activities show as a design
+/// grows (later simulations take longer because the netlist grew).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinearTrend;
+
+impl Predictor for LinearTrend {
+    fn name(&self) -> &str {
+        "linear-trend"
+    }
+
+    fn predict(&self, history: &[f64]) -> Option<f64> {
+        let n = history.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mean_x = (nf - 1.0) / 2.0;
+        let mean_y = history.iter().sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (i, &y) in history.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (y - mean_y);
+        }
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let intercept = mean_y - slope * mean_x;
+        Some((intercept + slope * nf).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HISTORY: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+    #[test]
+    fn intuition_ignores_history() {
+        let p = Intuition::new(7.5);
+        assert_eq!(p.predict(&[]), Some(7.5));
+        assert_eq!(p.predict(&HISTORY), Some(7.5));
+        assert_eq!(p.name(), "intuition");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a duration")]
+    fn intuition_rejects_nan() {
+        Intuition::new(f64::NAN);
+    }
+
+    #[test]
+    fn last_value() {
+        assert_eq!(LastValue.predict(&HISTORY), Some(5.0));
+        assert_eq!(LastValue.predict(&[]), None);
+    }
+
+    #[test]
+    fn mean_of_all() {
+        assert_eq!(MeanOfAll.predict(&HISTORY), Some(3.0));
+        assert_eq!(MeanOfAll.predict(&[]), None);
+    }
+
+    #[test]
+    fn moving_average_window() {
+        assert_eq!(MovingAverage::new(2).predict(&HISTORY), Some(4.5));
+        // Window longer than history uses all of it.
+        assert_eq!(MovingAverage::new(10).predict(&HISTORY), Some(3.0));
+        assert_eq!(MovingAverage::new(3).predict(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn moving_average_zero_window() {
+        MovingAverage::new(0);
+    }
+
+    #[test]
+    fn ewma_limits() {
+        // alpha = 1: last value.
+        assert_eq!(Ewma::new(1.0).predict(&HISTORY), Some(5.0));
+        // small alpha: close to the first value for short histories.
+        let low = Ewma::new(0.01).predict(&HISTORY).unwrap();
+        assert!(low < 1.5);
+        assert_eq!(Ewma::new(0.5).predict(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn linear_trend_extrapolates() {
+        // Perfect line 1..5 → next is 6.
+        let p = LinearTrend.predict(&HISTORY).unwrap();
+        assert!((p - 6.0).abs() < 1e-9);
+        assert_eq!(LinearTrend.predict(&[3.0]), None);
+    }
+
+    #[test]
+    fn linear_trend_flat_history() {
+        let p = LinearTrend.predict(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((p - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_clamps_negative() {
+        // Steeply decreasing: raw extrapolation would go negative.
+        let p = LinearTrend.predict(&[5.0, 3.0, 1.0]).unwrap();
+        assert!(p >= 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+use std::fmt;
+
+use crate::Predictor;
+
+/// Accuracy report for one estimator over one history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Estimator name.
+    pub name: String,
+    /// Number of one-step-ahead forecasts made.
+    pub forecasts: usize,
+    /// Mean absolute error, in the history's duration units.
+    pub mae: f64,
+    /// Mean absolute percentage error (0.10 = 10%).
+    pub mape: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+}
+
+impl fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} n={:<3} MAE {:.3} MAPE {:.1}% RMSE {:.3}",
+            self.name,
+            self.forecasts,
+            self.mae,
+            self.mape * 100.0,
+            self.rmse
+        )
+    }
+}
+
+/// Produces the rolling one-step-ahead forecasts an estimator makes
+/// over `history`: for each prefix with at least `warmup` observations,
+/// the prediction for the next observation. Returns `(predicted,
+/// actual)` pairs.
+pub fn rolling_forecasts(
+    predictor: &dyn Predictor,
+    history: &[f64],
+    warmup: usize,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for split in warmup.max(1)..history.len() {
+        if let Some(p) = predictor.predict(&history[..split]) {
+            out.push((p, history[split]));
+        }
+    }
+    out
+}
+
+/// Evaluates an estimator on `history` via rolling one-step-ahead
+/// forecasts after a `warmup` prefix.
+///
+/// Returns `None` when no forecasts could be made (history shorter
+/// than `warmup + 1`, or the estimator always declined).
+///
+/// # Example
+///
+/// ```
+/// use predict::{evaluate, LastValue};
+///
+/// let history = [2.0, 2.0, 2.0, 2.0];
+/// let report = evaluate(&LastValue, &history, 1).expect("forecasts made");
+/// assert_eq!(report.mae, 0.0); // constant history is easy
+/// ```
+pub fn evaluate(predictor: &dyn Predictor, history: &[f64], warmup: usize) -> Option<EvalReport> {
+    let pairs = rolling_forecasts(predictor, history, warmup);
+    if pairs.is_empty() {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mae = pairs.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / n;
+    let mape = pairs
+        .iter()
+        .filter(|(_, a)| a.abs() > f64::EPSILON)
+        .map(|(p, a)| ((p - a) / a).abs())
+        .sum::<f64>()
+        / n;
+    let rmse = (pairs.iter().map(|(p, a)| (p - a) * (p - a)).sum::<f64>() / n).sqrt();
+    Some(EvalReport {
+        name: predictor.name().to_owned(),
+        forecasts: pairs.len(),
+        mae,
+        mape,
+        rmse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ewma, Intuition, LastValue, LinearTrend, MeanOfAll};
+
+    #[test]
+    fn rolling_forecast_count() {
+        let history = [1.0, 2.0, 3.0, 4.0];
+        let pairs = rolling_forecasts(&LastValue, &history, 1);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], (1.0, 2.0));
+        assert_eq!(pairs[2], (3.0, 4.0));
+    }
+
+    #[test]
+    fn evaluate_constant_history_perfect() {
+        let history = [3.0; 6];
+        let r = evaluate(&LastValue, &history, 1).unwrap();
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.forecasts, 5);
+    }
+
+    #[test]
+    fn evaluate_none_on_short_history() {
+        assert!(evaluate(&LastValue, &[1.0], 1).is_none());
+        // LinearTrend declines prefixes shorter than 2, so it needs a
+        // 3-point history before any rolling forecast exists.
+        assert!(evaluate(&LinearTrend, &[1.0, 2.0], 1).is_none());
+        assert!(evaluate(&LinearTrend, &[1.0, 2.0, 3.0], 1).is_some());
+    }
+
+    #[test]
+    fn trend_beats_last_value_on_trending_history() {
+        let history: Vec<f64> = (1..=20).map(|i| f64::from(i) * 0.5).collect();
+        let trend = evaluate(&LinearTrend, &history, 3).unwrap();
+        let last = evaluate(&LastValue, &history, 3).unwrap();
+        assert!(trend.mae < last.mae);
+    }
+
+    #[test]
+    fn history_beats_bad_intuition() {
+        // The integrated system's claim: measured history out-predicts a
+        // designer guess that is off by 2x.
+        let history = [4.0, 4.2, 3.9, 4.1, 4.0, 4.05];
+        let intuition = evaluate(&Intuition::new(8.0), &history, 1).unwrap();
+        let mean = evaluate(&MeanOfAll, &history, 1).unwrap();
+        let ewma = evaluate(&Ewma::new(0.3), &history, 1).unwrap();
+        assert!(mean.mae < intuition.mae);
+        assert!(ewma.mae < intuition.mae);
+    }
+
+    #[test]
+    fn display_includes_name_and_mape() {
+        let r = evaluate(&MeanOfAll, &[1.0, 2.0, 3.0], 1).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("mean"));
+        assert!(s.contains("MAPE"));
+    }
+
+    #[test]
+    fn noisy_history_ranking_is_stable() {
+        // Synthetic noisy-flat history: mean-style estimators should
+        // beat last-value (which chases noise).
+        let history = simtools::workload::duration_history(5.0, 0.0, 0.3, 60, 17);
+        let mean = evaluate(&MeanOfAll, &history, 5).unwrap();
+        let last = evaluate(&LastValue, &history, 5).unwrap();
+        assert!(mean.rmse < last.rmse);
+    }
+}

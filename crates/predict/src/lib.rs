@@ -1,0 +1,50 @@
+//! Activity-duration prediction from metadata history.
+//!
+//! One of the paper's headline advantages for integrating schedule and
+//! flow management is that "previous schedule data can be used to
+//! predict the duration of future projects" (§I), and its §IV notes
+//! that "instances of tools and data that are bound to tasks may serve
+//! as inputs to such a prediction model" as future work. This crate is
+//! that prediction model: estimators over the duration histories the
+//! metadata database records, plus a rolling one-step-ahead evaluation
+//! harness for comparing them (bench B7).
+//!
+//! # Example
+//!
+//! ```
+//! use predict::{Ewma, MovingAverage, Predictor};
+//!
+//! let history = [2.0, 2.2, 1.9, 2.1];
+//! let avg = MovingAverage::new(3).predict(&history).expect("enough data");
+//! assert!((avg - (2.2 + 1.9 + 2.1) / 3.0).abs() < 1e-9);
+//! let smoothed = Ewma::new(0.5).predict(&history).expect("enough data");
+//! assert!(smoothed > 1.9 && smoothed < 2.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimators;
+mod evaluate;
+mod stats;
+
+pub use estimators::{
+    Ewma, Intuition, LastValue, LinearTrend, MeanOfAll, MovingAverage,
+};
+pub use evaluate::{evaluate, rolling_forecasts, EvalReport};
+pub use stats::DurationStats;
+
+/// A duration estimator: given the measured durations of past
+/// executions of an activity (oldest first), predict the next one.
+///
+/// Implementations return `None` when the history is too short for the
+/// method (e.g. a regression needs two points); callers fall back to
+/// designer intuition exactly as Hercules does.
+pub trait Predictor {
+    /// Human-readable estimator name for reports.
+    fn name(&self) -> &str;
+
+    /// Predicts the next duration from `history` (oldest first), or
+    /// `None` if the history is insufficient for this method.
+    fn predict(&self, history: &[f64]) -> Option<f64>;
+}

@@ -1,0 +1,154 @@
+//! Descriptive statistics over duration histories — the summary a
+//! project manager reads before trusting a prediction, and the inputs
+//! three-point estimates are calibrated from.
+
+use std::fmt;
+
+/// Summary statistics of one activity's measured durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (mean of middle two for even counts).
+    pub median: f64,
+}
+
+impl DurationStats {
+    /// Computes statistics over `history`. Returns `None` for an empty
+    /// history.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use predict::DurationStats;
+    ///
+    /// let s = DurationStats::of(&[2.0, 4.0, 6.0]).expect("nonempty");
+    /// assert_eq!(s.mean, 4.0);
+    /// assert_eq!(s.median, 4.0);
+    /// assert_eq!(s.std_dev, 2.0);
+    /// ```
+    pub fn of(history: &[f64]) -> Option<Self> {
+        if history.is_empty() {
+            return None;
+        }
+        let n = history.len();
+        let mean = history.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            history.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let mut sorted = history.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(DurationStats {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// A calibrated three-point estimate `(optimistic, most-likely,
+    /// pessimistic)` from the history: `(min, median, max)` — the
+    /// simplest defensible calibration, suitable for feeding PERT or
+    /// Monte Carlo analysis.
+    pub fn three_point(&self) -> (f64, f64, f64) {
+        (self.min, self.median, self.max)
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); 0 when the mean is
+    /// 0. High values warn that any point prediction is shaky.
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+impl fmt::Display for DurationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean {:.2} median {:.2} sd {:.2} [{:.2} .. {:.2}]",
+            self.count, self.mean, self.median, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history() {
+        assert!(DurationStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let s = DurationStats::of(&[3.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.three_point(), (3.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let s = DurationStats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+        // Sample sd of this classic dataset is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn even_median_is_midpoint() {
+        let s = DurationStats::of(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn cv_flags_noise() {
+        let tight = DurationStats::of(&[5.0, 5.1, 4.9]).unwrap();
+        let wild = DurationStats::of(&[1.0, 9.0, 5.0]).unwrap();
+        assert!(tight.cv() < 0.05);
+        assert!(wild.cv() > 0.5);
+    }
+
+    #[test]
+    fn display_mentions_count_and_range() {
+        let s = DurationStats::of(&[1.0, 2.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("[1.00 .. 2.00]"));
+    }
+
+    #[test]
+    fn unordered_input_handled() {
+        let s = DurationStats::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 5.0);
+    }
+}

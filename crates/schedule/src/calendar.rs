@@ -1,0 +1,415 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All seven weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A civil (proleptic Gregorian) calendar date.
+///
+/// Backed by a day number so that date arithmetic is integer
+/// arithmetic; the civil conversion uses Howard Hinnant's
+/// `days_from_civil` algorithm. Valid across the full `i32` year range,
+/// far beyond any project plan.
+///
+/// # Example
+///
+/// ```
+/// use schedule::CalDate;
+///
+/// let kickoff = CalDate::new(1995, 6, 12); // DAC'95 week
+/// assert_eq!(kickoff.succ().day(), 13);
+/// assert_eq!(kickoff.to_string(), "1995-06-12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CalDate {
+    /// Days since 1970-01-01 (may be negative).
+    epoch_days: i64,
+}
+
+impl CalDate {
+    /// Creates a date from year/month/day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `month` is not 1–12 or `day` is not valid for the
+    /// month (leap years are handled).
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month must be 1-12, got {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} invalid for {year}-{month:02}"
+        );
+        CalDate {
+            epoch_days: days_from_civil(year, month, day),
+        }
+    }
+
+    /// Creates a date directly from days since 1970-01-01.
+    pub fn from_epoch_days(epoch_days: i64) -> Self {
+        CalDate { epoch_days }
+    }
+
+    /// Days since 1970-01-01.
+    pub fn epoch_days(self) -> i64 {
+        self.epoch_days
+    }
+
+    /// The year component.
+    pub fn year(self) -> i32 {
+        civil_from_days(self.epoch_days).0
+    }
+
+    /// The month component (1–12).
+    pub fn month(self) -> u32 {
+        civil_from_days(self.epoch_days).1
+    }
+
+    /// The day-of-month component (1–31).
+    pub fn day(self) -> u32 {
+        civil_from_days(self.epoch_days).2
+    }
+
+    /// Day of week (1970-01-01 was a Thursday).
+    pub fn weekday(self) -> Weekday {
+        // epoch_days 0 => Thursday => index 3 with Monday=0.
+        let idx = (self.epoch_days + 3).rem_euclid(7) as usize;
+        Weekday::ALL[idx]
+    }
+
+    /// The next calendar day.
+    pub fn succ(self) -> CalDate {
+        CalDate {
+            epoch_days: self.epoch_days + 1,
+        }
+    }
+
+    /// This date plus `days` calendar days (may be negative).
+    pub fn plus_days(self, days: i64) -> CalDate {
+        CalDate {
+            epoch_days: self.epoch_days + days,
+        }
+    }
+
+    /// Signed number of calendar days from `other` to `self`.
+    pub fn days_since(self, other: CalDate) -> i64 {
+        self.epoch_days - other.epoch_days
+    }
+}
+
+impl fmt::Display for CalDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = civil_from_days(self.epoch_days);
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Hinnant's `days_from_civil`: days since 1970-01-01 for y-m-d.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Hinnant's `civil_from_days`: y-m-d for days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// A work calendar: which weekdays are working days, plus holidays.
+///
+/// Schedules are computed in [`WorkDays`](crate::WorkDays) offsets; the
+/// calendar converts an offset from the project start into a civil date
+/// (and back) by skipping non-working days.
+///
+/// # Example
+///
+/// ```
+/// use schedule::{CalDate, Calendar};
+///
+/// let cal = Calendar::five_day(CalDate::new(1995, 6, 12)); // a Monday
+/// // 5 working days after Monday lands on the next Monday.
+/// assert_eq!(cal.date_of(5.0), CalDate::new(1995, 6, 19));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Calendar {
+    start: CalDate,
+    working: [bool; 7],
+    holidays: BTreeSet<CalDate>,
+}
+
+impl Calendar {
+    /// A Monday–Friday work week beginning at `start`.
+    ///
+    /// If `start` itself is not a working day, day 0 is the first
+    /// working day after it.
+    pub fn five_day(start: CalDate) -> Self {
+        Calendar {
+            start,
+            working: [true, true, true, true, true, false, false],
+            holidays: BTreeSet::new(),
+        }
+    }
+
+    /// A seven-day calendar (every day works) beginning at `start`.
+    pub fn seven_day(start: CalDate) -> Self {
+        Calendar {
+            start,
+            working: [true; 7],
+            holidays: BTreeSet::new(),
+        }
+    }
+
+    /// Marks `date` as a holiday (non-working).
+    #[must_use]
+    pub fn with_holiday(mut self, date: CalDate) -> Self {
+        self.holidays.insert(date);
+        self
+    }
+
+    /// The project start date.
+    pub fn start(&self) -> CalDate {
+        self.start
+    }
+
+    /// Whether `date` is a working day under this calendar.
+    pub fn is_working(&self, date: CalDate) -> bool {
+        let idx = Weekday::ALL
+            .iter()
+            .position(|&w| w == date.weekday())
+            .expect("weekday in table");
+        self.working[idx] && !self.holidays.contains(&date)
+    }
+
+    /// Converts a working-day offset from project start into the civil
+    /// date on which that working day falls.
+    ///
+    /// Fractional offsets round *up* to the day the work completes
+    /// within. Offset `0.0` is the first working day on or after the
+    /// start date.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is negative or not finite.
+    pub fn date_of(&self, offset: f64) -> CalDate {
+        assert!(
+            offset.is_finite() && offset >= 0.0,
+            "offset must be finite and non-negative, got {offset}"
+        );
+        let mut remaining = offset.ceil() as i64;
+        let mut date = self.start;
+        // Find day 0: first working day at or after start.
+        while !self.is_working(date) {
+            date = date.succ();
+        }
+        while remaining > 0 {
+            date = date.succ();
+            if self.is_working(date) {
+                remaining -= 1;
+            }
+        }
+        date
+    }
+
+    /// Counts working days strictly between the project start's day 0
+    /// and `date` — the inverse of [`date_of`](Calendar::date_of) for
+    /// working days.
+    ///
+    /// Dates before day 0 report `0.0`.
+    pub fn offset_of(&self, date: CalDate) -> f64 {
+        let mut day0 = self.start;
+        while !self.is_working(day0) {
+            day0 = day0.succ();
+        }
+        if date <= day0 {
+            return 0.0;
+        }
+        let mut count = 0i64;
+        let mut d = day0;
+        while d < date {
+            d = d.succ();
+            if self.is_working(d) {
+                count += 1;
+            }
+        }
+        count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_known_dates() {
+        for (y, m, d, epoch) in [
+            (1970, 1, 1, 0i64),
+            (1970, 1, 2, 1),
+            (1969, 12, 31, -1),
+            (2000, 3, 1, 11017),
+            (1995, 6, 12, 9293),
+        ] {
+            let date = CalDate::new(y, m, d);
+            assert_eq!(date.epoch_days(), epoch, "{y}-{m}-{d}");
+            assert_eq!((date.year(), date.month(), date.day()), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn roundtrip_sweep() {
+        // Every day across several years, including leap boundaries.
+        let start = CalDate::new(1992, 1, 1);
+        let mut d = start;
+        for _ in 0..(366 * 9) {
+            let back = CalDate::new(d.year(), d.month(), d.day());
+            assert_eq!(back, d);
+            d = d.succ();
+        }
+    }
+
+    #[test]
+    fn weekdays_match_history() {
+        // 1970-01-01 was a Thursday; DAC'95 opened Monday 1995-06-12.
+        assert_eq!(CalDate::new(1970, 1, 1).weekday(), Weekday::Thursday);
+        assert_eq!(CalDate::new(1995, 6, 12).weekday(), Weekday::Monday);
+        assert_eq!(CalDate::new(2000, 1, 1).weekday(), Weekday::Saturday);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1995));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_date_panics() {
+        CalDate::new(1995, 2, 29);
+    }
+
+    #[test]
+    fn display_iso() {
+        assert_eq!(CalDate::new(1995, 6, 5).to_string(), "1995-06-05");
+    }
+
+    #[test]
+    fn five_day_calendar_skips_weekends() {
+        let cal = Calendar::five_day(CalDate::new(1995, 6, 12)); // Monday
+        assert_eq!(cal.date_of(0.0), CalDate::new(1995, 6, 12));
+        assert_eq!(cal.date_of(4.0), CalDate::new(1995, 6, 16)); // Friday
+        assert_eq!(cal.date_of(5.0), CalDate::new(1995, 6, 19)); // next Monday
+        assert_eq!(cal.date_of(4.5), CalDate::new(1995, 6, 19)); // rounds up
+    }
+
+    #[test]
+    fn start_on_weekend_rolls_forward() {
+        let cal = Calendar::five_day(CalDate::new(1995, 6, 10)); // Saturday
+        assert_eq!(cal.date_of(0.0), CalDate::new(1995, 6, 12)); // Monday
+    }
+
+    #[test]
+    fn holidays_are_skipped() {
+        let cal = Calendar::five_day(CalDate::new(1995, 6, 12))
+            .with_holiday(CalDate::new(1995, 6, 13));
+        assert_eq!(cal.date_of(1.0), CalDate::new(1995, 6, 14));
+        assert!(!cal.is_working(CalDate::new(1995, 6, 13)));
+    }
+
+    #[test]
+    fn seven_day_calendar_is_dense() {
+        let cal = Calendar::seven_day(CalDate::new(1995, 6, 12));
+        assert_eq!(cal.date_of(6.0), CalDate::new(1995, 6, 18)); // Sunday
+    }
+
+    #[test]
+    fn offset_of_inverts_date_of() {
+        let cal = Calendar::five_day(CalDate::new(1995, 6, 12));
+        for offset in [0.0, 1.0, 4.0, 5.0, 9.0, 23.0] {
+            let date = cal.date_of(offset);
+            assert_eq!(cal.offset_of(date), offset, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn offset_before_start_is_zero() {
+        let cal = Calendar::five_day(CalDate::new(1995, 6, 12));
+        assert_eq!(cal.offset_of(CalDate::new(1995, 6, 1)), 0.0);
+    }
+
+    #[test]
+    fn plus_days_and_days_since() {
+        let a = CalDate::new(1995, 6, 12);
+        assert_eq!(a.plus_days(30), CalDate::new(1995, 7, 12));
+        assert_eq!(a.plus_days(30).days_since(a), 30);
+        assert_eq!(a.plus_days(-12), CalDate::new(1995, 5, 31));
+    }
+}

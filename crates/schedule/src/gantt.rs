@@ -1,0 +1,308 @@
+//! ASCII Gantt charts — the textual equivalent of the Hercules user
+//! interface in the paper's Fig. 8.
+//!
+//! "A Gantt Chart displays the schedule information as a series of tasks
+//! and displays graphically both the planned schedule and the
+//! accomplished schedule" (§IV-B). Each row shows the *planned* bar
+//! (`░`, or `=` in ASCII mode) with the *accomplished* bar (`█`/`#`)
+//! overlaid; `!` flags work past the planned finish, `*` marks critical
+//! activities.
+
+use std::fmt::Write as _;
+
+use crate::calendar::Calendar;
+use crate::network::WorkDays;
+
+/// One row of a Gantt chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttRow {
+    /// Activity label.
+    pub name: String,
+    /// Planned (proposed) start offset.
+    pub planned_start: WorkDays,
+    /// Planned (proposed) finish offset.
+    pub planned_finish: WorkDays,
+    /// Accomplished span: `Some((start, end))` once work has begun. For
+    /// in-progress work, `end` is the status date.
+    pub actual: Option<(WorkDays, WorkDays)>,
+    /// Whether the activity is complete (links to final design data).
+    pub complete: bool,
+    /// Whether the activity is on the critical path.
+    pub critical: bool,
+}
+
+impl GanttRow {
+    /// Creates a planned-only row (no work accomplished yet).
+    pub fn planned(name: impl Into<String>, start: WorkDays, finish: WorkDays) -> Self {
+        GanttRow {
+            name: name.into(),
+            planned_start: start,
+            planned_finish: finish,
+            actual: None,
+            complete: false,
+            critical: false,
+        }
+    }
+
+    /// Marks the row critical.
+    #[must_use]
+    pub fn critical(mut self) -> Self {
+        self.critical = true;
+        self
+    }
+
+    /// Records accomplished work.
+    #[must_use]
+    pub fn with_actual(mut self, start: WorkDays, end: WorkDays, complete: bool) -> Self {
+        self.actual = Some((start, end));
+        self.complete = complete;
+        self
+    }
+}
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttOptions {
+    /// Total character columns for the time axis.
+    pub width: usize,
+    /// Use pure-ASCII glyphs (`=`/`#`) instead of block glyphs.
+    pub ascii: bool,
+    /// Label column width; long names are truncated.
+    pub label_width: usize,
+    /// When set, axis ticks show civil dates from this work calendar
+    /// (`06-12`, `06-19`, ...) instead of working-day numbers.
+    pub calendar: Option<Calendar>,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 60,
+            ascii: false,
+            label_width: 16,
+            calendar: None,
+        }
+    }
+}
+
+/// Renders rows into a Gantt chart string.
+///
+/// The time axis spans from zero to the latest planned or actual
+/// finish. Returns an empty string for no rows.
+///
+/// # Example
+///
+/// ```
+/// use schedule::gantt::{render, GanttOptions, GanttRow};
+/// use schedule::WorkDays;
+///
+/// let rows = vec![
+///     GanttRow::planned("Create", WorkDays::ZERO, WorkDays::new(2.0))
+///         .with_actual(WorkDays::ZERO, WorkDays::new(2.0), true),
+///     GanttRow::planned("Simulate", WorkDays::new(2.0), WorkDays::new(5.0)),
+/// ];
+/// let chart = render(&rows, &GanttOptions { ascii: true, ..Default::default() });
+/// assert!(chart.contains("Create"));
+/// assert!(chart.contains('#')); // accomplished work
+/// ```
+pub fn render(rows: &[GanttRow], options: &GanttOptions) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let horizon = rows
+        .iter()
+        .flat_map(|r| {
+            [
+                r.planned_finish.days(),
+                r.actual.map(|(_, e)| e.days()).unwrap_or(0.0),
+            ]
+        })
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let width = options.width.max(10);
+    let scale = width as f64 / horizon;
+    let col = |t: f64| ((t * scale).round() as usize).min(width);
+
+    let (planned_glyph, actual_glyph) = if options.ascii { ('=', '#') } else { ('░', '█') };
+    let mut out = String::new();
+    // Axis header with ticks every ~10 columns: working-day numbers,
+    // or `MM-DD` dates when a calendar is supplied.
+    let mut header = vec![b' '; width + 1];
+    let tick_spacing = if options.calendar.is_some() { 12.0 } else { 10.0 };
+    let tick_every = (horizon / (width as f64 / tick_spacing)).max(1.0).ceil();
+    let mut t = 0.0;
+    while t <= horizon {
+        let c = col(t);
+        let label = match &options.calendar {
+            Some(cal) => {
+                let date = cal.date_of(t);
+                format!("{:02}-{:02}", date.month(), date.day())
+            }
+            None => format!("{}", t as i64),
+        };
+        for (i, ch) in label.bytes().enumerate() {
+            if c + i < header.len() {
+                header[c + i] = ch;
+            }
+        }
+        t += tick_every;
+    }
+    let axis_title = if options.calendar.is_some() { "date" } else { "day" };
+    let _ = writeln!(
+        out,
+        "{:label$} {}",
+        axis_title,
+        String::from_utf8_lossy(&header),
+        label = options.label_width
+    );
+
+    for row in rows {
+        let mut lane = vec![' '; width + 1];
+        let (ps, pf) = (col(row.planned_start.days()), col(row.planned_finish.days()));
+        for cell in lane.iter_mut().take(pf.max(ps + 1)).skip(ps) {
+            *cell = planned_glyph;
+        }
+        if let Some((a_start, a_end)) = row.actual {
+            let (s, e) = (col(a_start.days()), col(a_end.days()));
+            for (i, cell) in lane.iter_mut().enumerate().take(e.max(s + 1)).skip(s) {
+                // Work beyond the planned finish is a slip: flag it.
+                *cell = if i >= pf && pf > ps { '!' } else { actual_glyph };
+            }
+        }
+        let mut name: String = row.name.chars().take(options.label_width).collect();
+        if row.critical {
+            name = format!("*{name}");
+            name.truncate(options.label_width);
+        }
+        let status = if row.complete {
+            "done"
+        } else if row.actual.is_some() {
+            "wip"
+        } else {
+            "plan"
+        };
+        let _ = writeln!(
+            out,
+            "{:label$} {} [{status}]",
+            name,
+            lane.iter().collect::<String>(),
+            label = options.label_width
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> GanttOptions {
+        GanttOptions {
+            ascii: true,
+            width: 40,
+            label_width: 12,
+            calendar: None,
+        }
+    }
+
+    #[test]
+    fn empty_rows_empty_chart() {
+        assert_eq!(render(&[], &opts()), "");
+    }
+
+    #[test]
+    fn planned_bar_spans_expected_columns() {
+        let rows = vec![GanttRow::planned(
+            "half",
+            WorkDays::ZERO,
+            WorkDays::new(5.0),
+        )];
+        // Horizon 5 over 40 cols; planned bar covers ~the whole lane.
+        let chart = render(&rows, &opts());
+        let lane = chart.lines().nth(1).unwrap();
+        assert!(lane.matches('=').count() >= 38);
+        assert!(lane.contains("[plan]"));
+    }
+
+    #[test]
+    fn actual_overlays_planned() {
+        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(4.0))
+            .with_actual(WorkDays::ZERO, WorkDays::new(2.0), false)];
+        let chart = render(&rows, &opts());
+        let lane = chart.lines().nth(1).unwrap();
+        assert!(lane.contains('#'));
+        assert!(lane.contains('='));
+        assert!(lane.contains("[wip]"));
+    }
+
+    #[test]
+    fn slip_marked_with_bang() {
+        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(2.0))
+            .with_actual(WorkDays::ZERO, WorkDays::new(4.0), true)];
+        let chart = render(&rows, &opts());
+        let lane = chart.lines().nth(1).unwrap();
+        assert!(lane.contains('!'));
+        assert!(lane.contains("[done]"));
+    }
+
+    #[test]
+    fn critical_rows_starred() {
+        let rows = vec![GanttRow::planned("route", WorkDays::ZERO, WorkDays::new(1.0)).critical()];
+        let chart = render(&rows, &opts());
+        assert!(chart.contains("*route"));
+    }
+
+    #[test]
+    fn unicode_mode_uses_blocks() {
+        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(2.0))
+            .with_actual(WorkDays::ZERO, WorkDays::new(1.0), false)];
+        let chart = render(
+            &rows,
+            &GanttOptions {
+                ascii: false,
+                ..opts()
+            },
+        );
+        assert!(chart.contains('░'));
+        assert!(chart.contains('█'));
+    }
+
+    #[test]
+    fn long_names_truncated() {
+        let rows = vec![GanttRow::planned(
+            "an-extremely-long-activity-name",
+            WorkDays::ZERO,
+            WorkDays::new(1.0),
+        )];
+        let chart = render(&rows, &opts());
+        let first_line = chart.lines().nth(1).unwrap();
+        assert!(first_line.starts_with("an-extremely"));
+    }
+
+    #[test]
+    fn header_has_day_zero() {
+        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(3.0))];
+        let chart = render(&rows, &opts());
+        let header = chart.lines().next().unwrap();
+        assert!(header.starts_with("day"));
+        assert!(header.contains('0'));
+    }
+
+    #[test]
+    fn calendar_axis_shows_dates() {
+        use crate::calendar::{CalDate, Calendar};
+        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(10.0))];
+        let chart = render(
+            &rows,
+            &GanttOptions {
+                calendar: Some(Calendar::five_day(CalDate::new(1995, 6, 12))),
+                ..opts()
+            },
+        );
+        let header = chart.lines().next().unwrap();
+        assert!(header.starts_with("date"));
+        assert!(header.contains("06-12"), "start date missing: {header}");
+        // A later tick lands after the weekend skip.
+        assert!(header.matches('-').count() >= 2);
+    }
+}

@@ -1,0 +1,220 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::ScheduleError;
+
+/// Stable identifier of a resource in a [`ResourcePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// Dense index of the resource (insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A named renewable resource with an integral capacity — designers,
+/// workstations, simulator licenses.
+///
+/// The paper's Level-3 schedule data records "the resources needed" per
+/// activity; the pool is what those demands draw from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    name: String,
+    capacity: u32,
+}
+
+impl Resource {
+    /// Creates a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a resource nobody can use is a
+    /// configuration error.
+    pub fn new(name: impl Into<String>, capacity: u32) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Resource {
+            name: name.into(),
+            capacity,
+        }
+    }
+
+    /// The resource name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Units available at any instant.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (cap {})", self.name, self.capacity)
+    }
+}
+
+/// A collection of resources addressed by name.
+///
+/// # Example
+///
+/// ```
+/// use schedule::{Resource, ResourcePool};
+///
+/// let mut pool = ResourcePool::new();
+/// pool.add(Resource::new("designer", 3));
+/// assert_eq!(pool.capacity_of("designer"), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourcePool {
+    resources: Vec<Resource>,
+    by_name: HashMap<String, ResourceId>,
+}
+
+impl ResourcePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource, replacing any with the same name.
+    pub fn add(&mut self, resource: Resource) -> ResourceId {
+        if let Some(&id) = self.by_name.get(resource.name()) {
+            self.resources[id.0] = resource;
+            return id;
+        }
+        let id = ResourceId(self.resources.len());
+        self.by_name.insert(resource.name().to_owned(), id);
+        self.resources.push(resource);
+        id
+    }
+
+    /// Looks up a resource id by name.
+    pub fn id_of(&self, name: &str) -> Option<ResourceId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Capacity of the named resource, if present.
+    pub fn capacity_of(&self, name: &str) -> Option<u32> {
+        self.id_of(name).map(|id| self.resources[id.0].capacity())
+    }
+
+    /// The resource behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this pool.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0]
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Returns `true` if the pool has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Iterates over all resources in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &Resource)> + '_ {
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ResourceId(i), r))
+    }
+
+    /// Validates that `demand` units of `name` can ever be satisfied.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::UnknownResource`] if `name` is absent, or
+    /// [`ScheduleError::InfeasibleDemand`] via the caller when demand
+    /// exceeds capacity (the caller supplies the activity id, so this
+    /// helper just reports the comparison).
+    pub fn check_demand(&self, name: &str, demand: u32) -> Result<bool, ScheduleError> {
+        match self.capacity_of(name) {
+            None => Err(ScheduleError::UnknownResource(name.to_owned())),
+            Some(cap) => Ok(demand <= cap),
+        }
+    }
+}
+
+impl FromIterator<Resource> for ResourcePool {
+    fn from_iter<I: IntoIterator<Item = Resource>>(iter: I) -> Self {
+        let mut pool = ResourcePool::new();
+        for r in iter {
+            pool.add(r);
+        }
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut pool = ResourcePool::new();
+        let id = pool.add(Resource::new("designer", 2));
+        assert_eq!(pool.id_of("designer"), Some(id));
+        assert_eq!(pool.capacity_of("designer"), Some(2));
+        assert_eq!(pool.resource(id).name(), "designer");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn replace_same_name() {
+        let mut pool = ResourcePool::new();
+        let id1 = pool.add(Resource::new("cpu", 4));
+        let id2 = pool.add(Resource::new("cpu", 8));
+        assert_eq!(id1, id2);
+        assert_eq!(pool.capacity_of("cpu"), Some(8));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let pool: ResourcePool = [Resource::new("a", 1), Resource::new("b", 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.iter().count(), 2);
+    }
+
+    #[test]
+    fn check_demand_paths() {
+        let pool: ResourcePool = [Resource::new("lic", 2)].into_iter().collect();
+        assert_eq!(pool.check_demand("lic", 2), Ok(true));
+        assert_eq!(pool.check_demand("lic", 3), Ok(false));
+        assert!(matches!(
+            pool.check_demand("ghost", 1),
+            Err(ScheduleError::UnknownResource(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Resource::new("x", 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Resource::new("fpga", 3).to_string(), "fpga (cap 3)");
+        assert_eq!(ResourceId(2).to_string(), "r2");
+    }
+}

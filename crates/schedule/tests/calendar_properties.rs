@@ -1,0 +1,65 @@
+//! Property-based tests for the civil-date math and work calendars.
+
+use proptest::prelude::*;
+use schedule::{CalDate, Calendar, Weekday};
+
+proptest! {
+    #[test]
+    fn epoch_roundtrip(days in -2_000_000i64..2_000_000) {
+        let date = CalDate::from_epoch_days(days);
+        let rebuilt = CalDate::new(date.year(), date.month(), date.day());
+        prop_assert_eq!(rebuilt, date);
+        prop_assert_eq!(rebuilt.epoch_days(), days);
+    }
+
+    #[test]
+    fn succ_advances_one_day(days in -500_000i64..500_000) {
+        let date = CalDate::from_epoch_days(days);
+        let next = date.succ();
+        prop_assert_eq!(next.days_since(date), 1);
+        // Weekday cycles with period 7.
+        prop_assert_eq!(date.plus_days(7).weekday(), date.weekday());
+        prop_assert!(date.weekday() != next.weekday());
+    }
+
+    #[test]
+    fn date_components_valid(days in -1_000_000i64..1_000_000) {
+        let date = CalDate::from_epoch_days(days);
+        prop_assert!((1..=12).contains(&date.month()));
+        prop_assert!((1..=31).contains(&date.day()));
+    }
+
+    #[test]
+    fn five_day_offset_roundtrip(start_days in 0i64..100_000, offset in 0u32..2000) {
+        let cal = Calendar::five_day(CalDate::from_epoch_days(start_days));
+        let offset = f64::from(offset);
+        let date = cal.date_of(offset);
+        // The produced date is always a working day.
+        prop_assert!(cal.is_working(date));
+        prop_assert!(!matches!(date.weekday(), Weekday::Saturday | Weekday::Sunday));
+        // offset_of inverts date_of for whole working-day offsets.
+        prop_assert_eq!(cal.offset_of(date), offset);
+    }
+
+    #[test]
+    fn holidays_only_delay(start_days in 0i64..50_000, offset in 1u32..200) {
+        let start = CalDate::from_epoch_days(start_days);
+        let plain = Calendar::five_day(start);
+        // Make the first working day after start a holiday.
+        let holiday = plain.date_of(1.0);
+        let with_holiday = Calendar::five_day(start).with_holiday(holiday);
+        let offset = f64::from(offset);
+        let a = plain.date_of(offset);
+        let b = with_holiday.date_of(offset);
+        prop_assert!(b >= a, "holiday moved {offset} earlier: {b} < {a}");
+        prop_assert!(b.days_since(a) <= 4, "one holiday delays at most a long weekend");
+    }
+
+    #[test]
+    fn seven_day_calendar_is_identity_on_offsets(start_days in 0i64..50_000, offset in 0u32..1000) {
+        let start = CalDate::from_epoch_days(start_days);
+        let cal = Calendar::seven_day(start);
+        let date = cal.date_of(f64::from(offset));
+        prop_assert_eq!(date.days_since(start), i64::from(offset));
+    }
+}

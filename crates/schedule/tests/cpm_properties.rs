@@ -1,0 +1,133 @@
+//! Property-based tests for the CPM engine and resource levelling.
+
+use proptest::prelude::*;
+use schedule::{level_resources, Resource, ResourcePool, ScheduleNetwork, WorkDays};
+
+/// Random acyclic network: forward edges over n activities with random
+/// small durations.
+fn arb_network() -> impl Strategy<Value = ScheduleNetwork> {
+    (
+        2usize..25,
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..60),
+        proptest::collection::vec(0u32..20, 2..25),
+    )
+        .prop_map(|(n, pairs, durations)| {
+            let mut net = ScheduleNetwork::new();
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    let d = durations.get(i).copied().unwrap_or(1) as f64 * 0.5;
+                    net.add_activity(format!("t{i}"), WorkDays::new(d))
+                        .expect("unique names")
+                })
+                .collect();
+            for (a, b) in pairs {
+                let i = (a as usize) % n;
+                let j = (b as usize) % n;
+                if i < j {
+                    net.add_precedence(ids[i], ids[j]).expect("forward edges");
+                }
+            }
+            net
+        })
+}
+
+proptest! {
+    #[test]
+    fn cpm_dates_are_consistent(net in arb_network()) {
+        let cpm = net.analyze().expect("acyclic");
+        for id in net.activities() {
+            let t = cpm.times(id);
+            // ES + duration = EF; LS + duration = LF.
+            prop_assert!((t.early_finish.days()
+                - t.early_start.days()
+                - net.duration(id).days()).abs() < 1e-9);
+            prop_assert!((t.late_finish.days()
+                - t.late_start.days()
+                - net.duration(id).days()).abs() < 1e-9);
+            // Early never after late; slack non-negative.
+            prop_assert!(t.early_start.days() <= t.late_start.days() + 1e-9);
+            prop_assert!(t.total_slack.days() >= -1e-9);
+            // Free slack never exceeds total slack.
+            prop_assert!(t.free_slack.days() <= t.total_slack.days() + 1e-9);
+            // Nothing finishes after the project.
+            prop_assert!(t.early_finish.days() <= cpm.project_duration().days() + 1e-9);
+            prop_assert!(t.late_finish.days() <= cpm.project_duration().days() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn precedence_respected_by_earliest_dates(net in arb_network()) {
+        let cpm = net.analyze().expect("acyclic");
+        for id in net.activities() {
+            for s in net.successors(id) {
+                prop_assert!(
+                    cpm.times(s).early_start.days() >= cpm.times(id).early_finish.days() - 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_length_equals_project_duration(net in arb_network()) {
+        let cpm = net.analyze().expect("acyclic");
+        let path = cpm.critical_path();
+        prop_assert!(!path.is_empty());
+        let total: f64 = path.iter().map(|&id| net.duration(id).days()).sum();
+        prop_assert!((total - cpm.project_duration().days()).abs() < 1e-9);
+        // Path is a real precedence chain of critical activities.
+        for pair in path.windows(2) {
+            prop_assert!(net.successors(pair[0]).any(|s| s == pair[1]));
+        }
+        for &id in path {
+            prop_assert!(cpm.is_critical(id));
+        }
+    }
+
+    #[test]
+    fn project_duration_is_max_over_paths(net in arb_network()) {
+        // The project can never be shorter than any single activity.
+        let cpm = net.analyze().expect("acyclic");
+        for id in net.activities() {
+            prop_assert!(cpm.project_duration().days() >= net.duration(id).days() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn leveling_respects_precedence_and_cpm_lower_bound(net in arb_network()) {
+        let mut net = net;
+        let ids: Vec<_> = net.activities().collect();
+        for &id in &ids {
+            net.add_demand(id, "designer", 1).expect("activity exists");
+        }
+        let pool: ResourcePool = [Resource::new("designer", 2)].into_iter().collect();
+        let cpm = net.analyze().expect("acyclic");
+        let lev = level_resources(&net, &pool).expect("feasible");
+        for &id in &ids {
+            // Never earlier than CPM's earliest start.
+            prop_assert!(lev.start(id).days() >= cpm.times(id).early_start.days() - 1e-9);
+            for s in net.successors(id) {
+                prop_assert!(lev.start(s).days() >= lev.finish(id).days() - 1e-9);
+            }
+        }
+        // Capacity respected: at each start, count overlapping activities.
+        for &id in &ids {
+            if net.duration(id).days() == 0.0 {
+                continue;
+            }
+            let t = lev.start(id).days() + 1e-6;
+            let overlapping = ids
+                .iter()
+                .filter(|&&o| {
+                    net.duration(o).days() > 0.0
+                        && lev.start(o).days() < t
+                        && lev.finish(o).days() > t
+                })
+                .count();
+            prop_assert!(overlapping <= 2, "capacity 2 exceeded: {overlapping}");
+        }
+        // Makespan bounded below by CPM and above by serial execution.
+        let serial: f64 = ids.iter().map(|&i| net.duration(i).days()).sum();
+        prop_assert!(lev.makespan().days() >= cpm.project_duration().days() - 1e-9);
+        prop_assert!(lev.makespan().days() <= serial + 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while lexing or parsing schema source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// A token other than the expected one was found.
+    Expected {
+        /// Human description of what the parser wanted.
+        wanted: &'static str,
+        /// The token actually found.
+        found: String,
+    },
+    /// The source ended in the middle of a declaration.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found {found:?}")
+            }
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+/// Errors produced while parsing or validating a task schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchemaError {
+    /// Syntax error at `line`:`column` (both 1-based).
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based source column.
+        column: usize,
+        /// Classification of the failure.
+        kind: ParseErrorKind,
+    },
+    /// Two entity classes share a name.
+    DuplicateClass(String),
+    /// Two activities share a name.
+    DuplicateActivity(String),
+    /// Two rules produce the same data class — outputs must be unique so
+    /// that every datum has one producing activity.
+    DuplicateProducer {
+        /// The doubly-produced data class.
+        class: String,
+        /// The second activity claiming it.
+        activity: String,
+    },
+    /// A rule references a class that was never declared.
+    UnknownClass {
+        /// The undeclared class name.
+        class: String,
+        /// The rule that referenced it.
+        activity: String,
+    },
+    /// A rule uses a class with the wrong kind (tool where data is
+    /// needed or vice versa).
+    WrongKind {
+        /// The offending class.
+        class: String,
+        /// The rule that misused it.
+        activity: String,
+        /// What the position required, e.g. `"data"`.
+        expected: &'static str,
+    },
+    /// The same input appears twice in one rule.
+    DuplicateInput {
+        /// The repeated input class.
+        class: String,
+        /// The rule containing the repetition.
+        activity: String,
+    },
+    /// A rule consumes the data class it produces.
+    SelfDependency {
+        /// The rule whose output is also an input.
+        activity: String,
+    },
+    /// The rules form a dependency cycle, so no execution order exists.
+    CyclicSchema {
+        /// An activity on the cycle.
+        activity: String,
+    },
+    /// The schema contains no construction rules.
+    Empty,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Parse { line, column, kind } => {
+                write!(f, "parse error at {line}:{column}: {kind}")
+            }
+            SchemaError::DuplicateClass(name) => {
+                write!(f, "entity class {name:?} declared more than once")
+            }
+            SchemaError::DuplicateActivity(name) => {
+                write!(f, "activity {name:?} declared more than once")
+            }
+            SchemaError::DuplicateProducer { class, activity } => write!(
+                f,
+                "data class {class:?} already has a producer; activity {activity:?} cannot also produce it"
+            ),
+            SchemaError::UnknownClass { class, activity } => {
+                write!(f, "activity {activity:?} references undeclared class {class:?}")
+            }
+            SchemaError::WrongKind {
+                class,
+                activity,
+                expected,
+            } => write!(
+                f,
+                "activity {activity:?} uses {class:?} where a {expected} class is required"
+            ),
+            SchemaError::DuplicateInput { class, activity } => {
+                write!(f, "activity {activity:?} lists input {class:?} twice")
+            }
+            SchemaError::SelfDependency { activity } => {
+                write!(f, "activity {activity:?} consumes its own output")
+            }
+            SchemaError::CyclicSchema { activity } => {
+                write!(f, "construction rules form a cycle through activity {activity:?}")
+            }
+            SchemaError::Empty => write!(f, "schema contains no construction rules"),
+        }
+    }
+}
+
+impl Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SchemaError::UnknownClass {
+            class: "wave".into(),
+            activity: "Simulate".into(),
+        };
+        assert!(e.to_string().contains("Simulate"));
+        assert!(e.to_string().contains("wave"));
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let e = SchemaError::Parse {
+            line: 3,
+            column: 7,
+            kind: ParseErrorKind::UnexpectedEof,
+        };
+        assert!(e.to_string().contains("3:7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchemaError>();
+    }
+}

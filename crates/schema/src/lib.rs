@@ -1,0 +1,59 @@
+//! Level 1 of the four-level flow-management architecture: the *task
+//! schema*.
+//!
+//! A task schema "describes the entities (tool and data classes) and the
+//! relationships between entities that are needed to model all tasks in
+//! a design process" (Johnson & Brockman, DAC 1995, §IV-A). Formally it
+//! is a set of *construction rules*
+//!
+//! ```text
+//! d_i = f(d_1, d_2, ..., d_n)
+//! ```
+//!
+//! stating that an instance of data class `d_i` is created by applying
+//! tool `f` to instances of data classes `d_1..d_n`. The paper's running
+//! example (Fig. 4) is the circuit-design schema:
+//!
+//! ```text
+//! activity Create:   netlist     = netlist_editor();
+//! activity Simulate: performance = simulator(netlist, stimuli);
+//! ```
+//!
+//! This crate provides the object model ([`TaskSchema`],
+//! [`EntityClass`], [`ConstructionRule`]), a small text DSL with a
+//! hand-written lexer/parser ([`parse_schema`]), validation, and the
+//! projection of a schema onto the [`flowgraph::Dag`] substrate
+//! ([`SchemaGraph`]) that Level-2 flow models are instantiated from.
+//!
+//! # Example
+//!
+//! ```
+//! use schema::parse_schema;
+//!
+//! # fn main() -> Result<(), schema::SchemaError> {
+//! let schema = parse_schema(
+//!     "data netlist; data stimuli; data performance;
+//!      tool netlist_editor; tool simulator;
+//!      activity Create:   netlist = netlist_editor();
+//!      activity Simulate: performance = simulator(netlist, stimuli);",
+//! )?;
+//! assert_eq!(schema.rules().len(), 2);
+//! assert_eq!(schema.rule("Simulate").unwrap().inputs().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod model;
+mod parse;
+
+pub mod examples;
+
+pub use error::{ParseErrorKind, SchemaError};
+pub use graph::{SchemaGraph, SchemaNode};
+pub use model::{ConstructionRule, EntityClass, EntityKind, TaskSchema, TaskSchemaBuilder};
+pub use parse::parse_schema;

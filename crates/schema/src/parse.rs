@@ -1,0 +1,430 @@
+use crate::error::{ParseErrorKind, SchemaError};
+use crate::model::{EntityKind, TaskSchema, TaskSchemaBuilder};
+
+/// Parses task-schema DSL source into a validated [`TaskSchema`].
+///
+/// # Grammar
+///
+/// ```text
+/// schema     := item* ;
+/// item       := class_decl | rule_decl | schema_decl ;
+/// schema_decl:= "schema" IDENT ";" ;
+/// class_decl := ("data" | "tool") IDENT ("," IDENT)* ";" ;
+/// rule_decl  := ("activity" IDENT ":")? IDENT "=" IDENT "(" args? ")" ";" ;
+/// args       := IDENT ("," IDENT)* ;
+/// ```
+///
+/// `//` and `#` start line comments. Identifiers are
+/// `[A-Za-z_][A-Za-z0-9_-]*`, so hyphenated tool names like
+/// `place-and-route` work. The paper's Fig. 4 schema in this DSL:
+///
+/// ```text
+/// data netlist; data stimuli; data performance;
+/// tool netlist_editor; tool simulator;
+/// activity Create:   netlist = netlist_editor();
+/// activity Simulate: performance = simulator(netlist, stimuli);
+/// ```
+///
+/// # Errors
+///
+/// [`SchemaError::Parse`] for syntax errors (with 1-based line/column),
+/// or any validation error from
+/// [`TaskSchemaBuilder::build`](crate::TaskSchemaBuilder::build).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), schema::SchemaError> {
+/// let s = schema::parse_schema("data a; tool t; a = t();")?;
+/// assert_eq!(s.rules()[0].activity(), "Run t");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_schema(source: &str) -> Result<TaskSchema, SchemaError> {
+    let tokens = lex(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        builder: TaskSchemaBuilder::new(""),
+        schema_name: None,
+    }
+    .parse()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    Ident(String),
+    Comma,
+    Semi,
+    Colon,
+    Equals,
+    LParen,
+    RParen,
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Equals => write!(f, "="),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokenKind,
+    line: usize,
+    column: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Token>, SchemaError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, column);
+        let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next().expect("peeked");
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+            c
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(&mut chars);
+            }
+            '#' => {
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    bump(&mut chars);
+                }
+            }
+            '/' => {
+                bump(&mut chars);
+                if chars.peek() == Some(&'/') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump(&mut chars);
+                    }
+                } else {
+                    return Err(SchemaError::Parse {
+                        line: tl,
+                        column: tc,
+                        kind: ParseErrorKind::UnexpectedChar('/'),
+                    });
+                }
+            }
+            ',' | ';' | ':' | '=' | '(' | ')' => {
+                bump(&mut chars);
+                let kind = match c {
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semi,
+                    ':' => TokenKind::Colon,
+                    '=' => TokenKind::Equals,
+                    '(' => TokenKind::LParen,
+                    _ => TokenKind::RParen,
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tl,
+                    column: tc,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    ident.push(bump(&mut chars));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line: tl,
+                    column: tc,
+                });
+            }
+            other => {
+                return Err(SchemaError::Parse {
+                    line: tl,
+                    column: tc,
+                    kind: ParseErrorKind::UnexpectedChar(other),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    builder: TaskSchemaBuilder,
+    schema_name: Option<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, wanted: &'static str) -> SchemaError {
+        let t = self.peek();
+        SchemaError::Parse {
+            line: t.line,
+            column: t.column,
+            kind: if t.kind == TokenKind::Eof {
+                ParseErrorKind::UnexpectedEof
+            } else {
+                ParseErrorKind::Expected {
+                    wanted,
+                    found: t.kind.to_string(),
+                }
+            },
+        }
+    }
+
+    fn expect_ident(&mut self, wanted: &'static str) -> Result<String, SchemaError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let TokenKind::Ident(name) = self.advance().kind else {
+                    unreachable!("peeked ident");
+                };
+                Ok(name)
+            }
+            _ => Err(self.error(wanted)),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, wanted: &'static str) -> Result<(), SchemaError> {
+        if self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(wanted))
+        }
+    }
+
+    fn parse(mut self) -> Result<TaskSchema, SchemaError> {
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "schema" => self.parse_schema_decl()?,
+                    "data" => self.parse_class_decl(EntityKind::Data)?,
+                    "tool" => self.parse_class_decl(EntityKind::Tool)?,
+                    "activity" => self.parse_rule(true)?,
+                    _ => self.parse_rule(false)?,
+                },
+                _ => return Err(self.error("a declaration")),
+            }
+        }
+        let mut builder = self.builder;
+        if let Some(name) = self.schema_name {
+            builder = builder.named(name);
+        }
+        builder.build()
+    }
+
+    fn parse_schema_decl(&mut self) -> Result<(), SchemaError> {
+        self.advance(); // "schema"
+        let name = self.expect_ident("schema name")?;
+        self.expect(TokenKind::Semi, "';' after schema name")?;
+        self.schema_name = Some(name);
+        Ok(())
+    }
+
+    fn parse_class_decl(&mut self, kind: EntityKind) -> Result<(), SchemaError> {
+        self.advance(); // "data" | "tool"
+        loop {
+            let name = self.expect_ident("class name")?;
+            self.builder = std::mem::take(&mut self.builder).class(name, kind);
+            match &self.peek().kind {
+                TokenKind::Comma => {
+                    self.advance();
+                }
+                TokenKind::Semi => {
+                    self.advance();
+                    return Ok(());
+                }
+                _ => return Err(self.error("',' or ';' in class declaration")),
+            }
+        }
+    }
+
+    fn parse_rule(&mut self, labelled: bool) -> Result<(), SchemaError> {
+        let activity = if labelled {
+            self.advance(); // "activity"
+            let name = self.expect_ident("activity name")?;
+            self.expect(TokenKind::Colon, "':' after activity name")?;
+            name
+        } else {
+            String::new()
+        };
+        let output = self.expect_ident("output class")?;
+        self.expect(TokenKind::Equals, "'=' in construction rule")?;
+        let tool = self.expect_ident("tool class")?;
+        self.expect(TokenKind::LParen, "'(' after tool name")?;
+        let mut inputs: Vec<String> = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                inputs.push(self.expect_ident("input class")?);
+                match &self.peek().kind {
+                    TokenKind::Comma => {
+                        self.advance();
+                    }
+                    TokenKind::RParen => break,
+                    _ => return Err(self.error("',' or ')' in input list")),
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "')' closing input list")?;
+        self.expect(TokenKind::Semi, "';' after construction rule")?;
+        let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        self.builder = std::mem::take(&mut self.builder).rule(activity, output, tool, &input_refs);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CIRCUIT: &str = "
+        schema circuit;
+        // The paper's Fig. 4 example.
+        data netlist, stimuli, performance;
+        tool netlist_editor, simulator;
+        activity Create:   netlist = netlist_editor();
+        activity Simulate: performance = simulator(netlist, stimuli);
+    ";
+
+    #[test]
+    fn parses_paper_schema() {
+        let s = parse_schema(CIRCUIT).unwrap();
+        assert_eq!(s.classes().len(), 5);
+        assert_eq!(s.rules().len(), 2);
+        let sim = s.rule("Simulate").unwrap();
+        assert_eq!(sim.output(), "performance");
+        assert_eq!(sim.tool(), "simulator");
+        assert_eq!(sim.inputs(), ["netlist", "stimuli"]);
+    }
+
+    #[test]
+    fn unlabelled_rule_gets_derived_name() {
+        let s = parse_schema("data a; tool t; a = t();").unwrap();
+        assert_eq!(s.rules()[0].activity(), "Run t");
+    }
+
+    #[test]
+    fn hash_comments_and_hyphens() {
+        let s = parse_schema(
+            "# comment\ndata layout; tool place-and-route; data netlist;\n\
+             activity Route: layout = place-and-route(netlist);",
+        )
+        .unwrap();
+        assert_eq!(s.rule("Route").unwrap().tool(), "place-and-route");
+    }
+
+    #[test]
+    fn reports_line_and_column() {
+        let err = parse_schema("data a;\ndata ;").unwrap_err();
+        match err {
+            SchemaError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 6);
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = parse_schema("data a; !").unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaError::Parse {
+                kind: ParseErrorKind::UnexpectedChar('!'),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_schema("data a, b tool t;").unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_rule() {
+        let err = parse_schema("data a; tool t; a = t(").unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaError::Parse {
+                kind: ParseErrorKind::UnexpectedEof,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_single_slash() {
+        let err = parse_schema("data a; / b").unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaError::Parse {
+                kind: ParseErrorKind::UnexpectedChar('/'),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_source_is_empty_schema_error() {
+        assert_eq!(parse_schema(""), Err(SchemaError::Empty));
+        assert_eq!(parse_schema("// just a comment"), Err(SchemaError::Empty));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let err = parse_schema("data a; tool t; a = t(b);").unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownClass { .. }));
+    }
+
+    #[test]
+    fn rule_with_empty_inputs() {
+        let s = parse_schema("data a; tool t; activity Make: a = t();").unwrap();
+        assert!(s.rule("Make").unwrap().inputs().is_empty());
+    }
+
+    #[test]
+    fn windows_line_endings() {
+        let s = parse_schema("data a;\r\ntool t;\r\na = t();\r\n").unwrap();
+        assert_eq!(s.rules().len(), 1);
+    }
+}

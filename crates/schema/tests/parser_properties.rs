@@ -1,0 +1,117 @@
+//! Property-based tests for the schema DSL: round-tripping through
+//! `to_source`, parser totality on arbitrary input, and structural
+//! invariants of generated schemas.
+
+use proptest::prelude::*;
+use schema::{parse_schema, EntityKind, SchemaError, TaskSchemaBuilder};
+
+/// A valid identifier for the DSL.
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+/// Builds a random *valid* schema: `n` data classes in a random
+/// forest-like producer structure plus distinct tool names.
+fn arb_schema_source() -> impl Strategy<Value = String> {
+    (2usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("data d{i};\ntool t{i};\n"));
+        }
+        // Rule i produces d_i from a subset of earlier data classes,
+        // chosen by the seed bits — always acyclic.
+        let mut bits = seed;
+        for i in 1..n {
+            let mut inputs = Vec::new();
+            for j in 0..i {
+                if bits & 1 == 1 {
+                    inputs.push(format!("d{j}"));
+                }
+                bits >>= 1;
+            }
+            src.push_str(&format!(
+                "activity A{i}: d{i} = t{i}({});\n",
+                inputs.join(", ")
+            ));
+        }
+        src
+    })
+}
+
+proptest! {
+    #[test]
+    fn valid_schemas_roundtrip(src in arb_schema_source()) {
+        let schema = parse_schema(&src).expect("generated source is valid");
+        let reparsed = parse_schema(&schema.to_source()).expect("to_source is valid DSL");
+        prop_assert_eq!(schema.classes(), reparsed.classes());
+        prop_assert_eq!(schema.rules(), reparsed.rules());
+    }
+
+    #[test]
+    fn parser_never_panics(garbage in "\\PC{0,200}") {
+        // Totality: arbitrary printable input either parses or returns
+        // an error — never panics.
+        let _ = parse_schema(&garbage);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_noise(garbage in "[ -~\\n\\t]{0,300}") {
+        let _ = parse_schema(&garbage);
+    }
+
+    #[test]
+    fn builder_and_parser_agree(names in proptest::collection::vec(arb_ident(), 2..6)) {
+        // Unique-ify names to sidestep duplicate-class errors.
+        let mut names = names;
+        names.sort();
+        names.dedup();
+        prop_assume!(names.len() >= 2);
+        let data = &names[0];
+        let tool = &names[1];
+        prop_assume!(data != tool);
+        let built = TaskSchemaBuilder::new("x")
+            .class(data.clone(), EntityKind::Data)
+            .class(tool.clone(), EntityKind::Tool)
+            .rule("Make", data.clone(), tool.clone(), &[])
+            .build()
+            .expect("valid");
+        let parsed = parse_schema(&format!(
+            "data {data}; tool {tool}; activity Make: {data} = {tool}();"
+        ))
+        .expect("valid");
+        prop_assert_eq!(built.rules(), parsed.rules());
+    }
+
+    #[test]
+    fn producers_unique_in_valid_schemas(src in arb_schema_source()) {
+        let schema = parse_schema(&src).expect("valid");
+        for class in schema.classes() {
+            if class.kind() == EntityKind::Data {
+                // producer_of is deterministic and at-most-one by
+                // validation; consumers never include the producer rule.
+                if let Some(producer) = schema.producer_of(class.name()) {
+                    for consumer in schema.consumers_of(class.name()) {
+                        prop_assert_ne!(consumer.activity(), producer.activity());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_positions_are_in_range(src in arb_schema_source(), cut in 0usize..100) {
+        // Truncating valid source mid-token must yield a parse error
+        // whose position lies within the (truncated) text.
+        let cut = cut.min(src.len());
+        let truncated = &src[..cut];
+        match parse_schema(truncated) {
+            Ok(_) | Err(SchemaError::Empty) => {}
+            Err(SchemaError::Parse { line, column, .. }) => {
+                let lines: Vec<&str> = truncated.split('\n').collect();
+                prop_assert!(line >= 1 && line <= lines.len() + 1);
+                prop_assert!(column >= 1);
+            }
+            Err(_) => {} // truncated rules may also fail validation
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! A minimal discrete-event core: a clock plus a time-ordered event
+//! queue with deterministic tie-breaking.
+//!
+//! The execution engines (multi-designer flow execution in the
+//! `hercules` crate, the reporting-lag baseline in `baselines`) are
+//! built on this: they schedule events at future times and process them
+//! in order. Ties are broken by insertion sequence so simulations are
+//! reproducible regardless of float coincidences.
+//!
+//! # Example
+//!
+//! ```
+//! use simtools::des::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(2.0, "finish");
+//! q.schedule(1.0, "start");
+//! assert_eq!(q.pop(), Some((1.0, "start")));
+//! assert_eq!(q.pop(), Some((2.0, "finish")));
+//! assert!(q.is_empty());
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: f64,
+    sequence: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap: earliest time first, then earliest
+        // insertion.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue over payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    sequence: u64,
+    now: f64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            sequence: 0,
+            now: 0.0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation time: the time of the last popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current clock
+    /// (events cannot fire in the past).
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule at {time} before current time {}",
+            self.now
+        );
+        let entry = Entry {
+            time,
+            sequence: self.sequence,
+            payload,
+        };
+        self.sequence += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `payload` after a delay from the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, payload: T) {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+        assert_eq!(q.now(), 3.0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "later");
+        q.pop();
+        q.schedule_in(2.0, "after");
+        assert_eq!(q.peek_time(), Some(7.0));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ());
+        q.schedule(4.0, ());
+        let mut last = 0.0;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

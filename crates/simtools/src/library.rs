@@ -1,0 +1,188 @@
+use std::collections::BTreeMap;
+
+use crate::model::{ToolInvocation, ToolModel, ToolOutcome};
+use crate::rng::{hash_str, SplitMix64};
+
+/// A library of tool behaviour models addressed by tool-class name.
+///
+/// [`ToolLibrary::standard`] calibrates the tool names used by the
+/// built-in schemas (`schema::examples`); any unknown name gets a
+/// stable hash-derived model so arbitrary schemas still execute.
+///
+/// # Example
+///
+/// ```
+/// use simtools::ToolLibrary;
+///
+/// let lib = ToolLibrary::standard();
+/// assert!(lib.model("simulator").is_some());
+/// // Unknown tools still resolve deterministically.
+/// let a = lib.resolve("mystery_tool").base_days();
+/// let b = lib.resolve("mystery_tool").base_days();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ToolLibrary {
+    models: BTreeMap<String, ToolModel>,
+}
+
+impl ToolLibrary {
+    /// Creates an empty library (every lookup falls back to the
+    /// hash-derived default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A library calibrated for the workspace's built-in schemas.
+    ///
+    /// Durations loosely follow mid-1990s design practice: interactive
+    /// editing takes days, batch tools hours-to-days scaled by input
+    /// size, signoff is slow and iterates.
+    pub fn standard() -> Self {
+        let mut lib = ToolLibrary::new();
+        for model in [
+            // circuit_design schema
+            ToolModel::new("netlist_editor", 2.0)
+                .with_first_pass_rate(0.5)
+                .with_output_bytes(8 * 1024),
+            ToolModel::new("simulator", 1.0)
+                .with_bytes_factor(0.02)
+                .with_first_pass_rate(0.7)
+                .with_output_bytes(16 * 1024),
+            // asic_flow schema
+            ToolModel::new("spec_editor", 3.0).with_first_pass_rate(0.8),
+            ToolModel::new("rtl_editor", 8.0)
+                .with_first_pass_rate(0.4)
+                .with_output_bytes(64 * 1024),
+            ToolModel::new("rtl_simulator", 1.5)
+                .with_bytes_factor(0.01)
+                .with_first_pass_rate(0.5)
+                .with_output_bytes(32 * 1024),
+            ToolModel::new("synthesizer", 1.0)
+                .with_bytes_factor(0.02)
+                .with_first_pass_rate(0.7)
+                .with_output_bytes(128 * 1024),
+            ToolModel::new("floorplanner", 2.0).with_first_pass_rate(0.6),
+            ToolModel::new("placer", 1.0)
+                .with_bytes_factor(0.005)
+                .with_first_pass_rate(0.8),
+            ToolModel::new("cts_tool", 0.5).with_first_pass_rate(0.8),
+            ToolModel::new("router", 2.0)
+                .with_bytes_factor(0.01)
+                .with_first_pass_rate(0.6)
+                .with_output_bytes(256 * 1024),
+            ToolModel::new("signoff_checker", 1.0)
+                .with_first_pass_rate(0.5)
+                .with_max_iterations(4),
+            // board_flow schema
+            ToolModel::new("req_editor", 2.0).with_first_pass_rate(0.8),
+            ToolModel::new("schematic_editor", 5.0).with_first_pass_rate(0.5),
+            ToolModel::new("bom_extractor", 0.25).with_first_pass_rate(0.9),
+            ToolModel::new("board_router", 3.0).with_first_pass_rate(0.6),
+            ToolModel::new("gerber_writer", 0.25).with_first_pass_rate(0.95),
+            ToolModel::new("lab_bench", 4.0).with_first_pass_rate(0.4),
+        ] {
+            lib.add(model);
+        }
+        lib
+    }
+
+    /// Adds (or replaces) a model.
+    pub fn add(&mut self, model: ToolModel) {
+        self.models.insert(model.name().to_owned(), model);
+    }
+
+    /// The model registered for `tool`, if any.
+    pub fn model(&self, tool: &str) -> Option<&ToolModel> {
+        self.models.get(tool)
+    }
+
+    /// The model for `tool`, synthesising a stable default when none is
+    /// registered: base duration 0.5–4.5 days and first-pass rate
+    /// 40–90%, both derived from the tool name's hash.
+    pub fn resolve(&self, tool: &str) -> ToolModel {
+        if let Some(m) = self.models.get(tool) {
+            return m.clone();
+        }
+        let mut rng = SplitMix64::new(hash_str(tool));
+        let base = 0.5 + 4.0 * rng.next_f64();
+        let fp = 0.4 + 0.5 * rng.next_f64();
+        ToolModel::new(tool, base)
+            .with_first_pass_rate(fp)
+            .with_bytes_factor(0.01 * rng.next_f64())
+    }
+
+    /// Invokes `tool` (resolving defaults as needed).
+    pub fn invoke(&self, tool: &str, req: &ToolInvocation) -> ToolOutcome {
+        self.resolve(tool).invoke(req)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Returns `true` if no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Iterates over registered models in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ToolModel> + '_ {
+        self.models.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_builtin_schemas() {
+        let lib = ToolLibrary::standard();
+        for schema in [
+            schema::examples::circuit_design(),
+            schema::examples::asic_flow(),
+            schema::examples::board_flow(),
+        ] {
+            for rule in schema.rules() {
+                assert!(
+                    lib.model(rule.tool()).is_some(),
+                    "missing model for {}",
+                    rule.tool()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_falls_back_deterministically() {
+        let lib = ToolLibrary::new();
+        let a = lib.resolve("quantum_annealer");
+        let b = lib.resolve("quantum_annealer");
+        assert_eq!(a, b);
+        assert!(a.base_days() >= 0.5 && a.base_days() <= 4.5);
+        let c = lib.resolve("other_tool");
+        assert_ne!(a.base_days(), c.base_days());
+    }
+
+    #[test]
+    fn add_replaces() {
+        let mut lib = ToolLibrary::new();
+        lib.add(ToolModel::new("x", 1.0));
+        lib.add(ToolModel::new("x", 2.0));
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.model("x").unwrap().base_days(), 2.0);
+        assert!(!lib.is_empty());
+        assert_eq!(lib.iter().count(), 1);
+    }
+
+    #[test]
+    fn invoke_uses_registered_model() {
+        let mut lib = ToolLibrary::new();
+        lib.add(ToolModel::new("t", 1.0).with_jitter(0.0).with_first_pass_rate(1.0));
+        let out = lib.invoke("t", &ToolInvocation { input_bytes: 0, iteration: 1, seed: 0 });
+        assert!((out.duration_days - 1.0).abs() < 1e-9);
+        assert!(out.converged);
+    }
+}

@@ -1,0 +1,335 @@
+use std::fmt;
+
+use crate::rng::{mix, SplitMix64};
+
+/// One request to run a tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ToolInvocation {
+    /// Total size of the input design data in bytes (0 for source
+    /// activities like the paper's `Create`).
+    pub input_bytes: u64,
+    /// 1-based iteration number of the owning activity — later
+    /// iterations converge (designers fix what the last run exposed).
+    pub iteration: u32,
+    /// Project-level seed, so different projects see different noise.
+    pub seed: u64,
+}
+
+/// The observable result of running a tool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolOutcome {
+    /// Wall-clock working days the run took.
+    pub duration_days: f64,
+    /// The produced design data.
+    pub output: Vec<u8>,
+    /// Whether the result meets the activity's goals. A `false` outcome
+    /// means the designer will iterate ("a given activity may need to
+    /// be run several times before the design goals are achieved").
+    pub converged: bool,
+}
+
+/// A deterministic behaviour model of one CAD tool.
+///
+/// Duration = `base_days + bytes_factor * input_kib`, perturbed by
+/// log-normal-ish noise of relative width `jitter`; convergence per
+/// iteration follows a geometric-style ramp from `first_pass_rate`
+/// towards certainty at `max_iterations`. All draws come from a
+/// [`SplitMix64`] seeded by the invocation, so identical requests give
+/// identical outcomes.
+///
+/// # Example
+///
+/// ```
+/// use simtools::{ToolInvocation, ToolModel};
+///
+/// let sim = ToolModel::new("simulator", 1.0)
+///     .with_bytes_factor(0.05)
+///     .with_first_pass_rate(0.5);
+/// let out = sim.invoke(&ToolInvocation { input_bytes: 2048, iteration: 1, seed: 1 });
+/// assert!(out.duration_days >= 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolModel {
+    name: String,
+    base_days: f64,
+    bytes_factor: f64,
+    jitter: f64,
+    first_pass_rate: f64,
+    max_iterations: u32,
+    output_bytes: u64,
+}
+
+impl ToolModel {
+    /// Creates a model with the given base duration in days and
+    /// moderate defaults: no input-size sensitivity, 20% jitter, 60%
+    /// first-pass success converging by iteration 5, 4 KiB outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_days` is negative or not finite.
+    pub fn new(name: impl Into<String>, base_days: f64) -> Self {
+        assert!(
+            base_days.is_finite() && base_days >= 0.0,
+            "base duration must be finite and non-negative"
+        );
+        ToolModel {
+            name: name.into(),
+            base_days,
+            bytes_factor: 0.0,
+            jitter: 0.2,
+            first_pass_rate: 0.6,
+            max_iterations: 5,
+            output_bytes: 4096,
+        }
+    }
+
+    /// Days added per KiB of input data.
+    #[must_use]
+    pub fn with_bytes_factor(mut self, days_per_kib: f64) -> Self {
+        self.bytes_factor = days_per_kib.max(0.0);
+        self
+    }
+
+    /// Relative duration noise (0 = deterministic durations).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability the first iteration already meets the goals.
+    #[must_use]
+    pub fn with_first_pass_rate(mut self, rate: f64) -> Self {
+        self.first_pass_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Iteration count by which convergence is certain.
+    #[must_use]
+    pub fn with_max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Size of produced design data in bytes.
+    #[must_use]
+    pub fn with_output_bytes(mut self, bytes: u64) -> Self {
+        self.output_bytes = bytes;
+        self
+    }
+
+    /// The tool's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base duration in days.
+    pub fn base_days(&self) -> f64 {
+        self.base_days
+    }
+
+    /// Probability the first iteration meets the goals.
+    pub fn first_pass_rate(&self) -> f64 {
+        self.first_pass_rate
+    }
+
+    /// Iteration count by which convergence is certain.
+    pub fn max_iterations(&self) -> u32 {
+        self.max_iterations
+    }
+
+    /// Size of produced design data in bytes.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_bytes
+    }
+
+    /// Expected (noise-free) duration for an input of `input_bytes`.
+    pub fn nominal_duration(&self, input_bytes: u64) -> f64 {
+        self.base_days + self.bytes_factor * (input_bytes as f64 / 1024.0)
+    }
+
+    /// Rough expected iteration count before convergence: `1 /
+    /// first_pass_rate`, capped at `max_iterations`. Planners use this
+    /// to turn per-run durations into per-activity estimates.
+    pub fn expected_iterations(&self) -> f64 {
+        if self.first_pass_rate <= 0.0 {
+            f64::from(self.max_iterations)
+        } else {
+            (1.0 / self.first_pass_rate).min(f64::from(self.max_iterations))
+        }
+    }
+
+    /// Expected total activity duration for `input_bytes`, accounting
+    /// for iterations (later iterations run faster, mirroring
+    /// [`invoke`](ToolModel::invoke)'s iteration scaling).
+    pub fn expected_activity_duration(&self, input_bytes: u64) -> f64 {
+        let nominal = self.nominal_duration(input_bytes);
+        let iters = self.expected_iterations();
+        // First iteration full cost; the fractional expected remainder
+        // at the second-iteration rate (scale 1/1.25).
+        nominal + nominal * (iters - 1.0).max(0.0) * 0.8
+    }
+
+    /// Runs the model. Deterministic in `(model, invocation)`.
+    pub fn invoke(&self, req: &ToolInvocation) -> ToolOutcome {
+        let seed = mix(&[
+            crate::rng::hash_str(&self.name),
+            req.seed,
+            req.input_bytes,
+            u64::from(req.iteration),
+        ]);
+        let mut rng = SplitMix64::new(seed);
+        let nominal = self.nominal_duration(req.input_bytes);
+        // Later iterations are faster: the designer rruns on a narrower
+        // problem (fixes, not full redesign).
+        let iteration_scale = 1.0 / (1.0 + 0.25 * f64::from(req.iteration.saturating_sub(1)));
+        let duration = rng
+            .next_duration(nominal * iteration_scale, nominal * self.jitter * iteration_scale)
+            .max(0.05 * self.base_days.max(0.1));
+        // Convergence probability ramps linearly from the first-pass
+        // rate to 1.0 at max_iterations.
+        let ramp = if self.max_iterations <= 1 {
+            1.0
+        } else {
+            let t = f64::from(req.iteration.min(self.max_iterations) - 1)
+                / f64::from(self.max_iterations - 1);
+            self.first_pass_rate + (1.0 - self.first_pass_rate) * t
+        };
+        let converged = req.iteration >= self.max_iterations || rng.next_f64() < ramp;
+        // Synthetic output: header + pseudo-random payload of the
+        // configured size (capped so huge flows stay in memory).
+        let payload = (self.output_bytes.min(1 << 20)) as usize;
+        let mut output = Vec::with_capacity(payload + 32);
+        output.extend_from_slice(self.name.as_bytes());
+        output.extend_from_slice(&req.iteration.to_le_bytes());
+        while output.len() < payload {
+            output.extend_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        output.truncate(payload.max(8));
+        ToolOutcome {
+            duration_days: duration,
+            output,
+            converged,
+        }
+    }
+}
+
+impl fmt::Display for ToolModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (base {:.2}d, +{:.3}d/KiB, fp {:.0}%)",
+            self.name,
+            self.base_days,
+            self.bytes_factor,
+            self.first_pass_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(iteration: u32) -> ToolInvocation {
+        ToolInvocation {
+            input_bytes: 1024,
+            iteration,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let m = ToolModel::new("simulator", 2.0).with_bytes_factor(0.1);
+        assert_eq!(m.invoke(&req(1)), m.invoke(&req(1)));
+        assert_ne!(m.invoke(&req(1)), m.invoke(&req(2)));
+    }
+
+    #[test]
+    fn duration_scales_with_input() {
+        let m = ToolModel::new("synth", 1.0)
+            .with_bytes_factor(0.5)
+            .with_jitter(0.0);
+        let small = m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed: 0 });
+        let large = m.invoke(&ToolInvocation {
+            input_bytes: 100 * 1024,
+            iteration: 1,
+            seed: 0,
+        });
+        assert!(large.duration_days > small.duration_days);
+        assert!((m.nominal_duration(100 * 1024) - 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_iterations_are_faster() {
+        let m = ToolModel::new("editor", 4.0).with_jitter(0.0);
+        let first = m.invoke(&req(1)).duration_days;
+        let third = m.invoke(&req(3)).duration_days;
+        assert!(third < first);
+    }
+
+    #[test]
+    fn convergence_certain_at_max_iterations() {
+        let m = ToolModel::new("editor", 1.0)
+            .with_first_pass_rate(0.0)
+            .with_max_iterations(3);
+        assert!(m.invoke(&req(3)).converged);
+        assert!(m.invoke(&req(7)).converged);
+    }
+
+    #[test]
+    fn first_pass_rate_one_always_converges() {
+        let m = ToolModel::new("editor", 1.0).with_first_pass_rate(1.0);
+        for seed in 0..50 {
+            let out = m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed });
+            assert!(out.converged);
+        }
+    }
+
+    #[test]
+    fn first_pass_rate_statistics() {
+        let m = ToolModel::new("editor", 1.0)
+            .with_first_pass_rate(0.5)
+            .with_max_iterations(10);
+        let n = 2000;
+        let converged = (0..n)
+            .filter(|&seed| {
+                m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed }).converged
+            })
+            .count();
+        let rate = converged as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn outputs_have_configured_size_and_differ_by_iteration() {
+        let m = ToolModel::new("router", 1.0).with_output_bytes(512);
+        let a = m.invoke(&req(1));
+        let b = m.invoke(&req(2));
+        assert_eq!(a.output.len(), 512);
+        assert_ne!(a.output, b.output);
+    }
+
+    #[test]
+    fn durations_never_zero() {
+        let m = ToolModel::new("quick", 0.1).with_jitter(1.0);
+        for seed in 0..200 {
+            let out = m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed });
+            assert!(out.duration_days > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_base_panics() {
+        ToolModel::new("bad", -1.0);
+    }
+
+    #[test]
+    fn display_shows_parameters() {
+        let m = ToolModel::new("simulator", 2.0);
+        assert!(m.to_string().contains("simulator"));
+        assert!(m.to_string().contains("fp 60%"));
+    }
+}

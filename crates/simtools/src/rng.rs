@@ -1,0 +1,170 @@
+//! SplitMix64 — the deterministic generator behind every synthetic
+//! behaviour in this workspace.
+//!
+//! Tool durations, failure decisions, and workload shapes must be
+//! *reproducible*: the experiments in EXPERIMENTS.md quote concrete
+//! numbers, and re-running a bench must regenerate them. SplitMix64 is
+//! tiny, passes BigCrush, and seeding it with a hash of the request
+//! makes every invocation a pure function of its inputs.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use simtools::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for our bounds (< 2^32).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A sample from `Normal(mean, std_dev)` via Box–Muller, clamped to
+    /// be non-negative (durations cannot be negative).
+    pub fn next_duration(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + std_dev * z).max(0.0)
+    }
+}
+
+/// Stable 64-bit hash (FNV-1a) for deriving seeds from names.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Mixes several seed components into one.
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut g = SplitMix64::new(0x243F_6A88_85A3_08D3);
+    let mut acc = 0u64;
+    for &p in parts {
+        g.state ^= p;
+        acc ^= g.next_u64();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut g = SplitMix64::new(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| g.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_bounds() {
+        let mut g = SplitMix64::new(77);
+        for _ in 0..10_000 {
+            assert!(g.next_below(7) < 7);
+        }
+        // All residues reachable.
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[g.next_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn durations_non_negative_and_centered() {
+        let mut g = SplitMix64::new(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.next_duration(10.0, 2.0)).collect();
+        assert!(samples.iter().all(|&d| d >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn hash_str_stable_and_distinct() {
+        assert_eq!(hash_str("simulator"), hash_str("simulator"));
+        assert_ne!(hash_str("simulator"), hash_str("router"));
+        assert_ne!(hash_str(""), hash_str("a"));
+    }
+
+    #[test]
+    fn mix_depends_on_order_and_content() {
+        assert_eq!(mix(&[1, 2]), mix(&[1, 2]));
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+        assert_ne!(mix(&[1]), mix(&[1, 0]));
+    }
+}

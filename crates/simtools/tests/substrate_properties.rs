@@ -1,0 +1,107 @@
+//! Property-based tests for the simulation substrate: tool models must
+//! be total, deterministic, and convergent; the event queue must be a
+//! stable priority queue.
+
+use proptest::prelude::*;
+use simtools::des::EventQueue;
+use simtools::{ToolInvocation, ToolModel};
+
+fn arb_model() -> impl Strategy<Value = ToolModel> {
+    (
+        0.0f64..20.0,
+        0.0f64..0.5,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        1u32..8,
+        1u64..10_000,
+    )
+        .prop_map(|(base, bytes_factor, jitter, fp, max_iter, out)| {
+            ToolModel::new("fuzz", base)
+                .with_bytes_factor(bytes_factor)
+                .with_jitter(jitter)
+                .with_first_pass_rate(fp)
+                .with_max_iterations(max_iter)
+                .with_output_bytes(out)
+        })
+}
+
+fn arb_invocation() -> impl Strategy<Value = ToolInvocation> {
+    (0u64..1_000_000, 1u32..20, any::<u64>()).prop_map(|(input_bytes, iteration, seed)| {
+        ToolInvocation {
+            input_bytes,
+            iteration,
+            seed,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn invoke_is_total_and_deterministic(model in arb_model(), req in arb_invocation()) {
+        let a = model.invoke(&req);
+        let b = model.invoke(&req);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.duration_days.is_finite());
+        prop_assert!(a.duration_days > 0.0);
+        prop_assert!(!a.output.is_empty());
+    }
+
+    #[test]
+    fn convergence_guaranteed_at_max_iterations(model in arb_model(), seed in any::<u64>()) {
+        let req = ToolInvocation {
+            input_bytes: 1024,
+            iteration: model.max_iterations(),
+            seed,
+        };
+        prop_assert!(model.invoke(&req).converged);
+    }
+
+    #[test]
+    fn expected_duration_monotone_in_input(model in arb_model(), a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            model.nominal_duration(small) <= model.nominal_duration(large) + 1e-9
+        );
+        prop_assert!(model.expected_activity_duration(small)
+            <= model.expected_activity_duration(large) + 1e-9);
+        // Iterations only add time.
+        prop_assert!(model.expected_activity_duration(small)
+            >= model.nominal_duration(small) - 1e-9);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted_stable(times in proptest::collection::vec(0u32..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(f64::from(t), i);
+        }
+        let mut last: Option<(f64, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    // Stable: same-time events pop in insertion order.
+                    prop_assert!(seq > lseq);
+                }
+            }
+            last = Some((t, seq));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_queue_clock_tracks_pops(delays in proptest::collection::vec(0u32..100, 1..50)) {
+        let mut q = EventQueue::new();
+        for &d in &delays {
+            q.schedule_in(f64::from(d), ());
+        }
+        // now() only advances on pop, to the popped event's time.
+        let mut sorted: Vec<f64> = delays.iter().map(|&d| f64::from(d)).collect();
+        sorted.sort_by(f64::total_cmp);
+        for want in sorted {
+            let (t, ()) = q.pop().expect("scheduled");
+            prop_assert_eq!(t, want);
+            prop_assert_eq!(q.now(), want);
+        }
+    }
+}

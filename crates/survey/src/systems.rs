@@ -1,0 +1,135 @@
+use crate::Level;
+
+/// One surveyed system's vocabulary at each architecture level —
+/// a row group of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemModel {
+    name: &'static str,
+    reference: &'static str,
+    level1: &'static [&'static str],
+    level2: &'static [&'static str],
+    level3: &'static [&'static str],
+    level4: &'static [&'static str],
+}
+
+impl SystemModel {
+    /// The system's name as the paper uses it.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Citation note (venue/institution).
+    pub fn reference(&self) -> &'static str {
+        self.reference
+    }
+
+    /// The object names the system uses at `level`.
+    pub fn objects_at(&self, level: Level) -> &'static [&'static str] {
+        match level {
+            Level::One => self.level1,
+            Level::Two => self.level2,
+            Level::Three => self.level3,
+            Level::Four => self.level4,
+        }
+    }
+}
+
+/// The six systems of Table I, in the paper's column order.
+pub fn surveyed_systems() -> Vec<SystemModel> {
+    vec![
+        SystemModel {
+            name: "RoadMap Model",
+            reference: "Philips Research (van den Hamer & Treffers, ICCAD'91)",
+            level1: &["FlowType (Tool)", "Pin (PinType)", "Port (DataType)"],
+            level2: &["Flow", "InSlot", "OutSlot", "FlowHierarchy"],
+            level3: &["Run", "Representation", "RepUsage"],
+            level4: &["Representation File Group"],
+        },
+        SystemModel {
+            name: "ELSIS",
+            reference: "Delft University (ten Bosch, Bingley & van der Wolf, DAC'91)",
+            level1: &["Tool", "Task"],
+            level2: &["PortInst", "Channel", "Task"],
+            level3: &["ActivityRun", "Transaction"],
+            level4: &["Design Object"],
+        },
+        SystemModel {
+            name: "Hercules",
+            reference: "Carnegie Mellon / Notre Dame (Sutton, Brockman & Director, DAC'93)",
+            level1: &["FlowGraph", "Entity", "Task Templates"],
+            level2: &["Node", "Arc", "Design Tasks"],
+            level3: &["Run", "Entity Instance", "Instance Dependency", "Schedule", "Schedule Node"],
+            level4: &["Cyclops Data Object"],
+        },
+        SystemModel {
+            name: "History Model",
+            reference: "UC Berkeley (Chiueh & Katz, ICCAD'90)",
+            level1: &["Activity", "Tool Dependency", "Data Dependency"],
+            level2: &["Design Activity"],
+            level3: &["Design Process"],
+            level4: &["Data Object"],
+        },
+        SystemModel {
+            name: "Hilda",
+            reference: "Siemens Research (Bretschneider, Kopf & Lagger, ICCAD'90)",
+            level1: &["Transitions", "Places", "Arcs"],
+            level2: &["Patterns (Reusable)"],
+            level3: &["Tokens", "Transitions", "Places"],
+            level4: &["Tokens", "Places"],
+        },
+        SystemModel {
+            name: "VOV",
+            reference: "UC Berkeley (Casotto & Sangiovanni-Vincentelli, TCAD'93)",
+            level1: &["(none: no a-priori flow)"],
+            level2: &["Trace"],
+            level3: &["Trace Transaction"],
+            level4: &["Data Object"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_systems_in_paper_order() {
+        let systems = surveyed_systems();
+        let names: Vec<&str> = systems.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"]
+        );
+    }
+
+    #[test]
+    fn every_system_covers_every_level() {
+        for system in surveyed_systems() {
+            for level in Level::ALL {
+                assert!(
+                    !system.objects_at(level).is_empty(),
+                    "{} has no objects at {level}",
+                    system.name()
+                );
+            }
+            assert!(!system.reference().is_empty());
+        }
+    }
+
+    #[test]
+    fn hercules_level3_includes_schedule_objects() {
+        // The paper's contribution: schedule data mirrored into Level 3.
+        let systems = surveyed_systems();
+        let hercules = systems.iter().find(|s| s.name() == "Hercules").unwrap();
+        let level3 = hercules.objects_at(Level::Three);
+        assert!(level3.contains(&"Schedule"));
+        assert!(level3.contains(&"Run"));
+    }
+
+    #[test]
+    fn vov_has_no_apriori_flow() {
+        let systems = surveyed_systems();
+        let vov = systems.iter().find(|s| s.name() == "VOV").unwrap();
+        assert!(vov.objects_at(Level::One)[0].contains("no a-priori"));
+    }
+}

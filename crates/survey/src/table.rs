@@ -1,0 +1,85 @@
+use crate::systems::SystemModel;
+use crate::Level;
+
+/// Renders Table I: systems as columns, architecture levels as rows,
+/// each cell listing the system's object names at that level.
+///
+/// The layout matches the paper's "SYSTEM REPRESENTATION USING THE
+/// FOUR-LEVEL ARCHITECTURE": a header row of system names, then one
+/// row group per level with one object per line.
+pub fn render_table(systems: &[SystemModel]) -> String {
+    const CELL: usize = 24;
+    let mut out = String::new();
+    out.push_str("TABLE I. SYSTEM REPRESENTATION USING THE FOUR-LEVEL ARCHITECTURE\n\n");
+    // Header.
+    out.push_str(&format!("{:8}", "Level"));
+    for s in systems {
+        out.push_str(&format!("{:<CELL$}", s.name()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(8 + CELL * systems.len()));
+    out.push('\n');
+    for level in Level::ALL {
+        let cells: Vec<&[&str]> = systems.iter().map(|s| s.objects_at(level)).collect();
+        let height = cells.iter().map(|c| c.len()).max().unwrap_or(0);
+        for line in 0..height {
+            if line == 0 {
+                out.push_str(&format!("{:<8}", level.to_string()));
+            } else {
+                out.push_str(&" ".repeat(8));
+            }
+            for cell in &cells {
+                let text = cell.get(line).copied().unwrap_or("");
+                let mut text = text.to_owned();
+                if text.len() > CELL - 1 {
+                    text.truncate(CELL - 2);
+                    text.push('~');
+                }
+                out.push_str(&format!("{text:<CELL$}"));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surveyed_systems;
+
+    #[test]
+    fn table_has_header_and_levels() {
+        let table = render_table(&surveyed_systems());
+        assert!(table.starts_with("TABLE I."));
+        for level in ["Level 1", "Level 2", "Level 3", "Level 4"] {
+            assert!(table.contains(level), "missing {level}");
+        }
+        for name in ["RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"] {
+            assert!(table.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table_contains_signature_objects() {
+        let table = render_table(&surveyed_systems());
+        assert!(table.contains("Trace"));       // VOV
+        assert!(table.contains("Tokens"));      // Hilda's Petri net
+        assert!(table.contains("Schedule"));    // Hercules' addition
+    }
+
+    #[test]
+    fn long_names_are_truncated_not_overflowing() {
+        let table = render_table(&surveyed_systems());
+        let widths: Vec<usize> = table.lines().map(|l| l.len()).collect();
+        let max = widths.iter().copied().max().unwrap();
+        assert!(max <= 8 + 24 * 6);
+    }
+
+    #[test]
+    fn empty_input_renders_header_only() {
+        let table = render_table(&[]);
+        assert!(table.contains("TABLE I."));
+    }
+}

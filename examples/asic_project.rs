@@ -1,0 +1,115 @@
+//! A realistic project: a nine-activity RTL-to-signoff ASIC flow run
+//! by a three-designer team, with calendars, PERT risk analysis, a
+//! mid-project slip, automatic propagation, and a history-informed
+//! replan — the full feature surface a project manager would use.
+//!
+//! Run with `cargo run --example asic_project`.
+
+use hercules::Hercules;
+use schedule::gantt::GanttOptions;
+use schedule::pert::{completion_probability, ThreePoint};
+use schedule::{CalDate, Calendar, ScheduleNetwork, WorkDays};
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let team = Team::with_names(["alice", "bob", "carol"]);
+    let mut h = Hercules::new(examples::asic_flow(), ToolLibrary::standard(), team, 5);
+
+    // Designer intuition for the big-ticket items; the rest falls back
+    // to tool models (and, after execution, measured history).
+    h.set_estimate("WriteRtl", WorkDays::new(12.0))?;
+    h.set_estimate("VerifyRtl", WorkDays::new(6.0))?;
+
+    // --- Plan against a real calendar -------------------------------
+    let plan = h.plan("signoff_report")?;
+    let cal = Calendar::five_day(CalDate::new(1995, 6, 12)) // DAC'95 week
+        .with_holiday(CalDate::new(1995, 7, 4)); // Independence Day
+    println!("proposed schedule (project start {}):", cal.start());
+    for pa in plan.activities() {
+        println!(
+            "  {:<12} {} .. {}  {}  {}",
+            pa.activity,
+            cal.date_of(pa.start.days()),
+            cal.date_of((pa.start + pa.duration).days()),
+            if pa.critical { "CRITICAL" } else { "        " },
+            pa.assignee,
+        );
+    }
+    println!(
+        "proposed tapeout: {} (day {})",
+        cal.date_of(plan.project_finish().days()),
+        plan.project_finish()
+    );
+
+    // --- PERT risk on the same network ------------------------------
+    let mut net = ScheduleNetwork::new();
+    let mut ids = Vec::new();
+    for pa in plan.activities() {
+        ids.push((
+            pa.activity.clone(),
+            net.add_activity(pa.activity.clone(), pa.duration)?,
+        ));
+    }
+    let tree = h.extract_task_tree("signoff_report")?;
+    for (activity, id) in &ids {
+        for consumer in tree.consumers_of_output(activity) {
+            let cid = ids.iter().find(|(a, _)| a == consumer).expect("in plan").1;
+            net.add_precedence(*id, cid)?;
+        }
+    }
+    let estimates: Vec<_> = ids
+        .iter()
+        .map(|(activity, id)| {
+            let d = plan.activity(activity).expect("planned").duration.days();
+            (*id, ThreePoint::new(d * 0.6, d, d * 2.0).expect("valid three-point"))
+        })
+        .collect();
+    let deadline = WorkDays::new(plan.project_finish().days() * 1.15);
+    let risk = completion_probability(&net, &estimates, deadline)?;
+    println!(
+        "\nPERT: expected finish day {:.1}, sigma {:.1}d; P(finish within +15% buffer) = {:.0}%",
+        risk.expected.days(),
+        risk.std_dev,
+        risk.probability * 100.0
+    );
+
+    // --- Execute the front of the flow; something slips --------------
+    h.execute("rtl")?;
+    let slip = h.db().finish_slip("WriteRtl").unwrap_or(0.0);
+    println!("\nafter executing through RTL: WriteRtl slip {slip:+.1}d");
+    let outcome = h.propagate_slip("WriteRtl")?;
+    println!(
+        "automatic update: {} downstream plans shifted, new finish day {}",
+        outcome.len(),
+        outcome.project_finish
+    );
+
+    // --- Finish the project; replan uses measured history ------------
+    h.execute("signoff_report")?;
+    let replay = h.replan("signoff_report")?;
+    println!(
+        "\nproject complete at day {}; a fresh replan has {} open items (history now feeds estimates)",
+        h.clock(),
+        replay.len()
+    );
+
+    let status = h.status();
+    print!(
+        "\n{}",
+        status.gantt(&GanttOptions {
+            ascii: true,
+            width: 72,
+            label_width: 14,
+            // Civil-date axis: ticks show MM-DD under the work calendar.
+            calendar: Some(cal.clone()),
+        })
+    );
+    println!("\nvariance: {}", status.variance());
+    println!(
+        "slipped activities: {} of {}",
+        status.slipped_count(),
+        status.rows().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! The paper's running example in full: the circuit-design task schema
+//! taken through the §IV procedure, printing the Hercules database at
+//! each phase exactly as Figures 5–7 depict it.
+//!
+//! Run with `cargo run --example circuit_design`.
+
+use hercules::{browse::ScheduleBrowser, Hercules};
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn render_spaces(h: &Hercules) {
+    let db = h.db();
+    println!("  execution space:");
+    for class in db.entity_classes() {
+        let container = db.entity_container(class).expect("listed");
+        if container.is_empty() {
+            continue;
+        }
+        let items: Vec<String> = container
+            .iter()
+            .map(|&id| format!("{}v{}", id, db.entity_instance(id).version()))
+            .collect();
+        println!("    [{class}]: {}", items.join(", "));
+    }
+    println!("  schedule space:");
+    for activity in db.activities() {
+        let container = db.schedule_container(activity).expect("listed");
+        if container.is_empty() {
+            continue;
+        }
+        let items: Vec<String> = container
+            .iter()
+            .map(|&id| {
+                let sc = db.schedule_instance(id);
+                match sc.linked_entity() {
+                    Some(e) => format!("{}v{}->{}", id, sc.version(), e),
+                    None => format!("{}v{}", id, sc.version()),
+                }
+            })
+            .collect();
+        println!("    ({activity}): {}", items.join(", "));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = examples::circuit_design();
+    println!("step 1 — task schema (Fig. 4):\n{schema}");
+    let mut h = Hercules::new(schema, ToolLibrary::standard(), Team::of_size(2), 42);
+
+    println!("step 2 — task database initialised: containers only");
+    render_spaces(&h);
+
+    println!("\nstep 3 — planning phase (Fig. 5): simulate the execution twice");
+    h.plan("performance")?;
+    h.plan("performance")?; // the plan can be updated at any time
+    render_spaces(&h);
+
+    println!("\nstep 4 — execution phase (Fig. 6): runs create entity instances");
+    let report = h.execute("performance")?;
+    for exec in report.activities() {
+        println!(
+            "    {} by {}: {} iteration(s), days {} .. {}",
+            exec.activity, exec.assignee, exec.iterations, exec.started, exec.finished
+        );
+    }
+
+    println!("\nstep 5 — completion (Fig. 7): schedule instances linked to final data");
+    render_spaces(&h);
+
+    println!("\nstep 6 — browse the schedule instances (the §IV-C browser):");
+    let browser = ScheduleBrowser::new(h.db());
+    print!("{}", browser.list());
+    let create_plans = browser.rows();
+    println!("{}", browser.display(*create_plans.last().expect("instances exist")));
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: schema → plan → execute → track, on the paper's
+//! circuit-design example.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hercules::{Hercules, HerculesError};
+use schedule::gantt::GanttOptions;
+use schema::parse_schema;
+use simtools::{workload::Team, ToolLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Define the design process as a task schema (Fig. 4).
+    let schema = parse_schema(
+        "schema circuit;
+         data netlist, stimuli, performance;
+         tool netlist_editor, simulator;
+         activity Create:   netlist = netlist_editor();
+         activity Simulate: performance = simulator(netlist, stimuli);",
+    )?;
+
+    // 2. One system owns flow AND schedule: the workflow manager.
+    let mut hercules = Hercules::new(schema, ToolLibrary::standard(), Team::of_size(2), 42);
+
+    // 3. Plan by simulating the execution of the flow.
+    let plan = hercules.plan("performance")?;
+    println!("proposed schedule (finish day {}):", plan.project_finish());
+    for pa in plan.activities() {
+        println!(
+            "  {:<10} [{} .. {}] -> {}",
+            pa.activity,
+            pa.start,
+            pa.start + pa.duration,
+            pa.assignee
+        );
+    }
+
+    // 4. Execute. Runs create metadata; convergence links the final
+    //    result back to the plan — no manual status reporting.
+    let report = hercules.execute("performance")?;
+    println!(
+        "\nexecuted {} activities in {} tool runs, finished day {}",
+        report.activities().len(),
+        report.total_runs(),
+        report.finished_at()
+    );
+
+    // 5. Track: plan vs actual, automatically.
+    let status = hercules.status();
+    print!(
+        "\n{}",
+        status.gantt(&GanttOptions {
+            ascii: true,
+            ..GanttOptions::default()
+        })
+    );
+    println!("\n{status}");
+    println!("variance: {}", status.variance());
+
+    // 6. History is now a resource: what did Simulate take last time?
+    let last = hercules
+        .db()
+        .last_duration("Simulate")
+        .ok_or_else(|| HerculesError::NotPlanned("Simulate".into()))?;
+    println!("Simulate took {last} — the estimate for next time");
+    Ok(())
+}

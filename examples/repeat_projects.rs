@@ -1,0 +1,79 @@
+//! "Previous schedule data can be used to predict the duration of
+//! future projects" (§I): run the same ASIC flow as eight successive
+//! projects, carrying each project's measured durations into the next
+//! project's estimates, and watch planning error fall.
+//!
+//! Run with `cargo run --example repeat_projects`.
+
+use std::collections::HashMap;
+
+use hercules::Hercules;
+use predict::{DurationStats, MeanOfAll, Predictor};
+use schedule::WorkDays;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut histories: HashMap<String, Vec<f64>> = HashMap::new();
+    println!("project | proposed finish | actual finish | planning error");
+    println!("--------+-----------------+---------------+---------------");
+    let mut errors = Vec::new();
+    for project in 0..8u64 {
+        let mut h = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            1000 + project, // each project sees different tool noise
+        );
+        // Feed measured history from earlier projects into estimates.
+        // With no history yet (project 0) the manager relies on
+        // designer intuition — optimistic by half, as designers are.
+        for rule in examples::asic_flow().rules() {
+            match histories.get(rule.activity()).and_then(|hist| MeanOfAll.predict(hist)) {
+                Some(prediction) => {
+                    h.set_estimate(rule.activity(), WorkDays::new(prediction))?;
+                }
+                None => {
+                    let model_guess = h.duration_estimate(rule.activity())?;
+                    h.set_estimate(
+                        rule.activity(),
+                        WorkDays::new(model_guess.days() * 0.5),
+                    )?;
+                }
+            }
+        }
+        let plan = h.plan("signoff_report")?;
+        let report = h.execute("signoff_report")?;
+        let error = (plan.project_finish().days() - report.finished_at().days()).abs();
+        errors.push(error);
+        println!(
+            "   {project}    |   day {:>8}  |  day {:>8} |   {error:>6.2}d",
+            plan.project_finish().to_string(),
+            report.finished_at().to_string(),
+        );
+        // Harvest this project's measured activity spans.
+        for exec in report.activities() {
+            histories
+                .entry(exec.activity.clone())
+                .or_default()
+                .push(exec.duration().days());
+        }
+    }
+    let cold = errors[0];
+    let warm = errors[3..].iter().sum::<f64>() / (errors.len() - 3) as f64;
+    println!(
+        "\ncold-start error {cold:.2}d; steady-state mean error {warm:.2}d \
+         ({:.0}% reduction)",
+        (1.0 - warm / cold) * 100.0
+    );
+
+    println!("\nper-activity duration statistics after 8 projects:");
+    let mut names: Vec<&String> = histories.keys().collect();
+    names.sort();
+    for name in names {
+        if let Some(stats) = DurationStats::of(&histories[name]) {
+            println!("  {name:<12} {stats}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! A 31-activity system-on-chip program run by an eight-person team:
+//! the scale where the paper's integration argument bites. Shows
+//! block-level rollup (§V future work), mid-project forecasting,
+//! Monte Carlo risk on the proposed plan, and the SPI trajectory.
+//!
+//! Run with `cargo run --example soc_program`.
+
+use hercules::{Decomposition, Hercules};
+use schedule::gantt::GanttOptions;
+use schedule::montecarlo::simulate;
+use schedule::pert::ThreePoint;
+use schedule::ScheduleNetwork;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut h = Hercules::new(
+        examples::soc_program(),
+        ToolLibrary::standard(),
+        Team::of_size(8),
+        2026,
+    );
+    let plan = h.plan("signoff_report")?;
+    println!(
+        "planned {} activities; proposed tapeout day {}",
+        plan.len(),
+        plan.project_finish()
+    );
+
+    // --- Monte Carlo risk on the proposal ----------------------------
+    let mut net = ScheduleNetwork::new();
+    let tree = h.extract_task_tree("signoff_report")?;
+    let mut ids = Vec::new();
+    for pa in plan.activities() {
+        ids.push((pa.activity.clone(), net.add_activity(pa.activity.clone(), pa.duration)?));
+    }
+    for (activity, id) in &ids {
+        for consumer in tree.consumers_of_output(activity) {
+            let cid = ids.iter().find(|(a, _)| a == consumer).expect("planned").1;
+            net.add_precedence(*id, cid)?;
+        }
+    }
+    let estimates: Vec<_> = ids
+        .iter()
+        .map(|(a, id)| {
+            let d = plan.activity(a).expect("planned").duration.days();
+            (*id, ThreePoint::new(0.6 * d, d, 2.0 * d).expect("ordered"))
+        })
+        .collect();
+    let risk = simulate(&net, &estimates, 5000, 3)?;
+    println!(
+        "risk: P50 day {:.0}, P80 day {:.0}, P95 day {:.0}",
+        risk.quantile(0.5).days(),
+        risk.quantile(0.8).days(),
+        risk.quantile(0.95).days()
+    );
+
+    // --- Execute the block work, forecast, then finish ----------------
+    h.execute("integ_rtl")?; // all block RTL + integration
+    let forecast = h.forecast("signoff_report")?;
+    println!(
+        "\nmid-project (day {}): {} done, {} open; forecast tapeout day {} via {:?}",
+        forecast.as_of,
+        forecast.complete,
+        forecast.open,
+        forecast.finish,
+        forecast.critical
+    );
+    h.execute("signoff_report")?;
+    println!("actual tapeout: day {}", h.clock());
+
+    // --- Block-level rollup (the project manager's view) --------------
+    let decomposition = Decomposition::new()
+        .block("arch", ["ArchSpec"])
+        .block("cpu", ["Rtl_cpu", "Verify_cpu", "Synth_cpu"])
+        .block("dsp", ["Rtl_dsp", "Verify_dsp", "Synth_dsp"])
+        .block("mem", ["Rtl_mem", "Verify_mem", "Synth_mem"])
+        .block("io", ["Rtl_io", "Verify_io", "Synth_io"])
+        .block(
+            "integration",
+            ["Integrate", "VerifySoc", "SynthSoc"],
+        )
+        .block(
+            "physical",
+            ["FloorplanSoc", "PlaceSoc", "RouteSoc", "WriteGds", "SignoffSoc"],
+        );
+    println!("\nblock rollup:");
+    for block in h.rollup(&decomposition)? {
+        println!(
+            "  {:<12} {}/{} done{}",
+            block.block,
+            block.complete,
+            block.activities.len(),
+            block
+                .slip()
+                .map(|s| format!(", slip {s:+.1}d"))
+                .unwrap_or_default()
+        );
+    }
+    print!(
+        "\n{}",
+        h.block_gantt(
+            &decomposition,
+            &GanttOptions {
+                ascii: true,
+                width: 64,
+                label_width: 12,
+            ..GanttOptions::default()
+            }
+        )?
+    );
+
+    // --- SPI trajectory ------------------------------------------------
+    println!("\nSPI over the project:");
+    for (t, v) in h.status().variance_series(6) {
+        println!("  day {:>7} SPI {:.2}  (PV {:.0}d, EV {:.0}d)", t.to_string(), v.spi, v.planned_value, v.earned_value);
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Workspace root for the DAC'95 reproduction of *Incorporating Design
+//! Schedule Management into a Flow Management System* (Johnson &
+//! Brockman).
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the functionality lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! * [`hercules`] — the integrated flow + schedule manager (core).
+//! * [`schema`] — Level-1 task schemas and the DSL.
+//! * [`metadata`] — the Level-3/4 instance database.
+//! * [`schedule`] — CPM/PERT, calendars, resources, Gantt.
+//! * [`flowgraph`] — the DAG substrate.
+//! * [`simtools`] — synthetic tool behaviour models.
+//! * [`predict`] — duration prediction from history.
+//! * [`baselines`] — manual-PM and VOV-trace comparators.
+//! * [`survey`] — Table I's six-system comparison.
+//!
+//! Start with `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use flowgraph;
+pub use hercules;
+pub use metadata;
+pub use predict;
+pub use schedule;
+pub use schema;
+pub use simtools;
+pub use survey;

@@ -1,0 +1,169 @@
+//! End-to-end integration: the paper's full procedure across every
+//! crate — schema definition, database initialisation, planning,
+//! execution, completion links, status, slip propagation, replan.
+
+use hercules::{ActivityState, Hercules};
+use schedule::WorkDays;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn asic(seed: u64) -> Hercules {
+    Hercules::new(
+        examples::asic_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(3),
+        seed,
+    )
+}
+
+#[test]
+fn lifecycle_plan_execute_track() {
+    let mut h = asic(5);
+    let plan = h.plan("signoff_report").expect("plannable");
+    assert_eq!(plan.len(), 9);
+
+    // Every activity got a schedule instance, version 1, with an
+    // assignee from the team.
+    for pa in plan.activities() {
+        let sc = h.db().schedule_instance(pa.schedule);
+        assert_eq!(sc.version(), 1);
+        assert_eq!(sc.assignees().len(), 1);
+        assert!(sc.assignees()[0].starts_with("designer"));
+    }
+
+    let report = h.execute("signoff_report").expect("executable");
+    assert!(report.all_converged());
+    assert_eq!(report.activities().len(), 9);
+
+    // Status: everything complete; actuals and slips known.
+    let status = h.status();
+    assert_eq!(status.complete_count(), 9);
+    for row in status.rows() {
+        assert_eq!(row.state, ActivityState::Complete);
+        assert!(row.actual_start.is_some());
+        assert!(row.actual_finish.is_some());
+        assert!(row.slip.is_some());
+    }
+}
+
+#[test]
+fn execution_order_respects_data_dependencies() {
+    let mut h = asic(7);
+    h.plan("signoff_report").expect("plannable");
+    let report = h.execute("signoff_report").expect("executable");
+    let finish = |name: &str| report.activity(name).expect("executed").finished.days();
+    let start = |name: &str| report.activity(name).expect("executed").started.days();
+    assert!(start("WriteRtl") >= finish("CaptureSpec") - 1e-9);
+    assert!(start("Synthesize") >= finish("WriteRtl") - 1e-9);
+    assert!(start("Signoff") >= finish("Route") - 1e-9);
+    assert!(start("Signoff") >= finish("VerifyRtl") - 1e-9);
+}
+
+#[test]
+fn links_point_at_latest_versions() {
+    let mut h = asic(11);
+    h.plan("signoff_report").expect("plannable");
+    h.execute("signoff_report").expect("executable");
+    for activity in h.db().activities().map(str::to_owned).collect::<Vec<_>>() {
+        let sc = h.db().current_plan(&activity).expect("planned");
+        let entity = sc.linked_entity().expect("complete");
+        let inst = h.db().entity_instance(entity);
+        // The link targets the LAST version in the output container.
+        let container = h
+            .db()
+            .entity_container(inst.class())
+            .expect("container exists");
+        assert_eq!(container.last(), Some(&entity));
+        // And the producing run belongs to the right activity.
+        let run = h.db().run(inst.produced_by().expect("produced by a run"));
+        assert_eq!(run.activity(), activity);
+    }
+}
+
+#[test]
+fn designers_never_work_two_activities_at_once() {
+    let mut h = asic(13);
+    h.plan("signoff_report").expect("plannable");
+    let report = h.execute("signoff_report").expect("executable");
+    let mut by_designer: std::collections::HashMap<&str, Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for exec in report.activities() {
+        by_designer
+            .entry(exec.assignee.as_str())
+            .or_default()
+            .push((exec.started.days(), exec.finished.days()));
+    }
+    for (designer, mut spans) in by_designer {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "{designer} overlaps: {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn slip_propagation_touches_only_open_downstream() {
+    let mut h = asic(5);
+    h.plan("signoff_report").expect("plannable");
+    h.execute("rtl").expect("executable");
+    let slip = h.db().finish_slip("WriteRtl");
+    let outcome = h.propagate_slip("WriteRtl").expect("planned");
+    match slip {
+        Some(s) if s > 1e-9 => {
+            assert!(!outcome.is_empty());
+            for (name, _) in &outcome.replanned {
+                // Nothing upstream, nothing complete.
+                assert_ne!(name, "CaptureSpec");
+                assert_ne!(name, "WriteRtl");
+                assert!(!h
+                    .db()
+                    .current_plan(name)
+                    .expect("replanned implies planned")
+                    .is_complete());
+            }
+        }
+        _ => assert!(outcome.is_empty()),
+    }
+}
+
+#[test]
+fn replan_uses_measured_history() {
+    let mut h = asic(5);
+    h.plan("signoff_report").expect("plannable");
+    h.execute("signoff_report").expect("executable");
+    // Second project on the same manager: durations now come from
+    // history, not tool models.
+    let measured = h.db().last_duration("Synthesize").expect("ran");
+    let estimate = h.duration_estimate("Synthesize").expect("known");
+    assert_eq!(measured, estimate);
+}
+
+#[test]
+fn clock_advances_with_execution() {
+    let mut h = asic(5);
+    assert_eq!(h.clock(), WorkDays::ZERO);
+    h.plan("signoff_report").expect("plannable");
+    let report = h.execute("signoff_report").expect("executable");
+    assert_eq!(h.clock(), report.finished_at());
+    assert!(h.clock().days() > 0.0);
+}
+
+#[test]
+fn board_flow_second_domain() {
+    // The model is not circuit-specific: the board schema runs the
+    // same lifecycle.
+    let mut h = Hercules::new(
+        examples::board_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(2),
+        3,
+    );
+    let plan = h.plan("bringup_report").expect("plannable");
+    assert_eq!(plan.len(), 6);
+    let report = h.execute("bringup_report").expect("executable");
+    assert!(report.all_converged());
+    assert_eq!(h.status().complete_count(), 6);
+}

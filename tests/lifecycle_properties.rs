@@ -1,0 +1,149 @@
+//! Property-based integration tests: random pipeline/layered schemas
+//! and seeds, with invariants over the whole plan→execute→track cycle.
+
+use hercules::Hercules;
+use proptest::prelude::*;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn pipeline_manager(stages: usize, team: usize, seed: u64) -> (Hercules, String) {
+    let h = Hercules::new(
+        examples::pipeline(stages),
+        ToolLibrary::standard(),
+        Team::of_size(team),
+        seed,
+    );
+    (h, format!("d{stages}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plan_dates_respect_precedence(
+        stages in 2usize..12,
+        team in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (mut h, target) = pipeline_manager(stages, team, seed);
+        let plan = h.plan(&target).expect("plannable");
+        prop_assert_eq!(plan.len(), stages);
+        // Pipelines are chains: each stage starts after the previous
+        // finishes, regardless of team size.
+        for i in 2..=stages {
+            let prev = plan.activity(&format!("Stage{}", i - 1)).expect("planned");
+            let this = plan.activity(&format!("Stage{i}")).expect("planned");
+            prop_assert!(
+                this.start.days() >= prev.start.days() + prev.duration.days() - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn execution_invariants(
+        stages in 2usize..10,
+        team in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (mut h, target) = pipeline_manager(stages, team, seed);
+        h.plan(&target).expect("plannable");
+        let report = h.execute(&target).expect("executable");
+        prop_assert!(report.all_converged());
+        prop_assert_eq!(report.activities().len(), stages);
+        // Every run finished after it started; iteration numbers are
+        // dense from 1.
+        for run in h.db().runs() {
+            let f = run.finished_at().expect("all finished");
+            prop_assert!(f.days() >= run.started_at().days());
+        }
+        // Entity versions are dense per container.
+        for class in h.db().entity_classes().map(str::to_owned).collect::<Vec<_>>() {
+            let container = h.db().entity_container(&class).expect("exists");
+            for (i, &id) in container.iter().enumerate() {
+                prop_assert_eq!(h.db().entity_instance(id).version() as usize, i + 1);
+            }
+        }
+        // All plans complete and linked to instances of the right class.
+        for activity in h.db().activities().map(str::to_owned).collect::<Vec<_>>() {
+            let sc = h.db().current_plan(&activity).expect("planned");
+            prop_assert!(sc.is_complete());
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed(
+        stages in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let run = |seed| {
+            let (mut h, target) = pipeline_manager(stages, 2, seed);
+            h.plan(&target).expect("plannable");
+            let r = h.execute(&target).expect("executable");
+            (
+                r.finished_at().days().to_bits(),
+                r.total_runs(),
+                h.db().entity_count(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn layered_flows_plan_and_execute(
+        layers in 1usize..4,
+        width in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let fanin = width.min(2);
+        let schema = examples::layered(layers, width, fanin);
+        let mut h = Hercules::new(
+            schema,
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            seed,
+        );
+        let plan = h.plan("merged").expect("plannable");
+        prop_assert_eq!(plan.len(), layers * width + 1);
+        let report = h.execute("merged").expect("executable");
+        prop_assert!(report.all_converged());
+        // The merge activity finishes last.
+        let merge_finish = report.activity("Merge").expect("ran").finished;
+        for exec in report.activities() {
+            prop_assert!(exec.finished.days() <= merge_finish.days() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn slip_propagation_never_moves_plans_earlier(
+        seed in 0u64..300,
+    ) {
+        let mut h = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            seed,
+        );
+        h.plan("signoff_report").expect("plannable");
+        h.execute("rtl").expect("executable");
+        let before: Vec<(String, f64)> = h
+            .db()
+            .activities()
+            .map(|a| {
+                (
+                    a.to_owned(),
+                    h.db().current_plan(a).expect("planned").planned_start().days(),
+                )
+            })
+            .collect();
+        let _ = h.propagate_slip("WriteRtl").expect("planned");
+        for (activity, old_start) in before {
+            let new_start = h
+                .db()
+                .current_plan(&activity)
+                .expect("still planned")
+                .planned_start()
+                .days();
+            prop_assert!(new_start >= old_start - 1e-9, "{} moved earlier", activity);
+        }
+    }
+}

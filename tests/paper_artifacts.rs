@@ -1,0 +1,171 @@
+//! Assertions pinning the paper's artifacts: each test corresponds to
+//! a table or figure and checks the property the figure illustrates
+//! (see EXPERIMENTS.md for the mapping).
+
+use hercules::Hercules;
+use schedule::gantt::GanttOptions;
+use schema::{examples, SchemaGraph};
+use simtools::{workload::Team, ToolLibrary};
+use survey::{render_table, surveyed_systems, Level};
+
+fn circuit(seed: u64) -> Hercules {
+    Hercules::new(
+        examples::circuit_design(),
+        ToolLibrary::standard(),
+        Team::of_size(2),
+        seed,
+    )
+}
+
+/// Table I: six systems, four levels each, Hercules Level 3 carries
+/// the schedule objects the paper added.
+#[test]
+fn table1_six_systems_four_levels() {
+    let systems = surveyed_systems();
+    assert_eq!(systems.len(), 6);
+    for s in &systems {
+        for level in Level::ALL {
+            assert!(!s.objects_at(level).is_empty());
+        }
+    }
+    let table = render_table(&systems);
+    for name in ["RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"] {
+        assert!(table.contains(name));
+    }
+    assert!(table.contains("Schedule"));
+}
+
+/// Fig. 1: planning (simulation) and execution both create Level-3
+/// data; the link connects them.
+#[test]
+fn fig1_schedule_and_execution_share_level3() {
+    let mut h = circuit(42);
+    let plan = h.plan("performance").expect("plannable");
+    assert_eq!(h.db().schedule_count(), 2);
+    assert_eq!(h.db().entity_count(), 0); // simulation created no design data
+    h.execute("performance").expect("executable");
+    assert!(h.db().entity_count() >= 3); // stimuli + netlist(s) + performance
+    for pa in plan.activities() {
+        assert!(h.db().schedule_instance(pa.schedule).linked_entity().is_some());
+    }
+}
+
+/// Fig. 2/3: the schedule space mirrors the execution space —
+/// planning sessions ↔ runs, schedule instances ↔ entity instances.
+#[test]
+fn fig3_spaces_mirror() {
+    let mut h = circuit(42);
+    let plan = h.plan("performance").expect("plannable");
+    let report = h.execute("performance").expect("executable");
+    // One planning session (the schedule-space "Run").
+    assert_eq!(h.db().planning_sessions().len(), 1);
+    assert_eq!(h.db().planning_session(plan.session()).instances().len(), 2);
+    // Every completed schedule instance mirrors exactly one entity
+    // instance of the activity's output class.
+    for pa in plan.activities() {
+        let sc = h.db().schedule_instance(pa.schedule);
+        let e = sc.linked_entity().expect("complete");
+        let inst = h.db().entity_instance(e);
+        assert_eq!(
+            inst.class(),
+            h.db().output_class_of(sc.activity()).expect("declared output")
+        );
+    }
+    let _ = report;
+}
+
+/// Fig. 4: the example schema parses to exactly the paper's two rules.
+#[test]
+fn fig4_example_schema() {
+    let schema = examples::circuit_design();
+    let create = schema.rule("Create").expect("declared");
+    assert_eq!(create.output(), "netlist");
+    assert_eq!(create.tool(), "netlist_editor");
+    assert!(create.inputs().is_empty());
+    let simulate = schema.rule("Simulate").expect("declared");
+    assert_eq!(simulate.output(), "performance");
+    assert_eq!(simulate.tool(), "simulator");
+    assert_eq!(simulate.inputs(), ["netlist", "stimuli"]);
+    // The graph orders Create before Simulate.
+    assert_eq!(
+        SchemaGraph::for_schema(&schema).activity_order(),
+        vec!["Create", "Simulate"]
+    );
+}
+
+/// Fig. 5: planning twice yields versioned schedule instances with
+/// provenance — SC1/SC2, CC1/CC2.
+#[test]
+fn fig5_plan_versions() {
+    let mut h = circuit(42);
+    let p1 = h.plan("performance").expect("plannable");
+    let p2 = h.plan("performance").expect("plannable");
+    for activity in ["Create", "Simulate"] {
+        let container = h.db().schedule_container(activity).expect("exists");
+        assert_eq!(container.len(), 2);
+        let v2 = h.db().schedule_instance(container[1]);
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v2.derived_from(), Some(container[0]));
+    }
+    let _ = (p1, p2);
+}
+
+/// Fig. 6: iterations create multiple entity instances in one
+/// container; each run records its iteration number.
+#[test]
+fn fig6_iterations_accumulate() {
+    // Find a seed where Create iterates.
+    let seed = (0..100)
+        .find(|&s| {
+            let mut h = circuit(s);
+            let r = h.execute("netlist").expect("executable");
+            r.activity("Create").expect("ran").iterations >= 2
+        })
+        .expect("an iterating seed exists");
+    let mut h = circuit(seed);
+    let report = h.execute("netlist").expect("executable");
+    let iters = report.activity("Create").expect("ran").iterations;
+    assert_eq!(
+        h.db().entity_container("netlist").expect("exists").len(),
+        iters as usize
+    );
+    let runs = h.db().runs_of("Create");
+    assert_eq!(runs.len(), iters as usize);
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(run.iteration() as usize, i + 1);
+    }
+}
+
+/// Fig. 7: at completion every schedule instance links to the final
+/// version, and actual dates become queryable.
+#[test]
+fn fig7_completion_links() {
+    let mut h = circuit(42);
+    h.plan("performance").expect("plannable");
+    h.execute("performance").expect("executable");
+    for activity in ["Create", "Simulate"] {
+        let sc = h.db().current_plan(activity).expect("planned");
+        assert!(sc.is_complete());
+        assert!(h.db().actual_start(activity).is_some());
+        assert!(h.db().actual_finish(activity).is_some());
+        assert!(h.db().finish_slip(activity).is_some());
+    }
+}
+
+/// Fig. 8: the Gantt chart shows planned and accomplished bars and a
+/// status legend.
+#[test]
+fn fig8_gantt_contents() {
+    let mut h = circuit(42);
+    h.plan("performance").expect("plannable");
+    h.execute("performance").expect("executable");
+    let chart = h.status().gantt(&GanttOptions {
+        ascii: true,
+        ..GanttOptions::default()
+    });
+    assert!(chart.contains("Create"));
+    assert!(chart.contains("Simulate"));
+    assert!(chart.contains('#'), "accomplished bars missing");
+    assert!(chart.contains("[done]"));
+    assert!(chart.lines().next().expect("header").starts_with("day"));
+}
