@@ -1,0 +1,92 @@
+//! Aggregated micro-benchmark runner (replaces `cargo bench`): runs
+//! the B1–B8 kernels and writes `BENCH_schedflow.json` at the
+//! workspace root.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchmarks [FILTER] [--quick] [--out PATH]
+//! ```
+//!
+//! * `FILTER` — run only kernels whose name contains the substring
+//!   (e.g. `cpm`, `plan`). Must match at least one kernel name.
+//! * `--quick` — smoke-test sampling plan (same as `BENCH_QUICK=1`).
+//! * `--out PATH` — where to write the JSON report (default:
+//!   `BENCH_schedflow.json` at the workspace root).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::kernels;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: benchmarks [FILTER] [--quick] [--out PATH]");
+    eprintln!("kernels: {}", kernels::KERNELS.join(", "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let mut filter: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag: {flag}");
+                return usage();
+            }
+            name if filter.is_none() => filter = Some(name.to_owned()),
+            _ => return usage(),
+        }
+    }
+
+    if let Some(f) = filter.as_deref() {
+        if !kernels::KERNELS.iter().any(|k| k.contains(f)) {
+            eprintln!("no kernel matches '{f}'");
+            return usage();
+        }
+    }
+
+    let out = out.unwrap_or_else(|| {
+        // crates/bench -> workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_schedflow.json")
+    });
+
+    eprintln!(
+        "running kernels ({} mode){}...",
+        if quick { "quick" } else { "full" },
+        filter
+            .as_deref()
+            .map(|f| format!(", filter '{f}'"))
+            .unwrap_or_default()
+    );
+    let records = kernels::run_all(quick, filter.as_deref());
+    if records.is_empty() {
+        eprintln!("no benchmarks ran");
+        return ExitCode::FAILURE;
+    }
+
+    match harness::bench::write_report(&out, &records) {
+        Ok(()) => {
+            eprintln!("wrote {} records to {}", records.len(), out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

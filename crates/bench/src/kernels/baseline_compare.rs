@@ -6,11 +6,10 @@
 //! manual entries at any meeting cadence; the manual baseline's mean
 //! staleness is ~period/2 and its entry count equals the event count.
 
-use std::time::Duration;
-
 use baselines::{EventKind, FlowEvent, IntegratedTracker, ManualPm};
-use bench::asic_manager;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::bench::Record;
+
+use crate::asic_manager;
 
 /// Event stream from actually executing the ASIC flow.
 fn asic_events(seed: u64) -> Vec<FlowEvent> {
@@ -33,35 +32,31 @@ fn asic_events(seed: u64) -> Vec<FlowEvent> {
     events
 }
 
-fn bench_baselines(c: &mut Criterion) {
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
     let events = asic_events(5);
-    // One-shot comparison table (captured by EXPERIMENTS.md).
-    println!("\ntracking comparison on a real ASIC-flow event stream:");
-    println!("  {}", IntegratedTracker.track(&events));
-    for period in [1.0, 5.0, 10.0] {
-        println!("  {} (meetings every {period}d)", ManualPm::new(period).track(&events));
+
+    // One-shot comparison table (captured by EXPERIMENTS.md); skipped
+    // in quick mode to keep the smoke test's output terse.
+    if !quick {
+        println!("\ntracking comparison on a real ASIC-flow event stream:");
+        println!("  {}", IntegratedTracker.track(&events));
+        for period in [1.0, 5.0, 10.0] {
+            println!(
+                "  {} (meetings every {period}d)",
+                ManualPm::new(period).track(&events)
+            );
+        }
     }
 
-    let mut group = c.benchmark_group("tracking_cost");
-    group.bench_with_input(BenchmarkId::new("integrated", events.len()), &events, |b, e| {
-        b.iter(|| IntegratedTracker.track(e))
+    let mut suite = super::suite("baseline_compare", quick);
+    suite.iters_per_sample(16);
+    let n = events.len() as u64;
+    suite.bench(&format!("tracking_cost/integrated/{n}"), Some(n), || {
+        IntegratedTracker.track(&events)
     });
-    group.bench_with_input(BenchmarkId::new("manual_pm", events.len()), &events, |b, e| {
-        b.iter(|| ManualPm::new(5.0).track(e))
+    suite.bench(&format!("tracking_cost/manual_pm/{n}"), Some(n), || {
+        ManualPm::new(5.0).track(&events)
     });
-    group.finish();
+    suite.into_records()
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_baselines
-}
-criterion_main!(benches);

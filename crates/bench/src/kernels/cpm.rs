@@ -4,9 +4,7 @@
 //! 10 000-activity networks analyze in milliseconds, which is why the
 //! integrated system can afford to replan on every status change.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::bench::Record;
 use schedule::{ScheduleNetwork, WorkDays};
 
 fn layered_network(layers: usize, width: usize) -> ScheduleNetwork {
@@ -28,30 +26,21 @@ fn layered_network(layers: usize, width: usize) -> ScheduleNetwork {
     net
 }
 
-fn bench_cpm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cpm_analyze");
-    for &activities in &[100usize, 1_000, 10_000] {
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("cpm", quick);
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    for &activities in sizes {
         let net = layered_network(activities / 10, 10);
-        group.throughput(criterion::Throughput::Elements(activities as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(activities),
-            &net,
-            |b, net| b.iter(|| net.analyze().expect("acyclic")),
+        suite.bench(
+            &format!("cpm_analyze/{activities}"),
+            Some(activities as u64),
+            || net.analyze().expect("acyclic"),
         );
     }
-    group.finish();
+    suite.into_records()
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_cpm
-}
-criterion_main!(benches);

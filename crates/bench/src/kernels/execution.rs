@@ -1,0 +1,30 @@
+//! B3 — execution engine throughput: runs/second through the
+//! plan-execute-link cycle, including iteration loops and metadata
+//! writes.
+//!
+//! Expected shape: linear in total runs; the metadata layer adds
+//! negligible overhead on top of the tool models, supporting the
+//! paper's claim that tracking can live inside the flow manager.
+
+use harness::bench::Record;
+
+use crate::pipeline_manager;
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("execution", quick);
+    let sizes: &[usize] = if quick { &[10] } else { &[10, 50] };
+    for &stages in sizes {
+        suite.bench_with_setup(
+            &format!("execute_pipeline/{stages}"),
+            Some(stages as u64),
+            || {
+                let mut h = pipeline_manager(stages, 4, 1);
+                h.plan(&format!("d{stages}")).expect("plannable");
+                h
+            },
+            |mut h| h.execute(&format!("d{stages}")).expect("executable"),
+        );
+    }
+    suite.into_records()
+}

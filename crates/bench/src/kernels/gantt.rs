@@ -1,0 +1,35 @@
+//! B8 — Gantt rendering cost vs project size.
+//!
+//! Expected shape: linear in rows; even hundred-activity charts render
+//! in microseconds, keeping the status view interactive.
+
+use harness::bench::Record;
+use schedule::gantt::{render, GanttOptions, GanttRow};
+use schedule::WorkDays;
+
+fn rows(n: usize) -> Vec<GanttRow> {
+    (0..n)
+        .map(|i| {
+            let start = WorkDays::new(i as f64 * 0.7);
+            let finish = WorkDays::new(i as f64 * 0.7 + 2.0);
+            let mut row = GanttRow::planned(format!("activity{i}"), start, finish);
+            if i % 2 == 0 {
+                row = row.with_actual(start, finish + WorkDays::new(0.5), true);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("gantt", quick);
+    let sizes: &[usize] = if quick { &[10, 100] } else { &[10, 100, 500] };
+    for &n in sizes {
+        let rows = rows(n);
+        suite.bench(&format!("gantt_render/{n}"), Some(n as u64), || {
+            render(&rows, &GanttOptions::default())
+        });
+    }
+    suite.into_records()
+}

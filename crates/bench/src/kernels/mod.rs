@@ -1,0 +1,72 @@
+//! The workspace's micro-benchmark kernels (B1–B8 in DESIGN.md),
+//! ported from Criterion onto `harness::bench` so they run offline and
+//! emit machine-readable results.
+//!
+//! Each kernel module exposes `run(quick) -> Vec<Record>`; the
+//! `benchmarks` bin aggregates all of them into
+//! `BENCH_schedflow.json` at the workspace root. `quick = true`
+//! selects the smoke-test sampling plan used by `tests/bench_smoke.rs`
+//! and `scripts/check.sh`.
+
+use harness::bench::Record;
+
+pub mod baseline_compare;
+pub mod cpm;
+pub mod execution;
+pub mod gantt;
+pub mod planning;
+pub mod prediction;
+pub mod queries;
+pub mod replan;
+
+/// All kernels in DESIGN.md order (B1–B8).
+pub const KERNELS: [&str; 8] = [
+    "cpm",
+    "planning",
+    "execution",
+    "queries",
+    "replan",
+    "baseline_compare",
+    "prediction",
+    "gantt",
+];
+
+/// Runs every kernel whose name contains `filter` (all when `None`).
+pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
+    let wanted = |name: &str| filter.is_none_or(|f| name.contains(f));
+    let mut records = Vec::new();
+    if wanted("cpm") {
+        records.extend(cpm::run(quick));
+    }
+    if wanted("planning") {
+        records.extend(planning::run(quick));
+    }
+    if wanted("execution") {
+        records.extend(execution::run(quick));
+    }
+    if wanted("queries") {
+        records.extend(queries::run(quick));
+    }
+    if wanted("replan") {
+        records.extend(replan::run(quick));
+    }
+    if wanted("baseline_compare") {
+        records.extend(baseline_compare::run(quick));
+    }
+    if wanted("prediction") {
+        records.extend(prediction::run(quick));
+    }
+    if wanted("gantt") {
+        records.extend(gantt::run(quick));
+    }
+    records
+}
+
+/// A suite preconfigured for `kernel` under the given mode.
+pub(crate) fn suite(kernel: &str, quick: bool) -> harness::bench::Suite {
+    if quick {
+        harness::bench::Suite::quick(kernel)
+    } else {
+        harness::bench::Suite::new(kernel)
+    }
+}

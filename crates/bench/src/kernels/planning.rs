@@ -1,0 +1,26 @@
+//! B2 — schedule planning throughput: the simulated-execution
+//! traversal (schedule-instance creation + CPM + levelling) vs flow
+//! size.
+//!
+//! Expected shape: planning cost grows roughly linearly with the task
+//! tree; planning a 100-activity flow stays well under a second, so
+//! "the schedule plan can be updated at any time" is practical.
+
+use harness::bench::Record;
+
+use crate::pipeline_manager;
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("planning", quick);
+    let sizes: &[usize] = if quick { &[10, 50] } else { &[10, 50, 100] };
+    for &stages in sizes {
+        suite.bench_with_setup(
+            &format!("plan_pipeline/{stages}"),
+            Some(stages as u64),
+            || pipeline_manager(stages, 4, 1),
+            |mut h| h.plan(&format!("d{stages}")).expect("plannable"),
+        );
+    }
+    suite.into_records()
+}

@@ -1,0 +1,47 @@
+//! B7 — prediction accuracy: history-based estimators vs designer
+//! intuition on synthetic duration histories (flat-noisy and trending).
+//!
+//! Expected shape: once a few observations exist, every history-based
+//! estimator beats a 2x-off intuition guess; the trend estimator wins
+//! on growing activities, smoothing estimators win on noisy-flat ones.
+
+use harness::bench::{black_box, Record};
+use predict::{evaluate, Ewma, Intuition, LastValue, LinearTrend, MeanOfAll, Predictor};
+use simtools::workload::duration_history;
+
+fn estimators() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Intuition::new(10.0)), // designer guess, 2x off base 5
+        Box::new(LastValue),
+        Box::new(MeanOfAll),
+        Box::new(Ewma::new(0.3)),
+        Box::new(LinearTrend),
+    ]
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let flat = duration_history(5.0, 0.0, 0.25, 60, 17);
+    let trending = duration_history(5.0, 0.04, 0.10, 60, 23);
+
+    // One-shot accuracy table (captured by EXPERIMENTS.md); skipped in
+    // quick mode to keep the smoke test's output terse.
+    if !quick {
+        for (name, history) in [("flat-noisy", &flat), ("trending", &trending)] {
+            println!("\nprediction accuracy on {name} history:");
+            for est in estimators() {
+                if let Some(report) = evaluate(est.as_ref(), history, 3) {
+                    println!("  {report}");
+                }
+            }
+        }
+    }
+
+    let mut suite = super::suite("prediction", quick);
+    suite.bench("predict_rolling_eval_60pts", Some(60), || {
+        for est in estimators() {
+            let _ = evaluate(est.as_ref(), black_box(&flat), 3);
+        }
+    });
+    suite.into_records()
+}

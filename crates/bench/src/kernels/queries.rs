@@ -1,0 +1,44 @@
+//! B4 — metadata query latency: last-duration, plan-evolution chains,
+//! and status rollups on a populated database.
+//!
+//! Expected shape: microseconds — queries into schedule data are cheap
+//! enough to run on every UI refresh, which is what makes the Gantt
+//! view and browser interactive.
+
+use harness::bench::{black_box, Record};
+use hercules::Hercules;
+
+use crate::pipeline_manager;
+
+fn populated(stages: usize) -> Hercules {
+    let mut h = pipeline_manager(stages, 4, 1);
+    let target = format!("d{stages}");
+    // Several plan/execute cycles to grow history and versions.
+    h.plan(&target).expect("plannable");
+    h.execute(&target).expect("executable");
+    h.plan(&target).expect("plannable");
+    h.plan(&target).expect("plannable");
+    h
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    // Queries are sub-microsecond, so batch many iterations per timed
+    // sample to stay above timer resolution.
+    let mut suite = super::suite("queries", quick);
+    suite.iters_per_sample(64);
+    let h = populated(50);
+    let current = h.db().current_plan("Stage25").expect("planned").id();
+
+    suite.bench("query_last_duration", None, || {
+        h.db().last_duration(black_box("Stage25"))
+    });
+    suite.bench("query_plan_evolution", None, || {
+        h.db().plan_evolution(black_box(current))
+    });
+    suite.bench("query_status_report", None, || h.status());
+    suite.bench("query_completed_rollup", None, || {
+        h.db().completed_activities()
+    });
+    suite.into_records()
+}

@@ -1,0 +1,44 @@
+//! B5 — slip propagation vs full replan (the DESIGN.md ablation for
+//! versioned incremental updates).
+//!
+//! Expected shape: incremental propagation touches only the downstream
+//! cone and is cheaper than a full replanning pass; both stay fast
+//! enough for automatic updates on every completion event.
+
+use harness::bench::Record;
+use hercules::Hercules;
+
+use crate::pipeline_manager;
+
+/// A pipeline mid-execution: the front third complete (so a slip has
+/// somewhere to propagate from), the rest open.
+fn mid_project(stages: usize) -> (Hercules, String) {
+    let mut h = pipeline_manager(stages, 4, 1);
+    let target = format!("d{stages}");
+    h.plan(&target).expect("plannable");
+    let front = format!("d{}", stages / 3);
+    h.execute(&front).expect("executable");
+    (h, target)
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("replan", quick);
+    let sizes: &[usize] = if quick { &[30] } else { &[30, 90] };
+    for &stages in sizes {
+        let slipped = format!("Stage{}", stages / 3);
+        suite.bench_with_setup(
+            &format!("propagate_slip/{stages}"),
+            Some(stages as u64),
+            || mid_project(stages),
+            |(mut h, _)| h.propagate_slip(&slipped).expect("planned"),
+        );
+        suite.bench_with_setup(
+            &format!("full_replan/{stages}"),
+            Some(stages as u64),
+            || mid_project(stages),
+            |(mut h, target)| h.replan(&target).expect("plannable"),
+        );
+    }
+    suite.into_records()
+}

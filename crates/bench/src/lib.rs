@@ -1,12 +1,16 @@
-//! Shared helpers for the experiment binaries and Criterion benches.
+//! Shared helpers for the experiment binaries and micro-benchmarks.
 //!
 //! Each `src/bin/*.rs` binary regenerates one of the paper's artifacts
-//! (Table I, Figures 1–8); the `benches/*.rs` targets measure the
-//! algorithmic components (B1–B8 in DESIGN.md). This library holds the
-//! scenario builders and the database-state renderer they share.
+//! (Table I, Figures 1–8); the [`kernels`] modules measure the
+//! algorithmic components (B1–B8 in DESIGN.md) via `harness::bench`
+//! and are aggregated by the `benchmarks` binary into
+//! `BENCH_schedflow.json`. This library holds the scenario builders
+//! and the database-state renderer they share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod kernels;
 
 use hercules::Hercules;
 use metadata::MetadataDb;

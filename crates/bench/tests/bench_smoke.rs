@@ -1,0 +1,70 @@
+//! Smoke test for the B1–B8 kernels: runs every kernel under the
+//! quick sampling plan and checks the JSON report covers the kernels
+//! ISSUE acceptance requires, with sane statistics.
+//!
+//! This is what `scripts/check.sh` exercises, so a kernel that panics
+//! or regresses into nonsense fails tier-1 rather than only the
+//! (manual) full benchmark run.
+
+use bench::kernels;
+
+#[test]
+fn quick_run_covers_all_kernels() {
+    let records = kernels::run_all(true, None);
+    assert!(!records.is_empty(), "no records produced");
+
+    // Every kernel listed in DESIGN.md must contribute at least one
+    // record — in particular the six named in the acceptance criteria.
+    for required in [
+        "cpm",
+        "planning",
+        "execution",
+        "replan",
+        "gantt",
+        "queries",
+        "baseline_compare",
+        "prediction",
+    ] {
+        assert!(
+            records.iter().any(|r| r.kernel == required),
+            "kernel '{required}' produced no records"
+        );
+    }
+    let kernel_count = {
+        let mut names: Vec<_> = records.iter().map(|r| r.kernel.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    };
+    assert!(kernel_count >= 6, "only {kernel_count} kernels ran");
+
+    // Statistics must be ordered and positive for every bench.
+    for r in &records {
+        assert!(r.stats.min_ns > 0.0, "{}/{}: non-positive min", r.kernel, r.bench);
+        assert!(
+            r.stats.min_ns <= r.stats.median_ns && r.stats.median_ns <= r.stats.p95_ns,
+            "{}/{}: stats out of order",
+            r.kernel,
+            r.bench
+        );
+        assert!(r.samples > 0 && r.iters_per_sample > 0);
+    }
+}
+
+#[test]
+fn filtered_run_and_json_schema() {
+    let records = kernels::run_all(true, Some("cpm"));
+    assert!(records.iter().all(|r| r.kernel == "cpm"));
+    assert!(!records.is_empty());
+
+    let json = harness::bench::to_json(&records);
+    for needle in [
+        "\"schema\": \"schedflow-bench/v1\"",
+        "\"kernel\": \"cpm\"",
+        "\"median_ns\":",
+        "\"p95_ns\":",
+        "\"min_ns\":",
+    ] {
+        assert!(json.contains(needle), "missing {needle}");
+    }
+}

@@ -117,18 +117,44 @@ impl Hercules {
     /// # }
     /// ```
     pub fn plan(&mut self, target: &str) -> Result<SchedulePlan, HerculesError> {
+        self.plan_scope(target, &[])
+    }
+
+    /// [`plan`](Hercules::plan) restricted to a sub-scope: activities
+    /// named in `skip` are left out of the network and get no new
+    /// schedule instance versions.
+    ///
+    /// This is what [`replan`](Hercules::replan) uses to honour the
+    /// versioned-update contract — completed activities keep their
+    /// linked plans while open work is repriced. Ordering across the
+    /// cut is preserved by the caller advancing the project clock past
+    /// the skipped activities' actual finishes; precedence *within*
+    /// the remaining scope is kept intact here.
+    pub(crate) fn plan_scope(
+        &mut self,
+        target: &str,
+        skip: &[String],
+    ) -> Result<SchedulePlan, HerculesError> {
         let tree = self.extract_task_tree(target)?;
+        let in_scope: Vec<String> = tree
+            .activities()
+            .iter()
+            .filter(|a| !skip.contains(a))
+            .cloned()
+            .collect();
         // Build the precedence network with estimated durations.
         let mut net = ScheduleNetwork::new();
         let mut ids = HashMap::new();
-        for activity in tree.activities() {
+        for activity in &in_scope {
             let duration = self.duration_estimate(activity)?;
             let id = net.add_activity(activity.clone(), duration)?;
             ids.insert(activity.clone(), id);
         }
-        for activity in tree.activities() {
+        for activity in &in_scope {
             for consumer in tree.consumers_of_output(activity) {
-                net.add_precedence(ids[activity.as_str()], ids[consumer])?;
+                if let Some(&consumer_id) = ids.get(consumer) {
+                    net.add_precedence(ids[activity.as_str()], consumer_id)?;
+                }
             }
         }
         // Assign designers round-robin in dependency order and level
@@ -138,9 +164,9 @@ impl Hercules {
             pool.add(Resource::new(designer, 1));
         }
         let mut assignees = HashMap::new();
-        for (k, activity) in tree.activities().iter().enumerate() {
+        for (k, activity) in in_scope.iter().enumerate() {
             let designer = self.team.assignee(k).to_owned();
-            net.add_demand(ids[activity], designer.clone(), 1)?;
+            net.add_demand(ids[activity.as_str()], designer.clone(), 1)?;
             assignees.insert(activity.clone(), designer);
         }
         let cpm = net.analyze()?;
@@ -150,10 +176,10 @@ impl Hercules {
         // schedule instance per activity, in post-order.
         let session = self.db.begin_planning(self.clock);
         let offset = self.clock;
-        let mut activities = Vec::with_capacity(tree.len());
+        let mut activities = Vec::with_capacity(in_scope.len());
         let mut project_finish = offset;
-        for activity in tree.activities() {
-            let id = ids[activity];
+        for activity in &in_scope {
+            let id = ids[activity.as_str()];
             let start = offset + leveled.start(id);
             let duration = net.duration(id);
             let sc = self.db.plan_activity(session, activity, start, duration)?;

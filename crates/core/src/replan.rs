@@ -32,31 +32,31 @@ impl ReplanOutcome {
 
 impl Hercules {
     /// Full replan of `target`: a fresh planning pass (new schedule
-    /// instance versions for every activity in scope) using the latest
-    /// duration estimates — which now include any measured history, so
-    /// replanning after execution "uses previous schedule information
-    /// for planning future projects".
+    /// instance versions for every *open* activity in scope) using the
+    /// latest duration estimates — which now include any measured
+    /// history, so replanning after execution "uses previous schedule
+    /// information for planning future projects".
     ///
-    /// Completed activities keep their (linked) plans; only open work
-    /// is reversioned.
+    /// Completed activities keep their (linked) plans and recorded
+    /// actual dates; only open work is reversioned. The versioned
+    /// database never rewrites history.
     ///
     /// # Errors
     ///
     /// Same as [`plan`](Hercules::plan).
     pub fn replan(&mut self, target: &str) -> Result<ReplanOutcome, HerculesError> {
         let tree = self.extract_task_tree(target)?;
-        let open: Vec<String> = tree
+        let completed: Vec<String> = tree
             .activities()
             .iter()
             .filter(|a| {
-                !self
-                    .db
+                self.db
                     .current_plan(a)
                     .is_some_and(|p| p.is_complete())
             })
             .cloned()
             .collect();
-        if open.is_empty() {
+        if completed.len() == tree.len() {
             return Ok(ReplanOutcome {
                 replanned: Vec::new(),
                 project_finish: self.clock,
@@ -64,19 +64,17 @@ impl Hercules {
             });
         }
         // Planning starts no earlier than the actual finishes of
-        // completed prerequisites, which `plan` handles via the clock:
-        // advance it to the latest completion in scope first.
-        let latest_done = tree
-            .activities()
+        // completed prerequisites, which `plan_scope` handles via the
+        // clock: advance it to the latest completion in scope first.
+        let latest_done = completed
             .iter()
             .filter_map(|a| self.db.actual_finish(a))
             .fold(self.clock, WorkDays::max);
         self.advance_clock(latest_done);
-        let plan: SchedulePlan = self.plan(target)?;
+        let plan: SchedulePlan = self.plan_scope(target, &completed)?;
         let replanned = plan
             .activities()
             .iter()
-            .filter(|pa| open.contains(&pa.activity))
             .map(|pa| (pa.activity.clone(), pa.schedule))
             .collect();
         Ok(ReplanOutcome {

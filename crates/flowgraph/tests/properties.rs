@@ -1,34 +1,32 @@
-//! Property-based tests for the graph substrate.
+//! Property-based tests for the graph substrate (on the in-repo
+//! `harness` framework — offline, seeded, shrinking).
 
 use std::collections::{HashMap, HashSet};
 
 use flowgraph::builder::generate;
 use flowgraph::{Dag, NodeId};
-use proptest::prelude::*;
+use harness::prelude::*;
 
 /// Build a random DAG by only ever adding edges from a lower-indexed
 /// node to a higher-indexed one, which is acyclic by construction and
 /// therefore must never be rejected.
 fn arb_dag() -> impl Strategy<Value = Dag<u32, ()>> {
-    (2usize..40, proptest::collection::vec((any::<u16>(), any::<u16>()), 0..120)).prop_map(
-        |(n, pairs)| {
-            let mut g = Dag::new();
-            let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i as u32)).collect();
-            for (a, b) in pairs {
-                let i = (a as usize) % n;
-                let j = (b as usize) % n;
-                if i < j {
-                    g.add_edge(ids[i], ids[j], ())
-                        .expect("forward edges never cycle");
-                }
+    (2usize..40, vec((any_u16(), any_u16()), 0..120)).prop_map(|(n, pairs)| {
+        let mut g = Dag::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i as u32)).collect();
+        for (a, b) in pairs {
+            let i = (a as usize) % n;
+            let j = (b as usize) % n;
+            if i < j {
+                g.add_edge(ids[i], ids[j], ())
+                    .expect("forward edges never cycle");
             }
-            g
-        },
-    )
+        }
+        g
+    })
 }
 
-proptest! {
-    #[test]
+harness::props! {
     fn topological_order_is_consistent(g in arb_dag()) {
         let order = g.topological_order().expect("constructed acyclic");
         prop_assert_eq!(order.len(), g.node_count());
@@ -39,7 +37,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn post_order_respects_dependencies(g in arb_dag()) {
         let sinks = g.sinks();
         let order = g.post_order(&sinks);
@@ -56,7 +53,6 @@ proptest! {
         prop_assert_eq!(order.len(), g.node_count());
     }
 
-    #[test]
     fn cones_are_duals(g in arb_dag()) {
         for v in g.node_ids() {
             let input = g.input_cone(&[v]);
@@ -67,7 +63,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn reaches_matches_cone(g in arb_dag()) {
         for v in g.node_ids().take(10) {
             let out = g.output_cone(&[v]);
@@ -77,7 +72,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn transitive_reduction_preserves_reachability(g in arb_dag()) {
         let kept = g.transitive_reduction().expect("acyclic");
         let mut reduced: Dag<u32, ()> = Dag::new();
@@ -102,7 +96,6 @@ proptest! {
         prop_assert!(kept.len() <= g.edge_count());
     }
 
-    #[test]
     fn longest_path_is_maximal_chain(g in arb_dag()) {
         if let Some(path) = g.longest_path_by(|&w| w as f64 + 1.0).expect("acyclic") {
             // The path is a real chain.
@@ -119,7 +112,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn levels_are_edge_monotonic(g in arb_dag()) {
         let levels = g.levels().expect("acyclic");
         for e in g.edges() {

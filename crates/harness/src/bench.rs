@@ -1,0 +1,347 @@
+//! Offline micro-benchmark harness: warmup + fixed-iteration sampling,
+//! median/p95/min wall-times, and machine-readable JSON emission.
+//!
+//! Replaces Criterion for this workspace: no network, no plotting, no
+//! adaptive sampling — a fixed, deterministic amount of work per bench
+//! so runs are comparable across commits. Results accumulate into a
+//! single report (`BENCH_schedflow.json` at the workspace root) giving
+//! the repo a perf trajectory.
+//!
+//! Set `BENCH_QUICK=1` (or construct the suite with
+//! [`Suite::quick`]) for a smoke-test-sized run.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Sampling plan for one suite.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed iterations executed before sampling starts.
+    pub warmup_iters: u32,
+    /// Number of timed samples collected.
+    pub samples: u32,
+    /// Iterations aggregated into one sample (reported times are
+    /// per-iteration).
+    pub iters_per_sample: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup_iters: 3,
+            samples: 15,
+            iters_per_sample: 1,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The smoke-test plan: just enough to prove the kernel runs.
+    pub fn quick() -> Self {
+        BenchConfig {
+            warmup_iters: 1,
+            samples: 3,
+            iters_per_sample: 1,
+        }
+    }
+}
+
+/// Wall-time statistics over a bench's samples, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time.
+    pub p95_ns: f64,
+    /// Fastest per-iteration time.
+    pub min_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(mut ns_per_iter: Vec<f64>) -> Stats {
+        assert!(!ns_per_iter.is_empty(), "no samples collected");
+        ns_per_iter.sort_by(f64::total_cmp);
+        let n = ns_per_iter.len();
+        let median = if n % 2 == 1 {
+            ns_per_iter[n / 2]
+        } else {
+            (ns_per_iter[n / 2 - 1] + ns_per_iter[n / 2]) / 2.0
+        };
+        // Nearest-rank p95 (clamped to the last sample).
+        let rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        Stats {
+            median_ns: median,
+            p95_ns: ns_per_iter[rank - 1],
+            min_ns: ns_per_iter[0],
+            mean_ns: ns_per_iter.iter().sum::<f64>() / n as f64,
+        }
+    }
+}
+
+/// One benchmark's identity and measurements.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Kernel group (e.g. `cpm`, `planning`).
+    pub kernel: String,
+    /// Full bench id within the kernel (e.g. `cpm_analyze/1000`).
+    pub bench: String,
+    /// Optional problem size (elements processed per iteration).
+    pub elements: Option<u64>,
+    /// Samples collected.
+    pub samples: u32,
+    /// Iterations per sample.
+    pub iters_per_sample: u32,
+    /// Wall-time statistics.
+    pub stats: Stats,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{kernel:<18} {bench:<34} median {median:>12.0} ns  p95 {p95:>12.0} ns  min {min:>12.0} ns",
+            kernel = self.kernel,
+            bench = self.bench,
+            median = self.stats.median_ns,
+            p95 = self.stats.p95_ns,
+            min = self.stats.min_ns,
+        )
+    }
+}
+
+/// Collects [`Record`]s for one kernel group.
+pub struct Suite {
+    kernel: String,
+    config: BenchConfig,
+    records: Vec<Record>,
+}
+
+impl Suite {
+    /// A suite using the default (full) sampling plan, or the quick
+    /// plan when `BENCH_QUICK=1` is set in the environment.
+    pub fn new(kernel: &str) -> Self {
+        let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+        Suite {
+            kernel: kernel.to_owned(),
+            config: if quick {
+                BenchConfig::quick()
+            } else {
+                BenchConfig::default()
+            },
+            records: Vec::new(),
+        }
+    }
+
+    /// A suite forced onto the smoke-test plan.
+    pub fn quick(kernel: &str) -> Self {
+        Suite {
+            kernel: kernel.to_owned(),
+            config: BenchConfig::quick(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the sampling plan for subsequent benches.
+    pub fn with_config(mut self, config: BenchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Raises `iters_per_sample` for subsequent (cheap) benches so each
+    /// sample aggregates enough work to be timeable.
+    pub fn iters_per_sample(&mut self, iters: u32) -> &mut Self {
+        self.config.iters_per_sample = iters.max(1);
+        self
+    }
+
+    /// Times `routine` under the current plan.
+    pub fn bench<R>(&mut self, bench: &str, elements: Option<u64>, mut routine: impl FnMut() -> R) {
+        let cfg = self.config;
+        for _ in 0..cfg.warmup_iters {
+            black_box(routine());
+        }
+        let mut ns = Vec::with_capacity(cfg.samples as usize);
+        for _ in 0..cfg.samples {
+            let t0 = Instant::now();
+            for _ in 0..cfg.iters_per_sample {
+                black_box(routine());
+            }
+            ns.push(t0.elapsed().as_nanos() as f64 / f64::from(cfg.iters_per_sample));
+        }
+        self.push(bench, elements, ns);
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per
+    /// iteration (Criterion's `iter_batched`).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        bench: &str,
+        elements: Option<u64>,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let cfg = self.config;
+        for _ in 0..cfg.warmup_iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut ns = Vec::with_capacity(cfg.samples as usize);
+        for _ in 0..cfg.samples {
+            let mut elapsed = 0u128;
+            for _ in 0..cfg.iters_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed().as_nanos();
+            }
+            ns.push(elapsed as f64 / f64::from(cfg.iters_per_sample));
+        }
+        self.push(bench, elements, ns);
+    }
+
+    fn push(&mut self, bench: &str, elements: Option<u64>, ns: Vec<f64>) {
+        let record = Record {
+            kernel: self.kernel.clone(),
+            bench: bench.to_owned(),
+            elements,
+            samples: self.config.samples,
+            iters_per_sample: self.config.iters_per_sample,
+            stats: Stats::from_samples(ns),
+        };
+        eprintln!("{record}");
+        self.records.push(record);
+    }
+
+    /// Consumes the suite, yielding its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serializes records to the `schedflow-bench/v1` JSON schema (see
+/// `crates/harness/README.md`).
+pub fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"schedflow-bench/v1\",\n  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let elements = r
+            .elements
+            .map_or("null".to_owned(), |e| e.to_string());
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"bench\": \"{bench}\", \"elements\": {elements}, \
+             \"samples\": {samples}, \"iters_per_sample\": {iters}, \
+             \"median_ns\": {median}, \"p95_ns\": {p95}, \"min_ns\": {min}, \"mean_ns\": {mean}}}{comma}\n",
+            kernel = json_escape(&r.kernel),
+            bench = json_escape(&r.bench),
+            samples = r.samples,
+            iters = r.iters_per_sample,
+            median = json_f64(r.stats.median_ns),
+            p95 = json_f64(r.stats.p95_ns),
+            min = json_f64(r.stats.min_ns),
+            mean = json_f64(r.stats.mean_ns),
+            comma = if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON report to `path`.
+pub fn write_report(path: &Path, records: &[Record]) -> io::Result<()> {
+    std::fs::write(path, to_json(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_order_invariants() {
+        let s = Stats::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 3.0);
+        assert_eq!(s.p95_ns, 5.0);
+        assert!((s.mean_ns - 3.0).abs() < 1e-9);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
+    }
+
+    #[test]
+    fn even_sample_median_interpolates() {
+        let s = Stats::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median_ns, 2.5);
+    }
+
+    #[test]
+    fn suite_collects_records() {
+        let mut suite = Suite::quick("selftest");
+        let mut acc = 0u64;
+        suite.bench("add", Some(1), || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let records = suite.into_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kernel, "selftest");
+        assert_eq!(records[0].bench, "add");
+        assert!(records[0].stats.min_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut suite = Suite::quick("k");
+        suite.bench("b/10", Some(10), || 1 + 1);
+        let json = to_json(&suite.into_records());
+        for needle in [
+            "\"schema\": \"schedflow-bench/v1\"",
+            "\"kernel\": \"k\"",
+            "\"bench\": \"b/10\"",
+            "\"elements\": 10",
+            "\"median_ns\":",
+            "\"p95_ns\":",
+            "\"min_ns\":",
+            "\"mean_ns\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline-first test and benchmark infrastructure for the
+//! dac95-schedflow workspace.
+//!
+//! The container this repo builds in has **no network access**, so
+//! crates-io dev-dependencies (`proptest`, `rand`, `criterion`) can
+//! never resolve. This crate replaces all three with in-repo
+//! equivalents driven by [`simtools::rng::SplitMix64`]:
+//!
+//! * [`strategy`] + [`runner`] + the [`props!`] macro — a mini
+//!   property-testing framework with seeded generators and
+//!   hedgehog-style integrated shrinking. Failures report a minimal
+//!   counterexample and a `HARNESS_SEED` reproduction line.
+//! * [`bench`] — a micro-benchmark harness (warmup, fixed iteration
+//!   counts, median/p95/min) emitting `BENCH_schedflow.json`.
+//!
+//! See `crates/harness/README.md` for the full API walkthrough and the
+//! JSON schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod macros;
+pub mod runner;
+pub mod strategy;
+pub mod tree;
+
+pub use simtools::rng::SplitMix64;
+
+/// Everything a property-test file needs, proptest-prelude style.
+pub mod prelude {
+    pub use crate::runner::{check, Config};
+    pub use crate::strategy::{
+        any_u16, any_u64, ascii_noise, ident, one_of, printable_noise, string_from, vec, weighted,
+        BoxedStrategy, Just, Strategy, StrategyExt,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, props};
+    pub use simtools::rng::SplitMix64;
+}

@@ -1,0 +1,109 @@
+//! The `props! {}` macro layer: an API-compatible-enough replacement
+//! for `proptest! {}` so the workspace's property tests port
+//! mechanically, plus `prop_assert!`-family assertion macros.
+
+/// Declares `#[test]` functions whose arguments are drawn from
+/// strategies, checked by [`crate::runner::check`].
+///
+/// ```
+/// harness::props! {
+///     config(cases = 24);
+///
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         harness::prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Without a `config(...)` header the default case count applies
+/// (overridable via `HARNESS_CASES`).
+#[macro_export]
+macro_rules! props {
+    (config(cases = $cases:expr); $($rest:tt)*) => {
+        $crate::props!(@impl ($cases) $($rest)*);
+    };
+    (@impl ($cases:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __strategy = ($($strat,)*);
+                let __config = $crate::runner::Config {
+                    cases: $cases,
+                    ..$crate::runner::Config::default()
+                };
+                $crate::runner::check(
+                    stringify!($name),
+                    &__config,
+                    &__strategy,
+                    |($($arg,)*)| $body,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::props!(@impl ($crate::runner::Config::default().cases) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property; failure triggers shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// `assert_eq!` for properties; failure triggers shrinking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+}
+
+/// `assert_ne!` for properties; failure triggers shrinking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "prop_assert_ne failed: {} == {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
+        }
+    }};
+}
+
+/// Discards the current case (not a failure) when the precondition
+/// does not hold — the runner draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::runner::AssumeReject);
+        }
+    };
+}

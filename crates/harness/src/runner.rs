@@ -1,0 +1,290 @@
+//! The property runner: seeded case loop, failure detection via
+//! `catch_unwind`, greedy shrinking over the failing case's tree, and
+//! a reproduction-seed report.
+//!
+//! Reproducibility contract: every case runs from a `u64` seed derived
+//! deterministically from the property name and the case index, so a
+//! failure report's seed replays **exactly** the same input via the
+//! `HARNESS_SEED` environment variable — no corpus files, no network,
+//! no global state.
+//!
+//! Environment knobs:
+//!
+//! * `HARNESS_SEED=<u64>` — prepend this case seed (run it first).
+//! * `HARNESS_CASES=<u32>` — override the per-property case count.
+//! * `HARNESS_BASE_SEED=<u64>` — shift the whole deterministic stream.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use simtools::rng::{hash_str, mix, SplitMix64};
+
+use crate::strategy::Strategy;
+use crate::tree::Tree;
+
+/// Default number of cases per property (proptest's default is 256;
+/// these are integration-heavy properties, so we default lower and let
+/// `props!(config(cases = N); ...)` raise it).
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on test executions spent shrinking a failure.
+    pub max_shrink_evals: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("HARNESS_CASES").map_or(DEFAULT_CASES, |v| v as u32),
+            max_shrink_evals: 2_000,
+            max_rejects: 4_096,
+        }
+    }
+}
+
+/// Panic payload used by `prop_assume!` to discard a case without
+/// counting it as a failure.
+#[derive(Debug, Clone, Copy)]
+pub struct AssumeReject;
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+enum CaseResult {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+type Hook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>;
+static ORIGINAL_HOOK: OnceLock<Hook> = OnceLock::new();
+
+/// Installs (once, process-wide) a panic hook that stays silent while
+/// the current thread is inside a harness case, so thousands of shrink
+/// attempts don't spam the captured test output.
+fn install_quiet_hook() {
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        let original = panic::take_hook();
+        ORIGINAL_HOOK.set(original).ok();
+        panic::set_hook(Box::new(|info| {
+            if SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                return;
+            }
+            if let Some(orig) = ORIGINAL_HOOK.get() {
+                orig(info);
+            }
+        }));
+    });
+}
+
+fn run_case<V>(test: &impl Fn(V), value: V) -> CaseResult {
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    match outcome {
+        Ok(()) => CaseResult::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<AssumeReject>().is_some() {
+                CaseResult::Reject
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseResult::Fail((*s).to_owned())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseResult::Fail(s.clone())
+            } else {
+                CaseResult::Fail("non-string panic payload".to_owned())
+            }
+        }
+    }
+}
+
+/// Greedily descends into the first still-failing child until a local
+/// minimum (or the evaluation budget) is reached. Returns the minimal
+/// tree, its failure message, and (shrink steps, evaluations).
+fn shrink<V: Clone>(
+    failing: Tree<V>,
+    first_message: String,
+    test: &impl Fn(V),
+    budget: u32,
+) -> (Tree<V>, String, u32, u32)
+where
+    V: 'static,
+{
+    let mut current = failing;
+    let mut message = first_message;
+    let mut steps = 0u32;
+    let mut evals = 0u32;
+    'descend: loop {
+        for child in current.children() {
+            if evals >= budget {
+                break 'descend;
+            }
+            evals += 1;
+            if let CaseResult::Fail(msg) = run_case(test, child.value().clone()) {
+                current = child;
+                message = msg;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break; // no child fails: local minimum
+    }
+    (current, message, steps, evals)
+}
+
+/// Checks `property` against `cases` seeded inputs drawn from
+/// `strategy`; on failure, shrinks and panics with a report containing
+/// the minimal input and its reproduction seed.
+pub fn check<S: Strategy>(name: &str, config: &Config, strategy: &S, property: impl Fn(S::Value)) {
+    install_quiet_hook();
+    let base = env_u64("HARNESS_BASE_SEED").unwrap_or(0x5EED_CAFE_F00D_D00D) ^ hash_str(name);
+    let mut seeds: Vec<u64> = Vec::with_capacity(config.cases as usize + 1);
+    if let Some(repro) = env_u64("HARNESS_SEED") {
+        seeds.push(repro);
+    }
+    seeds.extend((0..u64::from(config.cases)).map(|i| mix(&[base, i])));
+
+    let mut executed = 0u32;
+    let mut rejects = 0u32;
+    for (index, &seed) in seeds.iter().enumerate() {
+        let mut rng = SplitMix64::new(seed);
+        let tree = strategy.tree(&mut rng);
+        match run_case(&property, tree.value().clone()) {
+            CaseResult::Pass => {
+                executed += 1;
+            }
+            CaseResult::Reject => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_rejects,
+                    "property '{name}': too many prop_assume! rejections \
+                     ({rejects}); loosen the assumption or the generator"
+                );
+            }
+            CaseResult::Fail(message) => {
+                let original = format!("{:?}", tree.value());
+                let (minimal, min_message, steps, evals) =
+                    shrink(tree, message.clone(), &property, config.max_shrink_evals);
+                panic!(
+                    "\n[harness] property '{name}' falsified (case {case} of {total}, \
+                     after {executed} passing case(s))\n\
+                     [harness]   reproduce : HARNESS_SEED={seed} cargo test {name}\n\
+                     [harness]   original  : {original}\n\
+                     [harness]   original panic: {message}\n\
+                     [harness]   minimal   : {minimal:?}  ({steps} shrink step(s), {evals} eval(s))\n\
+                     [harness]   minimal panic : {min_message}\n",
+                    case = index + 1,
+                    total = seeds.len(),
+                    minimal = minimal.value(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{vec, StrategyExt};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let config = Config {
+            cases: 40,
+            ..Config::default()
+        };
+        check("always_true", &config, &(0u64..100), |_v| {});
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // Property fails for v >= 13: minimal counterexample is 13.
+        let config = Config::default();
+        let result = panic::catch_unwind(|| {
+            check("fails_at_13", &config, &(0u64..1_000_000), |v| {
+                assert!(v < 13, "too big: {v}");
+            });
+        });
+        let message = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(message.contains("minimal   : 13"), "{message}");
+        assert!(message.contains("HARNESS_SEED="), "{message}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_shortest() {
+        // Fails whenever the vec contains an element >= 5; minimal is [5].
+        let config = Config::default();
+        let result = panic::catch_unwind(|| {
+            check("vec_min", &config, &vec(0u32..100, 0..30), |v: Vec<u32>| {
+                assert!(v.iter().all(|&x| x < 5), "bad vec");
+            });
+        });
+        let message = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(message.contains("minimal   : [5]"), "{message}");
+    }
+
+    #[test]
+    fn mapped_failures_shrink_through_map() {
+        let strat = (1u64..10_000).prop_map(|v| v * 2);
+        let config = Config::default();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            check("map_min", &config, &strat, |v| {
+                assert!(v < 50, "big even: {v}");
+            });
+        }));
+        let message = *result.expect_err("must fail").downcast::<String>().unwrap();
+        // Minimal even failing value is 50.
+        assert!(message.contains("minimal   : 50"), "{message}");
+    }
+
+    #[test]
+    fn assume_rejections_are_not_failures() {
+        let config = Config {
+            cases: 16,
+            ..Config::default()
+        };
+        check("assume_ok", &config, &(0u64..100), |v| {
+            if v % 2 == 1 {
+                panic::panic_any(AssumeReject);
+            }
+            assert!(v % 2 == 0);
+        });
+    }
+
+    #[test]
+    fn deterministic_failure_seed() {
+        // The same property fails with the same reported seed each run.
+        let grab = || {
+            let result = panic::catch_unwind(|| {
+                check("det_seed", &Config::default(), &(0u64..1000), |v| {
+                    assert!(v < 1, "nonzero");
+                });
+            });
+            *result.expect_err("fails").downcast::<String>().unwrap()
+        };
+        let a = grab();
+        let b = grab();
+        let seed_of = |m: &str| {
+            m.split("HARNESS_SEED=")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(seed_of(&a), seed_of(&b));
+    }
+}

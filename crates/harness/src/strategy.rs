@@ -1,0 +1,410 @@
+//! Seeded generation strategies with integrated shrinking.
+//!
+//! A [`Strategy`] turns a [`SplitMix64`] stream into a shrink
+//! [`Tree`]. Primitive ranges (`2usize..40`, `0.0f64..20.0`),
+//! tuples of strategies, [`vec`], weighted [`Union`]s and string
+//! generators compose via [`StrategyExt::prop_map`], mirroring the
+//! proptest surface the workspace's property tests were written
+//! against — but fully offline and reproducible from a single `u64`.
+
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+use simtools::rng::SplitMix64;
+
+use crate::tree::{f64_tree, forest_to_vec, int_tree, Tree};
+
+/// Something that can generate a shrinkable value from seeded entropy.
+pub trait Strategy: 'static {
+    /// The generated value type.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Draws one value (with its shrink tree) from the stream.
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value>;
+}
+
+/// A type-erased strategy, as produced by [`StrategyExt::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<T> {
+        (**self).tree(rng)
+    }
+}
+
+/// Combinators available on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`; shrinking maps along.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, U>
+    where
+        U: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(move |v: &Self::Value| f(v.clone())),
+        }
+    }
+
+    /// Erases the concrete strategy type (for [`Union`] branches).
+    fn boxed(self) -> BoxedStrategy<Self::Value> {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+/// See [`StrategyExt::prop_map`].
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: Rc<dyn Fn(&S::Value) -> U>,
+}
+
+impl<S: Strategy, U: Clone + fmt::Debug + 'static> Strategy for Map<S, U> {
+    type Value = U;
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<U> {
+        self.inner.tree(rng).map(&self.f)
+    }
+}
+
+/// Always generates the same value (no shrinking).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn tree(&self, _rng: &mut SplitMix64) -> Tree<T> {
+        Tree::leaf(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn tree(&self, rng: &mut SplitMix64) -> Tree<$ty> {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                let span = (hi - lo) as u128;
+                debug_assert!(span <= u64::MAX as u128, "range span too large");
+                let v = lo + rng.next_below(span as u64) as i128;
+                int_tree(lo, v).map(&(Rc::new(|v: &i128| *v as $ty) as Rc<dyn Fn(&i128) -> $ty>))
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u16, u32, u64, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        f64_tree(self.start, v)
+    }
+}
+
+/// The full `u16` domain (proptest's `any::<u16>()`).
+pub fn any_u16() -> impl Strategy<Value = u16> {
+    (0u32..65_536).prop_map(|v| v as u16)
+}
+
+/// The full `u64` domain (proptest's `any::<u64>()`).
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+/// See [`any_u64`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyU64;
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<u64> {
+        let v = rng.next_u64();
+        int_tree(0, v as i128).map(&(Rc::new(|v: &i128| *v as u64) as Rc<dyn Fn(&i128) -> u64>))
+    }
+}
+
+/// A `Vec` of `len` elements drawn from `elem`; shrinks toward
+/// `len.start` elements and smaller elements.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S: Strategy> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Vec<S::Value>> {
+        assert!(self.len.start < self.len.end, "empty length range");
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.next_below(span.max(1)) as usize;
+        let forest: Vec<Tree<S::Value>> = (0..n).map(|_| self.elem.tree(rng)).collect();
+        forest_to_vec(forest, self.len.start)
+    }
+}
+
+/// A weighted choice between strategies of the same value type
+/// (proptest's `prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<T> {
+        let total: u64 = self.branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "union needs at least one weighted branch");
+        let mut pick = rng.next_below(total);
+        for (w, s) in &self.branches {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.tree(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight arithmetic covers the whole range")
+    }
+}
+
+/// Uniform choice between boxed strategies.
+pub fn one_of<T: Clone + fmt::Debug + 'static>(branches: Vec<BoxedStrategy<T>>) -> Union<T> {
+    Union {
+        branches: branches.into_iter().map(|b| (1, b)).collect(),
+    }
+}
+
+/// Weighted choice between boxed strategies.
+pub fn weighted<T: Clone + fmt::Debug + 'static>(branches: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+    Union { branches }
+}
+
+// ---------------------------------------------------------------------
+// String generators (stand-ins for proptest's regex strategies).
+// ---------------------------------------------------------------------
+
+/// A string of `len` characters drawn uniformly from `alphabet`;
+/// shrinks toward shorter strings over earlier alphabet characters.
+pub fn string_from(alphabet: &'static str, len: Range<usize>) -> impl Strategy<Value = String> {
+    let chars: std::rc::Rc<Vec<char>> = std::rc::Rc::new(alphabet.chars().collect());
+    assert!(!chars.is_empty(), "empty alphabet");
+    let picker = {
+        let chars = std::rc::Rc::clone(&chars);
+        (0usize..chars.len()).prop_map(move |i| chars[i])
+    };
+    vec(picker, len).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// A DSL identifier: `[a-z][a-z0-9_]{0,10}`.
+pub fn ident() -> impl Strategy<Value = String> {
+    let head = string_from("abcdefghijklmnopqrstuvwxyz", 1..2);
+    let tail = string_from("abcdefghijklmnopqrstuvwxyz0123456789_", 0..11);
+    (head, tail).prop_map(|(h, t)| format!("{h}{t}"))
+}
+
+/// ASCII noise for parser-totality tests: `[ -~\n\t]{len}`.
+pub fn ascii_noise(len: Range<usize>) -> impl Strategy<Value = String> {
+    const ASCII: &str = " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~\n\t";
+    string_from(ASCII, len)
+}
+
+/// Printable noise including multibyte code points (a stand-in for
+/// proptest's `\PC` class): exercises UTF-8 boundary handling.
+pub fn printable_noise(len: Range<usize>) -> impl Strategy<Value = String> {
+    const MIXED: &str = " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~¡é×λЖ中語🚀—\u{00a0}\u{202e}";
+    string_from(MIXED, len)
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies are strategies (up to arity 6).
+// ---------------------------------------------------------------------
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
+        let f: Rc<dyn Fn(&A::Value) -> (A::Value,)> = Rc::new(|a| (a.clone(),));
+        self.0.tree(rng).map(&f)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
+        let a = self.0.tree(rng);
+        let b = self.1.tree(rng);
+        a.zip(&b)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
+        let (ta, tb, tc) = (self.0.tree(rng), self.1.tree(rng), self.2.tree(rng));
+        let nested = ta.zip(&tb.zip(&tc));
+        #[allow(clippy::type_complexity)]
+        let f: Rc<dyn Fn(&(A::Value, (B::Value, C::Value))) -> Self::Value> =
+            Rc::new(|v| (v.0.clone(), v.1 .0.clone(), v.1 .1.clone()));
+        nested.map(&f)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
+        let (ta, tb, tc, td) = (
+            self.0.tree(rng),
+            self.1.tree(rng),
+            self.2.tree(rng),
+            self.3.tree(rng),
+        );
+        let nested = ta.zip(&tb).zip(&tc.zip(&td));
+        #[allow(clippy::type_complexity)]
+        let f: Rc<dyn Fn(&((A::Value, B::Value), (C::Value, D::Value))) -> Self::Value> =
+            Rc::new(|v| (v.0 .0.clone(), v.0 .1.clone(), v.1 .0.clone(), v.1 .1.clone()));
+        nested.map(&f)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
+        let (ta, tb, tc, td, te) = (
+            self.0.tree(rng),
+            self.1.tree(rng),
+            self.2.tree(rng),
+            self.3.tree(rng),
+            self.4.tree(rng),
+        );
+        let nested = ta.zip(&tb).zip(&tc.zip(&td.zip(&te)));
+        #[allow(clippy::type_complexity)]
+        let f: Rc<
+            dyn Fn(&((A::Value, B::Value), (C::Value, (D::Value, E::Value)))) -> Self::Value,
+        > = Rc::new(|v| {
+            (
+                v.0 .0.clone(),
+                v.0 .1.clone(),
+                v.1 .0.clone(),
+                v.1 .1 .0.clone(),
+                v.1 .1 .1.clone(),
+            )
+        });
+        nested.map(&f)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+    for (A, B, C, D, E, F)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
+        let (ta, tb, tc, td, te, tf) = (
+            self.0.tree(rng),
+            self.1.tree(rng),
+            self.2.tree(rng),
+            self.3.tree(rng),
+            self.4.tree(rng),
+            self.5.tree(rng),
+        );
+        let nested = ta.zip(&tb.zip(&tc)).zip(&td.zip(&te.zip(&tf)));
+        #[allow(clippy::type_complexity)]
+        let g: Rc<
+            dyn Fn(
+                &(
+                    (A::Value, (B::Value, C::Value)),
+                    (D::Value, (E::Value, F::Value)),
+                ),
+            ) -> Self::Value,
+        > = Rc::new(|v| {
+            (
+                v.0 .0.clone(),
+                v.0 .1 .0.clone(),
+                v.0 .1 .1.clone(),
+                v.1 .0.clone(),
+                v.1 .1 .0.clone(),
+                v.1 .1 .1.clone(),
+            )
+        });
+        nested.map(&g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (3usize..17).tree(&mut r);
+            assert!((3..17).contains(v.value()));
+            let f = (0.25f64..8.0).tree(&mut r);
+            assert!((0.25..8.0).contains(f.value()));
+            let i = (-50i64..-10).tree(&mut r);
+            assert!((-50..-10).contains(i.value()));
+        }
+    }
+
+    #[test]
+    fn shrinks_stay_in_bounds() {
+        let mut r = rng();
+        let t = (3usize..17).tree(&mut r);
+        for c in t.children() {
+            assert!((3..17).contains(c.value()), "{}", c.value());
+        }
+    }
+
+    #[test]
+    fn prop_map_carries_shrinks() {
+        let mut r = rng();
+        let t = (0usize..100).prop_map(|v| v * 3).tree(&mut r);
+        if *t.value() > 0 {
+            let kids = t.children();
+            assert_eq!(*kids[0].value(), 0);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = vec(0u32..10, 2..6).tree(&mut r);
+            assert!((2..6).contains(&t.value().len()));
+        }
+    }
+
+    #[test]
+    fn union_picks_all_branches() {
+        let s = one_of(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*s.tree(&mut r).value() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut r = SplitMix64::new(seed);
+            let s = (2usize..40, vec(any_u16(), 0..120));
+            format!("{:?}", s.tree(&mut r).value())
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,231 @@
+//! Lazily-expanded shrink trees (hedgehog-style integrated shrinking).
+//!
+//! A [`Tree`] carries a generated value plus a *lazy* list of smaller
+//! candidate trees. Combinators ([`Tree::map`], [`Tree::zip`],
+//! [`forest_to_vec`]) transport shrinking through mapping, tupling and
+//! collection — so `prop_map`-style strategies shrink for free, which
+//! plain QuickCheck-style `shrink(&T) -> Vec<T>` cannot do.
+//!
+//! Children are ordered **most aggressive first**: the greedy shrinker
+//! in [`crate::runner`] takes the first still-failing child and
+//! descends, so ordering controls how fast minima are reached.
+
+use std::rc::Rc;
+
+/// A value together with lazily computed shrink candidates.
+pub struct Tree<T> {
+    value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Tree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A tree with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Tree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A tree whose candidates are produced on demand by `children`.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// The generated value at this node.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Forces and returns the shrink candidates (one level).
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through `f`, preserving shrink structure.
+    pub fn map<U: Clone + 'static>(&self, f: &Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let inner = self.clone();
+        let f = Rc::clone(f);
+        Tree::with_children(value, move || {
+            inner.children().iter().map(|c| c.map(&f)).collect()
+        })
+    }
+
+    /// Pairs two trees: shrink the left side first, then the right.
+    pub fn zip<U: Clone + 'static>(&self, other: &Tree<U>) -> Tree<(T, U)> {
+        let value = (self.value.clone(), other.value.clone());
+        let a = self.clone();
+        let b = other.clone();
+        Tree::with_children(value, move || {
+            let mut out: Vec<Tree<(T, U)>> = Vec::new();
+            for ca in a.children() {
+                out.push(ca.zip(&b));
+            }
+            for cb in b.children() {
+                out.push(a.zip(&cb));
+            }
+            out
+        })
+    }
+}
+
+/// Combines per-element trees into a tree of `Vec<T>` that shrinks by
+/// (a) deleting chunks of elements (largest chunks first) while staying
+/// at least `min_len` long, then (b) shrinking individual elements.
+pub fn forest_to_vec<T: Clone + 'static>(trees: Vec<Tree<T>>, min_len: usize) -> Tree<Vec<T>> {
+    let value: Vec<T> = trees.iter().map(|t| t.value().clone()).collect();
+    Tree::with_children(value, move || {
+        let n = trees.len();
+        let mut out = Vec::new();
+        // Chunk deletions: n-min_len, then halving down to 1.
+        let mut k = n.saturating_sub(min_len);
+        while k > 0 {
+            let mut start = 0;
+            while start + k <= n {
+                let mut rest = trees.clone();
+                rest.drain(start..start + k);
+                out.push(forest_to_vec(rest, min_len));
+                start += k;
+            }
+            k /= 2;
+        }
+        // Element-wise shrinks.
+        for (i, tree) in trees.iter().enumerate() {
+            for c in tree.children() {
+                let mut next = trees.clone();
+                next[i] = c;
+                out.push(forest_to_vec(next, min_len));
+            }
+        }
+        out
+    })
+}
+
+/// Shrink candidates for an integer, aiming at `lo`: first `lo` itself,
+/// then binary bisection from `lo` toward `v`.
+fn int_candidates(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut d = (v - lo) / 2;
+    while d > 0 {
+        let c = v - d;
+        if c != lo {
+            out.push(c);
+        }
+        d /= 2;
+    }
+    out
+}
+
+/// An integer shrink tree over `[lo, ..]` rooted at `v`.
+pub fn int_tree(lo: i128, v: i128) -> Tree<i128> {
+    Tree::with_children(v, move || {
+        int_candidates(lo, v)
+            .into_iter()
+            .map(|c| int_tree(lo, c))
+            .collect()
+    })
+}
+
+/// A float shrink tree aiming at `lo`: `lo`, integral truncation, then
+/// halvings of the distance, cut off once the delta is negligible.
+pub fn f64_tree(lo: f64, v: f64) -> Tree<f64> {
+    Tree::with_children(v, move || {
+        let mut out: Vec<f64> = Vec::new();
+        if v == lo || !v.is_finite() {
+            return Vec::new();
+        }
+        out.push(lo);
+        let trunc = v.trunc();
+        if trunc > lo && trunc < v {
+            out.push(trunc);
+        }
+        let min_delta = 1e-9_f64.max(v.abs() * 1e-12);
+        let mut d = (v - lo) / 2.0;
+        while d > min_delta {
+            let c = v - d;
+            if c > lo && c < v && !out.contains(&c) {
+                out.push(c);
+            }
+            d /= 2.0;
+        }
+        out.into_iter().map(|c| f64_tree(lo, c)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_candidates_aim_at_lo() {
+        let cs = int_candidates(0, 100);
+        assert_eq!(cs[0], 0);
+        assert!(cs.windows(2).all(|w| w[0] < w[1]), "{cs:?}");
+        assert_eq!(*cs.last().unwrap(), 99);
+    }
+
+    #[test]
+    fn map_preserves_children() {
+        let t = int_tree(0, 8);
+        let mapped = t.map(&(Rc::new(|v: &i128| *v * 2) as Rc<dyn Fn(&i128) -> i128>));
+        assert_eq!(*mapped.value(), 16);
+        let kids: Vec<i128> = mapped.children().iter().map(|c| *c.value()).collect();
+        assert_eq!(kids[0], 0);
+        assert!(kids.iter().all(|k| k % 2 == 0));
+    }
+
+    #[test]
+    fn zip_shrinks_left_then_right() {
+        let t = int_tree(0, 2).zip(&int_tree(0, 3));
+        let kids: Vec<(i128, i128)> = t.children().iter().map(|c| *c.value()).collect();
+        assert!(kids.contains(&(0, 3)));
+        assert!(kids.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn vec_shrinks_by_deletion_and_element() {
+        let forest = vec![int_tree(0, 5), int_tree(0, 7)];
+        let t = forest_to_vec(forest, 0);
+        assert_eq!(t.value(), &vec![5, 7]);
+        let kids: Vec<Vec<i128>> = t.children().iter().map(|c| c.value().clone()).collect();
+        assert!(kids.contains(&vec![]), "whole-vec deletion first");
+        assert!(kids.contains(&vec![7]));
+        assert!(kids.contains(&vec![5]));
+        assert!(kids.contains(&vec![0, 7]), "element shrink");
+    }
+
+    #[test]
+    fn vec_respects_min_len() {
+        let forest = vec![int_tree(0, 1), int_tree(0, 2), int_tree(0, 3)];
+        let t = forest_to_vec(forest, 2);
+        for c in t.children() {
+            assert!(c.value().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn f64_tree_terminates() {
+        let t = f64_tree(0.0, 1e9);
+        let kids = t.children();
+        assert!(!kids.is_empty());
+        assert_eq!(*kids[0].value(), 0.0);
+        assert!(kids.len() < 80);
+    }
+}

@@ -1,9 +1,13 @@
 //! Property-based tests over random operation sequences on the
 //! metadata database: referential integrity, dense versioning, and
 //! link validity must hold regardless of interleaving.
+//!
+//! Ported to the in-repo `harness` framework: `prop_oneof!` becomes
+//! `one_of(...)` over boxed strategies; shrinking still minimizes the
+//! failing operation sequence.
 
+use harness::prelude::*;
 use metadata::{EntityInstanceId, MetadataDb, ScheduleInstanceId};
-use proptest::prelude::*;
 use schedule::WorkDays;
 use schema::examples;
 
@@ -17,13 +21,18 @@ enum Op {
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..2, any::<u16>(), any::<u16>())
-            .prop_map(|(activity, start, duration)| Op::Plan { activity, start, duration }),
-        (any::<u16>(), any::<u16>()).prop_map(|(start, extra)| Op::RunCreate { start, extra }),
-        any::<u16>().prop_map(|at| Op::SupplyStimuli { at }),
-        (0usize..2).prop_map(|activity| Op::LinkLatest { activity }),
-    ]
+    one_of(vec![
+        (0usize..2, any_u16(), any_u16())
+            .prop_map(|(activity, start, duration)| Op::Plan { activity, start, duration })
+            .boxed(),
+        (any_u16(), any_u16())
+            .prop_map(|(start, extra)| Op::RunCreate { start, extra })
+            .boxed(),
+        any_u16().prop_map(|at| Op::SupplyStimuli { at }).boxed(),
+        (0usize..2)
+            .prop_map(|activity| Op::LinkLatest { activity })
+            .boxed(),
+    ])
 }
 
 const ACTIVITIES: [&str; 2] = ["Create", "Simulate"];
@@ -83,11 +92,10 @@ fn apply(db: &mut MetadataDb, op: &Op, clock: &mut f64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+harness::props! {
+    config(cases = 64);
 
-    #[test]
-    fn invariants_hold_under_random_ops(ops in proptest::collection::vec(arb_op(), 0..40)) {
+    fn invariants_hold_under_random_ops(ops in vec(arb_op(), 0..40)) {
         let mut db = MetadataDb::for_schema(&examples::circuit_design());
         let mut clock = 0.0;
         for op in &ops {
@@ -154,8 +162,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn dump_load_roundtrip_under_random_ops(ops in proptest::collection::vec(arb_op(), 0..40)) {
+    fn dump_load_roundtrip_under_random_ops(ops in vec(arb_op(), 0..40)) {
         let mut db = MetadataDb::for_schema(&examples::circuit_design());
         let mut clock = 0.0;
         for op in &ops {
@@ -172,7 +179,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn plan_evolution_is_a_version_chain(versions in 1usize..10) {
         let mut db = MetadataDb::for_schema(&examples::circuit_design());
         let mut latest: Option<ScheduleInstanceId> = None;
@@ -194,7 +200,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn derivation_cone_is_closed(chain_len in 1usize..8) {
         // Build a dependency chain of netlist instances (each run
         // consumes the previous instance) and check the cone.

@@ -1,10 +1,10 @@
-//! Property-based tests for the civil-date math and work calendars.
+//! Property-based tests for the civil-date math and work calendars (on
+//! the in-repo `harness` framework — offline, seeded, shrinking).
 
-use proptest::prelude::*;
+use harness::prelude::*;
 use schedule::{CalDate, Calendar, Weekday};
 
-proptest! {
-    #[test]
+harness::props! {
     fn epoch_roundtrip(days in -2_000_000i64..2_000_000) {
         let date = CalDate::from_epoch_days(days);
         let rebuilt = CalDate::new(date.year(), date.month(), date.day());
@@ -12,7 +12,6 @@ proptest! {
         prop_assert_eq!(rebuilt.epoch_days(), days);
     }
 
-    #[test]
     fn succ_advances_one_day(days in -500_000i64..500_000) {
         let date = CalDate::from_epoch_days(days);
         let next = date.succ();
@@ -22,14 +21,12 @@ proptest! {
         prop_assert!(date.weekday() != next.weekday());
     }
 
-    #[test]
     fn date_components_valid(days in -1_000_000i64..1_000_000) {
         let date = CalDate::from_epoch_days(days);
         prop_assert!((1..=12).contains(&date.month()));
         prop_assert!((1..=31).contains(&date.day()));
     }
 
-    #[test]
     fn five_day_offset_roundtrip(start_days in 0i64..100_000, offset in 0u32..2000) {
         let cal = Calendar::five_day(CalDate::from_epoch_days(start_days));
         let offset = f64::from(offset);
@@ -41,7 +38,6 @@ proptest! {
         prop_assert_eq!(cal.offset_of(date), offset);
     }
 
-    #[test]
     fn holidays_only_delay(start_days in 0i64..50_000, offset in 1u32..200) {
         let start = CalDate::from_epoch_days(start_days);
         let plain = Calendar::five_day(start);
@@ -55,7 +51,6 @@ proptest! {
         prop_assert!(b.days_since(a) <= 4, "one holiday delays at most a long weekend");
     }
 
-    #[test]
     fn seven_day_calendar_is_identity_on_offsets(start_days in 0i64..50_000, offset in 0u32..1000) {
         let start = CalDate::from_epoch_days(start_days);
         let cal = Calendar::seven_day(start);

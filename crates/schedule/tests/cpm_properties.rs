@@ -1,6 +1,7 @@
-//! Property-based tests for the CPM engine and resource levelling.
+//! Property-based tests for the CPM engine and resource levelling (on
+//! the in-repo `harness` framework — offline, seeded, shrinking).
 
-use proptest::prelude::*;
+use harness::prelude::*;
 use schedule::{level_resources, Resource, ResourcePool, ScheduleNetwork, WorkDays};
 
 /// Random acyclic network: forward edges over n activities with random
@@ -8,8 +9,8 @@ use schedule::{level_resources, Resource, ResourcePool, ScheduleNetwork, WorkDay
 fn arb_network() -> impl Strategy<Value = ScheduleNetwork> {
     (
         2usize..25,
-        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..60),
-        proptest::collection::vec(0u32..20, 2..25),
+        vec((any_u16(), any_u16()), 0..60),
+        vec(0u32..20, 2..25),
     )
         .prop_map(|(n, pairs, durations)| {
             let mut net = ScheduleNetwork::new();
@@ -31,8 +32,7 @@ fn arb_network() -> impl Strategy<Value = ScheduleNetwork> {
         })
 }
 
-proptest! {
-    #[test]
+harness::props! {
     fn cpm_dates_are_consistent(net in arb_network()) {
         let cpm = net.analyze().expect("acyclic");
         for id in net.activities() {
@@ -55,7 +55,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn precedence_respected_by_earliest_dates(net in arb_network()) {
         let cpm = net.analyze().expect("acyclic");
         for id in net.activities() {
@@ -67,7 +66,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn critical_path_length_equals_project_duration(net in arb_network()) {
         let cpm = net.analyze().expect("acyclic");
         let path = cpm.critical_path();
@@ -83,7 +81,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn project_duration_is_max_over_paths(net in arb_network()) {
         // The project can never be shorter than any single activity.
         let cpm = net.analyze().expect("acyclic");
@@ -92,7 +89,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn leveling_respects_precedence_and_cpm_lower_bound(net in arb_network()) {
         let mut net = net;
         let ids: Vec<_> = net.activities().collect();

@@ -1,0 +1,125 @@
+//! Structural CPM properties on two DAG families the workspace's
+//! scenario builders actually produce: pure pipelines (the `pipeline`
+//! schema) and layered fan-in/fan-out networks (the bench topology).
+//!
+//! Complements `cpm_properties.rs` (fully random DAGs) with the shapes
+//! where the expected answers are computable in closed form:
+//!
+//! * the critical path's summed duration equals the makespan,
+//! * every total slack is non-negative,
+//! * critical activities have (exactly) zero slack — and in a pipeline
+//!   *everything* is critical and the makespan is the duration sum.
+
+use harness::prelude::*;
+use schedule::{ActivityId, ScheduleNetwork, WorkDays};
+
+/// A pure chain: `t0 -> t1 -> ... -> t{n-1}` with random durations in
+/// half-day steps.
+fn arb_pipeline() -> impl Strategy<Value = (ScheduleNetwork, Vec<ActivityId>)> {
+    vec(0u32..24, 1..30).prop_map(|durations| {
+        let mut net = ScheduleNetwork::new();
+        let ids: Vec<_> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                net.add_activity(format!("t{i}"), WorkDays::new(f64::from(d) * 0.5))
+                    .expect("unique names")
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            net.add_precedence(pair[0], pair[1]).expect("forward edge");
+        }
+        (net, ids)
+    })
+}
+
+/// A layered DAG: `layers x width` activities, each wired to up to two
+/// predecessors in the previous layer (the B1 bench topology, but with
+/// randomized durations and fan-in).
+fn arb_layered() -> impl Strategy<Value = ScheduleNetwork> {
+    (
+        1usize..8,
+        1usize..6,
+        vec(0u32..16, 1..48),
+        vec((any_u16(), any_u16()), 0..48),
+    )
+        .prop_map(|(layers, width, durations, picks)| {
+            let mut net = ScheduleNetwork::new();
+            let mut all: Vec<Vec<ActivityId>> = Vec::new();
+            let mut k = 0usize;
+            for l in 0..layers {
+                let mut this = Vec::new();
+                for w in 0..width {
+                    let d = durations.get(k % durations.len()).copied().unwrap_or(1);
+                    let id = net
+                        .add_activity(format!("l{l}w{w}"), WorkDays::new(f64::from(d) * 0.25))
+                        .expect("unique names");
+                    if l > 0 {
+                        let prev = &all[l - 1];
+                        let (a, b) = picks.get(k % picks.len().max(1)).copied().unwrap_or((0, 1));
+                        net.add_precedence(prev[a as usize % prev.len()], id)
+                            .expect("forward edge");
+                        net.add_precedence(prev[b as usize % prev.len()], id)
+                            .ok(); // may duplicate the first pick
+                    }
+                    this.push(id);
+                    k += 1;
+                }
+                all.push(this);
+            }
+            net
+        })
+}
+
+harness::props! {
+    config(cases = 48);
+
+    fn pipeline_makespan_is_duration_sum(input in arb_pipeline()) {
+        let (net, ids) = input;
+        let cpm = net.analyze().expect("acyclic");
+        let serial: f64 = ids.iter().map(|&id| net.duration(id).days()).sum();
+        prop_assert!((cpm.project_duration().days() - serial).abs() < 1e-9);
+        // In a chain, every activity is critical with zero slack and
+        // the critical path is the whole chain, in order.
+        for &id in &ids {
+            prop_assert!(cpm.is_critical(id));
+            prop_assert!(cpm.times(id).total_slack.days().abs() < 1e-9);
+        }
+        prop_assert_eq!(cpm.critical_path(), &ids[..]);
+    }
+
+    fn layered_critical_path_duration_equals_makespan(net in arb_layered()) {
+        let cpm = net.analyze().expect("acyclic");
+        let path = cpm.critical_path();
+        prop_assert!(!path.is_empty());
+        let along_path: f64 = path.iter().map(|&id| net.duration(id).days()).sum();
+        prop_assert!(
+            (along_path - cpm.project_duration().days()).abs() < 1e-9,
+            "critical path sums to {along_path}, makespan {}",
+            cpm.project_duration().days()
+        );
+    }
+
+    fn layered_slacks_are_nonnegative(net in arb_layered()) {
+        let cpm = net.analyze().expect("acyclic");
+        for id in net.activities() {
+            let t = cpm.times(id);
+            prop_assert!(t.total_slack.days() >= -1e-9, "negative total slack on {id:?}");
+            prop_assert!(t.free_slack.days() >= -1e-9, "negative free slack on {id:?}");
+        }
+    }
+
+    fn layered_critical_iff_zero_slack(net in arb_layered()) {
+        let cpm = net.analyze().expect("acyclic");
+        for id in net.activities() {
+            let slack = cpm.times(id).total_slack.days();
+            if cpm.is_critical(id) {
+                prop_assert!(slack.abs() < 1e-9, "critical {id:?} has slack {slack}");
+            } else {
+                prop_assert!(slack > 1e-9, "non-critical {id:?} has slack {slack}");
+            }
+        }
+        // At least one activity sits on the critical path.
+        prop_assert!(net.activities().any(|id| cpm.is_critical(id)));
+    }
+}

@@ -1,19 +1,18 @@
 //! Property-based tests for the schema DSL: round-tripping through
 //! `to_source`, parser totality on arbitrary input, and structural
 //! invariants of generated schemas.
+//!
+//! Ported to the in-repo `harness` framework: the proptest regex
+//! strategies become explicit character-class generators
+//! (`ident()`, `ascii_noise()`, `printable_noise()`).
 
-use proptest::prelude::*;
+use harness::prelude::*;
 use schema::{parse_schema, EntityKind, SchemaError, TaskSchemaBuilder};
-
-/// A valid identifier for the DSL.
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
-}
 
 /// Builds a random *valid* schema: `n` data classes in a random
 /// forest-like producer structure plus distinct tool names.
 fn arb_schema_source() -> impl Strategy<Value = String> {
-    (2usize..10, any::<u64>()).prop_map(|(n, seed)| {
+    (2usize..10, any_u64()).prop_map(|(n, seed)| {
         let mut src = String::new();
         for i in 0..n {
             src.push_str(&format!("data d{i};\ntool t{i};\n"));
@@ -38,8 +37,7 @@ fn arb_schema_source() -> impl Strategy<Value = String> {
     })
 }
 
-proptest! {
-    #[test]
+harness::props! {
     fn valid_schemas_roundtrip(src in arb_schema_source()) {
         let schema = parse_schema(&src).expect("generated source is valid");
         let reparsed = parse_schema(&schema.to_source()).expect("to_source is valid DSL");
@@ -47,20 +45,18 @@ proptest! {
         prop_assert_eq!(schema.rules(), reparsed.rules());
     }
 
-    #[test]
-    fn parser_never_panics(garbage in "\\PC{0,200}") {
-        // Totality: arbitrary printable input either parses or returns
-        // an error — never panics.
+    fn parser_never_panics(garbage in printable_noise(0..200)) {
+        // Totality: arbitrary printable input (including multibyte
+        // code points) either parses or returns an error — never
+        // panics.
         let _ = parse_schema(&garbage);
     }
 
-    #[test]
-    fn parser_never_panics_on_ascii_noise(garbage in "[ -~\\n\\t]{0,300}") {
+    fn parser_never_panics_on_ascii_noise(garbage in ascii_noise(0..300)) {
         let _ = parse_schema(&garbage);
     }
 
-    #[test]
-    fn builder_and_parser_agree(names in proptest::collection::vec(arb_ident(), 2..6)) {
+    fn builder_and_parser_agree(names in vec(ident(), 2..6)) {
         // Unique-ify names to sidestep duplicate-class errors.
         let mut names = names;
         names.sort();
@@ -82,7 +78,6 @@ proptest! {
         prop_assert_eq!(built.rules(), parsed.rules());
     }
 
-    #[test]
     fn producers_unique_in_valid_schemas(src in arb_schema_source()) {
         let schema = parse_schema(&src).expect("valid");
         for class in schema.classes() {
@@ -98,11 +93,14 @@ proptest! {
         }
     }
 
-    #[test]
     fn error_positions_are_in_range(src in arb_schema_source(), cut in 0usize..100) {
         // Truncating valid source mid-token must yield a parse error
-        // whose position lies within the (truncated) text.
-        let cut = cut.min(src.len());
+        // whose position lies within the (truncated) text. Clamp the
+        // cut to a char boundary so slicing stays valid.
+        let mut cut = cut.min(src.len());
+        while cut > 0 && !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
         let truncated = &src[..cut];
         match parse_schema(truncated) {
             Ok(_) | Err(SchemaError::Empty) => {}

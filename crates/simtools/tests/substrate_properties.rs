@@ -1,8 +1,13 @@
 //! Property-based tests for the simulation substrate: tool models must
 //! be total, deterministic, and convergent; the event queue must be a
 //! stable priority queue.
+//!
+//! Ported to the in-repo `harness` framework (note the dev-dependency
+//! cycle: `harness` depends on `simtools::rng`, and these tests
+//! dev-depend on `harness` — cargo permits cycles through
+//! dev-dependencies).
 
-use proptest::prelude::*;
+use harness::prelude::*;
 use simtools::des::EventQueue;
 use simtools::{ToolInvocation, ToolModel};
 
@@ -26,7 +31,7 @@ fn arb_model() -> impl Strategy<Value = ToolModel> {
 }
 
 fn arb_invocation() -> impl Strategy<Value = ToolInvocation> {
-    (0u64..1_000_000, 1u32..20, any::<u64>()).prop_map(|(input_bytes, iteration, seed)| {
+    (0u64..1_000_000, 1u32..20, any_u64()).prop_map(|(input_bytes, iteration, seed)| {
         ToolInvocation {
             input_bytes,
             iteration,
@@ -35,8 +40,7 @@ fn arb_invocation() -> impl Strategy<Value = ToolInvocation> {
     })
 }
 
-proptest! {
-    #[test]
+harness::props! {
     fn invoke_is_total_and_deterministic(model in arb_model(), req in arb_invocation()) {
         let a = model.invoke(&req);
         let b = model.invoke(&req);
@@ -46,8 +50,7 @@ proptest! {
         prop_assert!(!a.output.is_empty());
     }
 
-    #[test]
-    fn convergence_guaranteed_at_max_iterations(model in arb_model(), seed in any::<u64>()) {
+    fn convergence_guaranteed_at_max_iterations(model in arb_model(), seed in any_u64()) {
         let req = ToolInvocation {
             input_bytes: 1024,
             iteration: model.max_iterations(),
@@ -56,7 +59,6 @@ proptest! {
         prop_assert!(model.invoke(&req).converged);
     }
 
-    #[test]
     fn expected_duration_monotone_in_input(model in arb_model(), a in 0u64..1_000_000, b in 0u64..1_000_000) {
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(
@@ -69,8 +71,7 @@ proptest! {
             >= model.nominal_duration(small) - 1e-9);
     }
 
-    #[test]
-    fn event_queue_pops_sorted_stable(times in proptest::collection::vec(0u32..1000, 1..100)) {
+    fn event_queue_pops_sorted_stable(times in vec(0u32..1000, 1..100)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(f64::from(t), i);
@@ -89,8 +90,7 @@ proptest! {
         prop_assert!(q.is_empty());
     }
 
-    #[test]
-    fn event_queue_clock_tracks_pops(delays in proptest::collection::vec(0u32..100, 1..50)) {
+    fn event_queue_clock_tracks_pops(delays in vec(0u32..100, 1..50)) {
         let mut q = EventQueue::new();
         for &d in &delays {
             q.schedule_in(f64::from(d), ());

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline build + tests + benchmark smoke run.
+#
+# Everything runs with --offline: the workspace has no crates-io
+# dependencies (dev or otherwise), so a network-less container must be
+# able to do all of this. If a step fails here, the tree is broken.
+#
+# Usage: scripts/check.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== bench smoke (quick sampling plan) =="
+cargo run -q --release --offline -p bench --bin benchmarks -- --quick \
+    --out target/BENCH_smoke.json
+test -s target/BENCH_smoke.json
+
+echo "== check.sh: all green =="

@@ -1,8 +1,13 @@
 //! Property-based integration tests: random pipeline/layered schemas
 //! and seeds, with invariants over the whole plan→execute→track cycle.
+//!
+//! Ported from proptest to the in-repo `harness` framework: same
+//! strategies, same invariants, but fully offline and reproducible —
+//! a failure prints a `HARNESS_SEED=...` line that replays the exact
+//! counterexample after shrinking.
 
+use harness::prelude::*;
 use hercules::Hercules;
-use proptest::prelude::*;
 use schema::examples;
 use simtools::{workload::Team, ToolLibrary};
 
@@ -16,10 +21,9 @@ fn pipeline_manager(stages: usize, team: usize, seed: u64) -> (Hercules, String)
     (h, format!("d{stages}"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+harness::props! {
+    config(cases = 24);
 
-    #[test]
     fn plan_dates_respect_precedence(
         stages in 2usize..12,
         team in 1usize..4,
@@ -39,7 +43,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn execution_invariants(
         stages in 2usize..10,
         team in 1usize..4,
@@ -70,7 +73,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn determinism_per_seed(
         stages in 2usize..8,
         seed in 0u64..500,
@@ -88,7 +90,6 @@ proptest! {
         prop_assert_eq!(run(seed), run(seed));
     }
 
-    #[test]
     fn layered_flows_plan_and_execute(
         layers in 1usize..4,
         width in 1usize..4,
@@ -113,7 +114,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn slip_propagation_never_moves_plans_earlier(
         seed in 0u64..300,
     ) {

@@ -1,0 +1,185 @@
+//! Regression test for the versioned-update invariant the paper's §IV
+//! hangs on: replanning (full or incremental) must never rewrite
+//! history. Completed schedule instances stay linked to the entities
+//! they produced and keep their actual dates; only open, downstream
+//! work gets new versions.
+//!
+//! This locks in behaviour that previously only held by construction:
+//! a future refactor that reversions completed nodes or shifts
+//! upstream plans fails here, not in an experiment binary.
+
+use hercules::Hercules;
+use schedule::WorkDays;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn asic(seed: u64) -> Hercules {
+    Hercules::new(
+        examples::asic_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(3),
+        seed,
+    )
+}
+
+/// A manager planned to signoff with the RTL scope executed and
+/// `WriteRtl` finished *late*, so there is a real slip to propagate.
+/// Deterministic seed search, same pattern as the core crate's tests.
+fn slipped_mid_project() -> Hercules {
+    let mut seed = 0;
+    loop {
+        let mut h = asic(seed);
+        h.plan("signoff_report").expect("plannable");
+        h.execute("rtl").expect("executable");
+        if h.db().finish_slip("WriteRtl").is_some_and(|s| s > 0.0) {
+            return h;
+        }
+        seed += 1;
+        assert!(seed < 200, "no slipping seed found");
+    }
+}
+
+/// Snapshot of everything replanning must not touch.
+struct Frozen {
+    activity: String,
+    plan_id: metadata::ScheduleInstanceId,
+    actual_start: WorkDays,
+    actual_finish: WorkDays,
+    linked: metadata::EntityInstanceId,
+}
+
+fn freeze_completed(h: &Hercules) -> Vec<Frozen> {
+    h.db()
+        .activities()
+        .filter_map(|a| {
+            let plan = h.db().current_plan(a)?;
+            if !plan.is_complete() {
+                return None;
+            }
+            Some(Frozen {
+                activity: a.to_owned(),
+                plan_id: plan.id(),
+                actual_start: h.db().actual_start(a).expect("complete has actual start"),
+                actual_finish: h.db().actual_finish(a).expect("complete has actual finish"),
+                linked: plan.linked_entity().expect("complete is linked"),
+            })
+        })
+        .collect()
+}
+
+fn assert_history_intact(h: &Hercules, frozen: &[Frozen], context: &str) {
+    assert!(!frozen.is_empty(), "{context}: nothing was completed");
+    for f in frozen {
+        let plan = h
+            .db()
+            .current_plan(&f.activity)
+            .unwrap_or_else(|| panic!("{context}: {} lost its plan", f.activity));
+        assert_eq!(
+            plan.id(),
+            f.plan_id,
+            "{context}: {} was reversioned after completion",
+            f.activity
+        );
+        assert_eq!(
+            plan.linked_entity(),
+            Some(f.linked),
+            "{context}: {} lost its completion link",
+            f.activity
+        );
+        let (start, finish) = (
+            h.db().actual_start(&f.activity).expect("still has actuals"),
+            h.db().actual_finish(&f.activity).expect("still has actuals"),
+        );
+        assert!(
+            (start.days() - f.actual_start.days()).abs() < 1e-12
+                && (finish.days() - f.actual_finish.days()).abs() < 1e-12,
+            "{context}: {} actual dates moved: [{} .. {}] -> [{} .. {}]",
+            f.activity,
+            f.actual_start,
+            f.actual_finish,
+            start,
+            finish
+        );
+    }
+}
+
+#[test]
+fn slip_propagation_keeps_history_and_moves_only_downstream() {
+    let mut h = slipped_mid_project();
+    let frozen = freeze_completed(&h);
+    let starts_before: Vec<(String, WorkDays)> = h
+        .db()
+        .activities()
+        .map(|a| (a.to_owned(), h.db().current_plan(a).expect("planned").planned_start()))
+        .collect();
+
+    let outcome = h.propagate_slip("WriteRtl").expect("planned");
+    assert!(!outcome.is_empty(), "a real slip must shift something");
+    assert!(outcome.slip_days.is_some_and(|s| s > 0.0));
+
+    assert_history_intact(&h, &frozen, "propagate_slip");
+
+    // No completed activity appears in the replanned set.
+    for f in &frozen {
+        assert!(
+            outcome.replanned.iter().all(|(n, _)| n != &f.activity),
+            "completed {} was replanned by slip propagation",
+            f.activity
+        );
+    }
+    // Everything *not* replanned keeps its planned start — only the
+    // downstream cone moved, and it moved by exactly the slip.
+    let slip = outcome.slip_days.unwrap();
+    for (name, before) in &starts_before {
+        let now = h.db().current_plan(name).expect("planned").planned_start();
+        if outcome.replanned.iter().any(|(n, _)| n == name) {
+            assert!(
+                (now.days() - before.days() - slip).abs() < 1e-9,
+                "{name} shifted by {} expected {slip}",
+                now.days() - before.days()
+            );
+        } else {
+            assert!(
+                (now.days() - before.days()).abs() < 1e-12,
+                "{name} moved without being in the downstream cone"
+            );
+        }
+    }
+    // Sanity: the schema's entry point is upstream and must not move.
+    assert!(outcome.replanned.iter().all(|(n, _)| n != "CaptureSpec"));
+}
+
+#[test]
+fn full_replan_keeps_history_and_reversions_only_open_work() {
+    let mut h = slipped_mid_project();
+    let frozen = freeze_completed(&h);
+
+    let outcome = h.replan("signoff_report").expect("plannable");
+    assert!(!outcome.is_empty(), "open work should be replanned");
+
+    assert_history_intact(&h, &frozen, "replan");
+
+    for f in &frozen {
+        assert!(
+            outcome.replanned.iter().all(|(n, _)| n != &f.activity),
+            "completed {} was reversioned by full replan",
+            f.activity
+        );
+    }
+    // Every replanned instance is a fresh version starting no earlier
+    // than the latest completed work — the future never overlaps the
+    // recorded past.
+    let latest_done = frozen
+        .iter()
+        .map(|f| f.actual_finish.days())
+        .fold(0.0_f64, f64::max);
+    for (name, sc) in &outcome.replanned {
+        let inst = h.db().schedule_instance(*sc);
+        assert!(inst.version() >= 2, "{name} replan did not version up");
+        assert!(
+            inst.planned_start().days() >= latest_done - 1e-9,
+            "{name} replanned to start at {} before completed work ended at {latest_done}",
+            inst.planned_start()
+        );
+    }
+}
