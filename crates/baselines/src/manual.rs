@@ -36,7 +36,10 @@ impl FlowEvent {
     ///
     /// Panics if `time` is negative or not finite.
     pub fn new(time: f64, activity: impl Into<String>, kind: EventKind) -> Self {
-        assert!(time.is_finite() && time >= 0.0, "event time must be a valid offset");
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be a valid offset"
+        );
         FlowEvent {
             time,
             activity: activity.into(),

@@ -211,7 +211,11 @@ mod tests {
     fn node_names() {
         assert_eq!(TraceNode::Datum("x".into()).name(), "x");
         assert_eq!(
-            TraceNode::Invocation { tool: "t".into(), at: 0.0 }.name(),
+            TraceNode::Invocation {
+                tool: "t".into(),
+                at: 0.0
+            }
+            .name(),
             "t"
         );
     }

@@ -1,0 +1,182 @@
+//! Bench-regression gate: compares a fresh quick-mode benchmark run
+//! against the committed baseline (`BENCH_schedflow.json` at the
+//! workspace root) and exits non-zero when any shared bench regressed.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare [--baseline PATH] [--fresh PATH] [--tolerance FRAC] [FILTER]
+//! ```
+//!
+//! * `--baseline PATH` — committed report to compare against
+//!   (default: `BENCH_schedflow.json` at the workspace root).
+//! * `--fresh PATH` — read the fresh run from a report file instead of
+//!   benchmarking in-process (useful for comparing two saved runs).
+//! * `--tolerance FRAC` — allowed relative slowdown before a bench
+//!   counts as a regression (default `0.30`, i.e. ±30 %).
+//! * `FILTER` — only run/compare kernels whose name contains the
+//!   substring.
+//!
+//! A bench **regresses** when *both* its fresh median and fresh min
+//! exceed `baseline_median × (1 + tolerance)` — requiring the min too
+//! filters scheduler noise, which inflates the median of a 3-sample
+//! quick run far more often than it inflates the fastest sample.
+//! Benches present on only one side are reported but never fail the
+//! gate (quick mode runs smaller size sets than the full baseline).
+//!
+//! After an intentional performance change, regenerate the baseline
+//! with `cargo run --release -p bench --bin benchmarks` and commit the
+//! refreshed `BENCH_schedflow.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::kernels;
+use harness::bench::{parse_report, Record};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_compare [--baseline PATH] [--fresh PATH] [--tolerance FRAC] [FILTER]");
+    ExitCode::FAILURE
+}
+
+fn workspace_baseline() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_schedflow.json")
+}
+
+fn load(path: &PathBuf) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_report(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = workspace_baseline();
+    let mut fresh_path: Option<PathBuf> = None;
+    let mut tolerance = 0.30_f64;
+    let mut filter: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--fresh" => match args.next() {
+                Some(p) => fresh_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag: {flag}");
+                return usage();
+            }
+            name if filter.is_none() => filter = Some(name.to_owned()),
+            _ => return usage(),
+        }
+    }
+
+    let baseline = match load(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            eprintln!("regenerate with: cargo run --release -p bench --bin benchmarks");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let fresh = match &fresh_path {
+        Some(p) => match load(p) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!(
+                "bench_compare: fresh quick run vs {} (tolerance ±{:.0} %)",
+                baseline_path.display(),
+                tolerance * 100.0
+            );
+            kernels::run_all(true, filter.as_deref())
+        }
+    };
+    if fresh.is_empty() {
+        eprintln!("bench_compare: fresh run produced no records");
+        return ExitCode::FAILURE;
+    }
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    eprintln!(
+        "{:<20} {:<26} {:>12} {:>12} {:>7}  status",
+        "kernel", "bench", "base med", "fresh med", "ratio"
+    );
+    for f in &fresh {
+        if let Some(fil) = filter.as_deref() {
+            if !f.kernel.contains(fil) {
+                continue;
+            }
+        }
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.kernel == f.kernel && b.bench == f.bench)
+        else {
+            eprintln!(
+                "{:<20} {:<26} {:>12} {:>12.0} {:>7}  NEW (not in baseline; regen to track)",
+                f.kernel, f.bench, "-", f.stats.median_ns, "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let limit = b.stats.median_ns * (1.0 + tolerance);
+        let ratio = f.stats.median_ns / b.stats.median_ns;
+        let status = if f.stats.median_ns > limit && f.stats.min_ns > limit {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 / (1.0 + tolerance) {
+            improvements += 1;
+            "improved"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "{:<20} {:<26} {:>12.0} {:>12.0} {:>6.2}x  {status}",
+            f.kernel, f.bench, b.stats.median_ns, f.stats.median_ns, ratio
+        );
+    }
+
+    eprintln!(
+        "bench_compare: {compared} compared, {regressions} regressed, {improvements} improved"
+    );
+    if compared == 0 {
+        eprintln!("bench_compare: no benches shared with the baseline — nothing validated");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: FAIL — fix the regression or (for intentional changes) \
+             regenerate the baseline: cargo run --release -p bench --bin benchmarks"
+        );
+        return ExitCode::FAILURE;
+    }
+    if improvements > 0 {
+        eprintln!(
+            "bench_compare: improvements detected — consider refreshing the baseline \
+             so future regressions are caught from the new level"
+        );
+    }
+    eprintln!("bench_compare: OK");
+    ExitCode::SUCCESS
+}

@@ -19,7 +19,11 @@ fn sweep(name: &str, h: &Hercules, target: &str, deadline: f64) {
             "  {} designer(s) -> finish day {:>8} {}",
             p.team_size,
             p.finish.to_string(),
-            if p.finish.days() <= deadline { "meets deadline" } else { "" }
+            if p.finish.days() <= deadline {
+                "meets deadline"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -46,7 +50,10 @@ fn main() {
     sweep("layered flow 3x6 (wide parallelism)", &wide, "merged", 30.0);
 
     println!("crash analysis on the ASIC flow (shorten one estimate 50%):");
-    match asic.crash_advice("signoff_report", 0.5).expect("valid target") {
+    match asic
+        .crash_advice("signoff_report", 0.5)
+        .expect("valid target")
+    {
         Some(advice) => println!(
             "  crash {:?}: finish day {} (gain {:.1}d)",
             advice.activity, advice.new_finish, advice.gain_days

@@ -12,7 +12,12 @@ fn main() {
 
     println!("\nConstruction rules (d_i = f(d_1, ..., d_n)):");
     for rule in schema.rules() {
-        println!("  {} = {}({})", rule.output(), rule.tool(), rule.inputs().join(", "));
+        println!(
+            "  {} = {}({})",
+            rule.output(),
+            rule.tool(),
+            rule.inputs().join(", ")
+        );
     }
 
     let graph = SchemaGraph::for_schema(&schema);

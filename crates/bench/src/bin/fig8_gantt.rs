@@ -34,7 +34,7 @@ fn main() {
             ascii: true,
             width: 72,
             label_width: 14,
-        ..GanttOptions::default()
+            ..GanttOptions::default()
         })
     );
     println!("\nVariance summary: {}", status.variance());

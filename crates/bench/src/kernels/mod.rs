@@ -1,4 +1,4 @@
-//! The workspace's micro-benchmark kernels (B1–B8 in DESIGN.md),
+//! The workspace's micro-benchmark kernels (B1–B9 in DESIGN.md),
 //! ported from Criterion onto `harness::bench` so they run offline and
 //! emit machine-readable results.
 //!
@@ -18,9 +18,10 @@ pub mod planning;
 pub mod prediction;
 pub mod queries;
 pub mod replan;
+pub mod replan_incremental;
 
-/// All kernels in DESIGN.md order (B1–B8).
-pub const KERNELS: [&str; 8] = [
+/// All kernels in DESIGN.md order (B1–B9).
+pub const KERNELS: [&str; 9] = [
     "cpm",
     "planning",
     "execution",
@@ -29,6 +30,7 @@ pub const KERNELS: [&str; 8] = [
     "baseline_compare",
     "prediction",
     "gantt",
+    "replan_incremental",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -58,6 +60,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("gantt") {
         records.extend(gantt::run(quick));
+    }
+    if wanted("replan_incremental") {
+        records.extend(replan_incremental::run(quick));
     }
     records
 }

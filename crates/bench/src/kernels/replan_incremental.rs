@@ -1,0 +1,130 @@
+//! B9 — dirty-region incremental CPM vs full recompute.
+//!
+//! The replan engine's claim: when a slip touches one activity, the
+//! work to refresh the schedule should be proportional to the slip's
+//! cone of influence, not the network size. This kernel measures both
+//! paths on layered DAGs (width 10, every activity wired to two
+//! predecessors in the previous layer) for two slip shapes:
+//!
+//! * `*_leaf/{n}` — one final-layer activity's duration toggles
+//!   between 1.0 and 2.5 working days while its sibling sinks hold
+//!   5.0, so the slip is **absorbed by slack** — the common case the
+//!   paper's automatic updates hit. The early-cutoff worklists stop
+//!   at the slipped activity itself.
+//! * `*_front/{n}` — every activity in the first 10 % of layers
+//!   toggles by ±0.5 days (a broad re-estimation sweep): the
+//!   worst case, where the dirty cone really is most of the graph.
+//!
+//! Expected shape: `inc_leaf` beats `full_leaf` by ≥10× at 10 000
+//! activities (in practice by orders of magnitude — the update
+//! touches O(1) nodes); `inc_front` still wins, but only ~2×, since
+//! nearly every downstream value genuinely changes and must be
+//! recomputed by any correct engine.
+
+use harness::bench::Record;
+use schedule::{ActivityId, ScheduleNetwork, WorkDays};
+
+const WIDTH: usize = 10;
+
+/// A layered DAG with `activities / WIDTH` layers; node `w` of each
+/// layer depends on nodes `w` and `(w + 1) % WIDTH` of the previous
+/// layer, so every non-final activity has successors and the critical
+/// path threads the full depth. Durations are dyadic (multiples of
+/// 0.5), keeping incremental and full CPM bit-identical.
+fn layered(activities: usize) -> (ScheduleNetwork, Vec<Vec<ActivityId>>) {
+    let layers = (activities / WIDTH).max(1);
+    let mut net = ScheduleNetwork::new();
+    let mut all: Vec<Vec<ActivityId>> = Vec::with_capacity(layers);
+    for l in 0..layers {
+        let mut this = Vec::with_capacity(WIDTH);
+        for w in 0..WIDTH {
+            let id = net
+                .add_activity(
+                    format!("l{l}w{w}"),
+                    WorkDays::new(1.0 + (w % 4) as f64 * 0.5),
+                )
+                .expect("unique names");
+            if let Some(prev) = all.last() {
+                net.add_precedence(prev[w], id).expect("forward edge");
+                net.add_precedence(prev[(w + 1) % WIDTH], id)
+                    .expect("forward edge");
+            }
+            this.push(id);
+        }
+        all.push(this);
+    }
+    (net, all)
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("replan_incremental", quick);
+    let sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
+    for &n in sizes {
+        let (mut net, layers) = layered(n);
+        // Final layer: heavy sibling sinks (5.0 d) around the slipping
+        // leaf, so its 1.0↔2.5 toggle stays inside slack — neither the
+        // project finish nor any predecessor's longest tail moves.
+        let last = layers.last().expect("non-empty").clone();
+        for &id in &last {
+            net.set_duration(id, WorkDays::new(5.0)).expect("known id");
+        }
+        let leaf = last[WIDTH / 2];
+        net.set_duration(leaf, WorkDays::new(1.0))
+            .expect("known id");
+        let front: Vec<ActivityId> = layers
+            .iter()
+            .take((layers.len() / 10).max(1))
+            .flatten()
+            .copied()
+            .collect();
+        let front_base: Vec<f64> = front.iter().map(|&id| net.duration(id).days()).collect();
+
+        // -- single-leaf slip -------------------------------------------------
+        let mut flip = false;
+        suite.bench(&format!("full_leaf/{n}"), Some(n as u64), || {
+            flip = !flip;
+            let d = if flip { 2.5 } else { 1.0 };
+            net.set_duration(leaf, WorkDays::new(d)).expect("known id");
+            net.analyze().expect("acyclic").project_duration()
+        });
+        let mut inc = net.analyze_incremental().expect("acyclic");
+        let mut flip = false;
+        suite.bench(&format!("inc_leaf/{n}"), Some(n as u64), || {
+            flip = !flip;
+            let d = if flip { 2.5 } else { 1.0 };
+            net.set_duration(leaf, WorkDays::new(d)).expect("known id");
+            inc.update(&net, &[leaf]).expect("known dirty set");
+            inc.project_duration()
+        });
+
+        // -- 10 %-front re-estimation ----------------------------------------
+        let mut flip = false;
+        suite.bench(&format!("full_front/{n}"), Some(n as u64), || {
+            flip = !flip;
+            let delta = if flip { 0.5 } else { 0.0 };
+            for (&id, &base) in front.iter().zip(&front_base) {
+                net.set_duration(id, WorkDays::new(base + delta))
+                    .expect("known id");
+            }
+            net.analyze().expect("acyclic").project_duration()
+        });
+        let mut inc = net.analyze_incremental().expect("acyclic");
+        let mut flip = false;
+        suite.bench(&format!("inc_front/{n}"), Some(n as u64), || {
+            flip = !flip;
+            let delta = if flip { 0.5 } else { 0.0 };
+            for (&id, &base) in front.iter().zip(&front_base) {
+                net.set_duration(id, WorkDays::new(base + delta))
+                    .expect("known id");
+            }
+            inc.update(&net, &front).expect("known dirty set");
+            inc.project_duration()
+        });
+    }
+    suite.into_records()
+}

@@ -2,10 +2,26 @@
 //!
 //! Each `src/bin/*.rs` binary regenerates one of the paper's artifacts
 //! (Table I, Figures 1–8); the [`kernels`] modules measure the
-//! algorithmic components (B1–B8 in DESIGN.md) via `harness::bench`
+//! algorithmic components (B1–B9 in DESIGN.md) via `harness::bench`
 //! and are aggregated by the `benchmarks` binary into
 //! `BENCH_schedflow.json`. This library holds the scenario builders
 //! and the database-state renderer they share.
+//!
+//! # Baseline workflow
+//!
+//! The committed `BENCH_schedflow.json` at the workspace root is the
+//! perf baseline. `scripts/ci.sh` (stage `bench`) runs the
+//! `bench_compare` binary, which measures a fresh quick run and fails
+//! when any shared bench's median **and** min both exceed the
+//! baseline median by more than the tolerance (±30 % by default —
+//! override with `--tolerance`, point at other reports with
+//! `--baseline`/`--fresh`). After an intentional performance change,
+//! regenerate and commit the baseline:
+//!
+//! ```text
+//! cargo run --release -p bench --bin benchmarks   # full sampling plan
+//! git add BENCH_schedflow.json
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,7 +89,9 @@ pub fn render_db_state(db: &MetadataDb) -> String {
     }
     let mut right: Vec<String> = Vec::new();
     for activity in db.activities() {
-        let container = db.schedule_container(activity).expect("listed activity exists");
+        let container = db
+            .schedule_container(activity)
+            .expect("listed activity exists");
         right.push(format!("({activity})"));
         for &id in container {
             let sc = db.schedule_instance(id);

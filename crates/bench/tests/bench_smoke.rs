@@ -40,7 +40,12 @@ fn quick_run_covers_all_kernels() {
 
     // Statistics must be ordered and positive for every bench.
     for r in &records {
-        assert!(r.stats.min_ns > 0.0, "{}/{}: non-positive min", r.kernel, r.bench);
+        assert!(
+            r.stats.min_ns > 0.0,
+            "{}/{}: non-positive min",
+            r.kernel,
+            r.bench
+        );
         assert!(
             r.stats.min_ns <= r.stats.median_ns && r.stats.median_ns <= r.stats.p95_ns,
             "{}/{}: stats out of order",

@@ -113,8 +113,8 @@ fn manager(source: &str, opts: &Options) -> Result<Hercules, String> {
             .map_err(|e| e.to_string())?;
     }
     if let Some(path) = &opts.load {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
         let db = metadata::MetadataDb::load(&text).map_err(|e| e.to_string())?;
         h.restore_db(db);
     }
@@ -173,14 +173,13 @@ fn cmd_run(source: &str, target: &str, opts: &Options) -> Result<(), String> {
             ascii: true,
             width: 64,
             label_width: 16,
-        ..GanttOptions::default()
+            ..GanttOptions::default()
         })
     );
     println!("\n{status}");
     println!("variance: {}", status.variance());
     if let Some(path) = &opts.save {
-        std::fs::write(path, h.db().dump())
-            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        std::fs::write(path, h.db().dump()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
         println!("database saved to {path}");
     }
     Ok(())
@@ -196,17 +195,22 @@ fn cmd_report(source: &str, target: &str, opts: &Options) -> Result<(), String> 
 }
 
 fn cmd_sweep(source: &str, target: &str, opts: &Options) -> Result<(), String> {
-    let deadline = opts
-        .deadline
-        .ok_or("sweep needs --deadline DAYS")?;
+    let deadline = opts.deadline.ok_or("sweep needs --deadline DAYS")?;
     let h = manager(source, opts)?;
     let sweep = h
         .sweep_team_sizes(target, WorkDays::new(deadline), opts.team.max(1).max(6))
         .map_err(|e| e.to_string())?;
     println!("team-size sweep for {target:?} (deadline day {deadline}):");
     for p in &sweep.points {
-        let marker = if p.finish.days() <= deadline { "meets" } else { "     " };
-        println!("  {} designer(s): finish day {}  {marker}", p.team_size, p.finish);
+        let marker = if p.finish.days() <= deadline {
+            "meets"
+        } else {
+            "     "
+        };
+        println!(
+            "  {} designer(s): finish day {}  {marker}",
+            p.team_size, p.finish
+        );
     }
     match sweep.minimal_team {
         Some(team) => println!("minimal team meeting the deadline: {team}"),

@@ -26,7 +26,10 @@ impl fmt::Display for HerculesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HerculesError::UnknownTarget(t) => {
-                write!(f, "target {t:?} names no data class or activity in the schema")
+                write!(
+                    f,
+                    "target {t:?} names no data class or activity in the schema"
+                )
             }
             HerculesError::UnknownActivity(a) => {
                 write!(f, "activity {a:?} is not part of the schema")

@@ -160,14 +160,13 @@ impl Hercules {
                     .copied()
                     .expect("dependency order guarantees inputs exist");
                 ready = ready.max(at);
-                input_bytes += self.db.data_object(self.db.entity_instance(inst).data()).size()
-                    as u64;
+                input_bytes += self
+                    .db
+                    .data_object(self.db.entity_instance(inst).data())
+                    .size() as u64;
                 inputs.push(inst);
             }
-            let designer_at = designer_free
-                .get(&assignee)
-                .copied()
-                .unwrap_or(self.clock);
+            let designer_at = designer_free.get(&assignee).copied().unwrap_or(self.clock);
             let start = ready.max(designer_at);
 
             // Iterate runs until convergence.
@@ -303,7 +302,10 @@ mod tests {
         let report = h.execute("netlist").unwrap();
         let iters = report.activity("Create").unwrap().iterations;
         assert!(iters > 1);
-        assert_eq!(h.db().entity_container("netlist").unwrap().len() as u32, iters);
+        assert_eq!(
+            h.db().entity_container("netlist").unwrap().len() as u32,
+            iters
+        );
         // The linked instance is the LAST version.
         let final_id = report.activity("Create").unwrap().final_instance;
         assert_eq!(h.db().entity_instance(final_id).version(), iters);
@@ -369,12 +371,7 @@ mod tests {
                 .with_max_iterations(u32::MAX),
         );
         tools.add(simtools::ToolModel::new("simulator", 1.0));
-        let mut h = Hercules::new(
-            examples::circuit_design(),
-            tools,
-            Team::of_size(1),
-            3,
-        );
+        let mut h = Hercules::new(examples::circuit_design(), tools, Team::of_size(1), 3);
         h.plan("netlist").unwrap();
         let report = h.execute("netlist").unwrap();
         let exec = report.activity("Create").unwrap();
@@ -402,15 +399,8 @@ mod tests {
                 .with_first_pass_rate(0.0)
                 .with_max_iterations(u32::MAX),
         );
-        tools.add(
-            simtools::ToolModel::new("simulator", 1.0).with_first_pass_rate(1.0),
-        );
-        let mut h = Hercules::new(
-            examples::circuit_design(),
-            tools,
-            Team::of_size(1),
-            3,
-        );
+        tools.add(simtools::ToolModel::new("simulator", 1.0).with_first_pass_rate(1.0));
+        let mut h = Hercules::new(examples::circuit_design(), tools, Team::of_size(1), 3);
         h.plan("performance").unwrap();
         let report = h.execute("performance").unwrap();
         let simulate = report.activity("Simulate").unwrap();

@@ -182,9 +182,10 @@ mod tests {
         // estimate may also have switched to history. The forecast
         // for open work must equal the manager's current estimates.
         let f = h.forecast("signoff_report").unwrap();
-        assert!(f.critical.iter().all(|a| {
-            !h.db().current_plan(a).is_some_and(|p| p.is_complete())
-        }));
+        assert!(f
+            .critical
+            .iter()
+            .all(|a| { !h.db().current_plan(a).is_some_and(|p| p.is_complete()) }));
     }
 
     #[test]

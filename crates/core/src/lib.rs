@@ -73,7 +73,7 @@ pub use execute::{ActivityExecution, ExecutionReport};
 pub use forecast::Forecast;
 pub use manager::Hercules;
 pub use optimize::{CrashAdvice, TeamPoint, TeamSweep};
-pub use plan::{PlannedActivity, SchedulePlan};
+pub use plan::{PlanStats, PlannedActivity, SchedulePlan};
 pub use replan::ReplanOutcome;
 pub use rollup::{BlockStatus, Decomposition};
 pub use status::{ActivityState, StatusReport};

@@ -7,6 +7,7 @@ use simtools::workload::{primary_input_data, Team};
 use simtools::ToolLibrary;
 
 use crate::error::HerculesError;
+use crate::plan::{PlanCache, PlanStats};
 use crate::task::TaskTree;
 
 /// The integrated workflow manager: one object owning the task schema
@@ -35,6 +36,11 @@ pub struct Hercules {
     pub(crate) clock: WorkDays,
     pub(crate) estimates: HashMap<String, WorkDays>,
     pub(crate) supplied: HashMap<String, EntityInstanceId>,
+    /// Per-target planning caches driving the incremental replan
+    /// engine: replanning an unchanged scope reuses the cached network
+    /// and only recomputes the dirty cone.
+    pub(crate) plan_cache: HashMap<String, PlanCache>,
+    pub(crate) last_plan_stats: Option<PlanStats>,
 }
 
 impl Hercules {
@@ -55,7 +61,18 @@ impl Hercules {
             clock: WorkDays::ZERO,
             estimates: HashMap::new(),
             supplied: HashMap::new(),
+            plan_cache: HashMap::new(),
+            last_plan_stats: None,
         }
+    }
+
+    /// Instrumentation from the most recent
+    /// [`plan`](Hercules::plan) / [`replan`](Hercules::replan) call:
+    /// whether the cached network was reused and how many CPM node
+    /// recomputations the incremental engine performed. `None` before
+    /// the first planning pass.
+    pub fn last_plan_stats(&self) -> Option<PlanStats> {
+        self.last_plan_stats
     }
 
     /// The schema this manager was initialised from.
@@ -185,6 +202,10 @@ impl Hercules {
         }
         self.db = db;
         self.clock = clock;
+        // The restored history may change measured-duration estimates
+        // arbitrarily; drop planning caches rather than trust them.
+        self.plan_cache.clear();
+        self.last_plan_stats = None;
     }
 
     /// Supplies a primary-input instance for `class` (synthetic content
@@ -279,10 +300,9 @@ mod tests {
     fn restore_db_recovers_clock_and_supplied() {
         let mut h = manager();
         h.supply_primary_input("stimuli", "alice").unwrap();
-        let run = h
-            .db
-            .begin_run("Create", "alice", WorkDays::new(1.0))
-            .unwrap();
+        let run =
+            h.db.begin_run("Create", "alice", WorkDays::new(1.0))
+                .unwrap();
         let data = h.db.store_data("x", vec![]);
         h.db.finish_run(run, "netlist", data, WorkDays::new(4.0), &[])
             .unwrap();
@@ -294,10 +314,7 @@ mod tests {
         // The supplied registry is rebuilt: supplying again reuses the
         // restored instance.
         let again = restored.supply_primary_input("stimuli", "bob").unwrap();
-        assert_eq!(
-            restored.db().entity_container("stimuli").unwrap().len(),
-            1
-        );
+        assert_eq!(restored.db().entity_container("stimuli").unwrap().len(), 1);
         assert_eq!(restored.db().entity_instance(again).creator(), "alice");
     }
 

@@ -1,10 +1,46 @@
 use std::collections::HashMap;
 
 use metadata::{PlanningSessionId, ScheduleInstanceId};
-use schedule::{level_resources, Resource, ResourcePool, ScheduleNetwork, WorkDays};
+use schedule::{
+    level_resources, ActivityId, IncrementalCpm, Resource, ResourcePool, ScheduleNetwork, WorkDays,
+};
 
 use crate::error::HerculesError;
 use crate::manager::Hercules;
+
+/// Cached planning state for one target: the precedence network built
+/// from the task tree plus the [`IncrementalCpm`] engine holding its
+/// last analysis. Replanning the same scope only touches activities
+/// whose duration estimates actually changed (the *dirty set*), so the
+/// CPM cost is proportional to the slip's cone of influence rather
+/// than the whole network.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanCache {
+    network: ScheduleNetwork,
+    ids: HashMap<String, ActivityId>,
+    in_scope: Vec<String>,
+    inc: IncrementalCpm,
+}
+
+/// Instrumentation for the most recent planning pass — how much work
+/// the incremental replan engine actually did.
+///
+/// Retrieved via
+/// [`Hercules::last_plan_stats`](crate::Hercules::last_plan_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Whether the cached network + CPM state for the target was
+    /// reused (same scope, possibly different durations).
+    pub cache_hit: bool,
+    /// Number of activities whose duration estimate changed since the
+    /// cached analysis (the dirty set fed to the incremental engine).
+    pub dirty: usize,
+    /// Activity recomputations performed by the CPM engine (forward +
+    /// backward node visits; a full analysis costs `2 * cpm_total`).
+    pub cpm_recomputed: usize,
+    /// Activities in the planned scope.
+    pub cpm_total: usize,
+}
 
 /// One activity's entry in a schedule plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,21 +178,63 @@ impl Hercules {
             .filter(|a| !skip.contains(a))
             .cloned()
             .collect();
-        // Build the precedence network with estimated durations.
-        let mut net = ScheduleNetwork::new();
-        let mut ids = HashMap::new();
-        for activity in &in_scope {
-            let duration = self.duration_estimate(activity)?;
-            let id = net.add_activity(activity.clone(), duration)?;
-            ids.insert(activity.clone(), id);
-        }
-        for activity in &in_scope {
-            for consumer in tree.consumers_of_output(activity) {
-                if let Some(&consumer_id) = ids.get(consumer) {
-                    net.add_precedence(ids[activity.as_str()], consumer_id)?;
+        // Reuse the cached network + incremental CPM state when the
+        // scope is unchanged; only activities whose estimate moved are
+        // marked dirty and recomputed. Scope changes (first plan, or a
+        // replan that skips newly-completed activities) rebuild.
+        let cached = self
+            .plan_cache
+            .remove(target)
+            .filter(|c| c.in_scope == in_scope);
+        let mut stats = PlanStats {
+            cpm_total: in_scope.len(),
+            ..PlanStats::default()
+        };
+        let (net, ids, inc) = match cached {
+            Some(mut c) => {
+                let mut dirty: Vec<ActivityId> = Vec::new();
+                for activity in &in_scope {
+                    let id = c.ids[activity.as_str()];
+                    let estimate = self.duration_estimate(activity)?;
+                    if (estimate.days() - c.network.duration(id).days()).abs() > 1e-12 {
+                        c.network.set_duration(id, estimate)?;
+                        dirty.push(id);
+                    }
                 }
+                let update = c.inc.update(&c.network, &dirty)?;
+                stats.cache_hit = true;
+                stats.dirty = dirty.len();
+                stats.cpm_recomputed = update.total_recomputed();
+                (c.network, c.ids, c.inc)
             }
-        }
+            None => {
+                // Build the precedence network with estimated durations.
+                let mut net = ScheduleNetwork::new();
+                let mut ids = HashMap::new();
+                for activity in &in_scope {
+                    let duration = self.duration_estimate(activity)?;
+                    let id = net.add_activity(activity.clone(), duration)?;
+                    ids.insert(activity.clone(), id);
+                }
+                for activity in &in_scope {
+                    for consumer in tree.consumers_of_output(activity) {
+                        if let Some(&consumer_id) = ids.get(consumer) {
+                            net.add_precedence(ids[activity.as_str()], consumer_id)?;
+                        }
+                    }
+                }
+                // One demand per activity for its round-robin designer
+                // (recorded once; reused on every cache hit).
+                for (k, activity) in in_scope.iter().enumerate() {
+                    let designer = self.team.assignee(k).to_owned();
+                    net.add_demand(ids[activity.as_str()], designer, 1)?;
+                }
+                let inc = net.analyze_incremental()?;
+                stats.dirty = in_scope.len();
+                stats.cpm_recomputed = 2 * in_scope.len();
+                (net, ids, inc)
+            }
+        };
         // Assign designers round-robin in dependency order and level
         // against the team: one designer works one activity at a time.
         let mut pool = ResourcePool::new();
@@ -165,11 +243,9 @@ impl Hercules {
         }
         let mut assignees = HashMap::new();
         for (k, activity) in in_scope.iter().enumerate() {
-            let designer = self.team.assignee(k).to_owned();
-            net.add_demand(ids[activity.as_str()], designer.clone(), 1)?;
-            assignees.insert(activity.clone(), designer);
+            assignees.insert(activity.clone(), self.team.assignee(k).to_owned());
         }
-        let cpm = net.analyze()?;
+        let cpm = inc.analysis(&net);
         let leveled = level_resources(&net, &pool)?;
 
         // Record the simulated execution: one planning session, one
@@ -198,6 +274,16 @@ impl Hercules {
                 critical: cpm.is_critical(id),
             });
         }
+        self.plan_cache.insert(
+            target.to_owned(),
+            PlanCache {
+                network: net,
+                ids,
+                in_scope,
+                inc,
+            },
+        );
+        self.last_plan_stats = Some(stats);
         Ok(SchedulePlan {
             session,
             target: target.to_owned(),
@@ -241,9 +327,7 @@ mod tests {
         let plan = h.plan("performance").unwrap();
         let create = plan.activity("Create").unwrap();
         let simulate = plan.activity("Simulate").unwrap();
-        assert!(
-            simulate.start.days() >= create.start.days() + create.duration.days() - 1e-9
-        );
+        assert!(simulate.start.days() >= create.start.days() + create.duration.days() - 1e-9);
         assert!(plan.project_finish().days() >= simulate.start.days());
     }
 
@@ -273,7 +357,10 @@ mod tests {
         h.set_estimate("Create", WorkDays::new(4.0)).unwrap();
         h.set_estimate("Simulate", WorkDays::new(2.0)).unwrap();
         let plan = h.plan("performance").unwrap();
-        assert_eq!(plan.activity("Create").unwrap().duration, WorkDays::new(4.0));
+        assert_eq!(
+            plan.activity("Create").unwrap().duration,
+            WorkDays::new(4.0)
+        );
         assert_eq!(plan.project_finish(), WorkDays::new(6.0));
     }
 
@@ -336,6 +423,90 @@ mod tests {
             h.plan("gds"),
             Err(HerculesError::UnknownTarget(_))
         ));
+    }
+
+    #[test]
+    fn replan_same_scope_hits_cache_with_empty_dirty_set() {
+        let mut h = manager(2);
+        let p1 = h.plan("performance").unwrap();
+        let first = h.last_plan_stats().unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.dirty, 2);
+        assert_eq!(first.cpm_total, 2);
+        let p2 = h.plan("performance").unwrap();
+        let second = h.last_plan_stats().unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.dirty, 0);
+        assert_eq!(second.cpm_recomputed, 0);
+        // Same proposal, new schedule-instance versions.
+        assert_eq!(p1.project_finish(), p2.project_finish());
+        assert_eq!(p1.len(), p2.len());
+    }
+
+    #[test]
+    fn estimate_change_dirties_only_that_activity() {
+        let mut h = manager(2);
+        h.set_estimate("Create", WorkDays::new(2.0)).unwrap();
+        h.set_estimate("Simulate", WorkDays::new(3.0)).unwrap();
+        let p1 = h.plan("performance").unwrap();
+        assert_eq!(p1.project_finish(), WorkDays::new(5.0));
+        // Slip the leaf of the chain; the replan reuses the cache and
+        // recomputes only the affected cone.
+        h.set_estimate("Simulate", WorkDays::new(6.0)).unwrap();
+        let p2 = h.plan("performance").unwrap();
+        let stats = h.last_plan_stats().unwrap();
+        assert!(stats.cache_hit);
+        assert_eq!(stats.dirty, 1);
+        assert!(stats.cpm_recomputed >= 1);
+        assert!(stats.cpm_recomputed <= 2 * stats.cpm_total);
+        assert_eq!(p2.project_finish(), WorkDays::new(8.0));
+        assert!(p2.activities().iter().all(|a| a.critical));
+    }
+
+    #[test]
+    fn scope_change_rebuilds_cache() {
+        let mut h = manager(2);
+        h.plan("performance").unwrap();
+        assert!(!h.last_plan_stats().unwrap().cache_hit);
+        // Restricting the scope (as replan does after completions)
+        // invalidates the cached network.
+        let skip = vec!["Create".to_owned()];
+        let p = h.plan_scope("performance", &skip).unwrap();
+        let stats = h.last_plan_stats().unwrap();
+        assert!(!stats.cache_hit);
+        assert_eq!(stats.cpm_total, 1);
+        assert_eq!(p.len(), 1);
+        // And the narrower scope is itself cached.
+        h.plan_scope("performance", &skip).unwrap();
+        assert!(h.last_plan_stats().unwrap().cache_hit);
+    }
+
+    #[test]
+    fn cached_plan_matches_fresh_plan() {
+        // The incremental path must propose byte-identical dates to a
+        // from-scratch plan of the same state.
+        let mut h1 = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            3,
+        );
+        let mut h2 = h1.clone();
+        h1.plan("signoff_report").unwrap();
+        h1.set_estimate("Synthesize", WorkDays::new(12.5)).unwrap();
+        let cached = h1.plan("signoff_report").unwrap();
+        assert!(h1.last_plan_stats().unwrap().cache_hit);
+
+        h2.set_estimate("Synthesize", WorkDays::new(12.5)).unwrap();
+        let fresh = h2.plan("signoff_report").unwrap();
+        assert_eq!(cached.project_finish(), fresh.project_finish());
+        for (a, b) in cached.activities().iter().zip(fresh.activities()) {
+            assert_eq!(a.activity, b.activity);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.duration, b.duration);
+            assert_eq!(a.assignee, b.assignee);
+            assert_eq!(a.critical, b.critical, "criticality of {}", a.activity);
+        }
     }
 
     #[test]

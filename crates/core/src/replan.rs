@@ -41,6 +41,12 @@ impl Hercules {
     /// actual dates; only open work is reversioned. The versioned
     /// database never rewrites history.
     ///
+    /// Repeated replans of an unchanged scope are served by the
+    /// incremental replan engine: the precedence network and CPM state
+    /// are cached per target, and only activities whose duration
+    /// estimates moved since the last pass are recomputed (see
+    /// [`last_plan_stats`](Hercules::last_plan_stats)).
+    ///
     /// # Errors
     ///
     /// Same as [`plan`](Hercules::plan).
@@ -49,11 +55,7 @@ impl Hercules {
         let completed: Vec<String> = tree
             .activities()
             .iter()
-            .filter(|a| {
-                self.db
-                    .current_plan(a)
-                    .is_some_and(|p| p.is_complete())
-            })
+            .filter(|a| self.db.current_plan(a).is_some_and(|p| p.is_complete()))
             .cloned()
             .collect();
         if completed.len() == tree.len() {
@@ -134,8 +136,7 @@ impl Hercules {
                 .output()
                 .to_owned();
             for rule in self.schema.rules() {
-                if rule.inputs().contains(&output)
-                    && !affected.iter().any(|a| a == rule.activity())
+                if rule.inputs().contains(&output) && !affected.iter().any(|a| a == rule.activity())
                 {
                     affected.push(rule.activity().to_owned());
                     frontier.push(rule.activity().to_owned());
@@ -232,7 +233,11 @@ mod tests {
             );
             candidate.plan("signoff_report").unwrap();
             candidate.execute("rtl").unwrap();
-            if candidate.db().finish_slip("WriteRtl").is_some_and(|s| s > 0.0) {
+            if candidate
+                .db()
+                .finish_slip("WriteRtl")
+                .is_some_and(|s| s > 0.0)
+            {
                 break candidate;
             }
             seed += 1;
@@ -242,7 +247,12 @@ mod tests {
         let before: Vec<(String, WorkDays)> = h
             .db()
             .activities()
-            .map(|a| (a.to_owned(), h.db().current_plan(a).unwrap().planned_start()))
+            .map(|a| {
+                (
+                    a.to_owned(),
+                    h.db().current_plan(a).unwrap().planned_start(),
+                )
+            })
             .collect();
         let outcome = h.propagate_slip("WriteRtl").unwrap();
         let slip = outcome.slip_days.unwrap();
@@ -265,6 +275,26 @@ mod tests {
         }
         // CaptureSpec is upstream: never replanned.
         assert!(outcome.replanned.iter().all(|(n, _)| n != "CaptureSpec"));
+    }
+
+    #[test]
+    fn repeated_replan_is_served_incrementally() {
+        let mut h = asic();
+        h.plan("signoff_report").unwrap();
+        h.execute("netlist").unwrap();
+        // First replan after completions: the scope shrank, so the
+        // cached network is rebuilt for the new scope.
+        let o1 = h.replan("signoff_report").unwrap();
+        assert!(!h.last_plan_stats().unwrap().cache_hit);
+        // Second replan with nothing new: pure cache hit, zero CPM
+        // recomputation, identical proposal.
+        let o2 = h.replan("signoff_report").unwrap();
+        let stats = h.last_plan_stats().unwrap();
+        assert!(stats.cache_hit);
+        assert_eq!(stats.dirty, 0);
+        assert_eq!(stats.cpm_recomputed, 0);
+        assert_eq!(o1.project_finish, o2.project_finish);
+        assert_eq!(o1.len(), o2.len());
     }
 
     #[test]

@@ -119,7 +119,12 @@ impl Hercules {
                     let ps = plan.planned_start();
                     let pf = plan.planned_finish();
                     planned_start =
-                        Some(planned_start.map_or(ps, |s: WorkDays| if ps.days() < s.days() { ps } else { s }));
+                        Some(
+                            planned_start.map_or(
+                                ps,
+                                |s: WorkDays| if ps.days() < s.days() { ps } else { s },
+                            ),
+                        );
                     planned_finish = Some(planned_finish.map_or(pf, |f| f.max(pf)));
                     if plan.is_complete() {
                         complete += 1;
@@ -127,7 +132,10 @@ impl Hercules {
                 }
                 if let Some(a) = self.db.actual_start(activity) {
                     actual_start =
-                        Some(actual_start.map_or(a, |s: WorkDays| if a.days() < s.days() { a } else { s }));
+                        Some(
+                            actual_start
+                                .map_or(a, |s: WorkDays| if a.days() < s.days() { a } else { s }),
+                        );
                 }
                 if let Some(f) = self.db.actual_finish(activity) {
                     finishes.push(f);
@@ -198,7 +206,10 @@ mod tests {
 
     fn decomposition() -> Decomposition {
         Decomposition::new()
-            .block("frontend", ["CaptureSpec", "WriteRtl", "VerifyRtl", "Synthesize"])
+            .block(
+                "frontend",
+                ["CaptureSpec", "WriteRtl", "VerifyRtl", "Synthesize"],
+            )
             .block("backend", ["Floorplan", "Place", "Cts", "Route"])
     }
 

@@ -102,18 +102,12 @@ impl StatusReport {
             .map(|r| {
                 let (ps, pf) = r.planned.unwrap_or((
                     r.actual_start.unwrap_or(WorkDays::ZERO),
-                    r.actual_finish
-                        .or(r.actual_start)
-                        .unwrap_or(WorkDays::ZERO),
+                    r.actual_finish.or(r.actual_start).unwrap_or(WorkDays::ZERO),
                 ));
                 let mut row = GanttRow::planned(r.activity.clone(), ps, pf);
                 if let Some(start) = r.actual_start {
                     let end = r.actual_finish.unwrap_or(self.status_date);
-                    row = row.with_actual(
-                        start,
-                        end,
-                        r.state == ActivityState::Complete,
-                    );
+                    row = row.with_actual(start, end, r.state == ActivityState::Complete);
                 }
                 row
             })

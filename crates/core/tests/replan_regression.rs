@@ -1,0 +1,146 @@
+//! Regression tests for the versioned-update contract under the
+//! incremental replan engine: **completed activities keep their actual
+//! dates and linked plans no matter how many times the open scope is
+//! replanned.**
+//!
+//! The engine caches the precedence network per (target, scope) and
+//! recomputes only dirty cones; these tests pin down that the caching
+//! never leaks completed work back into the replanned scope, never
+//! reversions a finished activity, and never perturbs recorded actuals.
+
+use hercules::Hercules;
+use schedule::WorkDays;
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+fn asic() -> Hercules {
+    Hercules::new(
+        examples::asic_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(3),
+        5,
+    )
+}
+
+#[test]
+fn completed_activities_keep_actual_finishes_across_incremental_replans() {
+    let mut h = asic();
+    h.plan("signoff_report").unwrap();
+    // Execute the front of the flow so part of the scope completes.
+    h.execute("netlist").unwrap();
+
+    // Snapshot the completed activities' recorded state.
+    let completed: Vec<String> = h
+        .db()
+        .activities()
+        .filter(|a| h.db().current_plan(a).is_some_and(|p| p.is_complete()))
+        .map(str::to_owned)
+        .collect();
+    assert!(!completed.is_empty(), "expected completed front activities");
+    let snapshot: Vec<(String, WorkDays, u32)> = completed
+        .iter()
+        .map(|a| {
+            (
+                a.clone(),
+                h.db().actual_finish(a).expect("completed has actuals"),
+                h.db().current_plan(a).unwrap().version(),
+            )
+        })
+        .collect();
+
+    // Replan repeatedly — first pass rebuilds the cache for the
+    // narrowed scope, later passes are incremental cache hits.
+    for round in 0..4 {
+        let outcome = h.replan("signoff_report").unwrap();
+        let stats = h.last_plan_stats().expect("replan ran a planning pass");
+        if round > 0 {
+            assert!(stats.cache_hit, "round {round} should reuse the cache");
+        }
+        // No completed activity ever appears in the replanned set.
+        for (name, _) in &outcome.replanned {
+            assert!(
+                !completed.contains(name),
+                "completed '{name}' was reversioned in round {round}"
+            );
+        }
+        // Actual finishes, plan versions, and completion links are
+        // untouched.
+        for (name, finish, version) in &snapshot {
+            let plan = h.db().current_plan(name).expect("plan still current");
+            assert!(plan.is_complete(), "'{name}' lost its completion link");
+            assert_eq!(
+                h.db().actual_finish(name),
+                Some(*finish),
+                "'{name}' actual finish drifted in round {round}"
+            );
+            assert_eq!(
+                plan.version(),
+                *version,
+                "'{name}' was reversioned in round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn replans_after_new_estimates_stay_consistent_with_fresh_planning() {
+    // A manager whose cache absorbed several estimate changes must
+    // propose the same dates as an identical manager planning from
+    // scratch — the incremental path is an optimisation, not a fork.
+    let mut cached = asic();
+    cached.plan("signoff_report").unwrap();
+    for (activity, days) in [("Synthesize", 9.5), ("Floorplan", 4.0), ("Synthesize", 6.5)] {
+        cached.set_estimate(activity, WorkDays::new(days)).unwrap();
+        cached.replan("signoff_report").unwrap();
+        assert!(cached.last_plan_stats().unwrap().cache_hit);
+    }
+
+    let mut fresh = asic();
+    fresh
+        .set_estimate("Synthesize", WorkDays::new(6.5))
+        .unwrap();
+    fresh.set_estimate("Floorplan", WorkDays::new(4.0)).unwrap();
+    let fresh_outcome = fresh.replan("signoff_report").unwrap();
+    let cached_outcome = cached.replan("signoff_report").unwrap();
+    assert_eq!(cached_outcome.project_finish, fresh_outcome.project_finish);
+    assert_eq!(cached_outcome.len(), fresh_outcome.len());
+    for ((name_c, sc_c), (name_f, sc_f)) in cached_outcome
+        .replanned
+        .iter()
+        .zip(&fresh_outcome.replanned)
+    {
+        assert_eq!(name_c, name_f);
+        let c = cached.db().schedule_instance(*sc_c);
+        let f = fresh.db().schedule_instance(*sc_f);
+        assert_eq!(c.planned_start(), f.planned_start(), "start of {name_c}");
+        assert_eq!(
+            c.planned_duration(),
+            f.planned_duration(),
+            "duration of {name_c}"
+        );
+    }
+}
+
+#[test]
+fn slip_propagation_then_replan_preserves_history() {
+    // propagate_slip (shift-only) followed by a full incremental
+    // replan must leave executed history untouched and produce a plan
+    // starting no earlier than the latest completed actual.
+    let mut h = asic();
+    h.plan("signoff_report").unwrap();
+    h.execute("rtl").unwrap();
+    let _ = h.propagate_slip("WriteRtl").unwrap();
+    let latest_done = h
+        .db()
+        .activities()
+        .filter_map(|a| h.db().actual_finish(a))
+        .fold(WorkDays::ZERO, WorkDays::max);
+    let outcome = h.replan("signoff_report").unwrap();
+    for (name, sc) in &outcome.replanned {
+        let start = h.db().schedule_instance(*sc).planned_start();
+        assert!(
+            start.days() >= latest_done.days() - 1e-9,
+            "'{name}' replanned to start {start:?} before completed work ended"
+        );
+    }
+}

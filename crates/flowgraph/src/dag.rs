@@ -214,7 +214,9 @@ impl<N, E> Dag<N, E> {
 
     /// Returns a mutable reference to the weight of `node`, if it exists.
     pub fn node_weight_mut(&mut self, node: NodeId) -> Option<&mut N> {
-        self.nodes.get_mut(node.index()).map(|slot| &mut slot.weight)
+        self.nodes
+            .get_mut(node.index())
+            .map(|slot| &mut slot.weight)
     }
 
     /// Returns a reference to the weight of `edge`, if it exists.
@@ -224,7 +226,9 @@ impl<N, E> Dag<N, E> {
 
     /// Returns the `(from, to)` endpoints of `edge`, if it exists.
     pub fn edge_endpoints(&self, edge: EdgeId) -> Option<(NodeId, NodeId)> {
-        self.edges.get(edge.index()).map(|slot| (slot.from, slot.to))
+        self.edges
+            .get(edge.index())
+            .map(|slot| (slot.from, slot.to))
     }
 
     /// Returns `true` if `node` belongs to this graph.
@@ -333,12 +337,16 @@ impl<N, E> Dag<N, E> {
 
     /// Nodes with no incoming edges — the flow's primary inputs.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes with no outgoing edges — the flow's final outputs.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Returns `true` if `to` is reachable from `from` (including
@@ -378,7 +386,12 @@ impl<N, E> Dag<N, E> {
 
 impl<N: fmt::Display, E> fmt::Display for Dag<N, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "dag {{ {} nodes, {} edges }}", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "dag {{ {} nodes, {} edges }}",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for edge in self.edges() {
             writeln!(
                 f,
@@ -445,7 +458,10 @@ mod tests {
         let mut g: Dag<(), ()> = Dag::new();
         let a = g.add_node(());
         let ghost = NodeId::from_index(7);
-        assert_eq!(g.add_edge(a, ghost, ()), Err(GraphError::UnknownNode(ghost)));
+        assert_eq!(
+            g.add_edge(a, ghost, ()),
+            Err(GraphError::UnknownNode(ghost))
+        );
     }
 
     #[test]
@@ -454,7 +470,10 @@ mod tests {
         let a = g.add_node(());
         let b = g.add_node(());
         g.add_edge(a, b, ()).unwrap();
-        assert_eq!(g.add_edge(b, a, ()), Err(GraphError::WouldCycle { from: b, to: a }));
+        assert_eq!(
+            g.add_edge(b, a, ()),
+            Err(GraphError::WouldCycle { from: b, to: a })
+        );
     }
 
     #[test]

@@ -253,9 +253,7 @@ fn json_f64(v: f64) -> String {
 pub fn to_json(records: &[Record]) -> String {
     let mut out = String::from("{\n  \"schema\": \"schedflow-bench/v1\",\n  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
-        let elements = r
-            .elements
-            .map_or("null".to_owned(), |e| e.to_string());
+        let elements = r.elements.map_or("null".to_owned(), |e| e.to_string());
         out.push_str(&format!(
             "    {{\"kernel\": \"{kernel}\", \"bench\": \"{bench}\", \"elements\": {elements}, \
              \"samples\": {samples}, \"iters_per_sample\": {iters}, \
@@ -275,9 +273,157 @@ pub fn to_json(records: &[Record]) -> String {
     out
 }
 
-/// Writes the JSON report to `path`.
+/// Writes the JSON report to `path`, creating missing parent
+/// directories and writing **atomically**: the report is staged in a
+/// temporary file beside the target and renamed into place, so a
+/// crashed or interrupted run can never leave a truncated report for
+/// the CI comparison gate to choke on.
 pub fn write_report(path: &Path, records: &[Record]) -> io::Result<()> {
-    std::fs::write(path, to_json(records))
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "report path has no file name")
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, to_json(records))?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Parses a `schedflow-bench/v1` report back into [`Record`]s — the
+/// inverse of [`to_json`], used by the `bench_compare` CI gate to read
+/// the committed baseline and the fresh run.
+///
+/// The parser accepts any whitespace layout but requires the schema
+/// marker and the flat record shape [`to_json`] emits.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed construct.
+pub fn parse_report(json: &str) -> Result<Vec<Record>, String> {
+    if !json.contains("schedflow-bench/v1") {
+        return Err("not a schedflow-bench/v1 report (schema marker missing)".to_owned());
+    }
+    let kernels_at = json
+        .find("\"kernels\"")
+        .ok_or_else(|| "missing \"kernels\" array".to_owned())?;
+    let body = &json[kernels_at..];
+    let open = body
+        .find('[')
+        .ok_or_else(|| "missing [ after \"kernels\"".to_owned())?;
+    let close = body
+        .rfind(']')
+        .ok_or_else(|| "missing ] closing \"kernels\"".to_owned())?;
+    if close < open {
+        return Err("malformed \"kernels\" array".to_owned());
+    }
+    let mut records = Vec::new();
+    let mut rest = &body[open + 1..close];
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .ok_or_else(|| "unterminated record object".to_owned())?
+            + start;
+        records.push(parse_record(&rest[start + 1..end])?);
+        rest = &rest[end + 1..];
+    }
+    Ok(records)
+}
+
+fn parse_record(obj: &str) -> Result<Record, String> {
+    let elements = match raw_field(obj, "elements") {
+        None | Some("null") => None,
+        Some(raw) => Some(
+            raw.parse::<u64>()
+                .map_err(|_| format!("\"elements\" is not an integer: {raw}"))?,
+        ),
+    };
+    Ok(Record {
+        kernel: str_field(obj, "kernel")?,
+        bench: str_field(obj, "bench")?,
+        elements,
+        samples: num_field(obj, "samples")? as u32,
+        iters_per_sample: num_field(obj, "iters_per_sample")? as u32,
+        stats: Stats {
+            median_ns: num_field(obj, "median_ns")?,
+            p95_ns: num_field(obj, "p95_ns")?,
+            min_ns: num_field(obj, "min_ns")?,
+            mean_ns: num_field(obj, "mean_ns")?,
+        },
+    })
+}
+
+/// The raw (untrimmed-of-quotes) text of `key`'s value inside a flat
+/// JSON object body, cut at the next top-level comma.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let after = &obj[at + pat.len()..];
+    let colon = after.find(':')?;
+    let val = after[colon + 1..].trim_start();
+    if val.starts_with('"') {
+        // String value: find the closing unescaped quote.
+        let mut escaped = false;
+        for (i, c) in val.char_indices().skip(1) {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => return Some(&val[..=i]),
+                _ => escaped = false,
+            }
+        }
+        None
+    } else {
+        let end = val.find([',', '}']).unwrap_or(val.len());
+        Some(val[..end].trim())
+    }
+}
+
+fn str_field(obj: &str, key: &str) -> Result<String, String> {
+    let raw = raw_field(obj, key).ok_or_else(|| format!("missing field \"{key}\""))?;
+    if raw.len() < 2 || !raw.starts_with('"') || !raw.ends_with('"') {
+        return Err(format!("field \"{key}\" is not a string: {raw}"));
+    }
+    let mut out = String::new();
+    let mut chars = raw[1..raw.len() - 1].chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let code: String = chars.by_ref().take(4).collect();
+                let v = u32::from_str_radix(&code, 16)
+                    .map_err(|_| format!("bad \\u escape in \"{key}\""))?;
+                out.push(char::from_u32(v).ok_or_else(|| format!("bad codepoint in \"{key}\""))?);
+            }
+            other => return Err(format!("bad escape {other:?} in \"{key}\"")),
+        }
+    }
+    Ok(out)
+}
+
+fn num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let raw = raw_field(obj, key).ok_or_else(|| format!("missing field \"{key}\""))?;
+    if raw == "null" {
+        return Ok(f64::NAN);
+    }
+    raw.parse::<f64>()
+        .map_err(|_| format!("field \"{key}\" is not a number: {raw}"))
 }
 
 #[cfg(test)]
@@ -333,15 +479,111 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         // Balanced braces/brackets — cheap well-formedness check.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
     fn escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record {
+                kernel: "cpm".to_owned(),
+                bench: "analyze/1000".to_owned(),
+                elements: Some(1000),
+                samples: 15,
+                iters_per_sample: 2,
+                stats: Stats {
+                    median_ns: 123.0,
+                    p95_ns: 456.5,
+                    min_ns: 100.0,
+                    mean_ns: 222.2,
+                },
+            },
+            Record {
+                kernel: "replan".to_owned(),
+                bench: "weird \"name\"\nhere".to_owned(),
+                elements: None,
+                samples: 3,
+                iters_per_sample: 1,
+                stats: Stats {
+                    median_ns: 1.0,
+                    p95_ns: 2.0,
+                    min_ns: 0.5,
+                    mean_ns: 1.2,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn parse_report_roundtrips_to_json() {
+        let records = sample_records();
+        let parsed = parse_report(&to_json(&records)).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (a, b) in parsed.iter().zip(&records) {
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.bench, b.bench);
+            assert_eq!(a.elements, b.elements);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.iters_per_sample, b.iters_per_sample);
+            assert!((a.stats.median_ns - b.stats.median_ns).abs() < 0.05);
+            assert!((a.stats.p95_ns - b.stats.p95_ns).abs() < 0.05);
+            assert!((a.stats.min_ns - b.stats.min_ns).abs() < 0.05);
+            assert!((a.stats.mean_ns - b.stats.mean_ns).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn parse_report_rejects_garbage() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("not json at all").is_err());
+        assert!(
+            parse_report("{\"schema\": \"schedflow-bench/v1\"}").is_err(),
+            "kernels array required"
+        );
+        // Empty kernels array is a valid (empty) report.
+        let empty = parse_report("{\"schema\": \"schedflow-bench/v1\", \"kernels\": []}").unwrap();
+        assert!(empty.is_empty());
+        // A record missing a stat field is malformed.
+        assert!(parse_report(
+            "{\"schema\": \"schedflow-bench/v1\", \"kernels\": [\
+             {\"kernel\": \"k\", \"bench\": \"b\", \"elements\": null, \
+              \"samples\": 3, \"iters_per_sample\": 1, \"median_ns\": 1.0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_report_creates_parents_and_is_atomic() {
+        let dir = std::env::temp_dir().join(format!(
+            "schedflow-bench-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/report.json");
+        // Parent directories do not exist yet: must be created.
+        write_report(&path, &sample_records()).unwrap();
+        let back = parse_report(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.len(), 2);
+        // No stray temporary files left beside the report.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("report.json")]);
+        // Overwriting in place also works (rename over existing file).
+        write_report(&path, &sample_records()[..1]).unwrap();
+        assert_eq!(
+            parse_report(&std::fs::read_to_string(&path).unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,7 @@
 //!   property-testing framework with seeded generators and
 //!   hedgehog-style integrated shrinking. Failures report a minimal
 //!   counterexample and a `HARNESS_SEED` reproduction line.
-//! * [`bench`] — a micro-benchmark harness (warmup, fixed iteration
+//! * [`mod@bench`] — a micro-benchmark harness (warmup, fixed iteration
 //!   counts, median/p95/min) emitting `BENCH_schedflow.json`.
 //!
 //! See `crates/harness/README.md` for the full API walkthrough and the

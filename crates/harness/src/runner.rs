@@ -113,15 +113,12 @@ fn run_case<V>(test: &impl Fn(V), value: V) -> CaseResult {
 /// Greedily descends into the first still-failing child until a local
 /// minimum (or the evaluation budget) is reached. Returns the minimal
 /// tree, its failure message, and (shrink steps, evaluations).
-fn shrink<V: Clone>(
+fn shrink<V: Clone + 'static>(
     failing: Tree<V>,
     first_message: String,
     test: &impl Fn(V),
     budget: u32,
-) -> (Tree<V>, String, u32, u32)
-where
-    V: 'static,
-{
+) -> (Tree<V>, String, u32, u32) {
     let mut current = failing;
     let mut message = first_message;
     let mut steps = 0u32;

@@ -2,7 +2,7 @@
 //!
 //! A [`Strategy`] turns a [`SplitMix64`] stream into a shrink
 //! [`Tree`]. Primitive ranges (`2usize..40`, `0.0f64..20.0`),
-//! tuples of strategies, [`vec`], weighted [`Union`]s and string
+//! tuples of strategies, [`vec()`], weighted [`Union`]s and string
 //! generators compose via [`StrategyExt::prop_map`], mirroring the
 //! proptest surface the workspace's property tests were written
 //! against — but fully offline and reproducible from a single `u64`.
@@ -56,10 +56,13 @@ pub trait StrategyExt: Strategy + Sized {
 
 impl<S: Strategy> StrategyExt for S {}
 
+/// A shared mapping function from a strategy's value to `U`.
+type MapFn<V, U> = Rc<dyn Fn(&V) -> U>;
+
 /// See [`StrategyExt::prop_map`].
 pub struct Map<S: Strategy, U> {
     inner: S,
-    f: Rc<dyn Fn(&S::Value) -> U>,
+    f: MapFn<S::Value, U>,
 }
 
 impl<S: Strategy, U: Clone + fmt::Debug + 'static> Strategy for Map<S, U> {
@@ -136,7 +139,7 @@ pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
     VecStrategy { elem, len }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S: Strategy> {
     elem: S,
     len: Range<usize>,
@@ -184,7 +187,9 @@ pub fn one_of<T: Clone + fmt::Debug + 'static>(branches: Vec<BoxedStrategy<T>>) 
 }
 
 /// Weighted choice between boxed strategies.
-pub fn weighted<T: Clone + fmt::Debug + 'static>(branches: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+pub fn weighted<T: Clone + fmt::Debug + 'static>(
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+) -> Union<T> {
     Union { branches }
 }
 
@@ -231,7 +236,7 @@ pub fn printable_noise(len: Range<usize>) -> impl Strategy<Value = String> {
 impl<A: Strategy> Strategy for (A,) {
     type Value = (A::Value,);
     fn tree(&self, rng: &mut SplitMix64) -> Tree<Self::Value> {
-        let f: Rc<dyn Fn(&A::Value) -> (A::Value,)> = Rc::new(|a| (a.clone(),));
+        let f: MapFn<A::Value, (A::Value,)> = Rc::new(|a| (a.clone(),));
         self.0.tree(rng).map(&f)
     }
 }
@@ -269,7 +274,14 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
         let nested = ta.zip(&tb).zip(&tc.zip(&td));
         #[allow(clippy::type_complexity)]
         let f: Rc<dyn Fn(&((A::Value, B::Value), (C::Value, D::Value))) -> Self::Value> =
-            Rc::new(|v| (v.0 .0.clone(), v.0 .1.clone(), v.1 .0.clone(), v.1 .1.clone()));
+            Rc::new(|v| {
+                (
+                    v.0 .0.clone(),
+                    v.0 .1.clone(),
+                    v.1 .0.clone(),
+                    v.1 .1.clone(),
+                )
+            });
         nested.map(&f)
     }
 }

@@ -5,9 +5,7 @@ use schedule::WorkDays;
 use schema::TaskSchema;
 
 use crate::error::MetadataError;
-use crate::ids::{
-    DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId,
-};
+use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
 use crate::objects::{DataObject, EntityInstance, PlanningSession, Run, ScheduleInstance};
 
 /// The Hercules-style metadata database: entity containers (execution
@@ -347,9 +345,7 @@ impl MetadataDb {
         );
         if let Some(run) = produced_by {
             // Re-point the run's output at the restored instance.
-            let finished = self.runs[run.index()]
-                .finished_at()
-                .unwrap_or(created_at);
+            let finished = self.runs[run.index()].finished_at().unwrap_or(created_at);
             self.runs[run.index()].finish(finished, id);
         }
         Ok(id)
@@ -380,7 +376,10 @@ impl MetadataDb {
 
     /// Runs of one activity, oldest first.
     pub fn runs_of(&self, activity: &str) -> Vec<&Run> {
-        self.runs.iter().filter(|r| r.activity() == activity).collect()
+        self.runs
+            .iter()
+            .filter(|r| r.activity() == activity)
+            .collect()
     }
 
     /// Number of entity instances across all containers.
@@ -591,7 +590,10 @@ mod tests {
     fn containers_created_from_schema() {
         let db = db();
         assert_eq!(db.entity_classes().count(), 5);
-        assert_eq!(db.activities().collect::<Vec<_>>(), vec!["Create", "Simulate"]);
+        assert_eq!(
+            db.activities().collect::<Vec<_>>(),
+            vec!["Create", "Simulate"]
+        );
         assert_eq!(db.output_class_of("Create"), Some("netlist"));
         assert!(db.entity_container("netlist").unwrap().is_empty());
         assert!(db.schedule_container("Simulate").unwrap().is_empty());
@@ -604,9 +606,13 @@ mod tests {
         let d1 = db.store_data("v1.net", b"a".to_vec());
         let d2 = db.store_data("v2.net", b"bb".to_vec());
         let r1 = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
-        let e1 = db.finish_run(r1, "netlist", d1, WorkDays::new(1.0), &[]).unwrap();
+        let e1 = db
+            .finish_run(r1, "netlist", d1, WorkDays::new(1.0), &[])
+            .unwrap();
         let r2 = db.begin_run("Create", "alice", WorkDays::new(1.0)).unwrap();
-        let e2 = db.finish_run(r2, "netlist", d2, WorkDays::new(2.0), &[]).unwrap();
+        let e2 = db
+            .finish_run(r2, "netlist", d2, WorkDays::new(2.0), &[])
+            .unwrap();
         assert_eq!(db.entity_instance(e1).version(), 1);
         assert_eq!(db.entity_instance(e2).version(), 2);
         assert_eq!(db.run(r2).iteration(), 2);
@@ -632,11 +638,18 @@ mod tests {
         ));
         // Unknown input instance.
         assert!(matches!(
-            db.finish_run(run, "netlist", data, WorkDays::new(2.0), &[EntityInstanceId(9)]),
+            db.finish_run(
+                run,
+                "netlist",
+                data,
+                WorkDays::new(2.0),
+                &[EntityInstanceId(9)]
+            ),
             Err(MetadataError::UnknownId(_))
         ));
         // Happy path then double finish.
-        db.finish_run(run, "netlist", data, WorkDays::new(2.0), &[]).unwrap();
+        db.finish_run(run, "netlist", data, WorkDays::new(2.0), &[])
+            .unwrap();
         assert!(matches!(
             db.finish_run(run, "netlist", data, WorkDays::new(3.0), &[]),
             Err(MetadataError::RunAlreadyFinished(_))
@@ -656,18 +669,26 @@ mod tests {
     fn supply_input_has_no_run() {
         let mut db = db();
         let data = db.store_data("vectors.stim", b"0101".to_vec());
-        let e = db.supply_input("stimuli", "bob", WorkDays::ZERO, data).unwrap();
+        let e = db
+            .supply_input("stimuli", "bob", WorkDays::ZERO, data)
+            .unwrap();
         assert_eq!(db.entity_instance(e).produced_by(), None);
-        assert!(db.supply_input("ghost", "bob", WorkDays::ZERO, data).is_err());
+        assert!(db
+            .supply_input("ghost", "bob", WorkDays::ZERO, data)
+            .is_err());
     }
 
     #[test]
     fn planning_creates_versions_with_provenance() {
         let mut db = db();
         let s1 = db.begin_planning(WorkDays::ZERO);
-        let sc1 = db.plan_activity(s1, "Create", WorkDays::ZERO, WorkDays::new(2.0)).unwrap();
+        let sc1 = db
+            .plan_activity(s1, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
         let s2 = db.begin_planning(WorkDays::new(3.0));
-        let sc2 = db.plan_activity(s2, "Create", WorkDays::new(1.0), WorkDays::new(2.0)).unwrap();
+        let sc2 = db
+            .plan_activity(s2, "Create", WorkDays::new(1.0), WorkDays::new(2.0))
+            .unwrap();
         assert_eq!(db.schedule_instance(sc1).version(), 1);
         assert_eq!(db.schedule_instance(sc2).version(), 2);
         assert_eq!(db.schedule_instance(sc2).derived_from(), Some(sc1));
@@ -681,9 +702,16 @@ mod tests {
     fn plan_unknown_activity_or_session() {
         let mut db = db();
         let s = db.begin_planning(WorkDays::ZERO);
-        assert!(db.plan_activity(s, "ghost", WorkDays::ZERO, WorkDays::ZERO).is_err());
         assert!(db
-            .plan_activity(PlanningSessionId(9), "Create", WorkDays::ZERO, WorkDays::ZERO)
+            .plan_activity(s, "ghost", WorkDays::ZERO, WorkDays::ZERO)
+            .is_err());
+        assert!(db
+            .plan_activity(
+                PlanningSessionId(9),
+                "Create",
+                WorkDays::ZERO,
+                WorkDays::ZERO
+            )
             .is_err());
     }
 
@@ -691,7 +719,9 @@ mod tests {
     fn assignment() {
         let mut db = db();
         let s = db.begin_planning(WorkDays::ZERO);
-        let sc = db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0)).unwrap();
+        let sc = db
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap();
         db.assign(sc, "carol").unwrap();
         assert_eq!(db.schedule_instance(sc).assignees(), ["carol"]);
         assert!(db.assign(ScheduleInstanceId(5), "x").is_err());
@@ -701,10 +731,14 @@ mod tests {
     fn completion_link_happy_path() {
         let mut db = db();
         let s = db.begin_planning(WorkDays::ZERO);
-        let sc = db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0)).unwrap();
+        let sc = db
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
         let data = db.store_data("x.net", vec![]);
         let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
-        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        let e = db
+            .finish_run(run, "netlist", data, WorkDays::new(1.0), &[])
+            .unwrap();
         db.link_completion(sc, e).unwrap();
         assert!(db.schedule_instance(sc).is_complete());
         assert_eq!(db.actual_start("Create"), Some(WorkDays::ZERO));
@@ -720,7 +754,9 @@ mod tests {
             .unwrap();
         let data = db.store_data("x.net", vec![]);
         let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
-        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        let e = db
+            .finish_run(run, "netlist", data, WorkDays::new(1.0), &[])
+            .unwrap();
         // e is a netlist from Create; cannot complete Simulate with it.
         assert!(matches!(
             db.link_completion(sc_sim, e),
@@ -732,16 +768,22 @@ mod tests {
     fn completion_link_rejects_primary_input_and_double_link() {
         let mut db = db();
         let s = db.begin_planning(WorkDays::ZERO);
-        let sc = db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0)).unwrap();
+        let sc = db
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap();
         let data = db.store_data("x", vec![]);
         // A supplied input has no producing run — not a valid result.
-        let supplied = db.supply_input("netlist", "bob", WorkDays::ZERO, data).unwrap();
+        let supplied = db
+            .supply_input("netlist", "bob", WorkDays::ZERO, data)
+            .unwrap();
         assert!(matches!(
             db.link_completion(sc, supplied),
             Err(MetadataError::MismatchedLink { .. })
         ));
         let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
-        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        let e = db
+            .finish_run(run, "netlist", data, WorkDays::new(1.0), &[])
+            .unwrap();
         db.link_completion(sc, e).unwrap();
         assert!(matches!(
             db.link_completion(sc, e),
@@ -754,10 +796,12 @@ mod tests {
         let mut db = db();
         assert_eq!(db.actual_start("Create"), None);
         let s = db.begin_planning(WorkDays::ZERO);
-        db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0)).unwrap();
+        db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap();
         let data = db.store_data("x", vec![]);
         let run = db.begin_run("Create", "alice", WorkDays::new(0.5)).unwrap();
-        db.finish_run(run, "netlist", data, WorkDays::new(1.5), &[]).unwrap();
+        db.finish_run(run, "netlist", data, WorkDays::new(1.5), &[])
+            .unwrap();
         assert_eq!(db.actual_start("Create"), Some(WorkDays::new(0.5)));
         // Finished a run, but the designer has not declared completion.
         assert_eq!(db.actual_finish("Create"), None);

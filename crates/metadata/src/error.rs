@@ -60,10 +60,7 @@ impl fmt::Display for MetadataError {
                 run,
                 expected,
                 found,
-            } => write!(
-                f,
-                "{run} must produce {expected:?} but was given {found:?}"
-            ),
+            } => write!(f, "{run} must produce {expected:?} but was given {found:?}"),
             MetadataError::RunAlreadyFinished(run) => {
                 write!(f, "{run} was already finished")
             }

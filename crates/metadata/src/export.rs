@@ -141,11 +141,19 @@ impl MetadataDb {
             if let Some(run) = e.produced_by() {
                 let _ = write!(out, " run {}", run.index());
             }
-            let deps: Vec<String> = e.depends_on().iter().map(|d| d.index().to_string()).collect();
+            let deps: Vec<String> = e
+                .depends_on()
+                .iter()
+                .map(|d| d.index().to_string())
+                .collect();
             let _ = write!(
                 out,
                 " deps {} data {}",
-                if deps.is_empty() { "-".to_owned() } else { deps.join(",") },
+                if deps.is_empty() {
+                    "-".to_owned()
+                } else {
+                    deps.join(",")
+                },
                 e.data().index()
             );
             out.push('\n');
@@ -211,10 +219,8 @@ impl MetadataDb {
                     let [name, content] = rest.as_slice() else {
                         return Err(bad(lineno, "malformed data line"));
                     };
-                    let name = String::from_utf8(
-                        hex_decode(name).map_err(|m| bad(lineno, &m))?,
-                    )
-                    .map_err(|_| bad(lineno, "data name is not UTF-8"))?;
+                    let name = String::from_utf8(hex_decode(name).map_err(|m| bad(lineno, &m))?)
+                        .map_err(|_| bad(lineno, "data name is not UTF-8"))?;
                     let content = hex_decode(content).map_err(|m| bad(lineno, &m))?;
                     db.store_data(name, content);
                 }
@@ -264,9 +270,8 @@ impl MetadataDb {
                                 produced_by = Some(RunId(idx as u32));
                             }
                             "deps" => {
-                                let list = it
-                                    .next()
-                                    .ok_or_else(|| bad(lineno, "deps needs a list"))?;
+                                let list =
+                                    it.next().ok_or_else(|| bad(lineno, "deps needs a list"))?;
                                 if *list != "-" {
                                     for part in list.split(',') {
                                         let idx: usize = part
@@ -325,9 +330,8 @@ impl MetadataDb {
                                     .ok_or_else(|| bad(lineno, "assignees needs a list"))?;
                                 if *list != "-" {
                                     for designer in list.split(',') {
-                                        db.assign(sc, designer).map_err(|e| {
-                                            LoadError::Inconsistent(e.to_string())
-                                        })?;
+                                        db.assign(sc, designer)
+                                            .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
                                     }
                                 }
                             }
@@ -369,10 +373,13 @@ mod tests {
         db.plan_activity(session, "Simulate", WorkDays::new(2.0), WorkDays::new(3.0))
             .unwrap();
         let stim = db.store_data("vec.stim", b"0101".to_vec());
-        db.supply_input("stimuli", "bob", WorkDays::ZERO, stim).unwrap();
+        db.supply_input("stimuli", "bob", WorkDays::ZERO, stim)
+            .unwrap();
         let run = db.begin_run("Create", "alice", WorkDays::new(0.5)).unwrap();
         let data = db.store_data("v1.net", b"module".to_vec());
-        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.5), &[]).unwrap();
+        let e = db
+            .finish_run(run, "netlist", data, WorkDays::new(1.5), &[])
+            .unwrap();
         db.link_completion(sc, e).unwrap();
         // An unfinished run, to exercise the optional finish field.
         db.begin_run("Simulate", "bob", WorkDays::new(1.5)).unwrap();

@@ -70,6 +70,4 @@ pub use database::MetadataDb;
 pub use error::MetadataError;
 pub use export::LoadError;
 pub use ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
-pub use objects::{
-    DataObject, EntityInstance, PlanningSession, Run, RunState, ScheduleInstance,
-};
+pub use objects::{DataObject, EntityInstance, PlanningSession, Run, RunState, ScheduleInstance};

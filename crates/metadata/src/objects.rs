@@ -2,9 +2,7 @@ use std::fmt;
 
 use schedule::WorkDays;
 
-use crate::ids::{
-    DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId,
-};
+use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
 
 /// Level-4 actual design data — the bytes a tool produced.
 ///
@@ -474,7 +472,13 @@ mod tests {
 
     #[test]
     fn run_lifecycle() {
-        let mut run = Run::new(RunId(0), "Simulate".into(), "bob".into(), 1, WorkDays::new(2.0));
+        let mut run = Run::new(
+            RunId(0),
+            "Simulate".into(),
+            "bob".into(),
+            1,
+            WorkDays::new(2.0),
+        );
         assert_eq!(run.state(), RunState::InProgress);
         assert_eq!(run.duration(), None);
         assert!(run.to_string().ends_with("..)"));

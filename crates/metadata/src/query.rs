@@ -92,10 +92,7 @@ impl MetadataDb {
     /// data), sorted.
     pub fn completed_activities(&self) -> Vec<&str> {
         self.activities()
-            .filter(|a| {
-                self.current_plan(a)
-                    .is_some_and(|sc| sc.is_complete())
-            })
+            .filter(|a| self.current_plan(a).is_some_and(|sc| sc.is_complete()))
             .collect()
     }
 
@@ -105,9 +102,7 @@ impl MetadataDb {
         self.activities()
             .filter(|a| {
                 self.actual_start(a).is_some()
-                    && !self
-                        .current_plan(a)
-                        .is_some_and(|sc| sc.is_complete())
+                    && !self.current_plan(a).is_some_and(|sc| sc.is_complete())
             })
             .collect()
     }
@@ -203,10 +198,14 @@ mod tests {
         // Create iterates twice before the designer is satisfied.
         let d1 = db.store_data("v1.net", b"bad".to_vec());
         let r1 = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
-        let _e1 = db.finish_run(r1, "netlist", d1, WorkDays::new(1.0), &[]).unwrap();
+        let _e1 = db
+            .finish_run(r1, "netlist", d1, WorkDays::new(1.0), &[])
+            .unwrap();
         let d2 = db.store_data("v2.net", b"good".to_vec());
         let r2 = db.begin_run("Create", "alice", WorkDays::new(1.0)).unwrap();
-        let e2 = db.finish_run(r2, "netlist", d2, WorkDays::new(2.5), &[]).unwrap();
+        let e2 = db
+            .finish_run(r2, "netlist", d2, WorkDays::new(2.5), &[])
+            .unwrap();
         db.link_completion(sc_create, e2).unwrap();
 
         // Simulate runs once using the final netlist + stimuli.
@@ -278,14 +277,18 @@ mod tests {
     fn status_rollups_partial() {
         let mut db = MetadataDb::for_schema(&examples::circuit_design());
         let s = db.begin_planning(WorkDays::ZERO);
-        db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0)).unwrap();
-        db.plan_activity(s, "Simulate", WorkDays::new(2.0), WorkDays::new(3.0)).unwrap();
+        db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        db.plan_activity(s, "Simulate", WorkDays::new(2.0), WorkDays::new(3.0))
+            .unwrap();
         assert_eq!(db.pending_activities(), vec!["Create", "Simulate"]);
         let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
         assert_eq!(db.in_progress_activities(), vec!["Create"]);
         assert_eq!(db.pending_activities(), vec!["Simulate"]);
         let data = db.store_data("x", vec![]);
-        let e = db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]).unwrap();
+        let e = db
+            .finish_run(run, "netlist", data, WorkDays::new(1.0), &[])
+            .unwrap();
         let sc = db.current_plan("Create").unwrap().id();
         db.link_completion(sc, e).unwrap();
         assert_eq!(db.completed_activities(), vec!["Create"]);
@@ -309,10 +312,18 @@ mod tests {
         // Runs: Create [0,1], Create [1,2.5], Simulate [2.5,4].
         assert_eq!(db.runs_between(WorkDays::ZERO, WorkDays::new(1.0)).len(), 1);
         assert_eq!(db.runs_between(WorkDays::ZERO, WorkDays::new(2.0)).len(), 2);
-        assert_eq!(db.runs_between(WorkDays::new(2.6), WorkDays::new(3.0)).len(), 1);
-        assert!(db.runs_between(WorkDays::new(10.0), WorkDays::new(11.0)).is_empty());
+        assert_eq!(
+            db.runs_between(WorkDays::new(2.6), WorkDays::new(3.0))
+                .len(),
+            1
+        );
+        assert!(db
+            .runs_between(WorkDays::new(10.0), WorkDays::new(11.0))
+            .is_empty());
         // Degenerate window.
-        assert!(db.runs_between(WorkDays::new(1.0), WorkDays::new(1.0)).is_empty());
+        assert!(db
+            .runs_between(WorkDays::new(1.0), WorkDays::new(1.0))
+            .is_empty());
     }
 
     #[test]

@@ -14,16 +14,31 @@ use schema::examples;
 /// An abstract operation against the circuit-schema database.
 #[derive(Debug, Clone)]
 enum Op {
-    Plan { activity: usize, start: u16, duration: u16 },
-    RunCreate { start: u16, extra: u16 },
-    SupplyStimuli { at: u16 },
-    LinkLatest { activity: usize },
+    Plan {
+        activity: usize,
+        start: u16,
+        duration: u16,
+    },
+    RunCreate {
+        start: u16,
+        extra: u16,
+    },
+    SupplyStimuli {
+        at: u16,
+    },
+    LinkLatest {
+        activity: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     one_of(vec![
         (0usize..2, any_u16(), any_u16())
-            .prop_map(|(activity, start, duration)| Op::Plan { activity, start, duration })
+            .prop_map(|(activity, start, duration)| Op::Plan {
+                activity,
+                start,
+                duration,
+            })
             .boxed(),
         (any_u16(), any_u16())
             .prop_map(|(start, extra)| Op::RunCreate { start, extra })
@@ -39,7 +54,11 @@ const ACTIVITIES: [&str; 2] = ["Create", "Simulate"];
 
 fn apply(db: &mut MetadataDb, op: &Op, clock: &mut f64) {
     match op {
-        Op::Plan { activity, start, duration } => {
+        Op::Plan {
+            activity,
+            start,
+            duration,
+        } => {
             let session = db.begin_planning(WorkDays::new(*clock));
             db.plan_activity(
                 session,
@@ -80,11 +99,7 @@ fn apply(db: &mut MetadataDb, op: &Op, clock: &mut f64) {
             }
             let sc = plan.id();
             // Find the newest instance produced by this activity.
-            let candidate = db
-                .runs_of(name)
-                .iter()
-                .rev()
-                .find_map(|r| r.output());
+            let candidate = db.runs_of(name).iter().rev().find_map(|r| r.output());
             if let Some(entity) = candidate {
                 db.link_completion(sc, entity).expect("valid link");
             }

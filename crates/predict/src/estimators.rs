@@ -14,7 +14,10 @@ impl Intuition {
     ///
     /// Panics if `guess` is not finite or is negative.
     pub fn new(guess: f64) -> Self {
-        assert!(guess.is_finite() && guess >= 0.0, "guess must be a duration");
+        assert!(
+            guess.is_finite() && guess >= 0.0,
+            "guess must be a duration"
+        );
         Intuition { guess }
     }
 }

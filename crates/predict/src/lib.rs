@@ -28,9 +28,7 @@ mod estimators;
 mod evaluate;
 mod stats;
 
-pub use estimators::{
-    Ewma, Intuition, LastValue, LinearTrend, MeanOfAll, MovingAverage,
-};
+pub use estimators::{Ewma, Intuition, LastValue, LinearTrend, MeanOfAll, MovingAverage};
 pub use evaluate::{evaluate, rolling_forecasts, EvalReport};
 pub use stats::DurationStats;
 

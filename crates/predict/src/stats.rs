@@ -44,7 +44,11 @@ impl DurationStats {
         let var = if n < 2 {
             0.0
         } else {
-            history.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+            history
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n - 1) as f64
         };
         let mut sorted = history.to_vec();
         sorted.sort_by(f64::total_cmp);

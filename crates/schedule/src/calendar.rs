@@ -378,8 +378,8 @@ mod tests {
 
     #[test]
     fn holidays_are_skipped() {
-        let cal = Calendar::five_day(CalDate::new(1995, 6, 12))
-            .with_holiday(CalDate::new(1995, 6, 13));
+        let cal =
+            Calendar::five_day(CalDate::new(1995, 6, 12)).with_holiday(CalDate::new(1995, 6, 13));
         assert_eq!(cal.date_of(1.0), CalDate::new(1995, 6, 14));
         assert!(!cal.is_working(CalDate::new(1995, 6, 13)));
     }

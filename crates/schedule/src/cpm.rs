@@ -35,6 +35,21 @@ pub struct CpmAnalysis {
 }
 
 impl CpmAnalysis {
+    /// Assembles an analysis from precomputed parts. Shared by the full
+    /// pass ([`ScheduleNetwork::analyze`]) and the dirty-region engine
+    /// ([`crate::IncrementalCpm::analysis`]).
+    pub(crate) fn from_parts(
+        times: Vec<ActivityTimes>,
+        duration: WorkDays,
+        critical: Vec<ActivityId>,
+    ) -> Self {
+        CpmAnalysis {
+            times,
+            duration,
+            critical,
+        }
+    }
+
     /// Per-activity dates.
     ///
     /// # Panics
@@ -156,28 +171,38 @@ impl ScheduleNetwork {
                 free_slack: WorkDays::new(free),
             });
         }
-        // Critical path: walk from a critical start to a critical
-        // finish, always stepping to a critical successor whose early
-        // start equals our early finish.
-        let mut critical = Vec::new();
         let is_crit = |i: usize| (late_start[i] - early_start[i]).abs() < 1e-9;
-        let mut current = self
-            .start_activities()
-            .into_iter()
-            .find(|a| is_crit(a.index()));
-        while let Some(id) = current {
-            critical.push(id);
-            current = self.successors(id).find(|s| {
-                is_crit(s.index())
-                    && (early_start[s.index()] - early_finish[id.index()]).abs() < 1e-9
-            });
-        }
+        let critical = walk_critical(self, &early_start, &early_finish, is_crit);
         Ok(CpmAnalysis {
             times,
             duration: WorkDays::new(project),
             critical,
         })
     }
+}
+
+/// Walks one critical path: from the first critical start activity,
+/// always stepping to a critical successor whose early start equals our
+/// early finish. Deterministic (insertion-order tie-breaking), shared
+/// by the full and incremental engines so both report the same path.
+pub(crate) fn walk_critical(
+    network: &ScheduleNetwork,
+    early_start: &[f64],
+    early_finish: &[f64],
+    is_crit: impl Fn(usize) -> bool,
+) -> Vec<ActivityId> {
+    let mut critical = Vec::new();
+    let mut current = network
+        .start_activities()
+        .into_iter()
+        .find(|a| is_crit(a.index()));
+    while let Some(id) = current {
+        critical.push(id);
+        current = network.successors(id).find(|s| {
+            is_crit(s.index()) && (early_start[s.index()] - early_finish[id.index()]).abs() < 1e-9
+        });
+    }
+    critical
 }
 
 #[cfg(test)]

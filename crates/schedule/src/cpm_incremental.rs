@@ -1,0 +1,691 @@
+//! Dirty-region (incremental) critical-path analysis.
+//!
+//! The paper's tracking loop records a slip and *replans* downstream
+//! activities. A full CPM pass re-walks every activity even when one
+//! leaf slips; on the 10⁴–10⁶-activity schedules the ROADMAP targets
+//! that makes tracking cost proportional to the schedule, not the
+//! change. [`IncrementalCpm`] caches both CPM passes and, given the set
+//! of activities whose *durations* changed, recomputes only:
+//!
+//! * the **forward cone** — earliest dates of the dirty activities and
+//!   whatever they transitively push (with early cutoff: propagation
+//!   stops at the first activity whose earliest dates are unchanged,
+//!   e.g. where another predecessor still dominates the merge);
+//! * the **backward cone** — the cached *tail* (longest duration-path
+//!   from an activity's start to the project end) of the dirty
+//!   activities and their affected predecessors, again with early
+//!   cutoff.
+//!
+//! Late dates are stored project-relative (`late_start = project −
+//! tail`), so a project-finish change — the common case when a critical
+//! leaf slips — costs nothing extra: every untouched activity's cached
+//! state stays valid.
+//!
+//! Structural edits (new activities or precedence constraints) change
+//! the topology itself; [`IncrementalCpm::update`] detects them through
+//! [`ScheduleNetwork::structure_revision`] and falls back to a full
+//! rebuild. In debug builds every update cross-checks itself against
+//! [`ScheduleNetwork::analyze`]; release builds skip the check.
+//!
+//! ```
+//! use schedule::{ScheduleNetwork, WorkDays};
+//!
+//! # fn main() -> Result<(), schedule::ScheduleError> {
+//! let mut net = ScheduleNetwork::new();
+//! let a = net.add_activity("rtl", WorkDays::new(4.0))?;
+//! let b = net.add_activity("synth", WorkDays::new(2.0))?;
+//! net.add_precedence(a, b)?;
+//! let mut inc = net.analyze_incremental()?;
+//! assert_eq!(inc.project_duration(), WorkDays::new(6.0));
+//! // The designer reports rtl slipping by three days:
+//! net.set_duration(a, WorkDays::new(7.0))?;
+//! let stats = inc.update(&net, &[a])?;
+//! assert!(!stats.full_rebuild);
+//! assert_eq!(inc.project_duration(), WorkDays::new(9.0));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cpm::{walk_critical, ActivityTimes, CpmAnalysis};
+use crate::error::ScheduleError;
+use crate::network::{ActivityId, ScheduleNetwork, WorkDays};
+
+/// Slack tolerance shared with the full pass.
+const EPS: f64 = 1e-9;
+
+/// What one [`IncrementalCpm::update`] actually recomputed — the
+/// observable evidence that work is proportional to the dirty cone, not
+/// the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Activities whose earliest dates were re-derived (forward cone,
+    /// after early cutoff).
+    pub forward_recomputed: usize,
+    /// Activities whose tail (late dates) were re-derived (backward
+    /// cone, after early cutoff).
+    pub backward_recomputed: usize,
+    /// Dirty activities the caller declared.
+    pub dirty: usize,
+    /// `true` when a structural change forced a full rebuild.
+    pub full_rebuild: bool,
+}
+
+impl UpdateStats {
+    /// Total recomputation work across both passes.
+    pub fn total_recomputed(&self) -> usize {
+        self.forward_recomputed + self.backward_recomputed
+    }
+}
+
+/// Cached CPM state supporting dirty-region recomputation.
+///
+/// Create with [`ScheduleNetwork::analyze_incremental`] (one full
+/// pass), then call [`update`](IncrementalCpm::update) after each batch
+/// of duration changes. Accessors that need topology (successor lists,
+/// the critical walk) take the network again; the engine verifies it is
+/// the same network via the structural revision.
+#[derive(Debug, Clone)]
+pub struct IncrementalCpm {
+    /// Snapshot of activity durations the cached state was derived
+    /// from.
+    durations: Vec<f64>,
+    early_start: Vec<f64>,
+    early_finish: Vec<f64>,
+    /// Longest duration-path from the activity's start through to the
+    /// project end (includes the activity's own duration). Late dates
+    /// derive from it: `late_start = project − tail`.
+    tail: Vec<f64>,
+    project: f64,
+    /// Topological order and each activity's position in it.
+    order: Vec<ActivityId>,
+    pos: Vec<usize>,
+    sinks: Vec<ActivityId>,
+    structure_rev: u64,
+    /// Generation-stamped "queued" scratch (avoids an O(n) clear per
+    /// update).
+    stamp: Vec<u64>,
+    gen: u64,
+}
+
+impl ScheduleNetwork {
+    /// Runs one full CPM pass and returns the cached engine for
+    /// subsequent dirty-region updates.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for networks built through the public API; the
+    /// `Result` guards the internal topological sort.
+    pub fn analyze_incremental(&self) -> Result<IncrementalCpm, ScheduleError> {
+        IncrementalCpm::new(self)
+    }
+}
+
+impl IncrementalCpm {
+    /// Full CPM pass over `network`, caching every intermediate the
+    /// incremental updates reuse.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for networks built through the public API.
+    pub fn new(network: &ScheduleNetwork) -> Result<Self, ScheduleError> {
+        let n = network.activity_count();
+        let mut engine = IncrementalCpm {
+            durations: vec![0.0; n],
+            early_start: vec![0.0; n],
+            early_finish: vec![0.0; n],
+            tail: vec![0.0; n],
+            project: 0.0,
+            order: Vec::new(),
+            pos: vec![0; n],
+            sinks: Vec::new(),
+            structure_rev: network.structure_revision(),
+            stamp: vec![0; n],
+            gen: 0,
+        };
+        engine.rebuild(network);
+        Ok(engine)
+    }
+
+    /// Number of activities covered by the cached analysis.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Returns `true` if the analyzed network was empty.
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Total project duration (max earliest finish).
+    pub fn project_duration(&self) -> WorkDays {
+        WorkDays::new(self.project.max(0.0))
+    }
+
+    /// Whether the activity is on a critical path (zero total slack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analyzed network.
+    pub fn is_critical(&self, id: ActivityId) -> bool {
+        self.raw_slack(id.index()).max(0.0) < EPS
+    }
+
+    /// Earliest start of `id` from the cached forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analyzed network.
+    pub fn early_start(&self, id: ActivityId) -> WorkDays {
+        WorkDays::new(self.early_start[id.index()].max(0.0))
+    }
+
+    /// Latest start of `id`, derived from the cached backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analyzed network.
+    pub fn late_start(&self, id: ActivityId) -> WorkDays {
+        WorkDays::new((self.project - self.tail[id.index()]).max(0.0))
+    }
+
+    fn raw_slack(&self, i: usize) -> f64 {
+        (self.project - self.tail[i]) - self.early_start[i]
+    }
+
+    /// The four dates plus slack for one activity, identical to what
+    /// [`ScheduleNetwork::analyze`] reports. Needs the network again
+    /// for the free-slack successor scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analyzed network, or if
+    /// `network` is not the network this engine was built from (checked
+    /// via the structural revision).
+    pub fn times(&self, network: &ScheduleNetwork, id: ActivityId) -> ActivityTimes {
+        self.check_same_network(network);
+        let i = id.index();
+        let late_start = self.project - self.tail[i];
+        let late_finish = late_start + self.durations[i];
+        let free = network
+            .successors(id)
+            .map(|s| self.early_start[s.index()])
+            .fold(f64::INFINITY, f64::min);
+        let free = if free.is_finite() {
+            (free - self.early_finish[i]).max(0.0)
+        } else {
+            (self.project - self.early_finish[i]).max(0.0)
+        };
+        ActivityTimes {
+            early_start: WorkDays::new(self.early_start[i].max(0.0)),
+            early_finish: WorkDays::new(self.early_finish[i].max(0.0)),
+            late_start: WorkDays::new(late_start.max(0.0)),
+            late_finish: WorkDays::new(late_finish.max(0.0)),
+            total_slack: WorkDays::new((late_start - self.early_start[i]).max(0.0)),
+            free_slack: WorkDays::new(free),
+        }
+    }
+
+    /// Materialises a full [`CpmAnalysis`] from the cached state —
+    /// byte-for-byte what [`ScheduleNetwork::analyze`] would return,
+    /// including the (deterministic) critical-path walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `network` is not the network this engine was built
+    /// from (checked via the structural revision).
+    pub fn analysis(&self, network: &ScheduleNetwork) -> CpmAnalysis {
+        self.check_same_network(network);
+        let times = network
+            .activities()
+            .map(|id| self.times(network, id))
+            .collect();
+        let is_crit = |i: usize| self.raw_slack(i).abs() < EPS;
+        let critical = walk_critical(network, &self.early_start, &self.early_finish, is_crit);
+        CpmAnalysis::from_parts(times, self.project_duration(), critical)
+    }
+
+    /// Recomputes the analysis after the durations of `dirty` changed
+    /// on `network` (via [`ScheduleNetwork::set_duration`]).
+    ///
+    /// Contract: every activity whose duration changed since the last
+    /// `update`/`new` must be listed in `dirty`; listing clean
+    /// activities is allowed (it only costs their re-derivation). An
+    /// empty `dirty` set is a no-op. Structural changes (activities or
+    /// constraints added) are detected automatically and trigger a full
+    /// rebuild.
+    ///
+    /// In debug builds the result is cross-checked against a fresh
+    /// [`ScheduleNetwork::analyze`]; see
+    /// [`cross_check`](IncrementalCpm::cross_check).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::UnknownActivity`] if a dirty id does not belong
+    /// to the network.
+    pub fn update(
+        &mut self,
+        network: &ScheduleNetwork,
+        dirty: &[ActivityId],
+    ) -> Result<UpdateStats, ScheduleError> {
+        let n = network.activity_count();
+        if network.structure_revision() != self.structure_rev || n != self.durations.len() {
+            self.resize(n);
+            self.structure_rev = network.structure_revision();
+            self.rebuild(network);
+            let stats = UpdateStats {
+                forward_recomputed: n,
+                backward_recomputed: n,
+                dirty: dirty.len(),
+                full_rebuild: true,
+            };
+            self.debug_cross_check(network);
+            return Ok(stats);
+        }
+        for &id in dirty {
+            if id.index() >= n {
+                return Err(ScheduleError::UnknownActivity(id));
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.assert_clean_durations(network, dirty);
+        if dirty.is_empty() {
+            return Ok(UpdateStats::default());
+        }
+        // Refresh the duration snapshot for the dirty region.
+        for &id in dirty {
+            self.durations[id.index()] = network.duration(id).days();
+        }
+        let forward_recomputed = self.forward_sweep(network, dirty);
+        let backward_recomputed = self.backward_sweep(network, dirty);
+        // Project finish: max earliest finish over sinks (equal to the
+        // max over all activities — earliest finishes are monotone
+        // along precedence edges).
+        self.project = self
+            .sinks
+            .iter()
+            .map(|s| self.early_finish[s.index()])
+            .fold(0.0f64, f64::max);
+        let stats = UpdateStats {
+            forward_recomputed,
+            backward_recomputed,
+            dirty: dirty.len(),
+            full_rebuild: false,
+        };
+        self.debug_cross_check(network);
+        Ok(stats)
+    }
+
+    /// Verifies the cached state against a fresh full pass; returns a
+    /// description of the first divergence, if any. Called
+    /// automatically after every [`update`](IncrementalCpm::update) in
+    /// debug builds (`debug_assert`-style); tests may call it directly.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable mismatch report.
+    pub fn cross_check(&self, network: &ScheduleNetwork) -> Result<(), String> {
+        let full = network
+            .analyze()
+            .map_err(|e| format!("full CPM failed: {e}"))?;
+        let tol = 1e-6;
+        for id in network.activities() {
+            let a = self.times(network, id);
+            let b = full.times(id);
+            for (what, x, y) in [
+                ("early_start", a.early_start, b.early_start),
+                ("early_finish", a.early_finish, b.early_finish),
+                ("late_start", a.late_start, b.late_start),
+                ("late_finish", a.late_finish, b.late_finish),
+                ("total_slack", a.total_slack, b.total_slack),
+                ("free_slack", a.free_slack, b.free_slack),
+            ] {
+                if (x.days() - y.days()).abs() > tol {
+                    return Err(format!(
+                        "{id}: {what} diverged: incremental {x} vs full {y}"
+                    ));
+                }
+            }
+            if self.is_critical(id) != full.is_critical(id) {
+                return Err(format!(
+                    "{id}: criticality diverged: incremental {} vs full {}",
+                    self.is_critical(id),
+                    full.is_critical(id)
+                ));
+            }
+        }
+        let d = (self.project_duration().days() - full.project_duration().days()).abs();
+        if d > tol {
+            return Err(format!(
+                "project duration diverged: incremental {} vs full {}",
+                self.project_duration(),
+                full.project_duration()
+            ));
+        }
+        Ok(())
+    }
+
+    fn debug_cross_check(&self, network: &ScheduleNetwork) {
+        if cfg!(debug_assertions) {
+            if let Err(msg) = self.cross_check(network) {
+                panic!("incremental CPM diverged from full CPM: {msg}");
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_clean_durations(&self, network: &ScheduleNetwork, dirty: &[ActivityId]) {
+        for id in network.activities() {
+            if dirty.contains(&id) {
+                continue;
+            }
+            debug_assert!(
+                (network.duration(id).days() - self.durations[id.index()]).abs() < 1e-12,
+                "activity {id} changed duration but was not declared dirty"
+            );
+        }
+    }
+
+    fn check_same_network(&self, network: &ScheduleNetwork) {
+        assert_eq!(
+            network.structure_revision(),
+            self.structure_rev,
+            "IncrementalCpm used with a structurally different network; call update() first"
+        );
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.durations.resize(n, 0.0);
+        self.early_start.resize(n, 0.0);
+        self.early_finish.resize(n, 0.0);
+        self.tail.resize(n, 0.0);
+        self.pos.resize(n, 0);
+        self.stamp.resize(n, 0);
+    }
+
+    /// Full recompute of every cached quantity.
+    fn rebuild(&mut self, network: &ScheduleNetwork) {
+        self.order = network.precedence_order();
+        for (k, &id) in self.order.iter().enumerate() {
+            self.pos[id.index()] = k;
+        }
+        self.sinks = network.finish_activities();
+        for id in network.activities() {
+            self.durations[id.index()] = network.duration(id).days();
+        }
+        for &id in &self.order {
+            let i = id.index();
+            let es = network
+                .predecessors(id)
+                .map(|p| self.early_finish[p.index()])
+                .fold(0.0f64, f64::max);
+            self.early_start[i] = es;
+            self.early_finish[i] = es + self.durations[i];
+        }
+        for &id in self.order.iter().rev() {
+            let i = id.index();
+            let t = network
+                .successors(id)
+                .map(|s| self.tail[s.index()])
+                .fold(0.0f64, f64::max);
+            self.tail[i] = self.durations[i] + t;
+        }
+        self.project = self
+            .sinks
+            .iter()
+            .map(|s| self.early_finish[s.index()])
+            .fold(0.0f64, f64::max);
+    }
+
+    /// Re-derives earliest dates over the forward cone of `dirty`,
+    /// stopping propagation wherever the recomputed dates are
+    /// unchanged. Returns the number of activities re-derived.
+    fn forward_sweep(&mut self, network: &ScheduleNetwork, dirty: &[ActivityId]) -> usize {
+        self.gen += 1;
+        let gen = self.gen;
+        // Min-heap on topological position: every predecessor that can
+        // still change is processed before its successors, so each
+        // activity is re-derived at most once, from final inputs.
+        let mut heap: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
+        for &id in dirty {
+            if self.stamp[id.index()] != gen {
+                self.stamp[id.index()] = gen;
+                heap.push(Reverse((self.pos[id.index()], id.index() as u32)));
+            }
+        }
+        let mut recomputed = 0usize;
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let i = idx as usize;
+            let id = self.order[self.pos[i]];
+            let es = network
+                .predecessors(id)
+                .map(|p| self.early_finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let ef = es + self.durations[i];
+            recomputed += 1;
+            // Early cutoff: bit-identical earliest dates mean nothing
+            // downstream can observe a change.
+            if es == self.early_start[i] && ef == self.early_finish[i] {
+                continue;
+            }
+            self.early_start[i] = es;
+            self.early_finish[i] = ef;
+            for s in network.successors(id) {
+                if self.stamp[s.index()] != gen {
+                    self.stamp[s.index()] = gen;
+                    heap.push(Reverse((self.pos[s.index()], s.index() as u32)));
+                }
+            }
+        }
+        recomputed
+    }
+
+    /// Re-derives tails (late dates) over the backward cone of `dirty`,
+    /// with the same early cutoff. Returns the number of activities
+    /// re-derived.
+    fn backward_sweep(&mut self, network: &ScheduleNetwork, dirty: &[ActivityId]) -> usize {
+        self.gen += 1;
+        let gen = self.gen;
+        // Max-heap on topological position: successors first.
+        let mut heap: BinaryHeap<(usize, u32)> = BinaryHeap::new();
+        for &id in dirty {
+            if self.stamp[id.index()] != gen {
+                self.stamp[id.index()] = gen;
+                heap.push((self.pos[id.index()], id.index() as u32));
+            }
+        }
+        let mut recomputed = 0usize;
+        while let Some((_, idx)) = heap.pop() {
+            let i = idx as usize;
+            let id = self.order[self.pos[i]];
+            let t = network
+                .successors(id)
+                .map(|s| self.tail[s.index()])
+                .fold(0.0f64, f64::max);
+            let tail = self.durations[i] + t;
+            recomputed += 1;
+            if tail == self.tail[i] {
+                continue;
+            }
+            self.tail[i] = tail;
+            for p in network.predecessors(id) {
+                if self.stamp[p.index()] != gen {
+                    self.stamp[p.index()] = gen;
+                    heap.push((self.pos[p.index()], p.index() as u32));
+                }
+            }
+        }
+        recomputed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic diamond from `cpm.rs`: A(2) → {B(4), C(1)} → D(3).
+    fn diamond() -> (ScheduleNetwork, [ActivityId; 4]) {
+        let mut net = ScheduleNetwork::new();
+        let a = net.add_activity("A", WorkDays::new(2.0)).unwrap();
+        let b = net.add_activity("B", WorkDays::new(4.0)).unwrap();
+        let c = net.add_activity("C", WorkDays::new(1.0)).unwrap();
+        let d = net.add_activity("D", WorkDays::new(3.0)).unwrap();
+        net.add_precedence(a, b).unwrap();
+        net.add_precedence(a, c).unwrap();
+        net.add_precedence(b, d).unwrap();
+        net.add_precedence(c, d).unwrap();
+        (net, [a, b, c, d])
+    }
+
+    fn assert_matches_full(net: &ScheduleNetwork, inc: &IncrementalCpm) {
+        assert_eq!(inc.analysis(net), net.analyze().unwrap());
+    }
+
+    #[test]
+    fn initial_analysis_matches_full() {
+        let (net, _) = diamond();
+        let inc = net.analyze_incremental().unwrap();
+        assert_matches_full(&net, &inc);
+        assert_eq!(inc.project_duration(), WorkDays::new(9.0));
+        assert_eq!(inc.len(), 4);
+        assert!(!inc.is_empty());
+    }
+
+    #[test]
+    fn empty_network_analysis() {
+        let net = ScheduleNetwork::new();
+        let inc = net.analyze_incremental().unwrap();
+        assert!(inc.is_empty());
+        assert_eq!(inc.project_duration(), WorkDays::ZERO);
+        assert_matches_full(&net, &inc);
+    }
+
+    #[test]
+    fn slip_on_critical_chain_updates_project() {
+        let (mut net, [_a, b, _c, _d]) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        net.set_duration(b, WorkDays::new(6.0)).unwrap();
+        let stats = inc.update(&net, &[b]).unwrap();
+        assert!(!stats.full_rebuild);
+        assert_eq!(inc.project_duration(), WorkDays::new(11.0));
+        assert_matches_full(&net, &inc);
+        assert_eq!(stats.dirty, 1);
+    }
+
+    #[test]
+    fn slip_inside_slack_stops_early() {
+        let (mut net, [_a, _b, c, _d]) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        // C has 3 days of slack; a 1-day slip changes C's EF but not
+        // D's ES (B still dominates the merge) and not the project.
+        net.set_duration(c, WorkDays::new(2.0)).unwrap();
+        let stats = inc.update(&net, &[c]).unwrap();
+        assert_eq!(inc.project_duration(), WorkDays::new(9.0));
+        assert_matches_full(&net, &inc);
+        // Forward: C re-derived, D re-derived but found unchanged, so
+        // the cutoff fired before anything downstream of D.
+        assert!(stats.forward_recomputed <= 2, "{stats:?}");
+        // Backward: C's tail grows 4→5, still below B's 7, so A's tail
+        // is re-derived but unchanged.
+        assert!(stats.backward_recomputed <= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn empty_dirty_set_is_noop() {
+        let (net, _) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        let stats = inc.update(&net, &[]).unwrap();
+        assert_eq!(stats, UpdateStats::default());
+        assert_matches_full(&net, &inc);
+    }
+
+    #[test]
+    fn whole_graph_dirty_matches_full() {
+        let (mut net, ids) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        for (k, &id) in ids.iter().enumerate() {
+            net.set_duration(id, WorkDays::new((k + 1) as f64)).unwrap();
+        }
+        let stats = inc.update(&net, &ids).unwrap();
+        assert!(!stats.full_rebuild);
+        assert_matches_full(&net, &inc);
+    }
+
+    #[test]
+    fn structural_change_forces_rebuild() {
+        let (mut net, [_a, _b, _c, d]) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        let e = net.add_activity("E", WorkDays::new(5.0)).unwrap();
+        net.add_precedence(d, e).unwrap();
+        let stats = inc.update(&net, &[]).unwrap();
+        assert!(stats.full_rebuild);
+        assert_eq!(inc.project_duration(), WorkDays::new(14.0));
+        assert_matches_full(&net, &inc);
+    }
+
+    #[test]
+    fn repeated_updates_stay_consistent() {
+        let (mut net, [a, b, c, d]) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        for (step, &id) in [a, c, b, d, c, a].iter().enumerate() {
+            net.set_duration(id, WorkDays::new(0.5 * (step + 1) as f64))
+                .unwrap();
+            inc.update(&net, &[id]).unwrap();
+            assert_matches_full(&net, &inc);
+        }
+    }
+
+    #[test]
+    fn shrinking_a_duration_propagates_too() {
+        let (mut net, [_a, b, _c, _d]) = diamond();
+        let mut inc = net.analyze_incremental().unwrap();
+        net.set_duration(b, WorkDays::new(0.5)).unwrap();
+        inc.update(&net, &[b]).unwrap();
+        // Now the A→C→D chain (2+1+3=6) dominates A→B→D (2+0.5+3).
+        assert_eq!(inc.project_duration(), WorkDays::new(6.0));
+        assert_matches_full(&net, &inc);
+    }
+
+    #[test]
+    fn unknown_dirty_id_rejected() {
+        let (net, _) = diamond();
+        let mut other = ScheduleNetwork::new();
+        for i in 0..9 {
+            other
+                .add_activity(format!("x{i}"), WorkDays::new(1.0))
+                .unwrap();
+        }
+        let foreign = other.activity("x8").unwrap();
+        let mut inc = net.analyze_incremental().unwrap();
+        // Force matching structure revisions so the id check (not the
+        // rebuild path) is exercised.
+        assert!(matches!(
+            inc.update(&net, &[foreign]),
+            Err(ScheduleError::UnknownActivity(_))
+        ));
+    }
+
+    #[test]
+    fn accessors_match_full_pass() {
+        let (net, [_a, b, c, _d]) = diamond();
+        let inc = net.analyze_incremental().unwrap();
+        let full = net.analyze().unwrap();
+        assert_eq!(inc.times(&net, c), full.times(c));
+        assert_eq!(inc.early_start(b), full.times(b).early_start);
+        assert_eq!(inc.late_start(c), full.times(c).late_start);
+        assert_eq!(inc.is_critical(b), full.is_critical(b));
+        assert!(inc.cross_check(&net).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally different network")]
+    fn foreign_network_rejected_by_accessors() {
+        let (net, _) = diamond();
+        let inc = net.analyze_incremental().unwrap();
+        let mut other = ScheduleNetwork::new();
+        other.add_activity("solo", WorkDays::new(1.0)).unwrap();
+        let _ = inc.analysis(&other);
+    }
+}

@@ -123,12 +123,20 @@ pub fn render(rows: &[GanttRow], options: &GanttOptions) -> String {
     let scale = width as f64 / horizon;
     let col = |t: f64| ((t * scale).round() as usize).min(width);
 
-    let (planned_glyph, actual_glyph) = if options.ascii { ('=', '#') } else { ('░', '█') };
+    let (planned_glyph, actual_glyph) = if options.ascii {
+        ('=', '#')
+    } else {
+        ('░', '█')
+    };
     let mut out = String::new();
     // Axis header with ticks every ~10 columns: working-day numbers,
     // or `MM-DD` dates when a calendar is supplied.
     let mut header = vec![b' '; width + 1];
-    let tick_spacing = if options.calendar.is_some() { 12.0 } else { 10.0 };
+    let tick_spacing = if options.calendar.is_some() {
+        12.0
+    } else {
+        10.0
+    };
     let tick_every = (horizon / (width as f64 / tick_spacing)).max(1.0).ceil();
     let mut t = 0.0;
     while t <= horizon {
@@ -147,7 +155,11 @@ pub fn render(rows: &[GanttRow], options: &GanttOptions) -> String {
         }
         t += tick_every;
     }
-    let axis_title = if options.calendar.is_some() { "date" } else { "day" };
+    let axis_title = if options.calendar.is_some() {
+        "date"
+    } else {
+        "day"
+    };
     let _ = writeln!(
         out,
         "{:label$} {}",
@@ -158,7 +170,10 @@ pub fn render(rows: &[GanttRow], options: &GanttOptions) -> String {
 
     for row in rows {
         let mut lane = vec![' '; width + 1];
-        let (ps, pf) = (col(row.planned_start.days()), col(row.planned_finish.days()));
+        let (ps, pf) = (
+            col(row.planned_start.days()),
+            col(row.planned_finish.days()),
+        );
         for cell in lane.iter_mut().take(pf.max(ps + 1)).skip(ps) {
             *cell = planned_glyph;
         }
@@ -166,7 +181,11 @@ pub fn render(rows: &[GanttRow], options: &GanttOptions) -> String {
             let (s, e) = (col(a_start.days()), col(a_end.days()));
             for (i, cell) in lane.iter_mut().enumerate().take(e.max(s + 1)).skip(s) {
                 // Work beyond the planned finish is a slip: flag it.
-                *cell = if i >= pf && pf > ps { '!' } else { actual_glyph };
+                *cell = if i >= pf && pf > ps {
+                    '!'
+                } else {
+                    actual_glyph
+                };
             }
         }
         let mut name: String = row.name.chars().take(options.label_width).collect();
@@ -226,8 +245,13 @@ mod tests {
 
     #[test]
     fn actual_overlays_planned() {
-        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(4.0))
-            .with_actual(WorkDays::ZERO, WorkDays::new(2.0), false)];
+        let rows = vec![
+            GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(4.0)).with_actual(
+                WorkDays::ZERO,
+                WorkDays::new(2.0),
+                false,
+            ),
+        ];
         let chart = render(&rows, &opts());
         let lane = chart.lines().nth(1).unwrap();
         assert!(lane.contains('#'));
@@ -237,8 +261,13 @@ mod tests {
 
     #[test]
     fn slip_marked_with_bang() {
-        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(2.0))
-            .with_actual(WorkDays::ZERO, WorkDays::new(4.0), true)];
+        let rows = vec![
+            GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(2.0)).with_actual(
+                WorkDays::ZERO,
+                WorkDays::new(4.0),
+                true,
+            ),
+        ];
         let chart = render(&rows, &opts());
         let lane = chart.lines().nth(1).unwrap();
         assert!(lane.contains('!'));
@@ -254,8 +283,13 @@ mod tests {
 
     #[test]
     fn unicode_mode_uses_blocks() {
-        let rows = vec![GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(2.0))
-            .with_actual(WorkDays::ZERO, WorkDays::new(1.0), false)];
+        let rows = vec![
+            GanttRow::planned("t", WorkDays::ZERO, WorkDays::new(2.0)).with_actual(
+                WorkDays::ZERO,
+                WorkDays::new(1.0),
+                false,
+            ),
+        ];
         let chart = render(
             &rows,
             &GanttOptions {

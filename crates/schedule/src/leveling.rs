@@ -222,10 +222,11 @@ pub fn level_resources(
         }
         if duration > 0.0 {
             for (name, units) in network.demands(id) {
-                profiles
-                    .entry(name.clone())
-                    .or_default()
-                    .reserve(t, t + duration, i64::from(*units));
+                profiles.entry(name.clone()).or_default().reserve(
+                    t,
+                    t + duration,
+                    i64::from(*units),
+                );
             }
         }
         starts[id.index()] = WorkDays::new(t);

@@ -43,6 +43,7 @@
 
 mod calendar;
 mod cpm;
+mod cpm_incremental;
 mod error;
 mod leveling;
 mod network;
@@ -55,6 +56,7 @@ pub mod variance;
 
 pub use calendar::{CalDate, Calendar, Weekday};
 pub use cpm::{ActivityTimes, CpmAnalysis};
+pub use cpm_incremental::{IncrementalCpm, UpdateStats};
 pub use error::ScheduleError;
 pub use leveling::{level_resources, LeveledSchedule};
 pub use network::{ActivityId, ScheduleNetwork, WorkDays};

@@ -9,7 +9,10 @@
 //! indices* off the empirical distribution.
 //!
 //! Sampling is deterministic per seed, like everything in this
-//! workspace.
+//! workspace — including across thread counts: every sample draws from
+//! its own RNG stream derived from `(seed, sample_index)`, so
+//! [`simulate`] returns bit-identical results whether the per-sample
+//! CPM passes run on one core or sixteen.
 
 use crate::cpm::CpmAnalysis;
 use crate::error::ScheduleError;
@@ -34,6 +37,30 @@ impl Rng {
     fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+}
+
+/// The SplitMix64 finaliser: scrambles `(seed, index)` into a
+/// well-separated starting state for one sample's RNG stream, making
+/// samples independent of how they are chunked across threads.
+fn sample_rng(seed: u64, index: u64) -> Rng {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    Rng(z ^ (z >> 31))
+}
+
+/// Minimum samples per worker before another thread pays for itself:
+/// each sample is a full CPM pass, so only meaningfully sized runs
+/// fan out.
+const MIN_SAMPLES_PER_THREAD: usize = 64;
+
+/// Default worker count: the machine's parallelism, bounded so small
+/// runs stay sequential.
+fn default_threads(samples: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(samples / MIN_SAMPLES_PER_THREAD).max(1)
 }
 
 /// Inverse-CDF sample from the triangular distribution `(a, m, b)`.
@@ -139,6 +166,34 @@ pub fn simulate(
     samples: usize,
     seed: u64,
 ) -> Result<RiskAnalysis, ScheduleError> {
+    simulate_threaded(network, estimates, samples, seed, default_threads(samples))
+}
+
+/// One worker's contribution: project durations for its sample range
+/// plus per-activity critical-path hit counts.
+type ChunkResult = Result<(Vec<f64>, Vec<usize>), ScheduleError>;
+
+/// [`simulate`] with an explicit worker count.
+///
+/// The per-sample CPM passes are independent, so they fan out over
+/// `threads` scoped OS threads (`std::thread::scope` — no external
+/// runtime). Each sample's durations are drawn from an RNG stream
+/// derived from `(seed, sample_index)`, so the result is **identical
+/// for every `threads` value** — parallelism is purely a wall-clock
+/// knob, verified by `threading_is_invisible`.
+///
+/// `threads` is clamped to `[1, samples]`.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_threaded(
+    network: &ScheduleNetwork,
+    estimates: &[(ActivityId, ThreePoint)],
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<RiskAnalysis, ScheduleError> {
     if samples == 0 {
         return Err(ScheduleError::InvalidDuration(0.0));
     }
@@ -147,11 +202,69 @@ pub fn simulate(
             return Err(ScheduleError::UnknownActivity(*id));
         }
     }
-    let mut rng = Rng(seed);
-    let mut durations: Vec<f64> = Vec::with_capacity(samples);
+    let threads = threads.clamp(1, samples);
+    let n = network.activity_count();
+    let (mut durations, critical_hits) = if threads == 1 {
+        run_chunk(network, estimates, 0..samples, seed)?
+    } else {
+        // Contiguous chunks, remainder spread over the first workers.
+        let base = samples / threads;
+        let extra = samples % threads;
+        let mut ranges = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for t in 0..threads {
+            let len = base + usize::from(t < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        let results: Vec<ChunkResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || run_chunk(network, estimates, range, seed)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut durations = Vec::with_capacity(samples);
+        let mut critical_hits = vec![0usize; n];
+        for result in results {
+            let (d, hits) = result?;
+            durations.extend(d);
+            for (acc, h) in critical_hits.iter_mut().zip(hits) {
+                *acc += h;
+            }
+        }
+        (durations, critical_hits)
+    };
+    durations.sort_by(|a, b| a.total_cmp(b));
+    let mean = durations.iter().sum::<f64>() / samples as f64;
+    let criticality = critical_hits
+        .iter()
+        .map(|&h| h as f64 / samples as f64)
+        .collect();
+    Ok(RiskAnalysis {
+        samples: durations,
+        criticality,
+        mean,
+    })
+}
+
+/// Runs the samples in `range` sequentially on a private clone of the
+/// network, returning their project durations (in range order) and
+/// per-activity critical-path hit counts.
+fn run_chunk(
+    network: &ScheduleNetwork,
+    estimates: &[(ActivityId, ThreePoint)],
+    range: std::ops::Range<usize>,
+    seed: u64,
+) -> ChunkResult {
+    let mut durations: Vec<f64> = Vec::with_capacity(range.len());
     let mut critical_hits = vec![0usize; network.activity_count()];
     let mut working = network.clone();
-    for _ in 0..samples {
+    for sample in range {
+        let mut rng = sample_rng(seed, sample as u64);
         for (id, est) in estimates {
             let d = triangular(&mut rng, est.optimistic, est.most_likely, est.pessimistic);
             working.set_duration(*id, WorkDays::new(d))?;
@@ -164,17 +277,7 @@ pub fn simulate(
             }
         }
     }
-    durations.sort_by(|a, b| a.total_cmp(b));
-    let mean = durations.iter().sum::<f64>() / samples as f64;
-    let criticality = critical_hits
-        .iter()
-        .map(|&h| h as f64 / samples as f64)
-        .collect();
-    Ok(RiskAnalysis {
-        samples: durations,
-        criticality,
-        mean,
-    })
+    Ok((durations, critical_hits))
 }
 
 #[cfg(test)]
@@ -251,7 +354,11 @@ mod tests {
         let r = simulate(&net, &[(a, tri), (b, tri)], 4000, 4).unwrap();
         // Symmetric parallel activities are each critical about half
         // the time (both when they tie, rare for continuous draws).
-        assert!((r.criticality(a) - 0.5).abs() < 0.05, "{}", r.criticality(a));
+        assert!(
+            (r.criticality(a) - 0.5).abs() < 0.05,
+            "{}",
+            r.criticality(a)
+        );
         assert!((r.criticality(b) - 0.5).abs() < 0.05);
         assert!((r.criticality(a) + r.criticality(b) - 1.0).abs() < 0.05);
     }
@@ -261,16 +368,44 @@ mod tests {
         let mut net = ScheduleNetwork::new();
         let long = net.add_activity("long", WorkDays::new(50.0)).unwrap();
         let short = net.add_activity("short", WorkDays::new(1.0)).unwrap();
-        let r = simulate(
-            &net,
-            &[(short, estimate(0.5, 1.0, 1.5))],
-            1000,
-            5,
-        )
-        .unwrap();
+        let r = simulate(&net, &[(short, estimate(0.5, 1.0, 1.5))], 1000, 5).unwrap();
         assert_eq!(r.criticality(long), 1.0);
         assert_eq!(r.criticality(short), 0.0);
         assert_eq!(r.samples(), 1000);
+    }
+
+    #[test]
+    fn threading_is_invisible() {
+        // Same seed, any worker count: bit-identical analysis. This is
+        // the contract that lets `simulate` pick a thread count from
+        // the machine without breaking reproducibility.
+        let mut net = ScheduleNetwork::new();
+        let a = net.add_activity("a", WorkDays::new(5.0)).unwrap();
+        let b = net.add_activity("b", WorkDays::new(2.0)).unwrap();
+        let sink = net.add_activity("sink", WorkDays::new(1.0)).unwrap();
+        net.add_precedence(a, sink).unwrap();
+        net.add_precedence(b, sink).unwrap();
+        let est = vec![(a, estimate(2.0, 5.0, 9.0)), (b, estimate(1.0, 2.0, 6.0))];
+        let sequential = simulate_threaded(&net, &est, 501, 11, 1).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = simulate_threaded(&net, &est, 501, 11, threads).unwrap();
+            assert_eq!(sequential, parallel, "threads={threads} diverged");
+        }
+        // And the auto-threaded entry point agrees as well.
+        assert_eq!(sequential, simulate(&net, &est, 501, 11).unwrap());
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let mut net = ScheduleNetwork::new();
+        let a = net.add_activity("a", WorkDays::new(1.0)).unwrap();
+        let est = vec![(a, estimate(1.0, 2.0, 3.0))];
+        // More workers than samples: clamped, still correct.
+        let r = simulate_threaded(&net, &est, 5, 3, 64).unwrap();
+        assert_eq!(r.samples(), 5);
+        // Zero workers: clamped to one.
+        let r0 = simulate_threaded(&net, &est, 5, 3, 0).unwrap();
+        assert_eq!(r, r0);
     }
 
     #[test]

@@ -142,6 +142,11 @@ pub(crate) struct ActivityData {
 pub struct ScheduleNetwork {
     pub(crate) dag: Dag<ActivityData, ()>,
     names: HashMap<String, ActivityId>,
+    /// Bumped on every *structural* change (activities/constraints, not
+    /// durations). Lets caches such as
+    /// [`IncrementalCpm`](crate::IncrementalCpm) detect when their
+    /// cached topology is stale and a full rebuild is required.
+    structure_rev: u64,
 }
 
 impl ScheduleNetwork {
@@ -185,7 +190,17 @@ impl ScheduleNetwork {
             demands: Vec::new(),
         }));
         self.names.insert(name, id);
+        self.structure_rev += 1;
         Ok(id)
+    }
+
+    /// The network's structural revision: incremented whenever an
+    /// activity or precedence constraint is added. Duration changes
+    /// (re-estimation, slips) do *not* bump it — they are exactly what
+    /// [`IncrementalCpm`](crate::IncrementalCpm) handles without a
+    /// rebuild.
+    pub fn structure_revision(&self) -> u64 {
+        self.structure_rev
     }
 
     /// Adds the finish-to-start constraint `from` must finish before
@@ -198,7 +213,11 @@ impl ScheduleNetwork {
     /// [`ScheduleError::UnknownActivity`] for foreign ids;
     /// [`ScheduleError::PrecedenceCycle`] if the constraint would close
     /// a cycle.
-    pub fn add_precedence(&mut self, from: ActivityId, to: ActivityId) -> Result<(), ScheduleError> {
+    pub fn add_precedence(
+        &mut self,
+        from: ActivityId,
+        to: ActivityId,
+    ) -> Result<(), ScheduleError> {
         if !self.dag.contains_node(from.0) {
             return Err(ScheduleError::UnknownActivity(from));
         }
@@ -211,6 +230,7 @@ impl ScheduleNetwork {
         self.dag
             .add_edge(from.0, to.0, ())
             .map_err(|_| ScheduleError::PrecedenceCycle { from, to })?;
+        self.structure_rev += 1;
         Ok(())
     }
 
@@ -254,7 +274,10 @@ impl ScheduleNetwork {
     ///
     /// Panics if `id` is not an activity of this network.
     pub fn duration(&self, id: ActivityId) -> WorkDays {
-        self.dag.node_weight(id.0).expect("activity exists").duration
+        self.dag
+            .node_weight(id.0)
+            .expect("activity exists")
+            .duration
     }
 
     /// Replaces the activity's estimated duration (re-planning).
@@ -262,7 +285,11 @@ impl ScheduleNetwork {
     /// # Errors
     ///
     /// [`ScheduleError::UnknownActivity`] for a foreign id.
-    pub fn set_duration(&mut self, id: ActivityId, duration: WorkDays) -> Result<(), ScheduleError> {
+    pub fn set_duration(
+        &mut self,
+        id: ActivityId,
+        duration: WorkDays,
+    ) -> Result<(), ScheduleError> {
         let data = self
             .dag
             .node_weight_mut(id.0)
@@ -323,6 +350,27 @@ impl ScheduleNetwork {
         let mut ids: Vec<ActivityId> = self
             .dag
             .output_cone(&[id.0])
+            .into_iter()
+            .map(ActivityId)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// All activities upstream of `id` (including `id`) — the backward
+    /// cone whose late dates and slack a change in `id` can affect.
+    ///
+    /// Mirror of [`downstream`](ScheduleNetwork::downstream), streamed
+    /// through [`flowgraph`]'s reverse-reachability iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an activity of this network.
+    pub fn upstream(&self, id: ActivityId) -> Vec<ActivityId> {
+        let mut ids: Vec<ActivityId> = self
+            .dag
+            .reverse_bfs(&[id.0])
+            .collect_in(&self.dag)
             .into_iter()
             .map(ActivityId)
             .collect();
@@ -524,6 +572,40 @@ mod tests {
         net.add_precedence(a, d).unwrap();
         assert_eq!(net.downstream(b), vec![b, c]);
         assert_eq!(net.downstream(a).len(), 4);
+    }
+
+    #[test]
+    fn upstream_cone_mirrors_downstream() {
+        let mut net = ScheduleNetwork::new();
+        let a = net.add_activity("A", WorkDays::ZERO).unwrap();
+        let b = net.add_activity("B", WorkDays::ZERO).unwrap();
+        let c = net.add_activity("C", WorkDays::ZERO).unwrap();
+        let d = net.add_activity("D", WorkDays::ZERO).unwrap();
+        net.add_precedence(a, b).unwrap();
+        net.add_precedence(b, c).unwrap();
+        net.add_precedence(a, d).unwrap();
+        assert_eq!(net.upstream(c), vec![a, b, c]);
+        assert_eq!(net.upstream(a), vec![a]);
+        assert_eq!(net.upstream(d), vec![a, d]);
+    }
+
+    #[test]
+    fn structure_revision_tracks_topology_not_durations() {
+        let mut net = ScheduleNetwork::new();
+        let r0 = net.structure_revision();
+        let a = net.add_activity("A", WorkDays::new(1.0)).unwrap();
+        let b = net.add_activity("B", WorkDays::new(1.0)).unwrap();
+        assert!(net.structure_revision() > r0);
+        let r1 = net.structure_revision();
+        net.add_precedence(a, b).unwrap();
+        assert!(net.structure_revision() > r1);
+        let r2 = net.structure_revision();
+        // Duplicate constraint: ignored, no bump.
+        net.add_precedence(a, b).unwrap();
+        assert_eq!(net.structure_revision(), r2);
+        // Duration changes never bump the structural revision.
+        net.set_duration(a, WorkDays::new(9.0)).unwrap();
+        assert_eq!(net.structure_revision(), r2);
     }
 
     #[test]

@@ -157,12 +157,7 @@ pub fn summarize(rows: &[ActivityStatus], status_date: WorkDays) -> VarianceSumm
 mod tests {
     use super::*;
 
-    fn row(
-        name: &str,
-        ps: f64,
-        pf: f64,
-        actual: Option<(f64, f64)>,
-    ) -> ActivityStatus {
+    fn row(name: &str, ps: f64, pf: f64, actual: Option<(f64, f64)>) -> ActivityStatus {
         ActivityStatus {
             name: name.into(),
             planned_start: WorkDays::new(ps),

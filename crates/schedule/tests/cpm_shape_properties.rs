@@ -59,8 +59,8 @@ fn arb_layered() -> impl Strategy<Value = ScheduleNetwork> {
                         let (a, b) = picks.get(k % picks.len().max(1)).copied().unwrap_or((0, 1));
                         net.add_precedence(prev[a as usize % prev.len()], id)
                             .expect("forward edge");
-                        net.add_precedence(prev[b as usize % prev.len()], id)
-                            .ok(); // may duplicate the first pick
+                        net.add_precedence(prev[b as usize % prev.len()], id).ok();
+                        // may duplicate the first pick
                     }
                     this.push(id);
                     k += 1;

@@ -137,7 +137,10 @@ pub fn pipeline(stages: usize) -> TaskSchema {
 ///
 /// Panics if any dimension is zero or `fanin > width`.
 pub fn layered(layers: usize, width: usize, fanin: usize) -> TaskSchema {
-    assert!(layers > 0 && width > 0 && fanin > 0, "dimensions must be positive");
+    assert!(
+        layers > 0 && width > 0 && fanin > 0,
+        "dimensions must be positive"
+    );
     assert!(fanin <= width, "fanin cannot exceed width");
     let mut src = String::from("schema layered;\ntool worker, merger;\n");
     for w in 0..width {
@@ -167,7 +170,10 @@ pub fn layered(layers: usize, width: usize, fanin: usize) -> TaskSchema {
         }
     }
     let last: Vec<String> = (0..width).map(|w| format!("l{}w{w}", layers - 1)).collect();
-    src.push_str(&format!("activity Merge: merged = merger({});\n", last.join(", ")));
+    src.push_str(&format!(
+        "activity Merge: merged = merger({});\n",
+        last.join(", ")
+    ));
     parse_schema(&src).expect("generated layered schema is valid")
 }
 
@@ -182,7 +188,10 @@ mod tests {
         assert_eq!(s.name(), "circuit");
         assert_eq!(s.rules().len(), 2);
         assert_eq!(
-            s.primary_inputs().iter().map(|c| c.name()).collect::<Vec<_>>(),
+            s.primary_inputs()
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>(),
             vec!["stimuli"]
         );
     }
@@ -225,7 +234,10 @@ mod tests {
         );
         // tb_env is the only designer-supplied input.
         assert_eq!(
-            s.primary_inputs().iter().map(|c| c.name()).collect::<Vec<_>>(),
+            s.primary_inputs()
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>(),
             vec!["tb_env"]
         );
     }

@@ -332,8 +332,10 @@ impl TaskSchemaBuilder {
             if rule_index.insert(rule.activity().to_owned(), i).is_some() {
                 return Err(SchemaError::DuplicateActivity(rule.activity().to_owned()));
             }
-            let check_kind = |name: &str, expected: EntityKind, kind_word: &'static str| {
-                match class_index.get(name) {
+            let check_kind =
+                |name: &str, expected: EntityKind, kind_word: &'static str| match class_index
+                    .get(name)
+                {
                     None => Err(SchemaError::UnknownClass {
                         class: name.to_owned(),
                         activity: rule.activity().to_owned(),
@@ -346,8 +348,7 @@ impl TaskSchemaBuilder {
                         })
                     }
                     Some(_) => Ok(()),
-                }
-            };
+                };
             check_kind(rule.output(), EntityKind::Data, "data")?;
             check_kind(rule.tool(), EntityKind::Tool, "tool")?;
             let mut seen_inputs = HashSet::new();
@@ -386,9 +387,8 @@ impl TaskSchemaBuilder {
         };
         // Acyclicity: project onto the graph substrate, which rejects
         // cycles at edge insertion.
-        crate::graph::SchemaGraph::new(&schema).map_err(|activity| SchemaError::CyclicSchema {
-            activity,
-        })?;
+        crate::graph::SchemaGraph::new(&schema)
+            .map_err(|activity| SchemaError::CyclicSchema { activity })?;
         Ok(schema)
     }
 }
@@ -405,7 +405,12 @@ mod tests {
             .class("netlist_editor", EntityKind::Tool)
             .class("simulator", EntityKind::Tool)
             .rule("Create", "netlist", "netlist_editor", &[])
-            .rule("Simulate", "performance", "simulator", &["netlist", "stimuli"])
+            .rule(
+                "Simulate",
+                "performance",
+                "simulator",
+                &["netlist", "stimuli"],
+            )
     }
 
     #[test]
@@ -490,7 +495,13 @@ mod tests {
             .rule("R", "a", "b", &[])
             .build()
             .unwrap_err();
-        assert!(matches!(err, SchemaError::WrongKind { expected: "tool", .. }));
+        assert!(matches!(
+            err,
+            SchemaError::WrongKind {
+                expected: "tool",
+                ..
+            }
+        ));
         // Using a tool class as an input.
         let err = TaskSchemaBuilder::new("x")
             .class("a", EntityKind::Data)
@@ -498,7 +509,13 @@ mod tests {
             .rule("R", "a", "t", &["t"])
             .build()
             .unwrap_err();
-        assert!(matches!(err, SchemaError::WrongKind { expected: "data", .. }));
+        assert!(matches!(
+            err,
+            SchemaError::WrongKind {
+                expected: "data",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -519,7 +536,12 @@ mod tests {
             .rule("R", "a", "t", &["a"])
             .build()
             .unwrap_err();
-        assert_eq!(err, SchemaError::SelfDependency { activity: "R".into() });
+        assert_eq!(
+            err,
+            SchemaError::SelfDependency {
+                activity: "R".into()
+            }
+        );
     }
 
     #[test]

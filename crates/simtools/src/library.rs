@@ -180,8 +180,19 @@ mod tests {
     #[test]
     fn invoke_uses_registered_model() {
         let mut lib = ToolLibrary::new();
-        lib.add(ToolModel::new("t", 1.0).with_jitter(0.0).with_first_pass_rate(1.0));
-        let out = lib.invoke("t", &ToolInvocation { input_bytes: 0, iteration: 1, seed: 0 });
+        lib.add(
+            ToolModel::new("t", 1.0)
+                .with_jitter(0.0)
+                .with_first_pass_rate(1.0),
+        );
+        let out = lib.invoke(
+            "t",
+            &ToolInvocation {
+                input_bytes: 0,
+                iteration: 1,
+                seed: 0,
+            },
+        );
         assert!((out.duration_days - 1.0).abs() < 1e-9);
         assert!(out.converged);
     }

@@ -184,7 +184,10 @@ impl ToolModel {
         // problem (fixes, not full redesign).
         let iteration_scale = 1.0 / (1.0 + 0.25 * f64::from(req.iteration.saturating_sub(1)));
         let duration = rng
-            .next_duration(nominal * iteration_scale, nominal * self.jitter * iteration_scale)
+            .next_duration(
+                nominal * iteration_scale,
+                nominal * self.jitter * iteration_scale,
+            )
             .max(0.05 * self.base_days.max(0.1));
         // Convergence probability ramps linearly from the first-pass
         // rate to 1.0 at max_iterations.
@@ -251,7 +254,11 @@ mod tests {
         let m = ToolModel::new("synth", 1.0)
             .with_bytes_factor(0.5)
             .with_jitter(0.0);
-        let small = m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed: 0 });
+        let small = m.invoke(&ToolInvocation {
+            input_bytes: 0,
+            iteration: 1,
+            seed: 0,
+        });
         let large = m.invoke(&ToolInvocation {
             input_bytes: 100 * 1024,
             iteration: 1,
@@ -282,7 +289,11 @@ mod tests {
     fn first_pass_rate_one_always_converges() {
         let m = ToolModel::new("editor", 1.0).with_first_pass_rate(1.0);
         for seed in 0..50 {
-            let out = m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed });
+            let out = m.invoke(&ToolInvocation {
+                input_bytes: 0,
+                iteration: 1,
+                seed,
+            });
             assert!(out.converged);
         }
     }
@@ -295,7 +306,12 @@ mod tests {
         let n = 2000;
         let converged = (0..n)
             .filter(|&seed| {
-                m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed }).converged
+                m.invoke(&ToolInvocation {
+                    input_bytes: 0,
+                    iteration: 1,
+                    seed,
+                })
+                .converged
             })
             .count();
         let rate = converged as f64 / n as f64;
@@ -315,7 +331,11 @@ mod tests {
     fn durations_never_zero() {
         let m = ToolModel::new("quick", 0.1).with_jitter(1.0);
         for seed in 0..200 {
-            let out = m.invoke(&ToolInvocation { input_bytes: 0, iteration: 1, seed });
+            let out = m.invoke(&ToolInvocation {
+                input_bytes: 0,
+                iteration: 1,
+                seed,
+            });
             assert!(out.duration_days > 0.0);
         }
     }

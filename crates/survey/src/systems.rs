@@ -58,7 +58,13 @@ pub fn surveyed_systems() -> Vec<SystemModel> {
             reference: "Carnegie Mellon / Notre Dame (Sutton, Brockman & Director, DAC'93)",
             level1: &["FlowGraph", "Entity", "Task Templates"],
             level2: &["Node", "Arc", "Design Tasks"],
-            level3: &["Run", "Entity Instance", "Instance Dependency", "Schedule", "Schedule Node"],
+            level3: &[
+                "Run",
+                "Entity Instance",
+                "Instance Dependency",
+                "Schedule",
+                "Schedule Node",
+            ],
             level4: &["Cyclops Data Object"],
         },
         SystemModel {
@@ -98,7 +104,14 @@ mod tests {
         let names: Vec<&str> = systems.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"]
+            vec![
+                "RoadMap Model",
+                "ELSIS",
+                "Hercules",
+                "History Model",
+                "Hilda",
+                "VOV"
+            ]
         );
     }
 

@@ -56,7 +56,14 @@ mod tests {
         for level in ["Level 1", "Level 2", "Level 3", "Level 4"] {
             assert!(table.contains(level), "missing {level}");
         }
-        for name in ["RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"] {
+        for name in [
+            "RoadMap Model",
+            "ELSIS",
+            "Hercules",
+            "History Model",
+            "Hilda",
+            "VOV",
+        ] {
             assert!(table.contains(name), "missing {name}");
         }
     }
@@ -64,9 +71,9 @@ mod tests {
     #[test]
     fn table_contains_signature_objects() {
         let table = render_table(&surveyed_systems());
-        assert!(table.contains("Trace"));       // VOV
-        assert!(table.contains("Tokens"));      // Hilda's Petri net
-        assert!(table.contains("Schedule"));    // Hercules' addition
+        assert!(table.contains("Trace")); // VOV
+        assert!(table.contains("Tokens")); // Hilda's Petri net
+        assert!(table.contains("Schedule")); // Hercules' addition
     }
 
     #[test]

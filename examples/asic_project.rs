@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(activity, id)| {
             let d = plan.activity(activity).expect("planned").duration.days();
-            (*id, ThreePoint::new(d * 0.6, d, d * 2.0).expect("valid three-point"))
+            (
+                *id,
+                ThreePoint::new(d * 0.6, d, d * 2.0).expect("valid three-point"),
+            )
         })
         .collect();
     let deadline = WorkDays::new(plan.project_finish().days() * 1.15);

@@ -71,6 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let browser = ScheduleBrowser::new(h.db());
     print!("{}", browser.list());
     let create_plans = browser.rows();
-    println!("{}", browser.display(*create_plans.last().expect("instances exist")));
+    println!(
+        "{}",
+        browser.display(*create_plans.last().expect("instances exist"))
+    );
     Ok(())
 }

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             EventKind::Finished,
         ));
         let tree = h.extract_task_tree("signoff_report")?;
-        let inputs: Vec<&str> = tree.inputs_of(&exec.activity).iter().map(|s| s.as_str()).collect();
+        let inputs: Vec<&str> = tree
+            .inputs_of(&exec.activity)
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         trace.record(
             exec.started.days(),
             &exec.activity,

@@ -29,16 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // With no history yet (project 0) the manager relies on
         // designer intuition — optimistic by half, as designers are.
         for rule in examples::asic_flow().rules() {
-            match histories.get(rule.activity()).and_then(|hist| MeanOfAll.predict(hist)) {
+            match histories
+                .get(rule.activity())
+                .and_then(|hist| MeanOfAll.predict(hist))
+            {
                 Some(prediction) => {
                     h.set_estimate(rule.activity(), WorkDays::new(prediction))?;
                 }
                 None => {
                     let model_guess = h.duration_estimate(rule.activity())?;
-                    h.set_estimate(
-                        rule.activity(),
-                        WorkDays::new(model_guess.days() * 0.5),
-                    )?;
+                    h.set_estimate(rule.activity(), WorkDays::new(model_guess.days() * 0.5))?;
                 }
             }
         }

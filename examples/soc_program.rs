@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = h.extract_task_tree("signoff_report")?;
     let mut ids = Vec::new();
     for pa in plan.activities() {
-        ids.push((pa.activity.clone(), net.add_activity(pa.activity.clone(), pa.duration)?));
+        ids.push((
+            pa.activity.clone(),
+            net.add_activity(pa.activity.clone(), pa.duration)?,
+        ));
     }
     for (activity, id) in &ids {
         for consumer in tree.consumers_of_output(activity) {
@@ -60,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let forecast = h.forecast("signoff_report")?;
     println!(
         "\nmid-project (day {}): {} done, {} open; forecast tapeout day {} via {:?}",
-        forecast.as_of,
-        forecast.complete,
-        forecast.open,
-        forecast.finish,
-        forecast.critical
+        forecast.as_of, forecast.complete, forecast.open, forecast.finish, forecast.critical
     );
     h.execute("signoff_report")?;
     println!("actual tapeout: day {}", h.clock());
@@ -76,13 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .block("dsp", ["Rtl_dsp", "Verify_dsp", "Synth_dsp"])
         .block("mem", ["Rtl_mem", "Verify_mem", "Synth_mem"])
         .block("io", ["Rtl_io", "Verify_io", "Synth_io"])
-        .block(
-            "integration",
-            ["Integrate", "VerifySoc", "SynthSoc"],
-        )
+        .block("integration", ["Integrate", "VerifySoc", "SynthSoc"])
         .block(
             "physical",
-            ["FloorplanSoc", "PlaceSoc", "RouteSoc", "WriteGds", "SignoffSoc"],
+            [
+                "FloorplanSoc",
+                "PlaceSoc",
+                "RouteSoc",
+                "WriteGds",
+                "SignoffSoc",
+            ],
         );
     println!("\nblock rollup:");
     for block in h.rollup(&decomposition)? {
@@ -105,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ascii: true,
                 width: 64,
                 label_width: 12,
-            ..GanttOptions::default()
+                ..GanttOptions::default()
             }
         )?
     );
@@ -113,7 +115,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- SPI trajectory ------------------------------------------------
     println!("\nSPI over the project:");
     for (t, v) in h.status().variance_series(6) {
-        println!("  day {:>7} SPI {:.2}  (PV {:.0}d, EV {:.0}d)", t.to_string(), v.spi, v.planned_value, v.earned_value);
+        println!(
+            "  day {:>7} SPI {:.2}  (PV {:.0}d, EV {:.0}d)",
+            t.to_string(),
+            v.spi,
+            v.planned_value,
+            v.earned_value
+        );
     }
     Ok(())
 }

@@ -10,6 +10,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== toolchain =="
+rustc --version
+cargo --version
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Offline CI pipeline: the same staged gates locally and in
+# .github/workflows/ci.yml. Every stage runs with --offline — the
+# workspace has no registry dependencies, so a network-less container
+# must pass end-to-end.
+#
+# Stages (in order):
+#   fmt     cargo fmt --all --check
+#   clippy  cargo clippy, all targets, warnings are errors
+#   check   scripts/check.sh (release build + full test suite + bench smoke)
+#   golden  committed paper artifacts still match the binaries
+#   bench   bench_compare: fresh quick run vs committed BENCH_schedflow.json
+#   doc     rustdoc builds cleanly
+#
+# Usage:
+#   scripts/ci.sh                 run every stage, fail fast
+#   scripts/ci.sh --stage NAME    run a single stage (repeatable)
+#   scripts/ci.sh --list          list stage names
+#
+# The run ends with a per-stage timing summary; exit status is
+# non-zero if any executed stage failed.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+ALL_STAGES=(fmt clippy check golden bench doc)
+
+usage() {
+    echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
+    echo "stages: ${ALL_STAGES[*]}" >&2
+}
+
+declare -a SELECTED=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --stage)
+            [[ $# -ge 2 ]] || { usage; exit 2; }
+            SELECTED+=("$2")
+            shift 2
+            ;;
+        --list)
+            printf '%s\n' "${ALL_STAGES[@]}"
+            exit 0
+            ;;
+        --help|-h)
+            usage
+            exit 0
+            ;;
+        *)
+            echo "ci.sh: unknown argument: $1" >&2
+            usage
+            exit 2
+            ;;
+    esac
+done
+if [[ ${#SELECTED[@]} -eq 0 ]]; then
+    SELECTED=("${ALL_STAGES[@]}")
+fi
+for s in "${SELECTED[@]}"; do
+    case " ${ALL_STAGES[*]} " in
+        *" $s "*) ;;
+        *) echo "ci.sh: unknown stage: $s" >&2; usage; exit 2 ;;
+    esac
+done
+
+echo "== toolchain =="
+rustc --version
+cargo --version
+
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
+stage_clippy() {
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
+
+stage_check() {
+    scripts/check.sh
+}
+
+stage_golden() {
+    # The golden-file diff: committed artifacts vs today's binaries.
+    cargo test -q --offline --release -p bench --test golden
+}
+
+stage_bench() {
+    # Regression gate: fresh quick run vs the committed baseline.
+    # Release mode — the baseline was measured in release.
+    cargo run -q --release --offline -p bench --bin bench_compare
+}
+
+stage_doc() {
+    cargo doc -q --offline --workspace --no-deps
+}
+
+declare -a RAN=() STATUS=() SECS=()
+failed=0
+for stage in "${SELECTED[@]}"; do
+    if [[ $failed -ne 0 ]]; then
+        RAN+=("$stage"); STATUS+=(skip); SECS+=("-")
+        continue
+    fi
+    echo
+    echo "== stage: $stage =="
+    t0=$SECONDS
+    if "stage_$stage"; then
+        RAN+=("$stage"); STATUS+=(pass); SECS+=($((SECONDS - t0)))
+    else
+        RAN+=("$stage"); STATUS+=(FAIL); SECS+=($((SECONDS - t0)))
+        failed=1
+    fi
+done
+
+echo
+echo "== ci.sh summary =="
+printf '%-10s %-6s %8s\n' stage status seconds
+for i in "${!RAN[@]}"; do
+    printf '%-10s %-6s %8s\n' "${RAN[$i]}" "${STATUS[$i]}" "${SECS[$i]}"
+done
+if [[ $failed -ne 0 ]]; then
+    echo "ci.sh: FAILED"
+    exit 1
+fi
+echo "ci.sh: all stages green"

@@ -96,10 +96,7 @@ fn designers_never_work_two_activities_at_once() {
     for (designer, mut spans) in by_designer {
         spans.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in spans.windows(2) {
-            assert!(
-                w[1].0 >= w[0].1 - 1e-9,
-                "{designer} overlaps: {w:?}"
-            );
+            assert!(w[1].0 >= w[0].1 - 1e-9, "{designer} overlaps: {w:?}");
         }
     }
 }

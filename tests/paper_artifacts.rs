@@ -29,7 +29,14 @@ fn table1_six_systems_four_levels() {
         }
     }
     let table = render_table(&systems);
-    for name in ["RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"] {
+    for name in [
+        "RoadMap Model",
+        "ELSIS",
+        "Hercules",
+        "History Model",
+        "Hilda",
+        "VOV",
+    ] {
         assert!(table.contains(name));
     }
     assert!(table.contains("Schedule"));
@@ -46,7 +53,11 @@ fn fig1_schedule_and_execution_share_level3() {
     h.execute("performance").expect("executable");
     assert!(h.db().entity_count() >= 3); // stimuli + netlist(s) + performance
     for pa in plan.activities() {
-        assert!(h.db().schedule_instance(pa.schedule).linked_entity().is_some());
+        assert!(h
+            .db()
+            .schedule_instance(pa.schedule)
+            .linked_entity()
+            .is_some());
     }
 }
 
@@ -68,7 +79,9 @@ fn fig3_spaces_mirror() {
         let inst = h.db().entity_instance(e);
         assert_eq!(
             inst.class(),
-            h.db().output_class_of(sc.activity()).expect("declared output")
+            h.db()
+                .output_class_of(sc.activity())
+                .expect("declared output")
         );
     }
     let _ = report;

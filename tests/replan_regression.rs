@@ -88,7 +88,9 @@ fn assert_history_intact(h: &Hercules, frozen: &[Frozen], context: &str) {
         );
         let (start, finish) = (
             h.db().actual_start(&f.activity).expect("still has actuals"),
-            h.db().actual_finish(&f.activity).expect("still has actuals"),
+            h.db()
+                .actual_finish(&f.activity)
+                .expect("still has actuals"),
         );
         assert!(
             (start.days() - f.actual_start.days()).abs() < 1e-12
@@ -110,7 +112,12 @@ fn slip_propagation_keeps_history_and_moves_only_downstream() {
     let starts_before: Vec<(String, WorkDays)> = h
         .db()
         .activities()
-        .map(|a| (a.to_owned(), h.db().current_plan(a).expect("planned").planned_start()))
+        .map(|a| {
+            (
+                a.to_owned(),
+                h.db().current_plan(a).expect("planned").planned_start(),
+            )
+        })
         .collect();
 
     let outcome = h.propagate_slip("WriteRtl").expect("planned");
