@@ -17,12 +17,18 @@
 //! * `FILTER` — only run/compare kernels whose name contains the
 //!   substring.
 //!
-//! A bench **regresses** when *both* its fresh median and fresh min
-//! exceed `baseline_median × (1 + tolerance)` — requiring the min too
-//! filters scheduler noise, which inflates the median of a 3-sample
-//! quick run far more often than it inflates the fastest sample.
-//! Benches present on only one side are reported but never fail the
-//! gate (quick mode runs smaller size sets than the full baseline).
+//! Fresh timings are first **normalized by the calibration spin** (the
+//! `calibrate` kernel, present in both reports): dividing by
+//! `fresh_spin / baseline_spin` (clamped ≥1) cancels uniform
+//! host-speed differences — frequency scaling and co-tenant steal on
+//! shared hosts routinely swing effective CPU speed 1.5–2× between
+//! runs, which would otherwise flag every bench at once. A bench then
+//! **regresses** when *both* its normalized median and min exceed
+//! `baseline_median × (1 + tolerance)` — requiring the min too filters
+//! scheduler noise, which inflates the median of a 3-sample quick run
+//! far more often than it inflates the fastest sample. Benches present
+//! on only one side are reported but never fail the gate (quick mode
+//! runs smaller size sets than the full baseline).
 //!
 //! After an intentional performance change, regenerate the baseline
 //! with `cargo run --release -p bench --bin benchmarks` and commit the
@@ -43,6 +49,15 @@ fn workspace_baseline() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_schedflow.json")
+}
+
+/// The median of the `calibrate` kernel's host-speed spin in a report,
+/// if present.
+fn calibration_median(records: &[Record]) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| r.kernel == "calibrate")
+        .map(|r| r.stats.median_ns)
 }
 
 fn load(path: &PathBuf) -> Result<Vec<Record>, String> {
@@ -85,6 +100,18 @@ fn main() -> ExitCode {
         }
     }
 
+    // A missing baseline is not a failure: fresh checkouts and CI on
+    // new branches have nothing to gate against yet. A baseline that
+    // exists but does not parse IS a failure (corruption must not
+    // silently disable the gate).
+    if !baseline_path.exists() {
+        eprintln!(
+            "bench_compare: no baseline at {} — nothing to compare against",
+            baseline_path.display()
+        );
+        eprintln!("create one with: cargo run --release -p bench --bin benchmarks");
+        return ExitCode::SUCCESS;
+    }
     let baseline = match load(&baseline_path) {
         Ok(r) => r,
         Err(e) => {
@@ -108,12 +135,37 @@ fn main() -> ExitCode {
                 baseline_path.display(),
                 tolerance * 100.0
             );
-            kernels::run_all(true, filter.as_deref())
+            let mut records = kernels::run_all(true, filter.as_deref());
+            // The calibration spin must be present even when a FILTER
+            // excludes it: it anchors the host-speed normalization.
+            if calibration_median(&records).is_none() {
+                records.extend(kernels::calibrate::run(true));
+            }
+            records
         }
     };
     if fresh.is_empty() {
         eprintln!("bench_compare: fresh run produced no records");
         return ExitCode::FAILURE;
+    }
+
+    // Host-speed normalization: the committed baseline and this run
+    // may have executed on very different effective CPU speeds
+    // (frequency scaling, co-tenant steal on shared hosts — routinely
+    // a uniform 1.5–2× swing). The `calibrate` spin measures the same
+    // fixed workload in both reports; dividing fresh timings by the
+    // spin ratio cancels the uniform component while a real regression
+    // (which moves one bench, not the spin) still trips the gate.
+    // Clamped to ≥1 so a *faster* host never inflates fresh numbers.
+    let host_factor = match (calibration_median(&fresh), calibration_median(&baseline)) {
+        (Some(f), Some(b)) if b > 0.0 => (f / b).max(1.0),
+        _ => 1.0,
+    };
+    if host_factor > 1.05 {
+        eprintln!(
+            "bench_compare: host running {host_factor:.2}x slower than when the baseline \
+             was measured — normalizing fresh timings by the calibration spin"
+        );
     }
 
     let mut compared = 0usize;
@@ -124,6 +176,9 @@ fn main() -> ExitCode {
         "kernel", "bench", "base med", "fresh med", "ratio"
     );
     for f in &fresh {
+        if f.kernel == "calibrate" {
+            continue; // the normalization anchor is not itself gated
+        }
         if let Some(fil) = filter.as_deref() {
             if !f.kernel.contains(fil) {
                 continue;
@@ -140,9 +195,11 @@ fn main() -> ExitCode {
             continue;
         };
         compared += 1;
+        let fresh_median = f.stats.median_ns / host_factor;
+        let fresh_min = f.stats.min_ns / host_factor;
         let limit = b.stats.median_ns * (1.0 + tolerance);
-        let ratio = f.stats.median_ns / b.stats.median_ns;
-        let status = if f.stats.median_ns > limit && f.stats.min_ns > limit {
+        let ratio = fresh_median / b.stats.median_ns;
+        let status = if fresh_median > limit && fresh_min > limit {
             regressions += 1;
             "REGRESSED"
         } else if ratio < 1.0 / (1.0 + tolerance) {
@@ -153,7 +210,7 @@ fn main() -> ExitCode {
         };
         eprintln!(
             "{:<20} {:<26} {:>12.0} {:>12.0} {:>6.2}x  {status}",
-            f.kernel, f.bench, b.stats.median_ns, f.stats.median_ns, ratio
+            f.kernel, f.bench, b.stats.median_ns, fresh_median, ratio
         );
     }
 

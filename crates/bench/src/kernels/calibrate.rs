@@ -1,0 +1,66 @@
+//! B0 — host-speed calibration: a fixed, allocation-free integer spin
+//! whose only purpose is to measure how fast *this host, right now*
+//! executes a known workload.
+//!
+//! `bench_compare` divides every fresh measurement by
+//! `fresh_calibration / baseline_calibration` (clamped to ≥1, so a
+//! faster host never inflates results) before applying the regression
+//! tolerance. Shared CI hosts swing 1.5–2× in effective CPU speed
+//! between runs (frequency scaling, co-tenant steal); that slowdown is
+//! uniform across benches, so normalizing by the spin cancels it while
+//! a genuine code regression — which moves one bench, not the spin —
+//! still trips the gate.
+//!
+//! The kernel also busy-warms the CPU briefly before measuring, which
+//! doubles as warm-up for every kernel that runs after it (this module
+//! is first in `KERNELS` order).
+
+use harness::bench::{black_box, Record};
+
+/// The fixed workload. Deliberately a *mix* — integer arithmetic,
+/// `Vec` growth, `BTreeMap` churn, and string formatting — because the
+/// real kernels are allocation- and pointer-heavy: co-tenant
+/// interference often slows the memory subsystem while leaving pure
+/// ALU throughput untouched, and a calibration that only spins the ALU
+/// would miss exactly the slowdown it exists to cancel. Every step
+/// depends on the previous value so nothing folds away.
+fn spin(iters: u64) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15_u64;
+    let mut buf: Vec<u64> = Vec::new();
+    let mut map: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for i in 0..iters {
+        acc = acc
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(i | 1);
+        acc ^= acc >> 29;
+        buf.push(acc);
+        if buf.len() >= 64 {
+            acc ^= buf.iter().copied().fold(0, u64::wrapping_add);
+            buf = Vec::new(); // fresh allocation each round, like the kernels
+        }
+        map.insert(acc & 1023, acc);
+        if map.len() >= 512 {
+            map.clear();
+        }
+        if i % 64 == 0 {
+            let s = format!("calib {acc:x}");
+            acc = acc.wrapping_add(s.len() as u64 + u64::from(s.as_bytes()[0]));
+        }
+    }
+    acc.wrapping_add(buf.len() as u64 + map.len() as u64)
+}
+
+/// Runs the kernel. The sampling plan follows `quick` like every other
+/// kernel, but the measured workload is identical in both modes — the
+/// calibration value must be comparable between a committed full-mode
+/// baseline and a quick-mode fresh run.
+pub fn run(quick: bool) -> Vec<Record> {
+    // Settle frequency scaling and caches before the first sample.
+    let start = std::time::Instant::now();
+    while start.elapsed() < std::time::Duration::from_millis(300) {
+        black_box(spin(4_000));
+    }
+    let mut suite = super::suite("calibrate", quick);
+    suite.bench("host_spin", None, || black_box(spin(100_000)));
+    suite.into_records()
+}

@@ -1,4 +1,4 @@
-//! The workspace's micro-benchmark kernels (B1–B9 in DESIGN.md),
+//! The workspace's micro-benchmark kernels (B1–B10 in DESIGN.md),
 //! ported from Criterion onto `harness::bench` so they run offline and
 //! emit machine-readable results.
 //!
@@ -11,17 +11,23 @@
 use harness::bench::Record;
 
 pub mod baseline_compare;
+pub mod calibrate;
 pub mod cpm;
 pub mod execution;
 pub mod gantt;
 pub mod planning;
 pub mod prediction;
 pub mod queries;
+pub mod recover_journal;
 pub mod replan;
 pub mod replan_incremental;
 
-/// All kernels in DESIGN.md order (B1–B9).
-pub const KERNELS: [&str; 9] = [
+/// All kernels in DESIGN.md order (B0 calibration first, then
+/// B1–B10). The calibration spin must run first: it warms the CPU for
+/// everything after it, and `bench_compare` uses its median to
+/// normalize away host-speed differences between runs.
+pub const KERNELS: [&str; 11] = [
+    "calibrate",
     "cpm",
     "planning",
     "execution",
@@ -31,12 +37,16 @@ pub const KERNELS: [&str; 9] = [
     "prediction",
     "gantt",
     "replan_incremental",
+    "recover_journal",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
 pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     let wanted = |name: &str| filter.is_none_or(|f| name.contains(f));
     let mut records = Vec::new();
+    if wanted("calibrate") {
+        records.extend(calibrate::run(quick));
+    }
     if wanted("cpm") {
         records.extend(cpm::run(quick));
     }
@@ -63,6 +73,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("replan_incremental") {
         records.extend(replan_incremental::run(quick));
+    }
+    if wanted("recover_journal") {
+        records.extend(recover_journal::run(quick));
     }
     records
 }

@@ -1,0 +1,91 @@
+//! B10 — write-ahead journal overhead and recovery throughput.
+//!
+//! The failure-semantics layer's cost model: every mutating
+//! `MetadataDb` call appends a replayable op before applying it, and
+//! crash recovery replays the whole journal into a fresh database.
+//! This kernel measures both sides on a scripted session of `n`
+//! tool-run cycles (begin-run → store-data → finish-run), which is
+//! the op mix a real execution produces:
+//!
+//! * `append_plain/{n}` — the session with journaling disabled: the
+//!   baseline mutation cost.
+//! * `append_journaled/{n}` — the identical session with the journal
+//!   enabled. The gate: journaled median must stay within 2× of plain
+//!   (see EXPERIMENTS.md §B10); in practice the append is a `Vec` push
+//!   of an enum, far below the validation + container work it shadows.
+//! * `replay/{n}` — `MetadataDb::recover` on the finished journal:
+//!   crash-recovery throughput, linear in journal length.
+//! * `parse_text/{n}` — `Journal::parse` on the serialized text, the
+//!   cold-start half of recovering from an on-disk log.
+//!
+//! Expected shape: `append_journaled / append_plain` ≲ 1.3×; replay
+//! of a 1 024-run session well under a millisecond.
+
+use harness::bench::{black_box, Record};
+use metadata::{Journal, MetadataDb};
+use schedule::WorkDays;
+use schema::examples;
+
+/// A deterministic session of `runs` Create cycles on the circuit
+/// schema — one planning pass, then begin/store/finish per run, with
+/// every eighth output linked complete so link ops appear in the mix.
+fn session(runs: usize, journaled: bool) -> MetadataDb {
+    let schema = examples::circuit_design();
+    let mut db = MetadataDb::for_schema(&schema);
+    if journaled {
+        db.enable_journal();
+    }
+    let planning = db.begin_planning(WorkDays::ZERO);
+    let plan = db
+        .plan_activity(planning, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+        .expect("known activity");
+    db.assign(plan, "alice").expect("live plan");
+    let mut t = 0.0;
+    let mut last = None;
+    for i in 0..runs {
+        let run = db
+            .begin_run("Create", "alice", WorkDays::new(t))
+            .expect("known activity");
+        let data = db.store_data("n.net", vec![(i & 0xFF) as u8; 16]);
+        t += 0.25;
+        let out = db
+            .finish_run(run, "netlist", data, WorkDays::new(t), &[])
+            .expect("valid finish");
+        last = Some(out);
+        t += 0.01;
+    }
+    if let Some(entity) = last {
+        db.link_completion(plan, entity).expect("valid link");
+    }
+    db
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("recover_journal", quick);
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 256, 1_024] };
+    for &n in sizes {
+        suite.bench(&format!("append_plain/{n}"), Some(n as u64), || {
+            session(black_box(n), false).dump().len()
+        });
+        suite.bench(&format!("append_journaled/{n}"), Some(n as u64), || {
+            session(black_box(n), true).dump().len()
+        });
+
+        let journal = session(n, true).journal().expect("journal enabled").clone();
+        suite.bench(&format!("replay/{n}"), Some(n as u64), || {
+            MetadataDb::recover(black_box(&journal))
+                .expect("own journal replays")
+                .dump()
+                .len()
+        });
+
+        let text = journal.to_text();
+        suite.bench(&format!("parse_text/{n}"), Some(n as u64), || {
+            Journal::parse(black_box(&text))
+                .expect("own text parses")
+                .len()
+        });
+    }
+    suite.into_records()
+}

@@ -2,7 +2,7 @@
 //!
 //! Each `src/bin/*.rs` binary regenerates one of the paper's artifacts
 //! (Table I, Figures 1–8); the [`kernels`] modules measure the
-//! algorithmic components (B1–B9 in DESIGN.md) via `harness::bench`
+//! algorithmic components (B1–B10 in DESIGN.md) via `harness::bench`
 //! and are aggregated by the `benchmarks` binary into
 //! `BENCH_schedflow.json`. This library holds the scenario builders
 //! and the database-state renderer they share.

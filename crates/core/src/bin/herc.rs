@@ -7,6 +7,7 @@
 //! herc run    <file> <target> [options]      plan, execute, and show status
 //! herc sweep  <file> <target> --deadline D   find the minimal team
 //! herc report <file> <target> --load DB      full report from a saved database
+//! herc chaos  [--seed N] [--count K]         replay seeded chaos scenarios
 //!
 //! options:
 //!   --team N      designers on the project (default 2)
@@ -40,8 +41,9 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: herc <schema|plan|run|sweep> <schema-file> [<target>] \
-         [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS]"
+        "usage: herc <schema|plan|run|sweep|report> <schema-file> [<target>] \
+         [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS]\n\
+         \x20      herc chaos [--seed N] [--count K]"
     );
     ExitCode::from(2)
 }
@@ -222,11 +224,68 @@ fn cmd_sweep(source: &str, target: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays seeded chaos scenarios (`hercules::chaos`) and reports each
+/// one's verdict. Exits non-zero if any scenario violates a property —
+/// the interactive twin of the `chaos` CI stage, used to replay a CI
+/// failure locally: `herc chaos --seed N`.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let mut seed = 0u64;
+    let mut count = 1u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--count" => {
+                count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?;
+                if count == 0 {
+                    return Err("--count must be at least 1".to_owned());
+                }
+            }
+            other => return Err(format!("chaos: unknown option {other:?}")),
+        }
+    }
+    let reports = hercules::chaos::run_suite(seed, count);
+    let mut dirty = 0usize;
+    for report in &reports {
+        println!("{report}");
+        if !report.is_clean() {
+            dirty += 1;
+        }
+    }
+    if dirty > 0 {
+        return Err(format!(
+            "{dirty}/{count} chaos scenario(s) violated failure-semantics properties"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return usage();
     };
+    // `chaos` takes no schema file: scenarios are derived from seeds.
+    if command == "chaos" {
+        return match cmd_chaos(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("herc: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some(file) = args.get(1) else {
         return usage();
     };

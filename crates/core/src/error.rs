@@ -14,6 +14,17 @@ pub enum HerculesError {
     /// An operation needed a plan, but the activity has never been
     /// planned.
     NotPlanned(String),
+    /// An activity's tool kept producing non-converged results until
+    /// the execution engine's hard iteration cap — a pathological tool
+    /// model rather than an injected fault (injected persistent faults
+    /// surface as *blocked* activities instead, see
+    /// [`ExecutionReport::blocked`](crate::ExecutionReport::blocked)).
+    IterationLimit {
+        /// The activity that hit the cap.
+        activity: String,
+        /// The cap it hit.
+        cap: u32,
+    },
     /// An error from the metadata database.
     Metadata(metadata::MetadataError),
     /// An error from the schedule engine.
@@ -36,6 +47,12 @@ impl fmt::Display for HerculesError {
             }
             HerculesError::NotPlanned(a) => {
                 write!(f, "activity {a:?} has no schedule plan yet")
+            }
+            HerculesError::IterationLimit { activity, cap } => {
+                write!(
+                    f,
+                    "activity {activity:?} did not converge within {cap} iterations"
+                )
             }
             HerculesError::Metadata(e) => write!(f, "metadata: {e}"),
             HerculesError::Schedule(e) => write!(f, "schedule: {e}"),
@@ -84,6 +101,16 @@ mod tests {
         assert_eq!(outer, HerculesError::Metadata(inner));
         assert!(outer.source().is_some());
         assert!(outer.to_string().starts_with("metadata:"));
+    }
+
+    #[test]
+    fn iteration_limit_message_names_activity_and_cap() {
+        let e = HerculesError::IterationLimit {
+            activity: "Create".into(),
+            cap: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Create") && s.contains("16"));
     }
 
     #[test]

@@ -61,20 +61,23 @@ mod manager;
 mod optimize;
 mod plan;
 mod replan;
+mod retry;
 mod rollup;
 mod status;
 mod task;
 
 pub mod browse;
+pub mod chaos;
 pub mod report;
 
 pub use error::HerculesError;
-pub use execute::{ActivityExecution, ExecutionReport};
+pub use execute::{ActivityExecution, BlockedActivity, ExecutionReport};
 pub use forecast::Forecast;
 pub use manager::Hercules;
 pub use optimize::{CrashAdvice, TeamPoint, TeamSweep};
 pub use plan::{PlanStats, PlannedActivity, SchedulePlan};
 pub use replan::ReplanOutcome;
+pub use retry::RetryPolicy;
 pub use rollup::{BlockStatus, Decomposition};
 pub use status::{ActivityState, StatusReport};
 pub use task::TaskTree;

@@ -1,13 +1,14 @@
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use metadata::{EntityInstanceId, MetadataDb};
+use metadata::{EntityInstanceId, Journal, MetadataDb};
 use schedule::WorkDays;
 use schema::TaskSchema;
 use simtools::workload::{primary_input_data, Team};
-use simtools::ToolLibrary;
+use simtools::{FaultInjector, ToolLibrary};
 
 use crate::error::HerculesError;
 use crate::plan::{PlanCache, PlanStats};
+use crate::retry::RetryPolicy;
 use crate::task::TaskTree;
 
 /// The integrated workflow manager: one object owning the task schema
@@ -41,6 +42,14 @@ pub struct Hercules {
     /// and only recomputes the dirty cone.
     pub(crate) plan_cache: HashMap<String, PlanCache>,
     pub(crate) last_plan_stats: Option<PlanStats>,
+    /// The fault policy layered over tool invocations during
+    /// [`execute`](Hercules::execute). Defaults to no faults.
+    pub(crate) fault_injector: FaultInjector,
+    /// How execution reacts to injected faults: retries, backoff,
+    /// timeouts, and the blocked-activity budget.
+    pub(crate) retry_policy: RetryPolicy,
+    /// Activities declared blocked after exhausting the retry policy.
+    pub(crate) blocked: BTreeSet<String>,
 }
 
 impl Hercules {
@@ -63,7 +72,82 @@ impl Hercules {
             supplied: HashMap::new(),
             plan_cache: HashMap::new(),
             last_plan_stats: None,
+            fault_injector: FaultInjector::none(),
+            retry_policy: RetryPolicy::default(),
+            blocked: BTreeSet::new(),
         }
+    }
+
+    /// Installs a fault policy for subsequent
+    /// [`execute`](Hercules::execute) calls. Accepts a
+    /// [`simtools::FaultPlan`], a
+    /// [`simtools::BrokenToolPlan`], or a prebuilt
+    /// [`FaultInjector`].
+    pub fn set_fault_plan(&mut self, faults: impl Into<FaultInjector>) {
+        self.fault_injector = faults.into();
+    }
+
+    /// Builder-style variant of [`set_fault_plan`](Hercules::set_fault_plan).
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: impl Into<FaultInjector>) -> Self {
+        self.set_fault_plan(faults);
+        self
+    }
+
+    /// The installed fault policy.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault_injector
+    }
+
+    /// Replaces the retry policy governing fault handling during
+    /// execution.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The retry policy governing fault handling during execution.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// Activities currently declared blocked (retry policy exhausted by
+    /// injected faults), in sorted order.
+    pub fn blocked_activities(&self) -> Vec<&str> {
+        self.blocked.iter().map(String::as_str).collect()
+    }
+
+    /// Whether `activity` is currently blocked.
+    pub fn is_blocked(&self, activity: &str) -> bool {
+        self.blocked.contains(activity)
+    }
+
+    /// Clears the blocked set — e.g. after the operator repairs a
+    /// broken tool and installs a new fault plan, so the next
+    /// [`execute`](Hercules::execute) retries the activities.
+    pub fn clear_blocked(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Enables write-ahead journaling on the metadata database — see
+    /// [`metadata::MetadataDb::enable_journal`]. Call before the first
+    /// mutation (planning or execution) so recovery can replay the full
+    /// history.
+    pub fn enable_journal(&mut self) {
+        self.db.enable_journal();
+    }
+
+    /// Detaches and returns the database journal, if journaling was
+    /// enabled — see [`metadata::MetadataDb::take_journal`].
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.db.take_journal()
+    }
+
+    /// Arms a simulated crash in the metadata database after `after`
+    /// more journaled mutations — see
+    /// [`metadata::MetadataDb::inject_crash_after`]. Used by the chaos
+    /// suite to prove crash recovery.
+    pub fn inject_db_crash_after(&mut self, after: u32) {
+        self.db.inject_crash_after(after);
     }
 
     /// Instrumentation from the most recent
@@ -206,6 +290,9 @@ impl Hercules {
         // arbitrarily; drop planning caches rather than trust them.
         self.plan_cache.clear();
         self.last_plan_stats = None;
+        // Blocked state is session-local (it reflects this process's
+        // retry bookkeeping, not database state): start fresh.
+        self.blocked.clear();
     }
 
     /// Supplies a primary-input instance for `class` (synthetic content

@@ -129,12 +129,10 @@ impl Hercules {
         let mut affected: Vec<String> = Vec::new();
         let mut frontier = vec![activity.to_owned()];
         while let Some(current) = frontier.pop() {
-            let output = self
-                .schema
-                .rule(&current)
-                .expect("walking schema rules")
-                .output()
-                .to_owned();
+            let Some(rule) = self.schema.rule(&current) else {
+                return Err(HerculesError::UnknownActivity(current));
+            };
+            let output = rule.output().to_owned();
             for rule in self.schema.rules() {
                 if rule.inputs().contains(&output) && !affected.iter().any(|a| a == rule.activity())
                 {

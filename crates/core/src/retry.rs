@@ -1,0 +1,114 @@
+//! Retry and timeout policy for fault-tolerant execution.
+//!
+//! When the tool substrate injects failures (see
+//! [`simtools::FaultPlan`]), the execution engine does what a real
+//! design team does: retry transient crashes with backoff, kill hung
+//! runs at a timeout, and — when an activity keeps failing — mark it
+//! *blocked* and replan around it rather than abort the session.
+//!
+//! All budgets are expressed in simulated [`WorkDays`], the same unit
+//! as tool durations, so fault handling shows up in the schedule like
+//! any other work: a transient crash costs the fraction of the run
+//! that elapsed before the crash plus the backoff; a hang costs the
+//! full [`timeout`](RetryPolicy::timeout).
+
+use schedule::WorkDays;
+
+/// How the execution engine responds to injected tool failures: capped
+/// exponential backoff between retries, a kill timeout for hangs, and
+/// two exhaustion criteria (attempt count, burned time) after which the
+/// activity is declared blocked.
+///
+/// The default policy retries up to [`max_attempts`] times with
+/// backoff 0.25 → 0.5 → 1.0 → 2.0 days (capped at
+/// [`max_backoff`]), kills hangs after 1 working day, and blocks an
+/// activity once faults have burned more than 10 working days.
+///
+/// [`max_attempts`]: RetryPolicy::max_attempts
+/// [`max_backoff`]: RetryPolicy::max_backoff
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum failed attempts (transient or hang) per activity before
+    /// it is declared blocked. Successful runs and corrupt-output runs
+    /// do not count against this budget — they are *iterations*, not
+    /// attempts.
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt.
+    pub base_backoff: WorkDays,
+    /// Multiplier applied to the backoff after each further failure.
+    pub backoff_factor: f64,
+    /// Upper bound on any single backoff interval.
+    pub max_backoff: WorkDays,
+    /// Wall-clock budget charged for a hung run before it is killed.
+    pub timeout: WorkDays,
+    /// Total simulated time an activity may burn on faults (crash
+    /// fractions, timeouts, backoffs) before it is declared blocked,
+    /// regardless of the attempt count.
+    pub activity_budget: WorkDays,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: WorkDays::new(0.25),
+            backoff_factor: 2.0,
+            max_backoff: WorkDays::new(2.0),
+            timeout: WorkDays::new(1.0),
+            activity_budget: WorkDays::new(10.0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff interval after the `attempt`-th failed attempt
+    /// (1-based): `base * factor^(attempt-1)`, capped at
+    /// [`max_backoff`](RetryPolicy::max_backoff). Attempt 0 returns
+    /// zero.
+    pub fn backoff(&self, attempt: u32) -> WorkDays {
+        if attempt == 0 {
+            return WorkDays::ZERO;
+        }
+        let exp = (attempt - 1).min(63) as i32;
+        let raw = self.base_backoff.days() * self.backoff_factor.powi(exp);
+        WorkDays::new(raw.min(self.max_backoff.days()))
+    }
+
+    /// Total backoff time if all `attempts` failed — an upper bound the
+    /// chaos suite uses to sanity-check burned fault time.
+    pub fn total_backoff(&self, attempts: u32) -> WorkDays {
+        (1..=attempts)
+            .map(|a| self.backoff(a))
+            .fold(WorkDays::ZERO, |acc, b| acc + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), WorkDays::ZERO);
+        assert_eq!(p.backoff(1), WorkDays::new(0.25));
+        assert_eq!(p.backoff(2), WorkDays::new(0.5));
+        assert_eq!(p.backoff(3), WorkDays::new(1.0));
+        assert_eq!(p.backoff(4), WorkDays::new(2.0));
+        // Capped from here on.
+        assert_eq!(p.backoff(5), WorkDays::new(2.0));
+        assert_eq!(p.backoff(40), WorkDays::new(2.0));
+    }
+
+    #[test]
+    fn total_backoff_sums_intervals() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.total_backoff(3), WorkDays::new(0.25 + 0.5 + 1.0));
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+    }
+}

@@ -17,6 +17,10 @@ pub enum ActivityState {
     InProgress,
     /// The latest plan is linked to final design data.
     Complete,
+    /// The activity exhausted the execution engine's retry policy
+    /// under injected faults and was replanned around — see
+    /// [`Hercules::blocked_activities`].
+    Blocked,
 }
 
 impl fmt::Display for ActivityState {
@@ -26,6 +30,7 @@ impl fmt::Display for ActivityState {
             ActivityState::Planned => "planned",
             ActivityState::InProgress => "in progress",
             ActivityState::Complete => "complete",
+            ActivityState::Blocked => "blocked",
         };
         write!(f, "{s}")
     }
@@ -197,12 +202,17 @@ impl Hercules {
                 let assignees = plan.map(|p| p.assignees().to_vec()).unwrap_or_default();
                 let actual_start = self.db.actual_start(&activity);
                 let actual_finish = self.db.actual_finish(&activity);
-                let state = match (plan, actual_start, actual_finish) {
-                    (None, None, _) => ActivityState::Unplanned,
-                    (None, Some(_), _) => ActivityState::InProgress,
-                    (Some(p), _, _) if p.is_complete() => ActivityState::Complete,
-                    (Some(_), Some(_), _) => ActivityState::InProgress,
-                    (Some(_), None, _) => ActivityState::Planned,
+                let complete = plan.is_some_and(|p| p.is_complete());
+                let state = if !complete && self.blocked.contains(&activity) {
+                    ActivityState::Blocked
+                } else {
+                    match (plan, actual_start, actual_finish) {
+                        (None, None, _) => ActivityState::Unplanned,
+                        (None, Some(_), _) => ActivityState::InProgress,
+                        (Some(_), _, _) if complete => ActivityState::Complete,
+                        (Some(_), Some(_), _) => ActivityState::InProgress,
+                        (Some(_), None, _) => ActivityState::Planned,
+                    }
                 };
                 let slip = self.db.finish_slip(&activity);
                 StatusRow {
@@ -331,5 +341,22 @@ mod tests {
     fn state_display() {
         assert_eq!(ActivityState::InProgress.to_string(), "in progress");
         assert_eq!(ActivityState::Complete.to_string(), "complete");
+        assert_eq!(ActivityState::Blocked.to_string(), "blocked");
+    }
+
+    #[test]
+    fn blocked_activity_surfaces_in_status() {
+        let mut h = manager();
+        h.plan("performance").unwrap();
+        h.set_fault_plan(simtools::FaultPlan::breaking_tool("netlist_editor"));
+        h.execute("performance").unwrap();
+        let status = h.status();
+        assert_eq!(status.row("Create").unwrap().state, ActivityState::Blocked);
+        // Simulate was merely skipped, not blocked: it stays planned.
+        assert_eq!(
+            status.row("Simulate").unwrap().state,
+            ActivityState::Planned
+        );
+        assert!(h.status().to_string().contains("blocked"));
     }
 }

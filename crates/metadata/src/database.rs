@@ -6,7 +6,10 @@ use schema::TaskSchema;
 
 use crate::error::MetadataError;
 use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
-use crate::objects::{DataObject, EntityInstance, PlanningSession, Run, ScheduleInstance};
+use crate::journal::{Journal, JournalOp};
+use crate::objects::{
+    to_millidays, DataObject, EntityInstance, PlanningSession, Run, ScheduleInstance,
+};
 
 /// The Hercules-style metadata database: entity containers (execution
 /// space), schedule containers (schedule space), runs, planning
@@ -21,19 +24,31 @@ use crate::objects::{DataObject, EntityInstance, PlanningSession, Run, ScheduleI
 /// All mutation is through methods that preserve referential integrity;
 /// ids handed out by one database must not be used with another (they
 /// are dense indices, so misuse is caught only when out of range).
+///
+/// With [`enable_journal`](MetadataDb::enable_journal) every mutation
+/// is write-ahead journaled and the database survives injected crashes
+/// via [`recover`](MetadataDb::recover) — see [`crate::journal`].
 #[derive(Debug, Clone, Default)]
 pub struct MetadataDb {
     /// Per entity class: instance ids in creation order.
-    entity_containers: BTreeMap<String, Vec<EntityInstanceId>>,
+    pub(crate) entity_containers: BTreeMap<String, Vec<EntityInstanceId>>,
     /// Per activity: schedule instance ids in creation order.
-    schedule_containers: BTreeMap<String, Vec<ScheduleInstanceId>>,
+    pub(crate) schedule_containers: BTreeMap<String, Vec<ScheduleInstanceId>>,
     /// Per activity: its declared output class (for link validation).
-    activity_outputs: BTreeMap<String, String>,
-    entities: Vec<EntityInstance>,
-    schedules: Vec<ScheduleInstance>,
-    runs: Vec<Run>,
-    sessions: Vec<PlanningSession>,
-    data: Vec<DataObject>,
+    pub(crate) activity_outputs: BTreeMap<String, String>,
+    pub(crate) entities: Vec<EntityInstance>,
+    pub(crate) schedules: Vec<ScheduleInstance>,
+    pub(crate) runs: Vec<Run>,
+    pub(crate) sessions: Vec<PlanningSession>,
+    pub(crate) data: Vec<DataObject>,
+    /// Write-ahead journal (`None` when journaling is disabled).
+    pub(crate) journal: Option<Journal>,
+    /// Fallible mutations until an injected crash fires (`None`:
+    /// disarmed).
+    pub(crate) crash_countdown: Option<u32>,
+    /// Set once an injected crash fired; the database then refuses all
+    /// further fallible mutations.
+    pub(crate) crashed: bool,
 }
 
 impl MetadataDb {
@@ -94,12 +109,19 @@ impl MetadataDb {
     /// Declares an entity container without a schema (used by the dump
     /// loader and by callers assembling databases by hand). Idempotent.
     pub fn declare_entity_container(&mut self, class: &str) {
+        self.journal_op(|| JournalOp::DeclareEntityContainer {
+            class: class.to_owned(),
+        });
         self.entity_containers.entry(class.to_owned()).or_default();
     }
 
     /// Declares a schedule container and its activity's output class.
     /// Idempotent.
     pub fn declare_schedule_container(&mut self, activity: &str, output_class: &str) {
+        self.journal_op(|| JournalOp::DeclareScheduleContainer {
+            activity: activity.to_owned(),
+            output_class: output_class.to_owned(),
+        });
         self.schedule_containers
             .entry(activity.to_owned())
             .or_default();
@@ -118,8 +140,13 @@ impl MetadataDb {
 
     /// Stores a Level-4 data object and returns its id.
     pub fn store_data(&mut self, name: impl Into<String>, content: Vec<u8>) -> DataObjectId {
+        let name = name.into();
+        self.journal_op(|| JournalOp::StoreData {
+            name: name.clone(),
+            content: content.clone(),
+        });
         let id = DataObjectId(self.data.len() as u32);
-        self.data.push(DataObject::new(id, name.into(), content));
+        self.data.push(DataObject::new(id, name, content));
         id
     }
 
@@ -144,16 +171,24 @@ impl MetadataDb {
     /// # Errors
     ///
     /// [`MetadataError::UnknownActivity`] if the activity has no
-    /// container.
+    /// container; [`MetadataError::InjectedCrash`] under an armed crash
+    /// point.
     pub fn begin_run(
         &mut self,
         activity: &str,
         operator: &str,
         started_at: WorkDays,
     ) -> Result<RunId, MetadataError> {
+        self.check_alive()?;
         if !self.schedule_containers.contains_key(activity) {
             return Err(MetadataError::UnknownActivity(activity.to_owned()));
         }
+        self.journal_op(|| JournalOp::BeginRun {
+            activity: activity.to_owned(),
+            operator: operator.to_owned(),
+            started_md: to_millidays(started_at),
+        });
+        self.crash_point()?;
         let iteration = self
             .runs
             .iter()
@@ -191,6 +226,7 @@ impl MetadataDb {
         finished_at: WorkDays,
         inputs: &[EntityInstanceId],
     ) -> Result<EntityInstanceId, MetadataError> {
+        self.check_alive()?;
         let run_ref = self
             .runs
             .get(run.index())
@@ -224,7 +260,18 @@ impl MetadataDb {
                 return Err(MetadataError::UnknownId(input.to_string()));
             }
         }
+        if data.index() >= self.data.len() {
+            return Err(MetadataError::UnknownId(data.to_string()));
+        }
         let operator = run_ref.operator().to_owned();
+        self.journal_op(|| JournalOp::FinishRun {
+            run,
+            output_class: output_class.to_owned(),
+            data,
+            finished_md: to_millidays(finished_at),
+            inputs: inputs.to_vec(),
+        });
+        self.crash_point()?;
         let id = self.insert_entity(
             output_class,
             finished_at,
@@ -250,9 +297,20 @@ impl MetadataDb {
         created_at: WorkDays,
         data: DataObjectId,
     ) -> Result<EntityInstanceId, MetadataError> {
+        self.check_alive()?;
         if !self.entity_containers.contains_key(class) {
             return Err(MetadataError::UnknownClass(class.to_owned()));
         }
+        if data.index() >= self.data.len() {
+            return Err(MetadataError::UnknownId(data.to_string()));
+        }
+        self.journal_op(|| JournalOp::SupplyInput {
+            class: class.to_owned(),
+            creator: creator.to_owned(),
+            created_md: to_millidays(created_at),
+            data,
+        });
+        self.crash_point()?;
         Ok(self.insert_entity(
             class,
             created_at,
@@ -393,6 +451,9 @@ impl MetadataDb {
 
     /// Opens a planning session (the schedule-space analog of a run).
     pub fn begin_planning(&mut self, at: WorkDays) -> PlanningSessionId {
+        self.journal_op(|| JournalOp::BeginPlanning {
+            at_md: to_millidays(at),
+        });
         let id = PlanningSessionId(self.sessions.len() as u32);
         self.sessions.push(PlanningSession::new(id, at));
         id
@@ -416,13 +477,24 @@ impl MetadataDb {
         planned_start: WorkDays,
         planned_duration: WorkDays,
     ) -> Result<ScheduleInstanceId, MetadataError> {
+        self.check_alive()?;
         if session.index() >= self.sessions.len() {
             return Err(MetadataError::UnknownId(session.to_string()));
         }
+        if !self.schedule_containers.contains_key(activity) {
+            return Err(MetadataError::UnknownActivity(activity.to_owned()));
+        }
+        self.journal_op(|| JournalOp::PlanActivity {
+            session,
+            activity: activity.to_owned(),
+            start_md: to_millidays(planned_start),
+            duration_md: to_millidays(planned_duration),
+        });
+        self.crash_point()?;
         let container = self
             .schedule_containers
             .get_mut(activity)
-            .ok_or_else(|| MetadataError::UnknownActivity(activity.to_owned()))?;
+            .expect("container existence checked above");
         let version = container.len() as u32 + 1;
         let derived_from = container.last().copied();
         let id = ScheduleInstanceId(self.schedules.len() as u32);
@@ -450,11 +522,16 @@ impl MetadataDb {
         schedule: ScheduleInstanceId,
         designer: &str,
     ) -> Result<(), MetadataError> {
-        let sc = self
-            .schedules
-            .get_mut(schedule.index())
-            .ok_or_else(|| MetadataError::UnknownId(schedule.to_string()))?;
-        sc.assign(designer.to_owned());
+        self.check_alive()?;
+        if schedule.index() >= self.schedules.len() {
+            return Err(MetadataError::UnknownId(schedule.to_string()));
+        }
+        self.journal_op(|| JournalOp::Assign {
+            schedule,
+            designer: designer.to_owned(),
+        });
+        self.crash_point()?;
+        self.schedules[schedule.index()].assign(designer.to_owned());
         Ok(())
     }
 
@@ -516,6 +593,7 @@ impl MetadataDb {
         schedule: ScheduleInstanceId,
         entity: EntityInstanceId,
     ) -> Result<(), MetadataError> {
+        self.check_alive()?;
         if schedule.index() >= self.schedules.len() {
             return Err(MetadataError::UnknownId(schedule.to_string()));
         }
@@ -538,6 +616,8 @@ impl MetadataDb {
         if !(class_ok && producer_ok) {
             return Err(MetadataError::MismatchedLink { schedule, entity });
         }
+        self.journal_op(|| JournalOp::LinkCompletion { schedule, entity });
+        self.crash_point()?;
         self.schedules[schedule.index()].set_link(entity);
         Ok(())
     }

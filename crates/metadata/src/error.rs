@@ -44,6 +44,12 @@ pub enum MetadataError {
         /// Finish offset in days.
         finished: f64,
     },
+    /// A simulated crash point fired between a journal append and its
+    /// apply ([`MetadataDb::inject_crash_after`](crate::MetadataDb::inject_crash_after)),
+    /// or an operation was attempted on a database that already
+    /// crashed. Recover with
+    /// [`MetadataDb::recover`](crate::MetadataDb::recover).
+    InjectedCrash,
 }
 
 impl fmt::Display for MetadataError {
@@ -73,6 +79,12 @@ impl fmt::Display for MetadataError {
             }
             MetadataError::InvalidTimestamps { started, finished } => {
                 write!(f, "finish time {finished} precedes start time {started}")
+            }
+            MetadataError::InjectedCrash => {
+                write!(
+                    f,
+                    "injected crash: the process died between journal append and apply"
+                )
             }
         }
     }

@@ -1,0 +1,1004 @@
+//! Write-ahead journaling, crash injection, recovery, and invariant
+//! checking for [`MetadataDb`].
+//!
+//! The original Hercules sat on the Odyssey framework's object store
+//! and inherited its transaction semantics; our in-memory database gets
+//! the equivalent through a **redo journal**: when journaling is
+//! enabled, every mutating method *appends a replayable [`JournalOp`]
+//! before it applies the change*. A crash between append and apply
+//! (simulated with [`MetadataDb::inject_crash_after`]) therefore never
+//! loses an acknowledged mutation: [`MetadataDb::recover`] replays the
+//! journal into a fresh database and redoes the appended-but-unapplied
+//! tail operation. Because every op is validated against the database
+//! state *before* it is appended, replay of a journal produced by a
+//! live database cannot fail.
+//!
+//! The journal has a line-oriented text form (one op per line, hex
+//! payloads, millidays timestamps — the same conventions as
+//! [`export`](crate::export)) so a journaled session is diffable and
+//! can serve as a golden test artifact:
+//!
+//! ```text
+//! metadata-journal v1
+//! declare-entity <class>
+//! declare-schedule <activity> <output-class>
+//! store-data <name-hex> <content-hex>
+//! begin-run <activity> <operator> <started-md>
+//! finish-run <run-idx> <class> <data-idx> <finished-md> inputs <i,j|->
+//! supply-input <class> <creator> <created-md> <data-idx>
+//! begin-planning <at-md>
+//! plan-activity <session-idx> <activity> <start-md> <duration-md>
+//! assign <sched-idx> <designer>
+//! link <sched-idx> <entity-idx>
+//! ```
+//!
+//! [`MetadataDb::check_invariants`] is the companion consistency pass:
+//! it audits dense-id bounds, container membership, link referential
+//! integrity, and schedule↔run date monotonicity, and underpins the
+//! chaos suite's "invariants hold after every injected crash + recover"
+//! property.
+//!
+//! # Example
+//!
+//! ```
+//! use metadata::{Journal, MetadataDb};
+//! use schema::examples;
+//! use schedule::WorkDays;
+//!
+//! # fn main() -> Result<(), metadata::MetadataError> {
+//! let mut db = MetadataDb::for_schema(&examples::circuit_design());
+//! db.enable_journal();
+//! let run = db.begin_run("Create", "alice", WorkDays::ZERO)?;
+//! let data = db.store_data("v1.net", b"module".to_vec());
+//! db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[])?;
+//!
+//! // The journal replays to an identical database.
+//! let journal = db.journal().unwrap().clone();
+//! let recovered = MetadataDb::recover(&journal)?;
+//! assert_eq!(recovered.dump(), db.dump());
+//! recovered.check_invariants().expect("recovered db is consistent");
+//!
+//! // And it round-trips through the text form.
+//! let reparsed = Journal::parse(&journal.to_text()).unwrap();
+//! assert_eq!(reparsed, journal);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::database::MetadataDb;
+use crate::error::MetadataError;
+use crate::export::{hex_decode, hex_encode, LoadError};
+use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
+use crate::objects::from_millidays;
+
+/// One replayable mutation of a [`MetadataDb`] — the redo-log record
+/// appended by the corresponding mutating method before it applies.
+///
+/// Timestamps are stored as integer milli-days (`*_md`), the same
+/// representation the database itself stores, so replay is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// [`MetadataDb::declare_entity_container`].
+    DeclareEntityContainer {
+        /// The entity class declared.
+        class: String,
+    },
+    /// [`MetadataDb::declare_schedule_container`].
+    DeclareScheduleContainer {
+        /// The activity declared.
+        activity: String,
+        /// The activity's output class.
+        output_class: String,
+    },
+    /// [`MetadataDb::store_data`].
+    StoreData {
+        /// File-like name of the datum.
+        name: String,
+        /// Raw content bytes.
+        content: Vec<u8>,
+    },
+    /// [`MetadataDb::begin_run`].
+    BeginRun {
+        /// The activity being run.
+        activity: String,
+        /// The designer operating the tool.
+        operator: String,
+        /// Start offset in milli-days.
+        started_md: i64,
+    },
+    /// [`MetadataDb::finish_run`].
+    FinishRun {
+        /// The run being finished.
+        run: RunId,
+        /// The output entity class.
+        output_class: String,
+        /// The produced Level-4 data object.
+        data: DataObjectId,
+        /// Finish offset in milli-days.
+        finished_md: i64,
+        /// Input instances consumed by the run.
+        inputs: Vec<EntityInstanceId>,
+    },
+    /// [`MetadataDb::supply_input`].
+    SupplyInput {
+        /// The entity class supplied.
+        class: String,
+        /// The supplying designer.
+        creator: String,
+        /// Creation offset in milli-days.
+        created_md: i64,
+        /// The supplied Level-4 data object.
+        data: DataObjectId,
+    },
+    /// [`MetadataDb::begin_planning`].
+    BeginPlanning {
+        /// Session creation offset in milli-days.
+        at_md: i64,
+    },
+    /// [`MetadataDb::plan_activity`].
+    PlanActivity {
+        /// The owning planning session.
+        session: PlanningSessionId,
+        /// The planned activity.
+        activity: String,
+        /// Planned start in milli-days.
+        start_md: i64,
+        /// Planned duration in milli-days.
+        duration_md: i64,
+    },
+    /// [`MetadataDb::assign`].
+    Assign {
+        /// The schedule instance assigned.
+        schedule: ScheduleInstanceId,
+        /// The designer assigned.
+        designer: String,
+    },
+    /// [`MetadataDb::link_completion`].
+    LinkCompletion {
+        /// The schedule instance completed.
+        schedule: ScheduleInstanceId,
+        /// The declared final entity instance.
+        entity: EntityInstanceId,
+    },
+}
+
+fn fmt_ids(ids: &[EntityInstanceId]) -> String {
+    if ids.is_empty() {
+        "-".to_owned()
+    } else {
+        ids.iter()
+            .map(|i| i.index().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl JournalOp {
+    fn to_line(&self) -> String {
+        match self {
+            JournalOp::DeclareEntityContainer { class } => format!("declare-entity {class}"),
+            JournalOp::DeclareScheduleContainer {
+                activity,
+                output_class,
+            } => format!("declare-schedule {activity} {output_class}"),
+            JournalOp::StoreData { name, content } => format!(
+                "store-data {} {}",
+                hex_encode(name.as_bytes()),
+                hex_encode(content)
+            ),
+            JournalOp::BeginRun {
+                activity,
+                operator,
+                started_md,
+            } => format!("begin-run {activity} {operator} {started_md}"),
+            JournalOp::FinishRun {
+                run,
+                output_class,
+                data,
+                finished_md,
+                inputs,
+            } => format!(
+                "finish-run {} {output_class} {} {finished_md} inputs {}",
+                run.index(),
+                data.index(),
+                fmt_ids(inputs)
+            ),
+            JournalOp::SupplyInput {
+                class,
+                creator,
+                created_md,
+                data,
+            } => format!(
+                "supply-input {class} {creator} {created_md} {}",
+                data.index()
+            ),
+            JournalOp::BeginPlanning { at_md } => format!("begin-planning {at_md}"),
+            JournalOp::PlanActivity {
+                session,
+                activity,
+                start_md,
+                duration_md,
+            } => format!(
+                "plan-activity {} {activity} {start_md} {duration_md}",
+                session.index()
+            ),
+            JournalOp::Assign { schedule, designer } => {
+                format!("assign {} {designer}", schedule.index())
+            }
+            JournalOp::LinkCompletion { schedule, entity } => {
+                format!("link {} {}", schedule.index(), entity.index())
+            }
+        }
+    }
+}
+
+/// An append-only redo log of [`JournalOp`]s — see the
+/// [module docs](self) for the recovery protocol and text format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    ops: Vec<JournalOp>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op (the write-ahead step of a mutation).
+    pub(crate) fn record(&mut self, op: JournalOp) {
+        self.ops.push(op);
+    }
+
+    /// All ops, oldest first.
+    pub fn ops(&self) -> &[JournalOp] {
+        &self.ops
+    }
+
+    /// Number of ops recorded.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The first `n` ops as a new journal (saturating) — a simulated
+    /// torn log, used by the prefix-replay recovery properties.
+    pub fn prefix(&self, n: usize) -> Journal {
+        Journal {
+            ops: self.ops[..n.min(self.ops.len())].to_vec(),
+        }
+    }
+
+    /// Serialises to the line-oriented text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("metadata-journal v1\n");
+        for op in &self.ops {
+            let _ = writeln!(out, "{}", op.to_line());
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`to_text`](Journal::to_text).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] on a missing header or malformed line.
+    pub fn parse(text: &str) -> Result<Journal, LoadError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "metadata-journal v1")) => {}
+            _ => return Err(LoadError::BadHeader),
+        }
+        let bad = |line: usize, message: &str| LoadError::BadLine {
+            line: line + 1,
+            message: message.to_owned(),
+        };
+        let parse_md = |line: usize, s: &str| -> Result<i64, LoadError> {
+            s.parse()
+                .map_err(|_| bad(line, &format!("bad milli-day timestamp {s:?}")))
+        };
+        let parse_idx = |line: usize, s: &str| -> Result<u32, LoadError> {
+            s.parse()
+                .map_err(|_| bad(line, &format!("bad index {s:?}")))
+        };
+        let mut ops = Vec::new();
+        for (lineno, line) in lines {
+            let mut fields = line.split_whitespace();
+            let Some(kind) = fields.next() else {
+                continue; // blank line
+            };
+            let rest: Vec<&str> = fields.collect();
+            let op = match kind {
+                "declare-entity" => match rest.as_slice() {
+                    [class] => JournalOp::DeclareEntityContainer {
+                        class: (*class).to_owned(),
+                    },
+                    _ => return Err(bad(lineno, "malformed declare-entity line")),
+                },
+                "declare-schedule" => match rest.as_slice() {
+                    [activity, output] => JournalOp::DeclareScheduleContainer {
+                        activity: (*activity).to_owned(),
+                        output_class: (*output).to_owned(),
+                    },
+                    _ => return Err(bad(lineno, "malformed declare-schedule line")),
+                },
+                "store-data" => match rest.as_slice() {
+                    [name, content] => {
+                        let name =
+                            String::from_utf8(hex_decode(name).map_err(|m| bad(lineno, &m))?)
+                                .map_err(|_| bad(lineno, "data name is not UTF-8"))?;
+                        let content = hex_decode(content).map_err(|m| bad(lineno, &m))?;
+                        JournalOp::StoreData { name, content }
+                    }
+                    _ => return Err(bad(lineno, "malformed store-data line")),
+                },
+                "begin-run" => match rest.as_slice() {
+                    [activity, operator, started] => JournalOp::BeginRun {
+                        activity: (*activity).to_owned(),
+                        operator: (*operator).to_owned(),
+                        started_md: parse_md(lineno, started)?,
+                    },
+                    _ => return Err(bad(lineno, "malformed begin-run line")),
+                },
+                "finish-run" => match rest.as_slice() {
+                    [run, class, data, finished, "inputs", list] => {
+                        let mut inputs = Vec::new();
+                        if *list != "-" {
+                            for part in list.split(',') {
+                                inputs.push(EntityInstanceId(parse_idx(lineno, part)?));
+                            }
+                        }
+                        JournalOp::FinishRun {
+                            run: RunId(parse_idx(lineno, run)?),
+                            output_class: (*class).to_owned(),
+                            data: DataObjectId(parse_idx(lineno, data)?),
+                            finished_md: parse_md(lineno, finished)?,
+                            inputs,
+                        }
+                    }
+                    _ => return Err(bad(lineno, "malformed finish-run line")),
+                },
+                "supply-input" => match rest.as_slice() {
+                    [class, creator, created, data] => JournalOp::SupplyInput {
+                        class: (*class).to_owned(),
+                        creator: (*creator).to_owned(),
+                        created_md: parse_md(lineno, created)?,
+                        data: DataObjectId(parse_idx(lineno, data)?),
+                    },
+                    _ => return Err(bad(lineno, "malformed supply-input line")),
+                },
+                "begin-planning" => match rest.as_slice() {
+                    [at] => JournalOp::BeginPlanning {
+                        at_md: parse_md(lineno, at)?,
+                    },
+                    _ => return Err(bad(lineno, "malformed begin-planning line")),
+                },
+                "plan-activity" => match rest.as_slice() {
+                    [session, activity, start, duration] => JournalOp::PlanActivity {
+                        session: PlanningSessionId(parse_idx(lineno, session)?),
+                        activity: (*activity).to_owned(),
+                        start_md: parse_md(lineno, start)?,
+                        duration_md: parse_md(lineno, duration)?,
+                    },
+                    _ => return Err(bad(lineno, "malformed plan-activity line")),
+                },
+                "assign" => match rest.as_slice() {
+                    [schedule, designer] => JournalOp::Assign {
+                        schedule: ScheduleInstanceId(parse_idx(lineno, schedule)?),
+                        designer: (*designer).to_owned(),
+                    },
+                    _ => return Err(bad(lineno, "malformed assign line")),
+                },
+                "link" => match rest.as_slice() {
+                    [schedule, entity] => JournalOp::LinkCompletion {
+                        schedule: ScheduleInstanceId(parse_idx(lineno, schedule)?),
+                        entity: EntityInstanceId(parse_idx(lineno, entity)?),
+                    },
+                    _ => return Err(bad(lineno, "malformed link line")),
+                },
+                other => return Err(bad(lineno, &format!("unknown op kind {other:?}"))),
+            };
+            ops.push(op);
+        }
+        Ok(Journal { ops })
+    }
+}
+
+impl MetadataDb {
+    /// Turns on write-ahead journaling: from now on every mutating
+    /// method appends a [`JournalOp`] before applying.
+    ///
+    /// The current container declarations are snapshotted into the
+    /// journal so replay starts from an empty database; any *instances*
+    /// already present are **not** captured — enable journaling right
+    /// after [`MetadataDb::for_schema`], before the first mutation.
+    /// Re-enabling replaces the existing journal.
+    pub fn enable_journal(&mut self) {
+        let mut journal = Journal::new();
+        for class in self.entity_containers.keys() {
+            journal.record(JournalOp::DeclareEntityContainer {
+                class: class.clone(),
+            });
+        }
+        for activity in self.schedule_containers.keys() {
+            let output_class = self
+                .activity_outputs
+                .get(activity)
+                .cloned()
+                .unwrap_or_else(|| "-".to_owned());
+            journal.record(JournalOp::DeclareScheduleContainer {
+                activity: activity.clone(),
+                output_class,
+            });
+        }
+        self.journal = Some(journal);
+    }
+
+    /// The write-ahead journal, if journaling is enabled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches and returns the journal, disabling journaling.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// Appends `op` to the journal when journaling is enabled. The
+    /// closure defers construction so the fault-free path pays nothing.
+    pub(crate) fn journal_op(&mut self, op: impl FnOnce() -> JournalOp) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(op());
+        }
+    }
+
+    /// Arms a simulated crash: the `after`-th subsequent *fallible*
+    /// mutation (0 = the very next one) fails with
+    /// [`MetadataError::InjectedCrash`] **after** its journal append
+    /// and **before** its apply — the worst-case torn write. Once the
+    /// crash fires the database refuses all further fallible mutations,
+    /// simulating a dead process whose journal survives on disk.
+    pub fn inject_crash_after(&mut self, after: u32) {
+        self.crash_countdown = Some(after);
+    }
+
+    /// Disarms a pending [`inject_crash_after`](Self::inject_crash_after).
+    pub fn disarm_crash(&mut self) {
+        self.crash_countdown = None;
+    }
+
+    /// Whether an injected crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Fails fast if the database already crashed.
+    pub(crate) fn check_alive(&self) -> Result<(), MetadataError> {
+        if self.crashed {
+            Err(MetadataError::InjectedCrash)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The crash point between journal append and apply.
+    pub(crate) fn crash_point(&mut self) -> Result<(), MetadataError> {
+        if let Some(countdown) = self.crash_countdown.as_mut() {
+            if *countdown == 0 {
+                self.crashed = true;
+                return Err(MetadataError::InjectedCrash);
+            }
+            *countdown -= 1;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a database by replaying `journal` from scratch
+    /// (redo recovery). The recovered database has journaling disabled;
+    /// call [`enable_journal`](Self::enable_journal) to resume.
+    ///
+    /// Ops are validated against the live database *before* they are
+    /// appended, so replaying a journal produced by a live database —
+    /// including one whose last op crashed between append and apply —
+    /// always succeeds and yields a database at least as complete as
+    /// the crashed one.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError`] if an op does not apply cleanly (a corrupted
+    /// or hand-edited journal).
+    pub fn recover(journal: &Journal) -> Result<MetadataDb, MetadataError> {
+        let mut db = MetadataDb::new();
+        for op in journal.ops() {
+            db.apply_op(op)?;
+        }
+        Ok(db)
+    }
+
+    fn apply_op(&mut self, op: &JournalOp) -> Result<(), MetadataError> {
+        match op {
+            JournalOp::DeclareEntityContainer { class } => {
+                self.declare_entity_container(class);
+            }
+            JournalOp::DeclareScheduleContainer {
+                activity,
+                output_class,
+            } => {
+                self.declare_schedule_container(activity, output_class);
+            }
+            JournalOp::StoreData { name, content } => {
+                self.store_data(name.clone(), content.clone());
+            }
+            JournalOp::BeginRun {
+                activity,
+                operator,
+                started_md,
+            } => {
+                self.begin_run(activity, operator, from_millidays(*started_md))?;
+            }
+            JournalOp::FinishRun {
+                run,
+                output_class,
+                data,
+                finished_md,
+                inputs,
+            } => {
+                self.finish_run(
+                    *run,
+                    output_class,
+                    *data,
+                    from_millidays(*finished_md),
+                    inputs,
+                )?;
+            }
+            JournalOp::SupplyInput {
+                class,
+                creator,
+                created_md,
+                data,
+            } => {
+                self.supply_input(class, creator, from_millidays(*created_md), *data)?;
+            }
+            JournalOp::BeginPlanning { at_md } => {
+                self.begin_planning(from_millidays(*at_md));
+            }
+            JournalOp::PlanActivity {
+                session,
+                activity,
+                start_md,
+                duration_md,
+            } => {
+                self.plan_activity(
+                    *session,
+                    activity,
+                    from_millidays(*start_md),
+                    from_millidays(*duration_md),
+                )?;
+            }
+            JournalOp::Assign { schedule, designer } => {
+                self.assign(*schedule, designer)?;
+            }
+            JournalOp::LinkCompletion { schedule, entity } => {
+                self.link_completion(*schedule, *entity)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Audits the database's structural invariants, returning every
+    /// violation found (empty ⇒ consistent):
+    ///
+    /// * **Dense-id bounds** — every stored id points inside its vector.
+    /// * **Container membership** — each entity/schedule instance sits
+    ///   in exactly one container, under its own class/activity, with
+    ///   version = position + 1; schedule provenance (`derived_from`)
+    ///   chains to the previous container element.
+    /// * **Link referential integrity** — run ↔ output entity are
+    ///   mutually consistent; a completion link's entity was produced
+    ///   by a run of the linked activity with the declared output
+    ///   class; sessions and their instances point at each other.
+    /// * **Date monotonicity** — runs finish no earlier than they
+    ///   start, dependencies are created no later than their
+    ///   dependents, and a completed activity's actual finish is no
+    ///   earlier than its actual start.
+    ///
+    /// # Errors
+    ///
+    /// The list of human-readable violations.
+    pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        let mut violations: Vec<String> = Vec::new();
+        let n_entities = self.entities.len();
+        let n_schedules = self.schedules.len();
+        let n_runs = self.runs.len();
+        let n_data = self.data.len();
+        let n_sessions = self.sessions.len();
+
+        // Container membership: entities.
+        let mut entity_refs = vec![0usize; n_entities];
+        for (class, ids) in &self.entity_containers {
+            for (pos, id) in ids.iter().enumerate() {
+                if id.index() >= n_entities {
+                    violations.push(format!(
+                        "entity container {class:?} holds out-of-range {id}"
+                    ));
+                    continue;
+                }
+                entity_refs[id.index()] += 1;
+                let e = &self.entities[id.index()];
+                if e.class() != class {
+                    violations.push(format!(
+                        "{id} is in container {class:?} but has class {:?}",
+                        e.class()
+                    ));
+                }
+                if e.version() as usize != pos + 1 {
+                    violations.push(format!(
+                        "{id} at container position {pos} has version {}",
+                        e.version()
+                    ));
+                }
+            }
+        }
+        for (idx, count) in entity_refs.iter().enumerate() {
+            if *count != 1 {
+                violations.push(format!(
+                    "entity{idx} appears in {count} containers (expected exactly 1)"
+                ));
+            }
+        }
+
+        // Container membership: schedules, including provenance chains.
+        let mut schedule_refs = vec![0usize; n_schedules];
+        for (activity, ids) in &self.schedule_containers {
+            for (pos, id) in ids.iter().enumerate() {
+                if id.index() >= n_schedules {
+                    violations.push(format!(
+                        "schedule container {activity:?} holds out-of-range {id}"
+                    ));
+                    continue;
+                }
+                schedule_refs[id.index()] += 1;
+                let sc = &self.schedules[id.index()];
+                if sc.activity() != activity {
+                    violations.push(format!(
+                        "{id} is in container {activity:?} but plans {:?}",
+                        sc.activity()
+                    ));
+                }
+                if sc.version() as usize != pos + 1 {
+                    violations.push(format!(
+                        "{id} at container position {pos} has version {}",
+                        sc.version()
+                    ));
+                }
+                let expected_prev = if pos == 0 { None } else { Some(ids[pos - 1]) };
+                if sc.derived_from() != expected_prev {
+                    violations.push(format!(
+                        "{id} derived_from {:?} but the container predecessor is {expected_prev:?}",
+                        sc.derived_from()
+                    ));
+                }
+            }
+        }
+        for (idx, count) in schedule_refs.iter().enumerate() {
+            if *count != 1 {
+                violations.push(format!(
+                    "sched{idx} appears in {count} containers (expected exactly 1)"
+                ));
+            }
+        }
+
+        // Entities: provenance, dependencies, data.
+        for e in &self.entities {
+            if let Some(run_id) = e.produced_by() {
+                if run_id.index() >= n_runs {
+                    violations.push(format!("{} produced_by out-of-range {run_id}", e.id()));
+                } else {
+                    let run = &self.runs[run_id.index()];
+                    if run.output() != Some(e.id()) {
+                        violations.push(format!(
+                            "{} produced_by {run_id} but that run's output is {:?}",
+                            e.id(),
+                            run.output()
+                        ));
+                    }
+                    if let Some(expected) = self.activity_outputs.get(run.activity()) {
+                        if expected != e.class() {
+                            violations.push(format!(
+                                "{} has class {:?} but its producing activity {:?} outputs {expected:?}",
+                                e.id(),
+                                e.class(),
+                                run.activity()
+                            ));
+                        }
+                    }
+                }
+            }
+            for dep in e.depends_on() {
+                if dep.index() >= n_entities {
+                    violations.push(format!("{} depends on out-of-range {dep}", e.id()));
+                } else if self.entities[dep.index()].created_at().days() > e.created_at().days() {
+                    violations.push(format!(
+                        "{} depends on {dep}, which was created later",
+                        e.id()
+                    ));
+                }
+            }
+            if e.data().index() >= n_data {
+                violations.push(format!("{} references out-of-range {}", e.id(), e.data()));
+            }
+        }
+
+        // Runs: activity known, timestamps ordered, output mutual.
+        for run in &self.runs {
+            if !self.schedule_containers.contains_key(run.activity()) {
+                violations.push(format!(
+                    "{} executes undeclared activity {:?}",
+                    run.id(),
+                    run.activity()
+                ));
+            }
+            match (run.finished_at(), run.output()) {
+                (Some(finished), Some(output)) => {
+                    if finished.days() < run.started_at().days() {
+                        violations.push(format!("{} finished before it started", run.id()));
+                    }
+                    if output.index() >= n_entities {
+                        violations.push(format!("{} output is out-of-range {output}", run.id()));
+                    } else if self.entities[output.index()].produced_by() != Some(run.id()) {
+                        violations.push(format!(
+                            "{} claims output {output}, which was not produced by it",
+                            run.id()
+                        ));
+                    }
+                }
+                (Some(_), None) => {
+                    violations.push(format!("{} finished without an output instance", run.id()));
+                }
+                (None, Some(_)) => {
+                    violations.push(format!("{} has an output but never finished", run.id()));
+                }
+                (None, None) => {}
+            }
+        }
+
+        // Schedules: session membership, completion links.
+        for sc in &self.schedules {
+            if sc.session().index() >= n_sessions {
+                violations.push(format!(
+                    "{} belongs to out-of-range {}",
+                    sc.id(),
+                    sc.session()
+                ));
+            } else if !self.sessions[sc.session().index()]
+                .instances()
+                .contains(&sc.id())
+            {
+                violations.push(format!(
+                    "{} belongs to {} but the session does not list it",
+                    sc.id(),
+                    sc.session()
+                ));
+            }
+            if let Some(entity) = sc.linked_entity() {
+                if entity.index() >= n_entities {
+                    violations.push(format!("{} links out-of-range {entity}", sc.id()));
+                    continue;
+                }
+                let e = &self.entities[entity.index()];
+                if let Some(expected) = self.activity_outputs.get(sc.activity()) {
+                    if expected != e.class() {
+                        violations.push(format!(
+                            "{} completes {:?} with a {:?} instance (expected {expected:?})",
+                            sc.id(),
+                            sc.activity(),
+                            e.class()
+                        ));
+                    }
+                }
+                match e.produced_by() {
+                    Some(run_id) if run_id.index() < n_runs => {
+                        if self.runs[run_id.index()].activity() != sc.activity() {
+                            violations.push(format!(
+                                "{} links {entity}, produced by a different activity",
+                                sc.id()
+                            ));
+                        }
+                    }
+                    _ => violations.push(format!(
+                        "{} links {entity}, which has no producing run",
+                        sc.id()
+                    )),
+                }
+            }
+        }
+
+        // Sessions point back at their instances.
+        for session in &self.sessions {
+            for id in session.instances() {
+                if id.index() >= n_schedules {
+                    violations.push(format!("{} lists out-of-range {id}", session.id()));
+                } else if self.schedules[id.index()].session() != session.id() {
+                    violations.push(format!(
+                        "{} lists {id}, which belongs to {}",
+                        session.id(),
+                        self.schedules[id.index()].session()
+                    ));
+                }
+            }
+        }
+
+        // Schedule ↔ run date monotonicity per activity.
+        for activity in self.schedule_containers.keys() {
+            if let (Some(start), Some(finish)) =
+                (self.actual_start(activity), self.actual_finish(activity))
+            {
+                if finish.days() < start.days() {
+                    violations.push(format!(
+                        "activity {activity:?} actually finished before it started"
+                    ));
+                }
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedule::WorkDays;
+    use schema::examples;
+
+    fn journaled_session() -> MetadataDb {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        db.enable_journal();
+        let session = db.begin_planning(WorkDays::ZERO);
+        let sc = db
+            .plan_activity(session, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        db.assign(sc, "alice").unwrap();
+        let stim = db.store_data("vec.stim", b"0101".to_vec());
+        db.supply_input("stimuli", "bob", WorkDays::ZERO, stim)
+            .unwrap();
+        let run = db.begin_run("Create", "alice", WorkDays::new(0.5)).unwrap();
+        let data = db.store_data("v1.net", b"module".to_vec());
+        let e = db
+            .finish_run(run, "netlist", data, WorkDays::new(1.5), &[])
+            .unwrap();
+        db.link_completion(sc, e).unwrap();
+        db
+    }
+
+    #[test]
+    fn replay_reproduces_live_database() {
+        let db = journaled_session();
+        let journal = db.journal().unwrap().clone();
+        let recovered = MetadataDb::recover(&journal).unwrap();
+        assert_eq!(recovered.dump(), db.dump());
+        recovered.check_invariants().unwrap();
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let db = journaled_session();
+        let journal = db.journal().unwrap();
+        let text = journal.to_text();
+        assert!(text.starts_with("metadata-journal v1\n"));
+        let reparsed = Journal::parse(&text).unwrap();
+        assert_eq!(&reparsed, journal);
+        // And the reparsed journal still recovers the same database.
+        assert_eq!(MetadataDb::recover(&reparsed).unwrap().dump(), db.dump());
+    }
+
+    #[test]
+    fn every_prefix_recovers_consistently() {
+        let db = journaled_session();
+        let journal = db.journal().unwrap();
+        for n in 0..=journal.len() {
+            let recovered = MetadataDb::recover(&journal.prefix(n)).unwrap();
+            recovered.check_invariants().unwrap_or_else(|violations| {
+                panic!("prefix {n} violates invariants: {violations:?}")
+            });
+        }
+    }
+
+    #[test]
+    fn crash_between_append_and_apply_is_recoverable() {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        db.enable_journal();
+        let session = db.begin_planning(WorkDays::ZERO);
+        db.plan_activity(session, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        // Crash on the next fallible mutation: append happens, apply
+        // does not.
+        db.inject_crash_after(0);
+        let schedules_before = db.schedule_count();
+        let err = db
+            .plan_activity(session, "Simulate", WorkDays::new(2.0), WorkDays::new(3.0))
+            .unwrap_err();
+        assert_eq!(err, MetadataError::InjectedCrash);
+        assert!(db.has_crashed());
+        assert_eq!(db.schedule_count(), schedules_before); // not applied
+                                                           // The dead process refuses further work.
+        assert_eq!(
+            db.begin_run("Create", "alice", WorkDays::ZERO).unwrap_err(),
+            MetadataError::InjectedCrash
+        );
+        // Recovery redoes the appended-but-unapplied op.
+        let recovered = MetadataDb::recover(db.journal().unwrap()).unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(recovered.schedule_count(), schedules_before + 1);
+        assert!(recovered.current_plan("Simulate").is_some());
+    }
+
+    #[test]
+    fn crash_countdown_and_disarm() {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        db.enable_journal();
+        db.inject_crash_after(1);
+        let session = db.begin_planning(WorkDays::ZERO); // infallible: no crash point
+        db.plan_activity(session, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap(); // countdown 1 -> 0
+        db.disarm_crash();
+        db.plan_activity(session, "Simulate", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap(); // disarmed: no crash
+        assert!(!db.has_crashed());
+    }
+
+    #[test]
+    fn validation_failures_are_not_journaled() {
+        let mut db = MetadataDb::for_schema(&examples::circuit_design());
+        db.enable_journal();
+        let before = db.journal().unwrap().len();
+        assert!(db.begin_run("Fabricate", "alice", WorkDays::ZERO).is_err());
+        assert_eq!(db.journal().unwrap().len(), before);
+    }
+
+    #[test]
+    fn take_journal_disables_journaling() {
+        let mut db = journaled_session();
+        let journal = db.take_journal().unwrap();
+        assert!(db.journal().is_none());
+        assert!(!journal.is_empty());
+        db.begin_planning(WorkDays::new(9.0)); // no journal to append to
+        assert!(db.journal().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Journal::parse("").unwrap_err(), LoadError::BadHeader);
+        assert!(matches!(
+            Journal::parse("metadata-journal v1\nwat 1 2\n").unwrap_err(),
+            LoadError::BadLine { line: 2, .. }
+        ));
+        assert!(matches!(
+            Journal::parse("metadata-journal v1\nbegin-run a b zz\n").unwrap_err(),
+            LoadError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn check_invariants_flags_tampering() {
+        let mut db = journaled_session();
+        // Corrupt a completion link by pointing a schedule at an entity
+        // of the wrong activity (reach through the crate-public field).
+        let stim_container = db.entity_container("stimuli").unwrap().to_vec();
+        let sched = db.schedule_container("Create").unwrap()[0];
+        db.schedules[sched.index()].set_link(stim_container[0]);
+        let violations = db.check_invariants().unwrap_err();
+        assert!(!violations.is_empty());
+    }
+}

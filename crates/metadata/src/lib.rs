@@ -64,10 +64,12 @@ mod ids;
 mod objects;
 
 pub mod export;
+pub mod journal;
 pub mod query;
 
 pub use database::MetadataDb;
 pub use error::MetadataError;
 pub use export::LoadError;
 pub use ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
+pub use journal::{Journal, JournalOp};
 pub use objects::{DataObject, EntityInstance, PlanningSession, Run, RunState, ScheduleInstance};

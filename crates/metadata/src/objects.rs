@@ -442,11 +442,11 @@ impl PlanningSession {
 
 /// Timestamps are stored as integer milli-days so metadata objects stay
 /// `Eq`/hashable while keeping sub-minute planning resolution.
-fn to_millidays(t: WorkDays) -> i64 {
+pub(crate) fn to_millidays(t: WorkDays) -> i64 {
     (t.days() * 1000.0).round() as i64
 }
 
-fn from_millidays(md: i64) -> WorkDays {
+pub(crate) fn from_millidays(md: i64) -> WorkDays {
     WorkDays::new(md as f64 / 1000.0)
 }
 

@@ -1,0 +1,117 @@
+//! Golden-file test of the journal text format: a fixed, scripted
+//! planning + execution session must serialize to exactly the
+//! committed `artifacts/journal_session.txt`. The journal text *is*
+//! the recovery artifact — any accidental format drift would strand
+//! previously written logs — so changes must be deliberate:
+//! regenerate with
+//!
+//! ```text
+//! cargo test -p metadata --test journal_golden -- --ignored regenerate
+//! ```
+//!
+//! and review the diff.
+
+use std::path::PathBuf;
+
+use metadata::{Journal, MetadataDb};
+use schedule::WorkDays;
+use schema::examples;
+
+/// A small but complete session: plan two activities, supply a primary
+/// input, run both tools, link both completions. Every journal op kind
+/// that a normal session produces appears at least once.
+fn scripted_session() -> MetadataDb {
+    let schema = examples::circuit_design();
+    let mut db = MetadataDb::for_schema(&schema);
+    db.enable_journal();
+
+    let session = db.begin_planning(WorkDays::ZERO);
+    let plan_create = db
+        .plan_activity(session, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+        .expect("plan Create");
+    let plan_sim = db
+        .plan_activity(session, "Simulate", WorkDays::new(2.0), WorkDays::new(1.5))
+        .expect("plan Simulate");
+    db.assign(plan_create, "alice").expect("assign alice");
+    db.assign(plan_sim, "bob").expect("assign bob");
+
+    let stim_data = db.store_data("stimuli.dat", b"0101 1100".to_vec());
+    let stimuli = db
+        .supply_input("stimuli", "bob", WorkDays::ZERO, stim_data)
+        .expect("supply stimuli");
+
+    let run = db
+        .begin_run("Create", "alice", WorkDays::new(0.25))
+        .expect("begin Create run");
+    let net_data = db.store_data("netlist.v1", b"module counter;".to_vec());
+    let netlist = db
+        .finish_run(run, "netlist", net_data, WorkDays::new(1.75), &[])
+        .expect("finish Create run");
+    db.link_completion(plan_create, netlist)
+        .expect("link Create");
+
+    let run = db
+        .begin_run("Simulate", "bob", WorkDays::new(2.0))
+        .expect("begin Simulate run");
+    let perf_data = db.store_data("performance.v1", b"slack +0.2ns".to_vec());
+    let performance = db
+        .finish_run(
+            run,
+            "performance",
+            perf_data,
+            WorkDays::new(3.25),
+            &[netlist, stimuli],
+        )
+        .expect("finish Simulate run");
+    db.link_completion(plan_sim, performance)
+        .expect("link Simulate");
+    db
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../artifacts/journal_session.txt")
+}
+
+#[test]
+fn journal_text_matches_golden_artifact() {
+    let db = scripted_session();
+    let actual = db.journal().expect("journal enabled").to_text();
+    let path = golden_path();
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nregenerate with: cargo test -p metadata \
+             --test journal_golden -- --ignored regenerate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.replace("\r\n", "\n"),
+        actual,
+        "journal text format drifted from the committed golden artifact; \
+         if intentional, regenerate with: cargo test -p metadata \
+         --test journal_golden -- --ignored regenerate"
+    );
+}
+
+#[test]
+fn golden_artifact_replays_into_the_session() {
+    let db = scripted_session();
+    let golden = std::fs::read_to_string(golden_path()).expect("golden artifact exists");
+    let journal = Journal::parse(&golden).expect("golden artifact parses");
+    let recovered = MetadataDb::recover(&journal).expect("golden artifact replays");
+    assert_eq!(recovered.dump(), db.dump());
+    recovered
+        .check_invariants()
+        .expect("recovered session passes invariants");
+    assert_eq!(recovered.completed_activities(), vec!["Create", "Simulate"]);
+}
+
+/// Rewrites the golden artifact from the scripted session. Ignored by
+/// default; run explicitly when the format changes deliberately.
+#[test]
+#[ignore = "writes the golden artifact; run explicitly after deliberate format changes"]
+fn regenerate() {
+    let db = scripted_session();
+    let text = db.journal().expect("journal enabled").to_text();
+    std::fs::write(golden_path(), text).expect("write golden artifact");
+}

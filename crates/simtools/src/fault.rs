@@ -1,0 +1,504 @@
+//! Deterministic fault injection for the tool substrate.
+//!
+//! Real CAD flows are not fault-free: licenses drop, machines reboot
+//! mid-run, batch tools hang on pathological inputs, and disks hand
+//! back corrupted result files. A [`FaultPlan`] layers those failure
+//! modes *deterministically* over any [`ToolModel`](crate::ToolModel):
+//! the decision for a given `(plan seed, tool, invocation, attempt)`
+//! tuple is a pure function, so a chaos run is bit-reproducible from
+//! its seed — the property the chaos CI stage and `herc chaos --seed N`
+//! rely on.
+//!
+//! Fault taxonomy:
+//!
+//! * **Transient** — the run dies partway through (crash, lost
+//!   license). A retry of the same attempt may succeed.
+//! * **Hang** — the run never finishes; the execution engine kills it
+//!   at its timeout and charges the full timeout budget.
+//! * **Corrupt** — the run "finishes" but its output bytes are
+//!   garbage; the designer notices and must rerun.
+//! * **Persistent** — the tool is broken for the whole project
+//!   (installation rot); every attempt fails until the operator marks
+//!   the activity blocked and replans around it.
+//!
+//! # Example
+//!
+//! ```
+//! use simtools::{FaultPlan, ToolInvocation, ToolLibrary};
+//!
+//! let plan = FaultPlan::seeded(7);
+//! let lib = ToolLibrary::standard();
+//! let req = ToolInvocation { input_bytes: 0, iteration: 1, seed: 1 };
+//! let a = lib.invoke_with_faults("simulator", &req, &plan, 1);
+//! let b = lib.invoke_with_faults("simulator", &req, &plan, 1);
+//! assert_eq!(a, b); // bit-reproducible per seed
+//! ```
+
+use crate::model::{ToolInvocation, ToolOutcome};
+use crate::rng::{hash_str, mix, SplitMix64};
+
+/// One injected failure mode observed by a single tool attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InjectedFault {
+    /// The run crashed partway through; a retry may succeed.
+    Transient,
+    /// The run hung; the caller kills it at its timeout budget.
+    Hang,
+    /// The run produced corrupted output bytes.
+    CorruptOutput,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InjectedFault::Transient => "transient",
+            InjectedFault::Hang => "hang",
+            InjectedFault::CorruptOutput => "corrupt-output",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A seeded, deterministic plan of which tool attempts fail and how.
+///
+/// Composable with any [`ToolModel`](crate::ToolModel): the plan only
+/// decides *whether and how* an attempt fails; durations and
+/// convergence still come from the model. [`FaultPlan::none`] injects
+/// nothing, so fault-aware code paths cost nothing in the fault-free
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_rate: f64,
+    hang_rate: f64,
+    corrupt_rate: f64,
+    persistent_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the fault-free substrate).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_rate: 0.0,
+            hang_rate: 0.0,
+            corrupt_rate: 0.0,
+            persistent_rate: 0.0,
+        }
+    }
+
+    /// A plan with moderate default rates — the configuration the chaos
+    /// suite drives: 10% transient, 3% hang, 4% corrupt per attempt,
+    /// and a 5% chance that any given tool is persistently broken.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: 0.10,
+            hang_rate: 0.03,
+            corrupt_rate: 0.04,
+            persistent_rate: 0.05,
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns `true` if the plan can never inject a fault.
+    pub fn is_none(&self) -> bool {
+        self.transient_rate == 0.0
+            && self.hang_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.persistent_rate == 0.0
+    }
+
+    /// Per-attempt probability of a transient crash.
+    #[must_use]
+    pub fn with_transient_rate(mut self, rate: f64) -> Self {
+        self.transient_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-attempt probability of a hang.
+    #[must_use]
+    pub fn with_hang_rate(mut self, rate: f64) -> Self {
+        self.hang_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-attempt probability of corrupted output.
+    #[must_use]
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-tool probability that the tool is persistently broken.
+    #[must_use]
+    pub fn with_persistent_rate(mut self, rate: f64) -> Self {
+        self.persistent_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Marks exactly the named tool as persistently broken (rate-free
+    /// deterministic injection for targeted tests): implemented as a
+    /// plan whose persistent decision is forced for `tool`.
+    #[must_use]
+    pub fn breaking_tool(tool: &str) -> BrokenToolPlan {
+        BrokenToolPlan {
+            inner: FaultPlan::none(),
+            tool: tool.to_owned(),
+        }
+    }
+
+    /// Whether `tool` is persistently broken under this plan — a pure
+    /// function of `(plan seed, tool name)`, so the whole project
+    /// agrees on the verdict across attempts and iterations.
+    pub fn is_persistent(&self, tool: &str) -> bool {
+        if self.persistent_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = SplitMix64::new(mix(&[self.seed, 0xBADD_B007, hash_str(tool)]));
+        rng.next_f64() < self.persistent_rate
+    }
+
+    /// The fault (if any) injected into one attempt of one invocation.
+    ///
+    /// Persistently broken tools always fail: the first attempts
+    /// surface as [`InjectedFault::Transient`] (indistinguishable from
+    /// bad luck, as in real flows) until the caller's retry budget
+    /// classifies the tool as broken.
+    pub fn decide(&self, tool: &str, req: &ToolInvocation, attempt: u32) -> Option<InjectedFault> {
+        let mut rng = SplitMix64::new(mix(&[
+            self.seed,
+            hash_str(tool),
+            req.seed,
+            u64::from(req.iteration),
+            u64::from(attempt),
+        ]));
+        if self.is_persistent(tool) {
+            // Broken tools alternate crash/hang deterministically.
+            return Some(if rng.next_f64() < 0.5 {
+                InjectedFault::Transient
+            } else {
+                InjectedFault::Hang
+            });
+        }
+        let draw = rng.next_f64();
+        if draw < self.transient_rate {
+            Some(InjectedFault::Transient)
+        } else if draw < self.transient_rate + self.hang_rate {
+            Some(InjectedFault::Hang)
+        } else if draw < self.transient_rate + self.hang_rate + self.corrupt_rate {
+            Some(InjectedFault::CorruptOutput)
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of a run's nominal duration consumed before a transient
+    /// crash is noticed — deterministic in the same tuple as
+    /// [`decide`](FaultPlan::decide).
+    pub fn crash_fraction(&self, tool: &str, req: &ToolInvocation, attempt: u32) -> f64 {
+        let mut rng = SplitMix64::new(mix(&[
+            self.seed,
+            0xC4A5_4F4A,
+            hash_str(tool),
+            req.seed,
+            u64::from(req.iteration),
+            u64::from(attempt),
+        ]));
+        // Between 10% and 90% of the run elapses before the crash.
+        0.1 + 0.8 * rng.next_f64()
+    }
+}
+
+/// A [`FaultPlan`]-shaped plan that persistently breaks exactly one
+/// named tool and injects nothing else — see
+/// [`FaultPlan::breaking_tool`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokenToolPlan {
+    inner: FaultPlan,
+    tool: String,
+}
+
+impl BrokenToolPlan {
+    /// Converts to a trait object-free decision: same surface as
+    /// [`FaultPlan::decide`].
+    pub fn decide(&self, tool: &str, req: &ToolInvocation, attempt: u32) -> Option<InjectedFault> {
+        if tool == self.tool {
+            // Deterministic alternation keeps replays stable.
+            Some(
+                if (u64::from(req.iteration) + u64::from(attempt)) % 2 == 0 {
+                    InjectedFault::Hang
+                } else {
+                    InjectedFault::Transient
+                },
+            )
+        } else {
+            self.inner.decide(tool, req, attempt)
+        }
+    }
+
+    /// Whether `tool` is persistently broken.
+    pub fn is_persistent(&self, tool: &str) -> bool {
+        tool == self.tool
+    }
+}
+
+impl From<BrokenToolPlan> for FaultInjector {
+    fn from(p: BrokenToolPlan) -> Self {
+        FaultInjector::Broken(p)
+    }
+}
+
+impl From<FaultPlan> for FaultInjector {
+    fn from(p: FaultPlan) -> Self {
+        FaultInjector::Plan(p)
+    }
+}
+
+impl From<&BrokenToolPlan> for FaultInjector {
+    fn from(p: &BrokenToolPlan) -> Self {
+        FaultInjector::Broken(p.clone())
+    }
+}
+
+impl From<&FaultPlan> for FaultInjector {
+    fn from(p: &FaultPlan) -> Self {
+        FaultInjector::Plan(p.clone())
+    }
+}
+
+impl From<&FaultInjector> for FaultInjector {
+    fn from(p: &FaultInjector) -> Self {
+        p.clone()
+    }
+}
+
+/// Either fault source, so callers can hold "a fault policy" without
+/// generics: a rate-driven [`FaultPlan`] or a targeted
+/// [`BrokenToolPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultInjector {
+    /// Rate-driven seeded plan.
+    Plan(FaultPlan),
+    /// Exactly one tool broken.
+    Broken(BrokenToolPlan),
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::Plan(FaultPlan::none())
+    }
+}
+
+impl FaultInjector {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// See [`FaultPlan::decide`].
+    pub fn decide(&self, tool: &str, req: &ToolInvocation, attempt: u32) -> Option<InjectedFault> {
+        match self {
+            FaultInjector::Plan(p) => p.decide(tool, req, attempt),
+            FaultInjector::Broken(p) => p.decide(tool, req, attempt),
+        }
+    }
+
+    /// See [`FaultPlan::is_persistent`].
+    pub fn is_persistent(&self, tool: &str) -> bool {
+        match self {
+            FaultInjector::Plan(p) => p.is_persistent(tool),
+            FaultInjector::Broken(p) => p.is_persistent(tool),
+        }
+    }
+
+    /// See [`FaultPlan::crash_fraction`].
+    pub fn crash_fraction(&self, tool: &str, req: &ToolInvocation, attempt: u32) -> f64 {
+        match self {
+            FaultInjector::Plan(p) => p.crash_fraction(tool, req, attempt),
+            FaultInjector::Broken(p) => p.inner.crash_fraction(tool, req, attempt),
+        }
+    }
+
+    /// Returns `true` if this injector can never fire.
+    pub fn is_none(&self) -> bool {
+        match self {
+            FaultInjector::Plan(p) => p.is_none(),
+            FaultInjector::Broken(_) => false,
+        }
+    }
+}
+
+/// The observable result of one *attempt* at a tool run under fault
+/// injection: the model's outcome plus the fault verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedOutcome {
+    /// The underlying model outcome. For a
+    /// [`InjectedFault::CorruptOutput`] fault the output bytes have
+    /// been deterministically scrambled; for `Transient`/`Hang` the
+    /// outcome describes what the run *would* have produced.
+    pub outcome: ToolOutcome,
+    /// The fault injected into this attempt, if any.
+    pub fault: Option<InjectedFault>,
+}
+
+impl FaultedOutcome {
+    /// Whether the attempt produced a usable result.
+    pub fn is_ok(&self) -> bool {
+        self.fault.is_none()
+    }
+}
+
+/// Deterministically scrambles output bytes for a corrupt-output fault:
+/// XORs a keystream over the payload so the corruption is reproducible
+/// and never accidentally equal to the clean bytes.
+pub(crate) fn corrupt_bytes(bytes: &mut [u8], seed: u64) {
+    let mut rng = SplitMix64::new(mix(&[seed, 0xC0_44_0B_7E]));
+    for chunk in bytes.chunks_mut(8) {
+        let key = rng.next_u64().to_le_bytes();
+        for (b, k) in chunk.iter_mut().zip(key.iter()) {
+            *b ^= k | 1; // |1 guarantees at least one flipped bit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(iteration: u32) -> ToolInvocation {
+        ToolInvocation {
+            input_bytes: 512,
+            iteration,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn none_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for attempt in 1..50 {
+            assert_eq!(plan.decide("simulator", &req(1), attempt), None);
+        }
+        assert!(!plan.is_persistent("simulator"));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::seeded(9);
+        let b = FaultPlan::seeded(9);
+        for attempt in 1..20 {
+            for iter in 1..5 {
+                assert_eq!(
+                    a.decide("router", &req(iter), attempt),
+                    b.decide("router", &req(iter), attempt)
+                );
+            }
+        }
+        assert_eq!(a.is_persistent("router"), b.is_persistent("router"));
+    }
+
+    #[test]
+    fn seeds_change_decisions() {
+        // Across many seeds the fault pattern must vary.
+        let patterns: std::collections::BTreeSet<Vec<Option<InjectedFault>>> = (0..20)
+            .map(|seed| {
+                let plan = FaultPlan::seeded(seed);
+                (1..10).map(|a| plan.decide("placer", &req(1), a)).collect()
+            })
+            .collect();
+        assert!(patterns.len() > 1);
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let plan = FaultPlan::none().with_transient_rate(0.5);
+        let n = 2000;
+        let faults = (0..n)
+            .filter(|&s| {
+                plan.decide(
+                    "t",
+                    &ToolInvocation {
+                        input_bytes: 0,
+                        iteration: 1,
+                        seed: s,
+                    },
+                    1,
+                )
+                .is_some()
+            })
+            .count();
+        let rate = faults as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn persistent_rate_marks_some_tools() {
+        let plan = FaultPlan::none().with_persistent_rate(0.5);
+        let broken = (0..100)
+            .filter(|i| plan.is_persistent(&format!("tool{i}")))
+            .count();
+        assert!((20..80).contains(&broken), "broken {broken}");
+    }
+
+    #[test]
+    fn persistent_tool_always_fails() {
+        let plan = FaultPlan::seeded(3).with_persistent_rate(1.0);
+        for attempt in 1..32 {
+            assert!(plan.decide("synthesizer", &req(1), attempt).is_some());
+        }
+    }
+
+    #[test]
+    fn broken_tool_plan_targets_one_tool() {
+        let plan = FaultPlan::breaking_tool("rtl_editor");
+        assert!(plan.is_persistent("rtl_editor"));
+        assert!(!plan.is_persistent("simulator"));
+        assert!(plan.decide("rtl_editor", &req(1), 1).is_some());
+        assert_eq!(plan.decide("simulator", &req(1), 1), None);
+    }
+
+    #[test]
+    fn crash_fraction_in_range_and_stable() {
+        let plan = FaultPlan::seeded(4);
+        let f1 = plan.crash_fraction("simulator", &req(1), 2);
+        let f2 = plan.crash_fraction("simulator", &req(1), 2);
+        assert_eq!(f1, f2);
+        assert!((0.1..=0.9).contains(&f1));
+    }
+
+    #[test]
+    fn corruption_changes_bytes_deterministically() {
+        let original = vec![0u8; 64];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        corrupt_bytes(&mut a, 7);
+        corrupt_bytes(&mut b, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, original);
+        let mut c = original.clone();
+        corrupt_bytes(&mut c, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn injector_dispatches() {
+        let inj: FaultInjector = FaultPlan::breaking_tool("x").into();
+        assert!(inj.is_persistent("x"));
+        assert!(!inj.is_none());
+        let inj: FaultInjector = FaultPlan::none().into();
+        assert!(inj.is_none());
+        assert!((0.1..=0.9).contains(&inj.crash_fraction("x", &req(1), 1)));
+    }
+}

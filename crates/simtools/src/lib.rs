@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod library;
 mod model;
 
@@ -53,5 +54,6 @@ pub mod des;
 pub mod rng;
 pub mod workload;
 
+pub use fault::{BrokenToolPlan, FaultInjector, FaultPlan, FaultedOutcome, InjectedFault};
 pub use library::ToolLibrary;
 pub use model::{ToolInvocation, ToolModel, ToolOutcome};

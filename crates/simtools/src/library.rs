@@ -1,7 +1,8 @@
 use std::collections::BTreeMap;
 
+use crate::fault::{corrupt_bytes, FaultInjector, FaultedOutcome, InjectedFault};
 use crate::model::{ToolInvocation, ToolModel, ToolOutcome};
-use crate::rng::{hash_str, SplitMix64};
+use crate::rng::{hash_str, mix, SplitMix64};
 
 /// A library of tool behaviour models addressed by tool-class name.
 ///
@@ -115,6 +116,42 @@ impl ToolLibrary {
     /// Invokes `tool` (resolving defaults as needed).
     pub fn invoke(&self, tool: &str, req: &ToolInvocation) -> ToolOutcome {
         self.resolve(tool).invoke(req)
+    }
+
+    /// Invokes `tool` under fault injection: the model runs as in
+    /// [`invoke`](ToolLibrary::invoke), then the fault source decides
+    /// whether this `attempt` (1-based retry counter) is sabotaged.
+    ///
+    /// * `Transient`/`Hang` faults leave the model outcome intact —
+    ///   the caller decides how much simulated time the failed attempt
+    ///   burned (see `FaultPlan::crash_fraction` and the retry policy's
+    ///   timeout budget).
+    /// * `CorruptOutput` scrambles the output bytes deterministically
+    ///   and clears `converged` — the designer notices garbage and must
+    ///   rerun.
+    ///
+    /// Deterministic in `(library, fault source, tool, req, attempt)`.
+    pub fn invoke_with_faults(
+        &self,
+        tool: &str,
+        req: &ToolInvocation,
+        faults: impl Into<FaultInjector>,
+        attempt: u32,
+    ) -> FaultedOutcome {
+        let injector: FaultInjector = faults.into();
+        let mut outcome = self.resolve(tool).invoke(req);
+        let fault = injector.decide(tool, req, attempt);
+        if fault == Some(InjectedFault::CorruptOutput) {
+            let seed = mix(&[
+                hash_str(tool),
+                req.seed,
+                u64::from(req.iteration),
+                u64::from(attempt),
+            ]);
+            corrupt_bytes(&mut outcome.output, seed);
+            outcome.converged = false;
+        }
+        FaultedOutcome { outcome, fault }
     }
 
     /// Number of registered models.

@@ -1,0 +1,64 @@
+//! The chaos suite: random flows driven through random fault plans and
+//! injected metadata crashes, asserting the failure-semantics contract
+//! end to end (see `hercules::chaos` for the property list).
+//!
+//! Two layers:
+//!
+//! * a **fixed sweep** over seeds 0..64 — the same deterministic set
+//!   the `chaos` CI stage runs, so a CI failure replays locally (and
+//!   via `herc chaos --seed N`) bit-for-bit;
+//! * a **randomized layer** through the harness runner, which explores
+//!   fresh seeds every `HARNESS_SEED` and shrinks to the smallest
+//!   failing scenario seed.
+
+use harness::prelude::*;
+use hercules::chaos::{run_suite, ChaosScenario};
+
+/// The fixed seed set CI runs (64 scenarios, bounded runtime).
+#[test]
+fn fixed_seed_sweep_is_clean() {
+    let reports = run_suite(0, 64);
+    let failures: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.is_clean())
+        .map(|r| r.to_string())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "chaos violations:\n{}",
+        failures.join("\n")
+    );
+    // The sweep must actually exercise the degraded paths, or the
+    // clean verdict is vacuous.
+    assert!(
+        reports.iter().any(|r| r.blocked > 0),
+        "no scenario ever blocked an activity"
+    );
+    assert!(
+        reports.iter().any(|r| r.skipped > 0),
+        "no scenario ever skipped a downstream activity"
+    );
+    assert!(
+        reports.iter().any(|r| r.crash_fired),
+        "no scenario ever fired its injected crash"
+    );
+    assert!(
+        reports.iter().any(|r| r.executed > 0 && r.blocked == 0),
+        "no scenario ever completed cleanly"
+    );
+}
+
+harness::props! {
+    config(cases = 32);
+
+    fn random_scenarios_uphold_all_properties(seed in 0u64..1_000_000) {
+        let report = ChaosScenario::from_seed(seed).run();
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    fn scenarios_are_reproducible(seed in 0u64..1_000_000) {
+        let a = ChaosScenario::from_seed(seed).run();
+        let b = ChaosScenario::from_seed(seed).run();
+        prop_assert_eq!(a, b);
+    }
+}
