@@ -157,10 +157,21 @@ fn main() -> ExitCode {
     // spin ratio cancels the uniform component while a real regression
     // (which moves one bench, not the spin) still trips the gate.
     // Clamped to ≥1 so a *faster* host never inflates fresh numbers.
-    let host_factor = match (calibration_median(&fresh), calibration_median(&baseline)) {
+    let fresh_spin = calibration_median(&fresh);
+    let baseline_spin = calibration_median(&baseline);
+    let host_factor = match (fresh_spin, baseline_spin) {
         (Some(f), Some(b)) if b > 0.0 => (f / b).max(1.0),
         _ => 1.0,
     };
+    // Always report the calibration anchor: reading a comparison
+    // without knowing how the host compared to the baseline host is
+    // how noise gets mistaken for regressions (and vice versa).
+    let spin = |s: Option<f64>| s.map_or("absent".to_owned(), |v| format!("{v:.0} ns"));
+    eprintln!(
+        "bench_compare: calibration spin — baseline {}, fresh {}, host factor {host_factor:.2}x",
+        spin(baseline_spin),
+        spin(fresh_spin)
+    );
     if host_factor > 1.05 {
         eprintln!(
             "bench_compare: host running {host_factor:.2}x slower than when the baseline \
@@ -172,8 +183,8 @@ fn main() -> ExitCode {
     let mut regressions = 0usize;
     let mut improvements = 0usize;
     eprintln!(
-        "{:<20} {:<26} {:>12} {:>12} {:>7}  status",
-        "kernel", "bench", "base med", "fresh med", "ratio"
+        "{:<20} {:<26} {:>12} {:>12} {:>8}  status",
+        "kernel", "bench", "base med", "fresh med", "delta"
     );
     for f in &fresh {
         if f.kernel == "calibrate" {
@@ -189,7 +200,7 @@ fn main() -> ExitCode {
             .find(|b| b.kernel == f.kernel && b.bench == f.bench)
         else {
             eprintln!(
-                "{:<20} {:<26} {:>12} {:>12.0} {:>7}  NEW (not in baseline; regen to track)",
+                "{:<20} {:<26} {:>12} {:>12.0} {:>8}  NEW (not in baseline; regen to track)",
                 f.kernel, f.bench, "-", f.stats.median_ns, "-"
             );
             continue;
@@ -199,6 +210,7 @@ fn main() -> ExitCode {
         let fresh_min = f.stats.min_ns / host_factor;
         let limit = b.stats.median_ns * (1.0 + tolerance);
         let ratio = fresh_median / b.stats.median_ns;
+        let delta_pct = (ratio - 1.0) * 100.0;
         let status = if fresh_median > limit && fresh_min > limit {
             regressions += 1;
             "REGRESSED"
@@ -209,8 +221,8 @@ fn main() -> ExitCode {
             "ok"
         };
         eprintln!(
-            "{:<20} {:<26} {:>12.0} {:>12.0} {:>6.2}x  {status}",
-            f.kernel, f.bench, b.stats.median_ns, fresh_median, ratio
+            "{:<20} {:<26} {:>12.0} {:>12.0} {:>+7.1}%  {status}",
+            f.kernel, f.bench, b.stats.median_ns, fresh_median, delta_pct
         );
     }
 

@@ -1,4 +1,4 @@
-//! The workspace's micro-benchmark kernels (B1–B10 in DESIGN.md),
+//! The workspace's micro-benchmark kernels (B1–B11 in DESIGN.md),
 //! ported from Criterion onto `harness::bench` so they run offline and
 //! emit machine-readable results.
 //!
@@ -21,12 +21,13 @@ pub mod queries;
 pub mod recover_journal;
 pub mod replan;
 pub mod replan_incremental;
+pub mod trace_overhead;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B10). The calibration spin must run first: it warms the CPU for
+/// B1–B11). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 11] = [
+pub const KERNELS: [&str; 12] = [
     "calibrate",
     "cpm",
     "planning",
@@ -38,6 +39,7 @@ pub const KERNELS: [&str; 11] = [
     "gantt",
     "replan_incremental",
     "recover_journal",
+    "trace_overhead",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -76,6 +78,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("recover_journal") {
         records.extend(recover_journal::run(quick));
+    }
+    if wanted("trace_overhead") {
+        records.extend(trace_overhead::run(quick));
     }
     records
 }

@@ -1,0 +1,136 @@
+//! B11 — tracing overhead on the hot paths: the B2 (plan) and B9
+//! (incremental replan) bodies measured with the collector disabled,
+//! enabled, and enabled-with-export.
+//!
+//! The observability contract (DESIGN.md §9): instrumentation must be
+//! effectively free when the collector is off (one relaxed atomic load
+//! per site) and cheap enough when on that tracing a planning session
+//! is always acceptable — the budget is **< 2× the disabled median**
+//! for the `enabled` variants. The `exporting` variants additionally
+//! drain the buffers and serialize JSONL every 64 iterations, putting
+//! an upper bound on "trace continuously, ship everything".
+//!
+//! Bodies:
+//!
+//! * `plan_*` — B2's body: a fresh 50-stage pipeline planned from
+//!   scratch (schedule-instance creation + CPM + levelling), one
+//!   `hercules.plan` span + cache-miss event + metrics per call.
+//! * `replan_*` — B9's manager-level body: repeated replans of an
+//!   unchanged 50-stage scope, served by the incremental engine's
+//!   cache (one `hercules.replan` + `hercules.plan` span pair, a
+//!   `plan.cache_hit` event, and the metrics updates per call).
+//!
+//! The three variants share sampling plans and sizes, so the ratios
+//! `enabled/disabled` and `exporting/disabled` can be read straight
+//! off `BENCH_schedflow.json` (see the B11 rows in EXPERIMENTS.md).
+
+use harness::bench::Record;
+use obs::export::{to_jsonl, Timebase};
+
+use crate::pipeline_manager;
+
+const STAGES: usize = 50;
+
+/// How often the `enabled` variants drain the thread buffers: often
+/// enough to keep memory bounded, rarely enough that the per-call cost
+/// reflects recording, not draining.
+const DRAIN_EVERY: u32 = 256;
+
+/// How often the `exporting` variants drain **and** serialize JSONL.
+const EXPORT_EVERY: u32 = 64;
+
+/// Runs the kernel; `quick` selects the smoke-test sampling plan.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("trace_overhead", quick);
+    let target = format!("d{STAGES}");
+
+    // -- B2 body: plan from scratch --------------------------------------
+    suite.bench_with_setup(
+        &format!("plan_disabled/{STAGES}"),
+        Some(STAGES as u64),
+        || pipeline_manager(STAGES, 4, 1),
+        |mut h| h.plan(&target).expect("plannable").project_finish(),
+    );
+    {
+        let session = obs::Collector::session();
+        let mut calls = 0u32;
+        suite.bench_with_setup(
+            &format!("plan_enabled/{STAGES}"),
+            Some(STAGES as u64),
+            || pipeline_manager(STAGES, 4, 1),
+            |mut h| {
+                let finish = h.plan(&target).expect("plannable").project_finish();
+                calls += 1;
+                if calls.is_multiple_of(DRAIN_EVERY) {
+                    drop(session.drain_partial());
+                }
+                finish
+            },
+        );
+        drop(session.finish());
+    }
+    {
+        let session = obs::Collector::session();
+        let mut calls = 0u32;
+        suite.bench_with_setup(
+            &format!("plan_exporting/{STAGES}"),
+            Some(STAGES as u64),
+            || pipeline_manager(STAGES, 4, 1),
+            |mut h| {
+                let finish = h.plan(&target).expect("plannable").project_finish();
+                calls += 1;
+                if calls.is_multiple_of(EXPORT_EVERY) {
+                    let trace = session.drain_partial();
+                    std::hint::black_box(to_jsonl(&trace, Timebase::Wall));
+                }
+                finish
+            },
+        );
+        drop(session.finish());
+    }
+
+    // -- B9 body: incremental replan of an unchanged scope ----------------
+    let mut h = pipeline_manager(STAGES, 4, 1);
+    h.plan(&target).expect("plannable");
+    suite.bench(
+        &format!("replan_disabled/{STAGES}"),
+        Some(STAGES as u64),
+        || h.replan(&target).expect("replannable").project_finish,
+    );
+    {
+        let session = obs::Collector::session();
+        let mut calls = 0u32;
+        suite.bench(
+            &format!("replan_enabled/{STAGES}"),
+            Some(STAGES as u64),
+            || {
+                let finish = h.replan(&target).expect("replannable").project_finish;
+                calls += 1;
+                if calls.is_multiple_of(DRAIN_EVERY) {
+                    drop(session.drain_partial());
+                }
+                finish
+            },
+        );
+        drop(session.finish());
+    }
+    {
+        let session = obs::Collector::session();
+        let mut calls = 0u32;
+        suite.bench(
+            &format!("replan_exporting/{STAGES}"),
+            Some(STAGES as u64),
+            || {
+                let finish = h.replan(&target).expect("replannable").project_finish;
+                calls += 1;
+                if calls.is_multiple_of(EXPORT_EVERY) {
+                    let trace = session.drain_partial();
+                    std::hint::black_box(to_jsonl(&trace, Timebase::Wall));
+                }
+                finish
+            },
+        );
+        drop(session.finish());
+    }
+    suite.into_records()
+}

@@ -7,7 +7,12 @@
 //! herc run    <file> <target> [options]      plan, execute, and show status
 //! herc sweep  <file> <target> --deadline D   find the minimal team
 //! herc report <file> <target> --load DB      full report from a saved database
-//! herc chaos  [--seed N] [--count K]         replay seeded chaos scenarios
+//! herc chaos  [--seed N] [--count K] [--trace-dir DIR]
+//!                                            replay seeded chaos scenarios
+//! herc trace  <scenario> [--seed N] [--out FILE] [--jsonl] [--logical]
+//!                                            record a session as Chrome JSON
+//! herc metrics <scenario> [--seed N] [--json]
+//!                                            run a scenario, dump the registry
 //!
 //! options:
 //!   --team N      designers on the project (default 2)
@@ -16,6 +21,15 @@
 //!   --save FILE   dump the metadata database after `run`
 //!   --load FILE   restore a previously saved database first
 //! ```
+//!
+//! `trace` scenarios are the named sessions in [`hercules::trace`]:
+//! `fig8` (the paper's Fig. 8 walkthrough) and `chaos` (a seeded fault
+//! scenario). The default output is Chrome `trace_event` JSON — load it
+//! at `chrome://tracing` or <https://ui.perfetto.dev>. `--jsonl` emits
+//! the flat event log instead; `--logical` switches timestamps to the
+//! deterministic logical timebase (what the golden test pins). When a
+//! `chaos` run fails with `--trace-dir`, each failing seed ships its
+//! trace as `DIR/chaos_trace_seed_N.json`.
 //!
 //! Example:
 //!
@@ -43,7 +57,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: herc <schema|plan|run|sweep|report> <schema-file> [<target>] \
          [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS]\n\
-         \x20      herc chaos [--seed N] [--count K]"
+         \x20      herc chaos [--seed N] [--count K] [--trace-dir DIR]\n\
+         \x20      herc trace <fig8|chaos> [--seed N] [--out FILE] [--jsonl] [--logical]\n\
+         \x20      herc metrics <fig8|chaos> [--seed N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -228,9 +244,15 @@ fn cmd_sweep(source: &str, target: &str, opts: &Options) -> Result<(), String> {
 /// one's verdict. Exits non-zero if any scenario violates a property —
 /// the interactive twin of the `chaos` CI stage, used to replay a CI
 /// failure locally: `herc chaos --seed N`.
+///
+/// With `--trace-dir DIR`, every *failing* seed is re-run under the
+/// trace collector and its Chrome `trace_event` JSON is written to
+/// `DIR/chaos_trace_seed_N.json`, so the telemetry of the failure
+/// travels with the failure report.
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut count = 1u64;
+    let mut trace_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -252,21 +274,132 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                     return Err("--count must be at least 1".to_owned());
                 }
             }
+            "--trace-dir" => {
+                trace_dir = Some(value("--trace-dir")?);
+            }
             other => return Err(format!("chaos: unknown option {other:?}")),
         }
     }
     let reports = hercules::chaos::run_suite(seed, count);
-    let mut dirty = 0usize;
+    let mut failing: Vec<u64> = Vec::new();
     for report in &reports {
         println!("{report}");
         if !report.is_clean() {
-            dirty += 1;
+            failing.push(report.seed);
         }
     }
-    if dirty > 0 {
+    if let Some(dir) = &trace_dir {
+        for s in &failing {
+            let trace = hercules::trace::record("chaos", *s)?;
+            let json = obs::export::to_chrome(&trace, obs::export::Timebase::Wall);
+            let path = std::path::Path::new(dir).join(format!("chaos_trace_seed_{s}.json"));
+            obs::export::write_atomic(&path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("trace for failing seed {s} written to {}", path.display());
+        }
+    }
+    if !failing.is_empty() {
         return Err(format!(
-            "{dirty}/{count} chaos scenario(s) violated failure-semantics properties"
+            "{}/{count} chaos scenario(s) violated failure-semantics properties",
+            failing.len()
         ));
+    }
+    Ok(())
+}
+
+/// Records a named scenario (`hercules::trace`) and writes (or prints)
+/// the trace: Chrome `trace_event` JSON by default, the flat JSONL
+/// event log with `--jsonl`. `--logical` swaps wall-clock for the
+/// deterministic logical timebase.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let Some(scenario) = args.first() else {
+        return Err(format!(
+            "trace needs a scenario (one of: {})",
+            hercules::trace::SCENARIOS.join(", ")
+        ));
+    };
+    let mut seed = hercules::trace::CHAOS_TRACE_SEED;
+    let mut out: Option<String> = None;
+    let mut jsonl = false;
+    let mut timebase = obs::export::Timebase::Wall;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = Some(value("--out")?),
+            "--jsonl" => jsonl = true,
+            "--logical" => timebase = obs::export::Timebase::Logical,
+            other => return Err(format!("trace: unknown option {other:?}")),
+        }
+    }
+    let trace = hercules::trace::record(scenario, seed)?;
+    trace.validate()?;
+    let rendered = if jsonl {
+        obs::export::to_jsonl(&trace, timebase)
+    } else {
+        obs::export::to_chrome(&trace, timebase)
+    };
+    match &out {
+        Some(path) => {
+            let path = std::path::Path::new(path);
+            obs::export::write_atomic(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "{} spans, {} events -> {}",
+                trace.span_count(),
+                trace.event_count(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Runs a named scenario and dumps the process-wide metrics registry —
+/// the aggregate view (counters + histograms) that complements the
+/// per-session span tree of `herc trace`.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let Some(scenario) = args.first() else {
+        return Err(format!(
+            "metrics needs a scenario (one of: {})",
+            hercules::trace::SCENARIOS.join(", ")
+        ));
+    };
+    let mut seed = hercules::trace::CHAOS_TRACE_SEED;
+    let mut json = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => json = true,
+            other => return Err(format!("metrics: unknown option {other:?}")),
+        }
+    }
+    obs::Metrics::reset();
+    hercules::trace::record(scenario, seed)?;
+    if json {
+        print!("{}", obs::Metrics::to_json());
+    } else {
+        print!("{}", obs::Metrics::render());
     }
     Ok(())
 }
@@ -276,9 +409,15 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
-    // `chaos` takes no schema file: scenarios are derived from seeds.
-    if command == "chaos" {
-        return match cmd_chaos(&args[1..]) {
+    // `chaos`, `trace`, and `metrics` take no schema file: their
+    // scenarios are derived from names and seeds.
+    if matches!(command.as_str(), "chaos" | "trace" | "metrics") {
+        let result = match command.as_str() {
+            "chaos" => cmd_chaos(&args[1..]),
+            "trace" => cmd_trace(&args[1..]),
+            _ => cmd_metrics(&args[1..]),
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("herc: {message}");

@@ -207,6 +207,8 @@ impl Hercules {
     /// * [`HerculesError::Metadata`] — database integrity failure,
     ///   including an armed crash injection firing mid-execution.
     pub fn execute(&mut self, target: &str) -> Result<ExecutionReport, HerculesError> {
+        obs::Collector::set_sim_days(self.clock.days());
+        let mut exec_span = obs::span!("hercules.execute", target = target);
         let tree = self.extract_task_tree(target)?;
         // Supply primary inputs up front.
         for class in tree.primary_inputs() {
@@ -277,11 +279,18 @@ impl Hercules {
                 inputs.push(inst);
             }
             if inputs_missing {
+                obs::event!("execute.skipped", activity = activity.as_str());
                 skipped.push(activity.clone());
                 continue;
             }
             let designer_at = designer_free.get(&assignee).copied().unwrap_or(self.clock);
             let start = ready.max(designer_at);
+            obs::Collector::set_sim_days(start.days());
+            let mut act_span = obs::span!(
+                "execute.activity",
+                activity = activity.as_str(),
+                assignee = assignee.as_str(),
+            );
 
             // Iterate runs until convergence, absorbing injected faults
             // through the retry policy.
@@ -322,6 +331,14 @@ impl Hercules {
                         );
                         let inst = self.db.finish_run(run, &output_class, data, end, &inputs)?;
                         t = end;
+                        obs::Collector::set_sim_days(t.days());
+                        obs::event!(
+                            "execute.run",
+                            activity = activity.as_str(),
+                            iteration = iterations,
+                            converged = attempted.outcome.converged,
+                            corrupt = attempted.fault.is_some(),
+                        );
                         final_instance = Some(inst);
                         if attempted.outcome.converged {
                             converged = true;
@@ -338,6 +355,13 @@ impl Hercules {
                             + policy.backoff(attempts);
                         fault_time += burned;
                         t += burned;
+                        obs::Collector::set_sim_days(t.days());
+                        obs::event!(
+                            "execute.retry",
+                            activity = activity.as_str(),
+                            attempt = attempts,
+                            burned_days = burned.days(),
+                        );
                         if attempts >= policy.max_attempts
                             || fault_time.days() > policy.activity_budget.days()
                         {
@@ -352,6 +376,13 @@ impl Hercules {
                         let burned = policy.timeout + policy.backoff(attempts);
                         fault_time += burned;
                         t += burned;
+                        obs::Collector::set_sim_days(t.days());
+                        obs::event!(
+                            "execute.timeout",
+                            activity = activity.as_str(),
+                            attempt = attempts,
+                            burned_days = burned.days(),
+                        );
                         if attempts >= policy.max_attempts
                             || fault_time.days() > policy.activity_budget.days()
                         {
@@ -362,6 +393,13 @@ impl Hercules {
                 }
             }
             if blocked {
+                obs::event!(
+                    "execute.blocked",
+                    activity = activity.as_str(),
+                    attempts = attempts,
+                    fault_days = fault_time.days(),
+                );
+                act_span.record("blocked", true);
                 self.blocked.insert(activity.clone());
                 newly_blocked.push((activity.clone(), fault_time));
                 blocked_rows.push(BlockedActivity {
@@ -401,6 +439,10 @@ impl Hercules {
             if t.days() > finished_at.days() {
                 finished_at = t;
             }
+            obs::Collector::set_sim_days(t.days());
+            act_span.record("iterations", iterations);
+            act_span.record("fault_attempts", attempts);
+            act_span.record("converged", converged);
             executions.push(ActivityExecution {
                 activity: activity.clone(),
                 assignee,
@@ -444,6 +486,11 @@ impl Hercules {
                     .collect();
             }
         }
+        obs::Collector::set_sim_days(finished_at.days());
+        exec_span.record("executed", executions.len());
+        exec_span.record("blocked", blocked_rows.len());
+        exec_span.record("skipped", skipped.len());
+        exec_span.record("replanned", replanned.len());
         Ok(ExecutionReport {
             target: target.to_owned(),
             activities: executions,

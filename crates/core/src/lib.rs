@@ -69,6 +69,7 @@ mod task;
 pub mod browse;
 pub mod chaos;
 pub mod report;
+pub mod trace;
 
 pub use error::HerculesError;
 pub use execute::{ActivityExecution, BlockedActivity, ExecutionReport};

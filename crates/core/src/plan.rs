@@ -22,6 +22,36 @@ pub(crate) struct PlanCache {
     inc: IncrementalCpm,
 }
 
+/// Cached handles into the [`obs::Metrics`] registry for the planner's
+/// counters — looked up once, then every bump is a relaxed atomic add.
+/// These supersede the ad-hoc aggregate counters that used to live
+/// beside [`PlanStats`]; the per-call snapshot survives as the public
+/// accessor (see DESIGN.md §7 for the deprecation note).
+struct PlanMetrics {
+    calls: obs::Counter,
+    cache_hits: obs::Counter,
+    full_rebuilds: obs::Counter,
+    dirty: obs::Histogram,
+    cpm_recomputed: obs::Histogram,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: std::sync::OnceLock<PlanMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| PlanMetrics {
+        calls: obs::Metrics::counter("hercules.plan.calls"),
+        cache_hits: obs::Metrics::counter("hercules.plan.cache_hits"),
+        full_rebuilds: obs::Metrics::counter("hercules.plan.full_rebuilds"),
+        dirty: obs::Metrics::histogram(
+            "hercules.plan.dirty_size",
+            &[0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0],
+        ),
+        cpm_recomputed: obs::Metrics::histogram(
+            "hercules.plan.cpm_recomputed",
+            &[0.0, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0],
+        ),
+    })
+}
+
 /// Instrumentation for the most recent planning pass — how much work
 /// the incremental replan engine actually did.
 ///
@@ -172,6 +202,8 @@ impl Hercules {
         skip: &[String],
     ) -> Result<SchedulePlan, HerculesError> {
         let tree = self.extract_task_tree(target)?;
+        obs::Collector::set_sim_days(self.clock.days());
+        let mut plan_span = obs::span!("hercules.plan", target = target, skipped = skip.len(),);
         let in_scope: Vec<String> = tree
             .activities()
             .iter()
@@ -202,6 +234,18 @@ impl Hercules {
                     }
                 }
                 let update = c.inc.update(&c.network, &dirty)?;
+                obs::event!(
+                    "plan.cache_hit",
+                    dirty = dirty.len(),
+                    forward_cone = update.forward_recomputed,
+                    backward_cone = update.backward_recomputed,
+                    forward_cutoff = update.forward_cutoff,
+                    backward_cutoff = update.backward_cutoff,
+                    full_rebuild = update.full_rebuild,
+                );
+                if update.full_rebuild {
+                    plan_metrics().full_rebuilds.inc();
+                }
                 stats.cache_hit = true;
                 stats.dirty = dirty.len();
                 stats.cpm_recomputed = update.total_recomputed();
@@ -230,6 +274,7 @@ impl Hercules {
                     net.add_demand(ids[activity.as_str()], designer, 1)?;
                 }
                 let inc = net.analyze_incremental()?;
+                obs::event!("plan.cache_miss", scope = in_scope.len());
                 stats.dirty = in_scope.len();
                 stats.cpm_recomputed = 2 * in_scope.len();
                 (net, ids, inc)
@@ -283,6 +328,20 @@ impl Hercules {
                 inc,
             },
         );
+        // Per-call snapshot (the stable accessor API) plus the shared
+        // metrics registry (the queryable aggregate).
+        let m = plan_metrics();
+        m.calls.inc();
+        if stats.cache_hit {
+            m.cache_hits.inc();
+        }
+        m.dirty.observe(stats.dirty as f64);
+        m.cpm_recomputed.observe(stats.cpm_recomputed as f64);
+        plan_span.record("cache_hit", stats.cache_hit);
+        plan_span.record("dirty", stats.dirty);
+        plan_span.record("cpm_recomputed", stats.cpm_recomputed);
+        plan_span.record("cpm_total", stats.cpm_total);
+        plan_span.record("project_finish_days", project_finish.days());
         self.last_plan_stats = Some(stats);
         Ok(SchedulePlan {
             session,

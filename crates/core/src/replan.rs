@@ -51,6 +51,8 @@ impl Hercules {
     ///
     /// Same as [`plan`](Hercules::plan).
     pub fn replan(&mut self, target: &str) -> Result<ReplanOutcome, HerculesError> {
+        obs::Collector::set_sim_days(self.clock.days());
+        let mut replan_span = obs::span!("hercules.replan", target = target);
         let tree = self.extract_task_tree(target)?;
         let completed: Vec<String> = tree
             .activities()
@@ -58,7 +60,9 @@ impl Hercules {
             .filter(|a| self.db.current_plan(a).is_some_and(|p| p.is_complete()))
             .cloned()
             .collect();
+        replan_span.record("completed", completed.len());
         if completed.len() == tree.len() {
+            replan_span.record("replanned", 0usize);
             return Ok(ReplanOutcome {
                 replanned: Vec::new(),
                 project_finish: self.clock,
@@ -74,11 +78,12 @@ impl Hercules {
             .fold(self.clock, WorkDays::max);
         self.advance_clock(latest_done);
         let plan: SchedulePlan = self.plan_scope(target, &completed)?;
-        let replanned = plan
+        let replanned: Vec<(String, ScheduleInstanceId)> = plan
             .activities()
             .iter()
             .map(|pa| (pa.activity.clone(), pa.schedule))
             .collect();
+        replan_span.record("replanned", replanned.len());
         Ok(ReplanOutcome {
             replanned,
             project_finish: plan.project_finish(),
@@ -103,6 +108,8 @@ impl Hercules {
     ///   schema.
     /// * [`HerculesError::NotPlanned`] — no plan to compare against.
     pub fn propagate_slip(&mut self, activity: &str) -> Result<ReplanOutcome, HerculesError> {
+        obs::Collector::set_sim_days(self.clock.days());
+        let mut slip_span = obs::span!("hercules.propagate_slip", activity = activity);
         if self.schema.rule(activity).is_none() {
             return Err(HerculesError::UnknownActivity(activity.to_owned()));
         }
@@ -164,6 +171,8 @@ impl Hercules {
             }
             replanned.push((name.clone(), sc));
         }
+        slip_span.record("slip_days", slip);
+        slip_span.record("replanned", replanned.len());
         Ok(ReplanOutcome {
             replanned,
             project_finish,

@@ -278,26 +278,12 @@ pub fn to_json(records: &[Record]) -> String {
 /// temporary file beside the target and renamed into place, so a
 /// crashed or interrupted run can never leave a truncated report for
 /// the CI comparison gate to choke on.
+///
+/// Delegates to the workspace-wide atomic write primitive
+/// ([`obs::export::write_atomic`]), the same path the trace and
+/// metrics exporters use.
 pub fn write_report(path: &Path, records: &[Record]) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let file_name = path.file_name().ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidInput, "report path has no file name")
-    })?;
-    let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, to_json(records))?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
+    obs::export::write_atomic(path, &to_json(records))
 }
 
 /// Parses a `schedflow-bench/v1` report back into [`Record`]s — the

@@ -175,7 +175,42 @@ fn fmt_ids(ids: &[EntityInstanceId]) -> String {
     }
 }
 
+/// Cached [`obs::Metrics`] handles for journal telemetry — registry
+/// lookup once, relaxed atomic adds afterwards (the append path runs
+/// inside every mutating database method).
+struct JournalMetrics {
+    appends: obs::Counter,
+    recoveries: obs::Counter,
+    replayed: obs::Counter,
+}
+
+fn journal_metrics() -> &'static JournalMetrics {
+    static METRICS: std::sync::OnceLock<JournalMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| JournalMetrics {
+        appends: obs::Metrics::counter("metadata.journal.appends"),
+        recoveries: obs::Metrics::counter("metadata.journal.recoveries"),
+        replayed: obs::Metrics::counter("metadata.journal.replayed_ops"),
+    })
+}
+
 impl JournalOp {
+    /// The op's stable kind tag — the first token of its text form,
+    /// used by telemetry (`journal.append` events) and tooling.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalOp::DeclareEntityContainer { .. } => "declare-entity",
+            JournalOp::DeclareScheduleContainer { .. } => "declare-schedule",
+            JournalOp::StoreData { .. } => "store-data",
+            JournalOp::BeginRun { .. } => "begin-run",
+            JournalOp::FinishRun { .. } => "finish-run",
+            JournalOp::SupplyInput { .. } => "supply-input",
+            JournalOp::BeginPlanning { .. } => "begin-planning",
+            JournalOp::PlanActivity { .. } => "plan-activity",
+            JournalOp::Assign { .. } => "assign",
+            JournalOp::LinkCompletion { .. } => "link-completion",
+        }
+    }
+
     fn to_line(&self) -> String {
         match self {
             JournalOp::DeclareEntityContainer { class } => format!("declare-entity {class}"),
@@ -454,7 +489,10 @@ impl MetadataDb {
     /// closure defers construction so the fault-free path pays nothing.
     pub(crate) fn journal_op(&mut self, op: impl FnOnce() -> JournalOp) {
         if let Some(journal) = self.journal.as_mut() {
-            journal.record(op());
+            let op = op();
+            obs::event!("journal.append", kind = op.kind());
+            journal_metrics().appends.inc();
+            journal.record(op);
         }
     }
 
@@ -514,10 +552,16 @@ impl MetadataDb {
     /// [`MetadataError`] if an op does not apply cleanly (a corrupted
     /// or hand-edited journal).
     pub fn recover(journal: &Journal) -> Result<MetadataDb, MetadataError> {
+        let mut span = obs::span!("journal.recover", ops = journal.len());
+        journal_metrics().recoveries.inc();
         let mut db = MetadataDb::new();
+        let mut applied = 0usize;
         for op in journal.ops() {
             db.apply_op(op)?;
+            applied += 1;
         }
+        journal_metrics().replayed.add(applied as u64);
+        span.record("applied", applied);
         Ok(db)
     }
 

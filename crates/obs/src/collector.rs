@@ -1,0 +1,372 @@
+//! The global collector: per-thread buffers behind a single runtime
+//! on/off switch, RAII span guards, and exclusive tracing sessions.
+//!
+//! Design constraints (see DESIGN.md §9):
+//!
+//! * **Free when off.** [`Collector::is_enabled`] is one relaxed atomic
+//!   load; the `span!`/`event!` macros check it *before* building any
+//!   argument vectors, so disabled instrumentation costs a predictable
+//!   branch. The `compile-off` cargo feature turns the check into a
+//!   constant `false` the optimizer strips entirely.
+//! * **No contention when on.** Each thread records into its own
+//!   buffer (a `thread_local` slot registered once with the global
+//!   registry); the only cross-thread synchronization on the hot path
+//!   is the thread's own uncontended mutex.
+//! * **Deterministic merge.** [`Collector::drain`] orders thread
+//!   buffers by `(lane, registration index)`. Threads doing
+//!   deterministic work under explicit lanes (e.g. Monte Carlo chunk
+//!   workers calling [`Collector::set_lane`]) therefore produce the
+//!   same [`Trace`] regardless of OS scheduling or thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::trace::{Arg, ThreadTrace, Trace, TraceItem};
+
+/// Runtime switch. Relaxed is sufficient: enabling/disabling only
+/// needs to become visible eventually, and [`Collector::drain`] locks
+/// every slot mutex, which orders buffered items with the drain.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Epoch for the monotonic timestamp domain, fixed at first use so all
+/// `mono_ns` values share one origin.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// All thread slots ever registered, in registration order. Slots are
+/// kept alive by the `Arc` even after their thread exits so a drain
+/// never loses items recorded by short-lived worker threads.
+static REGISTRY: Mutex<Vec<Arc<ThreadSlot>>> = Mutex::new(Vec::new());
+
+/// Serializes tracing sessions (see [`Collector::session`]).
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Lane value meaning "never explicitly assigned": such threads merge
+/// after all explicitly-laned threads, in registration order.
+const UNASSIGNED_LANE: u64 = u64::MAX;
+
+/// One thread's recording state.
+struct ThreadSlot {
+    /// Position in the registry — the merge tiebreak within a lane.
+    reg: usize,
+    /// Deterministic merge key ([`Collector::set_lane`]).
+    lane: AtomicU64,
+    /// Simulated clock last published on this thread (milli-days;
+    /// `i64::MIN` = none).
+    sim_md: AtomicI64,
+    /// The buffer. Uncontended in steady state — only the owning
+    /// thread and a drain ever lock it.
+    items: Mutex<Vec<TraceItem>>,
+}
+
+const NO_SIM: i64 = i64::MIN;
+
+thread_local! {
+    static SLOT: Arc<ThreadSlot> = register_slot();
+}
+
+fn register_slot() -> Arc<ThreadSlot> {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let slot = Arc::new(ThreadSlot {
+        reg: reg.len(),
+        lane: AtomicU64::new(UNASSIGNED_LANE),
+        sim_md: AtomicI64::new(NO_SIM),
+        items: Mutex::new(Vec::new()),
+    });
+    reg.push(Arc::clone(&slot));
+    slot
+}
+
+fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn with_slot<R>(f: impl FnOnce(&ThreadSlot) -> R) -> R {
+    SLOT.with(|s| f(s))
+}
+
+fn push_item(item: TraceItem) {
+    with_slot(|slot| {
+        slot.items
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(item);
+    });
+}
+
+/// The process-wide trace collector. All methods are associated
+/// functions — there is exactly one collector per process.
+pub struct Collector;
+
+impl Collector {
+    /// Whether tracing is currently recording. One relaxed atomic load
+    /// (a constant `false` under the `compile-off` feature); the
+    /// macros call this before doing any other work.
+    #[inline]
+    pub fn is_enabled() -> bool {
+        #[cfg(feature = "compile-off")]
+        {
+            false
+        }
+        #[cfg(not(feature = "compile-off"))]
+        {
+            ENABLED.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Begins an **exclusive** tracing session: enables recording and
+    /// returns a guard whose [`finish`](Session::finish) disables it
+    /// and drains the trace. Sessions serialize on a process-wide lock
+    /// so concurrent tests (or a test and a CLI run in the same
+    /// process) never pollute each other's traces; any items left over
+    /// from a panicked predecessor are discarded at session start.
+    pub fn session() -> Session {
+        let guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+        // Discard leftovers from sessions that never drained.
+        drop(Self::drain_items());
+        // The thread opening the session is the orchestrator: lane 0
+        // by convention (workers take 1+; see `set_lane`).
+        Self::set_lane(0);
+        ENABLED.store(true, Ordering::Relaxed);
+        Session {
+            _guard: Some(guard),
+        }
+    }
+
+    /// Stops recording and removes every buffered item, merged
+    /// deterministically by `(lane, registration order)`. Threads that
+    /// never called [`set_lane`](Collector::set_lane) merge last.
+    pub fn drain() -> Trace {
+        ENABLED.store(false, Ordering::Relaxed);
+        Self::drain_items()
+    }
+
+    fn drain_items() -> Trace {
+        let slots: Vec<Arc<ThreadSlot>> = {
+            let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            reg.iter().map(Arc::clone).collect()
+        };
+        let mut threads: Vec<(u64, usize, Vec<TraceItem>)> = Vec::new();
+        for slot in &slots {
+            let items: Vec<TraceItem> = {
+                let mut buf = slot.items.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *buf)
+            };
+            if items.is_empty() {
+                continue;
+            }
+            threads.push((slot.lane.load(Ordering::Relaxed), slot.reg, items));
+        }
+        threads.sort_by_key(|(lane, reg, _)| (*lane, *reg));
+        Trace {
+            threads: threads
+                .into_iter()
+                .map(|(lane, _, items)| ThreadTrace { lane, items })
+                .collect(),
+        }
+    }
+
+    /// Assigns this thread's **lane** — its deterministic merge key.
+    /// Worker pools should set a lane derived from the work partition
+    /// (e.g. the Monte Carlo chunk index), not the OS thread, so the
+    /// merged trace is invariant to scheduling and thread count.
+    pub fn set_lane(lane: u64) {
+        with_slot(|slot| slot.lane.store(lane, Ordering::Relaxed));
+    }
+
+    /// Publishes the simulated clock (milli-days) for this thread.
+    /// Subsequent items carry it as their `sim_md` timestamp.
+    pub fn set_sim_md(md: i64) {
+        with_slot(|slot| slot.sim_md.store(md, Ordering::Relaxed));
+    }
+
+    /// Publishes the simulated clock from fractional WorkDays
+    /// (converted to milli-days, the metadata crate's convention).
+    pub fn set_sim_days(days: f64) {
+        Self::set_sim_md((days * 1000.0).round() as i64);
+    }
+
+    /// Records a point event. Prefer the
+    /// [`event!`](crate::event) macro, which skips argument
+    /// construction when tracing is off.
+    pub fn event(name: &'static str, args: Vec<Arg>) {
+        if !Self::is_enabled() {
+            return;
+        }
+        let sim_md = current_sim_md();
+        push_item(TraceItem::Event {
+            name,
+            mono_ns: now_ns(),
+            sim_md,
+            args,
+        });
+    }
+}
+
+fn current_sim_md() -> Option<i64> {
+    with_slot(|slot| {
+        let md = slot.sim_md.load(Ordering::Relaxed);
+        (md != NO_SIM).then_some(md)
+    })
+}
+
+/// An exclusive tracing session (see [`Collector::session`]).
+///
+/// Dropping the session without calling [`finish`](Session::finish)
+/// disables recording but leaves buffered items for the next session
+/// to discard — fine for panicking tests.
+pub struct Session {
+    _guard: Option<MutexGuard<'static, ()>>,
+}
+
+impl Session {
+    /// Ends the session: disables recording and returns the merged
+    /// trace. The drain happens while the session lock is still held,
+    /// so a successor session can never observe this session's items.
+    pub fn finish(self) -> Trace {
+        let trace = Collector::drain();
+        drop(self); // releases the session lock (Drop re-disables, harmlessly)
+        trace
+    }
+
+    /// Drains the trace **without** ending the session — used by
+    /// overhead benches that measure export cost in a loop. Recording
+    /// stays enabled.
+    pub fn drain_partial(&self) -> Trace {
+        Collector::drain_items()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for one span: records `Enter` on creation (when active)
+/// and the matching `Exit` on drop. Create via the
+/// [`span!`](crate::span) macro.
+#[must_use = "a span guard measures the scope it lives in; dropping it immediately closes the span"]
+pub struct SpanGuard {
+    active: bool,
+    /// Annotations recorded during the span, attached to the exit.
+    exit_args: Vec<Arg>,
+}
+
+impl SpanGuard {
+    /// Opens a span now. Callers should check
+    /// [`Collector::is_enabled`] first (the macro does) — an enter
+    /// recorded here is unconditional.
+    pub fn enter(name: &'static str, args: Vec<Arg>) -> Self {
+        let sim_md = current_sim_md();
+        push_item(TraceItem::Enter {
+            name,
+            mono_ns: now_ns(),
+            sim_md,
+            args,
+        });
+        SpanGuard {
+            active: true,
+            exit_args: Vec::new(),
+        }
+    }
+
+    /// A no-op guard for the disabled path.
+    pub fn inactive() -> Self {
+        SpanGuard {
+            active: false,
+            exit_args: Vec::new(),
+        }
+    }
+
+    /// Whether this guard records anything.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Attaches an annotation to the span's exit — for results only
+    /// known at the end (e.g. a dirty-set size computed inside the
+    /// span). No-op on inactive guards.
+    pub fn record(&mut self, key: &'static str, value: impl Into<crate::trace::ArgValue>) {
+        if self.active {
+            self.exit_args.push(Arg::new(key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let sim_md = current_sim_md();
+        push_item(TraceItem::Exit {
+            mono_ns: now_ns(),
+            sim_md,
+            args: std::mem::take(&mut self.exit_args),
+        });
+    }
+}
+
+#[cfg(all(test, not(feature = "compile-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_records_spans_events_and_sim_time() {
+        let session = Collector::session();
+        Collector::set_lane(0);
+        Collector::set_sim_days(1.5);
+        {
+            let mut g = SpanGuard::enter("outer", vec![Arg::new("k", 7u64)]);
+            Collector::event("ping", Vec::new());
+            g.record("result", true);
+        }
+        let trace = session.finish();
+        trace.validate().unwrap();
+        assert_eq!(trace.span_count(), 1);
+        assert_eq!(trace.event_count(), 1);
+        let s = trace.first_span("outer").unwrap();
+        assert_eq!(s.sim_start_md, Some(1500));
+        assert_eq!(s.arg("k"), Some(&crate::trace::ArgValue::U64(7)));
+        assert_eq!(s.arg("result"), Some(&crate::trace::ArgValue::Bool(true)));
+        assert!(trace.has_event("ping"));
+        // Recording is off again and the buffers are empty.
+        assert!(!Collector::is_enabled());
+        let empty = Collector::session().finish();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        // No session: is_enabled is false, guards are inert.
+        assert!(!Collector::is_enabled());
+        Collector::event("dropped", Vec::new());
+        let g = SpanGuard::inactive();
+        assert!(!g.is_active());
+        drop(g);
+        let trace = Collector::session().finish();
+        assert!(trace.is_empty(), "leftovers: {trace:?}");
+    }
+
+    #[test]
+    fn threads_merge_by_lane_not_schedule() {
+        let session = Collector::session();
+        Collector::set_lane(100); // main thread merges last
+        std::thread::scope(|scope| {
+            for lane in (0..4u64).rev() {
+                scope.spawn(move || {
+                    Collector::set_lane(lane);
+                    let _g = SpanGuard::enter("work", vec![Arg::new("lane", lane)]);
+                    Collector::event("tick", Vec::new());
+                });
+            }
+        });
+        let trace = session.finish();
+        trace.validate().unwrap();
+        let lanes: Vec<u64> = trace.threads.iter().map(|t| t.lane).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+        assert_eq!(trace.span_count(), 4);
+    }
+}

@@ -1,0 +1,564 @@
+//! Trace exporters: JSONL event logs and Chrome `trace_event` JSON
+//! (loadable in `chrome://tracing` and Perfetto), plus the atomic
+//! file-write primitive shared with the bench harness.
+//!
+//! Two timestamp policies ([`Timebase`]):
+//!
+//! * [`Wall`](Timebase::Wall) — real `mono_ns` values, for profiling.
+//! * [`Logical`](Timebase::Logical) — each item gets a per-thread DFS
+//!   tick (1 tick = 1000 µs in the Chrome export). Wall time is
+//!   excluded entirely, so a deterministic run exports
+//!   **byte-identical** JSON — this is what the golden-file test pins.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::trace::{Arg, ArgValue, Trace, TraceItem};
+
+/// Which timestamp domain an export uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timebase {
+    /// Real monotonic nanoseconds since the collector epoch.
+    Wall,
+    /// Per-thread logical ticks (recording order), excluding wall
+    /// time: byte-deterministic for golden pinning.
+    Logical,
+}
+
+/// Escapes `s` as the body of a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an f64 as JSON (no NaN/Inf — mapped to null).
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_value(v: &ArgValue, out: &mut String) {
+    match v {
+        ArgValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ArgValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ArgValue::F64(x) => json_f64(*x, out),
+        ArgValue::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ArgValue::Str(x) => {
+            out.push('"');
+            escape_json(x, out);
+            out.push('"');
+        }
+    }
+}
+
+fn write_args_object(args: &[Arg], out: &mut String) {
+    out.push('{');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(a.key, out);
+        out.push_str("\":");
+        write_value(&a.value, out);
+    }
+    out.push('}');
+}
+
+fn item_fields(item: &TraceItem) -> (&'static str, Option<&'static str>, u64, Option<i64>, &[Arg]) {
+    match item {
+        TraceItem::Enter {
+            name,
+            mono_ns,
+            sim_md,
+            args,
+        } => ("enter", Some(name), *mono_ns, *sim_md, args),
+        TraceItem::Exit {
+            mono_ns,
+            sim_md,
+            args,
+        } => ("exit", None, *mono_ns, *sim_md, args),
+        TraceItem::Event {
+            name,
+            mono_ns,
+            sim_md,
+            args,
+        } => ("event", Some(name), *mono_ns, *sim_md, args),
+    }
+}
+
+/// Serializes the trace as JSONL: one JSON object per item, threads in
+/// merge order. Fields: `kind` (`enter`/`exit`/`event`), `name`
+/// (except exits), `lane`, `t` (per [`Timebase`]), `sim_md` when
+/// published, `args` when non-empty.
+pub fn to_jsonl(trace: &Trace, timebase: Timebase) -> String {
+    let mut out = String::new();
+    for thread in &trace.threads {
+        for (tick, item) in thread.items.iter().enumerate() {
+            let (kind, name, mono_ns, sim_md, args) = item_fields(item);
+            let t = match timebase {
+                Timebase::Wall => mono_ns,
+                Timebase::Logical => tick as u64,
+            };
+            out.push_str("{\"kind\":\"");
+            out.push_str(kind);
+            out.push('"');
+            if let Some(n) = name {
+                out.push_str(",\"name\":\"");
+                escape_json(n, &mut out);
+                out.push('"');
+            }
+            let _ = write!(out, ",\"lane\":{},\"t\":{t}", thread.lane);
+            if let Some(md) = sim_md {
+                let _ = write!(out, ",\"sim_md\":{md}");
+            }
+            if !args.is_empty() {
+                out.push_str(",\"args\":");
+                write_args_object(args, &mut out);
+            }
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+/// Serializes the trace in Chrome `trace_event` format (JSON object
+/// with a `traceEvents` array), loadable in `chrome://tracing` and
+/// Perfetto:
+///
+/// * matched spans → `ph:"X"` complete events (`ts`/`dur` in µs),
+/// * point events → `ph:"i"` thread-scoped instants,
+/// * one `ph:"M"` `thread_name` metadata record per lane.
+///
+/// `pid` is always 1; `tid` is the lane. Under
+/// [`Timebase::Logical`] every item advances its thread's clock by
+/// 1000 µs, so nesting renders visibly and output is deterministic.
+/// Simulated timestamps ride along as `args.sim_md` — real and
+/// simulated domains are never mixed in `ts`.
+pub fn to_chrome(trace: &Trace, timebase: Timebase) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let emit = |line: &str, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(line);
+    };
+
+    for thread in &trace.threads {
+        let line = format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"lane {}\"}}}}",
+            thread.lane, thread.lane
+        );
+        emit(&line, &mut out, &mut first);
+    }
+
+    const TICK_US: u64 = 1000;
+    for thread in &trace.threads {
+        // Open spans: (name, start_us, enter args, enter sim_md).
+        let mut open: Vec<(&'static str, u64, Vec<Arg>, Option<i64>)> = Vec::new();
+        for (tick, item) in thread.items.iter().enumerate() {
+            let (_, _, mono_ns, _, _) = item_fields(item);
+            let t_us = match timebase {
+                Timebase::Wall => mono_ns / 1000,
+                Timebase::Logical => tick as u64 * TICK_US,
+            };
+            match item {
+                TraceItem::Enter {
+                    name, sim_md, args, ..
+                } => {
+                    open.push((name, t_us, args.clone(), *sim_md));
+                }
+                TraceItem::Exit { sim_md, args, .. } => {
+                    let Some((name, start_us, mut all_args, enter_md)) = open.pop() else {
+                        continue; // invalid trace; validate() reports it
+                    };
+                    all_args.extend(args.iter().cloned());
+                    let mut line = String::new();
+                    let _ = write!(
+                        line,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"",
+                        thread.lane
+                    );
+                    escape_json(name, &mut line);
+                    let _ = write!(
+                        line,
+                        "\",\"ts\":{start_us},\"dur\":{},\"args\":",
+                        t_us.saturating_sub(start_us).max(1)
+                    );
+                    let mut args_with_sim = all_args;
+                    if let Some(md) = enter_md {
+                        args_with_sim.insert(0, Arg::new("sim_md", md));
+                    }
+                    if let Some(md) = sim_md {
+                        args_with_sim.push(Arg::new("sim_md_end", *md));
+                    }
+                    write_args_object(&args_with_sim, &mut line);
+                    line.push('}');
+                    emit(&line, &mut out, &mut first);
+                }
+                TraceItem::Event {
+                    name, sim_md, args, ..
+                } => {
+                    let mut line = String::new();
+                    let _ = write!(line, "{{\"ph\":\"i\",\"pid\":1,\"tid\":{}", thread.lane);
+                    line.push_str(",\"s\":\"t\",\"name\":\"");
+                    escape_json(name, &mut line);
+                    let _ = write!(line, "\",\"ts\":{t_us},\"args\":");
+                    let mut args_with_sim = args.clone();
+                    if let Some(md) = sim_md {
+                        args_with_sim.insert(0, Arg::new("sim_md", *md));
+                    }
+                    write_args_object(&args_with_sim, &mut line);
+                    line.push('}');
+                    emit(&line, &mut out, &mut first);
+                }
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes `contents` to `path` **atomically**: parent directories are
+/// created, the bytes go to a `.tmp` sibling, and a rename publishes
+/// the file — readers never observe a torn write. This is the single
+/// atomic-write primitive for the workspace (the bench harness's
+/// `write_report` delegates here).
+///
+/// # Errors
+///
+/// Any I/O failure from directory creation, the write, or the rename.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "target path has no file name")
+    })?;
+    // Pid-suffixed temp name: concurrent writers never clobber each
+    // other's staging file, and a failed rename cleans up after itself.
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Validates that `text` is one well-formed JSON value (trailing
+/// whitespace allowed). A deliberately small recursive-descent checker
+/// so CI can gate exporter output without external tooling.
+///
+/// # Errors
+///
+/// A byte offset and description of the first syntax error.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates JSONL: every non-empty line is a JSON value.
+///
+/// # Errors
+///
+/// The first offending line number and its error.
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {pos}"));
+    };
+    match c {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => parse_string(b, pos),
+        b't' => parse_lit(b, pos, "true"),
+        b'f' => parse_lit(b, pos, "false"),
+        b'n' => parse_lit(b, pos, "null"),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        c => Err(format!("unexpected byte {:?} at {pos}", c as char)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos} (expected {lit})"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("invalid number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("invalid number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !b.get(*pos + k).is_some_and(|d| d.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ThreadTrace;
+
+    fn sample() -> Trace {
+        Trace {
+            threads: vec![ThreadTrace {
+                lane: 0,
+                items: vec![
+                    TraceItem::Enter {
+                        name: "plan",
+                        mono_ns: 1_000,
+                        sim_md: Some(0),
+                        args: vec![Arg::new("target", "signoff")],
+                    },
+                    TraceItem::Event {
+                        name: "cache.hit",
+                        mono_ns: 1_500,
+                        sim_md: None,
+                        args: Vec::new(),
+                    },
+                    TraceItem::Exit {
+                        mono_ns: 9_000,
+                        sim_md: Some(2_000),
+                        args: vec![Arg::new("dirty", 3u64)],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn jsonl_is_valid_and_logical_is_deterministic() {
+        let t = sample();
+        let wall = to_jsonl(&t, Timebase::Wall);
+        validate_jsonl(&wall).unwrap();
+        assert!(wall.contains("\"t\":1000"));
+        let a = to_jsonl(&t, Timebase::Logical);
+        let b = to_jsonl(&t, Timebase::Logical);
+        assert_eq!(a, b);
+        assert!(a.contains("\"t\":0"));
+        assert!(!a.contains("1000")); // wall time fully excluded
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_complete_and_instant_events() {
+        let t = sample();
+        for tb in [Timebase::Wall, Timebase::Logical] {
+            let json = to_chrome(&t, tb);
+            validate_json(&json).unwrap();
+            assert!(json.contains("\"ph\":\"X\""), "{json}");
+            assert!(json.contains("\"ph\":\"i\""), "{json}");
+            assert!(json.contains("\"ph\":\"M\""), "{json}");
+            assert!(json.contains("\"sim_md\":0"), "{json}");
+        }
+    }
+
+    #[test]
+    fn escaping_survives_hostile_strings() {
+        let t = Trace {
+            threads: vec![ThreadTrace {
+                lane: 0,
+                items: vec![
+                    TraceItem::Enter {
+                        name: "s",
+                        mono_ns: 0,
+                        sim_md: None,
+                        args: vec![Arg::new("msg", "quote\" slash\\ newline\n tab\t ctrl\u{1}")],
+                    },
+                    TraceItem::Exit {
+                        mono_ns: 1,
+                        sim_md: None,
+                        args: Vec::new(),
+                    },
+                ],
+            }],
+        };
+        validate_jsonl(&to_jsonl(&t, Timebase::Wall)).unwrap();
+        validate_json(&to_chrome(&t, Timebase::Wall)).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        assert!(validate_json("{\"a\":1}").is_ok());
+        assert!(validate_json("[1,2,3]").is_ok());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("{]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("12.").is_err());
+        assert!(validate_json("{} extra").is_err());
+        assert!(validate_jsonl("{\"a\":1}\nnot json\n").is_err());
+    }
+
+    #[test]
+    fn write_atomic_creates_parents_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("obs_export_test_{}", std::process::id()));
+        let path = dir.join("nested/report.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! # obs — span tracing and metrics for the schedflow workspace
+//!
+//! The paper's fourth pillar is *status examination*: queries into
+//! schedule data and schedule **metadata** — how a plan came to be and
+//! how the system behaved while executing it. This crate is the
+//! workspace's answer at the systems level: a zero-dependency,
+//! offline observability layer that turns the plan → execute → replan
+//! lifecycle into queryable telemetry.
+//!
+//! Three pieces:
+//!
+//! * **Tracing** ([`Collector`], [`span!`], [`event!`]) — RAII span
+//!   guards and point events recorded into per-thread buffers, merged
+//!   deterministically by lane (see [`Collector::set_lane`]). Every
+//!   item carries two timestamp domains: real monotonic nanoseconds
+//!   and the simulated WorkDay clock (milli-days, when published via
+//!   [`Collector::set_sim_md`]). Tracing is **off by default**: the
+//!   macros cost one relaxed atomic load when disabled, and the
+//!   `compile-off` feature removes even that.
+//! * **Metrics** ([`Metrics`], [`Counter`], [`Histogram`]) — an
+//!   always-on registry of named counters and fixed-bucket histograms
+//!   replacing ad-hoc stats structs.
+//! * **Exporters** ([`export::to_jsonl`], [`export::to_chrome`]) —
+//!   JSONL event logs and Chrome `trace_event` JSON loadable in
+//!   `chrome://tracing`/Perfetto, written atomically via
+//!   [`export::write_atomic`]. The [`export::Timebase::Logical`]
+//!   timebase substitutes per-thread ticks for wall time so
+//!   deterministic runs export byte-identical files (golden-pinnable).
+//!
+//! ## Example
+//!
+//! ```
+//! use obs::{span, event, Collector};
+//!
+//! let session = Collector::session(); // exclusive; enables recording
+//! {
+//!     let mut g = span!("hercules.plan", target = "signoff_report");
+//!     event!("plan.cache_hit", dirty = 3usize);
+//!     g.record("cpm_recomputed", 12usize);
+//! }
+//! let trace = session.finish();
+//! trace.validate().unwrap();
+//! assert!(trace.has_span("hercules.plan"));
+//! let json = obs::export::to_chrome(&trace, obs::export::Timebase::Wall);
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+pub mod export;
+mod metrics;
+mod trace;
+
+pub use collector::{Collector, Session, SpanGuard};
+pub use metrics::{Counter, Histogram, MetricSnapshot, Metrics};
+pub use trace::{Arg, ArgValue, SpanView, ThreadTrace, Trace, TraceItem};
+
+/// Opens a span: returns a [`SpanGuard`] that records entry now and
+/// exit when dropped. Arguments are `key = value` pairs (values:
+/// integers, floats, bools, strings). When tracing is disabled the
+/// expansion is one branch — **no argument expressions are
+/// evaluated**.
+///
+/// ```
+/// # let _session = obs::Collector::session();
+/// let _g = obs::span!("core.execute", target = "placed_db", open = 5usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::Collector::is_enabled() {
+            $crate::SpanGuard::enter(
+                $name,
+                ::std::vec![$($crate::Arg::new(stringify!($key), $value)),*],
+            )
+        } else {
+            $crate::SpanGuard::inactive()
+        }
+    };
+}
+
+/// Records a point event inside the current span. Same `key = value`
+/// argument form as [`span!`]; evaluates nothing when tracing is
+/// disabled.
+///
+/// ```
+/// # let _session = obs::Collector::session();
+/// obs::event!("execute.retry", activity = "simulate", attempt = 2u64);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::Collector::is_enabled() {
+            $crate::Collector::event(
+                $name,
+                ::std::vec![$($crate::Arg::new(stringify!($key), $value)),*],
+            );
+        }
+    };
+}
+
+#[cfg(all(test, not(feature = "compile-off")))]
+mod macro_tests {
+    use crate::Collector;
+
+    #[test]
+    fn macros_record_when_enabled_and_skip_eval_when_disabled() {
+        // Disabled: the argument expression must not run.
+        let mut evaluated = false;
+        {
+            let _g = span!(
+                "test.span",
+                flag = {
+                    evaluated = true;
+                    1u64
+                }
+            );
+        }
+        assert!(!evaluated, "span! evaluated args while disabled");
+
+        let session = Collector::session();
+        {
+            let mut g = span!("test.span", flag = 1u64);
+            assert!(g.is_active());
+            event!("test.event", n = 2u64);
+            g.record("done", true);
+        }
+        let trace = session.finish();
+        trace.validate().unwrap();
+        assert!(trace.has_span("test.span"));
+        assert_eq!(trace.events_named("test.event"), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! A process-wide metrics registry: named monotonic counters and
+//! fixed-bucket histograms.
+//!
+//! Unlike tracing, metrics are **always on** — a counter bump is one
+//! atomic add, cheap enough to leave in release builds — and are meant
+//! to replace the ad-hoc stats structs that accreted across crates
+//! (e.g. the per-call counter bumps behind `PlanStats`). Handles are
+//! cheap to clone and safe to cache; the registry itself is keyed by
+//! name so distant layers share a metric by naming convention alone
+//! (`hercules.plan.cache_hits`, `journal.appends`, …).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter. Clones share the same cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram over fixed, registration-time bucket bounds.
+///
+/// `bounds` are upper edges: a sample lands in the first bucket whose
+/// bound is `>= sample`; larger samples land in the implicit overflow
+/// bucket. Everything is atomics — `observe` is lock-free — and the
+/// running sum is an `f64` stored as bits and updated by CAS.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+struct HistogramInner {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets (last = overflow).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits of the running sum, updated via compare-exchange.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut b: Vec<f64> = bounds.to_vec();
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        let buckets = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: b,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }))
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, sample: f64) {
+        let inner = &*self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|b| sample <= *b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + sample).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry uses
+    /// `f64::INFINITY` for the overflow bucket.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let inner = &*self.0;
+        inner
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let bound = inner.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (bound, c.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        let inner = &*self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum_bits.store(0.0_f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The process-wide metrics registry (associated functions only).
+pub struct Metrics;
+
+impl Metrics {
+    /// The counter named `name`, registering it on first use. Cache
+    /// the returned handle on hot paths — lookup takes the registry
+    /// lock.
+    pub fn counter(name: &str) -> Counter {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        match reg
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            Metric::Histogram(_) => {
+                panic!("metric {name:?} is already registered as a histogram")
+            }
+        }
+    }
+
+    /// The histogram named `name`, registering it with `bounds` on
+    /// first use (later calls reuse the original bounds).
+    pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        match reg
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            Metric::Counter(_) => {
+                panic!("metric {name:?} is already registered as a counter")
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name.
+    pub fn snapshot() -> Vec<MetricSnapshot> {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .map(|(name, m)| match m {
+                Metric::Counter(c) => MetricSnapshot::Counter {
+                    name: name.clone(),
+                    value: c.get(),
+                },
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                },
+            })
+            .collect()
+    }
+
+    /// Zeroes every registered metric (handles stay valid). Intended
+    /// for tests and the start of CLI sessions.
+    pub fn reset() {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        for m in reg.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders the snapshot as an aligned, human-readable table.
+    pub fn render() -> String {
+        let snap = Metrics::snapshot();
+        let mut out = String::new();
+        let width = snap.iter().map(|s| s.name().len()).max().unwrap_or(0);
+        for s in &snap {
+            match s {
+                MetricSnapshot::Counter { name, value } => {
+                    out.push_str(&format!("{name:<width$}  {value}\n"));
+                }
+                MetricSnapshot::Histogram {
+                    name,
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        sum / *count as f64
+                    };
+                    out.push_str(&format!(
+                        "{name:<width$}  count={count} sum={sum:.3} mean={mean:.3}\n"
+                    ));
+                    for (bound, c) in buckets {
+                        if *c == 0 {
+                            continue;
+                        }
+                        if bound.is_finite() {
+                            out.push_str(&format!("{:width$}    <= {bound}: {c}\n", ""));
+                        } else {
+                            out.push_str(&format!("{:width$}    > max: {c}\n", ""));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a JSON object keyed by metric name.
+    pub fn to_json() -> String {
+        use std::fmt::Write as _;
+        let snap = Metrics::snapshot();
+        let mut out = String::from("{");
+        for (i, s) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match s {
+                MetricSnapshot::Counter { name, value } => {
+                    let _ = write!(out, "\"{name}\":{value}");
+                }
+                MetricSnapshot::Histogram {
+                    name,
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let _ = write!(out, "\"{name}\":{{\"count\":{count},\"sum\":{sum}");
+                    out.push_str(",\"buckets\":[");
+                    for (j, (bound, c)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        if bound.is_finite() {
+                            let _ = write!(out, "[{bound},{c}]");
+                        } else {
+                            let _ = write!(out, "[null,{c}]");
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One metric's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter's value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Current count.
+        value: u64,
+    },
+    /// A histogram's state.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Samples recorded.
+        count: u64,
+        /// Sum of samples.
+        sum: f64,
+        /// `(upper_bound, count)` per bucket (last bound is infinite).
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. } | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+
+    /// The counter value, if this is a counter.
+    pub fn counter_value(&self) -> Option<u64> {
+        match self {
+            MetricSnapshot::Counter { value, .. } => Some(*value),
+            MetricSnapshot::Histogram { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let a = Metrics::counter("test.metrics.shared");
+        let b = Metrics::counter("test.metrics.shared");
+        a.reset();
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        let snap = Metrics::snapshot();
+        let found = snap
+            .iter()
+            .find(|s| s.name() == "test.metrics.shared")
+            .unwrap();
+        assert_eq!(found.counter_value(), Some(5));
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_mean() {
+        let h = Metrics::histogram("test.metrics.hist", &[1.0, 10.0, 100.0]);
+        h.reset();
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 555.5).abs() < 1e-9);
+        assert!((h.mean() - 138.875).abs() < 1e-9);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[2], (100.0, 1));
+        assert_eq!(buckets[3].1, 1); // overflow
+        assert!(buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn concurrent_observations_do_not_lose_samples() {
+        let h = Metrics::histogram("test.metrics.concurrent", &[0.5]);
+        h.reset();
+        let c = Metrics::counter("test.metrics.concurrent_count");
+        c.reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(1.0);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(c.get(), 4000);
+        assert!((h.sum() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_and_json_are_parseable() {
+        let c = Metrics::counter("test.metrics.render");
+        c.inc();
+        let text = Metrics::render();
+        assert!(text.contains("test.metrics.render"));
+        crate::export::validate_json(&Metrics::to_json()).unwrap();
+    }
+}

@@ -1,0 +1,491 @@
+//! The drained trace: per-thread item sequences, well-formedness
+//! validation, and a flattened span view for tests and tooling.
+
+use std::fmt;
+
+/// One key/value annotation attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// Annotation key (a field name, from the `span!`/`event!` macro).
+    pub key: &'static str,
+    /// Annotation value.
+    pub value: ArgValue,
+}
+
+impl Arg {
+    /// Builds an annotation from anything convertible to [`ArgValue`].
+    pub fn new(key: &'static str, value: impl Into<ArgValue>) -> Self {
+        Arg {
+            key,
+            value: value.into(),
+        }
+    }
+}
+
+/// A span/event annotation value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::I64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Bool(v) => write!(f, "{v}"),
+            ArgValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<i32> for ArgValue {
+    fn from(v: i32) -> Self {
+        ArgValue::I64(i64::from(v))
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded item in a thread's buffer.
+///
+/// Every item carries both timestamp domains: `mono_ns` (nanoseconds of
+/// real time since the collector epoch — profiling) and `sim_md`
+/// (simulated project time in milli-days, when the instrumented layer
+/// published one via [`Collector::set_sim_md`](crate::Collector::set_sim_md)
+/// — deterministic, golden-pinnable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceItem {
+    /// A span opened ([`SpanGuard`](crate::SpanGuard) created).
+    Enter {
+        /// Span name (dot-separated taxonomy, e.g. `hercules.plan`).
+        name: &'static str,
+        /// Real time since the collector epoch.
+        mono_ns: u64,
+        /// Simulated time (milli-days), if published.
+        sim_md: Option<i64>,
+        /// Annotations known at entry.
+        args: Vec<Arg>,
+    },
+    /// The innermost open span closed (guard dropped).
+    Exit {
+        /// Real time since the collector epoch.
+        mono_ns: u64,
+        /// Simulated time (milli-days), if published.
+        sim_md: Option<i64>,
+        /// Annotations recorded during the span
+        /// ([`SpanGuard::record`](crate::SpanGuard::record)).
+        args: Vec<Arg>,
+    },
+    /// A point event inside the current span (or at top level).
+    Event {
+        /// Event name.
+        name: &'static str,
+        /// Real time since the collector epoch.
+        mono_ns: u64,
+        /// Simulated time (milli-days), if published.
+        sim_md: Option<i64>,
+        /// Annotations.
+        args: Vec<Arg>,
+    },
+}
+
+/// One thread's drained buffer, in recording order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTrace {
+    /// The thread's lane — the deterministic merge key (see
+    /// [`Collector::set_lane`](crate::Collector::set_lane)).
+    pub lane: u64,
+    /// The thread's items, oldest first.
+    pub items: Vec<TraceItem>,
+}
+
+/// A merged trace: every thread's buffer, ordered by `(lane,
+/// registration)` so the merge is deterministic whenever lanes are
+/// (threads doing deterministic work under explicit lanes produce
+/// byte-identical traces run over run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Per-thread traces in merge order.
+    pub threads: Vec<ThreadTrace>,
+}
+
+/// One matched span in a [`Trace`], flattened by
+/// [`Trace::spans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanView {
+    /// Span name.
+    pub name: &'static str,
+    /// Owning thread's lane.
+    pub lane: u64,
+    /// Nesting depth within its thread (roots are 0).
+    pub depth: usize,
+    /// Index (into the same `spans()` vector) of the enclosing span.
+    pub parent: Option<usize>,
+    /// Enter time (real, ns since epoch).
+    pub start_ns: u64,
+    /// Exit time (real, ns since epoch).
+    pub end_ns: u64,
+    /// Simulated time at entry (milli-days), if published.
+    pub sim_start_md: Option<i64>,
+    /// Simulated time at exit (milli-days), if published.
+    pub sim_end_md: Option<i64>,
+    /// Entry + exit annotations, entry first.
+    pub args: Vec<Arg>,
+}
+
+impl SpanView {
+    /// Real duration of the span in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// The value of annotation `key`, if recorded.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|a| a.key == key).map(|a| &a.value)
+    }
+}
+
+impl Trace {
+    /// Whether the trace holds no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.threads.iter().all(|t| t.items.is_empty())
+    }
+
+    /// Total items across all threads.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.items.len()).sum()
+    }
+
+    /// Number of matched spans (enter/exit pairs).
+    pub fn span_count(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.items)
+            .filter(|i| matches!(i, TraceItem::Enter { .. }))
+            .count()
+    }
+
+    /// Number of point events.
+    pub fn event_count(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.items)
+            .filter(|i| matches!(i, TraceItem::Event { .. }))
+            .count()
+    }
+
+    /// Checks the trace is **well-formed**: within every thread, each
+    /// exit closes an open span (no exit without a matching enter) and
+    /// no span is left open at the end of the buffer. RAII guards make
+    /// violations impossible for spans scoped inside one collection
+    /// session; this is the property the test suite pins.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (t, thread) in self.threads.iter().enumerate() {
+            let mut stack: Vec<&'static str> = Vec::new();
+            for (i, item) in thread.items.iter().enumerate() {
+                match item {
+                    TraceItem::Enter { name, .. } => stack.push(name),
+                    TraceItem::Exit { .. } => {
+                        if stack.pop().is_none() {
+                            return Err(format!(
+                                "thread {t} (lane {}): exit at item {i} closes no open span",
+                                thread.lane
+                            ));
+                        }
+                    }
+                    TraceItem::Event { .. } => {}
+                }
+            }
+            if let Some(open) = stack.last() {
+                return Err(format!(
+                    "thread {t} (lane {}): span {open:?} never exited ({} left open)",
+                    thread.lane,
+                    stack.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens every matched span into a [`SpanView`], per thread in
+    /// enter order. Unmatched enters (an invalid trace) are skipped —
+    /// call [`validate`](Trace::validate) first when that matters.
+    pub fn spans(&self) -> Vec<SpanView> {
+        let mut out: Vec<SpanView> = Vec::new();
+        for thread in &self.threads {
+            // Per-thread views plus a matched flag; indices are local.
+            let mut local: Vec<(SpanView, bool)> = Vec::new();
+            let mut open: Vec<usize> = Vec::new();
+            for item in &thread.items {
+                match item {
+                    TraceItem::Enter {
+                        name,
+                        mono_ns,
+                        sim_md,
+                        args,
+                    } => {
+                        let parent = open.last().copied();
+                        local.push((
+                            SpanView {
+                                name,
+                                lane: thread.lane,
+                                depth: open.len(),
+                                parent,
+                                start_ns: *mono_ns,
+                                end_ns: *mono_ns,
+                                sim_start_md: *sim_md,
+                                sim_end_md: *sim_md,
+                                args: args.clone(),
+                            },
+                            false,
+                        ));
+                        open.push(local.len() - 1);
+                    }
+                    TraceItem::Exit {
+                        mono_ns,
+                        sim_md,
+                        args,
+                    } => {
+                        if let Some(idx) = open.pop() {
+                            let (span, matched) = &mut local[idx];
+                            span.end_ns = *mono_ns;
+                            if sim_md.is_some() {
+                                span.sim_end_md = *sim_md;
+                            }
+                            span.args.extend(args.iter().cloned());
+                            *matched = true;
+                        }
+                    }
+                    TraceItem::Event { .. } => {}
+                }
+            }
+            // Keep matched spans only, remapping parent links (an
+            // unmatched ancestor is replaced by its nearest matched
+            // one; indices become global via `out`'s running length).
+            let parents: Vec<Option<usize>> = local.iter().map(|(s, _)| s.parent).collect();
+            let mut remap: Vec<Option<usize>> = vec![None; local.len()];
+            for (i, (mut span, matched)) in local.into_iter().enumerate() {
+                if !matched {
+                    continue;
+                }
+                let mut parent = span.parent;
+                while let Some(p) = parent {
+                    match remap[p] {
+                        Some(mapped) => {
+                            parent = Some(mapped);
+                            break;
+                        }
+                        // Unmatched ancestor: walk up to its own parent.
+                        None => parent = parents[p],
+                    }
+                }
+                span.parent = parent;
+                remap[i] = Some(out.len());
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// Whether any matched span is named `name`.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.spans().iter().any(|s| s.name == name)
+    }
+
+    /// The first matched span named `name`, if any.
+    pub fn first_span(&self, name: &str) -> Option<SpanView> {
+        self.spans().into_iter().find(|s| s.name == name)
+    }
+
+    /// Whether any point event is named `name`.
+    pub fn has_event(&self, name: &str) -> bool {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.items)
+            .any(|i| matches!(i, TraceItem::Event { name: n, .. } if *n == name))
+    }
+
+    /// Number of point events named `name`.
+    pub fn events_named(&self, name: &str) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.items)
+            .filter(|i| matches!(i, TraceItem::Event { name: n, .. } if *n == name))
+            .count()
+    }
+
+    /// The span structure alone — `(lane, depth, name)` per span in
+    /// merge order — which is what deterministic instrumentation keeps
+    /// byte-identical run over run even though wall times differ.
+    pub fn shape(&self) -> Vec<(u64, usize, &'static str)> {
+        self.spans()
+            .iter()
+            .map(|s| (s.lane, s.depth, s.name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(name: &'static str, ns: u64) -> TraceItem {
+        TraceItem::Enter {
+            name,
+            mono_ns: ns,
+            sim_md: None,
+            args: Vec::new(),
+        }
+    }
+
+    fn exit(ns: u64) -> TraceItem {
+        TraceItem::Exit {
+            mono_ns: ns,
+            sim_md: None,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_nested_and_rejects_unbalanced() {
+        let good = Trace {
+            threads: vec![ThreadTrace {
+                lane: 0,
+                items: vec![enter("a", 1), enter("b", 2), exit(3), exit(4)],
+            }],
+        };
+        good.validate().unwrap();
+
+        let dangling_exit = Trace {
+            threads: vec![ThreadTrace {
+                lane: 0,
+                items: vec![exit(1)],
+            }],
+        };
+        assert!(dangling_exit.validate().is_err());
+
+        let unclosed = Trace {
+            threads: vec![ThreadTrace {
+                lane: 3,
+                items: vec![enter("a", 1)],
+            }],
+        };
+        let err = unclosed.validate().unwrap_err();
+        assert!(err.contains("never exited"), "{err}");
+    }
+
+    #[test]
+    fn spans_flatten_with_depth_and_parent() {
+        let t = Trace {
+            threads: vec![ThreadTrace {
+                lane: 7,
+                items: vec![
+                    enter("root", 10),
+                    enter("child", 20),
+                    exit(30),
+                    exit(40),
+                    enter("sibling", 50),
+                    exit(60),
+                ],
+            }],
+        };
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].dur_ns(), 30);
+        assert_eq!(spans[1].name, "child");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].name, "sibling");
+        assert_eq!(spans[2].parent, None);
+        assert!(t.has_span("child"));
+        assert!(!t.has_span("ghost"));
+        assert_eq!(t.span_count(), 3);
+        assert_eq!(
+            t.shape(),
+            vec![(7, 0, "root"), (7, 1, "child"), (7, 0, "sibling")]
+        );
+    }
+
+    #[test]
+    fn exit_args_merge_into_the_span_view() {
+        let t = Trace {
+            threads: vec![ThreadTrace {
+                lane: 0,
+                items: vec![
+                    TraceItem::Enter {
+                        name: "s",
+                        mono_ns: 0,
+                        sim_md: Some(1000),
+                        args: vec![Arg::new("in", 1u64)],
+                    },
+                    TraceItem::Exit {
+                        mono_ns: 5,
+                        sim_md: Some(2500),
+                        args: vec![Arg::new("out", true)],
+                    },
+                ],
+            }],
+        };
+        let s = t.first_span("s").unwrap();
+        assert_eq!(s.arg("in"), Some(&ArgValue::U64(1)));
+        assert_eq!(s.arg("out"), Some(&ArgValue::Bool(true)));
+        assert_eq!(s.sim_start_md, Some(1000));
+        assert_eq!(s.sim_end_md, Some(2500));
+    }
+}

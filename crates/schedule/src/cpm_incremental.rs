@@ -67,6 +67,14 @@ pub struct UpdateStats {
     /// Activities whose tail (late dates) were re-derived (backward
     /// cone, after early cutoff).
     pub backward_recomputed: usize,
+    /// Forward re-derivations that found **unchanged** dates — each is
+    /// a point where the early cutoff stopped propagation. The cone's
+    /// true frontier: `forward_recomputed - forward_cutoff` activities
+    /// actually moved.
+    pub forward_cutoff: usize,
+    /// Backward re-derivations that found an unchanged tail (cutoff
+    /// points of the backward sweep).
+    pub backward_cutoff: usize,
     /// Dirty activities the caller declared.
     pub dirty: usize,
     /// `true` when a structural change forced a full rebuild.
@@ -278,6 +286,8 @@ impl IncrementalCpm {
             let stats = UpdateStats {
                 forward_recomputed: n,
                 backward_recomputed: n,
+                forward_cutoff: 0,
+                backward_cutoff: 0,
                 dirty: dirty.len(),
                 full_rebuild: true,
             };
@@ -298,8 +308,8 @@ impl IncrementalCpm {
         for &id in dirty {
             self.durations[id.index()] = network.duration(id).days();
         }
-        let forward_recomputed = self.forward_sweep(network, dirty);
-        let backward_recomputed = self.backward_sweep(network, dirty);
+        let (forward_recomputed, forward_cutoff) = self.forward_sweep(network, dirty);
+        let (backward_recomputed, backward_cutoff) = self.backward_sweep(network, dirty);
         // Project finish: max earliest finish over sinks (equal to the
         // max over all activities — earliest finishes are monotone
         // along precedence edges).
@@ -311,6 +321,8 @@ impl IncrementalCpm {
         let stats = UpdateStats {
             forward_recomputed,
             backward_recomputed,
+            forward_cutoff,
+            backward_cutoff,
             dirty: dirty.len(),
             full_rebuild: false,
         };
@@ -441,8 +453,10 @@ impl IncrementalCpm {
 
     /// Re-derives earliest dates over the forward cone of `dirty`,
     /// stopping propagation wherever the recomputed dates are
-    /// unchanged. Returns the number of activities re-derived.
-    fn forward_sweep(&mut self, network: &ScheduleNetwork, dirty: &[ActivityId]) -> usize {
+    /// unchanged. Returns `(re-derived, cutoff)` — activities visited
+    /// and, of those, how many were found unchanged (where the cutoff
+    /// fired).
+    fn forward_sweep(&mut self, network: &ScheduleNetwork, dirty: &[ActivityId]) -> (usize, usize) {
         self.gen += 1;
         let gen = self.gen;
         // Min-heap on topological position: every predecessor that can
@@ -456,6 +470,7 @@ impl IncrementalCpm {
             }
         }
         let mut recomputed = 0usize;
+        let mut cutoff = 0usize;
         while let Some(Reverse((_, idx))) = heap.pop() {
             let i = idx as usize;
             let id = self.order[self.pos[i]];
@@ -468,6 +483,7 @@ impl IncrementalCpm {
             // Early cutoff: bit-identical earliest dates mean nothing
             // downstream can observe a change.
             if es == self.early_start[i] && ef == self.early_finish[i] {
+                cutoff += 1;
                 continue;
             }
             self.early_start[i] = es;
@@ -479,13 +495,16 @@ impl IncrementalCpm {
                 }
             }
         }
-        recomputed
+        (recomputed, cutoff)
     }
 
     /// Re-derives tails (late dates) over the backward cone of `dirty`,
-    /// with the same early cutoff. Returns the number of activities
-    /// re-derived.
-    fn backward_sweep(&mut self, network: &ScheduleNetwork, dirty: &[ActivityId]) -> usize {
+    /// with the same early cutoff. Returns `(re-derived, cutoff)`.
+    fn backward_sweep(
+        &mut self,
+        network: &ScheduleNetwork,
+        dirty: &[ActivityId],
+    ) -> (usize, usize) {
         self.gen += 1;
         let gen = self.gen;
         // Max-heap on topological position: successors first.
@@ -497,6 +516,7 @@ impl IncrementalCpm {
             }
         }
         let mut recomputed = 0usize;
+        let mut cutoff = 0usize;
         while let Some((_, idx)) = heap.pop() {
             let i = idx as usize;
             let id = self.order[self.pos[i]];
@@ -507,6 +527,7 @@ impl IncrementalCpm {
             let tail = self.durations[i] + t;
             recomputed += 1;
             if tail == self.tail[i] {
+                cutoff += 1;
                 continue;
             }
             self.tail[i] = tail;
@@ -517,7 +538,7 @@ impl IncrementalCpm {
                 }
             }
         }
-        recomputed
+        (recomputed, cutoff)
     }
 }
 
@@ -590,6 +611,12 @@ mod tests {
         // Backward: C's tail grows 4→5, still below B's 7, so A's tail
         // is re-derived but unchanged.
         assert!(stats.backward_recomputed <= 2, "{stats:?}");
+        // Both sweeps hit their cutoff exactly once (D forward, A
+        // backward) — the counters expose where propagation stopped.
+        assert_eq!(stats.forward_cutoff, 1, "{stats:?}");
+        assert_eq!(stats.backward_cutoff, 1, "{stats:?}");
+        assert!(stats.forward_cutoff <= stats.forward_recomputed);
+        assert!(stats.backward_cutoff <= stats.backward_recomputed);
     }
 
     #[test]

@@ -204,7 +204,9 @@ pub fn simulate_threaded(
     }
     let threads = threads.clamp(1, samples);
     let n = network.activity_count();
+    let mut mc_span = obs::span!("schedule.montecarlo", samples = samples, threads = threads);
     let (mut durations, critical_hits) = if threads == 1 {
+        let _chunk = obs::span!("mc.chunk", chunk = 0u64, samples = samples);
         run_chunk(network, estimates, 0..samples, seed)?
     } else {
         // Contiguous chunks, remainder spread over the first workers.
@@ -220,7 +222,17 @@ pub fn simulate_threaded(
         let results: Vec<ChunkResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|range| scope.spawn(move || run_chunk(network, estimates, range, seed)))
+                .enumerate()
+                .map(|(k, range)| {
+                    scope.spawn(move || {
+                        // Lane = 1 + chunk index (0 is the orchestrating
+                        // thread's convention): the merged trace is a
+                        // function of the chunking, not OS scheduling.
+                        obs::Collector::set_lane(1 + k as u64);
+                        let _chunk = obs::span!("mc.chunk", chunk = k, samples = range.len());
+                        run_chunk(network, estimates, range, seed)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -240,6 +252,7 @@ pub fn simulate_threaded(
     };
     durations.sort_by(|a, b| a.total_cmp(b));
     let mean = durations.iter().sum::<f64>() / samples as f64;
+    mc_span.record("mean_days", mean);
     let criticality = critical_hits
         .iter()
         .map(|&h| h as f64 / samples as f64)

@@ -141,6 +141,18 @@ impl ToolLibrary {
         let injector: FaultInjector = faults.into();
         let mut outcome = self.resolve(tool).invoke(req);
         let fault = injector.decide(tool, req, attempt);
+        if let Some(f) = fault {
+            obs::event!(
+                "fault.injected",
+                tool = tool,
+                attempt = attempt,
+                kind = match f {
+                    InjectedFault::Transient => "transient",
+                    InjectedFault::Hang => "hang",
+                    InjectedFault::CorruptOutput => "corrupt-output",
+                },
+            );
+        }
         if fault == Some(InjectedFault::CorruptOutput) {
             let seed = mix(&[
                 hash_str(tool),

@@ -10,6 +10,8 @@
 #   check   scripts/check.sh (release build + full test suite + bench smoke)
 #   golden  committed paper artifacts still match the binaries
 #   chaos   herc chaos over the fixed seed set (failure semantics)
+#   obs     tracing gate: obs property + scenario tests, herc trace
+#           exports of fig8 + chaos validate as JSON
 #   bench   bench_compare: fresh quick run vs committed BENCH_schedflow.json
 #   doc     rustdoc builds cleanly
 #
@@ -24,7 +26,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check golden chaos bench doc)
+ALL_STAGES=(fmt clippy check golden chaos obs bench doc)
 
 usage() {
     echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
@@ -92,6 +94,33 @@ stage_chaos() {
     # `herc chaos --seed N` repro. Release mode keeps it bounded.
     cargo run -q --release --offline -p hercules --bin herc -- \
         chaos --seed 0 --count 64
+}
+
+stage_obs() {
+    # Tracing gate: the obs property suite (well-formed traces,
+    # deterministic merge, lane ordering), the scenario/golden tests,
+    # and an end-to-end `herc trace` of both named scenarios — the
+    # exact command a user runs — with the exports checked as JSON.
+    cargo test -q --offline --release -p dac95-schedflow \
+        --test obs_properties --test trace_scenarios || return 1
+    mkdir -p target/traces
+    cargo run -q --release --offline -p hercules --bin herc -- \
+        trace fig8 --logical --out target/traces/fig8_trace.json || return 1
+    cargo run -q --release --offline -p hercules --bin herc -- \
+        trace chaos --out target/traces/chaos_trace.json || return 1
+    # The committed golden is the same logical-timebase fig8 export:
+    # the CLI must reproduce it byte-for-byte.
+    cmp artifacts/fig8_trace.json target/traces/fig8_trace.json || {
+        echo "obs stage: herc trace fig8 diverges from artifacts/fig8_trace.json" >&2
+        return 1
+    }
+    # Exports must load as JSON (chrome://tracing / Perfetto input).
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool target/traces/fig8_trace.json >/dev/null || return 1
+        python3 -m json.tool target/traces/chaos_trace.json >/dev/null || return 1
+    else
+        echo "obs stage: python3 not found; skipping external JSON parse check" >&2
+    fi
 }
 
 stage_bench() {

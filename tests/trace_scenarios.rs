@@ -1,0 +1,96 @@
+//! Integration tests for the named trace scenarios (`hercules::trace`)
+//! and their exported forms — including the golden Chrome trace the
+//! CI `obs` stage pins.
+//!
+//! Every test in this binary that runs Hercules code does so inside an
+//! exclusive [`obs::Collector::session`], so parallel test threads
+//! serialize on the session lock and never pollute each other's
+//! traces.
+
+use std::path::Path;
+
+use hercules::trace::{record, CHAOS_TRACE_SEED};
+use obs::export::{to_chrome, to_jsonl, validate_json, validate_jsonl, Timebase};
+
+/// The acceptance bar for `herc trace`: a chaos seed's span tree
+/// covers plan → execute (including retry and blocked telemetry) →
+/// replan → journal recovery.
+#[test]
+fn chaos_trace_covers_full_degraded_lifecycle() {
+    let trace = record("chaos", CHAOS_TRACE_SEED).unwrap();
+    trace.validate().unwrap();
+    for span in [
+        "hercules.plan",
+        "hercules.execute",
+        "execute.activity",
+        "hercules.replan",
+        "journal.recover",
+    ] {
+        assert!(trace.has_span(span), "missing span {span}");
+    }
+    for event in [
+        "execute.retry",
+        "execute.timeout",
+        "execute.blocked",
+        "fault.injected",
+        "journal.append",
+    ] {
+        assert!(trace.has_event(event), "missing event {event}");
+    }
+}
+
+#[test]
+fn chaos_trace_is_deterministic() {
+    let a = record("chaos", CHAOS_TRACE_SEED).unwrap();
+    let b = record("chaos", CHAOS_TRACE_SEED).unwrap();
+    assert_eq!(a.shape(), b.shape());
+    assert_eq!(
+        to_chrome(&a, Timebase::Logical),
+        to_chrome(&b, Timebase::Logical)
+    );
+}
+
+/// Both exporters emit output the in-repo validator accepts, in both
+/// timestamp domains — the same check the CI `obs` stage applies to
+/// the `herc trace` output.
+#[test]
+fn exports_are_well_formed() {
+    let trace = record("chaos", CHAOS_TRACE_SEED).unwrap();
+    for timebase in [Timebase::Wall, Timebase::Logical] {
+        validate_json(&to_chrome(&trace, timebase)).unwrap();
+        validate_jsonl(&to_jsonl(&trace, timebase)).unwrap();
+    }
+}
+
+/// The committed `artifacts/fig8_trace.json` must match what the
+/// exporter produces today: the Fig. 8 session under the logical
+/// timebase is byte-deterministic, so any drift is a real change to
+/// the span taxonomy, the exporter format, or the scenario itself.
+#[test]
+fn fig8_chrome_trace_matches_golden() {
+    let trace = record("fig8", 0).unwrap();
+    let actual = to_chrome(&trace, Timebase::Logical);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts/fig8_trace.json");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden_path.display()));
+    if golden.trim_end() != actual.trim_end() {
+        let first = golden
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (g, a))| g != a)
+            .map(|(i, (g, a))| format!("line {}:\n  golden: {g}\n  actual: {a}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: golden {} vs actual {}",
+                    golden.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "fig8 trace drifted from artifacts/fig8_trace.json\nfirst difference at {first}\n\
+             if the change is intentional, regenerate with:\n  \
+             cargo run -p hercules --bin herc -- trace fig8 --logical --out artifacts/fig8_trace.json\n"
+        );
+    }
+}
