@@ -1,4 +1,4 @@
-//! The workspace's micro-benchmark kernels (B1–B11 in DESIGN.md),
+//! The workspace's micro-benchmark kernels (B1–B12 in DESIGN.md),
 //! ported from Criterion onto `harness::bench` so they run offline and
 //! emit machine-readable results.
 //!
@@ -22,12 +22,13 @@ pub mod recover_journal;
 pub mod replan;
 pub mod replan_incremental;
 pub mod trace_overhead;
+pub mod workspace_concurrent;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B11). The calibration spin must run first: it warms the CPU for
+/// B1–B12). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 12] = [
+pub const KERNELS: [&str; 13] = [
     "calibrate",
     "cpm",
     "planning",
@@ -40,6 +41,7 @@ pub const KERNELS: [&str; 12] = [
     "replan_incremental",
     "recover_journal",
     "trace_overhead",
+    "workspace_concurrent",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -81,6 +83,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("trace_overhead") {
         records.extend(trace_overhead::run(quick));
+    }
+    if wanted("workspace_concurrent") {
+        records.extend(workspace_concurrent::run(quick));
     }
     records
 }

@@ -1,0 +1,59 @@
+//! The B12 acceptance gate: mixed plan/replan/query throughput against
+//! the multi-project workspace must scale ≥2× from 1 to 4 threads.
+//!
+//! Each write session holds its project's exclusive lock across a
+//! simulated tool/commit latency, so this gate tests **lock
+//! granularity** — RwLock-per-project sharding overlaps the waits of
+//! sessions on different projects — and stays meaningful on
+//! single-core CI containers (see `kernels::workspace_concurrent`).
+//! A regression to a coarse store-wide lock flattens the curve and
+//! fails here long before a human reads a benchmark report.
+
+use std::time::Instant;
+
+use bench::kernels::workspace_concurrent::{run_batch, seeded_workspace, PROJECTS};
+
+/// Wall time of the best of `tries` batches at `threads` threads —
+/// min, not mean, to shrug off scheduler noise on loaded CI hosts.
+fn best_batch_secs(
+    ws: &std::sync::Arc<hercules::Workspace>,
+    threads: usize,
+    ops_per_project: usize,
+    tries: usize,
+) -> f64 {
+    (0..tries)
+        .map(|_| {
+            let t0 = Instant::now();
+            run_batch(ws, threads, ops_per_project);
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn four_threads_double_single_thread_throughput() {
+    const OPS_PER_PROJECT: usize = 8;
+    const TRIES: usize = 5;
+
+    let ws = seeded_workspace();
+    // Warmup: populate plan caches and fault in the code paths.
+    run_batch(&ws, 1, 2);
+
+    let t1 = best_batch_secs(&ws, 1, OPS_PER_PROJECT, TRIES);
+    let t4 = best_batch_secs(&ws, 4, OPS_PER_PROJECT, TRIES);
+
+    let total_ops = (PROJECTS * OPS_PER_PROJECT) as f64;
+    let ops_s_1 = total_ops / t1;
+    let ops_s_4 = total_ops / t4;
+    let scaling = ops_s_4 / ops_s_1;
+    eprintln!(
+        "workspace_concurrent: 1 thread {ops_s_1:.0} ops/s, \
+         4 threads {ops_s_4:.0} ops/s, scaling {scaling:.2}x"
+    );
+    assert!(
+        scaling >= 2.0,
+        "throughput scaled only {scaling:.2}x from 1 to 4 threads \
+         ({ops_s_1:.0} -> {ops_s_4:.0} ops/s); the workspace's \
+         per-project sharding has regressed toward a global lock"
+    );
+}

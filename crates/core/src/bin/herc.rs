@@ -13,6 +13,16 @@
 //!                                            record a session as Chrome JSON
 //! herc metrics <scenario> [--seed N] [--json]
 //!                                            run a scenario, dump the registry
+//! herc ws <root> list                        list persisted projects
+//! herc ws <root> create <name> <file> [options]
+//!                                            create a persistent project
+//! herc ws <root> plan <name> <file> <target> [options]
+//!                                            plan inside a persisted project
+//! herc ws <root> run  <name> <file> <target> [options]
+//!                                            plan + execute + status
+//! herc ws <root> status <name> <file> [options]
+//!                                            status of a persisted project
+//! herc gc <root> [<name>...]                 compact project journals
 //!
 //! options:
 //!   --team N      designers on the project (default 2)
@@ -39,7 +49,8 @@
 
 use std::process::ExitCode;
 
-use hercules::Hercules;
+use hercules::{Hercules, Workspace};
+use metadata::{PersistentStore, Store};
 use schedule::gantt::GanttOptions;
 use schedule::WorkDays;
 use simtools::{workload::Team, ToolLibrary};
@@ -59,7 +70,9 @@ fn usage() -> ExitCode {
          [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS]\n\
          \x20      herc chaos [--seed N] [--count K] [--trace-dir DIR]\n\
          \x20      herc trace <fig8|chaos> [--seed N] [--out FILE] [--jsonl] [--logical]\n\
-         \x20      herc metrics <fig8|chaos> [--seed N] [--json]"
+         \x20      herc metrics <fig8|chaos> [--seed N] [--json]\n\
+         \x20      herc ws <root> <list|create|plan|run|status> [<name> <schema-file> [<target>]] [options]\n\
+         \x20      herc gc <root> [<name>...]"
     );
     ExitCode::from(2)
 }
@@ -134,7 +147,7 @@ fn manager(source: &str, opts: &Options) -> Result<Hercules, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
         let db = metadata::MetadataDb::load(&text).map_err(|e| e.to_string())?;
-        h.restore_db(db);
+        h.restore_db(db).map_err(|e| e.to_string())?;
     }
     Ok(h)
 }
@@ -404,17 +417,192 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Compacts persisted project stores under a workspace root: folds
+/// each journal tail into a fresh snapshot (`snapshot-{N+1}` +
+/// empty tail, swapped in via temp/rename) and reports what shrank.
+/// With no names, every on-disk project is compacted.
+fn cmd_gc(args: &[String]) -> Result<(), String> {
+    let Some(root) = args.first() else {
+        return Err("gc needs a workspace root directory".to_owned());
+    };
+    let names: Vec<String> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        Workspace::on_disk_projects(root)
+    };
+    if names.is_empty() {
+        return Err(format!("no projects found under {root:?}"));
+    }
+    for name in &names {
+        let dir = std::path::Path::new(root).join(name);
+        let mut store = PersistentStore::open(&dir).map_err(|e| format!("{name}: {e}"))?;
+        let stats = store.compact().map_err(|e| format!("{name}: {e}"))?;
+        println!(
+            "{name}: folded {} tail op(s), {} -> {} bytes, now at generation {}",
+            stats.tail_ops_before, stats.bytes_before, stats.bytes_after, stats.generation
+        );
+    }
+    Ok(())
+}
+
+/// Reads a schema file for the `ws` subcommands.
+fn read_schema(file: &str) -> Result<schema::TaskSchema, String> {
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+    schema::parse_schema(&source).map_err(|e| e.to_string())
+}
+
+/// Opens (or creates) a persisted project and applies session options.
+fn ws_project(
+    ws: &Workspace,
+    name: &str,
+    file: &str,
+    opts: &Options,
+    create: bool,
+) -> Result<std::sync::Arc<hercules::Project>, String> {
+    let schema = read_schema(file)?;
+    let open = if create {
+        Workspace::create_project
+    } else {
+        Workspace::open_project
+    };
+    let project = open(
+        ws,
+        name,
+        schema,
+        ToolLibrary::standard(),
+        Team::of_size(opts.team.max(1)),
+        opts.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    for (activity, days) in &opts.estimates {
+        project
+            .update(|h| h.set_estimate(activity, WorkDays::new(*days)))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(project)
+}
+
+/// Multi-project operations against a persistent workspace root:
+/// `list` discovers what is on disk; `create`/`plan`/`run`/`status`
+/// operate on one named project whose store lives at `root/<name>/`.
+/// Every mutation is journaled as it happens, so a later `herc gc
+/// <root>` can fold the tail into a fresh snapshot.
+fn cmd_ws(args: &[String]) -> Result<(), String> {
+    let (Some(root), Some(sub)) = (args.first(), args.get(1)) else {
+        return Err("ws usage: herc ws <root> <list|create|plan|run|status> \
+             [<name> <schema-file> [<target>]] [options]"
+            .to_owned());
+    };
+    if sub == "list" {
+        let names = Workspace::on_disk_projects(root);
+        if names.is_empty() {
+            println!("no projects under {root}");
+            return Ok(());
+        }
+        for name in &names {
+            let dir = std::path::Path::new(root).join(name);
+            match PersistentStore::open(&dir) {
+                Ok(store) => {
+                    let db = store.db();
+                    println!(
+                        "{name}: generation {}, {} run(s), {} completed, {} in progress",
+                        db.generation(),
+                        db.runs().len(),
+                        db.completed_activities().len(),
+                        db.in_progress_activities().len()
+                    );
+                }
+                Err(e) => println!("{name}: unreadable ({e})"),
+            }
+        }
+        return Ok(());
+    }
+    let (Some(name), Some(file)) = (args.get(2), args.get(3)) else {
+        return Err(format!("ws {sub} needs <name> <schema-file>"));
+    };
+    let ws = Workspace::persistent(root);
+    match sub.as_str() {
+        "create" => {
+            let opts = parse_options(&args[4..])?;
+            ws_project(&ws, name, file, &opts, true)?;
+            println!("project {name:?} created under {root}");
+            Ok(())
+        }
+        "plan" => {
+            let Some(target) = args.get(4) else {
+                return Err("ws plan needs <target>".to_owned());
+            };
+            let opts = parse_options(&args[5..])?;
+            let project = ws_project(&ws, name, file, &opts, false)?;
+            let plan = project
+                .update(|h| h.plan(target))
+                .map_err(|e| e.to_string())?;
+            println!("proposed schedule for {target:?} in project {name:?}:");
+            for pa in plan.activities() {
+                println!(
+                    "  {:<16} [{} .. {}] {} {}",
+                    pa.activity,
+                    pa.start,
+                    pa.start + pa.duration,
+                    if pa.critical { "*" } else { " " },
+                    pa.assignee
+                );
+            }
+            println!("proposed finish: day {}", plan.project_finish());
+            Ok(())
+        }
+        "run" => {
+            let Some(target) = args.get(4) else {
+                return Err("ws run needs <target>".to_owned());
+            };
+            let opts = parse_options(&args[5..])?;
+            let project = ws_project(&ws, name, file, &opts, false)?;
+            let report = project
+                .update(|h| {
+                    h.plan(target)?;
+                    h.execute(target)
+                })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "project {name:?}: executed {} activities in {} runs, finished day {}",
+                report.activities().len(),
+                report.total_runs(),
+                report.finished_at()
+            );
+            project.read(|h| println!("\n{}", h.status()));
+            Ok(())
+        }
+        "status" => {
+            let opts = parse_options(&args[4..])?;
+            let project = ws_project(&ws, name, file, &opts, false)?;
+            project.read(|h| {
+                let status = h.status();
+                print!("{status}");
+                println!("variance: {}", status.variance());
+            });
+            Ok(())
+        }
+        other => Err(format!("ws: unknown subcommand {other:?}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return usage();
     };
-    // `chaos`, `trace`, and `metrics` take no schema file: their
-    // scenarios are derived from names and seeds.
-    if matches!(command.as_str(), "chaos" | "trace" | "metrics") {
+    // `chaos`, `trace`, `metrics`, `ws`, and `gc` take no leading
+    // schema file: their scenarios and projects are derived from
+    // names, seeds, and workspace roots.
+    if matches!(
+        command.as_str(),
+        "chaos" | "trace" | "metrics" | "ws" | "gc"
+    ) {
         let result = match command.as_str() {
             "chaos" => cmd_chaos(&args[1..]),
             "trace" => cmd_trace(&args[1..]),
+            "ws" => cmd_ws(&args[1..]),
+            "gc" => cmd_gc(&args[1..]),
             _ => cmd_metrics(&args[1..]),
         };
         return match result {

@@ -27,6 +27,9 @@ pub enum HerculesError {
     },
     /// An error from the metadata database.
     Metadata(metadata::MetadataError),
+    /// An error from the storage engine beneath the metadata database
+    /// (snapshot, journal tail, or compaction).
+    Store(metadata::StoreError),
     /// An error from the schedule engine.
     Schedule(schedule::ScheduleError),
     /// An error from schema handling.
@@ -55,6 +58,7 @@ impl fmt::Display for HerculesError {
                 )
             }
             HerculesError::Metadata(e) => write!(f, "metadata: {e}"),
+            HerculesError::Store(e) => write!(f, "store: {e}"),
             HerculesError::Schedule(e) => write!(f, "schedule: {e}"),
             HerculesError::Schema(e) => write!(f, "schema: {e}"),
         }
@@ -65,6 +69,7 @@ impl Error for HerculesError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             HerculesError::Metadata(e) => Some(e),
+            HerculesError::Store(e) => Some(e),
             HerculesError::Schedule(e) => Some(e),
             HerculesError::Schema(e) => Some(e),
             _ => None,
@@ -75,6 +80,12 @@ impl Error for HerculesError {
 impl From<metadata::MetadataError> for HerculesError {
     fn from(e: metadata::MetadataError) -> Self {
         HerculesError::Metadata(e)
+    }
+}
+
+impl From<metadata::StoreError> for HerculesError {
+    fn from(e: metadata::StoreError) -> Self {
+        HerculesError::Store(e)
     }
 }
 

@@ -220,14 +220,14 @@ impl Hercules {
         for (class, &inst) in &self.supplied {
             data_ready.insert(
                 class.clone(),
-                (self.db.entity_instance(inst).created_at(), inst),
+                (self.store.db().entity_instance(inst).created_at(), inst),
             );
         }
         // Completed activities contribute their linked instances.
         for activity in tree.activities() {
-            if let Some(plan) = self.db.current_plan(activity) {
+            if let Some(plan) = self.store.db().current_plan(activity) {
                 if let Some(inst) = plan.linked_entity() {
-                    let at = self.db.entity_instance(inst).created_at();
+                    let at = self.store.db().entity_instance(inst).created_at();
                     data_ready.insert(tree.output_of(activity).to_owned(), (at, inst));
                 }
             }
@@ -248,14 +248,14 @@ impl Hercules {
         for (k, activity) in tree.activities().iter().enumerate() {
             // Skip work already declared complete.
             if self
-                .db
+                .db()
                 .current_plan(activity)
                 .is_some_and(|p| p.is_complete())
             {
                 continue;
             }
             let assignee = self
-                .db
+                .db()
                 .current_plan(activity)
                 .and_then(|p| p.assignees().first().cloned())
                 .unwrap_or_else(|| self.team.assignee(k).to_owned());
@@ -273,8 +273,8 @@ impl Hercules {
                 };
                 ready = ready.max(at);
                 input_bytes += self
-                    .db
-                    .data_object(self.db.entity_instance(inst).data())
+                    .db()
+                    .data_object(self.store.db().entity_instance(inst).data())
                     .size() as u64;
                 inputs.push(inst);
             }
@@ -307,7 +307,7 @@ impl Hercules {
             let mut converged = false;
             let mut blocked = false;
             let mut final_instance = None;
-            let prior_runs = self.db.runs_of(activity).len() as u32;
+            let prior_runs = self.store.db().runs_of(activity).len() as u32;
             while iterations < ITERATION_CAP {
                 let req = ToolInvocation {
                     input_bytes,
@@ -323,13 +323,15 @@ impl Hercules {
                     // metadata; only the clean one can converge.
                     None | Some(InjectedFault::CorruptOutput) => {
                         iterations += 1;
-                        let run = self.db.begin_run(activity, &assignee, t)?;
+                        let run = self.store.begin_run(activity, &assignee, t)?;
                         let end = t + WorkDays::new(attempted.outcome.duration_days);
-                        let data = self.db.store_data(
-                            format!("{output_class}.v{}", prior_runs + iterations),
+                        let data = self.store.store_data(
+                            &format!("{output_class}.v{}", prior_runs + iterations),
                             attempted.outcome.output,
                         );
-                        let inst = self.db.finish_run(run, &output_class, data, end, &inputs)?;
+                        let inst = self
+                            .store
+                            .finish_run(run, &output_class, data, end, &inputs)?;
                         t = end;
                         obs::Collector::set_sim_days(t.days());
                         obs::event!(
@@ -430,9 +432,9 @@ impl Hercules {
             // blocked, whatever earlier sessions concluded.
             self.blocked.remove(activity);
             // Designer declares completion: link plan to final result.
-            if let Some(plan) = self.db.current_plan(activity) {
+            if let Some(plan) = self.store.db().current_plan(activity) {
                 let sc = plan.id();
-                self.db.link_completion(sc, final_instance)?;
+                self.store.link_completion(sc, final_instance)?;
             }
             data_ready.insert(output_class, (t, final_instance));
             designer_free.insert(assignee.clone(), t);
@@ -470,12 +472,17 @@ impl Hercules {
             let any_planned = tree
                 .activities()
                 .iter()
-                .any(|a| self.db.current_plan(a).is_some());
+                .any(|a| self.store.db().current_plan(a).is_some());
             if any_planned {
                 let completed: Vec<String> = tree
                     .activities()
                     .iter()
-                    .filter(|a| self.db.current_plan(a).is_some_and(|p| p.is_complete()))
+                    .filter(|a| {
+                        self.store
+                            .db()
+                            .current_plan(a)
+                            .is_some_and(|p| p.is_complete())
+                    })
                     .cloned()
                     .collect();
                 let plan = self.plan_scope(target, &completed)?;
@@ -672,7 +679,9 @@ mod tests {
         h.plan("performance").unwrap();
         let v1_create = h.db().current_plan("Create").unwrap().version();
         h.set_fault_plan(FaultPlan::breaking_tool("netlist_editor"));
+        let session = obs::Collector::session();
         let report = h.execute("performance").unwrap();
+        let trace = session.finish();
         // Create blocked, Simulate skipped (its netlist never
         // appeared); the session did NOT abort.
         assert!(report.is_degraded());
@@ -694,9 +703,13 @@ mod tests {
         assert!(h.db().current_plan("Create").unwrap().version() > v1_create);
         // ...served incrementally: only the blocked activity's
         // estimate moved.
-        let stats = h.last_plan_stats().unwrap();
-        assert!(stats.cache_hit);
-        assert_eq!(stats.dirty, 1);
+        let stats = trace
+            .spans()
+            .into_iter()
+            .rfind(|s| s.name == "hercules.plan" && s.lane == 0)
+            .expect("degraded replan ran a planning pass");
+        assert_eq!(stats.arg("cache_hit"), Some(&obs::ArgValue::Bool(true)));
+        assert_eq!(stats.arg("dirty"), Some(&obs::ArgValue::U64(1)));
         // The new plan accounts for the burned fault time: it starts
         // no earlier than the clock after the faults.
         let new_plan = h.db().current_plan("Create").unwrap();

@@ -76,7 +76,7 @@ impl Hercules {
         // at their actual finish via a leading "anchor" duration.
         for activity in tree.activities() {
             let done = self
-                .db
+                .db()
                 .current_plan(activity)
                 .is_some_and(|p| p.is_complete());
             let duration = if done {
@@ -100,7 +100,7 @@ impl Hercules {
         let base = tree
             .activities()
             .iter()
-            .filter_map(|a| self.db.actual_finish(a))
+            .filter_map(|a| self.store.db().actual_finish(a))
             .fold(self.clock, WorkDays::max);
         let finish = base + cpm.project_duration();
         let critical = cpm

@@ -65,6 +65,7 @@ mod retry;
 mod rollup;
 mod status;
 mod task;
+mod workspace;
 
 pub mod browse;
 pub mod chaos;
@@ -76,9 +77,10 @@ pub use execute::{ActivityExecution, BlockedActivity, ExecutionReport};
 pub use forecast::Forecast;
 pub use manager::Hercules;
 pub use optimize::{CrashAdvice, TeamPoint, TeamSweep};
-pub use plan::{PlanStats, PlannedActivity, SchedulePlan};
+pub use plan::{PlannedActivity, SchedulePlan};
 pub use replan::ReplanOutcome;
 pub use retry::RetryPolicy;
 pub use rollup::{BlockStatus, Decomposition};
 pub use status::{ActivityState, StatusReport};
 pub use task::TaskTree;
+pub use workspace::{Project, Workspace, WorkspaceError};

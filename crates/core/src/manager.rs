@@ -1,20 +1,26 @@
 use std::collections::{BTreeSet, HashMap};
 
-use metadata::{EntityInstanceId, Journal, MetadataDb};
+use metadata::{ArenaStore, CompactionStats, EntityInstanceId, Journal, MetadataDb, Store};
 use schedule::WorkDays;
 use schema::TaskSchema;
 use simtools::workload::{primary_input_data, Team};
 use simtools::{FaultInjector, ToolLibrary};
 
 use crate::error::HerculesError;
-use crate::plan::{PlanCache, PlanStats};
+use crate::plan::PlanCache;
 use crate::retry::RetryPolicy;
 use crate::task::TaskTree;
 
 /// The integrated workflow manager: one object owning the task schema
-/// (Level 1), the metadata database (Levels 3–4), the tool substrate,
-/// and the design team — so that planning, executing, and tracking all
-/// read and write the *same* state.
+/// (Level 1), the metadata storage engine (Levels 3–4), the tool
+/// substrate, and the design team — so that planning, executing, and
+/// tracking all read and write the *same* state.
+///
+/// Levels 3–4 live behind a [`Store`] handle: by default the in-memory
+/// [`ArenaStore`], or a snapshot + journal-tail
+/// [`metadata::PersistentStore`] adopted via
+/// [`with_store`](Hercules::with_store) — the manager's code path is
+/// identical either way.
 ///
 /// See the [crate-level docs](crate) for the full walkthrough; the
 /// type's methods follow the paper's procedure:
@@ -30,7 +36,7 @@ use crate::task::TaskTree;
 #[derive(Debug, Clone)]
 pub struct Hercules {
     pub(crate) schema: TaskSchema,
-    pub(crate) db: MetadataDb,
+    pub(crate) store: Box<dyn Store>,
     pub(crate) tools: ToolLibrary,
     pub(crate) team: Team,
     pub(crate) seed: u64,
@@ -41,7 +47,6 @@ pub struct Hercules {
     /// engine: replanning an unchanged scope reuses the cached network
     /// and only recomputes the dirty cone.
     pub(crate) plan_cache: HashMap<String, PlanCache>,
-    pub(crate) last_plan_stats: Option<PlanStats>,
     /// The fault policy layered over tool invocations during
     /// [`execute`](Hercules::execute). Defaults to no faults.
     pub(crate) fault_injector: FaultInjector,
@@ -61,9 +66,28 @@ impl Hercules {
     /// of a project reproducible.
     pub fn new(schema: TaskSchema, tools: ToolLibrary, team: Team, seed: u64) -> Self {
         let db = MetadataDb::for_schema(&schema);
-        Hercules {
+        Self::with_store(schema, tools, team, seed, Box::new(ArenaStore::new(db)))
+    }
+
+    /// Creates a manager over an already-populated [`Store`] — e.g. a
+    /// [`metadata::PersistentStore`] reopened from disk, or a project
+    /// handle checked out of a
+    /// [`Workspace`](crate::Workspace). The project clock and the
+    /// primary-input registry are recomputed from the store's state, so
+    /// a reopened project resumes exactly where it left off.
+    ///
+    /// The store must hold a database produced on the same `schema`;
+    /// containers are not re-validated against it.
+    pub fn with_store(
+        schema: TaskSchema,
+        tools: ToolLibrary,
+        team: Team,
+        seed: u64,
+        store: Box<dyn Store>,
+    ) -> Self {
+        let mut h = Hercules {
             schema,
-            db,
+            store,
             tools,
             team,
             seed,
@@ -71,11 +95,12 @@ impl Hercules {
             estimates: HashMap::new(),
             supplied: HashMap::new(),
             plan_cache: HashMap::new(),
-            last_plan_stats: None,
             fault_injector: FaultInjector::none(),
             retry_policy: RetryPolicy::default(),
             blocked: BTreeSet::new(),
-        }
+        };
+        h.adopt_store_state();
+        h
     }
 
     /// Installs a fault policy for subsequent
@@ -128,35 +153,27 @@ impl Hercules {
         self.blocked.clear();
     }
 
-    /// Enables write-ahead journaling on the metadata database — see
+    /// Enables write-ahead journaling on the metadata store — see
     /// [`metadata::MetadataDb::enable_journal`]. Call before the first
     /// mutation (planning or execution) so recovery can replay the full
-    /// history.
+    /// history. A no-op for persistent stores, which always journal.
     pub fn enable_journal(&mut self) {
-        self.db.enable_journal();
+        self.store.enable_journal();
     }
 
-    /// Detaches and returns the database journal, if journaling was
-    /// enabled — see [`metadata::MetadataDb::take_journal`].
+    /// Detaches and returns the store's journal, if journaling was
+    /// enabled — see [`Store::take_journal`]. Persistent stores return
+    /// a copy of their redo tail and keep journaling.
     pub fn take_journal(&mut self) -> Option<Journal> {
-        self.db.take_journal()
+        self.store.take_journal()
     }
 
-    /// Arms a simulated crash in the metadata database after `after`
+    /// Arms a simulated crash in the metadata store after `after`
     /// more journaled mutations — see
     /// [`metadata::MetadataDb::inject_crash_after`]. Used by the chaos
     /// suite to prove crash recovery.
     pub fn inject_db_crash_after(&mut self, after: u32) {
-        self.db.inject_crash_after(after);
-    }
-
-    /// Instrumentation from the most recent
-    /// [`plan`](Hercules::plan) / [`replan`](Hercules::replan) call:
-    /// whether the cached network was reused and how many CPM node
-    /// recomputations the incremental engine performed. `None` before
-    /// the first planning pass.
-    pub fn last_plan_stats(&self) -> Option<PlanStats> {
-        self.last_plan_stats
+        self.store.inject_crash_after(after);
     }
 
     /// The schema this manager was initialised from.
@@ -166,7 +183,36 @@ impl Hercules {
 
     /// Read access to the metadata database (both spaces).
     pub fn db(&self) -> &MetadataDb {
-        &self.db
+        self.store.db()
+    }
+
+    /// The storage engine behind the database — for inspecting the
+    /// backend (e.g. [`Store::path`]) without mutating it.
+    pub fn store(&self) -> &dyn Store {
+        self.store.as_ref()
+    }
+
+    /// Compacts the storage engine: folds the journal history into a
+    /// fresh snapshot and bumps the store generation (see
+    /// [`Store::compact`]). Handles minted before the call — schedule
+    /// instances inside old [`SchedulePlan`](crate::SchedulePlan)s,
+    /// cached primary inputs — become stale, so the manager drops its
+    /// plan caches and rebuilds the primary-input registry from the
+    /// compacted state.
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::Store`] if the engine has crashed or persisting
+    /// the snapshot fails.
+    pub fn gc(&mut self) -> Result<CompactionStats, HerculesError> {
+        let stats = self.store.compact()?;
+        // Every id the manager cached is now stale: re-derive them from
+        // the freshly-stamped database. Session-local state (clock,
+        // blocked set, estimates) is untouched — gc is maintenance, not
+        // a restore.
+        self.plan_cache.clear();
+        self.rebuild_supplied();
+        Ok(stats)
     }
 
     /// The design team.
@@ -226,7 +272,7 @@ impl Hercules {
             .schema
             .rule(activity)
             .ok_or_else(|| HerculesError::UnknownActivity(activity.to_owned()))?;
-        if let Some(measured) = self.db.last_duration(activity) {
+        if let Some(measured) = self.store.db().last_duration(activity) {
             return Ok(measured);
         }
         if let Some(&intuition) = self.estimates.get(activity) {
@@ -255,11 +301,28 @@ impl Hercules {
 
     /// Replaces the manager's database with a restored one (loaded via
     /// [`metadata::MetadataDb::load`]), recomputing the clock (latest
-    /// timestamp in the database) and the primary-input registry.
+    /// timestamp in the database) and the primary-input registry. A
+    /// persistent store checkpoints the replacement as a fresh
+    /// snapshot.
     ///
     /// The database must have been produced by a manager on the same
     /// schema; containers are not re-validated against it.
-    pub fn restore_db(&mut self, db: MetadataDb) {
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::Store`] if persisting the replacement fails
+    /// (never for the in-memory arena).
+    pub fn restore_db(&mut self, db: MetadataDb) -> Result<(), HerculesError> {
+        self.store.replace_db(db)?;
+        self.adopt_store_state();
+        Ok(())
+    }
+
+    /// Recomputes session state (clock, primary-input registry) from
+    /// the store and drops everything derived from the previous state
+    /// (plan caches, blocked set).
+    fn adopt_store_state(&mut self) {
+        let db = self.store.db();
         let mut clock = WorkDays::ZERO;
         for run in db.runs() {
             if let Some(f) = run.finished_at() {
@@ -271,28 +334,33 @@ impl Hercules {
         for session in db.planning_sessions() {
             clock = clock.max(session.created_at());
         }
-        // Rebuild the supplied-primary-input registry from instances
-        // with no producing run.
-        self.supplied.clear();
-        for class in db.entity_classes().map(str::to_owned).collect::<Vec<_>>() {
-            if let Some(container) = db.entity_container(&class) {
+        self.clock = clock;
+        self.rebuild_supplied();
+        // The adopted history may change measured-duration estimates
+        // arbitrarily; drop planning caches rather than trust them.
+        self.plan_cache.clear();
+        // Blocked state is session-local (it reflects this process's
+        // retry bookkeeping, not database state): start fresh.
+        self.blocked.clear();
+    }
+
+    /// Rebuilds the supplied-primary-input registry from instances with
+    /// no producing run (their ids must match the store's current
+    /// generation).
+    fn rebuild_supplied(&mut self) {
+        let db = self.store.db();
+        let mut supplied = HashMap::new();
+        for class in db.entity_classes() {
+            if let Some(container) = db.entity_container(class) {
                 if let Some(&first_supplied) = container
                     .iter()
                     .find(|&&id| db.entity_instance(id).produced_by().is_none())
                 {
-                    self.supplied.insert(class, first_supplied);
+                    supplied.insert(class.to_owned(), first_supplied);
                 }
             }
         }
-        self.db = db;
-        self.clock = clock;
-        // The restored history may change measured-duration estimates
-        // arbitrarily; drop planning caches rather than trust them.
-        self.plan_cache.clear();
-        self.last_plan_stats = None;
-        // Blocked state is session-local (it reflects this process's
-        // retry bookkeeping, not database state): start fresh.
-        self.blocked.clear();
+        self.supplied = supplied;
     }
 
     /// Supplies a primary-input instance for `class` (synthetic content
@@ -312,8 +380,8 @@ impl Hercules {
             return Ok(id);
         }
         let content = primary_input_data(class, self.seed);
-        let data = self.db.store_data(format!("{class}.dat"), content);
-        let id = self.db.supply_input(class, designer, self.clock, data)?;
+        let data = self.store.store_data(&format!("{class}.dat"), content);
+        let id = self.store.supply_input(class, designer, self.clock, data)?;
         self.supplied.insert(class.to_owned(), id);
         Ok(id)
     }
@@ -387,22 +455,75 @@ mod tests {
     fn restore_db_recovers_clock_and_supplied() {
         let mut h = manager();
         h.supply_primary_input("stimuli", "alice").unwrap();
-        let run =
-            h.db.begin_run("Create", "alice", WorkDays::new(1.0))
-                .unwrap();
-        let data = h.db.store_data("x", vec![]);
-        h.db.finish_run(run, "netlist", data, WorkDays::new(4.0), &[])
+        let run = h
+            .store
+            .begin_run("Create", "alice", WorkDays::new(1.0))
+            .unwrap();
+        let data = h.store.store_data("x", vec![]);
+        h.store
+            .finish_run(run, "netlist", data, WorkDays::new(4.0), &[])
             .unwrap();
         let dump = h.db().dump();
 
         let mut restored = manager();
-        restored.restore_db(metadata::MetadataDb::load(&dump).unwrap());
+        restored
+            .restore_db(metadata::MetadataDb::load(&dump).unwrap())
+            .unwrap();
         assert_eq!(restored.clock(), WorkDays::new(4.0));
         // The supplied registry is rebuilt: supplying again reuses the
         // restored instance.
         let again = restored.supply_primary_input("stimuli", "bob").unwrap();
         assert_eq!(restored.db().entity_container("stimuli").unwrap().len(), 1);
         assert_eq!(restored.db().entity_instance(again).creator(), "alice");
+    }
+
+    #[test]
+    fn persistent_store_roundtrip_and_gc() {
+        let dir = std::env::temp_dir().join(format!("schedflow-manager-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = examples::circuit_design();
+        {
+            let store =
+                metadata::PersistentStore::create(&dir, MetadataDb::for_schema(&schema)).unwrap();
+            let mut h = Hercules::with_store(
+                schema.clone(),
+                ToolLibrary::standard(),
+                Team::of_size(2),
+                7,
+                Box::new(store),
+            );
+            h.supply_primary_input("stimuli", "alice").unwrap();
+            let run = h
+                .store
+                .begin_run("Create", "alice", WorkDays::new(1.0))
+                .unwrap();
+            let data = h.store.store_data("x", vec![]);
+            h.store
+                .finish_run(run, "netlist", data, WorkDays::new(4.0), &[])
+                .unwrap();
+        }
+        // Reopen: the clock and primary-input registry are recomputed
+        // from the replayed state.
+        let store = metadata::PersistentStore::open(&dir).unwrap();
+        let mut h = Hercules::with_store(
+            schema,
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            7,
+            Box::new(store),
+        );
+        assert_eq!(h.clock(), WorkDays::new(4.0));
+        let again = h.supply_primary_input("stimuli", "bob").unwrap();
+        assert_eq!(h.db().entity_instance(again).creator(), "alice");
+        // gc folds the tail and refreshes every cached handle: the
+        // supplied registry keeps working at the new generation.
+        let stats = h.gc().unwrap();
+        assert_eq!(stats.tail_ops_after, 0);
+        assert!(stats.generation >= 1);
+        let fresh = h.supply_primary_input("stimuli", "carol").unwrap();
+        assert_eq!(h.db().entity_container("stimuli").unwrap().len(), 1);
+        assert_eq!(h.db().entity_instance(fresh).creator(), "alice");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

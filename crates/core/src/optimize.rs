@@ -120,7 +120,7 @@ impl Hercules {
         let mut best: Option<CrashAdvice> = None;
         for activity in tree.activities() {
             if self
-                .db
+                .db()
                 .current_plan(activity)
                 .is_some_and(|p| p.is_complete())
             {

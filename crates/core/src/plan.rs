@@ -24,9 +24,9 @@ pub(crate) struct PlanCache {
 
 /// Cached handles into the [`obs::Metrics`] registry for the planner's
 /// counters — looked up once, then every bump is a relaxed atomic add.
-/// These supersede the ad-hoc aggregate counters that used to live
-/// beside [`PlanStats`]; the per-call snapshot survives as the public
-/// accessor (see DESIGN.md §7 for the deprecation note).
+/// This registry (plus the recorded `hercules.plan` span fields) is the
+/// planner's *only* instrumentation surface: the deprecated
+/// `PlanStats` accessor shims are gone (see DESIGN.md §7).
 struct PlanMetrics {
     calls: obs::Counter,
     cache_hits: obs::Counter,
@@ -50,26 +50,6 @@ fn plan_metrics() -> &'static PlanMetrics {
             &[0.0, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0],
         ),
     })
-}
-
-/// Instrumentation for the most recent planning pass — how much work
-/// the incremental replan engine actually did.
-///
-/// Retrieved via
-/// [`Hercules::last_plan_stats`](crate::Hercules::last_plan_stats).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PlanStats {
-    /// Whether the cached network + CPM state for the target was
-    /// reused (same scope, possibly different durations).
-    pub cache_hit: bool,
-    /// Number of activities whose duration estimate changed since the
-    /// cached analysis (the dirty set fed to the incremental engine).
-    pub dirty: usize,
-    /// Activity recomputations performed by the CPM engine (forward +
-    /// backward node visits; a full analysis costs `2 * cpm_total`).
-    pub cpm_recomputed: usize,
-    /// Activities in the planned scope.
-    pub cpm_total: usize,
 }
 
 /// One activity's entry in a schedule plan.
@@ -218,10 +198,10 @@ impl Hercules {
             .plan_cache
             .remove(target)
             .filter(|c| c.in_scope == in_scope);
-        let mut stats = PlanStats {
-            cpm_total: in_scope.len(),
-            ..PlanStats::default()
-        };
+        let cpm_total = in_scope.len();
+        let mut cache_hit = false;
+        let dirty_count;
+        let cpm_recomputed;
         let (net, ids, inc) = match cached {
             Some(mut c) => {
                 let mut dirty: Vec<ActivityId> = Vec::new();
@@ -246,9 +226,9 @@ impl Hercules {
                 if update.full_rebuild {
                     plan_metrics().full_rebuilds.inc();
                 }
-                stats.cache_hit = true;
-                stats.dirty = dirty.len();
-                stats.cpm_recomputed = update.total_recomputed();
+                cache_hit = true;
+                dirty_count = dirty.len();
+                cpm_recomputed = update.total_recomputed();
                 (c.network, c.ids, c.inc)
             }
             None => {
@@ -275,8 +255,8 @@ impl Hercules {
                 }
                 let inc = net.analyze_incremental()?;
                 obs::event!("plan.cache_miss", scope = in_scope.len());
-                stats.dirty = in_scope.len();
-                stats.cpm_recomputed = 2 * in_scope.len();
+                dirty_count = in_scope.len();
+                cpm_recomputed = 2 * in_scope.len();
                 (net, ids, inc)
             }
         };
@@ -295,7 +275,7 @@ impl Hercules {
 
         // Record the simulated execution: one planning session, one
         // schedule instance per activity, in post-order.
-        let session = self.db.begin_planning(self.clock);
+        let session = self.store.begin_planning(self.clock);
         let offset = self.clock;
         let mut activities = Vec::with_capacity(in_scope.len());
         let mut project_finish = offset;
@@ -303,9 +283,11 @@ impl Hercules {
             let id = ids[activity.as_str()];
             let start = offset + leveled.start(id);
             let duration = net.duration(id);
-            let sc = self.db.plan_activity(session, activity, start, duration)?;
+            let sc = self
+                .store
+                .plan_activity(session, activity, start, duration)?;
             let assignee = assignees[activity].clone();
-            self.db.assign(sc, &assignee)?;
+            self.store.assign(sc, &assignee)?;
             let finish = start + duration;
             if finish.days() > project_finish.days() {
                 project_finish = finish;
@@ -328,21 +310,22 @@ impl Hercules {
                 inc,
             },
         );
-        // Per-call snapshot (the stable accessor API) plus the shared
-        // metrics registry (the queryable aggregate).
+        // Publish the pass's instrumentation: the shared metrics
+        // registry (queryable aggregate) and the span's recorded fields
+        // (per-call detail) — the only surfaces since the `PlanStats`
+        // accessor shims were removed.
         let m = plan_metrics();
         m.calls.inc();
-        if stats.cache_hit {
+        if cache_hit {
             m.cache_hits.inc();
         }
-        m.dirty.observe(stats.dirty as f64);
-        m.cpm_recomputed.observe(stats.cpm_recomputed as f64);
-        plan_span.record("cache_hit", stats.cache_hit);
-        plan_span.record("dirty", stats.dirty);
-        plan_span.record("cpm_recomputed", stats.cpm_recomputed);
-        plan_span.record("cpm_total", stats.cpm_total);
+        m.dirty.observe(dirty_count as f64);
+        m.cpm_recomputed.observe(cpm_recomputed as f64);
+        plan_span.record("cache_hit", cache_hit);
+        plan_span.record("dirty", dirty_count);
+        plan_span.record("cpm_recomputed", cpm_recomputed);
+        plan_span.record("cpm_total", cpm_total);
         plan_span.record("project_finish_days", project_finish.days());
-        self.last_plan_stats = Some(stats);
         Ok(SchedulePlan {
             session,
             target: target.to_owned(),
@@ -365,6 +348,31 @@ mod tests {
             Team::of_size(team),
             7,
         )
+    }
+
+    /// The last `hercules.plan` span recorded by this thread (lane 0 —
+    /// the session opener) in `trace`. Replaces the removed
+    /// `last_plan_stats` accessor as the tests' planning probe.
+    fn plan_span(trace: &obs::Trace) -> obs::SpanView {
+        trace
+            .spans()
+            .into_iter()
+            .rfind(|s| s.name == "hercules.plan" && s.lane == 0)
+            .expect("a planning pass was traced")
+    }
+
+    fn arg_u64(span: &obs::SpanView, key: &str) -> u64 {
+        match span.arg(key) {
+            Some(obs::ArgValue::U64(n)) => *n,
+            other => panic!("span arg {key}: {other:?}"),
+        }
+    }
+
+    fn arg_bool(span: &obs::SpanView, key: &str) -> bool {
+        match span.arg(key) {
+            Some(obs::ArgValue::Bool(b)) => *b,
+            other => panic!("span arg {key}: {other:?}"),
+        }
     }
 
     #[test]
@@ -487,16 +495,24 @@ mod tests {
     #[test]
     fn replan_same_scope_hits_cache_with_empty_dirty_set() {
         let mut h = manager(2);
+        let calls_before = obs::Metrics::counter("hercules.plan.calls").get();
+        let hits_before = obs::Metrics::counter("hercules.plan.cache_hits").get();
+        let session = obs::Collector::session();
         let p1 = h.plan("performance").unwrap();
-        let first = h.last_plan_stats().unwrap();
-        assert!(!first.cache_hit);
-        assert_eq!(first.dirty, 2);
-        assert_eq!(first.cpm_total, 2);
+        let first = plan_span(&session.finish());
+        assert!(!arg_bool(&first, "cache_hit"));
+        assert_eq!(arg_u64(&first, "dirty"), 2);
+        assert_eq!(arg_u64(&first, "cpm_total"), 2);
+        let session = obs::Collector::session();
         let p2 = h.plan("performance").unwrap();
-        let second = h.last_plan_stats().unwrap();
-        assert!(second.cache_hit);
-        assert_eq!(second.dirty, 0);
-        assert_eq!(second.cpm_recomputed, 0);
+        let second = plan_span(&session.finish());
+        assert!(arg_bool(&second, "cache_hit"));
+        assert_eq!(arg_u64(&second, "dirty"), 0);
+        assert_eq!(arg_u64(&second, "cpm_recomputed"), 0);
+        // The registry aggregates the same passes (>= because other
+        // tests in this process bump the shared counters too).
+        assert!(obs::Metrics::counter("hercules.plan.calls").get() >= calls_before + 2);
+        assert!(obs::Metrics::counter("hercules.plan.cache_hits").get() > hits_before);
         // Same proposal, new schedule-instance versions.
         assert_eq!(p1.project_finish(), p2.project_finish());
         assert_eq!(p1.len(), p2.len());
@@ -512,12 +528,13 @@ mod tests {
         // Slip the leaf of the chain; the replan reuses the cache and
         // recomputes only the affected cone.
         h.set_estimate("Simulate", WorkDays::new(6.0)).unwrap();
+        let session = obs::Collector::session();
         let p2 = h.plan("performance").unwrap();
-        let stats = h.last_plan_stats().unwrap();
-        assert!(stats.cache_hit);
-        assert_eq!(stats.dirty, 1);
-        assert!(stats.cpm_recomputed >= 1);
-        assert!(stats.cpm_recomputed <= 2 * stats.cpm_total);
+        let stats = plan_span(&session.finish());
+        assert!(arg_bool(&stats, "cache_hit"));
+        assert_eq!(arg_u64(&stats, "dirty"), 1);
+        assert!(arg_u64(&stats, "cpm_recomputed") >= 1);
+        assert!(arg_u64(&stats, "cpm_recomputed") <= 2 * arg_u64(&stats, "cpm_total"));
         assert_eq!(p2.project_finish(), WorkDays::new(8.0));
         assert!(p2.activities().iter().all(|a| a.critical));
     }
@@ -525,19 +542,22 @@ mod tests {
     #[test]
     fn scope_change_rebuilds_cache() {
         let mut h = manager(2);
+        let session = obs::Collector::session();
         h.plan("performance").unwrap();
-        assert!(!h.last_plan_stats().unwrap().cache_hit);
+        assert!(!arg_bool(&plan_span(&session.finish()), "cache_hit"));
         // Restricting the scope (as replan does after completions)
         // invalidates the cached network.
         let skip = vec!["Create".to_owned()];
+        let session = obs::Collector::session();
         let p = h.plan_scope("performance", &skip).unwrap();
-        let stats = h.last_plan_stats().unwrap();
-        assert!(!stats.cache_hit);
-        assert_eq!(stats.cpm_total, 1);
+        let stats = plan_span(&session.finish());
+        assert!(!arg_bool(&stats, "cache_hit"));
+        assert_eq!(arg_u64(&stats, "cpm_total"), 1);
         assert_eq!(p.len(), 1);
         // And the narrower scope is itself cached.
+        let session = obs::Collector::session();
         h.plan_scope("performance", &skip).unwrap();
-        assert!(h.last_plan_stats().unwrap().cache_hit);
+        assert!(arg_bool(&plan_span(&session.finish()), "cache_hit"));
     }
 
     #[test]
@@ -553,8 +573,9 @@ mod tests {
         let mut h2 = h1.clone();
         h1.plan("signoff_report").unwrap();
         h1.set_estimate("Synthesize", WorkDays::new(12.5)).unwrap();
+        let session = obs::Collector::session();
         let cached = h1.plan("signoff_report").unwrap();
-        assert!(h1.last_plan_stats().unwrap().cache_hit);
+        assert!(arg_bool(&plan_span(&session.finish()), "cache_hit"));
 
         h2.set_estimate("Synthesize", WorkDays::new(12.5)).unwrap();
         let fresh = h2.plan("signoff_report").unwrap();

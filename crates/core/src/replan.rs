@@ -44,8 +44,9 @@ impl Hercules {
     /// Repeated replans of an unchanged scope are served by the
     /// incremental replan engine: the precedence network and CPM state
     /// are cached per target, and only activities whose duration
-    /// estimates moved since the last pass are recomputed (see
-    /// [`last_plan_stats`](Hercules::last_plan_stats)).
+    /// estimates moved since the last pass are recomputed (observable
+    /// via the `hercules.plan.*` metrics and the recorded
+    /// `hercules.plan` span fields).
     ///
     /// # Errors
     ///
@@ -57,7 +58,12 @@ impl Hercules {
         let completed: Vec<String> = tree
             .activities()
             .iter()
-            .filter(|a| self.db.current_plan(a).is_some_and(|p| p.is_complete()))
+            .filter(|a| {
+                self.store
+                    .db()
+                    .current_plan(a)
+                    .is_some_and(|p| p.is_complete())
+            })
             .cloned()
             .collect();
         replan_span.record("completed", completed.len());
@@ -74,7 +80,7 @@ impl Hercules {
         // clock: advance it to the latest completion in scope first.
         let latest_done = completed
             .iter()
-            .filter_map(|a| self.db.actual_finish(a))
+            .filter_map(|a| self.store.db().actual_finish(a))
             .fold(self.clock, WorkDays::max);
         self.advance_clock(latest_done);
         let plan: SchedulePlan = self.plan_scope(target, &completed)?;
@@ -113,9 +119,9 @@ impl Hercules {
         if self.schema.rule(activity).is_none() {
             return Err(HerculesError::UnknownActivity(activity.to_owned()));
         }
-        let Some(slip) = self.db.finish_slip(activity) else {
+        let Some(slip) = self.store.db().finish_slip(activity) else {
             // Either not planned or not complete yet.
-            if self.db.current_plan(activity).is_none() {
+            if self.store.db().current_plan(activity).is_none() {
                 return Err(HerculesError::NotPlanned(activity.to_owned()));
             }
             return Ok(ReplanOutcome {
@@ -148,11 +154,11 @@ impl Hercules {
                 }
             }
         }
-        let session = self.db.begin_planning(self.clock);
+        let session = self.store.begin_planning(self.clock);
         let mut replanned = Vec::new();
         let mut project_finish = self.clock;
         for name in &affected {
-            let Some(plan) = self.db.current_plan(name) else {
+            let Some(plan) = self.store.db().current_plan(name) else {
                 continue;
             };
             if plan.is_complete() {
@@ -161,9 +167,11 @@ impl Hercules {
             let new_start = plan.planned_start() + WorkDays::new(slip);
             let duration = plan.planned_duration();
             let assignees = plan.assignees().to_vec();
-            let sc = self.db.plan_activity(session, name, new_start, duration)?;
+            let sc = self
+                .store
+                .plan_activity(session, name, new_start, duration)?;
             for a in assignees {
-                self.db.assign(sc, &a)?;
+                self.store.assign(sc, &a)?;
             }
             let finish = new_start + duration;
             if finish.days() > project_finish.days() {
@@ -284,6 +292,16 @@ mod tests {
         assert!(outcome.replanned.iter().all(|(n, _)| n != "CaptureSpec"));
     }
 
+    /// The last `hercules.plan` span from this thread (lane 0) — the
+    /// probe replacing the removed `last_plan_stats` accessor.
+    fn plan_span(trace: &obs::Trace) -> obs::SpanView {
+        trace
+            .spans()
+            .into_iter()
+            .rfind(|s| s.name == "hercules.plan" && s.lane == 0)
+            .expect("a planning pass was traced")
+    }
+
     #[test]
     fn repeated_replan_is_served_incrementally() {
         let mut h = asic();
@@ -291,15 +309,18 @@ mod tests {
         h.execute("netlist").unwrap();
         // First replan after completions: the scope shrank, so the
         // cached network is rebuilt for the new scope.
+        let session = obs::Collector::session();
         let o1 = h.replan("signoff_report").unwrap();
-        assert!(!h.last_plan_stats().unwrap().cache_hit);
+        let first = plan_span(&session.finish());
+        assert_eq!(first.arg("cache_hit"), Some(&obs::ArgValue::Bool(false)));
         // Second replan with nothing new: pure cache hit, zero CPM
         // recomputation, identical proposal.
+        let session = obs::Collector::session();
         let o2 = h.replan("signoff_report").unwrap();
-        let stats = h.last_plan_stats().unwrap();
-        assert!(stats.cache_hit);
-        assert_eq!(stats.dirty, 0);
-        assert_eq!(stats.cpm_recomputed, 0);
+        let stats = plan_span(&session.finish());
+        assert_eq!(stats.arg("cache_hit"), Some(&obs::ArgValue::Bool(true)));
+        assert_eq!(stats.arg("dirty"), Some(&obs::ArgValue::U64(0)));
+        assert_eq!(stats.arg("cpm_recomputed"), Some(&obs::ArgValue::U64(0)));
         assert_eq!(o1.project_finish, o2.project_finish);
         assert_eq!(o1.len(), o2.len());
     }

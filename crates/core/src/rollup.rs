@@ -115,7 +115,7 @@ impl Hercules {
             let mut finishes = Vec::new();
             let mut complete = 0usize;
             for activity in &activities {
-                if let Some(plan) = self.db.current_plan(activity) {
+                if let Some(plan) = self.store.db().current_plan(activity) {
                     let ps = plan.planned_start();
                     let pf = plan.planned_finish();
                     planned_start =
@@ -130,14 +130,14 @@ impl Hercules {
                         complete += 1;
                     }
                 }
-                if let Some(a) = self.db.actual_start(activity) {
+                if let Some(a) = self.store.db().actual_start(activity) {
                     actual_start =
                         Some(
                             actual_start
                                 .map_or(a, |s: WorkDays| if a.days() < s.days() { a } else { s }),
                         );
                 }
-                if let Some(f) = self.db.actual_finish(activity) {
+                if let Some(f) = self.store.db().actual_finish(activity) {
                     finishes.push(f);
                 }
             }

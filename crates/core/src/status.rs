@@ -197,11 +197,11 @@ impl Hercules {
             .iter()
             .map(|rule| {
                 let activity = rule.activity().to_owned();
-                let plan = self.db.current_plan(&activity);
+                let plan = self.store.db().current_plan(&activity);
                 let planned = plan.map(|p| (p.planned_start(), p.planned_finish()));
                 let assignees = plan.map(|p| p.assignees().to_vec()).unwrap_or_default();
-                let actual_start = self.db.actual_start(&activity);
-                let actual_finish = self.db.actual_finish(&activity);
+                let actual_start = self.store.db().actual_start(&activity);
+                let actual_finish = self.store.db().actual_finish(&activity);
                 let complete = plan.is_some_and(|p| p.is_complete());
                 let state = if !complete && self.blocked.contains(&activity) {
                     ActivityState::Blocked
@@ -214,7 +214,7 @@ impl Hercules {
                         (Some(_), None, _) => ActivityState::Planned,
                     }
                 };
-                let slip = self.db.finish_slip(&activity);
+                let slip = self.store.db().finish_slip(&activity);
                 StatusRow {
                     activity,
                     state,

@@ -1,0 +1,544 @@
+//! A multi-project **workspace**: a sharded registry of named projects,
+//! each owning its storage engine, manager state (plan caches,
+//! estimates, clock), and obs lane — so N sessions can plan, replan,
+//! and execute concurrently without aliasing each other's state.
+//!
+//! The paper's flow manager is single-project; scaling the idea to a
+//! design organisation means many concurrent projects over one store
+//! root. The workspace keeps the sharing model trivial:
+//!
+//! * the **registry** (`name → project`) is behind one [`RwLock`] taken
+//!   only to look up or register projects — never across planning work;
+//! * each **project** is its own shard: an `Arc<Project>` holding a
+//!   private [`RwLock<Hercules>`]. Sessions on different projects never
+//!   contend; sessions on the *same* project serialize writes and share
+//!   reads, which is exactly the aliasing discipline the storage engine
+//!   needs (two writers on one persistent tail would tear it);
+//! * each project carries a deterministic **obs lane** (1-based, in
+//!   registration order), published to the trace collector on every
+//!   [`update`](Project::update), so merged traces group by project no
+//!   matter which OS thread did the work.
+//!
+//! Backends follow the store seam: an in-memory workspace puts every
+//! project on an [`ArenaStore`]; a persistent workspace gives each
+//! project a [`PersistentStore`] under `root/<name>/`, reopenable and
+//! compactable (`herc gc`).
+//!
+//! # Example
+//!
+//! ```
+//! use hercules::Workspace;
+//! use schema::examples;
+//! use simtools::{workload::Team, ToolLibrary};
+//!
+//! # fn main() -> Result<(), hercules::WorkspaceError> {
+//! let ws = Workspace::in_memory();
+//! for name in ["alu", "fpu"] {
+//!     ws.create_project(
+//!         name,
+//!         examples::circuit_design(),
+//!         ToolLibrary::standard(),
+//!         Team::of_size(2),
+//!         7,
+//!     )?;
+//! }
+//! let alu = ws.project("alu").expect("registered");
+//! let plan = alu.update(|h| h.plan("performance"))?;
+//! assert_eq!(plan.len(), 2);
+//! // The fpu project saw none of that.
+//! let fpu = ws.project("fpu").expect("registered");
+//! assert_eq!(fpu.read(|h| h.db().schedule_count()), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use metadata::{ArenaStore, CompactionStats, MetadataDb, PersistentStore, Store, StoreError};
+use schema::TaskSchema;
+use simtools::workload::Team;
+use simtools::ToolLibrary;
+
+use crate::error::HerculesError;
+use crate::manager::Hercules;
+
+/// Errors from workspace registry operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkspaceError {
+    /// A project with this name is already registered.
+    DuplicateProject(String),
+    /// No project with this name is registered.
+    UnknownProject(String),
+    /// The project name is unusable as a registry key / directory name.
+    InvalidName(String),
+    /// A storage-engine failure while creating or opening the
+    /// project's store.
+    Store(StoreError),
+    /// A manager-level failure.
+    Hercules(HerculesError),
+}
+
+impl fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkspaceError::DuplicateProject(n) => {
+                write!(f, "project {n:?} already exists in the workspace")
+            }
+            WorkspaceError::UnknownProject(n) => {
+                write!(f, "no project {n:?} in the workspace")
+            }
+            WorkspaceError::InvalidName(n) => write!(
+                f,
+                "invalid project name {n:?}: use non-empty names of letters, \
+                 digits, '-', '_' or '.'"
+            ),
+            WorkspaceError::Store(e) => write!(f, "store: {e}"),
+            WorkspaceError::Hercules(e) => write!(f, "manager: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkspaceError::Store(e) => Some(e),
+            WorkspaceError::Hercules(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for WorkspaceError {
+    fn from(e: StoreError) -> Self {
+        WorkspaceError::Store(e)
+    }
+}
+
+impl From<HerculesError> for WorkspaceError {
+    fn from(e: HerculesError) -> Self {
+        WorkspaceError::Hercules(e)
+    }
+}
+
+/// One project shard: a [`Hercules`] manager behind its own lock, plus
+/// the project's identity (name, obs lane).
+///
+/// Obtained from [`Workspace::project`] /
+/// [`Workspace::create_project`]; clone the `Arc` freely across
+/// threads.
+#[derive(Debug)]
+pub struct Project {
+    name: String,
+    lane: u64,
+    manager: RwLock<Hercules>,
+}
+
+impl Project {
+    /// The project's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The project's deterministic obs lane (1-based, registration
+    /// order). Lane 0 is the orchestrator by convention.
+    pub fn lane(&self) -> u64 {
+        self.lane
+    }
+
+    /// Runs `f` with shared read access to the manager. Concurrent
+    /// readers on the same project proceed in parallel.
+    pub fn read<R>(&self, f: impl FnOnce(&Hercules) -> R) -> R {
+        let guard = self.manager.read().unwrap_or_else(|e| e.into_inner());
+        f(&guard)
+    }
+
+    /// Runs `f` with exclusive write access to the manager, after
+    /// publishing this project's obs lane for the current thread — so
+    /// any spans the work records merge deterministically under this
+    /// project regardless of which thread ran it.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Hercules) -> R) -> R {
+        let mut guard = self.manager.write().unwrap_or_else(|e| e.into_inner());
+        obs::Collector::set_lane(self.lane);
+        f(&mut guard)
+    }
+
+    /// Compacts this project's store via [`Hercules::gc`] (takes the
+    /// write lock).
+    ///
+    /// # Errors
+    ///
+    /// As [`Hercules::gc`].
+    pub fn gc(&self) -> Result<CompactionStats, HerculesError> {
+        self.update(Hercules::gc)
+    }
+}
+
+/// The sharded multi-project registry. See the [module docs](self).
+#[derive(Debug)]
+pub struct Workspace {
+    /// Project-store root for persistent workspaces; `None` keeps every
+    /// project in memory.
+    root: Option<PathBuf>,
+    projects: RwLock<BTreeMap<String, Arc<Project>>>,
+    next_lane: AtomicU64,
+}
+
+impl Workspace {
+    /// A workspace whose projects all live on in-memory
+    /// [`ArenaStore`]s — the default for tests and single-process
+    /// sessions.
+    pub fn in_memory() -> Workspace {
+        Workspace {
+            root: None,
+            projects: RwLock::new(BTreeMap::new()),
+            next_lane: AtomicU64::new(1),
+        }
+    }
+
+    /// A workspace whose projects persist under `root/<name>/` as
+    /// snapshot + journal-tail [`PersistentStore`]s.
+    pub fn persistent(root: impl Into<PathBuf>) -> Workspace {
+        Workspace {
+            root: Some(root.into()),
+            projects: RwLock::new(BTreeMap::new()),
+            next_lane: AtomicU64::new(1),
+        }
+    }
+
+    /// The persistent root, if this workspace has one.
+    pub fn root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// Creates and registers a new project initialised from `schema`.
+    /// Persistent workspaces create `root/<name>/` with its first
+    /// snapshot; the directory must not already hold a store.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::DuplicateProject`] if the name is taken,
+    /// [`WorkspaceError::InvalidName`] for unusable names, or
+    /// [`WorkspaceError::Store`] if the persistent store cannot be
+    /// created.
+    pub fn create_project(
+        &self,
+        name: &str,
+        schema: TaskSchema,
+        tools: ToolLibrary,
+        team: Team,
+        seed: u64,
+    ) -> Result<Arc<Project>, WorkspaceError> {
+        validate_name(name)?;
+        let db = MetadataDb::for_schema(&schema);
+        let store: Box<dyn Store> = match &self.root {
+            None => {
+                let mut arena = ArenaStore::new(db);
+                arena.enable_journal();
+                Box::new(arena)
+            }
+            Some(root) => Box::new(PersistentStore::create(root.join(name), db)?),
+        };
+        self.register(name, Hercules::with_store(schema, tools, team, seed, store))
+    }
+
+    /// Reopens a persisted project from `root/<name>/` and registers
+    /// it. The schema/tools/team/seed must match what the project was
+    /// created with (they are session configuration, not store state).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::DuplicateProject`] if already registered,
+    /// [`WorkspaceError::UnknownProject`] for in-memory workspaces, or
+    /// [`WorkspaceError::Store`] if the store fails to open.
+    pub fn open_project(
+        &self,
+        name: &str,
+        schema: TaskSchema,
+        tools: ToolLibrary,
+        team: Team,
+        seed: u64,
+    ) -> Result<Arc<Project>, WorkspaceError> {
+        validate_name(name)?;
+        let Some(root) = &self.root else {
+            return Err(WorkspaceError::UnknownProject(name.to_owned()));
+        };
+        let store = PersistentStore::open(root.join(name))?;
+        self.register(
+            name,
+            Hercules::with_store(schema, tools, team, seed, Box::new(store)),
+        )
+    }
+
+    fn register(&self, name: &str, manager: Hercules) -> Result<Arc<Project>, WorkspaceError> {
+        let mut projects = self.projects.write().unwrap_or_else(|e| e.into_inner());
+        if projects.contains_key(name) {
+            return Err(WorkspaceError::DuplicateProject(name.to_owned()));
+        }
+        let project = Arc::new(Project {
+            name: name.to_owned(),
+            lane: self.next_lane.fetch_add(1, Ordering::Relaxed),
+            manager: RwLock::new(manager),
+        });
+        projects.insert(name.to_owned(), Arc::clone(&project));
+        Ok(project)
+    }
+
+    /// The registered project named `name`, if any.
+    pub fn project(&self, name: &str) -> Option<Arc<Project>> {
+        let projects = self.projects.read().unwrap_or_else(|e| e.into_inner());
+        projects.get(name).cloned()
+    }
+
+    /// Registered project names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let projects = self.projects.read().unwrap_or_else(|e| e.into_inner());
+        projects.keys().cloned().collect()
+    }
+
+    /// Number of registered projects.
+    pub fn len(&self) -> usize {
+        let projects = self.projects.read().unwrap_or_else(|e| e.into_inner());
+        projects.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compacts every registered project in name order, returning
+    /// per-project stats. Stops at the first failure.
+    ///
+    /// # Errors
+    ///
+    /// The failing project's [`HerculesError`], wrapped.
+    pub fn gc_all(&self) -> Result<Vec<(String, CompactionStats)>, WorkspaceError> {
+        let handles: Vec<Arc<Project>> = {
+            let projects = self.projects.read().unwrap_or_else(|e| e.into_inner());
+            projects.values().cloned().collect()
+        };
+        let mut out = Vec::with_capacity(handles.len());
+        for project in handles {
+            let stats = project.gc()?;
+            out.push((project.name().to_owned(), stats));
+        }
+        Ok(out)
+    }
+
+    /// Project directories found on disk under `root` (subdirectories
+    /// holding a store `CURRENT` file), sorted — the discovery half of
+    /// [`open_project`](Workspace::open_project), usable before any
+    /// project is registered.
+    pub fn on_disk_projects(root: impl AsRef<Path>) -> Vec<String> {
+        let mut names = Vec::new();
+        let Ok(entries) = fs::read_dir(root.as_ref()) else {
+            return names;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() && path.join("CURRENT").is_file() {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), WorkspaceError> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(WorkspaceError::InvalidName(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedule::WorkDays;
+    use schema::examples;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("schedflow-workspace-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn add(ws: &Workspace, name: &str) -> Arc<Project> {
+        ws.create_project(
+            name,
+            examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn projects_are_isolated() {
+        let ws = Workspace::in_memory();
+        let alu = add(&ws, "alu");
+        let fpu = add(&ws, "fpu");
+        alu.update(|h| h.plan("performance")).unwrap();
+        assert!(alu.read(|h| h.db().schedule_count()) > 0);
+        assert_eq!(fpu.read(|h| h.db().schedule_count()), 0);
+        assert_eq!(ws.names(), ["alu", "fpu"]);
+        assert_eq!(ws.len(), 2);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_bad_names() {
+        let ws = Workspace::in_memory();
+        add(&ws, "alu");
+        assert!(matches!(
+            ws.create_project(
+                "alu",
+                examples::circuit_design(),
+                ToolLibrary::standard(),
+                Team::of_size(1),
+                1,
+            ),
+            Err(WorkspaceError::DuplicateProject(_))
+        ));
+        for bad in ["", "..", "a/b", ".hidden"] {
+            assert!(matches!(
+                ws.create_project(
+                    bad,
+                    examples::circuit_design(),
+                    ToolLibrary::standard(),
+                    Team::of_size(1),
+                    1,
+                ),
+                Err(WorkspaceError::InvalidName(_))
+            ));
+        }
+        assert!(ws.project("ghost").is_none());
+    }
+
+    #[test]
+    fn lanes_are_unique_and_ordered() {
+        let ws = Workspace::in_memory();
+        let a = add(&ws, "a");
+        let b = add(&ws, "b");
+        let c = add(&ws, "c");
+        assert_eq!((a.lane(), b.lane(), c.lane()), (1, 2, 3));
+    }
+
+    #[test]
+    fn persistent_workspace_roundtrips_and_discovers() {
+        let root = scratch("roundtrip");
+        {
+            let ws = Workspace::persistent(&root);
+            let alu = ws
+                .create_project(
+                    "alu",
+                    examples::circuit_design(),
+                    ToolLibrary::standard(),
+                    Team::of_size(2),
+                    7,
+                )
+                .unwrap();
+            alu.update(|h| {
+                h.plan("performance")?;
+                h.execute("performance")
+            })
+            .unwrap();
+        }
+        assert_eq!(Workspace::on_disk_projects(&root), ["alu"]);
+        let ws = Workspace::persistent(&root);
+        let alu = ws
+            .open_project(
+                "alu",
+                examples::circuit_design(),
+                ToolLibrary::standard(),
+                Team::of_size(2),
+                7,
+            )
+            .unwrap();
+        assert!(alu.read(|h| h.db().current_plan("Create").unwrap().is_complete()));
+        assert!(alu.read(|h| h.clock()) > WorkDays::ZERO);
+        // gc over the workspace compacts the reopened store.
+        let stats = ws.gc_all().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.tail_ops_after, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_project_requires_persistence() {
+        let ws = Workspace::in_memory();
+        assert!(matches!(
+            ws.open_project(
+                "alu",
+                examples::circuit_design(),
+                ToolLibrary::standard(),
+                Team::of_size(1),
+                1,
+            ),
+            Err(WorkspaceError::UnknownProject(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_sessions_do_not_alias() {
+        // Four threads, one project each, full plan/execute/replan
+        // cycles — then every store passes its own invariants and the
+        // per-project state is exactly what a serial run produces.
+        let ws = Arc::new(Workspace::in_memory());
+        let names = ["p0", "p1", "p2", "p3"];
+        for name in names {
+            add(&ws, name);
+        }
+        std::thread::scope(|scope| {
+            for name in names {
+                let ws = Arc::clone(&ws);
+                scope.spawn(move || {
+                    let project = ws.project(name).unwrap();
+                    project
+                        .update(|h| {
+                            h.plan("performance")?;
+                            h.execute("performance")?;
+                            h.replan("performance")
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        let serial = {
+            let mut h = Hercules::new(
+                examples::circuit_design(),
+                ToolLibrary::standard(),
+                Team::of_size(2),
+                7,
+            );
+            h.enable_journal();
+            h.plan("performance").unwrap();
+            h.execute("performance").unwrap();
+            h.replan("performance").unwrap();
+            h.db().dump()
+        };
+        for name in names {
+            let project = ws.project(name).unwrap();
+            project.read(|h| {
+                h.db().check_invariants().unwrap();
+                assert_eq!(h.db().dump(), serial, "{name} diverged from serial run");
+            });
+        }
+    }
+}

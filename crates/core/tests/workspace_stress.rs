@@ -1,0 +1,239 @@
+//! Threaded stress for the workspace kernel: many sessions hammering a
+//! mix of projects — exclusive plan/replan/execute writes interleaved
+//! with shared status/browse reads — must never corrupt a store.
+//!
+//! Each worker's per-project effect is deterministic (seeded managers,
+//! serialized writes per shard), so beyond "the invariants hold" the
+//! suite can assert the stronger property: however the scheduler
+//! interleaved the sessions, every project's final database equals the
+//! one a serial run of the same per-project operations produces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hercules::{Hercules, Workspace};
+use schema::examples;
+use simtools::{workload::Team, ToolLibrary};
+
+const PROJECTS: usize = 4;
+const THREADS: usize = 8;
+const ROUNDS: usize = 6;
+
+fn ws_with_projects(n: usize) -> Arc<Workspace> {
+    let ws = Arc::new(Workspace::in_memory());
+    for k in 0..n {
+        ws.create_project(
+            &format!("proj{k}"),
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            k as u64,
+        )
+        .unwrap();
+    }
+    ws
+}
+
+/// One deterministic round of project work: round 0 plans + executes
+/// the front of the flow, later rounds replan (incremental) and keep
+/// executing further targets.
+fn round(h: &mut Hercules, r: usize) {
+    match r {
+        0 => {
+            h.plan("signoff_report").unwrap();
+            h.execute("netlist").unwrap();
+        }
+        1 => {
+            h.replan("signoff_report").unwrap();
+        }
+        2 => {
+            h.execute("placed_db").unwrap();
+        }
+        _ => {
+            h.replan("signoff_report").unwrap();
+        }
+    }
+}
+
+#[test]
+fn interleaved_sessions_preserve_invariants_and_determinism() {
+    let ws = ws_with_projects(PROJECTS);
+    let turn = Arc::new(AtomicUsize::new(0));
+
+    // Writers: one per project, stepping through the rounds. Readers:
+    // the remaining threads continuously running status/rollup-style
+    // queries against *every* project, racing the writers.
+    std::thread::scope(|scope| {
+        for k in 0..PROJECTS {
+            let ws = Arc::clone(&ws);
+            scope.spawn(move || {
+                let project = ws.project(&format!("proj{k}")).unwrap();
+                for r in 0..ROUNDS {
+                    project.update(|h| round(h, r));
+                }
+            });
+        }
+        for _ in PROJECTS..THREADS {
+            let ws = Arc::clone(&ws);
+            let turn = Arc::clone(&turn);
+            scope.spawn(move || {
+                // Keep reading until every writer signalled completion
+                // via the registry state; bounded by a generous cap so
+                // a bug cannot hang the suite.
+                for _ in 0..10_000 {
+                    let k = turn.fetch_add(1, Ordering::Relaxed) % PROJECTS;
+                    let project = ws.project(&format!("proj{k}")).unwrap();
+                    project.read(|h| {
+                        // Shared-lock queries over both spaces: these
+                        // observe *some* consistent prefix of the
+                        // writer's rounds.
+                        let status = h.status();
+                        assert!(status.complete_count() <= status.rows().len());
+                        h.db().check_invariants().unwrap();
+                    });
+                    if ws.names().len() == PROJECTS
+                        && (0..PROJECTS).all(|j| {
+                            ws.project(&format!("proj{j}"))
+                                .unwrap()
+                                .read(|h| h.db().runs().len() >= 2)
+                        })
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Serial oracle: the same rounds on a fresh manager per project.
+    for k in 0..PROJECTS {
+        let mut oracle = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            k as u64,
+        );
+        oracle.enable_journal();
+        for r in 0..ROUNDS {
+            round(&mut oracle, r);
+        }
+        let project = ws.project(&format!("proj{k}")).unwrap();
+        project.read(|h| {
+            h.db().check_invariants().unwrap();
+            assert_eq!(
+                h.db().dump(),
+                oracle.db().dump(),
+                "proj{k} diverged from its serial oracle"
+            );
+        });
+    }
+}
+
+#[test]
+fn contended_single_project_serializes_writes() {
+    // All threads target ONE project; writes must serialize cleanly and
+    // the result must equal the same number of serial planning passes.
+    let ws = ws_with_projects(1);
+    let project = ws.project("proj0").unwrap();
+    project.update(|h| h.plan("signoff_report")).unwrap();
+
+    const WRITERS: usize = 4;
+    const REPLANS_EACH: usize = 3;
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let project = Arc::clone(&project);
+            scope.spawn(move || {
+                for _ in 0..REPLANS_EACH {
+                    project.update(|h| h.replan("signoff_report")).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut oracle = Hercules::new(
+        examples::asic_flow(),
+        ToolLibrary::standard(),
+        Team::of_size(3),
+        0,
+    );
+    oracle.enable_journal();
+    oracle.plan("signoff_report").unwrap();
+    for _ in 0..WRITERS * REPLANS_EACH {
+        oracle.replan("signoff_report").unwrap();
+    }
+    project.read(|h| {
+        h.db().check_invariants().unwrap();
+        assert_eq!(h.db().dump(), oracle.db().dump());
+    });
+}
+
+#[test]
+fn persistent_projects_survive_concurrent_rounds_and_gc() {
+    let root = std::env::temp_dir().join(format!("schedflow-stress-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    {
+        let ws = Arc::new(Workspace::persistent(&root));
+        for k in 0..2 {
+            ws.create_project(
+                &format!("proj{k}"),
+                examples::asic_flow(),
+                ToolLibrary::standard(),
+                Team::of_size(3),
+                k as u64,
+            )
+            .unwrap();
+        }
+        std::thread::scope(|scope| {
+            for k in 0..2 {
+                let ws = Arc::clone(&ws);
+                scope.spawn(move || {
+                    let project = ws.project(&format!("proj{k}")).unwrap();
+                    for r in 0..3 {
+                        project.update(|h| round(h, r));
+                    }
+                });
+            }
+        });
+        // Compact everything, then keep working at the new generation.
+        for (_, stats) in ws.gc_all().unwrap() {
+            assert_eq!(stats.tail_ops_after, 0);
+        }
+        for k in 0..2 {
+            let project = ws.project(&format!("proj{k}")).unwrap();
+            project.update(|h| h.replan("signoff_report")).unwrap();
+        }
+    }
+    // Reopen both and compare against the serial oracle.
+    let ws = Workspace::persistent(&root);
+    for k in 0..2 {
+        let project = ws
+            .open_project(
+                &format!("proj{k}"),
+                examples::asic_flow(),
+                ToolLibrary::standard(),
+                Team::of_size(3),
+                k as u64,
+            )
+            .unwrap();
+        let mut oracle = Hercules::new(
+            examples::asic_flow(),
+            ToolLibrary::standard(),
+            Team::of_size(3),
+            k as u64,
+        );
+        oracle.enable_journal();
+        for r in 0..3 {
+            round(&mut oracle, r);
+        }
+        oracle.replan("signoff_report").unwrap();
+        project.read(|h| {
+            h.db().check_invariants().unwrap();
+            assert_eq!(
+                h.db().dump(),
+                oracle.db().dump(),
+                "reopened proj{k} diverged"
+            );
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -49,6 +49,11 @@ pub struct MetadataDb {
     /// Set once an injected crash fired; the database then refuses all
     /// further fallible mutations.
     pub(crate) crashed: bool,
+    /// Store generation: bumped by compaction (which renumbers the slot
+    /// space). Ids minted here are stamped with it; fallible mutations
+    /// reject handles stamped with an older generation as
+    /// [`MetadataError::StaleHandle`].
+    pub(crate) generation: u32,
 }
 
 impl MetadataDb {
@@ -73,6 +78,23 @@ impl MetadataDb {
                 .insert(rule.activity().to_owned(), rule.output().to_owned());
         }
         db
+    }
+
+    /// The store generation ids minted by this database carry. Bumped
+    /// by compaction; handles from older generations are rejected by
+    /// mutating calls with [`MetadataError::StaleHandle`].
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Rejects an id stamped with a generation other than the
+    /// database's current one. `display` is the id's rendered form for
+    /// the error message.
+    fn check_gen(&self, gen: u32, display: impl fmt::Display) -> Result<(), MetadataError> {
+        if gen != self.generation {
+            return Err(MetadataError::StaleHandle(display.to_string()));
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -145,7 +167,7 @@ impl MetadataDb {
             name: name.clone(),
             content: content.clone(),
         });
-        let id = DataObjectId(self.data.len() as u32);
+        let id = DataObjectId::new(self.data.len() as u32, self.generation);
         self.data.push(DataObject::new(id, name, content));
         id
     }
@@ -195,7 +217,7 @@ impl MetadataDb {
             .filter(|r| r.activity() == activity)
             .count() as u32
             + 1;
-        let id = RunId(self.runs.len() as u32);
+        let id = RunId::new(self.runs.len() as u32, self.generation);
         self.runs.push(Run::new(
             id,
             activity.to_owned(),
@@ -227,6 +249,11 @@ impl MetadataDb {
         inputs: &[EntityInstanceId],
     ) -> Result<EntityInstanceId, MetadataError> {
         self.check_alive()?;
+        self.check_gen(run.gen, run)?;
+        self.check_gen(data.gen, data)?;
+        for input in inputs {
+            self.check_gen(input.gen, input)?;
+        }
         let run_ref = self
             .runs
             .get(run.index())
@@ -298,6 +325,7 @@ impl MetadataDb {
         data: DataObjectId,
     ) -> Result<EntityInstanceId, MetadataError> {
         self.check_alive()?;
+        self.check_gen(data.gen, data)?;
         if !self.entity_containers.contains_key(class) {
             return Err(MetadataError::UnknownClass(class.to_owned()));
         }
@@ -335,7 +363,7 @@ impl MetadataDb {
             .get_mut(class)
             .expect("caller checked the container exists");
         let version = container.len() as u32 + 1;
-        let id = EntityInstanceId(self.entities.len() as u32);
+        let id = EntityInstanceId::new(self.entities.len() as u32, self.generation);
         self.entities.push(EntityInstance::new(
             id,
             class.to_owned(),
@@ -356,7 +384,7 @@ impl MetadataDb {
     pub(crate) fn restore_run_finish(&mut self, run: RunId, finished_at: WorkDays) {
         // A placeholder output id; the matching `restore_entity` call
         // overwrites it with the real instance.
-        let placeholder = EntityInstanceId(u32::MAX);
+        let placeholder = EntityInstanceId::new(u32::MAX, self.generation);
         self.runs[run.index()].finish(finished_at, placeholder);
     }
 
@@ -454,7 +482,7 @@ impl MetadataDb {
         self.journal_op(|| JournalOp::BeginPlanning {
             at_md: to_millidays(at),
         });
-        let id = PlanningSessionId(self.sessions.len() as u32);
+        let id = PlanningSessionId::new(self.sessions.len() as u32, self.generation);
         self.sessions.push(PlanningSession::new(id, at));
         id
     }
@@ -478,6 +506,7 @@ impl MetadataDb {
         planned_duration: WorkDays,
     ) -> Result<ScheduleInstanceId, MetadataError> {
         self.check_alive()?;
+        self.check_gen(session.gen, session)?;
         if session.index() >= self.sessions.len() {
             return Err(MetadataError::UnknownId(session.to_string()));
         }
@@ -497,7 +526,7 @@ impl MetadataDb {
             .expect("container existence checked above");
         let version = container.len() as u32 + 1;
         let derived_from = container.last().copied();
-        let id = ScheduleInstanceId(self.schedules.len() as u32);
+        let id = ScheduleInstanceId::new(self.schedules.len() as u32, self.generation);
         self.schedules.push(ScheduleInstance::new(
             id,
             activity.to_owned(),
@@ -523,6 +552,7 @@ impl MetadataDb {
         designer: &str,
     ) -> Result<(), MetadataError> {
         self.check_alive()?;
+        self.check_gen(schedule.gen, schedule)?;
         if schedule.index() >= self.schedules.len() {
             return Err(MetadataError::UnknownId(schedule.to_string()));
         }
@@ -594,6 +624,8 @@ impl MetadataDb {
         entity: EntityInstanceId,
     ) -> Result<(), MetadataError> {
         self.check_alive()?;
+        self.check_gen(schedule.gen, schedule)?;
+        self.check_gen(entity.gen, entity)?;
         if schedule.index() >= self.schedules.len() {
             return Err(MetadataError::UnknownId(schedule.to_string()));
         }
@@ -723,7 +755,7 @@ mod tests {
                 "netlist",
                 data,
                 WorkDays::new(2.0),
-                &[EntityInstanceId(9)]
+                &[EntityInstanceId::new(9, 0)]
             ),
             Err(MetadataError::UnknownId(_))
         ));
@@ -787,7 +819,7 @@ mod tests {
             .is_err());
         assert!(db
             .plan_activity(
-                PlanningSessionId(9),
+                PlanningSessionId::new(9, 0),
                 "Create",
                 WorkDays::ZERO,
                 WorkDays::ZERO
@@ -804,7 +836,7 @@ mod tests {
             .unwrap();
         db.assign(sc, "carol").unwrap();
         assert_eq!(db.schedule_instance(sc).assignees(), ["carol"]);
-        assert!(db.assign(ScheduleInstanceId(5), "x").is_err());
+        assert!(db.assign(ScheduleInstanceId::new(5, 0), "x").is_err());
     }
 
     #[test]
@@ -891,5 +923,48 @@ mod tests {
     fn display_summarises_counts() {
         let db = db();
         assert!(db.to_string().contains("0 entity instances"));
+    }
+
+    #[test]
+    fn stale_handles_rejected_after_generation_bump() {
+        let mut db = db();
+        let s = db.begin_planning(WorkDays::ZERO);
+        let sc = db
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap();
+        let data = db.store_data("x", vec![]);
+        let run = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        assert_eq!(db.generation(), 0);
+        // Simulate a compaction bumping the generation: every handle
+        // minted above is now stale even though its slot still resolves.
+        db.generation = 1;
+        assert!(matches!(
+            db.finish_run(run, "netlist", data, WorkDays::new(1.0), &[]),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        assert!(matches!(
+            db.assign(sc, "carol"),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        assert!(matches!(
+            db.plan_activity(s, "Create", WorkDays::ZERO, WorkDays::ZERO),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        assert!(matches!(
+            db.supply_input("stimuli", "bob", WorkDays::ZERO, data),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        // Fresh handles minted at the new generation work.
+        let data2 = db.store_data("y", vec![]);
+        assert_eq!(data2.generation(), 1);
+        let run2 = db.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e2 = db
+            .finish_run(run2, "netlist", data2, WorkDays::new(1.0), &[])
+            .unwrap();
+        let s2 = db.begin_planning(WorkDays::new(1.0));
+        let sc2 = db
+            .plan_activity(s2, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+            .unwrap();
+        db.link_completion(sc2, e2).unwrap();
     }
 }

@@ -44,6 +44,12 @@ pub enum MetadataError {
         /// Finish offset in days.
         finished: f64,
     },
+    /// A handle minted under an older store generation was used after a
+    /// compaction bumped the database's generation. The slot space is
+    /// renumbered by compaction, so resolving the stale handle could
+    /// silently alias a different object — the database rejects it
+    /// instead. Re-query through the store to obtain fresh handles.
+    StaleHandle(String),
     /// A simulated crash point fired between a journal append and its
     /// apply ([`MetadataDb::inject_crash_after`](crate::MetadataDb::inject_crash_after)),
     /// or an operation was attempted on a database that already
@@ -80,6 +86,12 @@ impl fmt::Display for MetadataError {
             MetadataError::InvalidTimestamps { started, finished } => {
                 write!(f, "finish time {finished} precedes start time {started}")
             }
+            MetadataError::StaleHandle(id) => {
+                write!(
+                    f,
+                    "stale handle {id}: minted before the last compaction; re-query for a fresh id"
+                )
+            }
             MetadataError::InjectedCrash => {
                 write!(
                     f,
@@ -99,7 +111,7 @@ mod tests {
     #[test]
     fn messages_carry_context() {
         let e = MetadataError::WrongOutputClass {
-            run: RunId(2),
+            run: RunId::new(2, 0),
             expected: "netlist".into(),
             found: "layout".into(),
         };

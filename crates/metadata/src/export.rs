@@ -104,7 +104,7 @@ impl MetadataDb {
             let _ = writeln!(out, "container schedule {activity} {output}");
         }
         for idx in 0..self.data_count() {
-            let d = self.data_object(DataObjectId(idx as u32));
+            let d = self.data_object(DataObjectId::new(idx as u32, self.generation));
             let _ = writeln!(
                 out,
                 "data {} {}",
@@ -130,7 +130,7 @@ impl MetadataDb {
             out.push('\n');
         }
         for idx in 0..self.entity_count() {
-            let e = self.entity_instance(EntityInstanceId(idx as u32));
+            let e = self.entity_instance(EntityInstanceId::new(idx as u32, self.generation));
             let _ = write!(
                 out,
                 "entity {} {} {}",
@@ -159,7 +159,10 @@ impl MetadataDb {
             out.push('\n');
         }
         for idx in 0..self.schedule_count() {
-            let sc = self.schedule_instance(crate::ids::ScheduleInstanceId(idx as u32));
+            let sc = self.schedule_instance(crate::ids::ScheduleInstanceId::new(
+                idx as u32,
+                self.generation,
+            ));
             let assignees = if sc.assignees().is_empty() {
                 "-".to_owned()
             } else {
@@ -191,12 +194,28 @@ impl MetadataDb {
     /// of database `A` always yields a database whose own dump equals
     /// `A`'s (round-trip property, tested).
     pub fn load(text: &str) -> Result<MetadataDb, LoadError> {
+        Self::load_at(text, 0)
+    }
+
+    /// Like [`load`](MetadataDb::load), but the loaded database — and
+    /// every handle it subsequently mints — is stamped at store
+    /// `generation`. Compaction reloads the database from its own dump
+    /// at a bumped generation so handles minted before the compaction
+    /// are detected as stale
+    /// ([`MetadataError::StaleHandle`](crate::MetadataError)) instead
+    /// of silently resolving against the renumbered slot space.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] on malformed or inconsistent input.
+    pub fn load_at(text: &str, generation: u32) -> Result<MetadataDb, LoadError> {
         let mut lines = text.lines().enumerate();
         match lines.next() {
             Some((_, "metadata-db v1")) => {}
             _ => return Err(LoadError::BadHeader),
         }
         let mut db = MetadataDb::new();
+        db.generation = generation;
         let bad = |line: usize, message: &str| LoadError::BadLine {
             line: line + 1,
             message: message.to_owned(),
@@ -267,7 +286,7 @@ impl MetadataDb {
                                     .ok_or_else(|| bad(lineno, "run needs an index"))?
                                     .parse()
                                     .map_err(|_| bad(lineno, "bad run index"))?;
-                                produced_by = Some(RunId(idx as u32));
+                                produced_by = Some(RunId::new(idx as u32, db.generation));
                             }
                             "deps" => {
                                 let list =
@@ -277,7 +296,7 @@ impl MetadataDb {
                                         let idx: usize = part
                                             .parse()
                                             .map_err(|_| bad(lineno, "bad dep index"))?;
-                                        deps.push(EntityInstanceId(idx as u32));
+                                        deps.push(EntityInstanceId::new(idx as u32, db.generation));
                                     }
                                 }
                             }
@@ -287,7 +306,7 @@ impl MetadataDb {
                                     .ok_or_else(|| bad(lineno, "data needs an index"))?
                                     .parse()
                                     .map_err(|_| bad(lineno, "bad data index"))?;
-                                data = Some(DataObjectId(idx as u32));
+                                data = Some(DataObjectId::new(idx as u32, db.generation));
                             }
                             other => {
                                 return Err(bad(lineno, &format!("unknown entity field {other:?}")))
@@ -315,7 +334,7 @@ impl MetadataDb {
                     let duration = parse_days(duration).map_err(|m| bad(lineno, &m))?;
                     let sc = db
                         .plan_activity(
-                            PlanningSessionId(session_idx as u32),
+                            PlanningSessionId::new(session_idx as u32, db.generation),
                             activity,
                             start,
                             duration,
@@ -341,8 +360,11 @@ impl MetadataDb {
                                     .ok_or_else(|| bad(lineno, "link needs an index"))?
                                     .parse()
                                     .map_err(|_| bad(lineno, "bad link index"))?;
-                                db.link_completion(sc, EntityInstanceId(idx as u32))
-                                    .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
+                                db.link_completion(
+                                    sc,
+                                    EntityInstanceId::new(idx as u32, db.generation),
+                                )
+                                .map_err(|e| LoadError::Inconsistent(e.to_string()))?;
                             }
                             other => {
                                 return Err(bad(lineno, &format!("unknown sched field {other:?}")))
@@ -402,8 +424,8 @@ mod tests {
         );
         assert_eq!(loaded.actual_start("Create"), db.actual_start("Create"));
         assert_eq!(
-            loaded.data_object(DataObjectId(1)).content(),
-            db.data_object(DataObjectId(1)).content()
+            loaded.data_object(DataObjectId::new(1, 0)).content(),
+            db.data_object(DataObjectId::new(1, 0)).content()
         );
     }
 

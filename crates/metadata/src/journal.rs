@@ -71,7 +71,7 @@ use crate::database::MetadataDb;
 use crate::error::MetadataError;
 use crate::export::{hex_decode, hex_encode, LoadError};
 use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
-use crate::objects::from_millidays;
+use crate::objects::{from_millidays, to_millidays};
 
 /// One replayable mutation of a [`MetadataDb`] — the redo-log record
 /// appended by the corresponding mutating method before it applies.
@@ -211,7 +211,9 @@ impl JournalOp {
         }
     }
 
-    fn to_line(&self) -> String {
+    /// Renders the op as one line of the journal text form — the unit
+    /// the persistent store appends to its tail file.
+    pub(crate) fn to_line(&self) -> String {
         match self {
             JournalOp::DeclareEntityContainer { class } => format!("declare-entity {class}"),
             JournalOp::DeclareScheduleContainer {
@@ -319,6 +321,129 @@ impl Journal {
         out
     }
 
+    /// Synthesises the *minimal* redo journal whose replay reproduces
+    /// `db` — the compaction emission. [`MetadataDb::recover`] of the
+    /// returned journal yields a database whose
+    /// [`dump`](MetadataDb::dump) is byte-identical to `db`'s.
+    ///
+    /// Compared to the journal a live session accumulated, the
+    /// compacted form drops:
+    ///
+    /// * ops that were appended but never applied (the torn tail of
+    ///   every injected crash in a chaos session), and
+    /// * redundant container re-declarations.
+    ///
+    /// Emission order mirrors [`MetadataDb::dump`] (declares, data,
+    /// sessions, then the execution and schedule spaces in allocation
+    /// order) so replay re-allocates identical dense ids, versions,
+    /// iteration counts, and provenance chains.
+    pub fn compacted_from(db: &MetadataDb) -> Journal {
+        let mut journal = Journal::new();
+        // Declares — same order as `enable_journal`'s snapshot.
+        for class in db.entity_containers.keys() {
+            journal.record(JournalOp::DeclareEntityContainer {
+                class: class.clone(),
+            });
+        }
+        for activity in db.schedule_containers.keys() {
+            let output_class = db
+                .activity_outputs
+                .get(activity)
+                .cloned()
+                .unwrap_or_else(|| "-".to_owned());
+            journal.record(JournalOp::DeclareScheduleContainer {
+                activity: activity.clone(),
+                output_class,
+            });
+        }
+        // Level-4 data, in allocation order.
+        for d in &db.data {
+            journal.record(JournalOp::StoreData {
+                name: d.name().to_owned(),
+                content: d.content().to_vec(),
+            });
+        }
+        // Planning sessions, in allocation order (instances re-attach
+        // themselves via the PlanActivity ops below).
+        for session in &db.sessions {
+            journal.record(JournalOp::BeginPlanning {
+                at_md: to_millidays(session.created_at()),
+            });
+        }
+        // Execution space. Entities must be created in allocation order
+        // (dense ids, container versions) and runs begun in allocation
+        // order (iteration counts); a run may finish *after* a
+        // later-begun run finished, so walk entities and begin every
+        // run up to each entity's producer on demand.
+        let begin_run = |journal: &mut Journal, run: &crate::objects::Run| {
+            journal.record(JournalOp::BeginRun {
+                activity: run.activity().to_owned(),
+                operator: run.operator().to_owned(),
+                started_md: to_millidays(run.started_at()),
+            });
+        };
+        let mut runs_begun = 0usize; // runs [0, runs_begun) already emitted
+        for e in &db.entities {
+            match e.produced_by() {
+                Some(run_id) => {
+                    while runs_begun <= run_id.index() {
+                        begin_run(&mut journal, &db.runs[runs_begun]);
+                        runs_begun += 1;
+                    }
+                    let run = &db.runs[run_id.index()];
+                    journal.record(JournalOp::FinishRun {
+                        run: run_id,
+                        output_class: e.class().to_owned(),
+                        data: e.data(),
+                        finished_md: to_millidays(run.finished_at().unwrap_or(e.created_at())),
+                        inputs: e.depends_on().to_vec(),
+                    });
+                }
+                None => {
+                    journal.record(JournalOp::SupplyInput {
+                        class: e.class().to_owned(),
+                        creator: e.creator().to_owned(),
+                        created_md: to_millidays(e.created_at()),
+                        data: e.data(),
+                    });
+                }
+            }
+        }
+        // Runs that never finished (no output entity walked them in).
+        while runs_begun < db.runs.len() {
+            begin_run(&mut journal, &db.runs[runs_begun]);
+            runs_begun += 1;
+        }
+        // Schedule space: instances in allocation order reproduce
+        // per-container versions and `derived_from` chains; assignments
+        // and completion links once everything they reference exists.
+        for sc in &db.schedules {
+            journal.record(JournalOp::PlanActivity {
+                session: sc.session(),
+                activity: sc.activity().to_owned(),
+                start_md: to_millidays(sc.planned_start()),
+                duration_md: to_millidays(sc.planned_duration()),
+            });
+        }
+        for sc in &db.schedules {
+            for designer in sc.assignees() {
+                journal.record(JournalOp::Assign {
+                    schedule: sc.id(),
+                    designer: designer.clone(),
+                });
+            }
+        }
+        for sc in &db.schedules {
+            if let Some(entity) = sc.linked_entity() {
+                journal.record(JournalOp::LinkCompletion {
+                    schedule: sc.id(),
+                    entity,
+                });
+            }
+        }
+        journal
+    }
+
     /// Parses the text form produced by [`to_text`](Journal::to_text).
     ///
     /// # Errors
@@ -386,13 +511,13 @@ impl Journal {
                         let mut inputs = Vec::new();
                         if *list != "-" {
                             for part in list.split(',') {
-                                inputs.push(EntityInstanceId(parse_idx(lineno, part)?));
+                                inputs.push(EntityInstanceId::new(parse_idx(lineno, part)?, 0));
                             }
                         }
                         JournalOp::FinishRun {
-                            run: RunId(parse_idx(lineno, run)?),
+                            run: RunId::new(parse_idx(lineno, run)?, 0),
                             output_class: (*class).to_owned(),
-                            data: DataObjectId(parse_idx(lineno, data)?),
+                            data: DataObjectId::new(parse_idx(lineno, data)?, 0),
                             finished_md: parse_md(lineno, finished)?,
                             inputs,
                         }
@@ -404,7 +529,7 @@ impl Journal {
                         class: (*class).to_owned(),
                         creator: (*creator).to_owned(),
                         created_md: parse_md(lineno, created)?,
-                        data: DataObjectId(parse_idx(lineno, data)?),
+                        data: DataObjectId::new(parse_idx(lineno, data)?, 0),
                     },
                     _ => return Err(bad(lineno, "malformed supply-input line")),
                 },
@@ -416,7 +541,7 @@ impl Journal {
                 },
                 "plan-activity" => match rest.as_slice() {
                     [session, activity, start, duration] => JournalOp::PlanActivity {
-                        session: PlanningSessionId(parse_idx(lineno, session)?),
+                        session: PlanningSessionId::new(parse_idx(lineno, session)?, 0),
                         activity: (*activity).to_owned(),
                         start_md: parse_md(lineno, start)?,
                         duration_md: parse_md(lineno, duration)?,
@@ -425,15 +550,15 @@ impl Journal {
                 },
                 "assign" => match rest.as_slice() {
                     [schedule, designer] => JournalOp::Assign {
-                        schedule: ScheduleInstanceId(parse_idx(lineno, schedule)?),
+                        schedule: ScheduleInstanceId::new(parse_idx(lineno, schedule)?, 0),
                         designer: (*designer).to_owned(),
                     },
                     _ => return Err(bad(lineno, "malformed assign line")),
                 },
                 "link" => match rest.as_slice() {
                     [schedule, entity] => JournalOp::LinkCompletion {
-                        schedule: ScheduleInstanceId(parse_idx(lineno, schedule)?),
-                        entity: EntityInstanceId(parse_idx(lineno, entity)?),
+                        schedule: ScheduleInstanceId::new(parse_idx(lineno, schedule)?, 0),
+                        entity: EntityInstanceId::new(parse_idx(lineno, entity)?, 0),
                     },
                     _ => return Err(bad(lineno, "malformed link line")),
                 },
@@ -565,7 +690,37 @@ impl MetadataDb {
         Ok(db)
     }
 
+    /// Replays `journal`'s ops onto this database in order — the
+    /// *tail-replay* half of snapshot + journal-tail recovery: open the
+    /// last snapshot with [`load_at`](Self::load_at), then redo the
+    /// tail. Ids embedded in the ops are restamped at this database's
+    /// current generation before applying (journal text carries no
+    /// generation), so a tail written under any prior generation
+    /// replays cleanly.
+    ///
+    /// Returns the number of ops applied.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError`] if an op does not apply cleanly (a tail that
+    /// does not belong to this snapshot).
+    pub fn apply_journal(&mut self, journal: &Journal) -> Result<usize, MetadataError> {
+        let mut span = obs::span!("journal.tail_replay", ops = journal.len());
+        let mut applied = 0usize;
+        for op in journal.ops() {
+            self.apply_op(op)?;
+            applied += 1;
+        }
+        journal_metrics().replayed.add(applied as u64);
+        span.record("applied", applied);
+        Ok(applied)
+    }
+
     fn apply_op(&mut self, op: &JournalOp) -> Result<(), MetadataError> {
+        // Journal text carries slots, not generations: restamp every
+        // embedded id at the database's current generation so replay
+        // works regardless of how many compactions preceded the tail.
+        let g = self.generation;
         match op {
             JournalOp::DeclareEntityContainer { class } => {
                 self.declare_entity_container(class);
@@ -593,12 +748,13 @@ impl MetadataDb {
                 finished_md,
                 inputs,
             } => {
+                let inputs: Vec<EntityInstanceId> = inputs.iter().map(|i| i.with_gen(g)).collect();
                 self.finish_run(
-                    *run,
+                    run.with_gen(g),
                     output_class,
-                    *data,
+                    data.with_gen(g),
                     from_millidays(*finished_md),
-                    inputs,
+                    &inputs,
                 )?;
             }
             JournalOp::SupplyInput {
@@ -607,7 +763,12 @@ impl MetadataDb {
                 created_md,
                 data,
             } => {
-                self.supply_input(class, creator, from_millidays(*created_md), *data)?;
+                self.supply_input(
+                    class,
+                    creator,
+                    from_millidays(*created_md),
+                    data.with_gen(g),
+                )?;
             }
             JournalOp::BeginPlanning { at_md } => {
                 self.begin_planning(from_millidays(*at_md));
@@ -619,17 +780,17 @@ impl MetadataDb {
                 duration_md,
             } => {
                 self.plan_activity(
-                    *session,
+                    session.with_gen(g),
                     activity,
                     from_millidays(*start_md),
                     from_millidays(*duration_md),
                 )?;
             }
             JournalOp::Assign { schedule, designer } => {
-                self.assign(*schedule, designer)?;
+                self.assign(schedule.with_gen(g), designer)?;
             }
             JournalOp::LinkCompletion { schedule, entity } => {
-                self.link_completion(*schedule, *entity)?;
+                self.link_completion(schedule.with_gen(g), entity.with_gen(g))?;
             }
         }
         Ok(())
@@ -1032,6 +1193,59 @@ mod tests {
             Journal::parse("metadata-journal v1\nbegin-run a b zz\n").unwrap_err(),
             LoadError::BadLine { .. }
         ));
+    }
+
+    #[test]
+    fn compacted_journal_recovers_identical_dump() {
+        let db = journaled_session();
+        let compacted = Journal::compacted_from(&db);
+        let recovered = MetadataDb::recover(&compacted).unwrap();
+        assert_eq!(recovered.dump(), db.dump());
+        recovered.check_invariants().unwrap();
+        // Never longer than the live journal (declares + one op per
+        // mutation), and it round-trips through text.
+        assert!(compacted.len() <= db.journal().unwrap().len() + 7); // +7 declares
+        let reparsed = Journal::parse(&compacted.to_text()).unwrap();
+        assert_eq!(MetadataDb::recover(&reparsed).unwrap().dump(), db.dump());
+    }
+
+    #[test]
+    fn compaction_drops_torn_tail_ops() {
+        let mut db = journaled_session();
+        db.inject_crash_after(0);
+        let err = db
+            .begin_run("Simulate", "bob", WorkDays::new(2.0))
+            .unwrap_err();
+        assert_eq!(err, MetadataError::InjectedCrash);
+        let live = db.journal().unwrap();
+        let compacted = Journal::compacted_from(&db);
+        // The torn `begin-run` was appended to the live journal but is
+        // absent from the compacted form, which reflects applied state.
+        assert!(compacted.len() < live.len() + 7);
+        let recovered = MetadataDb::recover(&compacted).unwrap();
+        assert_eq!(recovered.dump(), db.dump());
+    }
+
+    #[test]
+    fn tail_replay_onto_snapshot_matches_full_replay() {
+        let db = journaled_session();
+        let journal = db.journal().unwrap();
+        for split in 0..=journal.len() {
+            // Snapshot the first `split` ops as a dump, replay the rest
+            // as a tail.
+            let snap_db = MetadataDb::recover(&journal.prefix(split)).unwrap();
+            let mut reopened = MetadataDb::load_at(&snap_db.dump(), 1).unwrap();
+            let tail = Journal {
+                ops: journal.ops()[split..].to_vec(),
+            };
+            reopened.apply_journal(&tail).unwrap();
+            assert_eq!(
+                reopened.dump(),
+                db.dump(),
+                "split at {split} diverged from full replay"
+            );
+            assert_eq!(reopened.generation(), 1);
+        }
     }
 
     #[test]

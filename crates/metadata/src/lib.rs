@@ -66,6 +66,7 @@ mod objects;
 pub mod export;
 pub mod journal;
 pub mod query;
+pub mod store;
 
 pub use database::MetadataDb;
 pub use error::MetadataError;
@@ -73,3 +74,4 @@ pub use export::LoadError;
 pub use ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
 pub use journal::{Journal, JournalOp};
 pub use objects::{DataObject, EntityInstance, PlanningSession, Run, RunState, ScheduleInstance};
+pub use store::{ArenaStore, CompactionStats, PersistentStore, Store, StoreError};

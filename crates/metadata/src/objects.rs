@@ -464,7 +464,7 @@ mod tests {
 
     #[test]
     fn data_object_accessors() {
-        let d = DataObject::new(DataObjectId(0), "x.net".into(), vec![1, 2, 3]);
+        let d = DataObject::new(DataObjectId::new(0, 0), "x.net".into(), vec![1, 2, 3]);
         assert_eq!(d.size(), 3);
         assert_eq!(d.name(), "x.net");
         assert!(d.to_string().contains("3 bytes"));
@@ -473,7 +473,7 @@ mod tests {
     #[test]
     fn run_lifecycle() {
         let mut run = Run::new(
-            RunId(0),
+            RunId::new(0, 0),
             "Simulate".into(),
             "bob".into(),
             1,
@@ -482,19 +482,19 @@ mod tests {
         assert_eq!(run.state(), RunState::InProgress);
         assert_eq!(run.duration(), None);
         assert!(run.to_string().ends_with("..)"));
-        run.finish(WorkDays::new(3.5), EntityInstanceId(0));
+        run.finish(WorkDays::new(3.5), EntityInstanceId::new(0, 0));
         assert_eq!(run.state(), RunState::Finished);
         assert_eq!(run.duration(), Some(WorkDays::new(1.5)));
-        assert_eq!(run.output(), Some(EntityInstanceId(0)));
+        assert_eq!(run.output(), Some(EntityInstanceId::new(0, 0)));
     }
 
     #[test]
     fn schedule_instance_dates() {
         let sc = ScheduleInstance::new(
-            ScheduleInstanceId(0),
+            ScheduleInstanceId::new(0, 0),
             "Create".into(),
             1,
-            PlanningSessionId(0),
+            PlanningSessionId::new(0, 0),
             WorkDays::new(1.0),
             WorkDays::new(2.0),
             None,
@@ -507,10 +507,10 @@ mod tests {
     #[test]
     fn assign_is_idempotent() {
         let mut sc = ScheduleInstance::new(
-            ScheduleInstanceId(0),
+            ScheduleInstanceId::new(0, 0),
             "Create".into(),
             1,
-            PlanningSessionId(0),
+            PlanningSessionId::new(0, 0),
             WorkDays::ZERO,
             WorkDays::ZERO,
             None,
@@ -524,18 +524,18 @@ mod tests {
     #[test]
     fn entity_instance_display() {
         let e = EntityInstance::new(
-            EntityInstanceId(4),
+            EntityInstanceId::new(4, 0),
             "netlist".into(),
             2,
             WorkDays::new(1.0),
             "alice".into(),
-            Some(RunId(1)),
-            vec![EntityInstanceId(0)],
-            DataObjectId(7),
+            Some(RunId::new(1, 0)),
+            vec![EntityInstanceId::new(0, 0)],
+            DataObjectId::new(7, 0),
         );
         let s = e.to_string();
         assert!(s.contains("netlist@v2"));
         assert!(s.contains("alice"));
-        assert_eq!(e.depends_on(), [EntityInstanceId(0)]);
+        assert_eq!(e.depends_on(), [EntityInstanceId::new(0, 0)]);
     }
 }

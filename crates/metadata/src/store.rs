@@ -1,0 +1,1012 @@
+//! The storage engine behind the metadata database: a [`Store`] trait
+//! offering typed CRUD over runs, schedule instances, planning
+//! sessions, and links, with two interchangeable backends.
+//!
+//! * [`ArenaStore`] — the original grow-forever in-memory arena: a
+//!   [`MetadataDb`] plus its optional write-ahead [`Journal`]. Fast,
+//!   volatile, and what every single-session `Hercules` uses by
+//!   default.
+//! * [`PersistentStore`] — a **snapshot + journal-tail** engine layered
+//!   on the write-ahead journal: the database state lives on disk as
+//!   the last snapshot (a [`MetadataDb::dump`]) plus a redo tail of
+//!   every op appended since. Opening replays snapshot then tail;
+//!   [`compact`](Store::compact) folds the tail into a fresh snapshot
+//!   with a crash-consistent temp/rename `CURRENT` swap (the VOV
+//!   lesson: trace-based metadata only scales when the store is an
+//!   engine with compaction, not a grow-forever log).
+//!
+//! # On-disk layout (`PersistentStore`)
+//!
+//! ```text
+//! <dir>/CURRENT            the live sequence number N (temp/renamed)
+//! <dir>/snapshot-N.txt     metadata-db v1 dump at sequence N
+//! <dir>/tail-N.journal     metadata-journal v1 redo ops since N
+//! ```
+//!
+//! Every mutation appends its op to the in-memory journal *and* the
+//! tail file before it is applied — including ops torn by an injected
+//! crash, which is exactly the write-ahead fidelity the chaos suite
+//! checks. Reopening tolerates one torn trailing line (a process that
+//! died mid-append).
+//!
+//! # Generations
+//!
+//! Compaction renumbers nothing (dumps preserve allocation order) but
+//! **bumps the store generation**: the database is reloaded via
+//! [`MetadataDb::load_at`] at `N+1`, so ids held from before the
+//! compaction fail mutating calls with
+//! [`MetadataError::StaleHandle`] instead of silently resolving against
+//! the reused slot space.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use schedule::WorkDays;
+
+use crate::database::MetadataDb;
+use crate::error::MetadataError;
+use crate::export::LoadError;
+use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
+use crate::journal::Journal;
+
+/// Errors from store lifecycle operations (open, checkpoint, compact).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A metadata-level failure (validation, injected crash, stale
+    /// handle).
+    Metadata(MetadataError),
+    /// A snapshot or tail file failed to parse.
+    Load(LoadError),
+    /// Filesystem trouble; carries the failing path and the OS error.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Metadata(e) => write!(f, "metadata error: {e}"),
+            StoreError::Load(e) => write!(f, "corrupt store file: {e}"),
+            StoreError::Io { path, message } => {
+                write!(f, "store I/O error at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<MetadataError> for StoreError {
+    fn from(e: MetadataError) -> Self {
+        StoreError::Metadata(e)
+    }
+}
+
+impl From<LoadError> for StoreError {
+    fn from(e: LoadError) -> Self {
+        StoreError::Load(e)
+    }
+}
+
+fn io_err(path: &Path, e: impl fmt::Display) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// What a [`compact`](Store::compact) accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Redo ops in the tail before compaction (folded into the new
+    /// snapshot).
+    pub tail_ops_before: usize,
+    /// Redo ops in the tail afterwards (always 0 for the persistent
+    /// store; the compacted journal length for the arena).
+    pub tail_ops_after: usize,
+    /// Bytes held by the engine before (snapshot + tail files, or the
+    /// journal text for the arena).
+    pub bytes_before: u64,
+    /// Bytes held afterwards.
+    pub bytes_after: u64,
+    /// The store generation after compaction. Handles minted before it
+    /// are now stale.
+    pub generation: u32,
+}
+
+/// Typed CRUD over the metadata database — the storage-engine seam
+/// between the flow manager and its Level-3 metadata.
+///
+/// Reads go through [`db`](Store::db) (the full [`MetadataDb`] query
+/// surface); every mutation goes through a trait method so a backend
+/// can interpose write-ahead persistence. Both backends pass the same
+/// conformance suite (`tests/store_conformance.rs`).
+pub trait Store: fmt::Debug + Send + Sync {
+    /// The live database, for queries.
+    fn db(&self) -> &MetadataDb;
+
+    // -- typed mutations (mirroring `MetadataDb`) ----------------------
+
+    /// [`MetadataDb::declare_entity_container`].
+    fn declare_entity_container(&mut self, class: &str);
+
+    /// [`MetadataDb::declare_schedule_container`].
+    fn declare_schedule_container(&mut self, activity: &str, output_class: &str);
+
+    /// [`MetadataDb::store_data`].
+    fn store_data(&mut self, name: &str, content: Vec<u8>) -> DataObjectId;
+
+    /// [`MetadataDb::begin_run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetadataDb::begin_run`].
+    fn begin_run(
+        &mut self,
+        activity: &str,
+        operator: &str,
+        started_at: WorkDays,
+    ) -> Result<RunId, MetadataError>;
+
+    /// [`MetadataDb::finish_run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetadataDb::finish_run`].
+    fn finish_run(
+        &mut self,
+        run: RunId,
+        output_class: &str,
+        data: DataObjectId,
+        finished_at: WorkDays,
+        inputs: &[EntityInstanceId],
+    ) -> Result<EntityInstanceId, MetadataError>;
+
+    /// [`MetadataDb::supply_input`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetadataDb::supply_input`].
+    fn supply_input(
+        &mut self,
+        class: &str,
+        creator: &str,
+        created_at: WorkDays,
+        data: DataObjectId,
+    ) -> Result<EntityInstanceId, MetadataError>;
+
+    /// [`MetadataDb::begin_planning`].
+    fn begin_planning(&mut self, at: WorkDays) -> PlanningSessionId;
+
+    /// [`MetadataDb::plan_activity`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetadataDb::plan_activity`].
+    fn plan_activity(
+        &mut self,
+        session: PlanningSessionId,
+        activity: &str,
+        planned_start: WorkDays,
+        planned_duration: WorkDays,
+    ) -> Result<ScheduleInstanceId, MetadataError>;
+
+    /// [`MetadataDb::assign`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetadataDb::assign`].
+    fn assign(&mut self, schedule: ScheduleInstanceId, designer: &str)
+        -> Result<(), MetadataError>;
+
+    /// [`MetadataDb::link_completion`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetadataDb::link_completion`].
+    fn link_completion(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        entity: EntityInstanceId,
+    ) -> Result<(), MetadataError>;
+
+    // -- journal & crash control ---------------------------------------
+
+    /// Turns on write-ahead journaling ([`MetadataDb::enable_journal`]).
+    /// No-op for the persistent store, which always journals.
+    fn enable_journal(&mut self);
+
+    /// Detaches the in-memory journal ([`MetadataDb::take_journal`]).
+    /// The persistent store returns a *copy* of its tail and keeps
+    /// journaling — its durability depends on it.
+    fn take_journal(&mut self) -> Option<Journal>;
+
+    /// Arms a simulated crash ([`MetadataDb::inject_crash_after`]).
+    fn inject_crash_after(&mut self, after: u32);
+
+    /// Disarms a pending injected crash ([`MetadataDb::disarm_crash`]).
+    fn disarm_crash(&mut self);
+
+    // -- lifecycle -----------------------------------------------------
+
+    /// Replaces the entire database state (dump-loader plumbing). The
+    /// persistent store treats this as a new epoch: it checkpoints a
+    /// fresh snapshot of the replacement state.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if persisting the replacement fails.
+    fn replace_db(&mut self, db: MetadataDb) -> Result<(), StoreError>;
+
+    /// Forces buffered state to durable storage (no-op for the arena).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem trouble.
+    fn checkpoint(&mut self) -> Result<(), StoreError>;
+
+    /// Folds the journal tail into a fresh snapshot and **bumps the
+    /// store generation** — handles minted before the call become
+    /// stale. See the [module docs](self) for the crash-consistent
+    /// swap protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the store has crashed or persisting fails.
+    fn compact(&mut self) -> Result<CompactionStats, StoreError>;
+
+    /// An owned deep copy. Cloning a [`PersistentStore`] yields a
+    /// *detached in-memory* [`ArenaStore`] over the same state — two
+    /// live writers on one tail file would tear it — which is exactly
+    /// the what-if-fork semantics the chaos suite's cloned sessions
+    /// want.
+    fn boxed_clone(&self) -> Box<dyn Store>;
+
+    /// The on-disk directory, for persistent backends.
+    fn path(&self) -> Option<&Path>;
+}
+
+impl Clone for Box<dyn Store> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Arena backend
+// ----------------------------------------------------------------------
+
+/// The in-memory backend: a plain [`MetadataDb`] arena. This is the
+/// storage engine every pre-workspace `Hercules` session used, now
+/// behind the [`Store`] seam.
+#[derive(Debug, Clone, Default)]
+pub struct ArenaStore {
+    db: MetadataDb,
+}
+
+impl ArenaStore {
+    /// Wraps an existing database.
+    pub fn new(db: MetadataDb) -> Self {
+        ArenaStore { db }
+    }
+
+    /// Consumes the store, yielding the database.
+    pub fn into_db(self) -> MetadataDb {
+        self.db
+    }
+}
+
+impl Store for ArenaStore {
+    fn db(&self) -> &MetadataDb {
+        &self.db
+    }
+
+    fn declare_entity_container(&mut self, class: &str) {
+        self.db.declare_entity_container(class);
+    }
+
+    fn declare_schedule_container(&mut self, activity: &str, output_class: &str) {
+        self.db.declare_schedule_container(activity, output_class);
+    }
+
+    fn store_data(&mut self, name: &str, content: Vec<u8>) -> DataObjectId {
+        self.db.store_data(name, content)
+    }
+
+    fn begin_run(
+        &mut self,
+        activity: &str,
+        operator: &str,
+        started_at: WorkDays,
+    ) -> Result<RunId, MetadataError> {
+        self.db.begin_run(activity, operator, started_at)
+    }
+
+    fn finish_run(
+        &mut self,
+        run: RunId,
+        output_class: &str,
+        data: DataObjectId,
+        finished_at: WorkDays,
+        inputs: &[EntityInstanceId],
+    ) -> Result<EntityInstanceId, MetadataError> {
+        self.db
+            .finish_run(run, output_class, data, finished_at, inputs)
+    }
+
+    fn supply_input(
+        &mut self,
+        class: &str,
+        creator: &str,
+        created_at: WorkDays,
+        data: DataObjectId,
+    ) -> Result<EntityInstanceId, MetadataError> {
+        self.db.supply_input(class, creator, created_at, data)
+    }
+
+    fn begin_planning(&mut self, at: WorkDays) -> PlanningSessionId {
+        self.db.begin_planning(at)
+    }
+
+    fn plan_activity(
+        &mut self,
+        session: PlanningSessionId,
+        activity: &str,
+        planned_start: WorkDays,
+        planned_duration: WorkDays,
+    ) -> Result<ScheduleInstanceId, MetadataError> {
+        self.db
+            .plan_activity(session, activity, planned_start, planned_duration)
+    }
+
+    fn assign(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        designer: &str,
+    ) -> Result<(), MetadataError> {
+        self.db.assign(schedule, designer)
+    }
+
+    fn link_completion(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        entity: EntityInstanceId,
+    ) -> Result<(), MetadataError> {
+        self.db.link_completion(schedule, entity)
+    }
+
+    fn enable_journal(&mut self) {
+        self.db.enable_journal();
+    }
+
+    fn take_journal(&mut self) -> Option<Journal> {
+        self.db.take_journal()
+    }
+
+    fn inject_crash_after(&mut self, after: u32) {
+        self.db.inject_crash_after(after);
+    }
+
+    fn disarm_crash(&mut self) {
+        self.db.disarm_crash();
+    }
+
+    fn replace_db(&mut self, db: MetadataDb) -> Result<(), StoreError> {
+        self.db = db;
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn compact(&mut self) -> Result<CompactionStats, StoreError> {
+        self.db.check_alive()?;
+        let had_journal = self.db.journal().is_some();
+        let (ops_before, bytes_before) = match self.db.journal() {
+            Some(j) => (j.len(), j.to_text().len() as u64),
+            None => (0, 0),
+        };
+        // Reload from our own dump at a bumped generation: slots are
+        // preserved (dumps are allocation-ordered) but every handle
+        // minted before this call is now stale.
+        let generation = self.db.generation() + 1;
+        let dump = self.db.dump();
+        let mut fresh = MetadataDb::load_at(&dump, generation).map_err(StoreError::Load)?;
+        let compacted = Journal::compacted_from(&fresh);
+        let (ops_after, bytes_after) = if had_journal {
+            let len = compacted.len();
+            let bytes = compacted.to_text().len() as u64;
+            fresh.journal = Some(compacted);
+            (len, bytes)
+        } else {
+            (0, 0)
+        };
+        self.db = fresh;
+        Ok(CompactionStats {
+            tail_ops_before: ops_before,
+            tail_ops_after: ops_after,
+            bytes_before,
+            bytes_after,
+            generation,
+        })
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Store> {
+        Box::new(self.clone())
+    }
+
+    fn path(&self) -> Option<&Path> {
+        None
+    }
+}
+
+// ----------------------------------------------------------------------
+// Persistent backend
+// ----------------------------------------------------------------------
+
+const CURRENT: &str = "CURRENT";
+const TAIL_HEADER: &str = "metadata-journal v1\n";
+
+fn snapshot_name(seq: u64) -> String {
+    format!("snapshot-{seq}.txt")
+}
+
+fn tail_name(seq: u64) -> String {
+    format!("tail-{seq}.journal")
+}
+
+/// The snapshot + journal-tail backend. See the [module docs](self)
+/// for the on-disk layout and protocols.
+#[derive(Debug)]
+pub struct PersistentStore {
+    dir: PathBuf,
+    db: MetadataDb,
+    /// Live sequence number (`CURRENT`'s content); also the store
+    /// generation.
+    seq: u64,
+    /// Append handle on `tail-<seq>.journal`.
+    tail: File,
+    /// How many of the in-memory journal's ops are already in the tail
+    /// file.
+    tail_ops: usize,
+}
+
+impl PersistentStore {
+    /// Creates a new store at `dir` (made if absent) holding `db` as
+    /// its first snapshot. Fails if `dir` already contains a store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem trouble or an existing store.
+    pub fn create(dir: impl Into<PathBuf>, db: MetadataDb) -> Result<PersistentStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let current = dir.join(CURRENT);
+        if current.exists() {
+            return Err(io_err(&current, "store already exists"));
+        }
+        let mut db = db;
+        // The persistent store always journals; the snapshot covers the
+        // declares, so the tail starts truly empty (no re-declares).
+        db.journal = Some(Journal::new());
+        let seq = 0u64;
+        write_atomic(&dir.join(snapshot_name(seq)), &db.dump())?;
+        write_atomic(&dir.join(tail_name(seq)), TAIL_HEADER)?;
+        write_atomic(&current, &format!("{seq}\n"))?;
+        let tail = open_tail(&dir.join(tail_name(seq)))?;
+        Ok(PersistentStore {
+            dir,
+            db,
+            seq,
+            tail,
+            tail_ops: 0,
+        })
+    }
+
+    /// Opens an existing store: loads `snapshot-N` at generation `N`,
+    /// replays the redo ops in `tail-N` (tolerating one torn trailing
+    /// line from a mid-append death), and resumes appending.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the directory holds no store, a file fails to
+    /// parse beyond a single torn line, or the tail does not replay.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<PersistentStore, StoreError> {
+        let dir = dir.into();
+        let mut span = obs::span!("store.open");
+        let current = dir.join(CURRENT);
+        let seq: u64 = fs::read_to_string(&current)
+            .map_err(|e| io_err(&current, e))?
+            .trim()
+            .parse()
+            .map_err(|e| io_err(&current, format!("bad sequence number: {e}")))?;
+        let snap_path = dir.join(snapshot_name(seq));
+        let snapshot = fs::read_to_string(&snap_path).map_err(|e| io_err(&snap_path, e))?;
+        let generation = generation_of(seq);
+        let mut db = MetadataDb::load_at(&snapshot, generation)?;
+        let tail_path = dir.join(tail_name(seq));
+        let tail_text = fs::read_to_string(&tail_path).map_err(|e| io_err(&tail_path, e))?;
+        let tail_journal = parse_tail(&tail_text)?;
+        // If a torn trailing line was dropped, truncate it on disk
+        // before resuming appends — otherwise the next op would splice
+        // onto the partial line and corrupt the log for the next open.
+        if tail_text.lines().count() != tail_journal.len() + 1 {
+            write_atomic(&tail_path, &tail_journal.to_text())?;
+        }
+        db.apply_journal(&tail_journal)?;
+        span.record("seq", seq);
+        span.record("tail_ops", tail_journal.len());
+        let tail_ops = tail_journal.len();
+        db.journal = Some(tail_journal);
+        let tail = open_tail(&tail_path)?;
+        Ok(PersistentStore {
+            dir,
+            db,
+            seq,
+            tail,
+            tail_ops,
+        })
+    }
+
+    /// The live sequence number (and store generation).
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    /// Flushes any journal ops not yet in the tail file. Runs after
+    /// *every* mutation — including one torn by an injected crash,
+    /// whose op was appended before the simulated death and therefore
+    /// must reach disk, exactly like a real WAL.
+    fn sync_tail(&mut self) {
+        let journal = self
+            .db
+            .journal
+            .as_ref()
+            .expect("persistent store always journals");
+        let pending = &journal.ops()[self.tail_ops..];
+        if pending.is_empty() {
+            return;
+        }
+        let mut buf = String::new();
+        for op in pending {
+            buf.push_str(&op.to_line());
+            buf.push('\n');
+        }
+        self.tail
+            .write_all(buf.as_bytes())
+            .and_then(|()| self.tail.flush())
+            .unwrap_or_else(|e| {
+                // A failing tail write means durability is gone: there
+                // is no way to honour the write-ahead contract, so die
+                // loudly rather than acknowledge unpersisted mutations.
+                panic!(
+                    "persistent store lost its tail at {}: {e}",
+                    self.dir.display()
+                )
+            });
+        self.tail_ops = journal.len();
+    }
+
+    fn file_size(&self, name: &str) -> u64 {
+        fs::metadata(self.dir.join(name))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+}
+
+/// Sequence → generation. Sequences are u64 for on-disk headroom while
+/// id stamps stay a compact u32; 2³² compactions of one project is
+/// beyond plausible, but saturate rather than wrap if it happens.
+fn generation_of(seq: u64) -> u32 {
+    u32::try_from(seq).unwrap_or(u32::MAX)
+}
+
+fn open_tail(path: &Path) -> Result<File, StoreError> {
+    OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))
+}
+
+/// Writes `content` crash-consistently: temp file in the same
+/// directory, then an atomic rename over the target.
+fn write_atomic(path: &Path, content: &str) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, content).map_err(|e| io_err(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+/// Parses a tail file, dropping at most one torn trailing line (a
+/// process that died mid-append leaves a partial final record; any
+/// earlier corruption is a real error).
+fn parse_tail(text: &str) -> Result<Journal, StoreError> {
+    match Journal::parse(text) {
+        Ok(j) => Ok(j),
+        Err(LoadError::BadLine { line, .. }) if line == text.lines().count() => {
+            let mut kept: String = text
+                .lines()
+                .take(line - 1)
+                .map(|l| format!("{l}\n"))
+                .collect();
+            if kept.is_empty() {
+                kept.push_str(TAIL_HEADER);
+            }
+            Journal::parse(&kept).map_err(StoreError::Load)
+        }
+        Err(e) => Err(StoreError::Load(e)),
+    }
+}
+
+impl Store for PersistentStore {
+    fn db(&self) -> &MetadataDb {
+        &self.db
+    }
+
+    fn declare_entity_container(&mut self, class: &str) {
+        self.db.declare_entity_container(class);
+        self.sync_tail();
+    }
+
+    fn declare_schedule_container(&mut self, activity: &str, output_class: &str) {
+        self.db.declare_schedule_container(activity, output_class);
+        self.sync_tail();
+    }
+
+    fn store_data(&mut self, name: &str, content: Vec<u8>) -> DataObjectId {
+        let id = self.db.store_data(name, content);
+        self.sync_tail();
+        id
+    }
+
+    fn begin_run(
+        &mut self,
+        activity: &str,
+        operator: &str,
+        started_at: WorkDays,
+    ) -> Result<RunId, MetadataError> {
+        let r = self.db.begin_run(activity, operator, started_at);
+        self.sync_tail();
+        r
+    }
+
+    fn finish_run(
+        &mut self,
+        run: RunId,
+        output_class: &str,
+        data: DataObjectId,
+        finished_at: WorkDays,
+        inputs: &[EntityInstanceId],
+    ) -> Result<EntityInstanceId, MetadataError> {
+        let r = self
+            .db
+            .finish_run(run, output_class, data, finished_at, inputs);
+        self.sync_tail();
+        r
+    }
+
+    fn supply_input(
+        &mut self,
+        class: &str,
+        creator: &str,
+        created_at: WorkDays,
+        data: DataObjectId,
+    ) -> Result<EntityInstanceId, MetadataError> {
+        let r = self.db.supply_input(class, creator, created_at, data);
+        self.sync_tail();
+        r
+    }
+
+    fn begin_planning(&mut self, at: WorkDays) -> PlanningSessionId {
+        let id = self.db.begin_planning(at);
+        self.sync_tail();
+        id
+    }
+
+    fn plan_activity(
+        &mut self,
+        session: PlanningSessionId,
+        activity: &str,
+        planned_start: WorkDays,
+        planned_duration: WorkDays,
+    ) -> Result<ScheduleInstanceId, MetadataError> {
+        let r = self
+            .db
+            .plan_activity(session, activity, planned_start, planned_duration);
+        self.sync_tail();
+        r
+    }
+
+    fn assign(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        designer: &str,
+    ) -> Result<(), MetadataError> {
+        let r = self.db.assign(schedule, designer);
+        self.sync_tail();
+        r
+    }
+
+    fn link_completion(
+        &mut self,
+        schedule: ScheduleInstanceId,
+        entity: EntityInstanceId,
+    ) -> Result<(), MetadataError> {
+        let r = self.db.link_completion(schedule, entity);
+        self.sync_tail();
+        r
+    }
+
+    fn enable_journal(&mut self) {
+        // Always on: the journal *is* the durability mechanism.
+    }
+
+    fn take_journal(&mut self) -> Option<Journal> {
+        // Hand out a copy; detaching the live journal would silently
+        // stop persisting.
+        self.db.journal().cloned()
+    }
+
+    fn inject_crash_after(&mut self, after: u32) {
+        self.db.inject_crash_after(after);
+    }
+
+    fn disarm_crash(&mut self) {
+        self.db.disarm_crash();
+    }
+
+    fn replace_db(&mut self, db: MetadataDb) -> Result<(), StoreError> {
+        // A wholesale state replacement starts a new epoch on disk.
+        let next = self.seq + 1;
+        let mut db = db;
+        db.generation = generation_of(next);
+        db.journal = Some(Journal::new());
+        write_atomic(&self.dir.join(snapshot_name(next)), &db.dump())?;
+        write_atomic(&self.dir.join(tail_name(next)), TAIL_HEADER)?;
+        write_atomic(&self.dir.join(CURRENT), &format!("{next}\n"))?;
+        let _ = fs::remove_file(self.dir.join(snapshot_name(self.seq)));
+        let _ = fs::remove_file(self.dir.join(tail_name(self.seq)));
+        self.tail = open_tail(&self.dir.join(tail_name(next)))?;
+        self.db = db;
+        self.seq = next;
+        self.tail_ops = 0;
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.tail
+            .sync_all()
+            .map_err(|e| io_err(&self.dir.join(tail_name(self.seq)), e))
+    }
+
+    fn compact(&mut self) -> Result<CompactionStats, StoreError> {
+        self.db.check_alive()?;
+        let mut span = obs::span!("store.compact", seq = self.seq);
+        let bytes_before =
+            self.file_size(&snapshot_name(self.seq)) + self.file_size(&tail_name(self.seq));
+        let tail_ops_before = self.tail_ops;
+
+        // 1. Fresh snapshot + empty tail at the next sequence.
+        let next = self.seq + 1;
+        let dump = self.db.dump();
+        write_atomic(&self.dir.join(snapshot_name(next)), &dump)?;
+        write_atomic(&self.dir.join(tail_name(next)), TAIL_HEADER)?;
+        // 2. Commit point: CURRENT now names the new sequence. A crash
+        //    on either side of this rename leaves a complete store.
+        write_atomic(&self.dir.join(CURRENT), &format!("{next}\n"))?;
+        // 3. Best-effort cleanup of the superseded files.
+        let _ = fs::remove_file(self.dir.join(snapshot_name(self.seq)));
+        let _ = fs::remove_file(self.dir.join(tail_name(self.seq)));
+
+        // 4. Reload at the bumped generation: identical state, fresh
+        //    handle stamps — ids from before this call are now stale.
+        let generation = generation_of(next);
+        let mut db = MetadataDb::load_at(&dump, generation)?;
+        db.journal = Some(Journal::new());
+        self.tail = open_tail(&self.dir.join(tail_name(next)))?;
+        self.db = db;
+        self.seq = next;
+        self.tail_ops = 0;
+
+        let bytes_after = self.file_size(&snapshot_name(next)) + self.file_size(&tail_name(next));
+        span.record("tail_ops_folded", tail_ops_before);
+        span.record("bytes_after", bytes_after);
+        Ok(CompactionStats {
+            tail_ops_before,
+            tail_ops_after: 0,
+            bytes_before,
+            bytes_after,
+            generation,
+        })
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Store> {
+        // Detach: two writers on one tail file would interleave.
+        let mut db = self.db.clone();
+        db.crashed = false;
+        db.crash_countdown = None;
+        Box::new(ArenaStore::new(db))
+    }
+
+    fn path(&self) -> Option<&Path> {
+        Some(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "schedflow-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_db() -> MetadataDb {
+        MetadataDb::for_schema(&examples::circuit_design())
+    }
+
+    fn mutate(store: &mut dyn Store) -> ScheduleInstanceId {
+        let s = store.begin_planning(WorkDays::ZERO);
+        let sc = store
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        store.assign(sc, "alice").unwrap();
+        let data = store.store_data("v1.net", b"module".to_vec());
+        let run = store.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e = store
+            .finish_run(run, "netlist", data, WorkDays::new(1.0), &[])
+            .unwrap();
+        store.link_completion(sc, e).unwrap();
+        sc
+    }
+
+    #[test]
+    fn persistent_roundtrip_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut store = PersistentStore::create(&dir, seed_db()).unwrap();
+        mutate(&mut store);
+        let dump = store.db().dump();
+        drop(store);
+        let reopened = PersistentStore::open(&dir).unwrap();
+        assert_eq!(reopened.db().dump(), dump);
+        reopened.db().check_invariants().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_line_is_dropped_on_open() {
+        let dir = temp_dir("torn");
+        let mut store = PersistentStore::create(&dir, seed_db()).unwrap();
+        mutate(&mut store);
+        let dump = store.db().dump();
+        drop(store);
+        // Simulate a process dying mid-append: a partial final line.
+        let tail = dir.join(tail_name(0));
+        let mut f = OpenOptions::new().append(true).open(&tail).unwrap();
+        f.write_all(b"begin-run Create al").unwrap();
+        drop(f);
+        let mut reopened = PersistentStore::open(&dir).unwrap();
+        assert_eq!(reopened.db().dump(), dump);
+        // The torn line must be *truncated* on open, not merely
+        // skipped: new appends would otherwise splice onto the partial
+        // line and corrupt the log for the next open.
+        reopened
+            .begin_run("Simulate", "bob", WorkDays::ZERO)
+            .unwrap();
+        let dump = reopened.db().dump();
+        drop(reopened);
+        let again = PersistentStore::open(&dir).unwrap();
+        assert_eq!(again.db().dump(), dump);
+        again.db().check_invariants().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_op_survives_reopen() {
+        let dir = temp_dir("crash");
+        let mut store = PersistentStore::create(&dir, seed_db()).unwrap();
+        mutate(&mut store);
+        let runs_before = store.db().runs().len();
+        store.inject_crash_after(0);
+        let err = store
+            .begin_run("Simulate", "bob", WorkDays::new(1.0))
+            .unwrap_err();
+        assert_eq!(err, MetadataError::InjectedCrash);
+        drop(store);
+        // The op was appended (write-ahead) before the simulated death,
+        // so reopening redoes it.
+        let reopened = PersistentStore::open(&dir).unwrap();
+        assert_eq!(reopened.db().runs().len(), runs_before + 1);
+        reopened.db().check_invariants().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_tail_and_staleness_bites() {
+        let dir = temp_dir("compact");
+        let mut store = PersistentStore::create(&dir, seed_db()).unwrap();
+        let sc = mutate(&mut store);
+        let dump = store.db().dump();
+        let stats = store.compact().unwrap();
+        assert!(stats.tail_ops_before > 0);
+        assert_eq!(stats.tail_ops_after, 0);
+        assert_eq!(stats.generation, 1);
+        assert_eq!(store.db().dump(), dump, "compaction must not change state");
+        // Handles from before the compaction are stale now.
+        assert!(matches!(
+            store.assign(sc, "bob"),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        // Reopening the compacted store yields byte-identical state.
+        drop(store);
+        let reopened = PersistentStore::open(&dir).unwrap();
+        assert_eq!(reopened.db().dump(), dump);
+        assert_eq!(reopened.sequence(), 1);
+        // And the store keeps working at the new generation.
+        let mut reopened = reopened;
+        let sc2 = reopened.db().schedule_container("Create").unwrap()[0];
+        // Container handles were re-minted at generation 1 by load_at.
+        reopened.assign(sc2, "bob").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arena_compact_shrinks_journal_and_bumps_generation() {
+        let mut store = ArenaStore::new(seed_db());
+        store.enable_journal();
+        let sc = mutate(&mut store);
+        // A torn op inflates the live journal relative to applied state.
+        store.inject_crash_after(0);
+        let _ = store.begin_run("Simulate", "bob", WorkDays::new(1.0));
+        store.disarm_crash();
+        // compact() on a crashed arena is refused...
+        assert!(matches!(
+            store.compact(),
+            Err(StoreError::Metadata(MetadataError::InjectedCrash))
+        ));
+        // ...so recover first, as a real session would.
+        let journal = store.take_journal().unwrap();
+        let recovered = MetadataDb::recover(&journal).unwrap();
+        let mut store = ArenaStore::new(recovered);
+        store.enable_journal();
+        let dump = store.db().dump();
+        let stats = store.compact().unwrap();
+        assert_eq!(store.db().dump(), dump);
+        assert_eq!(store.db().generation(), stats.generation);
+        assert!(store.db().journal().is_some());
+        assert!(matches!(
+            store.assign(sc, "bob"),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        // The compacted journal still recovers the same state.
+        let j = store.db().journal().unwrap();
+        assert_eq!(MetadataDb::recover(j).unwrap().dump(), dump);
+    }
+
+    #[test]
+    fn boxed_clone_of_persistent_store_is_detached() {
+        let dir = temp_dir("clone");
+        let mut store = PersistentStore::create(&dir, seed_db()).unwrap();
+        mutate(&mut store);
+        let mut fork = store.boxed_clone();
+        assert!(fork.path().is_none(), "clone must not share the tail file");
+        fork.begin_planning(WorkDays::new(5.0));
+        assert_ne!(fork.db().dump(), store.db().dump());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

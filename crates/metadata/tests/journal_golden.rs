@@ -68,8 +68,27 @@ fn scripted_session() -> MetadataDb {
     db
 }
 
+/// The scripted session with a torn tail: an injected crash fires on
+/// the very next mutation, so its op is appended to the journal but
+/// never applied — exactly the on-disk shape a dead process leaves
+/// behind. Compaction must drop that op.
+fn scripted_session_with_torn_tail() -> MetadataDb {
+    let mut db = scripted_session();
+    db.inject_crash_after(0);
+    let torn = db.begin_run("Create", "alice", WorkDays::new(4.0));
+    assert!(
+        matches!(torn, Err(metadata::MetadataError::InjectedCrash)),
+        "crash injection should fire on the torn op: {torn:?}"
+    );
+    db
+}
+
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../artifacts/journal_session.txt")
+}
+
+fn compacted_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../artifacts/journal_compacted.txt")
 }
 
 #[test]
@@ -106,12 +125,61 @@ fn golden_artifact_replays_into_the_session() {
     assert_eq!(recovered.completed_activities(), vec!["Create", "Simulate"]);
 }
 
-/// Rewrites the golden artifact from the scripted session. Ignored by
-/// default; run explicitly when the format changes deliberately.
 #[test]
-#[ignore = "writes the golden artifact; run explicitly after deliberate format changes"]
+fn compacted_journal_matches_golden_artifact() {
+    let db = scripted_session_with_torn_tail();
+    let actual = Journal::compacted_from(&db).to_text();
+    let path = compacted_golden_path();
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nregenerate with: cargo test -p metadata \
+             --test journal_golden -- --ignored regenerate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.replace("\r\n", "\n"),
+        actual,
+        "compacted journal emission drifted from the committed golden \
+         artifact; if intentional, regenerate with: cargo test -p metadata \
+         --test journal_golden -- --ignored regenerate"
+    );
+}
+
+#[test]
+fn compacted_golden_replays_and_is_strictly_smaller() {
+    let db = scripted_session_with_torn_tail();
+    let raw = db.journal().expect("journal enabled");
+    let golden =
+        std::fs::read_to_string(compacted_golden_path()).expect("compacted artifact exists");
+    let compacted = Journal::parse(&golden).expect("compacted artifact parses");
+
+    // The compacted form is the *minimal* redo journal: replaying it
+    // reproduces the crashed database byte-for-byte, without the torn
+    // tail op the raw journal still carries.
+    let recovered = MetadataDb::recover(&compacted).expect("compacted artifact replays");
+    recovered
+        .check_invariants()
+        .expect("recovered compacted session passes invariants");
+    assert_eq!(recovered.dump(), db.dump());
+    assert!(
+        compacted.len() < raw.len(),
+        "compaction must drop the torn tail op ({} vs {} ops)",
+        compacted.len(),
+        raw.len()
+    );
+}
+
+/// Rewrites both golden artifacts from the scripted sessions. Ignored
+/// by default; run explicitly when the format changes deliberately.
+#[test]
+#[ignore = "writes the golden artifacts; run explicitly after deliberate format changes"]
 fn regenerate() {
     let db = scripted_session();
     let text = db.journal().expect("journal enabled").to_text();
     std::fs::write(golden_path(), text).expect("write golden artifact");
+
+    let torn = scripted_session_with_torn_tail();
+    let compacted = Journal::compacted_from(&torn).to_text();
+    std::fs::write(compacted_golden_path(), compacted).expect("write compacted artifact");
 }

@@ -1,0 +1,212 @@
+//! The shared `Store` conformance suite: every behavioural check runs
+//! identically against both backends ([`ArenaStore`] and
+//! [`PersistentStore`]), so the persistent engine cannot drift from the
+//! in-memory semantics the rest of the workspace is tested against.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use metadata::{ArenaStore, MetadataDb, MetadataError, PersistentStore, Store};
+use schedule::WorkDays;
+use schema::examples;
+
+static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+/// A scratch directory unique per process + call, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "schedflow-conformance-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn seed_db() -> MetadataDb {
+    MetadataDb::for_schema(&examples::circuit_design())
+}
+
+/// Runs `check` once per backend. The persistent backend gets its own
+/// scratch directory; both start from the same schema-initialised
+/// database with journaling on.
+fn for_each_backend(tag: &str, check: impl Fn(&mut dyn Store)) {
+    let mut arena = ArenaStore::new(seed_db());
+    arena.enable_journal();
+    check(&mut arena);
+
+    let scratch = ScratchDir::new(tag);
+    let mut persistent = PersistentStore::create(&scratch.0, seed_db()).unwrap();
+    check(&mut persistent);
+}
+
+/// One planned + executed + completed activity; returns nothing so the
+/// same closure body type-checks for both backends.
+fn lifecycle(store: &mut dyn Store) {
+    let s = store.begin_planning(WorkDays::ZERO);
+    let sc = store
+        .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+        .unwrap();
+    store.assign(sc, "alice").unwrap();
+    let stim = store.store_data("vec.stim", b"0101".to_vec());
+    store
+        .supply_input("stimuli", "bob", WorkDays::ZERO, stim)
+        .unwrap();
+    let run = store
+        .begin_run("Create", "alice", WorkDays::new(0.5))
+        .unwrap();
+    let data = store.store_data("v1.net", b"module".to_vec());
+    let e = store
+        .finish_run(run, "netlist", data, WorkDays::new(1.5), &[])
+        .unwrap();
+    store.link_completion(sc, e).unwrap();
+}
+
+#[test]
+fn conformance_lifecycle_state() {
+    for_each_backend("lifecycle", |store| {
+        lifecycle(store);
+        let db = store.db();
+        assert_eq!(db.entity_count(), 2);
+        assert_eq!(db.schedule_count(), 1);
+        assert_eq!(db.runs().len(), 1);
+        assert_eq!(db.data_count(), 2);
+        assert!(db.current_plan("Create").unwrap().is_complete());
+        assert_eq!(db.actual_start("Create"), Some(WorkDays::new(0.5)));
+        assert_eq!(db.actual_finish("Create"), Some(WorkDays::new(1.5)));
+        db.check_invariants().unwrap();
+    });
+}
+
+#[test]
+fn conformance_validation_errors() {
+    for_each_backend("validation", |store| {
+        assert!(matches!(
+            store.begin_run("Fabricate", "alice", WorkDays::ZERO),
+            Err(MetadataError::UnknownActivity(_))
+        ));
+        let s = store.begin_planning(WorkDays::ZERO);
+        assert!(store
+            .plan_activity(s, "ghost", WorkDays::ZERO, WorkDays::ZERO)
+            .is_err());
+        let data = store.store_data("x", vec![]);
+        let run = store
+            .begin_run("Create", "alice", WorkDays::new(1.0))
+            .unwrap();
+        assert!(matches!(
+            store.finish_run(run, "performance", data, WorkDays::new(2.0), &[]),
+            Err(MetadataError::WrongOutputClass { .. })
+        ));
+        assert!(matches!(
+            store.finish_run(run, "netlist", data, WorkDays::ZERO, &[]),
+            Err(MetadataError::InvalidTimestamps { .. })
+        ));
+    });
+}
+
+#[test]
+fn conformance_journal_replays_to_identical_state() {
+    for_each_backend("journal", |store| {
+        lifecycle(store);
+        let journal = store.take_journal().expect("journaling is on");
+        // The arena journal replays from empty; the persistent tail
+        // replays onto the snapshot. Both equal the live state.
+        match store.path() {
+            None => {
+                let recovered = MetadataDb::recover(&journal).unwrap();
+                assert_eq!(recovered.dump(), store.db().dump());
+            }
+            Some(dir) => {
+                let current: u64 = fs::read_to_string(dir.join("CURRENT"))
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .unwrap();
+                let snapshot =
+                    fs::read_to_string(dir.join(format!("snapshot-{current}.txt"))).unwrap();
+                let mut db = MetadataDb::load_at(&snapshot, current as u32).unwrap();
+                db.apply_journal(&journal).unwrap();
+                assert_eq!(db.dump(), store.db().dump());
+            }
+        }
+    });
+}
+
+#[test]
+fn conformance_injected_crash_keeps_op_in_journal() {
+    for_each_backend("crash", |store| {
+        lifecycle(store);
+        let ops_before = store.db().journal().unwrap().len();
+        let runs_before = store.db().runs().len();
+        store.inject_crash_after(0);
+        assert!(matches!(
+            store.begin_run("Simulate", "bob", WorkDays::new(2.0)),
+            Err(MetadataError::InjectedCrash)
+        ));
+        // Append-before-apply: the journal holds the torn op, the
+        // database state does not.
+        assert_eq!(store.db().journal().unwrap().len(), ops_before + 1);
+        assert_eq!(store.db().runs().len(), runs_before);
+        assert!(store.db().has_crashed());
+    });
+}
+
+#[test]
+fn conformance_compaction_preserves_state_and_stales_handles() {
+    for_each_backend("compact", |store| {
+        let s = store.begin_planning(WorkDays::ZERO);
+        let sc = store
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        let dump = store.db().dump();
+        let gen_before = store.db().generation();
+        let stats = store.compact().unwrap();
+        assert_eq!(store.db().dump(), dump, "compaction must not change state");
+        assert_eq!(stats.generation, store.db().generation());
+        assert!(store.db().generation() > gen_before);
+        // Old handles are stale; re-queried handles are fresh.
+        assert!(matches!(
+            store.assign(sc, "bob"),
+            Err(MetadataError::StaleHandle(_))
+        ));
+        let fresh = store.db().schedule_container("Create").unwrap()[0];
+        store.assign(fresh, "bob").unwrap();
+        store.db().check_invariants().unwrap();
+    });
+}
+
+#[test]
+fn conformance_clone_is_independent() {
+    for_each_backend("clone", |store| {
+        lifecycle(store);
+        let mut fork = store.boxed_clone();
+        let before = store.db().dump();
+        fork.begin_planning(WorkDays::new(9.0));
+        assert_eq!(store.db().dump(), before, "fork writes must not leak back");
+        assert_ne!(fork.db().dump(), before);
+    });
+}
+
+#[test]
+fn conformance_replace_db_swaps_state() {
+    for_each_backend("replace", |store| {
+        lifecycle(store);
+        let mut other = seed_db();
+        other.begin_planning(WorkDays::new(3.0));
+        let expected = other.dump();
+        store.replace_db(other).unwrap();
+        assert_eq!(store.db().dump(), expected);
+        store.checkpoint().unwrap();
+    });
+}

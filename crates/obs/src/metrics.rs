@@ -4,7 +4,8 @@
 //! Unlike tracing, metrics are **always on** — a counter bump is one
 //! atomic add, cheap enough to leave in release builds — and are meant
 //! to replace the ad-hoc stats structs that accreted across crates
-//! (e.g. the per-call counter bumps behind `PlanStats`). Handles are
+//! (e.g. the planner's retired `PlanStats` snapshot and its
+//! accessor shims, fully replaced by `hercules.plan.*`). Handles are
 //! cheap to clone and safe to cache; the registry itself is keyed by
 //! name so distant layers share a metric by naming convention alone
 //! (`hercules.plan.cache_hits`, `journal.appends`, …).

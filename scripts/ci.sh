@@ -12,6 +12,9 @@
 #   chaos   herc chaos over the fixed seed set (failure semantics)
 #   obs     tracing gate: obs property + scenario tests, herc trace
 #           exports of fig8 + chaos validate as JSON
+#   ws      workspace kernel gate: threaded stress + compaction
+#           property + store conformance + B12 scaling tests, then the
+#           end-to-end create->plan->crash->recover->gc->query script
 #   bench   bench_compare: fresh quick run vs committed BENCH_schedflow.json
 #   doc     rustdoc builds cleanly
 #
@@ -26,7 +29,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check golden chaos obs bench doc)
+ALL_STAGES=(fmt clippy check golden chaos obs ws bench doc)
 
 usage() {
     echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
@@ -121,6 +124,22 @@ stage_obs() {
     else
         echo "obs stage: python3 not found; skipping external JSON parse check" >&2
     fi
+}
+
+stage_ws() {
+    # Workspace-kernel gate: interleaved multi-session determinism,
+    # snapshot + tail ≡ full replay on chaos seeds, both store
+    # backends through the shared conformance suite, and the B12
+    # lock-granularity scaling floor (≥2x throughput 1 -> 4 threads).
+    cargo test -q --offline --release -p metadata \
+        --test store_conformance || return 1
+    cargo test -q --offline --release -p hercules \
+        --test workspace_stress --test compaction_property || return 1
+    cargo test -q --offline --release -p bench \
+        --test workspace_scaling || return 1
+    # End-to-end lifecycle through the user-facing CLI, torn-tail
+    # crash included.
+    scripts/ws_e2e.sh
 }
 
 stage_bench() {

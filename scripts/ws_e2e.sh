@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end workspace lifecycle through the user-facing CLI:
+# create -> plan/execute -> (simulated) crash -> recover -> gc ->
+# query. The crash is a torn journal append — a half-written line at
+# the end of the project's tail file, exactly what a process killed
+# mid-write leaves behind. Reopening must shrug it off (and truncate
+# it), `herc gc` must fold the surviving ops into a fresh snapshot,
+# and every status query across the lifecycle must agree.
+#
+# Run directly or via `scripts/ci.sh --stage ws`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HERC=${HERC:-"cargo run -q --release --offline -p hercules --bin herc --"}
+ROOT=target/ws_e2e
+rm -rf "$ROOT"
+mkdir -p "$ROOT"
+
+cat > "$ROOT/counter.schema" <<'EOF'
+data netlist; data stimuli; data performance;
+tool netlist_editor; tool simulator;
+activity Create:   netlist = netlist_editor();
+activity Simulate: performance = simulator(netlist, stimuli);
+EOF
+
+# -- create two projects, execute one, plan the other ------------------
+$HERC ws "$ROOT/ws" create alpha "$ROOT/counter.schema" --seed 7
+$HERC ws "$ROOT/ws" create beta "$ROOT/counter.schema" --seed 8
+$HERC ws "$ROOT/ws" run alpha "$ROOT/counter.schema" performance --seed 7 \
+    > "$ROOT/run_alpha.txt"
+$HERC ws "$ROOT/ws" plan beta "$ROOT/counter.schema" performance --seed 8 \
+    > /dev/null
+$HERC ws "$ROOT/ws" status alpha "$ROOT/counter.schema" --seed 7 \
+    > "$ROOT/status_before.txt"
+
+# -- crash: torn half-line at the end of alpha's journal tail ----------
+tail_file=$(ls "$ROOT"/ws/alpha/tail-*.journal | head -n 1)
+printf 'begin-run Create al' >> "$tail_file"
+
+# -- recover: reopening tolerates the torn line, state is unchanged ----
+$HERC ws "$ROOT/ws" status alpha "$ROOT/counter.schema" --seed 7 \
+    > "$ROOT/status_recovered.txt"
+cmp "$ROOT/status_before.txt" "$ROOT/status_recovered.txt" || {
+    echo "ws_e2e: status diverged across crash recovery" >&2
+    exit 1
+}
+
+# -- gc: fold each tail into a fresh snapshot --------------------------
+$HERC gc "$ROOT/ws" | tee "$ROOT/gc1.txt"
+grep -q '^alpha: folded' "$ROOT/gc1.txt" || {
+    echo "ws_e2e: gc did not report alpha" >&2
+    exit 1
+}
+if grep -q '^alpha: folded 0 ' "$ROOT/gc1.txt"; then
+    echo "ws_e2e: alpha had an empty tail before gc — nothing was journaled" >&2
+    exit 1
+fi
+# A second pass must find nothing left to fold.
+$HERC gc "$ROOT/ws" > "$ROOT/gc2.txt"
+if grep -qv 'folded 0 tail op(s)' "$ROOT/gc2.txt"; then
+    echo "ws_e2e: second gc still had tail ops to fold:" >&2
+    cat "$ROOT/gc2.txt" >&2
+    exit 1
+fi
+
+# -- query at the new generation: identical state, still writable ------
+$HERC ws "$ROOT/ws" status alpha "$ROOT/counter.schema" --seed 7 \
+    > "$ROOT/status_after_gc.txt"
+cmp "$ROOT/status_before.txt" "$ROOT/status_after_gc.txt" || {
+    echo "ws_e2e: status diverged across gc" >&2
+    exit 1
+}
+$HERC ws "$ROOT/ws" plan beta "$ROOT/counter.schema" performance --seed 8 \
+    > /dev/null
+$HERC ws "$ROOT/ws" list
+
+echo "ws_e2e: OK"
