@@ -21,14 +21,15 @@ pub mod queries;
 pub mod recover_journal;
 pub mod replan;
 pub mod replan_incremental;
+pub mod serve_load;
 pub mod trace_overhead;
 pub mod workspace_concurrent;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B12). The calibration spin must run first: it warms the CPU for
+/// B1–B13). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 13] = [
+pub const KERNELS: [&str; 14] = [
     "calibrate",
     "cpm",
     "planning",
@@ -42,6 +43,7 @@ pub const KERNELS: [&str; 13] = [
     "recover_journal",
     "trace_overhead",
     "workspace_concurrent",
+    "serve_load",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -86,6 +88,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("workspace_concurrent") {
         records.extend(workspace_concurrent::run(quick));
+    }
+    if wanted("serve_load") {
+        records.extend(serve_load::run(quick));
     }
     records
 }

@@ -102,6 +102,27 @@ impl ChaosScenario {
         &self.target
     }
 
+    /// The scenario's task schema (for harnesses that rebuild the
+    /// session elsewhere, e.g. behind the workspace server).
+    pub fn schema(&self) -> &TaskSchema {
+        &self.schema
+    }
+
+    /// The scenario's team size.
+    pub fn team_size(&self) -> usize {
+        self.team_size
+    }
+
+    /// The seed for the project's tool simulation.
+    pub fn project_seed(&self) -> u64 {
+        self.project_seed
+    }
+
+    /// The seed for the scenario's fault plan.
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_seed
+    }
+
     /// Runs the scenario and collects property violations.
     pub fn run(&self) -> ChaosReport {
         let mut report = ChaosReport {

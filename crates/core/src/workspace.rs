@@ -77,6 +77,16 @@ pub enum WorkspaceError {
     UnknownProject(String),
     /// The project name is unusable as a registry key / directory name.
     InvalidName(String),
+    /// A persisted project has no saved session configuration
+    /// (`project.conf`) — it predates config persistence or the file
+    /// was corrupted; reopen it with an explicit schema via
+    /// [`Workspace::open_project`].
+    SessionConfig {
+        /// The project whose config is missing or unreadable.
+        project: String,
+        /// What went wrong.
+        message: String,
+    },
     /// A storage-engine failure while creating or opening the
     /// project's store.
     Store(StoreError),
@@ -97,6 +107,11 @@ impl fmt::Display for WorkspaceError {
                 f,
                 "invalid project name {n:?}: use non-empty names of letters, \
                  digits, '-', '_' or '.'"
+            ),
+            WorkspaceError::SessionConfig { project, message } => write!(
+                f,
+                "project {project:?} has no usable saved session config: {message} \
+                 (reopen it with an explicit schema)"
             ),
             WorkspaceError::Store(e) => write!(f, "store: {e}"),
             WorkspaceError::Hercules(e) => write!(f, "manager: {e}"),
@@ -242,7 +257,15 @@ impl Workspace {
                 arena.enable_journal();
                 Box::new(arena)
             }
-            Some(root) => Box::new(PersistentStore::create(root.join(name), db)?),
+            Some(root) => {
+                let dir = root.join(name);
+                let store = PersistentStore::create(&dir, db)?;
+                // Persist the session configuration beside the store so
+                // the project can be reopened without re-supplying the
+                // schema (`open_saved_project`, `herc serve`).
+                write_project_conf(&dir, &schema, team.len(), seed)?;
+                Box::new(store)
+            }
         };
         self.register(name, Hercules::with_store(schema, tools, team, seed, store))
     }
@@ -268,11 +291,89 @@ impl Workspace {
         let Some(root) = &self.root else {
             return Err(WorkspaceError::UnknownProject(name.to_owned()));
         };
-        let store = PersistentStore::open(root.join(name))?;
+        let dir = root.join(name);
+        // A missing store directory is a *name* error, not an I/O
+        // accident: report it as the typed `UnknownProject` so callers
+        // (CLI, server) can map it to a clean not-found.
+        if !dir.join("CURRENT").is_file() {
+            return Err(WorkspaceError::UnknownProject(name.to_owned()));
+        }
+        let store = PersistentStore::open(dir)?;
         self.register(
             name,
             Hercules::with_store(schema, tools, team, seed, Box::new(store)),
         )
+    }
+
+    /// Reopens a persisted project using the session configuration
+    /// saved at create time (`root/<name>/project.conf`: schema source,
+    /// team size, seed) — no schema file needed. This is how the
+    /// workspace server re-serves projects across process restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::UnknownProject`] if the project is not on
+    /// disk (or the workspace is in-memory),
+    /// [`WorkspaceError::DuplicateProject`] if already registered,
+    /// [`WorkspaceError::SessionConfig`] if the saved config is
+    /// missing or unreadable, or [`WorkspaceError::Store`] if the
+    /// store fails to open.
+    pub fn open_saved_project(&self, name: &str) -> Result<Arc<Project>, WorkspaceError> {
+        validate_name(name)?;
+        let Some(root) = &self.root else {
+            return Err(WorkspaceError::UnknownProject(name.to_owned()));
+        };
+        let dir = root.join(name);
+        if !dir.join("CURRENT").is_file() {
+            return Err(WorkspaceError::UnknownProject(name.to_owned()));
+        }
+        let (schema, team_size, seed) = read_project_conf(&dir, name)?;
+        let store = PersistentStore::open(dir)?;
+        self.register(
+            name,
+            Hercules::with_store(
+                schema,
+                ToolLibrary::standard(),
+                Team::of_size(team_size),
+                seed,
+                Box::new(store),
+            ),
+        )
+    }
+
+    /// Unregisters `name` and, for persistent workspaces, deletes its
+    /// store directory — the D in the workspace's CRUD surface. The
+    /// project may be registered, on disk, or both.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::UnknownProject`] if the name is neither
+    /// registered nor on disk; [`WorkspaceError::Store`] if the
+    /// directory exists but cannot be removed.
+    pub fn remove_project(&self, name: &str) -> Result<(), WorkspaceError> {
+        validate_name(name)?;
+        let registered = {
+            let mut projects = self.projects.write().unwrap_or_else(|e| e.into_inner());
+            projects.remove(name).is_some()
+        };
+        let mut on_disk = false;
+        if let Some(root) = &self.root {
+            let dir = root.join(name);
+            if dir.is_dir() {
+                on_disk = true;
+                fs::remove_dir_all(&dir).map_err(|e| {
+                    WorkspaceError::Store(StoreError::Io {
+                        path: dir,
+                        message: e.to_string(),
+                    })
+                })?;
+            }
+        }
+        if registered || on_disk {
+            Ok(())
+        } else {
+            Err(WorkspaceError::UnknownProject(name.to_owned()))
+        }
     }
 
     fn register(&self, name: &str, manager: Hercules) -> Result<Arc<Project>, WorkspaceError> {
@@ -351,6 +452,71 @@ impl Workspace {
         names.sort();
         names
     }
+}
+
+/// File name of the saved session configuration inside a persisted
+/// project's directory.
+const PROJECT_CONF: &str = "project.conf";
+
+/// Magic first line of the saved session config.
+const PROJECT_CONF_MAGIC: &str = "schedflow-project/v1";
+
+/// Persists the session configuration (schema source, team size,
+/// seed) beside a project's store, atomically.
+fn write_project_conf(
+    dir: &Path,
+    schema: &TaskSchema,
+    team_size: usize,
+    seed: u64,
+) -> Result<(), WorkspaceError> {
+    // `to_source()` omits the `schema NAME;` declaration — prepend it
+    // so the reopened project keeps its schema name.
+    let text = format!(
+        "{PROJECT_CONF_MAGIC}\nteam {team_size}\nseed {seed}\nschema:\nschema {};\n{}",
+        schema.name(),
+        schema.to_source()
+    );
+    let path = dir.join(PROJECT_CONF);
+    obs::export::write_atomic(&path, &text).map_err(|e| {
+        WorkspaceError::Store(StoreError::Io {
+            path,
+            message: e.to_string(),
+        })
+    })
+}
+
+/// Reads a saved session configuration back. The schema is re-parsed
+/// from its [`TaskSchema::to_source`] form (pinned round-trippable by
+/// the schema crate's parser property suite).
+fn read_project_conf(dir: &Path, name: &str) -> Result<(TaskSchema, usize, u64), WorkspaceError> {
+    let conf_err = |message: String| WorkspaceError::SessionConfig {
+        project: name.to_owned(),
+        message,
+    };
+    let path = dir.join(PROJECT_CONF);
+    let text = fs::read_to_string(&path)
+        .map_err(|e| conf_err(format!("cannot read {}: {e}", path.display())))?;
+    let mut lines = text.splitn(5, '\n');
+    if lines.next() != Some(PROJECT_CONF_MAGIC) {
+        return Err(conf_err(format!("missing {PROJECT_CONF_MAGIC:?} header")));
+    }
+    let team_size: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("team "))
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| conf_err("bad or missing 'team N' line".to_owned()))?;
+    let seed: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("seed "))
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| conf_err("bad or missing 'seed N' line".to_owned()))?;
+    if lines.next() != Some("schema:") {
+        return Err(conf_err("missing 'schema:' marker".to_owned()));
+    }
+    let source = lines.next().unwrap_or_default();
+    let schema =
+        schema::parse_schema(source).map_err(|e| conf_err(format!("schema re-parse: {e}")))?;
+    Ok((schema, team_size.max(1), seed))
 }
 
 fn validate_name(name: &str) -> Result<(), WorkspaceError> {
@@ -477,6 +643,108 @@ mod tests {
         let stats = ws.gc_all().unwrap();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].1.tail_ops_after, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_missing_project_is_typed_unknown() {
+        let root = scratch("unknown");
+        fs::create_dir_all(&root).unwrap();
+        let ws = Workspace::persistent(&root);
+        // Registered root, unregistered name: typed UnknownProject,
+        // not a raw store I/O error.
+        assert!(matches!(
+            ws.open_project(
+                "ghost",
+                examples::circuit_design(),
+                ToolLibrary::standard(),
+                Team::of_size(1),
+                1,
+            ),
+            Err(WorkspaceError::UnknownProject(n)) if n == "ghost"
+        ));
+        assert!(matches!(
+            ws.open_saved_project("ghost"),
+            Err(WorkspaceError::UnknownProject(_))
+        ));
+        // Missing root entirely: same typed error.
+        let ws = Workspace::persistent(root.join("nope"));
+        assert!(matches!(
+            ws.open_saved_project("ghost"),
+            Err(WorkspaceError::UnknownProject(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn saved_session_config_roundtrips() {
+        let root = scratch("conf");
+        {
+            let ws = Workspace::persistent(&root);
+            let alu = ws
+                .create_project(
+                    "alu",
+                    examples::circuit_design(),
+                    ToolLibrary::standard(),
+                    Team::of_size(3),
+                    11,
+                )
+                .unwrap();
+            alu.update(|h| {
+                h.plan("performance")?;
+                h.execute("performance")
+            })
+            .unwrap();
+        }
+        // Reopen with *no* schema in hand: the saved config supplies
+        // schema, team size, and seed.
+        let ws = Workspace::persistent(&root);
+        let alu = ws.open_saved_project("alu").unwrap();
+        alu.read(|h| {
+            assert_eq!(h.schema().name(), "circuit");
+            assert_eq!(h.team().len(), 3);
+            assert!(h.db().current_plan("Create").unwrap().is_complete());
+        });
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn session_config_corruption_is_typed() {
+        let root = scratch("confbad");
+        {
+            let ws = Workspace::persistent(&root);
+            add(&ws, "alu");
+        }
+        fs::write(root.join("alu").join(super::PROJECT_CONF), "garbage\n").unwrap();
+        let ws = Workspace::persistent(&root);
+        assert!(matches!(
+            ws.open_saved_project("alu"),
+            Err(WorkspaceError::SessionConfig { project, .. }) if project == "alu"
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn remove_project_unregisters_and_deletes() {
+        // In-memory: registry removal only.
+        let ws = Workspace::in_memory();
+        add(&ws, "alu");
+        ws.remove_project("alu").unwrap();
+        assert!(ws.project("alu").is_none());
+        assert!(matches!(
+            ws.remove_project("alu"),
+            Err(WorkspaceError::UnknownProject(_))
+        ));
+        // Persistent: the store directory goes too, even when the
+        // project was never registered in this process.
+        let root = scratch("remove");
+        {
+            let ws = Workspace::persistent(&root);
+            add(&ws, "alu");
+        }
+        let ws = Workspace::persistent(&root);
+        ws.remove_project("alu").unwrap();
+        assert_eq!(Workspace::on_disk_projects(&root), Vec::<String>::new());
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,605 @@
+//! Request routing: maps the HTTP surface onto the
+//! [`hercules::Workspace`] kernel.
+//!
+//! The server is a *pure transport*: every response body is produced
+//! by a rendering function over kernel results, and the differential
+//! suite (`tests/serve_differential.rs`) holds the server to
+//! byte-identical output against direct in-process calls. Keep the
+//! render functions (`status_body`, `plan_body`, `run_body`,
+//! `replan_body`) free of any server state.
+//!
+//! ## Routes
+//!
+//! | Method | Path | Effect |
+//! |---|---|---|
+//! | GET | `/healthz` | liveness (no auth) |
+//! | GET | `/metrics` | obs metrics (JSON; `?format=text` for console form) |
+//! | GET | `/projects` | registered + on-disk project names, one per line |
+//! | POST | `/projects/{name}?team=N&seed=N` | create; body = schema source |
+//! | DELETE | `/projects/{name}` | unregister and delete |
+//! | GET | `/projects/{name}/status` | status report (CLI `ws status` bytes) |
+//! | GET | `/projects/{name}/export` | metadata-db dump |
+//! | POST | `/projects/{name}/plan?target=T` | propose a schedule |
+//! | POST | `/projects/{name}/replan?target=T` | replan (coalesced per project) |
+//! | POST | `/projects/{name}/run?target=T` | plan + execute |
+//! | GET | `/trace/{scenario}?seed=N` | record a trace (503 while busy) |
+//!
+//! Kernel-level failures (unknown target, planning errors) map to 422;
+//! registry misses to 404; auth failures to 401; admission to 429.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use hercules::{
+    ExecutionReport, Hercules, Project, ReplanOutcome, SchedulePlan, Workspace, WorkspaceError,
+};
+use obs::Metrics;
+use schema::parse_schema;
+use simtools::workload::Team;
+use simtools::ToolLibrary;
+
+use crate::auth::{Admission, AuthError, TokenRegistry};
+use crate::batch::{Coalescer, Role};
+use crate::http::{Request, Response};
+
+/// Server-side behaviour knobs (transport only — never visible in
+/// response bodies).
+#[derive(Debug)]
+pub struct ApiConfig {
+    /// Bearer-token registry; empty ⇒ open mode.
+    pub tokens: TokenRegistry,
+    /// Max in-flight requests per tenant before 429.
+    pub per_tenant_cap: usize,
+    /// Simulated interactive-session latency, spent while holding the
+    /// project lock (mirrors the B12 `workspace_concurrent` kernel so
+    /// worker-scaling benches measure concurrency, not CPU).
+    pub session_latency: Duration,
+}
+
+impl Default for ApiConfig {
+    fn default() -> Self {
+        ApiConfig {
+            tokens: TokenRegistry::default(),
+            per_tenant_cap: 64,
+            session_latency: Duration::ZERO,
+        }
+    }
+}
+
+struct ApiMetrics {
+    requests: obs::Counter,
+    rejected_auth: obs::Counter,
+    rejected_busy: obs::Counter,
+    replan_requests: obs::Counter,
+    replan_passes: obs::Counter,
+    replan_coalesced: obs::Counter,
+}
+
+fn metrics() -> &'static ApiMetrics {
+    static METRICS: OnceLock<ApiMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ApiMetrics {
+        requests: Metrics::counter("serve.requests"),
+        rejected_auth: Metrics::counter("serve.rejected.auth"),
+        rejected_busy: Metrics::counter("serve.rejected.busy"),
+        replan_requests: Metrics::counter("serve.replan.requests"),
+        replan_passes: Metrics::counter("serve.replan.kernel_passes"),
+        replan_coalesced: Metrics::counter("serve.replan.coalesced"),
+    })
+}
+
+/// Per-endpoint latency histogram, in milliseconds.
+fn latency_histogram(class: &str) -> obs::Histogram {
+    Metrics::histogram(
+        &format!("serve.latency.{class}"),
+        &[
+            0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0,
+        ],
+    )
+}
+
+/// The routing core shared by every worker thread.
+pub struct Api {
+    ws: Arc<Workspace>,
+    tokens: TokenRegistry,
+    admission: Admission,
+    coalescer: Coalescer,
+    session_latency: Duration,
+    trace_busy: AtomicBool,
+}
+
+impl Api {
+    pub fn new(ws: Arc<Workspace>, config: ApiConfig) -> Api {
+        Api {
+            ws,
+            tokens: config.tokens,
+            admission: Admission::new(config.per_tenant_cap),
+            coalescer: Coalescer::new(),
+            session_latency: config.session_latency,
+            trace_busy: AtomicBool::new(false),
+        }
+    }
+
+    /// Routes one parsed request to a response. Total: every branch
+    /// returns a well-formed `Response`.
+    pub fn handle(&self, req: &Request) -> Response {
+        metrics().requests.inc();
+        let class = route_class(req);
+        let start = Instant::now();
+        let response = self.dispatch(req, class);
+        latency_histogram(class).observe(start.elapsed().as_secs_f64() * 1e3);
+        response
+    }
+
+    fn dispatch(&self, req: &Request, class: &str) -> Response {
+        let _span = obs::span!("serve.request", endpoint = class);
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        if segments.as_slice() == ["healthz"] {
+            return match req.method.as_str() {
+                "GET" => Response::text(200, "ok\n"),
+                _ => Response::error(405, "method not allowed"),
+            };
+        }
+        // Everything past the liveness probe is authenticated and
+        // admission-controlled.
+        let tenant = match self.tokens.authenticate(req.header("authorization")) {
+            Ok(tenant) => tenant,
+            Err(AuthError::Missing) => {
+                metrics().rejected_auth.inc();
+                return Response::error(401, "missing bearer token");
+            }
+            Err(AuthError::Invalid) => {
+                metrics().rejected_auth.inc();
+                return Response::error(401, "invalid bearer token");
+            }
+        };
+        let Some(_guard) = self.admission.try_enter(&tenant) else {
+            metrics().rejected_busy.inc();
+            return Response::error(429, "tenant at in-flight cap, retry later");
+        };
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["metrics"]) => {
+                if req.query_param("format") == Some("text") {
+                    Response::text(200, Metrics::render())
+                } else {
+                    Response::json(200, Metrics::to_json())
+                }
+            }
+            ("GET", ["projects"]) => self.list_projects(),
+            ("POST", ["projects", name]) => self.create_project(name, req),
+            ("DELETE", ["projects", name]) => self.remove_project(name),
+            ("GET", ["projects", name, "status"]) => self.project_status(name),
+            ("GET", ["projects", name, "export"]) => self.project_export(name),
+            ("POST", ["projects", name, "plan"]) => self.project_plan(name, req),
+            ("POST", ["projects", name, "replan"]) => self.project_replan(name, req),
+            ("POST", ["projects", name, "run"]) => self.project_run(name, req),
+            ("GET", ["trace", scenario]) => self.record_trace(scenario, req),
+            // Known resource, wrong verb → 405; anything else → 404.
+            (_, ["metrics"] | ["projects"] | ["projects", ..] | ["trace", _]) => {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    }
+
+    fn list_projects(&self) -> Response {
+        let mut names = self.ws.names();
+        if let Some(root) = self.ws.root() {
+            for name in Workspace::on_disk_projects(root) {
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        let mut body = String::new();
+        for name in names {
+            body.push_str(&name);
+            body.push('\n');
+        }
+        Response::text(200, body)
+    }
+
+    fn create_project(&self, name: &str, req: &Request) -> Response {
+        let team = match parse_num(req, "team", 2usize) {
+            Ok(n) => n.max(1),
+            Err(resp) => return resp,
+        };
+        let seed = match parse_num(req, "seed", 42u64) {
+            Ok(n) => n,
+            Err(resp) => return resp,
+        };
+        let source = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "schema body is not UTF-8"),
+        };
+        if source.trim().is_empty() {
+            return Response::error(422, "empty schema body");
+        }
+        let schema = match parse_schema(source) {
+            Ok(schema) => schema,
+            Err(e) => return Response::error(422, format!("schema: {e}")),
+        };
+        match self.ws.create_project(
+            name,
+            schema,
+            ToolLibrary::standard(),
+            Team::of_size(team),
+            seed,
+        ) {
+            Ok(_) => Response::text(201, format!("project {name:?} created\n")),
+            Err(e) => workspace_error(e),
+        }
+    }
+
+    fn remove_project(&self, name: &str) -> Response {
+        match self.ws.remove_project(name) {
+            Ok(()) => Response::text(200, format!("project {name:?} removed\n")),
+            Err(e) => workspace_error(e),
+        }
+    }
+
+    /// Registry lookup with re-open: a restarted server lazily
+    /// re-registers on-disk projects from their saved session config.
+    fn project(&self, name: &str) -> Result<Arc<Project>, Response> {
+        if let Some(project) = self.ws.project(name) {
+            return Ok(project);
+        }
+        if self.ws.root().is_none() {
+            return Err(workspace_error(WorkspaceError::UnknownProject(
+                name.to_owned(),
+            )));
+        }
+        match self.ws.open_saved_project(name) {
+            Ok(project) => Ok(project),
+            // Two requests raced to re-open: the loser uses the
+            // winner's registration.
+            Err(WorkspaceError::DuplicateProject(_)) => self
+                .ws
+                .project(name)
+                .ok_or_else(|| Response::error(500, "project registry race")),
+            Err(e) => Err(workspace_error(e)),
+        }
+    }
+
+    /// Burns the configured simulated session latency (no-op at zero).
+    fn session_work(&self) {
+        if !self.session_latency.is_zero() {
+            std::thread::sleep(self.session_latency);
+        }
+    }
+
+    fn project_status(&self, name: &str) -> Response {
+        let project = match self.project(name) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let body = project.read(|h| {
+            self.session_work();
+            status_body(h)
+        });
+        Response::text(200, body)
+    }
+
+    fn project_export(&self, name: &str) -> Response {
+        let project = match self.project(name) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let body = project.read(|h| h.db().dump());
+        Response::text(200, body)
+    }
+
+    fn project_plan(&self, name: &str, req: &Request) -> Response {
+        let Some(target) = req.query_param("target") else {
+            return Response::error(400, "plan needs ?target=");
+        };
+        let project = match self.project(name) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let result = project.update(|h| {
+            self.session_work();
+            h.plan(target)
+        });
+        match result {
+            Ok(plan) => Response::text(200, plan_body(name, target, &plan)),
+            Err(e) => Response::error(422, e.to_string()),
+        }
+    }
+
+    fn project_replan(&self, name: &str, req: &Request) -> Response {
+        let Some(target) = req.query_param("target") else {
+            return Response::error(400, "replan needs ?target=");
+        };
+        metrics().replan_requests.inc();
+        let project = match self.project(name) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let target = target.to_owned();
+        let (result, role) = self.coalescer.run(name, || {
+            metrics().replan_passes.inc();
+            project
+                .update(|h| {
+                    self.session_work();
+                    h.replan(&target)
+                })
+                .map(|outcome| replan_body(&target, &outcome))
+                .map_err(|e| e.to_string())
+        });
+        if role == Role::Follower {
+            metrics().replan_coalesced.inc();
+        }
+        match result {
+            Ok(body) => Response::text(200, body),
+            Err(message) => Response::error(422, message),
+        }
+    }
+
+    fn project_run(&self, name: &str, req: &Request) -> Response {
+        let Some(target) = req.query_param("target") else {
+            return Response::error(400, "run needs ?target=");
+        };
+        let project = match self.project(name) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let result = project.update(|h| {
+            self.session_work();
+            h.plan(target)?;
+            let report = h.execute(target)?;
+            Ok::<_, hercules::HerculesError>(run_body(name, &report, h))
+        });
+        match result {
+            Ok(body) => Response::text(200, body),
+            Err(e) => Response::error(422, e.to_string()),
+        }
+    }
+
+    fn record_trace(&self, scenario: &str, req: &Request) -> Response {
+        let seed = match parse_num(req, "seed", hercules::trace::CHAOS_TRACE_SEED) {
+            Ok(n) => n,
+            Err(resp) => return resp,
+        };
+        // The trace collector is process-global and exclusive; a
+        // second recording would block a worker for the whole run, so
+        // answer 503 instead.
+        if self
+            .trace_busy
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Response::error(503, "trace collector busy, retry later");
+        }
+        let result = hercules::trace::record(scenario, seed);
+        self.trace_busy.store(false, Ordering::Release);
+        match result {
+            Ok(trace) => match trace.validate() {
+                Ok(()) => Response::json(
+                    200,
+                    obs::export::to_chrome(&trace, obs::export::Timebase::Logical),
+                ),
+                Err(e) => Response::error(500, format!("trace invalid: {e}")),
+            },
+            Err(e) => Response::error(422, e),
+        }
+    }
+}
+
+/// Parses an optional numeric query parameter, or answers 400.
+fn parse_num<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T, Response>
+where
+    T::Err: std::fmt::Display,
+{
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| Response::error(400, format!("bad {key:?}: {e}"))),
+    }
+}
+
+/// Maps registry errors onto transport statuses.
+fn workspace_error(e: WorkspaceError) -> Response {
+    let status = match &e {
+        WorkspaceError::UnknownProject(_) => 404,
+        WorkspaceError::DuplicateProject(_) => 409,
+        WorkspaceError::InvalidName(_) => 400,
+        WorkspaceError::Hercules(_) => 422,
+        WorkspaceError::SessionConfig { .. } | WorkspaceError::Store(_) => 500,
+        // `WorkspaceError` is non_exhaustive; future variants are
+        // server faults until mapped.
+        _ => 500,
+    };
+    Response::error(status, e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Rendering: shared with the differential suite. These are the *only*
+// places response bodies are produced from kernel results.
+// ---------------------------------------------------------------------
+
+/// The status body: byte-identical to `herc ws status` output.
+pub fn status_body(h: &Hercules) -> String {
+    let status = h.status();
+    format!("{status}variance: {}\n", status.variance())
+}
+
+/// The plan body: byte-identical to `herc ws plan` output.
+pub fn plan_body(project: &str, target: &str, plan: &SchedulePlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("proposed schedule for {target:?} in project {project:?}:\n");
+    for pa in plan.activities() {
+        let _ = writeln!(
+            out,
+            "  {:<16} [{} .. {}] {} {}",
+            pa.activity,
+            pa.start,
+            pa.start + pa.duration,
+            if pa.critical { "*" } else { " " },
+            pa.assignee
+        );
+    }
+    let _ = writeln!(out, "proposed finish: day {}", plan.project_finish());
+    out
+}
+
+/// The replan body: new schedule-instance versions plus the proposed
+/// finish.
+pub fn replan_body(target: &str, outcome: &ReplanOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "replanned {} activit{} for {target:?}:\n",
+        outcome.len(),
+        if outcome.len() == 1 { "y" } else { "ies" }
+    );
+    for (activity, id) in &outcome.replanned {
+        let _ = writeln!(out, "  {activity:<16} {id}");
+    }
+    let _ = writeln!(out, "proposed finish: day {}", outcome.project_finish);
+    out
+}
+
+/// The run body: the `herc ws run` summary line plus the post-run
+/// status report.
+pub fn run_body(project: &str, report: &ExecutionReport, h: &Hercules) -> String {
+    format!(
+        "project {project:?}: executed {} activities in {} runs, finished day {}\n\n{}",
+        report.activities().len(),
+        report.total_runs(),
+        report.finished_at(),
+        status_body(h)
+    )
+}
+
+/// Stable endpoint class for metrics/latency labels.
+fn route_class(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        (_, ["healthz"]) => "healthz",
+        (_, ["metrics"]) => "metrics",
+        ("GET", ["projects"]) => "projects.list",
+        ("POST", ["projects", _]) => "projects.create",
+        ("DELETE", ["projects", _]) => "projects.remove",
+        (_, ["projects", _, "status"]) => "status",
+        (_, ["projects", _, "export"]) => "export",
+        (_, ["projects", _, "plan"]) => "plan",
+        (_, ["projects", _, "replan"]) => "replan",
+        (_, ["projects", _, "run"]) => "run",
+        (_, ["trace", ..]) => "trace",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::examples;
+
+    fn request(method: &str, path_q: &str, body: &[u8]) -> Request {
+        let raw = format!(
+            "{method} {path_q} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(body);
+        match crate::http::read_request(&mut std::io::Cursor::new(bytes)) {
+            crate::http::ReadOutcome::Request(req) => req,
+            other => panic!("test request failed to parse: {other:?}"),
+        }
+    }
+
+    fn api() -> Api {
+        Api::new(Arc::new(Workspace::in_memory()), ApiConfig::default())
+    }
+
+    #[test]
+    fn healthz_is_unauthenticated() {
+        let tokens = TokenRegistry::parse("alice:tok").unwrap();
+        let api = Api::new(
+            Arc::new(Workspace::in_memory()),
+            ApiConfig {
+                tokens,
+                ..ApiConfig::default()
+            },
+        );
+        let resp = api.handle(&request("GET", "/healthz", b""));
+        assert_eq!(resp.status, 200);
+        // …but everything else requires the bearer token.
+        let resp = api.handle(&request("GET", "/projects", b""));
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn project_lifecycle_over_the_api() {
+        let api = api();
+        let source = examples::circuit_design().to_source();
+        let source = format!("schema circuit;\n{source}");
+        let resp = api.handle(&request(
+            "POST",
+            "/projects/alu?team=2&seed=7",
+            source.as_bytes(),
+        ));
+        assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+        // Duplicate create → 409.
+        let resp = api.handle(&request("POST", "/projects/alu", source.as_bytes()));
+        assert_eq!(resp.status, 409);
+        // Listing shows it.
+        let resp = api.handle(&request("GET", "/projects", b""));
+        assert_eq!(String::from_utf8_lossy(&resp.body), "alu\n");
+        // Plan → run → status.
+        let resp = api.handle(&request(
+            "POST",
+            "/projects/alu/plan?target=performance",
+            b"",
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let resp = api.handle(&request(
+            "POST",
+            "/projects/alu/run?target=performance",
+            b"",
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let resp = api.handle(&request("GET", "/projects/alu/status", b""));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains("variance: "));
+        // Export dumps the db.
+        let resp = api.handle(&request("GET", "/projects/alu/export", b""));
+        assert!(String::from_utf8_lossy(&resp.body).starts_with("metadata-db v1"));
+        // Remove, then 404.
+        let resp = api.handle(&request("DELETE", "/projects/alu", b""));
+        assert_eq!(resp.status, 200);
+        let resp = api.handle(&request("GET", "/projects/alu/status", b""));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn kernel_errors_map_to_422() {
+        let api = api();
+        let source = examples::circuit_design().to_source();
+        let source = format!("schema circuit;\n{source}");
+        api.handle(&request("POST", "/projects/alu", source.as_bytes()));
+        let resp = api.handle(&request("POST", "/projects/alu/plan?target=nonsense", b""));
+        assert_eq!(resp.status, 422);
+        let resp = api.handle(&request("POST", "/projects/alu/plan", b""));
+        assert_eq!(resp.status, 400, "missing target is a request error");
+    }
+
+    #[test]
+    fn bad_schema_bodies_are_422_not_500() {
+        let api = api();
+        let resp = api.handle(&request("POST", "/projects/alu", b"entity gibberish {{{"));
+        assert_eq!(resp.status, 422);
+        let resp = api.handle(&request("POST", "/projects/alu", b""));
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn unknown_routes_and_verbs() {
+        let api = api();
+        assert_eq!(api.handle(&request("GET", "/nope", b"")).status, 404);
+        assert_eq!(api.handle(&request("PATCH", "/projects", b"")).status, 405);
+        assert_eq!(api.handle(&request("POST", "/healthz", b"")).status, 405);
+    }
+}

@@ -1,0 +1,194 @@
+//! Tenant authentication and admission control.
+//!
+//! Tokens are configured as `tenant:token` lines (comments with `#`,
+//! blank lines ignored). A request authenticates with
+//! `Authorization: Bearer <token>`; the matching tenant name becomes
+//! the admission-control identity. With no tokens configured the
+//! server runs *open*: every request is admitted as the shared
+//! `"anonymous"` tenant (useful for local benches and tests).
+//!
+//! Admission control is a per-tenant in-flight cap: each request holds
+//! an [`AdmissionGuard`] for its lifetime, and when a tenant already
+//! has `cap` requests in flight the next one is rejected with 429
+//! before any kernel work happens.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Parsed token registry. Empty ⇒ open mode.
+#[derive(Debug, Default)]
+pub struct TokenRegistry {
+    /// token → tenant
+    by_token: HashMap<String, String>,
+}
+
+/// Why a request was not authenticated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// No `Authorization` header (and the server requires one).
+    Missing,
+    /// Header present but not `Bearer <known-token>`.
+    Invalid,
+}
+
+impl TokenRegistry {
+    /// Parses `tenant:token` lines. Returns `Err` with a line-numbered
+    /// message on malformed input (missing `:`, empty tenant/token,
+    /// duplicate token).
+    pub fn parse(text: &str) -> Result<TokenRegistry, String> {
+        let mut by_token = HashMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((tenant, token)) = line.split_once(':') else {
+                return Err(format!(
+                    "tokens line {}: expected tenant:token, got {line:?}",
+                    idx + 1
+                ));
+            };
+            let (tenant, token) = (tenant.trim(), token.trim());
+            if tenant.is_empty() || token.is_empty() {
+                return Err(format!("tokens line {}: empty tenant or token", idx + 1));
+            }
+            if by_token
+                .insert(token.to_owned(), tenant.to_owned())
+                .is_some()
+            {
+                return Err(format!("tokens line {}: duplicate token", idx + 1));
+            }
+        }
+        Ok(TokenRegistry { by_token })
+    }
+
+    /// True when no tokens are configured (open mode).
+    pub fn is_open(&self) -> bool {
+        self.by_token.is_empty()
+    }
+
+    /// Resolves the `Authorization` header value to a tenant name.
+    pub fn authenticate(&self, header: Option<&str>) -> Result<String, AuthError> {
+        if self.is_open() {
+            return Ok("anonymous".to_owned());
+        }
+        let Some(value) = header else {
+            return Err(AuthError::Missing);
+        };
+        let token = value
+            .strip_prefix("Bearer ")
+            .or_else(|| value.strip_prefix("bearer "))
+            .map(str::trim)
+            .ok_or(AuthError::Invalid)?;
+        self.by_token.get(token).cloned().ok_or(AuthError::Invalid)
+    }
+}
+
+/// Per-tenant in-flight request caps.
+#[derive(Debug)]
+pub struct Admission {
+    cap: usize,
+    in_flight: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+}
+
+/// RAII token for one admitted request; releases the tenant's slot on
+/// drop.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    count: Arc<AtomicUsize>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.count.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Admission {
+    /// `cap` = max concurrent in-flight requests per tenant (0 is
+    /// clamped to 1 — a cap of zero would reject everything).
+    pub fn new(cap: usize) -> Admission {
+        Admission {
+            cap: cap.max(1),
+            in_flight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Tries to admit one request for `tenant`. `None` ⇒ the tenant is
+    /// at its cap (caller answers 429).
+    pub fn try_enter(&self, tenant: &str) -> Option<AdmissionGuard> {
+        let count = {
+            let mut map = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(
+                map.entry(tenant.to_owned())
+                    .or_insert_with(|| Arc::new(AtomicUsize::new(0))),
+            )
+        };
+        // Optimistic increment; back out if we raced past the cap.
+        let prev = count.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.cap {
+            count.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(AdmissionGuard { count })
+    }
+
+    /// Current in-flight count for a tenant (for tests/metrics).
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        let map = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(tenant).map_or(0, |c| c.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_lines_parse_with_comments() {
+        let reg = TokenRegistry::parse("# staff\nalice:s3cret\n\n  bob : hunter2  \n").unwrap();
+        assert!(!reg.is_open());
+        assert_eq!(reg.authenticate(Some("Bearer s3cret")).unwrap(), "alice");
+        assert_eq!(reg.authenticate(Some("Bearer hunter2")).unwrap(), "bob");
+        assert_eq!(
+            reg.authenticate(Some("Bearer nope")),
+            Err(AuthError::Invalid)
+        );
+        assert_eq!(reg.authenticate(None), Err(AuthError::Missing));
+        assert_eq!(
+            reg.authenticate(Some("Basic s3cret")),
+            Err(AuthError::Invalid)
+        );
+    }
+
+    #[test]
+    fn malformed_token_lines_are_rejected() {
+        assert!(TokenRegistry::parse("no-colon-here").is_err());
+        assert!(TokenRegistry::parse(":token").is_err());
+        assert!(TokenRegistry::parse("tenant:").is_err());
+        assert!(TokenRegistry::parse("a:t\nb:t").is_err());
+    }
+
+    #[test]
+    fn open_mode_admits_everyone_as_anonymous() {
+        let reg = TokenRegistry::parse("# only comments\n").unwrap();
+        assert!(reg.is_open());
+        assert_eq!(reg.authenticate(None).unwrap(), "anonymous");
+        assert_eq!(reg.authenticate(Some("Bearer x")).unwrap(), "anonymous");
+    }
+
+    #[test]
+    fn admission_caps_per_tenant_and_releases_on_drop() {
+        let adm = Admission::new(2);
+        let a1 = adm.try_enter("alice").unwrap();
+        let _a2 = adm.try_enter("alice").unwrap();
+        assert!(adm.try_enter("alice").is_none(), "cap of 2 reached");
+        // Other tenants are unaffected.
+        let _b1 = adm.try_enter("bob").unwrap();
+        assert_eq!(adm.in_flight("alice"), 2);
+        drop(a1);
+        assert_eq!(adm.in_flight("alice"), 1);
+        assert!(adm.try_enter("alice").is_some());
+    }
+}

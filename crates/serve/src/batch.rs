@@ -1,0 +1,217 @@
+//! Per-project replan coalescing.
+//!
+//! Replanning is idempotent over the *current* dirty region: a replan
+//! pass picks up every stale activity, so N clients asking for a
+//! replan of the same project at nearly the same time only need one
+//! kernel pass *started after the last of them arrived*. The coalescer
+//! enforces exactly that with numbered waves:
+//!
+//! - passes are numbered 1, 2, 3, … in start order;
+//! - a request arriving when `started == finished` (idle) becomes the
+//!   *leader* of wave `started + 1` and runs the kernel pass itself;
+//! - a request arriving while a pass is executing waits for the *next*
+//!   wave — the in-flight pass may have read the dirty region before
+//!   this request's cause was journaled, so its result cannot be
+//!   reused — and the first waiter to wake becomes that wave's leader;
+//! - every waiter whose wave has finished shares the leader's rendered
+//!   result instead of issuing its own kernel pass.
+//!
+//! Under contention this turns K concurrent requests into at most 2
+//! kernel passes (the in-flight one plus one follow-up), which the
+//! `serve.replan.requests` / `serve.replan.kernel_passes` counters
+//! make observable and the B13 gate asserts.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Rendered outcome of a replan pass, shared between coalesced
+/// requests: `Ok(body)` or `Err(kernel error message)`.
+pub type PassResult = Result<String, String>;
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Number of kernel passes started.
+    started: u64,
+    /// Number of kernel passes finished (`<= started`).
+    finished: u64,
+    /// Result of the most recently finished pass.
+    last: Option<PassResult>,
+}
+
+#[derive(Debug, Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+/// Statistics from one coalesced call (for metrics/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This request ran the kernel pass itself.
+    Leader,
+    /// This request reused a pass led by another request.
+    Follower,
+}
+
+/// One coalescing gate per project name.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    gates: Mutex<HashMap<String, Arc<Gate>>>,
+}
+
+impl Coalescer {
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    fn gate(&self, project: &str) -> Arc<Gate> {
+        let mut map = self.gates.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(project.to_owned()).or_default())
+    }
+
+    /// Runs `pass` for `project`, coalescing with concurrent callers.
+    /// Returns the (possibly shared) result plus this caller's role.
+    ///
+    /// Correctness requirement honoured here: every caller observes
+    /// the result of a pass that *started at or after* the caller
+    /// arrived, so a mutation journaled before the request was issued
+    /// is always visible in the response.
+    pub fn run(&self, project: &str, pass: impl FnOnce() -> PassResult) -> (PassResult, Role) {
+        let gate = self.gate(project);
+        let mut state = gate.state.lock().unwrap_or_else(|e| e.into_inner());
+        // The earliest pass whose start is not before our arrival.
+        let target = state.started + 1;
+        loop {
+            if state.finished >= target {
+                // A pass started after we arrived has completed; share
+                // its result. (`last` is the most recent finish, which
+                // is at or past `target` — still "started after us".)
+                let result = state
+                    .last
+                    .clone()
+                    .expect("finished > 0 implies a recorded result");
+                return (result, Role::Follower);
+            }
+            if state.started == state.finished && state.started < target {
+                // Idle and our wave has not started: lead it.
+                state.started += 1;
+                drop(state);
+                let result = pass();
+                let mut state = gate.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.finished += 1;
+                state.last = Some(result.clone());
+                gate.cv.notify_all();
+                return (result, Role::Leader);
+            }
+            // A pass is executing; wait for it to finish and re-check.
+            state = gate.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn sequential_calls_each_lead_their_own_pass() {
+        let c = Coalescer::new();
+        let passes = AtomicU64::new(0);
+        for _ in 0..3 {
+            let (result, role) = c.run("p", || {
+                passes.fetch_add(1, Ordering::SeqCst);
+                Ok("done".to_owned())
+            });
+            assert_eq!(result.unwrap(), "done");
+            assert_eq!(role, Role::Leader);
+        }
+        assert_eq!(passes.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn concurrent_burst_coalesces_to_few_passes() {
+        let c = Arc::new(Coalescer::new());
+        let passes = Arc::new(AtomicU64::new(0));
+        const CLIENTS: usize = 16;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let passes = Arc::clone(&passes);
+                std::thread::spawn(move || {
+                    c.run("p", || {
+                        // Hold the pass long enough that the burst
+                        // overlaps it.
+                        std::thread::sleep(Duration::from_millis(20));
+                        passes.fetch_add(1, Ordering::SeqCst);
+                        Ok("ok".to_owned())
+                    })
+                })
+            })
+            .collect();
+        let mut leaders = 0;
+        for h in handles {
+            let (result, role) = h.join().unwrap();
+            assert_eq!(result.unwrap(), "ok");
+            if role == Role::Leader {
+                leaders += 1;
+            }
+        }
+        let kernel_passes = passes.load(Ordering::SeqCst);
+        assert_eq!(leaders as u64, kernel_passes);
+        assert!(
+            kernel_passes < CLIENTS as u64,
+            "16 concurrent requests must coalesce, got {kernel_passes} passes"
+        );
+    }
+
+    #[test]
+    fn follower_sees_a_pass_started_after_its_arrival() {
+        // Start a slow pass, then issue a second request mid-pass and
+        // record the pass ordinal each caller observed: the second
+        // caller must NOT be served by pass 1 (which started before it
+        // arrived).
+        let c = Arc::new(Coalescer::new());
+        let ordinal = Arc::new(AtomicU64::new(0));
+        let first = {
+            let c = Arc::clone(&c);
+            let ordinal = Arc::clone(&ordinal);
+            std::thread::spawn(move || {
+                c.run("p", || {
+                    std::thread::sleep(Duration::from_millis(40));
+                    let n = ordinal.fetch_add(1, Ordering::SeqCst) + 1;
+                    Ok(format!("pass-{n}"))
+                })
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        let (second_result, _) = c.run("p", || {
+            let n = ordinal.fetch_add(1, Ordering::SeqCst) + 1;
+            Ok(format!("pass-{n}"))
+        });
+        let (first_result, _) = first.join().unwrap();
+        assert_eq!(first_result.unwrap(), "pass-1");
+        assert_eq!(
+            second_result.unwrap(),
+            "pass-2",
+            "mid-pass arrival must wait for the next pass"
+        );
+    }
+
+    #[test]
+    fn errors_are_shared_like_results() {
+        let c = Coalescer::new();
+        let (result, _) = c.run("p", || Err("unknown target".to_owned()));
+        assert_eq!(result.unwrap_err(), "unknown target");
+    }
+
+    #[test]
+    fn projects_coalesce_independently() {
+        let c = Coalescer::new();
+        let (a, _) = c.run("a", || Ok("a".to_owned()));
+        let (b, _) = c.run("b", || Ok("b".to_owned()));
+        assert_eq!(a.unwrap(), "a");
+        assert_eq!(b.unwrap(), "b");
+    }
+}

@@ -1,0 +1,283 @@
+//! A tiny blocking HTTP/1.1 client, just enough to drive the server
+//! from tests, benches, and the `herc serve --oneshot` CLI path.
+//!
+//! One TCP connection per request by default (`Connection: close`);
+//! [`Client::pipelined`] reuses a single keep-alive connection for a
+//! fixed request sequence. No external dependencies, same as the
+//! server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body decoded as UTF-8 (lossy).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header value by (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Client configuration: target address plus optional bearer token.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    token: Option<String>,
+    timeout: Duration,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            token: None,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Authenticates every request with `Bearer <token>`.
+    pub fn with_token(mut self, token: impl Into<String>) -> Client {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// Overrides the socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET path` (path may carry a query string).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and malformed responses
+    /// as `io::Error`.
+    pub fn get(&self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn post(&self, path: &str, body: &[u8]) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, body)
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn delete(&self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("DELETE", path, b"")
+    }
+
+    /// One request on a fresh connection (`Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn request(&self, method: &str, path: &str, body: &[u8]) -> std::io::Result<HttpResponse> {
+        let mut stream = self.connect()?;
+        stream.write_all(&self.encode(method, path, body, true))?;
+        let mut bytes = Vec::new();
+        stream.read_to_end(&mut bytes)?;
+        parse_response(&bytes).map(|(resp, _)| resp)
+    }
+
+    /// Like [`Client::request`] but retries (with a tiny backoff) while
+    /// the server sheds load with 429 — for benches that want
+    /// completed work, not rejection counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`]; additionally gives up after `attempts`
+    /// consecutive 429s and returns the last response.
+    pub fn request_retrying(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        attempts: usize,
+    ) -> std::io::Result<HttpResponse> {
+        let mut last = self.request(method, path, body)?;
+        for backoff_ms in 0..attempts.saturating_sub(1) {
+            if last.status != 429 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1 + backoff_ms as u64));
+            last = self.request(method, path, body)?;
+        }
+        Ok(last)
+    }
+
+    /// Runs a fixed (method, path) sequence over ONE keep-alive
+    /// connection and returns every response in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn pipelined(&self, requests: &[(&str, &str)]) -> std::io::Result<Vec<HttpResponse>> {
+        let mut stream = self.connect()?;
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut buffer = Vec::new();
+        for (idx, (method, path)) in requests.iter().enumerate() {
+            let close = idx + 1 == requests.len();
+            stream.write_all(&self.encode(method, path, b"", close))?;
+            // Read until this response is complete (headers + body).
+            loop {
+                if let Some((resp, consumed)) = try_parse_response(&buffer)? {
+                    responses.push(resp);
+                    buffer.drain(..consumed);
+                    break;
+                }
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ));
+                }
+                buffer.extend_from_slice(&chunk[..n]);
+            }
+        }
+        Ok(responses)
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn encode(&self, method: &str, path: &str, body: &[u8], close: bool) -> Vec<u8> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.addr,
+            body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        if let Some(token) = &self.token {
+            head.push_str("Authorization: Bearer ");
+            head.push_str(token);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(body);
+        out
+    }
+}
+
+fn bad(reason: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, reason.to_owned())
+}
+
+/// Parses one response from `bytes`; errors if incomplete.
+fn parse_response(bytes: &[u8]) -> std::io::Result<(HttpResponse, usize)> {
+    try_parse_response(bytes)?.ok_or_else(|| bad("truncated response"))
+}
+
+/// `Ok(None)` ⇒ need more bytes.
+fn try_parse_response(bytes: &[u8]) -> std::io::Result<Option<(HttpResponse, usize)>> {
+    let Some(head_end) = find_head_end(bytes) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or_else(|| bad("missing status code"))?
+        .parse()
+        .map_err(|_| bad("bad status code"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    let body_start = head_end + 4;
+    if bytes.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body =
+        String::from_utf8_lossy(&bytes[body_start..body_start + content_length]).into_owned();
+    Ok(Some((
+        HttpResponse {
+            status,
+            headers,
+            body,
+        },
+        body_start + content_length,
+    )))
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_closed_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nok\n";
+        let (resp, consumed) = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok\n");
+        assert_eq!(resp.header("content-type"), Some("text/plain"));
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incomplete_responses_ask_for_more() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(try_parse_response(raw).unwrap().is_none());
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Len";
+        assert!(try_parse_response(raw).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_responses_error() {
+        assert!(parse_response(b"SMTP nonsense\r\n\r\n").is_err());
+    }
+}

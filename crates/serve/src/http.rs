@@ -1,0 +1,545 @@
+//! A deliberately small, total HTTP/1.1 wire layer: request parsing
+//! with hard limits and a response writer. Everything here is written
+//! to survive a fuzzer — malformed input maps to a typed
+//! [`ParseReject`] (which the server answers as a 4xx/5xx) or to
+//! [`ReadOutcome::Disconnected`] (which the server answers by closing
+//! the socket), never to a panic.
+//!
+//! Scope is exactly what the workspace server needs:
+//!
+//! * request line + headers + optional `Content-Length` body;
+//! * no chunked transfer encoding (rejected with 501);
+//! * `HTTP/1.1` and `HTTP/1.0` only (else 505);
+//! * ASCII-clean header names; arbitrary bytes tolerated in values.
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+/// Hard cap on the request line, bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Hard cap on a single header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Hard cap on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on a request body, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, ... (uppercased as received).
+    pub method: String,
+    /// Decoded path, query string stripped (e.g. `/projects/alu`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// exchange (HTTP/1.1 default; overridden by `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request was refused at the wire layer. Maps 1:1 onto an HTTP
+/// status the server sends back before closing or continuing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReject {
+    /// The HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable reason (becomes the response body).
+    pub reason: String,
+}
+
+impl ParseReject {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        ParseReject {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// The outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A parseable request.
+    Request(Request),
+    /// Malformed input; answer `reject.status` and drop the
+    /// connection.
+    Reject(ParseReject),
+    /// The peer closed (or timed out) before sending a full request;
+    /// close silently.
+    Disconnected,
+}
+
+/// Reads bytes up to and including the first `\r\n\r\n` (or `\n\n`),
+/// bounded by `limit`; returns the header block and any body prefix
+/// read past it.
+fn read_head(stream: &mut impl Read, limit: usize) -> io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Scan for the blank line separating headers from body.
+        if let Some(pos) = find_blank_line(&buf) {
+            let body = buf.split_off(pos);
+            return Ok(Some((buf, body)));
+        }
+        if buf.len() > limit {
+            // Oversized head: report what we have; the parser turns it
+            // into a 431.
+            return Ok(Some((buf, Vec::new())));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            // Truncated head: peer hung up mid-request.
+            return Ok(Some((buf, Vec::new())));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Index just past the first `\r\n\r\n` or `\n\n` in `buf`.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Splits percent-encoded `%XX` sequences; invalid escapes pass
+/// through literally (robustness over strictness).
+fn percent_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi * 16 + lo);
+                i += 3;
+                continue;
+            }
+        }
+        if bytes[i] == b'+' {
+            out.push(b' ');
+        } else {
+            out.push(bytes[i]);
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses `a=b&c=d` into decoded pairs.
+fn parse_query(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Parses the header block (request line + header lines) of `head`.
+fn parse_head(head: &[u8]) -> Result<Request, ParseReject> {
+    let text = match std::str::from_utf8(head) {
+        Ok(t) => t,
+        Err(_) => return Err(ParseReject::new(400, "request head is not valid UTF-8")),
+    };
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(ParseReject::new(414, "request line too long"));
+    }
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(ParseReject::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !method
+        .chars()
+        .all(|c| c.is_ascii_alphabetic() && c.is_ascii_uppercase())
+        || method.is_empty()
+    {
+        return Err(ParseReject::new(400, format!("bad method {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        // Something that is not even HTTP-shaped is a malformed
+        // request (400); a real-but-unsupported version is 505.
+        if !version.starts_with("HTTP/") {
+            return Err(ParseReject::new(
+                400,
+                format!("not an HTTP request line (version {version:?})"),
+            ));
+        }
+        return Err(ParseReject::new(
+            505,
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseReject::new(
+            400,
+            format!("request target {target:?} must be origin-form"),
+        ));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line.len() > MAX_HEADER_LINE {
+            return Err(ParseReject::new(431, "header line too long"));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseReject::new(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseReject::new(400, format!("malformed header {line:?}")));
+        };
+        let name = name.trim();
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_graphic() && b != b':') {
+            return Err(ParseReject::new(
+                400,
+                format!("malformed header name {name:?}"),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Reads and parses one request from `stream`. `read_timeout` should
+/// already be installed on the socket; timeouts and resets surface as
+/// [`ReadOutcome::Disconnected`] (mid-head) or a 408 reject is left to
+/// the caller's policy via `Disconnected`.
+pub fn read_request(stream: &mut impl Read) -> ReadOutcome {
+    let head_limit = MAX_REQUEST_LINE + MAX_HEADERS * MAX_HEADER_LINE;
+    let (head, body_prefix) = match read_head(stream, head_limit) {
+        Ok(Some(parts)) => parts,
+        Ok(None) => return ReadOutcome::Disconnected,
+        Err(e) => {
+            return match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                    ReadOutcome::Reject(ParseReject::new(408, "timed out reading request"))
+                }
+                _ => ReadOutcome::Disconnected,
+            }
+        }
+    };
+    if head.len() > head_limit {
+        return ReadOutcome::Reject(ParseReject::new(431, "request head too large"));
+    }
+    if find_blank_line(&head).is_none() {
+        // EOF before the head terminator: a truncated request. If the
+        // peer sent nothing parseable at all, close silently; if it
+        // sent a partial head, answer 400 so well-behaved-but-buggy
+        // clients learn something.
+        return if head.iter().all(|b| b.is_ascii_whitespace()) {
+            ReadOutcome::Disconnected
+        } else {
+            ReadOutcome::Reject(ParseReject::new(400, "truncated request head"))
+        };
+    }
+    let mut request = match parse_head(&head) {
+        Ok(r) => r,
+        Err(reject) => return ReadOutcome::Reject(reject),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return ReadOutcome::Reject(ParseReject::new(501, "transfer-encoding not supported"));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return ReadOutcome::Reject(ParseReject::new(
+                    400,
+                    format!("bad content-length {v:?}"),
+                ))
+            }
+        },
+    };
+    if content_length > MAX_BODY {
+        return ReadOutcome::Reject(ParseReject::new(413, "request body too large"));
+    }
+    let mut body = body_prefix;
+    if body.len() > content_length {
+        // Pipelined extra bytes are not supported: treat as malformed.
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return ReadOutcome::Reject(ParseReject::new(
+                    400,
+                    format!(
+                        "truncated body: content-length {content_length}, got {}",
+                        body.len()
+                    ),
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return ReadOutcome::Reject(ParseReject::new(408, "timed out reading body"))
+            }
+            Err(_) => return ReadOutcome::Disconnected,
+        }
+    }
+    request.body = body;
+    ReadOutcome::Request(request)
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready for serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Extra headers (name, value).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// An error response with a `error: <reason>` text body.
+    pub fn error(status: u16, reason: impl AsRef<str>) -> Response {
+        Response::text(status, format!("error: {}\n", reason.as_ref()))
+    }
+
+    /// Serializes status line + headers + body. `close` controls the
+    /// `Connection` header.
+    pub fn to_bytes(&self, close: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Default socket read/write timeout for server-side connections.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let out = parse(
+            b"GET /projects/alu/status?target=performance&x=a%20b HTTP/1.1\r\n\
+              Host: localhost\r\nAuthorization: Bearer tok\r\n\r\n",
+        );
+        let ReadOutcome::Request(r) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/projects/alu/status");
+        assert_eq!(r.query_param("target"), Some("performance"));
+        assert_eq!(r.query_param("x"), Some("a b"));
+        assert_eq!(r.header("authorization"), Some("Bearer tok"));
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let out = parse(b"POST /p HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello");
+        let ReadOutcome::Request(r) = out else {
+            panic!("expected request");
+        };
+        assert_eq!(r.body, b"hello");
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn rejects_garbage_with_400_family() {
+        for (bytes, status) in [
+            (&b"NOT A REQUEST\r\n\r\n"[..], 400),
+            (b"GET /x HTTP/2.0\r\n\r\n", 505),
+            (b"GET relative HTTP/1.1\r\n\r\n", 400),
+            (b"G@T /x HTTP/1.1\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 400),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (b"GET /x HTTP/1.1\r\nBroken Header\r\n\r\n", 400),
+        ] {
+            match parse(bytes) {
+                ReadOutcome::Reject(r) => assert_eq!(r.status, status, "for {bytes:?}"),
+                other => panic!("expected reject for {bytes:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        match parse(head.as_bytes()) {
+            ReadOutcome::Reject(r) => assert_eq!(r.status, 413),
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_connection_disconnects_silently() {
+        assert!(matches!(parse(b""), ReadOutcome::Disconnected));
+        assert!(matches!(parse(b"   \r\n"), ReadOutcome::Disconnected));
+    }
+
+    #[test]
+    fn truncated_head_is_400() {
+        match parse(b"GET /x HTTP/1.1\r\nHost: local") {
+            ReadOutcome::Reject(r) => assert_eq!(r.status, 400),
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_serialization_is_well_formed() {
+        let bytes = Response::text(200, "ok\n").to_bytes(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn percent_decoding_tolerates_invalid_escapes() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+        assert_eq!(percent_decode("plus+plus"), "plus plus");
+    }
+}

@@ -1,0 +1,53 @@
+//! A multi-tenant network front end for the workspace kernel.
+//!
+//! The paper's flow manager is inherently multi-user: designers query
+//! status and trigger replans against a shared schedule database. This
+//! crate puts a dependency-free HTTP/1.1 server in front of
+//! [`hercules::Workspace`] — blocking `std::net` sockets, a fixed
+//! worker-thread pool, hand-rolled parsing with hard limits — keeping
+//! the repository's offline discipline while making the "many
+//! concurrent users" axis measurable (bench kernel B13 `serve_load`).
+//!
+//! Layering:
+//!
+//! * [`http`] — wire parsing/serialization, total over arbitrary
+//!   bytes (the fuzz target);
+//! * [`auth`] — `tenant:token` bearer auth + per-tenant in-flight
+//!   caps;
+//! * [`batch`] — per-project replan coalescing (N concurrent replan
+//!   requests → few kernel passes, wave semantics);
+//! * [`api`] — routing and the *pure* render functions the
+//!   differential suite pins against direct kernel calls;
+//! * [`server`] — accept loop, bounded queue (429 on overflow),
+//!   worker pool;
+//! * [`client`] — a minimal blocking client for tests, benches, and
+//!   `herc serve --oneshot`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hercules::Workspace;
+//! use serve::{Client, Server, ServerConfig};
+//!
+//! let ws = Arc::new(Workspace::in_memory());
+//! let server = Server::start(ws, ServerConfig::default()).unwrap();
+//! let client = Client::new(server.addr());
+//! let resp = client.get("/healthz").unwrap();
+//! assert_eq!(resp.status, 200);
+//! server.shutdown();
+//! ```
+
+pub mod api;
+pub mod auth;
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use api::{plan_body, replan_body, run_body, status_body, Api, ApiConfig};
+pub use auth::{Admission, AdmissionGuard, AuthError, TokenRegistry};
+pub use batch::{Coalescer, Role};
+pub use client::{Client, HttpResponse};
+pub use http::{Request, Response};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,361 @@
+//! The TCP front end: a blocking accept loop feeding a bounded
+//! connection queue drained by a fixed worker-thread pool.
+//!
+//! Backpressure is two-layered:
+//!
+//! 1. the **accept queue** is bounded (`queue_cap`): when every worker
+//!    is busy and the queue is full, the accept thread answers 429
+//!    immediately instead of letting connections pile up unanswered;
+//! 2. **per-tenant in-flight caps** (see [`crate::auth::Admission`])
+//!    protect tenants from each other once a connection reaches a
+//!    worker.
+//!
+//! Queue depth is observed into the `serve.queue.depth` histogram on
+//! every enqueue and overflow rejections count into
+//! `serve.queue.rejected`, so load shedding is visible in `/metrics`.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hercules::Workspace;
+use obs::Metrics;
+
+use crate::api::{Api, ApiConfig};
+use crate::auth::TokenRegistry;
+use crate::http::{read_request, ReadOutcome, Response, DEFAULT_IO_TIMEOUT};
+
+/// Server construction knobs.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 ⇒ ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded accept-queue capacity; overflow ⇒ 429.
+    pub queue_cap: usize,
+    /// Max in-flight requests per tenant before 429.
+    pub per_tenant_cap: usize,
+    /// Simulated per-request session latency (benches).
+    pub session_latency: Duration,
+    /// Bearer tokens; empty ⇒ open mode.
+    pub tokens: TokenRegistry,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_cap: 128,
+            per_tenant_cap: 64,
+            session_latency: Duration::ZERO,
+            tokens: TokenRegistry::default(),
+            io_timeout: DEFAULT_IO_TIMEOUT,
+        }
+    }
+}
+
+struct QueueMetrics {
+    depth: obs::Histogram,
+    rejected: obs::Counter,
+    connections: obs::Counter,
+}
+
+fn queue_metrics() -> &'static QueueMetrics {
+    static METRICS: OnceLock<QueueMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| QueueMetrics {
+        depth: Metrics::histogram(
+            "serve.queue.depth",
+            &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+        ),
+        rejected: Metrics::counter("serve.queue.rejected"),
+        connections: Metrics::counter("serve.connections"),
+    })
+}
+
+/// Bounded MPMC queue of accepted connections. `push` fails (→ 429)
+/// when full; `pop` blocks until an item or shutdown arrives.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Returns the stream back on overflow.
+    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.items.len() >= self.cap {
+            return Err(stream);
+        }
+        state.items.push_back(stream);
+        let depth = state.items.len();
+        drop(state);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// A running workspace server. Dropping without [`Server::shutdown`]
+/// detaches the threads (they exit with the process); tests should
+/// call `shutdown` for a clean join.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept thread and worker pool, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(ws: Arc<Workspace>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let api = Arc::new(Api::new(
+            ws,
+            ApiConfig {
+                tokens: config.tokens,
+                per_tenant_cap: config.per_tenant_cap,
+                session_latency: config.session_latency,
+            },
+        ));
+        let queue = Arc::new(ConnQueue::new(config.queue_cap));
+        let stop = Arc::new(AtomicBool::new(false));
+        let io_timeout = config.io_timeout;
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let api = Arc::clone(&api);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(stream, &api, io_timeout);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        queue_metrics().connections.inc();
+                        match queue.push(stream) {
+                            Ok(depth) => queue_metrics().depth.observe(depth as f64),
+                            Err(mut stream) => {
+                                // Shed load in the accept thread: a
+                                // well-formed 429 is cheaper than a
+                                // worker slot.
+                                queue_metrics().rejected.inc();
+                                let _ = stream.set_write_timeout(Some(io_timeout));
+                                let _ = stream.write_all(
+                                    &Response::error(429, "server queue full, retry later")
+                                        .to_bytes(true),
+                                );
+                            }
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            queue,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (use for clients when the port was ephemeral).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Handles one connection: a keep-alive loop of
+/// read → route → respond. Malformed requests get their mapped 4xx/5xx
+/// and close the connection; clean disconnects just end the loop.
+fn serve_connection(mut stream: TcpStream, api: &Api, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_request(&mut stream) {
+            ReadOutcome::Request(req) => {
+                let response = api.handle(&req);
+                let close = !req.keep_alive();
+                if stream.write_all(&response.to_bytes(close)).is_err() || close {
+                    return;
+                }
+            }
+            ReadOutcome::Reject(reject) => {
+                let _ = stream
+                    .write_all(&Response::error(reject.status, &reject.reason).to_bytes(true));
+                return;
+            }
+            ReadOutcome::Disconnected => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use schema::examples;
+
+    fn schema_source() -> String {
+        format!(
+            "schema circuit;\n{}",
+            examples::circuit_design().to_source()
+        )
+    }
+
+    fn start_open(workers: usize) -> (Server, Client) {
+        let server = Server::start(
+            Arc::new(Workspace::in_memory()),
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let client = Client::new(server.addr());
+        (server, client)
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down_cleanly() {
+        let (server, client) = start_open(2);
+        let resp = client.get("/healthz").expect("healthz");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_project_lifecycle_over_tcp() {
+        let (server, client) = start_open(2);
+        let resp = client
+            .post("/projects/alu?team=2&seed=7", schema_source().as_bytes())
+            .expect("create");
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        let resp = client
+            .post("/projects/alu/run?target=performance", b"")
+            .expect("run");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = client.get("/projects/alu/status").expect("status");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("variance: "));
+        let resp = client.get("/metrics").expect("metrics");
+        assert_eq!(resp.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tokens_gate_requests_end_to_end() {
+        let server = Server::start(
+            Arc::new(Workspace::in_memory()),
+            ServerConfig {
+                tokens: TokenRegistry::parse("alice:sesame").unwrap(),
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let anon = Client::new(server.addr());
+        assert_eq!(anon.get("/projects").expect("req").status, 401);
+        let alice = Client::new(server.addr()).with_token("sesame");
+        assert_eq!(alice.get("/projects").expect("req").status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_carries_multiple_requests() {
+        let (server, client) = start_open(1);
+        let responses = client
+            .pipelined(&[
+                ("GET", "/healthz"),
+                ("GET", "/projects"),
+                ("GET", "/healthz"),
+            ])
+            .expect("keep-alive");
+        assert_eq!(responses.len(), 3);
+        assert!(responses.iter().all(|r| r.status == 200));
+        server.shutdown();
+    }
+}

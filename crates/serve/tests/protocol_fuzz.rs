@@ -1,0 +1,236 @@
+//! Protocol robustness: a seeded request fuzzer (with shrinking, via
+//! `crates/harness`) against both the bare parser and a live server.
+//!
+//! The contract under fuzz: the server **never panics** and every
+//! connection either receives a well-formed HTTP/1.1 response
+//! (2xx–5xx) or is closed cleanly. After every hostile exchange the
+//! server must still answer `/healthz` — a live worker pool is the
+//! observable proof that nothing unwound.
+//!
+//! Case shapes cover the ISSUE list: malformed request lines, bad and
+//! missing auth, truncated bodies, oversized headers, header floods,
+//! and mid-request disconnects.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use harness::strategy::{ascii_noise, printable_noise};
+use hercules::Workspace;
+use serve::http::{read_request, ReadOutcome};
+use serve::{Client, Server, ServerConfig, TokenRegistry};
+use simtools::{workload::Team, ToolLibrary};
+
+const FUZZ_TOKEN: &str = "fuzz-token";
+
+/// One server shared by every fuzz case in this binary; leaked on
+/// purpose (the process exit reaps it).
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let ws = Arc::new(Workspace::in_memory());
+        ws.create_project(
+            "alu",
+            schema::examples::circuit_design(),
+            ToolLibrary::standard(),
+            Team::of_size(2),
+            7,
+        )
+        .expect("seed project");
+        let server = Server::start(
+            ws,
+            ServerConfig {
+                workers: 2,
+                tokens: TokenRegistry::parse(&format!("fuzz:{FUZZ_TOKEN}")).unwrap(),
+                io_timeout: Duration::from_millis(500),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind fuzz server");
+        let addr = server.addr();
+        std::mem::forget(server);
+        addr
+    })
+}
+
+/// Sends raw bytes (optionally truncated to `cut` bytes for the
+/// mid-request disconnect shape) and returns whatever the server
+/// answered before closing.
+fn exchange(payload: &[u8], cut: Option<usize>) -> Vec<u8> {
+    let stream = TcpStream::connect(server_addr()).expect("connect fuzz server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .expect("write timeout");
+    let mut stream = stream;
+    let bytes = match cut {
+        Some(cut) => &payload[..cut.min(payload.len())],
+        None => payload,
+    };
+    // The server may reject and close mid-write: a failed write IS a
+    // clean close, never a test failure.
+    let _ = stream.write_all(bytes);
+    if cut.is_some() {
+        // Mid-request disconnect: slam the connection without reading.
+        drop(stream);
+        return Vec::new();
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    // A read error after a reject is a close, which the contract
+    // allows; bytes-before-error still get validated.
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+/// A response is acceptable iff absent (clean close) or a well-formed
+/// HTTP/1.1 status line with a sane code.
+fn assert_well_formed(response: &[u8], context: &str) {
+    if response.is_empty() {
+        return;
+    }
+    let text = String::from_utf8_lossy(response);
+    let status: Option<u16> = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok());
+    match status {
+        Some(code) if (200..600).contains(&code) => {}
+        _ => panic!("{context}: malformed response {text:?}"),
+    }
+}
+
+/// The worker pool survived: `/healthz` still answers.
+fn assert_alive() {
+    let client = Client::new(server_addr()).with_timeout(Duration::from_secs(5));
+    let resp = client.get("/healthz").expect("server must stay reachable");
+    assert_eq!(resp.status, 200, "server unhealthy after fuzz case");
+}
+
+/// Builds the request bytes for one fuzz shape.
+fn build_payload(shape: u64, a: &str, b: &str, n: u64) -> (Vec<u8>, Option<usize>) {
+    match shape % 8 {
+        // Raw noise streams, ASCII and multibyte.
+        0 => (a.as_bytes().to_vec(), None),
+        1 => (format!("{a}{b}").into_bytes(), None),
+        // Noise in the request-line fields.
+        2 => (format!("{a} /{b} HTTP/1.1\r\n\r\n").into_bytes(), None),
+        // Bad/missing/garbled auth on a real route.
+        3 => (
+            format!("GET /projects/alu/status HTTP/1.1\r\nAuthorization: {a}\r\n\r\n").into_bytes(),
+            None,
+        ),
+        // Truncated body: promises more Content-Length than it sends.
+        4 => {
+            let body = &a.as_bytes()[..a.len().min(16)];
+            let lie = body.len() as u64 + 1 + (n % 4096);
+            let mut bytes = format!("POST /projects/{b} HTTP/1.1\r\nContent-Length: {lie}\r\n\r\n")
+                .into_bytes();
+            bytes.extend_from_slice(body);
+            (bytes, None)
+        }
+        // Oversized single header line.
+        5 => {
+            let pad = "x".repeat(1024 + (n % 16_384) as usize);
+            (
+                format!("GET /healthz HTTP/1.1\r\nX-Pad: {pad}\r\n\r\n").into_bytes(),
+                None,
+            )
+        }
+        // Header flood.
+        6 => {
+            let mut head = String::from("GET /healthz HTTP/1.1\r\n");
+            for i in 0..(8 + n % 120) {
+                head.push_str(&format!("X-H{i}: {b}\r\n"));
+            }
+            head.push_str("\r\n");
+            (head.into_bytes(), None)
+        }
+        // Mid-request disconnect: a valid authorized request cut short
+        // at an arbitrary byte.
+        _ => {
+            let bytes = format!(
+                "GET /projects/alu/status HTTP/1.1\r\nAuthorization: Bearer {FUZZ_TOKEN}\r\n\r\n"
+            )
+            .into_bytes();
+            let cut = (n as usize) % bytes.len().max(1);
+            (bytes, Some(cut))
+        }
+    }
+}
+
+harness::props! {
+    config(cases = 256);
+
+    fn server_answers_or_closes_cleanly(
+        shape in 0u64..8,
+        a in ascii_noise(0..96),
+        b in printable_noise(0..32),
+        n in 0u64..20_000,
+    ) {
+        let (payload, cut) = build_payload(shape, &a, &b, n);
+        let response = exchange(&payload, cut);
+        assert_well_formed(&response, &format!("shape {shape} a={a:?} b={b:?} n={n}"));
+        assert_alive();
+    }
+}
+
+harness::props! {
+    config(cases = 512);
+
+    fn parser_is_total_over_arbitrary_bytes(
+        head in ascii_noise(0..160),
+        tail in printable_noise(0..48),
+    ) {
+        // No panic, no hang — any of the three outcomes is fine.
+        let bytes = format!("{head}{tail}").into_bytes();
+        let outcome = read_request(&mut std::io::Cursor::new(bytes));
+        match outcome {
+            ReadOutcome::Request(_) | ReadOutcome::Reject(_) | ReadOutcome::Disconnected => {}
+        }
+    }
+
+    fn parser_rejects_carry_4xx_5xx_statuses(
+        method in ascii_noise(1..12),
+        target in printable_noise(0..24),
+        version in ascii_noise(0..12),
+    ) {
+        let bytes = format!("{method} {target} {version}\r\n\r\n").into_bytes();
+        if let ReadOutcome::Reject(reject) =
+            read_request(&mut std::io::Cursor::new(bytes))
+        {
+            harness::prop_assert!(
+                (400..600).contains(&reject.status),
+                "reject status {} out of range", reject.status
+            );
+        }
+    }
+}
+
+/// Directed (non-property) regression shots the fuzzer found or must
+/// keep finding: each one is a full exchange against the live server.
+#[test]
+fn directed_hostile_payloads() {
+    let cases: &[&[u8]] = &[
+        b"",
+        b"\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        b"GET /%ff%fe%00 HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"\x00\x01\x02\x03\x04\x05",
+        b"OPTIONS * HTTP/1.1\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\nAuthorization: Bearer \xc3\x28\r\n\r\n",
+    ];
+    for payload in cases {
+        let response = exchange(payload, None);
+        assert_well_formed(&response, &format!("directed {payload:?}"));
+    }
+    assert_alive();
+}

@@ -15,6 +15,10 @@
 #   ws      workspace kernel gate: threaded stress + compaction
 #           property + store conformance + B12 scaling tests, then the
 #           end-to-end create->plan->crash->recover->gc->query script
+#   serve   workspace-server gate: differential transport conformance,
+#           protocol fuzzer, 64-seed chaos-under-load sweep, herc
+#           serve CLI coverage, B13 scaling/coalescing floor, and a
+#           quick B13 latency-percentile artifact
 #   bench   bench_compare: fresh quick run vs committed BENCH_schedflow.json
 #   doc     rustdoc builds cleanly
 #
@@ -29,7 +33,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check golden chaos obs ws bench doc)
+ALL_STAGES=(fmt clippy check golden chaos obs ws serve bench doc)
 
 usage() {
     echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
@@ -95,7 +99,7 @@ stage_chaos() {
     # property suite sweeps (tests/chaos_properties.rs), replayed via
     # the interactive tool so a red stage maps 1:1 onto a local
     # `herc chaos --seed N` repro. Release mode keeps it bounded.
-    cargo run -q --release --offline -p hercules --bin herc -- \
+    cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
         chaos --seed 0 --count 64
 }
 
@@ -107,9 +111,9 @@ stage_obs() {
     cargo test -q --offline --release -p dac95-schedflow \
         --test obs_properties --test trace_scenarios || return 1
     mkdir -p target/traces
-    cargo run -q --release --offline -p hercules --bin herc -- \
+    cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
         trace fig8 --logical --out target/traces/fig8_trace.json || return 1
-    cargo run -q --release --offline -p hercules --bin herc -- \
+    cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
         trace chaos --out target/traces/chaos_trace.json || return 1
     # The committed golden is the same logical-timebase fig8 export:
     # the CLI must reproduce it byte-for-byte.
@@ -140,6 +144,28 @@ stage_ws() {
     # End-to-end lifecycle through the user-facing CLI, torn-tail
     # crash included.
     scripts/ws_e2e.sh
+}
+
+stage_serve() {
+    # Workspace-server gate: the server must be a pure, robust, scaling
+    # transport over the kernel. Differential conformance (HTTP ≡
+    # direct Workspace calls, byte-identical), the seeded protocol
+    # fuzzer with shrinking (malformed request lines, bad auth,
+    # truncated bodies, header floods, mid-request disconnects — never
+    # a panic), the 64-seed chaos-under-load sweep (PR-3 invariants +
+    # generational-ID safety under concurrent clients, crash -> recover
+    # -> re-serve), and `herc serve` CLI coverage.
+    cargo test -q --offline --release -p serve || return 1
+    cargo test -q --offline --release -p dac95-schedflow \
+        --test serve_differential --test serve_chaos --test cli || return 1
+    # B13 acceptance floor: ≥2x request throughput from 1 -> 4 pool
+    # workers, and coalesced replan kernel passes < client requests.
+    cargo test -q --offline --release -p bench \
+        --test serve_scaling || return 1
+    # Quick B13 rerun: the latency-percentile report CI uploads as an
+    # artifact (p50/p95/p99 per worker count).
+    cargo run -q --release --offline -p bench --bin benchmarks -- \
+        serve_load --quick --out target/serve_latency.json
 }
 
 stage_bench() {

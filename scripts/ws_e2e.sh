@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-HERC=${HERC:-"cargo run -q --release --offline -p hercules --bin herc --"}
+HERC=${HERC:-"cargo run -q --release --offline -p dac95-schedflow --bin herc --"}
 ROOT=target/ws_e2e
 rm -rf "$ROOT"
 mkdir -p "$ROOT"

@@ -23,6 +23,11 @@
 //! herc ws <root> status <name> <file> [options]
 //!                                            status of a persisted project
 //! herc gc <root> [<name>...]                 compact project journals
+//! herc serve <root> [--addr HOST:PORT] [--tokens FILE] [--workers N]
+//!                                            serve the workspace over HTTP
+//!                                            (`:memory:` for a scratch root;
+//!                                            --oneshot METHOD PATH issues one
+//!                                            loopback request and exits)
 //!
 //! options:
 //!   --team N      designers on the project (default 2)
@@ -72,7 +77,9 @@ fn usage() -> ExitCode {
          \x20      herc trace <fig8|chaos> [--seed N] [--out FILE] [--jsonl] [--logical]\n\
          \x20      herc metrics <fig8|chaos> [--seed N] [--json]\n\
          \x20      herc ws <root> <list|create|plan|run|status> [<name> <schema-file> [<target>]] [options]\n\
-         \x20      herc gc <root> [<name>...]"
+         \x20      herc gc <root> [<name>...]\n\
+         \x20      herc serve <root> [--addr HOST:PORT] [--tokens FILE] [--workers N] \
+         [--queue-cap N] [--tenant-cap N] [--oneshot METHOD PATH]"
     );
     ExitCode::from(2)
 }
@@ -586,23 +593,113 @@ fn cmd_ws(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Serves a workspace root over HTTP (see `crates/serve`). `:memory:`
+/// serves a scratch in-memory workspace — handy for demos and fuzzing.
+///
+/// `--oneshot METHOD PATH` starts the server on a loopback port,
+/// issues one request through the bundled client, prints the response
+/// body, and exits non-zero on a 4xx/5xx — the scriptable form used by
+/// `scripts/ws_e2e.sh`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let Some(root) = args.first() else {
+        return Err(
+            "serve usage: herc serve <root>|:memory: [--addr HOST:PORT] [--tokens FILE] \
+             [--workers N] [--queue-cap N] [--tenant-cap N] [--oneshot METHOD PATH]"
+                .to_owned(),
+        );
+    };
+    let mut config = serve::ServerConfig::default();
+    let mut oneshot: Option<(String, String)> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--tokens" => {
+                let path = value("--tokens")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                config.tokens = serve::TokenRegistry::parse(&text)?;
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                config.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--tenant-cap" => {
+                config.per_tenant_cap = value("--tenant-cap")?
+                    .parse()
+                    .map_err(|e| format!("--tenant-cap: {e}"))?;
+            }
+            "--oneshot" => {
+                let method = value("--oneshot")?;
+                let path = value("--oneshot")?;
+                oneshot = Some((method, path));
+            }
+            other => return Err(format!("serve: unknown option {other:?}")),
+        }
+    }
+    let ws = std::sync::Arc::new(if root == ":memory:" {
+        Workspace::in_memory()
+    } else {
+        Workspace::persistent(root)
+    });
+    if oneshot.is_some() {
+        // Don't fight another server (or the test harness) for a
+        // fixed port in scripted one-request mode.
+        config.addr = "127.0.0.1:0".to_owned();
+    }
+    let server = serve::Server::start(ws, config).map_err(|e| format!("serve: bind: {e}"))?;
+    match oneshot {
+        Some((method, path)) => {
+            let client = serve::Client::new(server.addr());
+            let response = client
+                .request(&method, &path, b"")
+                .map_err(|e| format!("serve: oneshot request: {e}"))?;
+            print!("{}", response.body);
+            server.shutdown();
+            if response.is_success() {
+                Ok(())
+            } else {
+                Err(format!("oneshot {method} {path}: HTTP {}", response.status))
+            }
+        }
+        None => {
+            println!("serving {root} at http://{}", server.addr());
+            loop {
+                std::thread::park();
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return usage();
     };
-    // `chaos`, `trace`, `metrics`, `ws`, and `gc` take no leading
-    // schema file: their scenarios and projects are derived from
-    // names, seeds, and workspace roots.
+    // `chaos`, `trace`, `metrics`, `ws`, `gc`, and `serve` take no
+    // leading schema file: their scenarios and projects are derived
+    // from names, seeds, and workspace roots.
     if matches!(
         command.as_str(),
-        "chaos" | "trace" | "metrics" | "ws" | "gc"
+        "chaos" | "trace" | "metrics" | "ws" | "gc" | "serve"
     ) {
         let result = match command.as_str() {
             "chaos" => cmd_chaos(&args[1..]),
             "trace" => cmd_trace(&args[1..]),
             "ws" => cmd_ws(&args[1..]),
             "gc" => cmd_gc(&args[1..]),
+            "serve" => cmd_serve(&args[1..]),
             _ => cmd_metrics(&args[1..]),
         };
         return match result {

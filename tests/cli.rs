@@ -217,6 +217,91 @@ fn unreadable_file_fails_cleanly() {
 }
 
 #[test]
+fn ws_status_on_missing_root_is_a_typed_error() {
+    let path = schema_file();
+    let root = std::env::temp_dir().join(format!("herc-no-such-root-{}", std::process::id()));
+    let out = herc(&[
+        "ws",
+        root.to_str().expect("utf-8 path"),
+        "status",
+        "alpha",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "missing root must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The typed registry error, not a raw store I/O message.
+    assert!(
+        stderr.contains("no project \"alpha\" in the workspace"),
+        "expected typed UnknownProject, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("I/O error"),
+        "must not leak a raw store error: {stderr}"
+    );
+}
+
+#[test]
+fn ws_status_on_missing_project_is_a_typed_error() {
+    let path = schema_file();
+    let root = std::env::temp_dir().join(format!("herc-ws-root-{}", std::process::id()));
+    // A real root with one project; asking for another by name must be
+    // the same typed not-found, exit 1.
+    let out = herc(&[
+        "ws",
+        root.to_str().expect("utf-8 path"),
+        "create",
+        "alpha",
+        path.to_str().expect("utf-8 path"),
+        "--seed",
+        "7",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = herc(&[
+        "ws",
+        root.to_str().expect("utf-8 path"),
+        "status",
+        "beta",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    let _ = std::fs::remove_dir_all(&root);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no project \"beta\" in the workspace"),
+        "expected typed UnknownProject, got: {stderr}"
+    );
+}
+
+#[test]
+fn serve_oneshot_answers_healthz() {
+    let out = herc(&["serve", ":memory:", "--oneshot", "GET", "/healthz"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "ok\n");
+}
+
+#[test]
+fn serve_oneshot_surfaces_http_errors_as_exit_code() {
+    let out = herc(&[
+        "serve",
+        ":memory:",
+        "--oneshot",
+        "GET",
+        "/projects/ghost/status",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("HTTP 404"), "{stderr}");
+}
+
+#[test]
 fn parse_errors_surface_with_position() {
     let mut f = tempfile::Builder::new()
         .suffix(".schema")

@@ -1,0 +1,358 @@
+//! Chaos under load: the PR-3 failure-semantics invariants must
+//! survive the network layer.
+//!
+//! Part A replays the 64-seed fault-injection scenarios *through the
+//! server* with concurrent clients (status polls and replans racing
+//! the faulted execution) plus a mid-load compaction, and then checks
+//! the invariants directly on the kernel:
+//!
+//! 1. **no-abort** — injected tool faults never abort a session, so
+//!    every `run` answers 200 (a 422/5xx would be an abort leaking
+//!    through the transport);
+//! 2. **blocked-never-complete** — no blocked activity is ever linked
+//!    to a completed schedule instance;
+//! 3. **replay ≡ live** — journal recovery reproduces the live
+//!    database byte-for-byte;
+//! 4. **generational-ID safety** — compacting mid-load (generation
+//!    bump, stale-handle rejection) never corrupts state or breaks
+//!    subsequent requests.
+//!
+//! Part B is the crash→recover→re-serve case from `scripts/ws_e2e.sh`,
+//! network edition: serve a persistent root, run a project over HTTP,
+//! kill the server, tear the journal tail (the half-line a process
+//! killed mid-write leaves), re-serve the same root from a cold
+//! workspace, and require the byte-identical status report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hercules::chaos::ChaosScenario;
+use hercules::Workspace;
+use metadata::MetadataDb;
+use serve::{Client, Server, ServerConfig};
+use simtools::FaultPlan;
+
+const SEEDS: u64 = 64;
+
+fn schema_source_of(scenario: &ChaosScenario) -> String {
+    format!(
+        "schema {};\n{}",
+        scenario.schema().name(),
+        scenario.schema().to_source()
+    )
+}
+
+/// Runs one seeded scenario through the server and checks every
+/// invariant; returns violations instead of panicking so one sweep
+/// reports all bad seeds.
+fn run_scenario(seed: u64, client: &Client, ws: &Workspace) -> Vec<String> {
+    let mut violations = Vec::new();
+    let scenario = ChaosScenario::from_seed(seed);
+    let name = format!("chaos{seed}");
+    let target = scenario.target().to_owned();
+
+    let resp = client
+        .post(
+            &format!(
+                "/projects/{name}?team={}&seed={}",
+                scenario.team_size(),
+                scenario.project_seed()
+            ),
+            schema_source_of(&scenario).as_bytes(),
+        )
+        .expect("create project");
+    if resp.status != 201 {
+        return vec![format!(
+            "seed {seed}: create -> {}: {}",
+            resp.status, resp.body
+        )];
+    }
+    let resp = client
+        .post(&format!("/projects/{name}/plan?target={target}"), b"")
+        .expect("plan");
+    if resp.status != 200 {
+        return vec![format!(
+            "seed {seed}: plan -> {}: {}",
+            resp.status, resp.body
+        )];
+    }
+
+    // Arm the scenario's fault plan directly on the shared project
+    // handle — the server and this test see the same kernel.
+    let project = ws.project(&name).expect("registered via server");
+    project.update(|h| {
+        h.set_fault_plan(FaultPlan::seeded(scenario.fault_seed()).with_persistent_rate(0.25));
+    });
+
+    // Phase 1: faulted execution racing status polls and replans.
+    let failed = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let run_client = client.clone();
+        let run_name = name.clone();
+        let run_target = target.clone();
+        let failed_run = Arc::clone(&failed);
+        scope.spawn(move || {
+            let resp = run_client
+                .post(
+                    &format!("/projects/{run_name}/run?target={run_target}"),
+                    b"",
+                )
+                .expect("run request");
+            // Invariant 1: injected faults never abort the session.
+            if resp.status != 200 {
+                eprintln!("seed run aborted: {} {}", resp.status, resp.body);
+                failed_run.store(true, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..2 {
+            let poll_client = client.clone();
+            let poll_name = name.clone();
+            let failed_poll = Arc::clone(&failed);
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    let resp = poll_client
+                        .get(&format!("/projects/{poll_name}/status"))
+                        .expect("status poll");
+                    if resp.status != 200 {
+                        failed_poll.store(true, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+        let replan_client = client.clone();
+        let replan_name = name.clone();
+        let replan_target = target.clone();
+        let failed_replan = Arc::clone(&failed);
+        scope.spawn(move || {
+            for _ in 0..3 {
+                let resp = replan_client
+                    .post(
+                        &format!("/projects/{replan_name}/replan?target={replan_target}"),
+                        b"",
+                    )
+                    .expect("replan request");
+                if resp.status != 200 {
+                    eprintln!("seed replan failed: {} {}", resp.status, resp.body);
+                    failed_replan.store(true, Ordering::SeqCst);
+                }
+            }
+        });
+    });
+    if failed.load(Ordering::SeqCst) {
+        violations.push(format!(
+            "seed {seed}: a request aborted under injected faults"
+        ));
+    }
+
+    // Invariants on the kernel the server mutated.
+    project.read(|h| {
+        // Invariant 2: blocked is never linked complete.
+        for blocked in h.blocked_activities() {
+            if h.db()
+                .current_plan(blocked)
+                .is_some_and(|p| p.is_complete())
+            {
+                violations.push(format!("seed {seed}: blocked {blocked} is linked complete"));
+            }
+        }
+        if let Err(errors) = h.db().check_invariants() {
+            for e in errors {
+                violations.push(format!("seed {seed}: live invariant: {e}"));
+            }
+        }
+        // Invariant 3: replay ≡ live, after all the network traffic.
+        match h.db().journal() {
+            Some(journal) => match MetadataDb::recover(journal) {
+                Ok(replayed) => {
+                    if replayed.dump() != h.db().dump() {
+                        violations
+                            .push(format!("seed {seed}: journal replay diverges from live db"));
+                    }
+                }
+                Err(e) => violations.push(format!("seed {seed}: journal replay failed: {e}")),
+            },
+            None => violations.push(format!("seed {seed}: journal disappeared")),
+        }
+    });
+
+    // Phase 2 (every 8th seed to bound runtime): compaction racing
+    // live traffic — generational-ID safety under network concurrency.
+    if seed.is_multiple_of(8) {
+        let generation_before = project.read(|h| h.db().generation());
+        let failed_gc = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let gc_project = Arc::clone(&project);
+            scope.spawn(move || {
+                gc_project.gc().expect("mid-load gc");
+            });
+            let poll_client = client.clone();
+            let poll_name = name.clone();
+            let poll_target = target.clone();
+            let failed_poll = Arc::clone(&failed_gc);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let s = poll_client
+                        .get(&format!("/projects/{poll_name}/status"))
+                        .expect("status during gc");
+                    let r = poll_client
+                        .post(
+                            &format!("/projects/{poll_name}/replan?target={poll_target}"),
+                            b"",
+                        )
+                        .expect("replan during gc");
+                    if s.status != 200 || r.status != 200 {
+                        failed_poll.store(true, Ordering::SeqCst);
+                    }
+                }
+            });
+        });
+        if failed_gc.load(Ordering::SeqCst) {
+            violations.push(format!("seed {seed}: request failed during mid-load gc"));
+        }
+        project.read(|h| {
+            if h.db().generation() <= generation_before {
+                violations.push(format!("seed {seed}: gc did not bump the generation"));
+            }
+            if let Err(errors) = h.db().check_invariants() {
+                for e in errors {
+                    violations.push(format!("seed {seed}: post-gc invariant: {e}"));
+                }
+            }
+        });
+        // The restamped world still serves writes.
+        let resp = client
+            .post(&format!("/projects/{name}/replan?target={target}"), b"")
+            .expect("post-gc replan");
+        if resp.status != 200 {
+            violations.push(format!(
+                "seed {seed}: post-gc replan -> {}: {}",
+                resp.status, resp.body
+            ));
+        }
+    }
+    violations
+}
+
+#[test]
+fn chaos_seeds_hold_invariants_under_network_concurrency() {
+    let ws = Arc::new(Workspace::in_memory());
+    let server = Server::start(
+        Arc::clone(&ws),
+        ServerConfig {
+            workers: 6,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let client = Client::new(server.addr());
+    let mut violations = Vec::new();
+    for seed in 0..SEEDS {
+        violations.extend(run_scenario(seed, &client, &ws));
+    }
+    server.shutdown();
+    assert!(
+        violations.is_empty(),
+        "{} violation(s) across {SEEDS} seeds:\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn crash_recover_reserve_is_byte_identical() {
+    let root = std::env::temp_dir().join(format!("serve-chaos-reserve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("mkdir root");
+
+    let scenario = ChaosScenario::from_seed(3);
+    let target = scenario.target().to_owned();
+    let source = schema_source_of(&scenario);
+
+    // Serve, create, run, snapshot the status — all over HTTP.
+    let server = Server::start(
+        Arc::new(Workspace::persistent(&root)),
+        ServerConfig::default(),
+    )
+    .expect("bind first server");
+    let client = Client::new(server.addr());
+    let resp = client
+        .post(
+            &format!(
+                "/projects/alpha?team={}&seed={}",
+                scenario.team_size(),
+                scenario.project_seed()
+            ),
+            source.as_bytes(),
+        )
+        .expect("create");
+    assert_eq!(resp.status, 201, "{}", resp.body);
+    let resp = client
+        .post(&format!("/projects/alpha/run?target={target}"), b"")
+        .expect("run");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+
+    // Reference snapshot from a clean reopen — the same cold-start
+    // path the post-crash server takes, so the only variable left in
+    // the comparison is the torn journal line.
+    let server = Server::start(
+        Arc::new(Workspace::persistent(&root)),
+        ServerConfig::default(),
+    )
+    .expect("bind reference server");
+    let client = Client::new(server.addr());
+    let before = client.get("/projects/alpha/status").expect("status before");
+    assert_eq!(before.status, 200, "{}", before.body);
+    server.shutdown();
+
+    // Crash: a torn half-line at the end of the journal tail, exactly
+    // what a process killed mid-append leaves behind (same injection
+    // as scripts/ws_e2e.sh).
+    let tail = std::fs::read_dir(root.join("alpha"))
+        .expect("project dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("tail-") && name.ends_with(".journal")
+        })
+        .expect("journal tail file");
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&tail)
+            .expect("open tail");
+        f.write_all(b"begin-run Create al").expect("tear tail");
+    }
+
+    // Re-serve the same root from a cold workspace: the saved
+    // session config (project.conf) lets the server reopen the
+    // project with no schema in hand, and recovery shrugs off the
+    // torn line.
+    let server = Server::start(
+        Arc::new(Workspace::persistent(&root)),
+        ServerConfig::default(),
+    )
+    .expect("bind second server");
+    let client = Client::new(server.addr());
+    let listing = client.get("/projects").expect("list");
+    assert!(
+        listing.body.lines().any(|l| l == "alpha"),
+        "on-disk project must be listed after restart: {:?}",
+        listing.body
+    );
+    let after = client.get("/projects/alpha/status").expect("status after");
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_eq!(
+        before.body, after.body,
+        "status must be byte-identical across crash -> recover -> re-serve"
+    );
+    // …and the recovered project is still writable over the wire.
+    let resp = client
+        .post(&format!("/projects/alpha/replan?target={target}"), b"")
+        .expect("replan after recovery");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -90,7 +90,7 @@ fn fig8_chrome_trace_matches_golden() {
         panic!(
             "fig8 trace drifted from artifacts/fig8_trace.json\nfirst difference at {first}\n\
              if the change is intentional, regenerate with:\n  \
-             cargo run -p hercules --bin herc -- trace fig8 --logical --out artifacts/fig8_trace.json\n"
+             cargo run -p dac95-schedflow --bin herc -- trace fig8 --logical --out artifacts/fig8_trace.json\n"
         );
     }
 }
