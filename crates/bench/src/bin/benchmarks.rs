@@ -1,5 +1,5 @@
 //! Aggregated micro-benchmark runner (replaces `cargo bench`): runs
-//! the B1–B8 kernels and writes `BENCH_schedflow.json` at the
+//! the B1–B14 kernels and writes `BENCH_schedflow.json` at the
 //! workspace root.
 //!
 //! Usage:

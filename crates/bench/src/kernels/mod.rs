@@ -1,4 +1,4 @@
-//! The workspace's micro-benchmark kernels (B1–B12 in DESIGN.md),
+//! The workspace's micro-benchmark kernels (B1–B14 in DESIGN.md),
 //! ported from Criterion onto `harness::bench` so they run offline and
 //! emit machine-readable results.
 //!
@@ -13,6 +13,7 @@ use harness::bench::Record;
 pub mod baseline_compare;
 pub mod calibrate;
 pub mod cpm;
+pub mod cpm_scale;
 pub mod execution;
 pub mod gantt;
 pub mod planning;
@@ -26,10 +27,10 @@ pub mod trace_overhead;
 pub mod workspace_concurrent;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B13). The calibration spin must run first: it warms the CPU for
+/// B1–B14). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 14] = [
+pub const KERNELS: [&str; 15] = [
     "calibrate",
     "cpm",
     "planning",
@@ -44,6 +45,7 @@ pub const KERNELS: [&str; 14] = [
     "trace_overhead",
     "workspace_concurrent",
     "serve_load",
+    "cpm_scale",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -91,6 +93,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("serve_load") {
         records.extend(serve_load::run(quick));
+    }
+    if wanted("cpm_scale") {
+        records.extend(cpm_scale::run(quick));
     }
     records
 }

@@ -58,9 +58,14 @@ fn quick_run_covers_all_kernels() {
 
 #[test]
 fn filtered_run_and_json_schema() {
+    // Substring filter: "cpm" matches both the B1 kernel and B14's
+    // "cpm_scale", and nothing else.
     let records = kernels::run_all(true, Some("cpm"));
-    assert!(records.iter().all(|r| r.kernel == "cpm"));
-    assert!(!records.is_empty());
+    assert!(records
+        .iter()
+        .all(|r| r.kernel == "cpm" || r.kernel == "cpm_scale"));
+    assert!(records.iter().any(|r| r.kernel == "cpm"));
+    assert!(records.iter().any(|r| r.kernel == "cpm_scale"));
 
     let json = harness::bench::to_json(&records);
     for needle in [

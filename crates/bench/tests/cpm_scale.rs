@@ -1,0 +1,128 @@
+//! The B14 acceptance gate for the data-oriented CPM core.
+//!
+//! Host-independent assertions (ratios, not wall-clock floors, so a
+//! slow single-core CI container passes on shape alone):
+//!
+//! * the full pass scales subquadratically from 10⁴ to 10⁵ activities
+//!   (a 10× element growth must cost well under the ~100× a quadratic
+//!   object-graph walk would);
+//! * an incremental slack-absorbed leaf slip stays ≥100× faster than a
+//!   full recompute at 10⁵ activities, with a dirty cone that never
+//!   grows with the schedule;
+//! * the level-parallel passes are thread-count invariant: one worker
+//!   and four produce the identical analysis, bit for bit.
+
+use bench::kernels::cpm_scale::scale_network;
+use schedule::WorkDays;
+
+/// Min wall-seconds of `f` over `tries` runs — min, not mean, to shrug
+/// off scheduler noise on loaded CI hosts.
+#[cfg(not(debug_assertions))]
+fn best_secs<R>(tries: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..tries)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn threads_are_invisible_and_leaf_cone_is_constant() {
+    let (mut net, last) = scale_network(100_000);
+    // Identical analyses for any worker count, including the critical
+    // path and every per-activity date.
+    let serial = net.analyze_with_threads(1).expect("acyclic");
+    let parallel = net.analyze_with_threads(4).expect("acyclic");
+    assert_eq!(
+        serial, parallel,
+        "level-parallel CPM diverged from the serial sweep"
+    );
+
+    // Slack-absorbed leaf slip: heavy sibling sinks, 1 <-> 2.5 toggle.
+    for &id in &last {
+        net.set_duration(id, WorkDays::new(5.0)).expect("known id");
+    }
+    let leaf = last[last.len() / 2];
+    net.set_duration(leaf, WorkDays::new(1.0))
+        .expect("known id");
+    let mut inc = net.analyze_incremental().expect("acyclic");
+    net.set_duration(leaf, WorkDays::new(2.5))
+        .expect("known id");
+    let stats = inc.update(&net, &[leaf]).expect("known dirty set");
+    assert!(!stats.full_rebuild);
+    eprintln!(
+        "cpm_scale: leaf slip at 100k activities recomputed {} (forward {} / backward {})",
+        stats.total_recomputed(),
+        stats.forward_recomputed,
+        stats.backward_recomputed
+    );
+    assert!(
+        stats.total_recomputed() <= 64,
+        "slack-absorbed leaf slip recomputed {} activities on a 100k \
+         graph; the dirty cone should be O(1), not O(n)",
+        stats.total_recomputed()
+    );
+}
+
+/// Timing gates only make sense on optimized builds (debug builds also
+/// cross-check every incremental update against a full pass, which is
+/// the very cost this gate measures).
+#[cfg(not(debug_assertions))]
+#[test]
+fn full_pass_subquadratic_and_incremental_stays_micro() {
+    const TRIES: usize = 5;
+
+    let (net4, _) = scale_network(10_000);
+    let (mut net5, last) = scale_network(100_000);
+    // Warmup.
+    net4.analyze().expect("acyclic");
+    net5.analyze().expect("acyclic");
+
+    let t4 = best_secs(TRIES, || net4.analyze().expect("acyclic"));
+    let t5 = best_secs(TRIES, || net5.analyze().expect("acyclic"));
+    let growth = t5 / t4;
+    eprintln!(
+        "cpm_scale: full CPM 10k {:.3} ms, 100k {:.3} ms, growth {growth:.1}x for 10x elements",
+        t4 * 1e3,
+        t5 * 1e3
+    );
+    assert!(
+        growth <= 30.0,
+        "full CPM grew {growth:.1}x for a 10x element increase \
+         ({:.3} ms -> {:.3} ms); the flat pass has regressed toward \
+         superlinear behavior",
+        t4 * 1e3,
+        t5 * 1e3
+    );
+
+    // Slack-absorbed leaf slip at 100k.
+    for &id in &last {
+        net5.set_duration(id, WorkDays::new(5.0)).expect("known id");
+    }
+    let leaf = last[last.len() / 2];
+    net5.set_duration(leaf, WorkDays::new(1.0))
+        .expect("known id");
+    let mut inc = net5.analyze_incremental().expect("acyclic");
+    let mut flip = false;
+    let t_inc = best_secs(64, || {
+        flip = !flip;
+        let d = if flip { 2.5 } else { 1.0 };
+        net5.set_duration(leaf, WorkDays::new(d)).expect("known id");
+        inc.update(&net5, &[leaf]).expect("known dirty set")
+    });
+    let speedup = t5 / t_inc;
+    eprintln!(
+        "cpm_scale: incremental leaf slip {:.2} us, {speedup:.0}x faster than full",
+        t_inc * 1e6
+    );
+    assert!(
+        speedup >= 100.0,
+        "incremental leaf slip ({:.2} us) is only {speedup:.0}x faster \
+         than a full recompute ({:.3} ms) at 100k activities; the \
+         dirty-region engine has regressed",
+        t_inc * 1e6,
+        t5 * 1e3
+    );
+}

@@ -118,6 +118,13 @@ pub struct EdgeRef<'a, E> {
 pub struct Dag<N, E> {
     nodes: Vec<NodeSlot<N>>,
     edges: Vec<EdgeSlot<E>>,
+    /// Generation-stamped "visited" marks for the cycle check in
+    /// [`add_edge`](Dag::add_edge), reused across calls so bulk graph
+    /// construction does not pay an O(nodes) allocation per edge
+    /// (million-node schedule networks are built edge by edge).
+    visit_stamp: Vec<u32>,
+    visit_gen: u32,
+    visit_stack: Vec<NodeId>,
 }
 
 // Manual impl so `Dag<N, E>: Default` holds without requiring
@@ -134,6 +141,9 @@ impl<N, E> Dag<N, E> {
         Dag {
             nodes: Vec::new(),
             edges: Vec::new(),
+            visit_stamp: Vec::new(),
+            visit_gen: 0,
+            visit_stack: Vec::new(),
         }
     }
 
@@ -142,6 +152,9 @@ impl<N, E> Dag<N, E> {
         Dag {
             nodes: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
+            visit_stamp: Vec::with_capacity(nodes),
+            visit_gen: 0,
+            visit_stack: Vec::new(),
         }
     }
 
@@ -168,6 +181,7 @@ impl<N, E> Dag<N, E> {
             outgoing: Vec::new(),
             incoming: Vec::new(),
         });
+        self.visit_stamp.push(0);
         id
     }
 
@@ -185,7 +199,7 @@ impl<N, E> Dag<N, E> {
         if from == to {
             return Err(GraphError::SelfLoop(from));
         }
-        if self.reaches(to, from) {
+        if self.reaches_scratch(to, from) {
             return Err(GraphError::WouldCycle { from, to });
         }
         let id = EdgeId(self.edges.len() as u32);
@@ -373,6 +387,45 @@ impl<N, E> Dag<N, E> {
             }
         }
         false
+    }
+
+    /// Allocation-free [`reaches`](Dag::reaches) for the hot
+    /// [`add_edge`](Dag::add_edge) cycle check: marks visited nodes
+    /// with a bumped generation stamp instead of a fresh `Vec<bool>`,
+    /// so building an E-edge graph costs O(V + E) scratch total
+    /// instead of O(V) fresh allocation per edge.
+    fn reaches_scratch(&mut self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        self.visit_gen = self.visit_gen.wrapping_add(1);
+        if self.visit_gen == 0 {
+            // Generation counter wrapped: stale stamps could alias.
+            self.visit_stamp.fill(0);
+            self.visit_gen = 1;
+        }
+        let gen = self.visit_gen;
+        let mut stack = std::mem::take(&mut self.visit_stack);
+        stack.clear();
+        stack.push(from);
+        self.visit_stamp[from.index()] = gen;
+        let mut found = false;
+        'dfs: while let Some(v) = stack.pop() {
+            for &e in &self.nodes[v.index()].outgoing {
+                let succ = self.edges[e.index()].to;
+                if succ == to {
+                    found = true;
+                    break 'dfs;
+                }
+                if self.visit_stamp[succ.index()] != gen {
+                    self.visit_stamp[succ.index()] = gen;
+                    stack.push(succ);
+                }
+            }
+        }
+        stack.clear();
+        self.visit_stack = stack;
+        found
     }
 
     fn check_node(&self, node: NodeId) -> Result<(), GraphError> {

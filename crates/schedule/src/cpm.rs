@@ -123,86 +123,34 @@ impl ScheduleNetwork {
     /// # }
     /// ```
     pub fn analyze(&self) -> Result<CpmAnalysis, ScheduleError> {
-        let order = self.precedence_order();
-        let n = self.activity_count();
-        let mut early_start = vec![0.0f64; n];
-        let mut early_finish = vec![0.0f64; n];
-        // Forward pass.
-        for &id in &order {
-            let es = self
-                .predecessors(id)
-                .map(|p| early_finish[p.index()])
-                .fold(0.0f64, f64::max);
-            early_start[id.index()] = es;
-            early_finish[id.index()] = es + self.duration(id).days();
-        }
-        let project = early_finish.iter().copied().fold(0.0f64, f64::max);
-        // Backward pass.
-        let mut late_finish = vec![project; n];
-        let mut late_start = vec![project; n];
-        for &id in order.iter().rev() {
-            let lf = self
-                .successors(id)
-                .map(|s| late_start[s.index()])
-                .fold(f64::INFINITY, f64::min);
-            let lf = if lf.is_finite() { lf } else { project };
-            late_finish[id.index()] = lf;
-            late_start[id.index()] = lf - self.duration(id).days();
-        }
-        // Slack + assembled times.
-        let mut times = Vec::with_capacity(n);
-        for id in self.activities() {
-            let i = id.index();
-            let free = self
-                .successors(id)
-                .map(|s| early_start[s.index()])
-                .fold(f64::INFINITY, f64::min);
-            let free = if free.is_finite() {
-                (free - early_finish[i]).max(0.0)
-            } else {
-                (project - early_finish[i]).max(0.0)
-            };
-            times.push(ActivityTimes {
-                early_start: WorkDays::new(early_start[i].max(0.0)),
-                early_finish: WorkDays::new(early_finish[i].max(0.0)),
-                late_start: WorkDays::new(late_start[i].max(0.0)),
-                late_finish: WorkDays::new(late_finish[i].max(0.0)),
-                total_slack: WorkDays::new((late_start[i] - early_start[i]).max(0.0)),
-                free_slack: WorkDays::new(free),
-            });
-        }
-        let is_crit = |i: usize| (late_start[i] - early_start[i]).abs() < 1e-9;
-        let critical = walk_critical(self, &early_start, &early_finish, is_crit);
+        self.analyze_with_threads(crate::csr::default_threads(self.activity_count()))
+    }
+
+    /// [`analyze`](ScheduleNetwork::analyze) with an explicit worker
+    /// count for the level-synchronous passes. `threads <= 1` forces
+    /// the serial sweep. Results are bit-identical for every thread
+    /// count: each activity's dates are a pure fold over its
+    /// already-finished neighbors in fixed edge-insertion order, so
+    /// threading only changes who computes them, never the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for networks built through the public API, like
+    /// [`analyze`](ScheduleNetwork::analyze).
+    pub fn analyze_with_threads(&self, threads: usize) -> Result<CpmAnalysis, ScheduleError> {
+        let csr = self.csr();
+        let dur = csr.gather(self.durations_raw());
+        let (es, ef) = csr.forward(&dur, threads);
+        let tail = csr.backward(&dur, threads);
+        let project = csr.project(&ef);
+        let times = csr.assemble_times(&dur, &es, &ef, &tail, project);
+        let critical = csr.walk_critical(&es, &ef, &tail, project);
         Ok(CpmAnalysis {
             times,
             duration: WorkDays::new(project),
             critical,
         })
     }
-}
-
-/// Walks one critical path: from the first critical start activity,
-/// always stepping to a critical successor whose early start equals our
-/// early finish. Deterministic (insertion-order tie-breaking), shared
-/// by the full and incremental engines so both report the same path.
-pub(crate) fn walk_critical(
-    network: &ScheduleNetwork,
-    early_start: &[f64],
-    early_finish: &[f64],
-    is_crit: impl Fn(usize) -> bool,
-) -> Vec<ActivityId> {
-    let mut critical = Vec::new();
-    let mut current = network
-        .start_activities()
-        .into_iter()
-        .find(|a| is_crit(a.index()));
-    while let Some(id) = current {
-        critical.push(id);
-        current = network.successors(id).find(|s| {
-            is_crit(s.index()) && (early_start[s.index()] - early_finish[id.index()]).abs() < 1e-9
-        });
-    }
-    critical
 }
 
 #[cfg(test)]

@@ -21,6 +21,14 @@
 //! leaf slips — costs nothing extra: every untouched activity's cached
 //! state stays valid.
 //!
+//! The engine runs entirely on the network's flat
+//! `CsrTopology` view (`crate::csr`): all cached arrays are
+//! indexed by topological *position*, and the worklists are
+//! `DirtyBits` bitsets drained in position
+//! order (ascending for the forward sweep, descending for the
+//! backward), which replaces the old binary-heap + generation-stamp
+//! scheme with two cache-resident words per 64 activities.
+//!
 //! Structural edits (new activities or precedence constraints) change
 //! the topology itself; [`IncrementalCpm::update`] detects them through
 //! [`ScheduleNetwork::structure_revision`] and falls back to a full
@@ -46,15 +54,12 @@
 //! # }
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-use crate::cpm::{walk_critical, ActivityTimes, CpmAnalysis};
+use crate::cpm::{ActivityTimes, CpmAnalysis};
+use crate::csr::{default_threads, CsrTopology, DirtyBits, EPS};
 use crate::error::ScheduleError;
 use crate::network::{ActivityId, ScheduleNetwork, WorkDays};
-
-/// Slack tolerance shared with the full pass.
-const EPS: f64 = 1e-9;
 
 /// What one [`IncrementalCpm::update`] actually recomputed — the
 /// observable evidence that work is proportional to the dirty cone, not
@@ -92,13 +97,17 @@ impl UpdateStats {
 ///
 /// Create with [`ScheduleNetwork::analyze_incremental`] (one full
 /// pass), then call [`update`](IncrementalCpm::update) after each batch
-/// of duration changes. Accessors that need topology (successor lists,
-/// the critical walk) take the network again; the engine verifies it is
-/// the same network via the structural revision.
+/// of duration changes. All cached arrays live in topological position
+/// space over a shared `CsrTopology`; accessors translate ids through
+/// its `pos` map. Accessors that hand back network-shaped results take
+/// the network again; the engine verifies it is the same network via
+/// the structural revision.
 #[derive(Debug, Clone)]
 pub struct IncrementalCpm {
+    /// Shared flat topology (one structural revision of the network).
+    csr: Arc<CsrTopology>,
     /// Snapshot of activity durations the cached state was derived
-    /// from.
+    /// from, in position order.
     durations: Vec<f64>,
     early_start: Vec<f64>,
     early_finish: Vec<f64>,
@@ -107,15 +116,10 @@ pub struct IncrementalCpm {
     /// derive from it: `late_start = project − tail`.
     tail: Vec<f64>,
     project: f64,
-    /// Topological order and each activity's position in it.
-    order: Vec<ActivityId>,
-    pos: Vec<usize>,
-    sinks: Vec<ActivityId>,
     structure_rev: u64,
-    /// Generation-stamped "queued" scratch (avoids an O(n) clear per
-    /// update).
-    stamp: Vec<u64>,
-    gen: u64,
+    /// Reusable bitset worklists (self-clearing on drain).
+    dirty_fwd: DirtyBits,
+    dirty_bwd: DirtyBits,
 }
 
 impl ScheduleNetwork {
@@ -139,19 +143,18 @@ impl IncrementalCpm {
     ///
     /// Infallible for networks built through the public API.
     pub fn new(network: &ScheduleNetwork) -> Result<Self, ScheduleError> {
-        let n = network.activity_count();
+        let csr = network.csr();
+        let n = csr.len();
         let mut engine = IncrementalCpm {
-            durations: vec![0.0; n],
-            early_start: vec![0.0; n],
-            early_finish: vec![0.0; n],
-            tail: vec![0.0; n],
+            csr,
+            durations: Vec::new(),
+            early_start: Vec::new(),
+            early_finish: Vec::new(),
+            tail: Vec::new(),
             project: 0.0,
-            order: Vec::new(),
-            pos: vec![0; n],
-            sinks: Vec::new(),
             structure_rev: network.structure_revision(),
-            stamp: vec![0; n],
-            gen: 0,
+            dirty_fwd: DirtyBits::new(n),
+            dirty_bwd: DirtyBits::new(n),
         };
         engine.rebuild(network);
         Ok(engine)
@@ -178,7 +181,7 @@ impl IncrementalCpm {
     ///
     /// Panics if `id` does not belong to the analyzed network.
     pub fn is_critical(&self, id: ActivityId) -> bool {
-        self.raw_slack(id.index()).max(0.0) < EPS
+        self.raw_slack(self.position(id)).max(0.0) < EPS
     }
 
     /// Earliest start of `id` from the cached forward pass.
@@ -187,7 +190,7 @@ impl IncrementalCpm {
     ///
     /// Panics if `id` does not belong to the analyzed network.
     pub fn early_start(&self, id: ActivityId) -> WorkDays {
-        WorkDays::new(self.early_start[id.index()].max(0.0))
+        WorkDays::new(self.early_start[self.position(id)].max(0.0))
     }
 
     /// Latest start of `id`, derived from the cached backward pass.
@@ -196,16 +199,20 @@ impl IncrementalCpm {
     ///
     /// Panics if `id` does not belong to the analyzed network.
     pub fn late_start(&self, id: ActivityId) -> WorkDays {
-        WorkDays::new((self.project - self.tail[id.index()]).max(0.0))
+        WorkDays::new((self.project - self.tail[self.position(id)]).max(0.0))
     }
 
-    fn raw_slack(&self, i: usize) -> f64 {
-        (self.project - self.tail[i]) - self.early_start[i]
+    /// Topological position of `id` (panics on foreign ids).
+    fn position(&self, id: ActivityId) -> usize {
+        self.csr.pos[id.index()] as usize
+    }
+
+    fn raw_slack(&self, p: usize) -> f64 {
+        (self.project - self.tail[p]) - self.early_start[p]
     }
 
     /// The four dates plus slack for one activity, identical to what
-    /// [`ScheduleNetwork::analyze`] reports. Needs the network again
-    /// for the free-slack successor scan.
+    /// [`ScheduleNetwork::analyze`] reports.
     ///
     /// # Panics
     ///
@@ -214,24 +221,25 @@ impl IncrementalCpm {
     /// via the structural revision).
     pub fn times(&self, network: &ScheduleNetwork, id: ActivityId) -> ActivityTimes {
         self.check_same_network(network);
-        let i = id.index();
-        let late_start = self.project - self.tail[i];
-        let late_finish = late_start + self.durations[i];
-        let free = network
-            .successors(id)
-            .map(|s| self.early_start[s.index()])
-            .fold(f64::INFINITY, f64::min);
-        let free = if free.is_finite() {
-            (free - self.early_finish[i]).max(0.0)
+        let p = self.position(id);
+        let late_start = self.project - self.tail[p];
+        let late_finish = late_start + self.durations[p];
+        let succs = self.csr.succs_of(p);
+        let free = if succs.is_empty() {
+            (self.project - self.early_finish[p]).max(0.0)
         } else {
-            (self.project - self.early_finish[i]).max(0.0)
+            let min_es = succs
+                .iter()
+                .map(|&q| self.early_start[q as usize])
+                .fold(f64::INFINITY, f64::min);
+            (min_es - self.early_finish[p]).max(0.0)
         };
         ActivityTimes {
-            early_start: WorkDays::new(self.early_start[i].max(0.0)),
-            early_finish: WorkDays::new(self.early_finish[i].max(0.0)),
+            early_start: WorkDays::new(self.early_start[p].max(0.0)),
+            early_finish: WorkDays::new(self.early_finish[p].max(0.0)),
             late_start: WorkDays::new(late_start.max(0.0)),
             late_finish: WorkDays::new(late_finish.max(0.0)),
-            total_slack: WorkDays::new((late_start - self.early_start[i]).max(0.0)),
+            total_slack: WorkDays::new((late_start - self.early_start[p]).max(0.0)),
             free_slack: WorkDays::new(free),
         }
     }
@@ -246,12 +254,19 @@ impl IncrementalCpm {
     /// from (checked via the structural revision).
     pub fn analysis(&self, network: &ScheduleNetwork) -> CpmAnalysis {
         self.check_same_network(network);
-        let times = network
-            .activities()
-            .map(|id| self.times(network, id))
-            .collect();
-        let is_crit = |i: usize| self.raw_slack(i).abs() < EPS;
-        let critical = walk_critical(network, &self.early_start, &self.early_finish, is_crit);
+        let times = self.csr.assemble_times(
+            &self.durations,
+            &self.early_start,
+            &self.early_finish,
+            &self.tail,
+            self.project,
+        );
+        let critical = self.csr.walk_critical(
+            &self.early_start,
+            &self.early_finish,
+            &self.tail,
+            self.project,
+        );
         CpmAnalysis::from_parts(times, self.project_duration(), critical)
     }
 
@@ -280,7 +295,6 @@ impl IncrementalCpm {
     ) -> Result<UpdateStats, ScheduleError> {
         let n = network.activity_count();
         if network.structure_revision() != self.structure_rev || n != self.durations.len() {
-            self.resize(n);
             self.structure_rev = network.structure_revision();
             self.rebuild(network);
             let stats = UpdateStats {
@@ -306,18 +320,20 @@ impl IncrementalCpm {
         }
         // Refresh the duration snapshot for the dirty region.
         for &id in dirty {
-            self.durations[id.index()] = network.duration(id).days();
+            let p = self.position(id);
+            self.durations[p] = network.duration(id).days();
         }
-        let (forward_recomputed, forward_cutoff) = self.forward_sweep(network, dirty);
-        let (backward_recomputed, backward_cutoff) = self.backward_sweep(network, dirty);
+        let (forward_recomputed, forward_cutoff, project_dirty) = self.forward_sweep(dirty);
+        let (backward_recomputed, backward_cutoff) = self.backward_sweep(dirty);
         // Project finish: max earliest finish over sinks (equal to the
         // max over all activities — earliest finishes are monotone
-        // along precedence edges).
-        self.project = self
-            .sinks
-            .iter()
-            .map(|s| self.early_finish[s.index()])
-            .fold(0.0f64, f64::max);
+        // along precedence edges). The fold is O(sinks), which on wide
+        // graphs would dwarf a slack-absorbed slip's O(1) cone — so it
+        // only runs when the forward sweep moved a sink that could
+        // actually shift the max.
+        if project_dirty {
+            self.project = self.csr.project(&self.early_finish);
+        }
         let stats = UpdateStats {
             forward_recomputed,
             backward_recomputed,
@@ -394,7 +410,7 @@ impl IncrementalCpm {
                 continue;
             }
             debug_assert!(
-                (network.duration(id).days() - self.durations[id.index()]).abs() < 1e-12,
+                (network.duration(id).days() - self.durations[self.position(id)]).abs() < 1e-12,
                 "activity {id} changed duration but was not declared dirty"
             );
         }
@@ -408,134 +424,92 @@ impl IncrementalCpm {
         );
     }
 
-    fn resize(&mut self, n: usize) {
-        self.durations.resize(n, 0.0);
-        self.early_start.resize(n, 0.0);
-        self.early_finish.resize(n, 0.0);
-        self.tail.resize(n, 0.0);
-        self.pos.resize(n, 0);
-        self.stamp.resize(n, 0);
-    }
-
-    /// Full recompute of every cached quantity.
+    /// Full recompute of every cached quantity on a fresh CSR view.
     fn rebuild(&mut self, network: &ScheduleNetwork) {
-        self.order = network.precedence_order();
-        for (k, &id) in self.order.iter().enumerate() {
-            self.pos[id.index()] = k;
-        }
-        self.sinks = network.finish_activities();
-        for id in network.activities() {
-            self.durations[id.index()] = network.duration(id).days();
-        }
-        for &id in &self.order {
-            let i = id.index();
-            let es = network
-                .predecessors(id)
-                .map(|p| self.early_finish[p.index()])
-                .fold(0.0f64, f64::max);
-            self.early_start[i] = es;
-            self.early_finish[i] = es + self.durations[i];
-        }
-        for &id in self.order.iter().rev() {
-            let i = id.index();
-            let t = network
-                .successors(id)
-                .map(|s| self.tail[s.index()])
-                .fold(0.0f64, f64::max);
-            self.tail[i] = self.durations[i] + t;
-        }
-        self.project = self
-            .sinks
-            .iter()
-            .map(|s| self.early_finish[s.index()])
-            .fold(0.0f64, f64::max);
+        self.csr = network.csr();
+        let n = self.csr.len();
+        let threads = default_threads(n);
+        self.durations = self.csr.gather(network.durations_raw());
+        let (es, ef) = self.csr.forward(&self.durations, threads);
+        self.early_start = es;
+        self.early_finish = ef;
+        self.tail = self.csr.backward(&self.durations, threads);
+        self.project = self.csr.project(&self.early_finish);
+        self.dirty_fwd.reset(n);
+        self.dirty_bwd.reset(n);
     }
 
     /// Re-derives earliest dates over the forward cone of `dirty`,
     /// stopping propagation wherever the recomputed dates are
-    /// unchanged. Returns `(re-derived, cutoff)` — activities visited
-    /// and, of those, how many were found unchanged (where the cutoff
-    /// fired).
-    fn forward_sweep(&mut self, network: &ScheduleNetwork, dirty: &[ActivityId]) -> (usize, usize) {
-        self.gen += 1;
-        let gen = self.gen;
-        // Min-heap on topological position: every predecessor that can
-        // still change is processed before its successors, so each
-        // activity is re-derived at most once, from final inputs.
-        let mut heap: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
+    /// unchanged. Returns `(re-derived, cutoff, project_dirty)` —
+    /// activities visited, how many of those were found unchanged
+    /// (where the cutoff fired), and whether the project finish must be
+    /// refolded: that takes a *sink* whose earliest finish either held
+    /// the current max (it may drop) or now exceeds it. A sink moving
+    /// strictly below the max cannot shift it.
+    fn forward_sweep(&mut self, dirty: &[ActivityId]) -> (usize, usize, bool) {
+        // Ascending-position drain: every predecessor that can still
+        // change is processed before its successors (enqueued positions
+        // are always ahead of the cursor), so each activity is
+        // re-derived at most once, from final inputs.
         for &id in dirty {
-            if self.stamp[id.index()] != gen {
-                self.stamp[id.index()] = gen;
-                heap.push(Reverse((self.pos[id.index()], id.index() as u32)));
-            }
+            self.dirty_fwd.insert(self.position(id));
         }
         let mut recomputed = 0usize;
         let mut cutoff = 0usize;
-        while let Some(Reverse((_, idx))) = heap.pop() {
-            let i = idx as usize;
-            let id = self.order[self.pos[i]];
-            let es = network
-                .predecessors(id)
-                .map(|p| self.early_finish[p.index()])
-                .fold(0.0f64, f64::max);
-            let ef = es + self.durations[i];
+        let mut project_dirty = false;
+        while let Some(p) = self.dirty_fwd.pop_lowest() {
+            let mut es = 0.0f64;
+            for &q in self.csr.preds_of(p) {
+                es = es.max(self.early_finish[q as usize]);
+            }
+            let ef = es + self.durations[p];
             recomputed += 1;
             // Early cutoff: bit-identical earliest dates mean nothing
             // downstream can observe a change.
-            if es == self.early_start[i] && ef == self.early_finish[i] {
+            if es == self.early_start[p] && ef == self.early_finish[p] {
                 cutoff += 1;
                 continue;
             }
-            self.early_start[i] = es;
-            self.early_finish[i] = ef;
-            for s in network.successors(id) {
-                if self.stamp[s.index()] != gen {
-                    self.stamp[s.index()] = gen;
-                    heap.push(Reverse((self.pos[s.index()], s.index() as u32)));
-                }
+            let succs = self.csr.succs_of(p);
+            if succs.is_empty() && (self.early_finish[p] == self.project || ef > self.project) {
+                // The cached project is the exact max of the cached
+                // sink finishes, so bitwise equality identifies the
+                // sink(s) currently holding it.
+                project_dirty = true;
+            }
+            self.early_start[p] = es;
+            self.early_finish[p] = ef;
+            for &q in succs {
+                self.dirty_fwd.insert(q as usize);
             }
         }
-        (recomputed, cutoff)
+        (recomputed, cutoff, project_dirty)
     }
 
     /// Re-derives tails (late dates) over the backward cone of `dirty`,
     /// with the same early cutoff. Returns `(re-derived, cutoff)`.
-    fn backward_sweep(
-        &mut self,
-        network: &ScheduleNetwork,
-        dirty: &[ActivityId],
-    ) -> (usize, usize) {
-        self.gen += 1;
-        let gen = self.gen;
-        // Max-heap on topological position: successors first.
-        let mut heap: BinaryHeap<(usize, u32)> = BinaryHeap::new();
+    fn backward_sweep(&mut self, dirty: &[ActivityId]) -> (usize, usize) {
+        // Descending-position drain: successors first.
         for &id in dirty {
-            if self.stamp[id.index()] != gen {
-                self.stamp[id.index()] = gen;
-                heap.push((self.pos[id.index()], id.index() as u32));
-            }
+            self.dirty_bwd.insert(self.position(id));
         }
         let mut recomputed = 0usize;
         let mut cutoff = 0usize;
-        while let Some((_, idx)) = heap.pop() {
-            let i = idx as usize;
-            let id = self.order[self.pos[i]];
-            let t = network
-                .successors(id)
-                .map(|s| self.tail[s.index()])
-                .fold(0.0f64, f64::max);
-            let tail = self.durations[i] + t;
+        while let Some(p) = self.dirty_bwd.pop_highest() {
+            let mut t = 0.0f64;
+            for &q in self.csr.succs_of(p) {
+                t = t.max(self.tail[q as usize]);
+            }
+            let tail = self.durations[p] + t;
             recomputed += 1;
-            if tail == self.tail[i] {
+            if tail == self.tail[p] {
                 cutoff += 1;
                 continue;
             }
-            self.tail[i] = tail;
-            for p in network.predecessors(id) {
-                if self.stamp[p.index()] != gen {
-                    self.stamp[p.index()] = gen;
-                    heap.push((self.pos[p.index()], p.index() as u32));
-                }
+            self.tail[p] = tail;
+            for &q in self.csr.preds_of(p) {
+                self.dirty_bwd.insert(q as usize);
             }
         }
         (recomputed, cutoff)

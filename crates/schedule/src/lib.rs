@@ -44,6 +44,7 @@
 mod calendar;
 mod cpm;
 mod cpm_incremental;
+mod csr;
 mod error;
 mod leveling;
 mod network;

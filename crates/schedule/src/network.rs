@@ -1,9 +1,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use flowgraph::{Dag, NodeId};
 
+use crate::csr::CsrTopology;
 use crate::error::ScheduleError;
 
 /// A duration (or offset) measured in working days.
@@ -112,7 +114,6 @@ impl fmt::Display for ActivityId {
 #[derive(Debug, Clone)]
 pub(crate) struct ActivityData {
     pub(crate) name: String,
-    pub(crate) duration: WorkDays,
     /// Resource demands: resource name → units required while running.
     pub(crate) demands: Vec<(String, u32)>,
 }
@@ -138,15 +139,44 @@ pub(crate) struct ActivityData {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ScheduleNetwork {
     pub(crate) dag: Dag<ActivityData, ()>,
+    /// Durations in days, indexed by [`ActivityId::index`] — kept flat
+    /// (outside the per-node `ActivityData`) so the CPM passes read one
+    /// contiguous array instead of chasing node objects.
+    pub(crate) durations: Vec<f64>,
     names: HashMap<String, ActivityId>,
     /// Bumped on every *structural* change (activities/constraints, not
     /// durations). Lets caches such as
     /// [`IncrementalCpm`](crate::IncrementalCpm) detect when their
     /// cached topology is stale and a full rebuild is required.
     structure_rev: u64,
+    /// Lazily built flat CSR view of the precedence topology, shared by
+    /// [`analyze`](ScheduleNetwork::analyze) and
+    /// [`IncrementalCpm`](crate::IncrementalCpm). Invalidated by
+    /// comparing its recorded revision against `structure_rev` —
+    /// duration edits keep it warm.
+    csr_cache: Mutex<Option<Arc<CsrTopology>>>,
+}
+
+impl Clone for ScheduleNetwork {
+    fn clone(&self) -> Self {
+        // The CSR cache is cheap to share: `Arc` clones of an immutable
+        // topology stay valid as long as the revision matches.
+        let cached = self
+            .csr_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        ScheduleNetwork {
+            dag: self.dag.clone(),
+            durations: self.durations.clone(),
+            names: self.names.clone(),
+            structure_rev: self.structure_rev,
+            csr_cache: Mutex::new(cached),
+        }
+    }
 }
 
 impl ScheduleNetwork {
@@ -186,9 +216,10 @@ impl ScheduleNetwork {
         }
         let id = ActivityId(self.dag.add_node(ActivityData {
             name: name.clone(),
-            duration,
             demands: Vec::new(),
         }));
+        debug_assert_eq!(id.index(), self.durations.len());
+        self.durations.push(duration.days());
         self.names.insert(name, id);
         self.structure_rev += 1;
         Ok(id)
@@ -274,10 +305,7 @@ impl ScheduleNetwork {
     ///
     /// Panics if `id` is not an activity of this network.
     pub fn duration(&self, id: ActivityId) -> WorkDays {
-        self.dag
-            .node_weight(id.0)
-            .expect("activity exists")
-            .duration
+        WorkDays(*self.durations.get(id.index()).expect("activity exists"))
     }
 
     /// Replaces the activity's estimated duration (re-planning).
@@ -290,11 +318,11 @@ impl ScheduleNetwork {
         id: ActivityId,
         duration: WorkDays,
     ) -> Result<(), ScheduleError> {
-        let data = self
-            .dag
-            .node_weight_mut(id.0)
+        let slot = self
+            .durations
+            .get_mut(id.index())
             .ok_or(ScheduleError::UnknownActivity(id))?;
-        data.duration = duration;
+        *slot = duration.days();
         Ok(())
     }
 
@@ -387,6 +415,30 @@ impl ScheduleNetwork {
             .into_iter()
             .map(ActivityId)
             .collect()
+    }
+
+    /// The flat CSR view of the precedence topology, rebuilt lazily when
+    /// the [`structure_revision`](ScheduleNetwork::structure_revision)
+    /// has moved and shared via `Arc` otherwise. Duration edits never
+    /// invalidate it.
+    pub(crate) fn csr(&self) -> Arc<CsrTopology> {
+        let mut cache = self
+            .csr_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(csr) = cache.as_ref() {
+            if csr.structure_rev == self.structure_rev {
+                return Arc::clone(csr);
+            }
+        }
+        let csr = Arc::new(CsrTopology::build(self));
+        *cache = Some(Arc::clone(&csr));
+        csr
+    }
+
+    /// Raw day-valued durations, indexed by [`ActivityId::index`].
+    pub(crate) fn durations_raw(&self) -> &[f64] {
+        &self.durations
     }
 }
 

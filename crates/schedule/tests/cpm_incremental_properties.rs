@@ -189,6 +189,36 @@ harness::props! {
             prop_assert_eq!(stepwise.late_start(id), batch.late_start(id));
         }
     }
+
+    fn structural_changes_force_a_full_rebuild(
+        net in arb_network(),
+        dur in 0u32..20,
+        attach in any_u16(),
+    ) {
+        // Growing the network after the snapshot must be detected via
+        // the structure revision: the next update — even with an empty
+        // dirty set — rebuilds from scratch onto the new topology and
+        // tracks the full analysis again afterwards.
+        let mut net = net;
+        let mut inc = net.analyze_incremental().expect("acyclic");
+        let ids: Vec<ActivityId> = net.activities().collect();
+        let tail = net
+            .add_activity("grown", WorkDays::new(f64::from(dur) * 0.5))
+            .expect("fresh name");
+        let parent = ids[(attach as usize) % ids.len()];
+        net.add_precedence(parent, tail).expect("forward edge");
+        let stats = inc.update(&net, &[]).expect("rebuild path");
+        prop_assert!(stats.full_rebuild, "structural change must rebuild");
+        if let Err(e) = inc.cross_check(&net) {
+            panic!("post-rebuild state diverged: {e}");
+        }
+        // And the engine is reusable incrementally after the rebuild.
+        net.set_duration(tail, WorkDays::new(f64::from(dur) * 0.5 + 1.0))
+            .expect("known id");
+        let stats = inc.update(&net, &[tail]).expect("valid dirty set");
+        prop_assert!(!stats.full_rebuild, "duration slip is not structural");
+        prop_assert!(inc.cross_check(&net).is_ok());
+    }
 }
 
 #[test]

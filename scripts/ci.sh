@@ -19,6 +19,9 @@
 #           protocol fuzzer, 64-seed chaos-under-load sweep, herc
 #           serve CLI coverage, B13 scaling/coalescing floor, and a
 #           quick B13 latency-percentile artifact
+#   scale   data-oriented CPM gate: B14 shape tests (subquadratic
+#           full pass, >=100x incremental advantage, thread-count
+#           invariance) plus a quick 10^5-activity B14 artifact
 #   bench   bench_compare: fresh quick run vs committed BENCH_schedflow.json
 #   doc     rustdoc builds cleanly
 #
@@ -33,7 +36,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check golden chaos obs ws serve bench doc)
+ALL_STAGES=(fmt clippy check golden chaos obs ws serve scale bench doc)
 
 usage() {
     echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
@@ -166,6 +169,23 @@ stage_serve() {
     # artifact (p50/p95/p99 per worker count).
     cargo run -q --release --offline -p bench --bin benchmarks -- \
         serve_load --quick --out target/serve_latency.json
+}
+
+stage_scale() {
+    # Data-oriented CPM gate: the B14 acceptance tests assert the
+    # *shape* of the flat core with host-independent ratios — the full
+    # pass scales subquadratically 10^4 -> 10^5, a slack-absorbed leaf
+    # slip stays >=100x faster than a full recompute with an O(1)
+    # dirty cone, and the level-parallel passes are bit-identical for
+    # any worker count. Release mode: debug builds cross-check every
+    # incremental update against a full pass, which is the very cost
+    # the gate measures.
+    cargo test -q --offline --release -p bench \
+        --test cpm_scale || return 1
+    # Quick B14 rerun at 10^5: the scale report CI uploads as an
+    # artifact (full / full_serial / inc_leaf medians).
+    cargo run -q --release --offline -p bench --bin benchmarks -- \
+        cpm_scale --quick --out target/cpm_scale.json
 }
 
 stage_bench() {
