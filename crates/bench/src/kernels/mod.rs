@@ -23,14 +23,15 @@ pub mod recover_journal;
 pub mod replan;
 pub mod replan_incremental;
 pub mod serve_load;
+pub mod store_durability;
 pub mod trace_overhead;
 pub mod workspace_concurrent;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B14). The calibration spin must run first: it warms the CPU for
+/// B1–B15). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 15] = [
+pub const KERNELS: [&str; 16] = [
     "calibrate",
     "cpm",
     "planning",
@@ -46,6 +47,7 @@ pub const KERNELS: [&str; 15] = [
     "workspace_concurrent",
     "serve_load",
     "cpm_scale",
+    "store_durability",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -96,6 +98,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("cpm_scale") {
         records.extend(cpm_scale::run(quick));
+    }
+    if wanted("store_durability") {
+        records.extend(store_durability::run(quick));
     }
     records
 }

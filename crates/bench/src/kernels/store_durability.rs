@@ -1,0 +1,82 @@
+//! B15 — checksummed record framing overhead on the persistent store.
+//!
+//! PR 8's durability work frames every journal record and snapshot
+//! with a CRC32 so recovery can tell a torn tail from interior
+//! corruption. The checksum is pure CPU on the write and read paths;
+//! this kernel isolates it by running the identical scripted session
+//! against both framings over [`MemVfs`] (no disk, no fsync — only
+//! the encode/verify cost differs):
+//!
+//! * `append_v1/{n}` / `append_v2/{n}` — a session of `n` tool-run
+//!   cycles against a [`PersistentStore`] writing un-checksummed (v1)
+//!   vs checksummed (v2) tail records.
+//! * `open_v1/{n}` / `open_v2/{n}` — reopening the finished store:
+//!   snapshot decode (v2 verifies a whole-body CRC) plus tail replay
+//!   (v2 verifies one CRC per record).
+//!
+//! The gate (`tests/store_durability.rs`, EXPERIMENTS.md §B15): v2
+//! must stay within **1.2×** of v1 on both paths. The CRC is a
+//! table-driven byte loop over ~60-byte records, well below the op
+//! validation and `Vec` work around it.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use harness::bench::{black_box, Record};
+use metadata::{Framing, MetadataDb, PersistentStore, Store};
+use schedule::WorkDays;
+use schema::examples;
+use simtools::vfs::{MemVfs, Vfs};
+
+/// Drives `runs` begin/store/finish cycles against a fresh store on
+/// its own in-memory filesystem; returns the VFS for the reopen half.
+fn session(runs: usize, framing: Framing) -> Arc<MemVfs> {
+    let mem = MemVfs::new();
+    let db = MetadataDb::for_schema(&examples::circuit_design());
+    let mut store = PersistentStore::create_with_framing(
+        mem.clone() as Arc<dyn Vfs>,
+        Path::new("/proj"),
+        db,
+        framing,
+    )
+    .expect("create on MemVfs");
+    let planning = store.begin_planning(WorkDays::ZERO);
+    let plan = store
+        .plan_activity(planning, "Create", WorkDays::ZERO, WorkDays::new(1.0))
+        .expect("known activity");
+    store.assign(plan, "alice").expect("live plan");
+    let mut t = 0.0;
+    for i in 0..runs {
+        let run = store
+            .begin_run("Create", "alice", WorkDays::new(t))
+            .expect("known activity");
+        let data = store.store_data("n.net", vec![(i & 0xFF) as u8; 16]);
+        t += 0.25;
+        store
+            .finish_run(run, "netlist", data, WorkDays::new(t), &[])
+            .expect("valid finish");
+        t += 0.01;
+    }
+    mem
+}
+
+/// Runs the kernel; `quick` selects the smoke-test plan and sizes.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut suite = super::suite("store_durability", quick);
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 256, 1_024] };
+    for &n in sizes {
+        for (label, framing) in [("v1", Framing::V1), ("v2", Framing::V2)] {
+            suite.bench(&format!("append_{label}/{n}"), Some(n as u64), || {
+                Arc::strong_count(&session(black_box(n), framing))
+            });
+            let mem = session(n, framing);
+            suite.bench(&format!("open_{label}/{n}"), Some(n as u64), || {
+                let store =
+                    PersistentStore::open_on(mem.clone() as Arc<dyn Vfs>, Path::new("/proj"))
+                        .expect("own store reopens");
+                black_box(store.db().schedule_count())
+            });
+        }
+    }
+    suite.into_records()
+}

@@ -69,6 +69,7 @@ mod workspace;
 
 pub mod browse;
 pub mod chaos;
+pub mod fsck;
 pub mod report;
 pub mod trace;
 

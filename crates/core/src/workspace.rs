@@ -488,7 +488,10 @@ fn write_project_conf(
 /// Reads a saved session configuration back. The schema is re-parsed
 /// from its [`TaskSchema::to_source`] form (pinned round-trippable by
 /// the schema crate's parser property suite).
-fn read_project_conf(dir: &Path, name: &str) -> Result<(TaskSchema, usize, u64), WorkspaceError> {
+pub(crate) fn read_project_conf(
+    dir: &Path,
+    name: &str,
+) -> Result<(TaskSchema, usize, u64), WorkspaceError> {
     let conf_err = |message: String| WorkspaceError::SessionConfig {
         project: name.to_owned(),
         message,

@@ -56,6 +56,12 @@ pub enum MetadataError {
     /// crashed. Recover with
     /// [`MetadataDb::recover`](crate::MetadataDb::recover).
     InjectedCrash,
+    /// The store behind this database lost durability (a tail append
+    /// failed — disk full, I/O error) and is **wedged**: it refuses
+    /// every further fallible mutation rather than acknowledge writes
+    /// it cannot persist. Reads remain served; reopen the store to
+    /// resume from the last durable prefix.
+    StorageFailed(String),
 }
 
 impl fmt::Display for MetadataError {
@@ -96,6 +102,12 @@ impl fmt::Display for MetadataError {
                 write!(
                     f,
                     "injected crash: the process died between journal append and apply"
+                )
+            }
+            MetadataError::StorageFailed(detail) => {
+                write!(
+                    f,
+                    "storage failed, store is wedged (reopen to resume): {detail}"
                 )
             }
         }

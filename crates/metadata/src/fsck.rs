@@ -1,0 +1,670 @@
+//! Offline integrity scrubbing and repair for persistent store roots —
+//! the engine behind `herc fsck`.
+//!
+//! [`scrub`] is **read-only**: it walks every store file in a
+//! directory (`CURRENT`, all `snapshot-*.txt` / `tail-*.journal`
+//! generations, stray temp files), verifies headers and checksums, and
+//! returns a per-file verdict plus two summary bits:
+//!
+//! * `healthy` — opening the store would succeed (a torn trailing tail
+//!   record counts as healthy: open self-heals it, as ever);
+//! * `repairable` — some snapshot generation still loads, so
+//!   [`repair`] can rebuild a servable store.
+//!
+//! [`repair`] rebuilds from the **best recoverable state**: the newest
+//! generation whose snapshot loads, plus the longest prefix of its
+//! tail that verifies *and* replays. The rebuilt state is written as a
+//! brand-new generation (above every sequence number seen in the
+//! directory, so nothing is overwritten), damaged files are renamed to
+//! `<name>.quarantine` for post-mortems, and stray temp files are
+//! removed. Repair never deletes evidence and never guesses across a
+//! checksum failure — ops after a corrupt interior record are
+//! unreachable by design, because their ordering against the damage is
+//! unknowable.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use simtools::vfs::Vfs;
+
+use crate::database::MetadataDb;
+use crate::framing::{self, Framing, TailIssue};
+use crate::journal::Journal;
+use crate::store::{
+    self, generation_of, snapshot_name, tail_name, CorruptionKind, CorruptionReport, StoreError,
+};
+
+/// How one store file fared under the scrub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FileStatus {
+    /// Verifies completely.
+    Ok,
+    /// Valid except for a torn final record (self-healing on open).
+    Torn,
+    /// Fails verification: bad header, checksum mismatch, interior
+    /// damage, or does not load/replay.
+    Corrupt,
+    /// Referenced by `CURRENT` but absent.
+    Missing,
+    /// Not part of the live store: a leftover `.tmp` file or an
+    /// earlier repair's `.quarantine` file.
+    Stray,
+}
+
+impl std::fmt::Display for FileStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FileStatus::Ok => "ok",
+            FileStatus::Torn => "torn",
+            FileStatus::Corrupt => "CORRUPT",
+            FileStatus::Missing => "MISSING",
+            FileStatus::Stray => "stray",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One file's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileVerdict {
+    /// The file.
+    pub path: PathBuf,
+    /// Its status.
+    pub status: FileStatus,
+    /// Specifics worth printing (line numbers, checksums, op counts).
+    pub detail: String,
+}
+
+/// The result of scrubbing one store directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreScrub {
+    /// The directory scrubbed.
+    pub dir: PathBuf,
+    /// The sequence `CURRENT` names, when it parses.
+    pub current_seq: Option<u64>,
+    /// Per-file verdicts, `CURRENT` first, then by generation.
+    pub verdicts: Vec<FileVerdict>,
+    /// Whether opening the store would succeed.
+    pub healthy: bool,
+    /// Whether [`repair`] could rebuild a servable store.
+    pub repairable: bool,
+}
+
+impl StoreScrub {
+    /// Files whose verdict is [`FileStatus::Corrupt`] or
+    /// [`FileStatus::Missing`].
+    pub fn damaged(&self) -> impl Iterator<Item = &FileVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v.status, FileStatus::Corrupt | FileStatus::Missing))
+    }
+}
+
+/// What [`repair`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RepairOutcome {
+    /// The store already opened cleanly; only stray temp files (if
+    /// any) were removed.
+    AlreadyHealthy,
+    /// The store was rebuilt.
+    Repaired {
+        /// The new live sequence number.
+        new_seq: u64,
+        /// The snapshot generation the rebuild started from.
+        base_seq: u64,
+        /// Tail ops replayed on top of that snapshot.
+        ops_replayed: usize,
+        /// Damaged files renamed to `<name>.quarantine`.
+        quarantined: Vec<PathBuf>,
+    },
+}
+
+/// A generation's worth of evidence gathered during the scrub.
+#[derive(Debug)]
+struct GenerationScan {
+    /// Loads successfully ⇒ the loaded database.
+    snapshot: Option<MetadataDb>,
+    /// The valid-prefix journal of `tail-<seq>`, when the tail exists
+    /// and its header parses.
+    tail: Option<Journal>,
+    /// The tail verified completely or was merely torn (open would
+    /// proceed rather than refuse).
+    tail_clean_or_torn: bool,
+}
+
+fn parse_store_name(name: &str) -> Option<(&'static str, u64)> {
+    if let Some(rest) = name.strip_prefix("snapshot-") {
+        let seq = rest.strip_suffix(".txt")?.parse().ok()?;
+        return Some(("snapshot", seq));
+    }
+    if let Some(rest) = name.strip_prefix("tail-") {
+        let seq = rest.strip_suffix(".journal")?.parse().ok()?;
+        return Some(("tail", seq));
+    }
+    None
+}
+
+/// Replays ops one at a time, stopping at the first that refuses to
+/// apply; returns how many applied. (A refusal mid-tail means the ops
+/// beyond it were written against state we no longer have — replaying
+/// past it would fabricate history.)
+fn replay_prefix(db: &mut MetadataDb, journal: &Journal) -> usize {
+    let mut applied = 0;
+    for op in journal.ops() {
+        let single = Journal::from_ops(vec![op.clone()]);
+        if db.apply_journal(&single).is_err() {
+            break;
+        }
+        applied += 1;
+    }
+    applied
+}
+
+/// Read-only integrity scrub of one store directory. See the
+/// [module docs](self).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the directory itself cannot be read or
+/// holds no `CURRENT` at all (not a store — callers distinguish this
+/// from damage).
+pub fn scrub(vfs: &dyn Vfs, dir: &Path) -> Result<StoreScrub, StoreError> {
+    let current_path = dir.join(store::CURRENT);
+    let current_text = vfs
+        .read_to_string(&current_path)
+        .map_err(|e| StoreError::Io {
+            path: current_path.clone(),
+            message: e.to_string(),
+        })?;
+    let mut verdicts = Vec::new();
+    let current_seq: Option<u64> = current_text.trim().parse().ok();
+    verdicts.push(match current_seq {
+        Some(seq) => FileVerdict {
+            path: current_path.clone(),
+            status: FileStatus::Ok,
+            detail: format!("sequence {seq}"),
+        },
+        None => FileVerdict {
+            path: current_path.clone(),
+            status: FileStatus::Corrupt,
+            detail: format!("not a sequence number: {:?}", current_text.trim()),
+        },
+    });
+
+    // Inventory the directory: every generation with any evidence,
+    // plus strays.
+    let mut listed: Vec<PathBuf> = vfs.list_dir(dir).map_err(|e| StoreError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    listed.sort();
+    let mut seqs: Vec<u64> = Vec::new();
+    for path in &listed {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if name.ends_with(".tmp") {
+            verdicts.push(FileVerdict {
+                path: path.clone(),
+                status: FileStatus::Stray,
+                detail: "leftover temp file from an interrupted write".into(),
+            });
+            continue;
+        }
+        if name.ends_with(".quarantine") {
+            verdicts.push(FileVerdict {
+                path: path.clone(),
+                status: FileStatus::Stray,
+                detail: "quarantined by an earlier repair".into(),
+            });
+            continue;
+        }
+        if let Some((_, seq)) = parse_store_name(name) {
+            if !seqs.contains(&seq) {
+                seqs.push(seq);
+            }
+        }
+    }
+    if let Some(seq) = current_seq {
+        if !seqs.contains(&seq) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+
+    let mut healthy = current_seq.is_some();
+    let mut repairable = false;
+    for &seq in &seqs {
+        let is_live = current_seq == Some(seq);
+        let scan = scrub_generation(vfs, dir, seq, is_live, &mut verdicts);
+        if scan.snapshot.is_some() {
+            repairable = true;
+        }
+        if is_live {
+            healthy &= generation_opens(&scan);
+        }
+    }
+    if current_seq.is_some() && !seqs.contains(&current_seq.unwrap()) {
+        healthy = false;
+    }
+    Ok(StoreScrub {
+        dir: dir.to_path_buf(),
+        current_seq,
+        verdicts,
+        healthy,
+        repairable,
+    })
+}
+
+/// Whether `PersistentStore::open` would succeed on this generation:
+/// snapshot loads, tail is clean or merely torn, and the valid tail
+/// prefix replays completely.
+fn generation_opens(scan: &GenerationScan) -> bool {
+    let db = match &scan.snapshot {
+        Some(db) => db,
+        None => return false,
+    };
+    match &scan.tail {
+        Some(journal) => {
+            let mut db = db.clone();
+            replay_prefix(&mut db, journal) == journal.len() && scan.tail_clean_or_torn
+        }
+        None => false,
+    }
+}
+
+/// Scrubs one generation's snapshot + tail, pushing verdicts and
+/// returning the evidence for repair.
+fn scrub_generation(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    seq: u64,
+    is_live: bool,
+    verdicts: &mut Vec<FileVerdict>,
+) -> GenerationScan {
+    let snap_path = dir.join(snapshot_name(seq));
+    let mut snapshot = None;
+    match read_text(vfs, &snap_path) {
+        ReadOutcome::Missing => {
+            if is_live {
+                verdicts.push(FileVerdict {
+                    path: snap_path.clone(),
+                    status: FileStatus::Missing,
+                    detail: "referenced by CURRENT but absent".into(),
+                });
+            }
+        }
+        ReadOutcome::Unreadable(detail) => verdicts.push(FileVerdict {
+            path: snap_path.clone(),
+            status: FileStatus::Corrupt,
+            detail,
+        }),
+        ReadOutcome::Text(raw) => match framing::decode_snapshot(&raw) {
+            Err(issue) => verdicts.push(FileVerdict {
+                path: snap_path.clone(),
+                status: FileStatus::Corrupt,
+                detail: issue.to_string(),
+            }),
+            Ok((framing, body)) => match MetadataDb::load_at(body, generation_of(seq)) {
+                Err(e) => verdicts.push(FileVerdict {
+                    path: snap_path.clone(),
+                    status: FileStatus::Corrupt,
+                    detail: format!("checksum ok but body does not load: {e}"),
+                }),
+                Ok(db) => {
+                    verdicts.push(FileVerdict {
+                        path: snap_path.clone(),
+                        status: FileStatus::Ok,
+                        detail: format!("{} ({} bytes)", framing_label(framing), raw.len()),
+                    });
+                    snapshot = Some(db);
+                }
+            },
+        },
+    }
+
+    let tail_path = dir.join(tail_name(seq));
+    let mut tail = None;
+    let mut tail_clean_or_torn = false;
+    match read_text(vfs, &tail_path) {
+        ReadOutcome::Missing => {
+            if is_live {
+                verdicts.push(FileVerdict {
+                    path: tail_path.clone(),
+                    status: FileStatus::Missing,
+                    detail: "referenced by CURRENT but absent".into(),
+                });
+            }
+        }
+        ReadOutcome::Unreadable(detail) => verdicts.push(FileVerdict {
+            path: tail_path.clone(),
+            status: FileStatus::Corrupt,
+            detail,
+        }),
+        ReadOutcome::Text(raw) => {
+            let scan = framing::decode_tail(&raw);
+            match &scan.issue {
+                None => {
+                    verdicts.push(FileVerdict {
+                        path: tail_path.clone(),
+                        status: FileStatus::Ok,
+                        detail: format!(
+                            "{}, {} ops",
+                            framing_label(scan.framing),
+                            scan.journal.len()
+                        ),
+                    });
+                    tail_clean_or_torn = true;
+                }
+                Some(issue @ TailIssue::Torn { .. }) => {
+                    verdicts.push(FileVerdict {
+                        path: tail_path.clone(),
+                        status: FileStatus::Torn,
+                        detail: format!("{issue}; {} ops verify", scan.journal.len()),
+                    });
+                    tail_clean_or_torn = true;
+                }
+                Some(issue) => verdicts.push(FileVerdict {
+                    path: tail_path.clone(),
+                    status: FileStatus::Corrupt,
+                    detail: format!("{issue}; {} ops verify before it", scan.journal.len()),
+                }),
+            }
+            tail = Some(scan.journal);
+        }
+    }
+    GenerationScan {
+        snapshot,
+        tail,
+        tail_clean_or_torn,
+    }
+}
+
+fn framing_label(framing: Framing) -> &'static str {
+    match framing {
+        Framing::V1 => "v1 (no checksums)",
+        Framing::V2 => "v2 checksummed",
+    }
+}
+
+enum ReadOutcome {
+    Text(String),
+    Missing,
+    Unreadable(String),
+}
+
+fn read_text(vfs: &dyn Vfs, path: &Path) -> ReadOutcome {
+    match vfs.read_to_string(path) {
+        Ok(text) => ReadOutcome::Text(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => ReadOutcome::Missing,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            ReadOutcome::Unreadable("not valid UTF-8".into())
+        }
+        Err(e) => ReadOutcome::Unreadable(e.to_string()),
+    }
+}
+
+/// Rebuilds a damaged store from its best recoverable state. See the
+/// [module docs](self).
+///
+/// # Errors
+///
+/// * [`StoreError::Io`] if the directory is not a store or the rebuild
+///   itself cannot be written.
+/// * [`StoreError::Corruption`] if **no** snapshot generation loads —
+///   there is nothing to rebuild from.
+pub fn repair(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<RepairOutcome, StoreError> {
+    let report = scrub(&**vfs, dir)?;
+
+    // Strays are removed in every case — they are never part of the
+    // live store.
+    for v in &report.verdicts {
+        if v.status == FileStatus::Stray && !v.detail.contains("quarantine") {
+            let _ = vfs.remove_file(&v.path);
+        }
+    }
+    if report.healthy {
+        return Ok(RepairOutcome::AlreadyHealthy);
+    }
+
+    // Best recoverable state: the newest generation whose snapshot
+    // loads, plus the longest replayable prefix of its verified tail.
+    let mut seqs: Vec<u64> = Vec::new();
+    for v in &report.verdicts {
+        if let Some(name) = v.path.file_name().and_then(|n| n.to_str()) {
+            if let Some((_, seq)) = parse_store_name(name) {
+                if !seqs.contains(&seq) {
+                    seqs.push(seq);
+                }
+            }
+        }
+    }
+    if let Some(seq) = report.current_seq {
+        if !seqs.contains(&seq) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    let mut best: Option<(u64, MetadataDb, usize)> = None;
+    for &seq in seqs.iter().rev() {
+        let scan = scrub_generation(&**vfs, dir, seq, false, &mut Vec::new());
+        if let Some(mut db) = scan.snapshot {
+            let replayed = match &scan.tail {
+                Some(journal) => replay_prefix(&mut db, journal),
+                None => 0,
+            };
+            best = Some((seq, db, replayed));
+            break;
+        }
+    }
+    let (base_seq, db, ops_replayed) = match best {
+        Some(b) => b,
+        None => {
+            let worst = report
+                .damaged()
+                .next()
+                .map(|v| (v.path.clone(), v.detail.clone()))
+                .unwrap_or_else(|| (dir.join(store::CURRENT), "no loadable snapshot".into()));
+            return Err(StoreError::Corruption(CorruptionReport {
+                path: worst.0,
+                kind: CorruptionKind::SnapshotLoad,
+                detail: format!("unrepairable: no snapshot generation loads ({})", worst.1),
+            }));
+        }
+    };
+
+    // Write the rebuilt state as a brand-new generation above every
+    // sequence number seen, so nothing — not even damaged evidence —
+    // is overwritten.
+    let new_seq = seqs.iter().copied().max().unwrap_or(base_seq) + 1;
+    let dump = db.dump();
+    store::write_atomic(
+        &**vfs,
+        &dir.join(snapshot_name(new_seq)),
+        &Framing::V2.encode_snapshot(&dump),
+    )?;
+    store::write_atomic(
+        &**vfs,
+        &dir.join(tail_name(new_seq)),
+        &Framing::V2.empty_tail(),
+    )?;
+    store::write_atomic(&**vfs, &dir.join(store::CURRENT), &format!("{new_seq}\n"))?;
+
+    // Quarantine the damaged files (rename, never delete: they are the
+    // post-mortem evidence).
+    let mut quarantined = Vec::new();
+    for v in report.damaged() {
+        if v.status != FileStatus::Corrupt {
+            continue;
+        }
+        let mut target = v.path.as_os_str().to_owned();
+        target.push(".quarantine");
+        let target = PathBuf::from(target);
+        if vfs.rename(&v.path, &target).is_ok() {
+            quarantined.push(target);
+        }
+    }
+    Ok(RepairOutcome::Repaired {
+        new_seq,
+        base_seq,
+        ops_replayed,
+        quarantined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{PersistentStore, Store};
+    use schedule::WorkDays;
+    use schema::examples;
+    use simtools::vfs::MemVfs;
+
+    fn seeded(dir: &str) -> (Arc<MemVfs>, Arc<dyn Vfs>, String) {
+        let mem = MemVfs::new();
+        let vfs: Arc<dyn Vfs> = mem.clone();
+        let db = MetadataDb::for_schema(&examples::circuit_design());
+        let mut store = PersistentStore::create_on(vfs.clone(), dir, db).unwrap();
+        let s = store.begin_planning(WorkDays::ZERO);
+        let sc = store
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        store.assign(sc, "alice").unwrap();
+        let data = store.store_data("v1.net", b"module".to_vec());
+        let run = store.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        let e = store
+            .finish_run(run, "netlist", data, WorkDays::new(1.0), &[])
+            .unwrap();
+        store.link_completion(sc, e).unwrap();
+        let dump = store.db().dump();
+        drop(store);
+        (mem, vfs, dump)
+    }
+
+    #[test]
+    fn scrub_of_healthy_store_is_all_ok() {
+        let (_mem, vfs, _) = seeded("/p");
+        let report = scrub(&*vfs, Path::new("/p")).unwrap();
+        assert!(report.healthy);
+        assert!(report.repairable);
+        assert_eq!(report.current_seq, Some(0));
+        assert!(report.verdicts.iter().all(|v| v.status == FileStatus::Ok));
+        assert_eq!(report.damaged().count(), 0);
+    }
+
+    #[test]
+    fn scrub_flags_torn_tail_as_healthy() {
+        let (mem, vfs, _) = seeded("/p");
+        mem.append(
+            &Path::new("/p").join(tail_name(0)),
+            b"deadbeef begin-run xx",
+        )
+        .unwrap();
+        let report = scrub(&*vfs, Path::new("/p")).unwrap();
+        assert!(report.healthy, "torn tails self-heal on open");
+        assert!(report.verdicts.iter().any(|v| v.status == FileStatus::Torn));
+    }
+
+    #[test]
+    fn scrub_on_non_store_is_an_io_error() {
+        let mem = MemVfs::new();
+        mem.create_dir_all(Path::new("/empty")).unwrap();
+        let err = scrub(&*mem, Path::new("/empty")).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+    }
+
+    #[test]
+    fn repair_rebuilds_after_interior_corruption() {
+        let (mem, vfs, dump) = seeded("/p");
+        // Damage an interior tail record: open refuses...
+        let tail = Path::new("/p").join(tail_name(0));
+        let text = mem.read_to_string(&tail).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let damaged_line = 3;
+        lines[damaged_line] = lines[damaged_line].chars().rev().collect();
+        mem.write(&tail, (lines.join("\n") + "\n").as_bytes())
+            .unwrap();
+        assert!(matches!(
+            PersistentStore::open_on(vfs.clone(), "/p"),
+            Err(StoreError::Corruption(_))
+        ));
+        // ...scrub sees it, repair rebuilds, reopen serves.
+        let report = scrub(&*vfs, Path::new("/p")).unwrap();
+        assert!(!report.healthy);
+        assert!(report.repairable);
+        let outcome = repair(&vfs, Path::new("/p")).unwrap();
+        let (new_seq, replayed, quarantined) = match outcome {
+            RepairOutcome::Repaired {
+                new_seq,
+                ops_replayed,
+                quarantined,
+                ..
+            } => (new_seq, ops_replayed, quarantined),
+            other => panic!("expected a rebuild, got {other:?}"),
+        };
+        assert_eq!(new_seq, 1);
+        // Records before the damage were replayed; the damaged one and
+        // everything after it were not.
+        assert_eq!(replayed, damaged_line - 1);
+        assert_eq!(quarantined.len(), 1);
+        let reopened = PersistentStore::open_on(vfs.clone(), "/p").unwrap();
+        reopened.db().check_invariants().unwrap();
+        // The recovered state is a strict prefix of the full session.
+        assert_ne!(reopened.db().dump(), dump);
+        let after = scrub(&*vfs, Path::new("/p")).unwrap();
+        assert!(after.healthy);
+    }
+
+    #[test]
+    fn repair_falls_back_to_previous_generation_snapshot() {
+        let (mem, vfs, _) = seeded("/p");
+        // Compact so generations 0 (fallback) and 1 (live) both exist.
+        let mut store = PersistentStore::open_on(vfs.clone(), "/p").unwrap();
+        store.compact().unwrap();
+        let dump = store.db().dump();
+        drop(store);
+        // Destroy the live snapshot's checksum.
+        let snap = Path::new("/p").join(snapshot_name(1));
+        let text = mem.read_to_string(&snap).unwrap();
+        mem.write(&snap, text.replace("netlist", "netlisX").as_bytes())
+            .unwrap();
+        assert!(PersistentStore::open_on(vfs.clone(), "/p").is_err());
+        let outcome = repair(&vfs, Path::new("/p")).unwrap();
+        match outcome {
+            RepairOutcome::Repaired {
+                base_seq, new_seq, ..
+            } => {
+                assert_eq!(base_seq, 0, "fallback generation");
+                assert_eq!(new_seq, 2);
+            }
+            other => panic!("expected a rebuild, got {other:?}"),
+        }
+        let reopened = PersistentStore::open_on(vfs, "/p").unwrap();
+        // Generation 0 held the same folded state (tail 0 replays).
+        assert_eq!(reopened.db().dump(), dump);
+    }
+
+    #[test]
+    fn repair_on_healthy_store_removes_strays_only() {
+        let (mem, vfs, dump) = seeded("/p");
+        mem.write(Path::new("/p/snapshot-9.tmp"), b"half-written")
+            .unwrap();
+        let outcome = repair(&vfs, Path::new("/p")).unwrap();
+        assert_eq!(outcome, RepairOutcome::AlreadyHealthy);
+        assert!(!mem.exists(Path::new("/p/snapshot-9.tmp")));
+        let reopened = PersistentStore::open_on(vfs, "/p").unwrap();
+        assert_eq!(reopened.db().dump(), dump);
+    }
+
+    #[test]
+    fn repair_with_no_loadable_snapshot_is_a_typed_refusal() {
+        let (mem, vfs, _) = seeded("/p");
+        let snap = Path::new("/p").join(snapshot_name(0));
+        mem.write(&snap, b"garbage\n").unwrap();
+        let err = repair(&vfs, Path::new("/p")).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption(_)), "{err:?}");
+    }
+}

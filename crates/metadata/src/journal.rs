@@ -444,6 +444,11 @@ impl Journal {
         journal
     }
 
+    /// Wraps pre-parsed ops (the framing decoder's constructor).
+    pub(crate) fn from_ops(ops: Vec<JournalOp>) -> Journal {
+        Journal { ops }
+    }
+
     /// Parses the text form produced by [`to_text`](Journal::to_text).
     ///
     /// # Errors
@@ -455,119 +460,129 @@ impl Journal {
             Some((_, "metadata-journal v1")) => {}
             _ => return Err(LoadError::BadHeader),
         }
-        let bad = |line: usize, message: &str| LoadError::BadLine {
-            line: line + 1,
-            message: message.to_owned(),
-        };
-        let parse_md = |line: usize, s: &str| -> Result<i64, LoadError> {
-            s.parse()
-                .map_err(|_| bad(line, &format!("bad milli-day timestamp {s:?}")))
-        };
-        let parse_idx = |line: usize, s: &str| -> Result<u32, LoadError> {
-            s.parse()
-                .map_err(|_| bad(line, &format!("bad index {s:?}")))
-        };
         let mut ops = Vec::new();
         for (lineno, line) in lines {
-            let mut fields = line.split_whitespace();
-            let Some(kind) = fields.next() else {
-                continue; // blank line
-            };
-            let rest: Vec<&str> = fields.collect();
-            let op = match kind {
-                "declare-entity" => match rest.as_slice() {
-                    [class] => JournalOp::DeclareEntityContainer {
-                        class: (*class).to_owned(),
-                    },
-                    _ => return Err(bad(lineno, "malformed declare-entity line")),
-                },
-                "declare-schedule" => match rest.as_slice() {
-                    [activity, output] => JournalOp::DeclareScheduleContainer {
-                        activity: (*activity).to_owned(),
-                        output_class: (*output).to_owned(),
-                    },
-                    _ => return Err(bad(lineno, "malformed declare-schedule line")),
-                },
-                "store-data" => match rest.as_slice() {
-                    [name, content] => {
-                        let name =
-                            String::from_utf8(hex_decode(name).map_err(|m| bad(lineno, &m))?)
-                                .map_err(|_| bad(lineno, "data name is not UTF-8"))?;
-                        let content = hex_decode(content).map_err(|m| bad(lineno, &m))?;
-                        JournalOp::StoreData { name, content }
-                    }
-                    _ => return Err(bad(lineno, "malformed store-data line")),
-                },
-                "begin-run" => match rest.as_slice() {
-                    [activity, operator, started] => JournalOp::BeginRun {
-                        activity: (*activity).to_owned(),
-                        operator: (*operator).to_owned(),
-                        started_md: parse_md(lineno, started)?,
-                    },
-                    _ => return Err(bad(lineno, "malformed begin-run line")),
-                },
-                "finish-run" => match rest.as_slice() {
-                    [run, class, data, finished, "inputs", list] => {
-                        let mut inputs = Vec::new();
-                        if *list != "-" {
-                            for part in list.split(',') {
-                                inputs.push(EntityInstanceId::new(parse_idx(lineno, part)?, 0));
-                            }
-                        }
-                        JournalOp::FinishRun {
-                            run: RunId::new(parse_idx(lineno, run)?, 0),
-                            output_class: (*class).to_owned(),
-                            data: DataObjectId::new(parse_idx(lineno, data)?, 0),
-                            finished_md: parse_md(lineno, finished)?,
-                            inputs,
-                        }
-                    }
-                    _ => return Err(bad(lineno, "malformed finish-run line")),
-                },
-                "supply-input" => match rest.as_slice() {
-                    [class, creator, created, data] => JournalOp::SupplyInput {
-                        class: (*class).to_owned(),
-                        creator: (*creator).to_owned(),
-                        created_md: parse_md(lineno, created)?,
-                        data: DataObjectId::new(parse_idx(lineno, data)?, 0),
-                    },
-                    _ => return Err(bad(lineno, "malformed supply-input line")),
-                },
-                "begin-planning" => match rest.as_slice() {
-                    [at] => JournalOp::BeginPlanning {
-                        at_md: parse_md(lineno, at)?,
-                    },
-                    _ => return Err(bad(lineno, "malformed begin-planning line")),
-                },
-                "plan-activity" => match rest.as_slice() {
-                    [session, activity, start, duration] => JournalOp::PlanActivity {
-                        session: PlanningSessionId::new(parse_idx(lineno, session)?, 0),
-                        activity: (*activity).to_owned(),
-                        start_md: parse_md(lineno, start)?,
-                        duration_md: parse_md(lineno, duration)?,
-                    },
-                    _ => return Err(bad(lineno, "malformed plan-activity line")),
-                },
-                "assign" => match rest.as_slice() {
-                    [schedule, designer] => JournalOp::Assign {
-                        schedule: ScheduleInstanceId::new(parse_idx(lineno, schedule)?, 0),
-                        designer: (*designer).to_owned(),
-                    },
-                    _ => return Err(bad(lineno, "malformed assign line")),
-                },
-                "link" => match rest.as_slice() {
-                    [schedule, entity] => JournalOp::LinkCompletion {
-                        schedule: ScheduleInstanceId::new(parse_idx(lineno, schedule)?, 0),
-                        entity: EntityInstanceId::new(parse_idx(lineno, entity)?, 0),
-                    },
-                    _ => return Err(bad(lineno, "malformed link line")),
-                },
-                other => return Err(bad(lineno, &format!("unknown op kind {other:?}"))),
-            };
-            ops.push(op);
+            if let Some(op) = parse_op_line(lineno, line)? {
+                ops.push(op);
+            }
         }
         Ok(Journal { ops })
     }
+}
+
+/// Parses one op line of the journal text form. `lineno` is the
+/// 0-based line index (errors report 1-based, matching
+/// [`LoadError::BadLine`]); returns `Ok(None)` for a blank line. This
+/// is the per-record parser the checksummed framing layer
+/// ([`crate::framing`]) shares with [`Journal::parse`].
+pub(crate) fn parse_op_line(lineno: usize, line: &str) -> Result<Option<JournalOp>, LoadError> {
+    let bad = |line: usize, message: &str| LoadError::BadLine {
+        line: line + 1,
+        message: message.to_owned(),
+    };
+    let parse_md = |line: usize, s: &str| -> Result<i64, LoadError> {
+        s.parse()
+            .map_err(|_| bad(line, &format!("bad milli-day timestamp {s:?}")))
+    };
+    let parse_idx = |line: usize, s: &str| -> Result<u32, LoadError> {
+        s.parse()
+            .map_err(|_| bad(line, &format!("bad index {s:?}")))
+    };
+    let mut fields = line.split_whitespace();
+    let Some(kind) = fields.next() else {
+        return Ok(None); // blank line
+    };
+    let rest: Vec<&str> = fields.collect();
+    let op = match kind {
+        "declare-entity" => match rest.as_slice() {
+            [class] => JournalOp::DeclareEntityContainer {
+                class: (*class).to_owned(),
+            },
+            _ => return Err(bad(lineno, "malformed declare-entity line")),
+        },
+        "declare-schedule" => match rest.as_slice() {
+            [activity, output] => JournalOp::DeclareScheduleContainer {
+                activity: (*activity).to_owned(),
+                output_class: (*output).to_owned(),
+            },
+            _ => return Err(bad(lineno, "malformed declare-schedule line")),
+        },
+        "store-data" => match rest.as_slice() {
+            [name, content] => {
+                let name = String::from_utf8(hex_decode(name).map_err(|m| bad(lineno, &m))?)
+                    .map_err(|_| bad(lineno, "data name is not UTF-8"))?;
+                let content = hex_decode(content).map_err(|m| bad(lineno, &m))?;
+                JournalOp::StoreData { name, content }
+            }
+            _ => return Err(bad(lineno, "malformed store-data line")),
+        },
+        "begin-run" => match rest.as_slice() {
+            [activity, operator, started] => JournalOp::BeginRun {
+                activity: (*activity).to_owned(),
+                operator: (*operator).to_owned(),
+                started_md: parse_md(lineno, started)?,
+            },
+            _ => return Err(bad(lineno, "malformed begin-run line")),
+        },
+        "finish-run" => match rest.as_slice() {
+            [run, class, data, finished, "inputs", list] => {
+                let mut inputs = Vec::new();
+                if *list != "-" {
+                    for part in list.split(',') {
+                        inputs.push(EntityInstanceId::new(parse_idx(lineno, part)?, 0));
+                    }
+                }
+                JournalOp::FinishRun {
+                    run: RunId::new(parse_idx(lineno, run)?, 0),
+                    output_class: (*class).to_owned(),
+                    data: DataObjectId::new(parse_idx(lineno, data)?, 0),
+                    finished_md: parse_md(lineno, finished)?,
+                    inputs,
+                }
+            }
+            _ => return Err(bad(lineno, "malformed finish-run line")),
+        },
+        "supply-input" => match rest.as_slice() {
+            [class, creator, created, data] => JournalOp::SupplyInput {
+                class: (*class).to_owned(),
+                creator: (*creator).to_owned(),
+                created_md: parse_md(lineno, created)?,
+                data: DataObjectId::new(parse_idx(lineno, data)?, 0),
+            },
+            _ => return Err(bad(lineno, "malformed supply-input line")),
+        },
+        "begin-planning" => match rest.as_slice() {
+            [at] => JournalOp::BeginPlanning {
+                at_md: parse_md(lineno, at)?,
+            },
+            _ => return Err(bad(lineno, "malformed begin-planning line")),
+        },
+        "plan-activity" => match rest.as_slice() {
+            [session, activity, start, duration] => JournalOp::PlanActivity {
+                session: PlanningSessionId::new(parse_idx(lineno, session)?, 0),
+                activity: (*activity).to_owned(),
+                start_md: parse_md(lineno, start)?,
+                duration_md: parse_md(lineno, duration)?,
+            },
+            _ => return Err(bad(lineno, "malformed plan-activity line")),
+        },
+        "assign" => match rest.as_slice() {
+            [schedule, designer] => JournalOp::Assign {
+                schedule: ScheduleInstanceId::new(parse_idx(lineno, schedule)?, 0),
+                designer: (*designer).to_owned(),
+            },
+            _ => return Err(bad(lineno, "malformed assign line")),
+        },
+        "link" => match rest.as_slice() {
+            [schedule, entity] => JournalOp::LinkCompletion {
+                schedule: ScheduleInstanceId::new(parse_idx(lineno, schedule)?, 0),
+                entity: EntityInstanceId::new(parse_idx(lineno, entity)?, 0),
+            },
+            _ => return Err(bad(lineno, "malformed link line")),
+        },
+        other => return Err(bad(lineno, &format!("unknown op kind {other:?}"))),
+    };
+    Ok(Some(op))
 }
 
 impl MetadataDb {

@@ -64,6 +64,8 @@ mod ids;
 mod objects;
 
 pub mod export;
+pub mod framing;
+pub mod fsck;
 pub mod journal;
 pub mod query;
 pub mod store;
@@ -71,7 +73,11 @@ pub mod store;
 pub use database::MetadataDb;
 pub use error::MetadataError;
 pub use export::LoadError;
+pub use framing::Framing;
 pub use ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
 pub use journal::{Journal, JournalOp};
 pub use objects::{DataObject, EntityInstance, PlanningSession, Run, RunState, ScheduleInstance};
-pub use store::{ArenaStore, CompactionStats, PersistentStore, Store, StoreError};
+pub use store::{
+    ArenaStore, CompactionStats, CorruptionKind, CorruptionReport, PersistentStore, Store,
+    StoreError,
+};

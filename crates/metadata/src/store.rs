@@ -19,15 +19,47 @@
 //!
 //! ```text
 //! <dir>/CURRENT            the live sequence number N (temp/renamed)
-//! <dir>/snapshot-N.txt     metadata-db v1 dump at sequence N
-//! <dir>/tail-N.journal     metadata-journal v1 redo ops since N
+//! <dir>/snapshot-N.txt     framed metadata-db dump at sequence N
+//! <dir>/tail-N.journal     framed redo ops since N
 //! ```
+//!
+//! Files are written in the checksummed **v2 framing**
+//! ([`crate::framing`]): each tail record carries the CRC32 of its op
+//! line, each snapshot a framing line whose CRC32 covers the dump.
+//! Pre-durability v1 roots open read-compatibly and upgrade wholesale
+//! on their next compaction.
 //!
 //! Every mutation appends its op to the in-memory journal *and* the
 //! tail file before it is applied — including ops torn by an injected
 //! crash, which is exactly the write-ahead fidelity the chaos suite
-//! checks. Reopening tolerates one torn trailing line (a process that
-//! died mid-append).
+//! checks. All I/O goes through the [`Vfs`] seam so the chaos suite
+//! can inject storage failures (ENOSPC, EIO, short writes, lying
+//! fsync, dropped renames) deterministically.
+//!
+//! # Recovery policy
+//!
+//! Reopening distinguishes two failure shapes:
+//!
+//! * **Torn tail** — only the *last* record is invalid: a process died
+//!   mid-append. The op was never acknowledged as durable, so open
+//!   truncates it and proceeds, as ever.
+//! * **Corrupt interior** — an earlier record (or the snapshot) fails
+//!   its checksum while valid data follows: bit-rot or a silent short
+//!   write. Guessing would fabricate history, so open refuses with a
+//!   typed [`StoreError::Corruption`] report; `herc fsck --repair`
+//!   (see [`crate::fsck`]) rebuilds from the best recoverable state.
+//!
+//! # Wedging
+//!
+//! If a tail append itself fails (disk full, I/O error) the store
+//! **wedges**: every further fallible mutation returns
+//! [`MetadataError::StorageFailed`], because acknowledging writes that
+//! cannot be persisted would break the write-ahead contract. (The op
+//! whose append failed has already applied in memory — it reports
+//! success but may not survive a reopen; everything acknowledged
+//! before it is durable.) Reads keep working; reopening the directory
+//! resumes from the last durable prefix. (Earlier revisions panicked here; a
+//! million-user workspace must degrade, not abort.)
 //!
 //! # Generations
 //!
@@ -36,20 +68,88 @@
 //! [`MetadataDb::load_at`] at `N+1`, so ids held from before the
 //! compaction fail mutating calls with
 //! [`MetadataError::StaleHandle`] instead of silently resolving against
-//! the reused slot space.
+//! the reused slot space. The files of generation `N` are kept as the
+//! fallback state for `fsck` (generation `N-1` is deleted), so one
+//! corrupted compaction never strands a project.
 
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use schedule::WorkDays;
+use simtools::vfs::{RealVfs, Vfs};
 
 use crate::database::MetadataDb;
 use crate::error::MetadataError;
 use crate::export::LoadError;
+use crate::framing::{self, Framing, SnapshotIssue, TailIssue};
 use crate::ids::{DataObjectId, EntityInstanceId, PlanningSessionId, RunId, ScheduleInstanceId};
 use crate::journal::Journal;
+
+/// What kind of damage a [`CorruptionReport`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CorruptionKind {
+    /// `CURRENT` exists but does not hold a sequence number.
+    BadCurrent,
+    /// A file `CURRENT` points at is missing (a dropped rename, manual
+    /// deletion).
+    MissingFile,
+    /// A file is not UTF-8 text at all.
+    NotText,
+    /// A snapshot or tail header is unrecognized.
+    BadHeader,
+    /// A v2 snapshot's checksum does not match its body.
+    ChecksumMismatch,
+    /// An interior tail record failed its checksum or did not parse
+    /// while later records exist.
+    CorruptRecord,
+    /// The snapshot body failed to load as a database dump.
+    SnapshotLoad,
+    /// The tail's ops do not apply onto the snapshot they accompany.
+    TailReplay,
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptionKind::BadCurrent => "bad CURRENT",
+            CorruptionKind::MissingFile => "missing file",
+            CorruptionKind::NotText => "not UTF-8 text",
+            CorruptionKind::BadHeader => "bad header",
+            CorruptionKind::ChecksumMismatch => "checksum mismatch",
+            CorruptionKind::CorruptRecord => "corrupt record",
+            CorruptionKind::SnapshotLoad => "snapshot does not load",
+            CorruptionKind::TailReplay => "tail does not replay",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed description of store damage: which file, what kind of
+/// damage, and the details recovery or `fsck` needs to print. This is
+/// what the open path surfaces *instead of* garbage state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// The damaged file.
+    pub path: PathBuf,
+    /// The damage classification.
+    pub kind: CorruptionKind,
+    /// Human-readable specifics (line numbers, checksums).
+    pub detail: String,
+}
+
+impl fmt::Display for CorruptionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}: {}",
+            self.kind,
+            self.path.display(),
+            self.detail
+        )
+    }
+}
 
 /// Errors from store lifecycle operations (open, checkpoint, compact).
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +167,10 @@ pub enum StoreError {
         /// The underlying error, rendered.
         message: String,
     },
+    /// The store's files are damaged beyond the self-healing torn-tail
+    /// case: recovery refuses to guess and reports what it found. Run
+    /// `herc fsck --repair` to rebuild from the best recoverable state.
+    Corruption(CorruptionReport),
 }
 
 impl fmt::Display for StoreError {
@@ -77,6 +181,7 @@ impl fmt::Display for StoreError {
             StoreError::Io { path, message } => {
                 write!(f, "store I/O error at {}: {message}", path.display())
             }
+            StoreError::Corruption(report) => write!(f, "store corruption: {report}"),
         }
     }
 }
@@ -100,6 +205,14 @@ fn io_err(path: &Path, e: impl fmt::Display) -> StoreError {
         path: path.to_path_buf(),
         message: e.to_string(),
     }
+}
+
+fn corrupt(path: &Path, kind: CorruptionKind, detail: impl Into<String>) -> StoreError {
+    StoreError::Corruption(CorruptionReport {
+        path: path.to_path_buf(),
+        kind,
+        detail: detail.into(),
+    })
 }
 
 /// What a [`compact`](Store::compact) accomplished.
@@ -452,14 +565,13 @@ impl Store for ArenaStore {
 // Persistent backend
 // ----------------------------------------------------------------------
 
-const CURRENT: &str = "CURRENT";
-const TAIL_HEADER: &str = "metadata-journal v1\n";
+pub(crate) const CURRENT: &str = "CURRENT";
 
-fn snapshot_name(seq: u64) -> String {
+pub(crate) fn snapshot_name(seq: u64) -> String {
     format!("snapshot-{seq}.txt")
 }
 
-fn tail_name(seq: u64) -> String {
+pub(crate) fn tail_name(seq: u64) -> String {
     format!("tail-{seq}.journal")
 }
 
@@ -467,30 +579,66 @@ fn tail_name(seq: u64) -> String {
 /// for the on-disk layout and protocols.
 #[derive(Debug)]
 pub struct PersistentStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     db: MetadataDb,
     /// Live sequence number (`CURRENT`'s content); also the store
     /// generation.
     seq: u64,
-    /// Append handle on `tail-<seq>.journal`.
-    tail: File,
     /// How many of the in-memory journal's ops are already in the tail
     /// file.
     tail_ops: usize,
+    /// The framing the live tail file uses for appends (v1 only when
+    /// the store was opened from a pre-durability root).
+    framing: Framing,
+    /// When set, durability is lost (a tail append failed): every
+    /// fallible mutation is refused with the stored reason.
+    wedged: Option<String>,
 }
 
 impl PersistentStore {
     /// Creates a new store at `dir` (made if absent) holding `db` as
-    /// its first snapshot. Fails if `dir` already contains a store.
+    /// its first snapshot, on the real filesystem. Fails if `dir`
+    /// already contains a store.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on filesystem trouble or an existing store.
     pub fn create(dir: impl Into<PathBuf>, db: MetadataDb) -> Result<PersistentStore, StoreError> {
+        Self::create_on(RealVfs::arc(), dir, db)
+    }
+
+    /// [`create`](Self::create) over an explicit [`Vfs`] — the seam
+    /// the chaos suite points at [`simtools::vfs::FaultVfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](Self::create).
+    pub fn create_on(
+        vfs: Arc<dyn Vfs>,
+        dir: impl Into<PathBuf>,
+        db: MetadataDb,
+    ) -> Result<PersistentStore, StoreError> {
+        Self::create_with_framing(vfs, dir, db, Framing::V2)
+    }
+
+    /// [`create_on`](Self::create_on) pinned to a specific wire
+    /// framing. v1 exists for compatibility fixtures and the B15
+    /// checksum-overhead benchmark; production stores are v2.
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](Self::create).
+    pub fn create_with_framing(
+        vfs: Arc<dyn Vfs>,
+        dir: impl Into<PathBuf>,
+        db: MetadataDb,
+        framing: Framing,
+    ) -> Result<PersistentStore, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        vfs.create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
         let current = dir.join(CURRENT);
-        if current.exists() {
+        if vfs.exists(&current) {
             return Err(io_err(&current, "store already exists"));
         }
         let mut db = db;
@@ -498,61 +646,112 @@ impl PersistentStore {
         // declares, so the tail starts truly empty (no re-declares).
         db.journal = Some(Journal::new());
         let seq = 0u64;
-        write_atomic(&dir.join(snapshot_name(seq)), &db.dump())?;
-        write_atomic(&dir.join(tail_name(seq)), TAIL_HEADER)?;
-        write_atomic(&current, &format!("{seq}\n"))?;
-        let tail = open_tail(&dir.join(tail_name(seq)))?;
+        write_atomic(
+            &*vfs,
+            &dir.join(snapshot_name(seq)),
+            &framing.encode_snapshot(&db.dump()),
+        )?;
+        write_atomic(&*vfs, &dir.join(tail_name(seq)), &framing.empty_tail())?;
+        write_atomic(&*vfs, &current, &format!("{seq}\n"))?;
         Ok(PersistentStore {
+            vfs,
             dir,
             db,
             seq,
-            tail,
             tail_ops: 0,
+            framing,
+            wedged: None,
         })
     }
 
-    /// Opens an existing store: loads `snapshot-N` at generation `N`,
-    /// replays the redo ops in `tail-N` (tolerating one torn trailing
-    /// line from a mid-append death), and resumes appending.
+    /// Opens an existing store on the real filesystem: loads
+    /// `snapshot-N` at generation `N`, replays the redo ops in
+    /// `tail-N` (tolerating one torn trailing record from a mid-append
+    /// death), and resumes appending.
     ///
     /// # Errors
     ///
-    /// [`StoreError`] if the directory holds no store, a file fails to
-    /// parse beyond a single torn line, or the tail does not replay.
+    /// [`StoreError::Io`] if the directory holds no store, or
+    /// [`StoreError::Corruption`] if a file is damaged beyond the
+    /// self-healing torn-tail case.
     pub fn open(dir: impl Into<PathBuf>) -> Result<PersistentStore, StoreError> {
+        Self::open_on(RealVfs::arc(), dir)
+    }
+
+    /// [`open`](Self::open) over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<PersistentStore, StoreError> {
         let dir = dir.into();
         let mut span = obs::span!("store.open");
         let current = dir.join(CURRENT);
-        let seq: u64 = fs::read_to_string(&current)
-            .map_err(|e| io_err(&current, e))?
-            .trim()
-            .parse()
-            .map_err(|e| io_err(&current, format!("bad sequence number: {e}")))?;
+        let current_text = vfs
+            .read_to_string(&current)
+            .map_err(|e| io_err(&current, e))?;
+        let seq: u64 = current_text.trim().parse().map_err(|_| {
+            corrupt(
+                &current,
+                CorruptionKind::BadCurrent,
+                format!("not a sequence number: {:?}", current_text.trim()),
+            )
+        })?;
         let snap_path = dir.join(snapshot_name(seq));
-        let snapshot = fs::read_to_string(&snap_path).map_err(|e| io_err(&snap_path, e))?;
+        let snapshot_raw = read_store_file(&*vfs, &snap_path)?;
+        let body = decode_snapshot_file(&snap_path, &snapshot_raw)?;
         let generation = generation_of(seq);
-        let mut db = MetadataDb::load_at(&snapshot, generation)?;
+        let mut db = MetadataDb::load_at(body, generation)
+            .map_err(|e| corrupt(&snap_path, CorruptionKind::SnapshotLoad, e.to_string()))?;
         let tail_path = dir.join(tail_name(seq));
-        let tail_text = fs::read_to_string(&tail_path).map_err(|e| io_err(&tail_path, e))?;
-        let tail_journal = parse_tail(&tail_text)?;
-        // If a torn trailing line was dropped, truncate it on disk
-        // before resuming appends — otherwise the next op would splice
-        // onto the partial line and corrupt the log for the next open.
-        if tail_text.lines().count() != tail_journal.len() + 1 {
-            write_atomic(&tail_path, &tail_journal.to_text())?;
+        let tail_text = read_store_file(&*vfs, &tail_path)?;
+        let scan = framing::decode_tail(&tail_text);
+        match &scan.issue {
+            None => {}
+            // A torn trailing record must be *truncated* on disk, not
+            // merely skipped — otherwise the next append would splice
+            // onto the partial record and corrupt the log for the next
+            // open.
+            Some(TailIssue::Torn { .. }) => {
+                let mut kept = scan.framing.empty_tail();
+                for op in scan.journal.ops() {
+                    kept.push_str(&scan.framing.encode_tail_record(&op.to_line()));
+                }
+                write_atomic(&*vfs, &tail_path, &kept)?;
+            }
+            Some(TailIssue::BadHeader) => {
+                return Err(corrupt(
+                    &tail_path,
+                    CorruptionKind::BadHeader,
+                    "unrecognized tail header",
+                ))
+            }
+            Some(issue @ TailIssue::Corrupt { .. }) => {
+                return Err(corrupt(
+                    &tail_path,
+                    CorruptionKind::CorruptRecord,
+                    issue.to_string(),
+                ))
+            }
         }
-        db.apply_journal(&tail_journal)?;
+        db.apply_journal(&scan.journal)
+            .map_err(|e| corrupt(&tail_path, CorruptionKind::TailReplay, e.to_string()))?;
         span.record("seq", seq);
-        span.record("tail_ops", tail_journal.len());
-        let tail_ops = tail_journal.len();
-        db.journal = Some(tail_journal);
-        let tail = open_tail(&tail_path)?;
+        span.record("tail_ops", scan.journal.len());
+        let tail_ops = scan.journal.len();
+        let framing = scan.framing;
+        db.journal = Some(scan.journal);
         Ok(PersistentStore {
+            vfs,
             dir,
             db,
             seq,
-            tail,
             tail_ops,
+            framing,
+            wedged: None,
         })
     }
 
@@ -561,11 +760,37 @@ impl PersistentStore {
         self.seq
     }
 
+    /// The framing new tail appends use (v1 only on a pre-durability
+    /// root that has not compacted yet).
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Why the store is wedged, if it is — see the
+    /// [module docs](self#wedging).
+    pub fn wedged_reason(&self) -> Option<&str> {
+        self.wedged.as_deref()
+    }
+
+    /// Refuses fallible work on a wedged store.
+    fn check_wedged(&self) -> Result<(), MetadataError> {
+        match &self.wedged {
+            Some(reason) => Err(MetadataError::StorageFailed(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
     /// Flushes any journal ops not yet in the tail file. Runs after
     /// *every* mutation — including one torn by an injected crash,
     /// whose op was appended before the simulated death and therefore
-    /// must reach disk, exactly like a real WAL.
+    /// must reach disk, exactly like a real WAL. If the append fails,
+    /// the store wedges (see the [module docs](self#wedging)) instead
+    /// of panicking: durability is gone, so every further fallible
+    /// mutation is refused with [`MetadataError::StorageFailed`].
     fn sync_tail(&mut self) {
+        if self.wedged.is_some() {
+            return;
+        }
         let journal = self
             .db
             .journal
@@ -577,73 +802,95 @@ impl PersistentStore {
         }
         let mut buf = String::new();
         for op in pending {
-            buf.push_str(&op.to_line());
-            buf.push('\n');
+            buf.push_str(&self.framing.encode_tail_record(&op.to_line()));
         }
-        self.tail
-            .write_all(buf.as_bytes())
-            .and_then(|()| self.tail.flush())
-            .unwrap_or_else(|e| {
-                // A failing tail write means durability is gone: there
-                // is no way to honour the write-ahead contract, so die
-                // loudly rather than acknowledge unpersisted mutations.
-                panic!(
-                    "persistent store lost its tail at {}: {e}",
-                    self.dir.display()
-                )
-            });
-        self.tail_ops = journal.len();
+        let path = self.dir.join(tail_name(self.seq));
+        match self.vfs.append(&path, buf.as_bytes()) {
+            Ok(()) => self.tail_ops = journal.len(),
+            Err(e) => {
+                let reason = format!("tail append failed at {}: {e}", path.display());
+                obs::event!("store.wedged", path = path.display().to_string());
+                self.wedged = Some(reason);
+            }
+        }
     }
 
     fn file_size(&self, name: &str) -> u64 {
-        fs::metadata(self.dir.join(name))
-            .map(|m| m.len())
-            .unwrap_or(0)
+        self.vfs.file_size(&self.dir.join(name))
+    }
+
+    /// Best-effort removal of a generation's files.
+    fn remove_generation(&self, seq: u64) {
+        let _ = self.vfs.remove_file(&self.dir.join(snapshot_name(seq)));
+        let _ = self.vfs.remove_file(&self.dir.join(tail_name(seq)));
     }
 }
 
 /// Sequence → generation. Sequences are u64 for on-disk headroom while
 /// id stamps stay a compact u32; 2³² compactions of one project is
 /// beyond plausible, but saturate rather than wrap if it happens.
-fn generation_of(seq: u64) -> u32 {
+pub(crate) fn generation_of(seq: u64) -> u32 {
     u32::try_from(seq).unwrap_or(u32::MAX)
 }
 
-fn open_tail(path: &Path) -> Result<File, StoreError> {
-    OpenOptions::new()
-        .append(true)
-        .open(path)
-        .map_err(|e| io_err(path, e))
-}
-
-/// Writes `content` crash-consistently: temp file in the same
-/// directory, then an atomic rename over the target.
-fn write_atomic(path: &Path, content: &str) -> Result<(), StoreError> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, content).map_err(|e| io_err(&tmp, e))?;
-    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-    Ok(())
-}
-
-/// Parses a tail file, dropping at most one torn trailing line (a
-/// process that died mid-append leaves a partial final record; any
-/// earlier corruption is a real error).
-fn parse_tail(text: &str) -> Result<Journal, StoreError> {
-    match Journal::parse(text) {
-        Ok(j) => Ok(j),
-        Err(LoadError::BadLine { line, .. }) if line == text.lines().count() => {
-            let mut kept: String = text
-                .lines()
-                .take(line - 1)
-                .map(|l| format!("{l}\n"))
-                .collect();
-            if kept.is_empty() {
-                kept.push_str(TAIL_HEADER);
-            }
-            Journal::parse(&kept).map_err(StoreError::Load)
+/// Reads a store file, classifying a missing or non-text file as the
+/// corruption it is (the file is named by `CURRENT`, so its absence is
+/// damage, not a fresh directory).
+pub(crate) fn read_store_file(vfs: &dyn Vfs, path: &Path) -> Result<String, StoreError> {
+    vfs.read_to_string(path).map_err(|e| match e.kind() {
+        std::io::ErrorKind::NotFound => corrupt(
+            path,
+            CorruptionKind::MissingFile,
+            "referenced by CURRENT but absent",
+        ),
+        std::io::ErrorKind::InvalidData => {
+            corrupt(path, CorruptionKind::NotText, "not valid UTF-8")
         }
-        Err(e) => Err(StoreError::Load(e)),
+        _ => io_err(path, e),
+    })
+}
+
+/// Unwraps + checksum-verifies a snapshot file, mapping framing issues
+/// to typed corruption.
+pub(crate) fn decode_snapshot_file<'a>(path: &Path, raw: &'a str) -> Result<&'a str, StoreError> {
+    match framing::decode_snapshot(raw) {
+        Ok((_, body)) => Ok(body),
+        Err(SnapshotIssue::BadHeader) => Err(corrupt(
+            path,
+            CorruptionKind::BadHeader,
+            "unrecognized snapshot header",
+        )),
+        Err(issue @ SnapshotIssue::ChecksumMismatch { .. }) => Err(corrupt(
+            path,
+            CorruptionKind::ChecksumMismatch,
+            issue.to_string(),
+        )),
     }
+}
+
+/// Writes `content` crash-consistently *and durably*: temp file in the
+/// same directory, fsync of the temp file, atomic rename over the
+/// target, fsync of the parent directory (without which the rename is
+/// not durable — the classic hole). The temp file is removed on any
+/// failure.
+pub(crate) fn write_atomic(vfs: &dyn Vfs, path: &Path, content: &str) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    let result = (|| {
+        vfs.write(&tmp, content.as_bytes())
+            .map_err(|e| io_err(&tmp, e))?;
+        vfs.sync_file(&tmp).map_err(|e| io_err(&tmp, e))?;
+        vfs.rename(&tmp, path).map_err(|e| io_err(path, e))?;
+        if let Some(parent) = path.parent() {
+            if parent != Path::new("") {
+                vfs.sync_dir(parent).map_err(|e| io_err(parent, e))?;
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = vfs.remove_file(&tmp);
+    }
+    result
 }
 
 impl Store for PersistentStore {
@@ -673,6 +920,7 @@ impl Store for PersistentStore {
         operator: &str,
         started_at: WorkDays,
     ) -> Result<RunId, MetadataError> {
+        self.check_wedged()?;
         let r = self.db.begin_run(activity, operator, started_at);
         self.sync_tail();
         r
@@ -686,6 +934,7 @@ impl Store for PersistentStore {
         finished_at: WorkDays,
         inputs: &[EntityInstanceId],
     ) -> Result<EntityInstanceId, MetadataError> {
+        self.check_wedged()?;
         let r = self
             .db
             .finish_run(run, output_class, data, finished_at, inputs);
@@ -700,6 +949,7 @@ impl Store for PersistentStore {
         created_at: WorkDays,
         data: DataObjectId,
     ) -> Result<EntityInstanceId, MetadataError> {
+        self.check_wedged()?;
         let r = self.db.supply_input(class, creator, created_at, data);
         self.sync_tail();
         r
@@ -718,6 +968,7 @@ impl Store for PersistentStore {
         planned_start: WorkDays,
         planned_duration: WorkDays,
     ) -> Result<ScheduleInstanceId, MetadataError> {
+        self.check_wedged()?;
         let r = self
             .db
             .plan_activity(session, activity, planned_start, planned_duration);
@@ -730,6 +981,7 @@ impl Store for PersistentStore {
         schedule: ScheduleInstanceId,
         designer: &str,
     ) -> Result<(), MetadataError> {
+        self.check_wedged()?;
         let r = self.db.assign(schedule, designer);
         self.sync_tail();
         r
@@ -740,6 +992,7 @@ impl Store for PersistentStore {
         schedule: ScheduleInstanceId,
         entity: EntityInstanceId,
     ) -> Result<(), MetadataError> {
+        self.check_wedged()?;
         let r = self.db.link_completion(schedule, entity);
         self.sync_tail();
         r
@@ -764,57 +1017,102 @@ impl Store for PersistentStore {
     }
 
     fn replace_db(&mut self, db: MetadataDb) -> Result<(), StoreError> {
-        // A wholesale state replacement starts a new epoch on disk.
+        self.check_wedged()?;
+        // A wholesale state replacement starts a new epoch on disk,
+        // always in the current framing (v2 upgrade point).
         let next = self.seq + 1;
         let mut db = db;
         db.generation = generation_of(next);
         db.journal = Some(Journal::new());
-        write_atomic(&self.dir.join(snapshot_name(next)), &db.dump())?;
-        write_atomic(&self.dir.join(tail_name(next)), TAIL_HEADER)?;
-        write_atomic(&self.dir.join(CURRENT), &format!("{next}\n"))?;
-        let _ = fs::remove_file(self.dir.join(snapshot_name(self.seq)));
-        let _ = fs::remove_file(self.dir.join(tail_name(self.seq)));
-        self.tail = open_tail(&self.dir.join(tail_name(next)))?;
+        let result = (|| {
+            write_atomic(
+                &*self.vfs,
+                &self.dir.join(snapshot_name(next)),
+                &Framing::V2.encode_snapshot(&db.dump()),
+            )?;
+            write_atomic(
+                &*self.vfs,
+                &self.dir.join(tail_name(next)),
+                &Framing::V2.empty_tail(),
+            )?;
+            write_atomic(&*self.vfs, &self.dir.join(CURRENT), &format!("{next}\n"))
+        })();
+        if let Err(e) = result {
+            // Leave the live epoch untouched; drop the half-written one.
+            self.remove_generation(next);
+            return Err(e);
+        }
+        // Keep the superseded epoch as the fsck fallback; drop the one
+        // before it.
+        if self.seq > 0 {
+            self.remove_generation(self.seq - 1);
+        }
         self.db = db;
         self.seq = next;
         self.tail_ops = 0;
+        self.framing = Framing::V2;
         Ok(())
     }
 
     fn checkpoint(&mut self) -> Result<(), StoreError> {
-        self.tail
-            .sync_all()
+        if let Some(reason) = &self.wedged {
+            return Err(io_err(&self.dir.join(tail_name(self.seq)), reason));
+        }
+        self.vfs
+            .sync_file(&self.dir.join(tail_name(self.seq)))
             .map_err(|e| io_err(&self.dir.join(tail_name(self.seq)), e))
     }
 
     fn compact(&mut self) -> Result<CompactionStats, StoreError> {
         self.db.check_alive()?;
+        self.check_wedged()?;
         let mut span = obs::span!("store.compact", seq = self.seq);
         let bytes_before =
             self.file_size(&snapshot_name(self.seq)) + self.file_size(&tail_name(self.seq));
         let tail_ops_before = self.tail_ops;
 
-        // 1. Fresh snapshot + empty tail at the next sequence.
+        // 1. Fresh snapshot + empty tail at the next sequence — always
+        //    v2, which is how a v1 root upgrades.
         let next = self.seq + 1;
         let dump = self.db.dump();
-        write_atomic(&self.dir.join(snapshot_name(next)), &dump)?;
-        write_atomic(&self.dir.join(tail_name(next)), TAIL_HEADER)?;
-        // 2. Commit point: CURRENT now names the new sequence. A crash
-        //    on either side of this rename leaves a complete store.
-        write_atomic(&self.dir.join(CURRENT), &format!("{next}\n"))?;
-        // 3. Best-effort cleanup of the superseded files.
-        let _ = fs::remove_file(self.dir.join(snapshot_name(self.seq)));
-        let _ = fs::remove_file(self.dir.join(tail_name(self.seq)));
+        let result = (|| {
+            write_atomic(
+                &*self.vfs,
+                &self.dir.join(snapshot_name(next)),
+                &Framing::V2.encode_snapshot(&dump),
+            )?;
+            write_atomic(
+                &*self.vfs,
+                &self.dir.join(tail_name(next)),
+                &Framing::V2.empty_tail(),
+            )?;
+            // 2. Commit point: CURRENT now names the new sequence. A
+            //    crash on either side of this rename leaves a complete
+            //    store.
+            write_atomic(&*self.vfs, &self.dir.join(CURRENT), &format!("{next}\n"))
+        })();
+        if let Err(e) = result {
+            // Failed before the commit point: the live epoch is intact.
+            // Clean up whatever half of the next epoch was written
+            // (write_atomic already removed its own temp file).
+            self.remove_generation(next);
+            return Err(e);
+        }
+        // 3. Keep the superseded epoch as the fsck fallback state;
+        //    best-effort removal of the one before it.
+        if self.seq > 0 {
+            self.remove_generation(self.seq - 1);
+        }
 
         // 4. Reload at the bumped generation: identical state, fresh
         //    handle stamps — ids from before this call are now stale.
         let generation = generation_of(next);
         let mut db = MetadataDb::load_at(&dump, generation)?;
         db.journal = Some(Journal::new());
-        self.tail = open_tail(&self.dir.join(tail_name(next)))?;
         self.db = db;
         self.seq = next;
         self.tail_ops = 0;
+        self.framing = Framing::V2;
 
         let bytes_after = self.file_size(&snapshot_name(next)) + self.file_size(&tail_name(next));
         span.record("tail_ops_folded", tail_ops_before);
@@ -845,6 +1143,9 @@ impl Store for PersistentStore {
 mod tests {
     use super::*;
     use schema::examples;
+    use simtools::vfs::{FaultVfs, MemVfs, VfsFaultPlan};
+    use std::fs;
+    use std::io::Write as _;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -897,8 +1198,8 @@ mod tests {
         drop(store);
         // Simulate a process dying mid-append: a partial final line.
         let tail = dir.join(tail_name(0));
-        let mut f = OpenOptions::new().append(true).open(&tail).unwrap();
-        f.write_all(b"begin-run Create al").unwrap();
+        let mut f = fs::OpenOptions::new().append(true).open(&tail).unwrap();
+        f.write_all(b"0badc0de begin-run Create al").unwrap();
         drop(f);
         let mut reopened = PersistentStore::open(&dir).unwrap();
         assert_eq!(reopened.db().dump(), dump);
@@ -966,6 +1267,26 @@ mod tests {
     }
 
     #[test]
+    fn compaction_keeps_previous_generation_as_fallback() {
+        let dir = temp_dir("fallback");
+        let mut store = PersistentStore::create(&dir, seed_db()).unwrap();
+        mutate(&mut store);
+        store.compact().unwrap();
+        // Generation 0 files survive as the fsck fallback...
+        assert!(dir.join(snapshot_name(0)).exists());
+        assert!(dir.join(snapshot_name(1)).exists());
+        store.begin_planning(WorkDays::new(3.0));
+        store.compact().unwrap();
+        // ...and a further compaction retires them, keeping exactly one
+        // generation back.
+        assert!(!dir.join(snapshot_name(0)).exists());
+        assert!(!dir.join(tail_name(0)).exists());
+        assert!(dir.join(snapshot_name(1)).exists());
+        assert!(dir.join(snapshot_name(2)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn arena_compact_shrinks_journal_and_bumps_generation() {
         let mut store = ArenaStore::new(seed_db());
         store.enable_journal();
@@ -1008,5 +1329,190 @@ mod tests {
         fork.begin_planning(WorkDays::new(5.0));
         assert_ne!(fork.db().dump(), store.db().dump());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -- durability-layer tests (Vfs seam, framing, wedging) -----------
+
+    fn mem_store(dir: &str) -> (Arc<MemVfs>, PersistentStore) {
+        let mem = MemVfs::new();
+        let store =
+            PersistentStore::create_on(mem.clone() as Arc<dyn Vfs>, dir, seed_db()).unwrap();
+        (mem, store)
+    }
+
+    #[test]
+    fn mem_vfs_roundtrip_matches_real_backend() {
+        let (mem, mut store) = mem_store("/proj");
+        mutate(&mut store);
+        let dump = store.db().dump();
+        drop(store);
+        let reopened = PersistentStore::open_on(mem, "/proj").unwrap();
+        assert_eq!(reopened.db().dump(), dump);
+        reopened.db().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tail_append_failure_wedges_instead_of_panicking() {
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(mem.clone(), VfsFaultPlan::none());
+        let mut store =
+            PersistentStore::create_on(faulty.clone() as Arc<dyn Vfs>, "/proj", seed_db()).unwrap();
+        let s = store.begin_planning(WorkDays::ZERO);
+        store
+            .plan_activity(s, "Create", WorkDays::ZERO, WorkDays::new(2.0))
+            .unwrap();
+        let persisted_dump = store.db().dump();
+        // Every write from here hits ENOSPC.
+        faulty.arm_enospc_after(0);
+        // The wedging op itself applied in memory before its append
+        // failed, so it reports success — but the store is now wedged
+        // and refuses every further fallible mutation.
+        store.begin_run("Create", "alice", WorkDays::ZERO).unwrap();
+        assert!(store.wedged_reason().is_some());
+        faulty.disarm();
+        let err = store
+            .begin_run("Create", "alice", WorkDays::new(0.5))
+            .unwrap_err();
+        assert!(matches!(err, MetadataError::StorageFailed(_)));
+        // checkpoint and compact are refused too.
+        assert!(store.checkpoint().is_err());
+        assert!(store.compact().is_err());
+        // Reads still serve.
+        assert_eq!(store.db().schedule_count(), 1);
+        // Reopen resumes from the durable prefix.
+        drop(store);
+        let reopened = PersistentStore::open_on(mem, "/proj").unwrap();
+        assert_eq!(reopened.db().dump(), persisted_dump);
+        reopened.db().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_a_typed_report() {
+        let (mem, mut store) = mem_store("/proj");
+        mutate(&mut store);
+        drop(store);
+        // Flip bytes inside an interior tail record.
+        let tail = Path::new("/proj").join(tail_name(0));
+        let text = mem.read_to_string(&tail).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        assert!(lines.len() > 3, "need interior records");
+        lines[2] = lines[2].chars().rev().collect();
+        mem.write(&tail, (lines.join("\n") + "\n").as_bytes())
+            .unwrap();
+        let err = PersistentStore::open_on(mem, "/proj").unwrap_err();
+        match err {
+            StoreError::Corruption(report) => {
+                assert_eq!(report.kind, CorruptionKind::CorruptRecord);
+                assert_eq!(report.path, tail);
+            }
+            other => panic!("expected a corruption report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_bitrot_is_a_typed_report() {
+        let (mem, mut store) = mem_store("/proj");
+        mutate(&mut store);
+        drop(store);
+        let snap = Path::new("/proj").join(snapshot_name(0));
+        let text = mem.read_to_string(&snap).unwrap();
+        mem.write(&snap, text.replace("netlist", "netlisX").as_bytes())
+            .unwrap();
+        let err = PersistentStore::open_on(mem, "/proj").unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Corruption(CorruptionReport {
+                kind: CorruptionKind::ChecksumMismatch,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_typed_report() {
+        let (mem, store) = mem_store("/proj");
+        drop(store);
+        mem.remove_file(&Path::new("/proj").join(snapshot_name(0)))
+            .unwrap();
+        let err = PersistentStore::open_on(mem, "/proj").unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Corruption(CorruptionReport {
+                kind: CorruptionKind::MissingFile,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn v1_root_reads_compatibly_and_upgrades_on_compact() {
+        let mem = MemVfs::new();
+        let mut store = PersistentStore::create_with_framing(
+            mem.clone() as Arc<dyn Vfs>,
+            "/proj",
+            seed_db(),
+            Framing::V1,
+        )
+        .unwrap();
+        mutate(&mut store);
+        let dump = store.db().dump();
+        drop(store);
+        // The files really are v1 (no checksums).
+        let tail_text = mem
+            .read_to_string(&Path::new("/proj").join(tail_name(0)))
+            .unwrap();
+        assert!(tail_text.starts_with("metadata-journal v1\n"));
+        let snap_text = mem
+            .read_to_string(&Path::new("/proj").join(snapshot_name(0)))
+            .unwrap();
+        assert!(snap_text.starts_with("metadata-db v1"));
+        // Open keeps appending v1 to the v1 tail...
+        let mut reopened = PersistentStore::open_on(mem.clone() as Arc<dyn Vfs>, "/proj").unwrap();
+        assert_eq!(reopened.framing(), Framing::V1);
+        assert_eq!(reopened.db().dump(), dump);
+        reopened.begin_planning(WorkDays::new(4.0));
+        // ...and compact() rewrites everything checksummed.
+        reopened.compact().unwrap();
+        assert_eq!(reopened.framing(), Framing::V2);
+        let dump2 = reopened.db().dump();
+        drop(reopened);
+        let snap_text = mem
+            .read_to_string(&Path::new("/proj").join(snapshot_name(1)))
+            .unwrap();
+        assert!(snap_text.starts_with(framing::SNAPSHOT_MAGIC_V2));
+        let again = PersistentStore::open_on(mem, "/proj").unwrap();
+        assert_eq!(again.framing(), Framing::V2);
+        assert_eq!(again.db().dump(), dump2);
+    }
+
+    #[test]
+    fn failed_compact_leaves_no_temp_files_and_store_usable() {
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(mem.clone(), VfsFaultPlan::none());
+        let mut store =
+            PersistentStore::create_on(faulty.clone() as Arc<dyn Vfs>, "/proj", seed_db()).unwrap();
+        mutate(&mut store);
+        let dump = store.db().dump();
+        // First write of compact (the snapshot temp) hits ENOSPC.
+        faulty.arm_enospc_after(0);
+        let err = store.compact().unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err:?}");
+        // No temp or next-generation files leaked.
+        let files = mem.list_dir(Path::new("/proj")).unwrap();
+        for f in &files {
+            let name = f.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(
+                !name.ends_with(".tmp") && !name.contains("-1."),
+                "leaked {name}"
+            );
+        }
+        // The store still works and a reopen sees pre-compaction state.
+        assert_eq!(store.db().dump(), dump);
+        store.begin_planning(WorkDays::new(7.0));
+        let dump_after = store.db().dump();
+        drop(store);
+        let reopened = PersistentStore::open_on(mem, "/proj").unwrap();
+        assert_eq!(reopened.db().dump(), dump_after);
+        assert_eq!(reopened.sequence(), 0);
     }
 }

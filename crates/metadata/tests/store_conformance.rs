@@ -1,15 +1,20 @@
 //! The shared `Store` conformance suite: every behavioural check runs
-//! identically against both backends ([`ArenaStore`] and
-//! [`PersistentStore`]), so the persistent engine cannot drift from the
-//! in-memory semantics the rest of the workspace is tested against.
+//! identically against all backends — [`ArenaStore`],
+//! [`PersistentStore`] on the real filesystem, and [`PersistentStore`]
+//! behind a no-fault [`FaultVfs`] — so the persistent engine cannot
+//! drift from the in-memory semantics the rest of the workspace is
+//! tested against, and the fault-injection seam is proven
+//! behaviour-identical when no faults are planned.
 
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use metadata::{ArenaStore, MetadataDb, MetadataError, PersistentStore, Store};
 use schedule::WorkDays;
 use schema::examples;
+use simtools::vfs::{FaultVfs, MemVfs, RealVfs, Vfs, VfsFaultPlan};
 
 static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
 
@@ -38,9 +43,11 @@ fn seed_db() -> MetadataDb {
     MetadataDb::for_schema(&examples::circuit_design())
 }
 
-/// Runs `check` once per backend. The persistent backend gets its own
-/// scratch directory; both start from the same schema-initialised
-/// database with journaling on.
+/// Runs `check` once per backend. The persistent backends get their
+/// own scratch directories; all start from the same schema-initialised
+/// database with journaling on. The third backend routes every I/O
+/// call through a [`FaultVfs`] with an empty fault plan: with no
+/// faults, the seam must be invisible.
 fn for_each_backend(tag: &str, check: impl Fn(&mut dyn Store)) {
     let mut arena = ArenaStore::new(seed_db());
     arena.enable_journal();
@@ -49,6 +56,13 @@ fn for_each_backend(tag: &str, check: impl Fn(&mut dyn Store)) {
     let scratch = ScratchDir::new(tag);
     let mut persistent = PersistentStore::create(&scratch.0, seed_db()).unwrap();
     check(&mut persistent);
+
+    let scratch = ScratchDir::new(&format!("{tag}-faultvfs"));
+    let faulty = FaultVfs::new(RealVfs::arc(), VfsFaultPlan::none());
+    let mut seamed =
+        PersistentStore::create_on(faulty.clone() as Arc<dyn Vfs>, &scratch.0, seed_db()).unwrap();
+    check(&mut seamed);
+    assert_eq!(faulty.injected(), 0, "a no-fault plan must inject nothing");
 }
 
 /// One planned + executed + completed activity; returns nothing so the
@@ -135,7 +149,8 @@ fn conformance_journal_replays_to_identical_state() {
                     .unwrap();
                 let snapshot =
                     fs::read_to_string(dir.join(format!("snapshot-{current}.txt"))).unwrap();
-                let mut db = MetadataDb::load_at(&snapshot, current as u32).unwrap();
+                let (_, body) = metadata::framing::decode_snapshot(&snapshot).unwrap();
+                let mut db = MetadataDb::load_at(body, current as u32).unwrap();
                 db.apply_journal(&journal).unwrap();
                 assert_eq!(db.dump(), store.db().dump());
             }
@@ -209,4 +224,50 @@ fn conformance_replace_db_swaps_state() {
         assert_eq!(store.db().dump(), expected);
         store.checkpoint().unwrap();
     });
+}
+
+/// Property: ENOSPC at *every* write during `compact()` — first write,
+/// second, ... until the compaction finally succeeds — leaves the
+/// store usable in memory and reopenable from disk with its full
+/// pre-compaction contents. The commit protocol has no point of no
+/// return short of the `CURRENT` swap.
+#[test]
+fn conformance_compact_survives_enospc_at_every_injection_point() {
+    let mut k = 0u64;
+    loop {
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(mem.clone(), VfsFaultPlan::none());
+        let mut store =
+            PersistentStore::create_on(faulty.clone() as Arc<dyn Vfs>, "/p", seed_db()).unwrap();
+        lifecycle(&mut store);
+        let dump = store.db().dump();
+        faulty.arm_enospc_after(k);
+        let result = store.compact();
+        faulty.disarm();
+        let succeeded = result.is_ok();
+        if !succeeded {
+            assert!(
+                matches!(result, Err(metadata::StoreError::Io { .. })),
+                "ENOSPC must surface as a typed I/O error: {result:?}"
+            );
+        }
+        // Either way: live state unchanged, disk state reopenable and
+        // byte-identical.
+        assert_eq!(store.db().dump(), dump);
+        drop(store);
+        let reopened = PersistentStore::open_on(mem as Arc<dyn Vfs>, "/p").unwrap();
+        assert_eq!(reopened.db().dump(), dump);
+        if succeeded {
+            assert_eq!(reopened.sequence(), 1, "compaction committed");
+            break;
+        }
+        assert_eq!(
+            reopened.sequence(),
+            0,
+            "failed compaction left the old epoch"
+        );
+        k += 1;
+        assert!(k < 64, "compaction should need far fewer than 64 writes");
+    }
+    assert!(k >= 2, "the sweep must actually exercise failing writes");
 }

@@ -243,15 +243,18 @@ pub fn to_chrome(trace: &Trace, timebase: Timebase) -> String {
     out
 }
 
-/// Writes `contents` to `path` **atomically**: parent directories are
-/// created, the bytes go to a `.tmp` sibling, and a rename publishes
-/// the file — readers never observe a torn write. This is the single
-/// atomic-write primitive for the workspace (the bench harness's
-/// `write_report` delegates here).
+/// Writes `contents` to `path` **atomically and durably**: parent
+/// directories are created, the bytes go to a `.tmp` sibling which is
+/// fsynced, a rename publishes the file, and the parent directory is
+/// fsynced so the rename itself survives a power cut — readers never
+/// observe a torn write, and a crash never rolls the file back to
+/// nothing. This is the single atomic-write primitive for the
+/// workspace (the bench harness's `write_report` delegates here).
 ///
 /// # Errors
 ///
-/// Any I/O failure from directory creation, the write, or the rename.
+/// Any I/O failure from directory creation, the write, the syncs, or
+/// the rename. The temp file is removed on any failure.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -266,14 +269,39 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(format!(".tmp.{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
+    let result = (|| {
+        std::fs::write(&tmp, contents)?;
+        // Contents must be durable *before* the rename publishes the
+        // name, or a crash can publish an empty file.
+        std::fs::File::open(&tmp)?.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Fsyncs `path`'s parent directory so a just-completed rename is
+/// durable. Best-effort: directory handles cannot be opened for sync
+/// on all platforms (notably Windows), and the rename's *atomicity*
+/// holds regardless — only its durability needs this.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
         }
     }
+    #[cfg(not(unix))]
+    let _ = path;
 }
 
 /// Validates that `text` is one well-formed JSON value (trailing

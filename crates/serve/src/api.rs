@@ -402,6 +402,15 @@ where
 
 /// Maps registry errors onto transport statuses.
 fn workspace_error(e: WorkspaceError) -> Response {
+    // A damaged on-disk store is a server fault, but a *diagnosed* one:
+    // the body carries the typed corruption report and the remedy,
+    // instead of the panic (then connection reset) this used to be.
+    if let WorkspaceError::Store(metadata::StoreError::Corruption(report)) = &e {
+        return Response::error(
+            500,
+            format!("store corruption: {report}; run `herc fsck --repair` on the workspace root"),
+        );
+    }
     let status = match &e {
         WorkspaceError::UnknownProject(_) => 404,
         WorkspaceError::DuplicateProject(_) => 409,
@@ -601,5 +610,49 @@ mod tests {
         assert_eq!(api.handle(&request("GET", "/nope", b"")).status, 404);
         assert_eq!(api.handle(&request("PATCH", "/projects", b"")).status, 405);
         assert_eq!(api.handle(&request("POST", "/healthz", b"")).status, 405);
+    }
+
+    #[test]
+    fn corrupt_store_on_lazy_reopen_is_a_typed_500() {
+        let root = std::env::temp_dir().join(format!(
+            "schedflow-serve-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let api = Api::new(Arc::new(Workspace::persistent(&root)), ApiConfig::default());
+            let source = examples::circuit_design().to_source();
+            let source = format!("schema circuit;\n{source}");
+            let resp = api.handle(&request("POST", "/projects/alu?seed=7", source.as_bytes()));
+            assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+            let resp = api.handle(&request(
+                "POST",
+                "/projects/alu/plan?target=performance",
+                b"",
+            ));
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        }
+        // Damage an interior tail record, then serve the root afresh:
+        // the lazy reopen must answer a diagnosed 500, not panic the
+        // worker (which the client would see as a connection reset).
+        let tail = root.join("alu/tail-0.journal");
+        let text = std::fs::read_to_string(&tail).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        assert!(lines.len() > 3, "need interior records: {text}");
+        lines[2] = lines[2].chars().rev().collect();
+        std::fs::write(&tail, lines.join("\n") + "\n").unwrap();
+        let api = Api::new(Arc::new(Workspace::persistent(&root)), ApiConfig::default());
+        let resp = api.handle(&request("GET", "/projects/alu/status", b""));
+        assert_eq!(resp.status, 500);
+        let body = String::from_utf8_lossy(&resp.body);
+        assert!(body.contains("store corruption"), "body: {body}");
+        assert!(
+            body.contains("fsck"),
+            "body should point at the remedy: {body}"
+        );
+        // The server is still alive and serving other routes.
+        assert_eq!(api.handle(&request("GET", "/projects", b"")).status, 200);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -52,6 +52,7 @@ mod model;
 
 pub mod des;
 pub mod rng;
+pub mod vfs;
 pub mod workload;
 
 pub use fault::{BrokenToolPlan, FaultInjector, FaultPlan, FaultedOutcome, InjectedFault};

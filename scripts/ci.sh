@@ -15,6 +15,11 @@
 #   ws      workspace kernel gate: threaded stress + compaction
 #           property + store conformance + B12 scaling tests, then the
 #           end-to-end create->plan->crash->recover->gc->query script
+#           (now ending in a corrupt->fsck->repair->re-serve leg)
+#   fsck    durability gate: the 64-seed fault-injection sweep over
+#           FaultVfs, the corruption-corpus goldens in
+#           artifacts/corrupt_roots/, and the B15 checksum-overhead
+#           gate (v2 framing <= 1.2x v1 on append and open)
 #   serve   workspace-server gate: differential transport conformance,
 #           protocol fuzzer, 64-seed chaos-under-load sweep, herc
 #           serve CLI coverage, B13 scaling/coalescing floor, and a
@@ -36,7 +41,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check golden chaos obs ws serve scale bench doc)
+ALL_STAGES=(fmt clippy check golden chaos obs ws fsck serve scale bench doc)
 
 usage() {
     echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
@@ -147,6 +152,22 @@ stage_ws() {
     # End-to-end lifecycle through the user-facing CLI, torn-tail
     # crash included.
     scripts/ws_e2e.sh
+}
+
+stage_fsck() {
+    # Durability gate. The chaos sweep drives 64 fault-seeded sessions
+    # (ENOSPC, EIO, short writes, lying fsync, crash truncation)
+    # through the persistent store and asserts it either serves an
+    # acknowledged state or reports typed corruption that fsck can
+    # repair — never silently wrong, never a panic. The corpus goldens
+    # pin the scrub verdicts on committed damaged roots; the B15 gate
+    # holds checksummed framing to <= 1.2x the un-checksummed paths.
+    cargo test -q --offline --release -p metadata \
+        --test fault_chaos || return 1
+    cargo test -q --offline --release -p dac95-schedflow \
+        --test fsck_corpus || return 1
+    cargo test -q --offline --release -p bench \
+        --test store_durability
 }
 
 stage_serve() {

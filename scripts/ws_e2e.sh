@@ -75,4 +75,42 @@ $HERC ws "$ROOT/ws" plan beta "$ROOT/counter.schema" performance --seed 8 \
     > /dev/null
 $HERC ws "$ROOT/ws" list
 
+# -- corruption: flip an interior record in beta's journal tail --------
+# (Not a torn tail: damage with valid records after it, which recovery
+# must refuse to guess around. fsck must flag it, --repair must rebuild
+# from snapshot + valid prefix, and the root must serve again. The
+# *live* generation is the one named by CURRENT — compact keeps the
+# previous one around, and damage there must not fail the store.)
+tail_file="$ROOT/ws/beta/tail-$(cat "$ROOT/ws/beta/CURRENT").journal"
+awk 'NR==3 { n=split($0,a,""); s=""; for (i=n; i>=1; i--) s=s a[i]; print s; next }
+     { print }' "$tail_file" > "$tail_file.rot" && mv "$tail_file.rot" "$tail_file"
+if $HERC fsck "$ROOT/ws" > "$ROOT/fsck_before.txt" 2>&1; then
+    echo "ws_e2e: fsck passed on a corrupt root" >&2
+    exit 1
+fi
+grep -q 'CORRUPT' "$ROOT/fsck_before.txt" || {
+    echo "ws_e2e: fsck did not classify the damage:" >&2
+    cat "$ROOT/fsck_before.txt" >&2
+    exit 1
+}
+$HERC fsck "$ROOT/ws" --repair > "$ROOT/fsck_repair.txt"
+grep -q 'repaired: rebuilt' "$ROOT/fsck_repair.txt" || {
+    echo "ws_e2e: repair did not rebuild beta:" >&2
+    cat "$ROOT/fsck_repair.txt" >&2
+    exit 1
+}
+test -f "$ROOT"/ws/beta/*.quarantine || {
+    echo "ws_e2e: damaged tail was not quarantined" >&2
+    exit 1
+}
+$HERC fsck "$ROOT/ws" > /dev/null
+# -- re-serve: the repaired root answers over HTTP ---------------------
+$HERC serve "$ROOT/ws" --oneshot GET /projects/beta/status > /dev/null
+$HERC ws "$ROOT/ws" status alpha "$ROOT/counter.schema" --seed 7 \
+    > "$ROOT/status_after_fsck.txt"
+cmp "$ROOT/status_before.txt" "$ROOT/status_after_fsck.txt" || {
+    echo "ws_e2e: alpha's state changed across beta's repair" >&2
+    exit 1
+}
+
 echo "ws_e2e: OK"

@@ -23,6 +23,11 @@
 //! herc ws <root> status <name> <file> [options]
 //!                                            status of a persisted project
 //! herc gc <root> [<name>...]                 compact project journals
+//! herc fsck <root> [--repair]                scrub every project store under
+//!                                            a root (checksums, headers,
+//!                                            session configs); --repair
+//!                                            rebuilds damaged stores from
+//!                                            their best recoverable state
 //! herc serve <root> [--addr HOST:PORT] [--tokens FILE] [--workers N]
 //!                                            serve the workspace over HTTP
 //!                                            (`:memory:` for a scratch root;
@@ -78,6 +83,7 @@ fn usage() -> ExitCode {
          \x20      herc metrics <fig8|chaos> [--seed N] [--json]\n\
          \x20      herc ws <root> <list|create|plan|run|status> [<name> <schema-file> [<target>]] [options]\n\
          \x20      herc gc <root> [<name>...]\n\
+         \x20      herc fsck <root> [--repair]\n\
          \x20      herc serve <root> [--addr HOST:PORT] [--tokens FILE] [--workers N] \
          [--queue-cap N] [--tenant-cap N] [--oneshot METHOD PATH]"
     );
@@ -432,6 +438,9 @@ fn cmd_gc(args: &[String]) -> Result<(), String> {
     let Some(root) = args.first() else {
         return Err("gc needs a workspace root directory".to_owned());
     };
+    if !std::path::Path::new(root).is_dir() {
+        return Err(format!("no workspace at {root:?}: not a directory"));
+    }
     let names: Vec<String> = if args.len() > 1 {
         args[1..].to_vec()
     } else {
@@ -450,6 +459,77 @@ fn cmd_gc(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Scrubs every project store under a workspace root, printing a
+/// per-file verdict, and exits non-zero if anything is damaged. With
+/// `--repair`, rebuilds each damaged-but-repairable store from its
+/// best recoverable state first (damaged files are quarantined as
+/// `<name>.quarantine`, never deleted).
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    let Some(root) = args.first() else {
+        return Err("fsck usage: herc fsck <root> [--repair]".to_owned());
+    };
+    let mut repair = false;
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            other => return Err(format!("fsck: unknown option {other:?}")),
+        }
+    }
+    let report = hercules::fsck::fsck_workspace(root, repair).map_err(|e| e.to_string())?;
+    if report.projects.is_empty() {
+        println!("{root}: no projects");
+        return Ok(());
+    }
+    for project in &report.projects {
+        let verdict = if project.healthy() { "ok" } else { "DAMAGED" };
+        println!("project {}: {verdict}", project.name);
+        match &project.store {
+            Ok(scrub) => {
+                for v in &scrub.verdicts {
+                    let file = v
+                        .path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    println!("  {file:<28} {:<8} {}", v.status.to_string(), v.detail);
+                }
+            }
+            Err(e) => println!("  store: {e}"),
+        }
+        println!("  {:<28} {:<8}", "project.conf", project.conf.to_string());
+        if let Some(outcome) = &project.repaired {
+            match outcome {
+                metadata::fsck::RepairOutcome::AlreadyHealthy => {
+                    println!("  repaired: store was already healthy");
+                }
+                metadata::fsck::RepairOutcome::Repaired {
+                    new_seq,
+                    base_seq,
+                    ops_replayed,
+                    quarantined,
+                } => println!(
+                    "  repaired: rebuilt at sequence {new_seq} from generation {base_seq} \
+                     + {ops_replayed} tail op(s); {} file(s) quarantined",
+                    quarantined.len()
+                ),
+                _ => {}
+            }
+        }
+    }
+    let damaged = report.damaged().count();
+    if damaged == 0 {
+        println!("{root}: {} project(s) healthy", report.projects.len());
+        Ok(())
+    } else {
+        let hint = if repair {
+            ""
+        } else {
+            " (run with --repair to rebuild)"
+        };
+        Err(format!("{damaged} damaged project(s) under {root:?}{hint}"))
+    }
 }
 
 /// Reads a schema file for the `ws` subcommands.
@@ -687,18 +767,19 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
-    // `chaos`, `trace`, `metrics`, `ws`, `gc`, and `serve` take no
-    // leading schema file: their scenarios and projects are derived
-    // from names, seeds, and workspace roots.
+    // `chaos`, `trace`, `metrics`, `ws`, `gc`, `fsck`, and `serve`
+    // take no leading schema file: their scenarios and projects are
+    // derived from names, seeds, and workspace roots.
     if matches!(
         command.as_str(),
-        "chaos" | "trace" | "metrics" | "ws" | "gc" | "serve"
+        "chaos" | "trace" | "metrics" | "ws" | "gc" | "fsck" | "serve"
     ) {
         let result = match command.as_str() {
             "chaos" => cmd_chaos(&args[1..]),
             "trace" => cmd_trace(&args[1..]),
             "ws" => cmd_ws(&args[1..]),
             "gc" => cmd_gc(&args[1..]),
+            "fsck" => cmd_fsck(&args[1..]),
             "serve" => cmd_serve(&args[1..]),
             _ => cmd_metrics(&args[1..]),
         };

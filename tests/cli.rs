@@ -314,3 +314,93 @@ fn parse_errors_surface_with_position() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("2:6"), "{stderr}");
 }
+
+#[test]
+fn gc_on_missing_root_is_a_typed_error() {
+    let root = std::env::temp_dir().join(format!("herc-gc-no-root-{}", std::process::id()));
+    let out = herc(&["gc", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "missing root must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no workspace at"),
+        "expected typed missing-root error, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("I/O error"),
+        "must not leak a raw store error: {stderr}"
+    );
+}
+
+#[test]
+fn fsck_on_missing_root_is_a_typed_error() {
+    let root = std::env::temp_dir().join(format!("herc-fsck-no-root-{}", std::process::id()));
+    let out = herc(&["fsck", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no workspace here"), "{stderr}");
+}
+
+#[test]
+fn fsck_finds_corruption_and_repair_restores_service() {
+    let path = schema_file();
+    let root = std::env::temp_dir().join(format!("herc-fsck-root-{}", std::process::id()));
+    let root_str = root.to_str().expect("utf-8 path");
+    let schema = path.to_str().expect("utf-8 path");
+    let out = herc(&["ws", root_str, "create", "alpha", schema, "--seed", "7"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Append journal records, then a clean bill of health.
+    let out = herc(&["ws", root_str, "plan", "alpha", schema, "performance"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = herc(&["fsck", root_str]);
+    assert!(
+        out.status.success(),
+        "healthy root must pass fsck: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("project alpha: ok"));
+    // Corrupt an interior tail record: fsck must fail with a verdict
+    // and point at --repair.
+    let tail = root.join("alpha/tail-0.journal");
+    let text = std::fs::read_to_string(&tail).expect("read tail");
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    assert!(lines.len() > 3, "need interior records: {text}");
+    lines[2] = lines[2].chars().rev().collect();
+    std::fs::write(&tail, lines.join("\n") + "\n").expect("corrupt tail");
+    let out = herc(&["fsck", root_str]);
+    assert_eq!(out.status.code(), Some(1), "corrupt root must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CORRUPT"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("damaged project"), "{stderr}");
+    assert!(stderr.contains("--repair"), "{stderr}");
+    // Repair, then the root serves again — end to end through the
+    // HTTP surface.
+    let out = herc(&["fsck", root_str, "--repair"]);
+    assert!(
+        out.status.success(),
+        "repair must succeed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("repaired"));
+    let out = herc(&[
+        "serve",
+        root_str,
+        "--oneshot",
+        "GET",
+        "/projects/alpha/status",
+    ]);
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(
+        out.status.success(),
+        "repaired root must serve: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,102 @@
+//! Golden tests over the committed corruption corpus in
+//! `artifacts/corrupt_roots/`: five copies of one small project, each
+//! with a different kind of damage (none, torn tail, corrupt interior
+//! record, rotted snapshot, missing `CURRENT`). The corpus pins the
+//! scrub verdicts — exit code, per-file classification, detail text —
+//! so a recovery-policy change shows up as a reviewable diff, and the
+//! repair test proves `--repair` fixes exactly the repairable cases.
+//!
+//! Regenerate after an intentional verdict change:
+//!
+//! ```text
+//! cargo run --release -p dac95-schedflow --bin herc -- \
+//!     fsck artifacts/corrupt_roots > artifacts/corrupt_roots/expected.txt
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+/// Runs `herc` from the workspace root (the corpus verdicts embed
+/// root-relative paths, so the cwd matters).
+fn herc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_herc"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(args)
+        .output()
+        .expect("spawn herc")
+}
+
+#[test]
+fn scrub_verdicts_match_the_committed_golden() {
+    let out = herc(&["fsck", "artifacts/corrupt_roots"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a root with damaged projects must exit 1"
+    );
+    let expected = fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts/corrupt_roots/expected.txt"),
+    )
+    .expect("committed golden");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout, expected,
+        "fsck verdicts drifted from artifacts/corrupt_roots/expected.txt; \
+         if the change is intentional, regenerate the golden (see module docs)"
+    );
+}
+
+/// Copies the corpus somewhere writable (repair quarantines and
+/// rebuilds in place; the committed corpus must stay pristine).
+fn scratch_corpus() -> std::path::PathBuf {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts/corrupt_roots");
+    let dst = std::env::temp_dir().join(format!(
+        "herc-fsck-corpus-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dst);
+    for case in fs::read_dir(&src).expect("corpus exists") {
+        let case = case.expect("read corpus entry").path();
+        if !case.is_dir() {
+            continue;
+        }
+        let out = dst.join(case.file_name().expect("named dir"));
+        fs::create_dir_all(&out).expect("create case dir");
+        for file in fs::read_dir(&case).expect("read case") {
+            let file = file.expect("read case entry").path();
+            fs::copy(&file, out.join(file.file_name().expect("named file"))).expect("copy");
+        }
+    }
+    dst
+}
+
+#[test]
+fn repair_fixes_exactly_the_repairable_cases() {
+    let root = scratch_corpus();
+    let root_str = root.to_str().expect("utf-8 path");
+    // Repair: the interior rot is rebuilt from snapshot + valid tail
+    // prefix; the rotted snapshot (no other generation) and the
+    // missing CURRENT stay damaged, so the exit code is still 1.
+    let out = herc(&["fsck", root_str, "--repair"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("repaired: rebuilt"), "{stdout}");
+    // A second pass agrees: exactly the unrepairable two remain.
+    let out = herc(&["fsck", root_str]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in [
+        "project healthy: ok",
+        "project interior_rot: ok",
+        "project torn_tail: ok",
+        "project headless: DAMAGED",
+        "project snapshot_rot: DAMAGED",
+    ] {
+        assert!(stdout.contains(line), "missing {line:?} in:\n{stdout}");
+    }
+    // The damage was quarantined, not deleted.
+    assert!(root.join("interior_rot/tail-0.journal.quarantine").exists());
+    let _ = fs::remove_dir_all(&root);
+}
