@@ -16,6 +16,7 @@ pub mod cpm;
 pub mod cpm_scale;
 pub mod execution;
 pub mod gantt;
+pub mod obs_live;
 pub mod planning;
 pub mod prediction;
 pub mod queries;
@@ -28,10 +29,10 @@ pub mod trace_overhead;
 pub mod workspace_concurrent;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B15). The calibration spin must run first: it warms the CPU for
+/// B1–B16). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 16] = [
+pub const KERNELS: [&str; 17] = [
     "calibrate",
     "cpm",
     "planning",
@@ -48,6 +49,7 @@ pub const KERNELS: [&str; 16] = [
     "serve_load",
     "cpm_scale",
     "store_durability",
+    "obs_live",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -101,6 +103,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("store_durability") {
         records.extend(store_durability::run(quick));
+    }
+    if wanted("obs_live") {
+        records.extend(obs_live::run(quick));
     }
     records
 }

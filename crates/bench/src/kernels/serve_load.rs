@@ -136,16 +136,30 @@ pub fn run_batch(addr: SocketAddr) -> Vec<f64> {
     latencies
 }
 
-/// Nearest-rank percentile over sorted samples.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+/// Geometric bucket bounds for the latency histogram: 10 µs … 10 s at
+/// ratio 1.2, so the bucket-interpolated percentile is within ~10% of
+/// the sample value — well inside the ±30% `bench_compare` gate on the
+/// `latency/workers/*` rows.
+fn latency_bounds() -> Vec<f64> {
+    let mut bounds = Vec::new();
+    let mut bound = 1e4f64;
+    while bound < 1e10 {
+        bounds.push(bound);
+        bound *= 1.2;
+    }
+    bounds
 }
 
-fn latency_records(workers: usize, mut ns: Vec<f64>) -> Vec<Record> {
-    ns.sort_by(f64::total_cmp);
+fn latency_records(workers: usize, ns: Vec<f64>) -> Vec<Record> {
+    // Percentiles come from the same fixed-bucket estimator the live
+    // server exposes on `/metrics` (`Histogram::percentile`), so bench
+    // numbers and dashboard numbers mean the same thing.
+    let histogram = obs::Histogram::with_bounds(&latency_bounds());
+    for v in &ns {
+        histogram.observe(*v);
+    }
     let samples = ns.len() as u32;
-    let p99 = percentile(&ns, 0.99);
+    let p99 = histogram.percentile(0.99);
     vec![
         Record {
             kernel: "serve_load".to_owned(),
@@ -154,9 +168,9 @@ fn latency_records(workers: usize, mut ns: Vec<f64>) -> Vec<Record> {
             samples,
             iters_per_sample: 1,
             stats: Stats {
-                median_ns: percentile(&ns, 0.50),
-                p95_ns: percentile(&ns, 0.95),
-                min_ns: ns[0],
+                median_ns: histogram.percentile(0.50),
+                p95_ns: histogram.percentile(0.95),
+                min_ns: ns.iter().copied().fold(f64::INFINITY, f64::min),
                 mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
             },
         },

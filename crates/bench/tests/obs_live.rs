@@ -1,0 +1,138 @@
+//! The B16 acceptance gate for the always-on flight recorder.
+//!
+//! A live server leaves the recorder enabled permanently, so its cost
+//! must be a tax, not a mode: the flight-on medians for the B2 plan
+//! body and the B13 serve body (`Api::handle`, no TCP) must stay
+//! **≤ 1.15×** their flight-off medians. Host-independent ratios only
+//! — no wall-clock floors.
+
+#[cfg(not(debug_assertions))]
+use bench::kernels::obs_live::seeded_api;
+use bench::kernels::obs_live::FLIGHT_CAP;
+use bench::pipeline_manager;
+
+/// Functional half of the gate, cheap enough for debug builds: the
+/// recorder must not change results, and the ring must actually hold
+/// the spans the timed variants record.
+#[test]
+fn flight_recording_preserves_results_and_captures_spans() {
+    let target = "d50";
+    obs::Collector::disable_flight();
+    let finish_off = pipeline_manager(50, 4, 1)
+        .plan(target)
+        .expect("plannable")
+        .project_finish();
+    obs::Collector::enable_flight(FLIGHT_CAP);
+    obs::Collector::flight_clear();
+    let finish_on = pipeline_manager(50, 4, 1)
+        .plan(target)
+        .expect("plannable")
+        .project_finish();
+    assert_eq!(finish_off, finish_on, "recording must not change planning");
+    let dump = obs::Collector::flight_dump();
+    assert!(
+        dump.threads
+            .iter()
+            .flat_map(|t| &t.records)
+            .any(|r| r.name == "hercules.plan"),
+        "the ring should hold the plan span ({} records)",
+        dump.total_records()
+    );
+    obs::Collector::disable_flight();
+    obs::Collector::flight_clear();
+}
+
+/// Min wall-seconds of `f` over `tries` runs — min, not mean, to shrug
+/// off scheduler noise on loaded CI hosts.
+#[cfg(not(debug_assertions))]
+fn best_secs<R>(tries: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..tries)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Plan-body seconds for one try: pool construction is untimed, the
+/// planning loop is.
+#[cfg(not(debug_assertions))]
+fn plan_pool_secs(calls: usize) -> f64 {
+    let mut pool: Vec<_> = (0..calls).map(|_| pipeline_manager(50, 4, 1)).collect();
+    let t0 = std::time::Instant::now();
+    for h in &mut pool {
+        std::hint::black_box(h.plan("d50").expect("plannable").project_finish());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Timing gates only make sense on optimized builds.
+#[cfg(not(debug_assertions))]
+#[test]
+fn flight_on_stays_within_budget() {
+    const TRIES: usize = 7;
+    const PLAN_CALLS: usize = 64;
+    const SERVE_CALLS: usize = 512;
+    // The B11 budget for exclusive sessions is 2×; the always-on ring
+    // must be far cheaper, because nobody ever turns it off.
+    const BUDGET: f64 = 1.15;
+
+    // -- B2 plan body -----------------------------------------------------
+    obs::Collector::disable_flight();
+    plan_pool_secs(PLAN_CALLS); // warmup
+    let plan_off = (0..TRIES)
+        .map(|_| plan_pool_secs(PLAN_CALLS))
+        .fold(f64::INFINITY, f64::min);
+    obs::Collector::enable_flight(FLIGHT_CAP);
+    plan_pool_secs(PLAN_CALLS); // warmup (ring allocation happens here)
+    let plan_on = (0..TRIES)
+        .map(|_| plan_pool_secs(PLAN_CALLS))
+        .fold(f64::INFINITY, f64::min);
+    obs::Collector::disable_flight();
+    obs::Collector::flight_clear();
+    let plan_ratio = plan_on / plan_off;
+    eprintln!(
+        "obs_live: plan body off {:.3} ms, on {:.3} ms, ratio {plan_ratio:.3}",
+        plan_off * 1e3,
+        plan_on * 1e3
+    );
+
+    // -- B13 serve body ---------------------------------------------------
+    let api = seeded_api();
+    let raw = b"GET /projects/p0/status HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n";
+    let req = match serve::http::read_request(&mut std::io::Cursor::new(raw.to_vec())) {
+        serve::http::ReadOutcome::Request(req) => req,
+        other => panic!("gate request failed to parse: {other:?}"),
+    };
+    let drive = |n: usize| {
+        for _ in 0..n {
+            assert_eq!(api.handle(&req).status, 200);
+        }
+    };
+    obs::Collector::disable_flight();
+    drive(SERVE_CALLS); // warmup
+    let serve_off = best_secs(TRIES, || drive(SERVE_CALLS));
+    obs::Collector::enable_flight(FLIGHT_CAP);
+    drive(SERVE_CALLS); // warmup
+    let serve_on = best_secs(TRIES, || drive(SERVE_CALLS));
+    obs::Collector::disable_flight();
+    obs::Collector::flight_clear();
+    let serve_ratio = serve_on / serve_off;
+    eprintln!(
+        "obs_live: serve body off {:.3} ms, on {:.3} ms, ratio {serve_ratio:.3}",
+        serve_off * 1e3,
+        serve_on * 1e3
+    );
+
+    assert!(
+        plan_ratio <= BUDGET,
+        "flight recorder costs {plan_ratio:.3}x on the plan body \
+         (budget {BUDGET}x); the ring write has left the hot-path noise floor"
+    );
+    assert!(
+        serve_ratio <= BUDGET,
+        "flight recorder costs {serve_ratio:.3}x on the serve body \
+         (budget {BUDGET}x); the ring write has left the hot-path noise floor"
+    );
+}

@@ -84,4 +84,4 @@ pub use retry::RetryPolicy;
 pub use rollup::{BlockStatus, Decomposition};
 pub use status::{ActivityState, StatusReport};
 pub use task::TaskTree;
-pub use workspace::{Project, Workspace, WorkspaceError};
+pub use workspace::{Project, Workspace, WorkspaceError, PROJECT_CONF_MAGIC};

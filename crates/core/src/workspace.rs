@@ -413,6 +413,21 @@ impl Workspace {
         self.len() == 0
     }
 
+    /// Names of registered projects whose store has wedged itself
+    /// after a failed durability operation, sorted. Healthy stores and
+    /// in-memory arenas never appear here.
+    pub fn wedged_projects(&self) -> Vec<String> {
+        let handles: Vec<Arc<Project>> = {
+            let projects = self.projects.read().unwrap_or_else(|e| e.into_inner());
+            projects.values().cloned().collect()
+        };
+        handles
+            .iter()
+            .filter(|p| p.read(|h| h.store().wedged_reason().is_some()))
+            .map(|p| p.name().to_owned())
+            .collect()
+    }
+
     /// Compacts every registered project in name order, returning
     /// per-project stats. Stops at the first failure.
     ///
@@ -458,8 +473,10 @@ impl Workspace {
 /// project's directory.
 const PROJECT_CONF: &str = "project.conf";
 
-/// Magic first line of the saved session config.
-const PROJECT_CONF_MAGIC: &str = "schedflow-project/v1";
+/// Magic first line of the saved session config. Public so operator
+/// surfaces (`/healthz`) can report the on-disk schema version they
+/// would accept.
+pub const PROJECT_CONF_MAGIC: &str = "schedflow-project/v1";
 
 /// Persists the session configuration (schema source, team size,
 /// seed) beside a project's store, atomically.

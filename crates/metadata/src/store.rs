@@ -384,6 +384,13 @@ pub trait Store: fmt::Debug + Send + Sync {
 
     /// The on-disk directory, for persistent backends.
     fn path(&self) -> Option<&Path>;
+
+    /// Why the store refuses writes, if it has wedged itself after a
+    /// failed durability operation. `None` for healthy stores and for
+    /// backends that never wedge (the arena).
+    fn wedged_reason(&self) -> Option<&str> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Store> {
@@ -1061,6 +1068,10 @@ impl Store for PersistentStore {
         self.vfs
             .sync_file(&self.dir.join(tail_name(self.seq)))
             .map_err(|e| io_err(&self.dir.join(tail_name(self.seq)), e))
+    }
+
+    fn wedged_reason(&self) -> Option<&str> {
+        self.wedged.as_deref()
     }
 
     fn compact(&mut self) -> Result<CompactionStats, StoreError> {

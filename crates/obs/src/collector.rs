@@ -22,6 +22,8 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use crate::flight::{self, FlightDump, FlightKind, FlightRecord, FlightRing, FlightThread};
+use crate::metrics::{Counter, Metrics};
 use crate::trace::{Arg, ThreadTrace, Trace, TraceItem};
 
 /// Runtime switch. Relaxed is sufficient: enabling/disabling only
@@ -54,9 +56,15 @@ struct ThreadSlot {
     /// Simulated clock last published on this thread (milli-days;
     /// `i64::MIN` = none).
     sim_md: AtomicI64,
+    /// Request trace id active on this thread (0 = none). Stamped into
+    /// flight records; set via [`Collector::trace_scope`].
+    trace_id: AtomicU64,
     /// The buffer. Uncontended in steady state — only the owning
     /// thread and a drain ever lock it.
     items: Mutex<Vec<TraceItem>>,
+    /// The flight-recorder ring (see [`crate::flight`]). Same locking
+    /// discipline as `items`: the owning thread and dumps only.
+    flight: Mutex<FlightRing>,
 }
 
 const NO_SIM: i64 = i64::MIN;
@@ -71,7 +79,9 @@ fn register_slot() -> Arc<ThreadSlot> {
         reg: reg.len(),
         lane: AtomicU64::new(UNASSIGNED_LANE),
         sim_md: AtomicI64::new(NO_SIM),
+        trace_id: AtomicU64::new(0),
         items: Mutex::new(Vec::new()),
+        flight: Mutex::new(FlightRing::default()),
     });
     reg.push(Arc::clone(&slot));
     slot
@@ -93,6 +103,39 @@ fn push_item(item: TraceItem) {
             .unwrap_or_else(|e| e.into_inner())
             .push(item);
     });
+}
+
+/// Appends one record to this thread's flight ring (no-op while the
+/// recorder is disabled). The hot path after warmup: one thread-local
+/// access, one uncontended mutex, one slot write — no allocation.
+fn flight_record(kind: FlightKind, name: &'static str) {
+    let cap = flight::cap();
+    if cap == 0 {
+        return;
+    }
+    let mono_ns = now_ns();
+    with_slot(|slot| {
+        let trace_id = slot.trace_id.load(Ordering::Relaxed);
+        slot.flight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(
+                cap,
+                FlightRecord {
+                    kind,
+                    name,
+                    mono_ns,
+                    trace_id,
+                },
+            );
+    });
+}
+
+/// Items discarded at session start because a predecessor never
+/// drained (see `Collector::session`).
+fn discarded_counter() -> &'static Counter {
+    static DISCARDED: OnceLock<Counter> = OnceLock::new();
+    DISCARDED.get_or_init(|| Metrics::counter("obs.session.discarded"))
 }
 
 /// The process-wide trace collector. All methods are associated
@@ -123,8 +166,14 @@ impl Collector {
     /// from a panicked predecessor are discarded at session start.
     pub fn session() -> Session {
         let guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
-        // Discard leftovers from sessions that never drained.
-        drop(Self::drain_items());
+        // Discard leftovers from sessions that never drained — counted
+        // into `obs.session.discarded` so leakage is visible, not
+        // silent.
+        let leftovers = Self::drain_items();
+        let discarded: usize = leftovers.threads.iter().map(|t| t.items.len()).sum();
+        if discarded > 0 {
+            discarded_counter().add(discarded as u64);
+        }
         // The thread opening the session is the orchestrator: lane 0
         // by convention (workers take 1+; see `set_lane`).
         Self::set_lane(0);
@@ -191,6 +240,7 @@ impl Collector {
     /// [`event!`](crate::event) macro, which skips argument
     /// construction when tracing is off.
     pub fn event(name: &'static str, args: Vec<Arg>) {
+        flight_event(name);
         if !Self::is_enabled() {
             return;
         }
@@ -201,6 +251,119 @@ impl Collector {
             sim_md,
             args,
         });
+    }
+
+    // --- flight recorder -------------------------------------------
+
+    /// Whether the flight recorder is on. Like [`is_enabled`]
+    /// (`Collector::is_enabled`): one relaxed load, constant `false`
+    /// under `compile-off`.
+    #[inline]
+    pub fn flight_enabled() -> bool {
+        flight::cap() > 0
+    }
+
+    /// Turns the flight recorder on with `cap` records per thread
+    /// (clamped to ≥ 16). Unlike sessions this is not exclusive: it
+    /// simply starts retaining the most recent spans/events on every
+    /// thread until [`disable_flight`](Collector::disable_flight).
+    pub fn enable_flight(cap: usize) {
+        flight::set_cap(cap.max(16));
+    }
+
+    /// Turns the recorder off. Rings keep their contents (a dump after
+    /// disable still shows the final window) until re-enable re-arms
+    /// them.
+    pub fn disable_flight() {
+        flight::set_cap(0);
+    }
+
+    /// Empties every thread's flight ring and drop counter. For tests
+    /// and benchmarks that need a clean window.
+    pub fn flight_clear() {
+        let slots: Vec<Arc<ThreadSlot>> = {
+            let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            reg.iter().map(Arc::clone).collect()
+        };
+        for slot in &slots {
+            slot.flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+        }
+    }
+
+    /// Merges every thread's flight ring into one snapshot, ordered by
+    /// `(lane, registration)` like a session drain. Rings are *copied*,
+    /// not drained — recording continues, and a second dump sees the
+    /// same (plus newer) records.
+    pub fn flight_dump() -> FlightDump {
+        let slots: Vec<Arc<ThreadSlot>> = {
+            let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            reg.iter().map(Arc::clone).collect()
+        };
+        let mut threads: Vec<(u64, usize, FlightThread)> = Vec::new();
+        for slot in &slots {
+            let (records, dropped) = slot
+                .flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain_ordered();
+            if records.is_empty() && dropped == 0 {
+                continue;
+            }
+            let lane = slot.lane.load(Ordering::Relaxed);
+            threads.push((
+                lane,
+                slot.reg,
+                FlightThread {
+                    lane,
+                    dropped,
+                    records,
+                },
+            ));
+        }
+        threads.sort_by_key(|(lane, reg, _)| (*lane, *reg));
+        FlightDump {
+            threads: threads.into_iter().map(|(_, _, t)| t).collect(),
+        }
+    }
+
+    // --- request trace ids -----------------------------------------
+
+    /// Installs `trace_id` as this thread's current request id for the
+    /// returned guard's lifetime; flight records written meanwhile are
+    /// stamped with it. Nested scopes restore the outer id on drop.
+    /// Id 0 means "no trace" and is never stamped.
+    pub fn trace_scope(trace_id: u64) -> TraceScope {
+        let previous = with_slot(|slot| slot.trace_id.swap(trace_id, Ordering::Relaxed));
+        TraceScope { previous }
+    }
+
+    /// This thread's current request trace id (0 = none).
+    pub fn current_trace_id() -> u64 {
+        with_slot(|slot| slot.trace_id.load(Ordering::Relaxed))
+    }
+}
+
+/// Records a flight-only event: no argument vector is ever built.
+/// Used by `event!` when only the flight recorder is on (and by
+/// [`Collector::event`] so sessions and the recorder see the same
+/// stream).
+pub fn flight_event(name: &'static str) {
+    flight_record(FlightKind::Event, name);
+}
+
+/// RAII guard restoring the thread's previous trace id
+/// (see [`Collector::trace_scope`]).
+#[must_use = "the trace id is cleared when this guard drops"]
+pub struct TraceScope {
+    previous: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        with_slot(|slot| slot.trace_id.store(self.previous, Ordering::Relaxed));
     }
 }
 
@@ -250,6 +413,10 @@ impl Drop for Session {
 #[must_use = "a span guard measures the scope it lives in; dropping it immediately closes the span"]
 pub struct SpanGuard {
     active: bool,
+    /// Whether the exit must also be written to the flight ring.
+    flight: bool,
+    /// The span name, kept for the flight exit record.
+    name: &'static str,
     /// Annotations recorded during the span, attached to the exit.
     exit_args: Vec<Arg>,
 }
@@ -257,8 +424,13 @@ pub struct SpanGuard {
 impl SpanGuard {
     /// Opens a span now. Callers should check
     /// [`Collector::is_enabled`] first (the macro does) — an enter
-    /// recorded here is unconditional.
+    /// recorded here is unconditional. The flight ring gets the same
+    /// enter when the recorder is on, so a session never blinds it.
     pub fn enter(name: &'static str, args: Vec<Arg>) -> Self {
+        let flight = Collector::flight_enabled();
+        if flight {
+            flight_record(FlightKind::Enter, name);
+        }
         let sim_md = current_sim_md();
         push_item(TraceItem::Enter {
             name,
@@ -268,6 +440,21 @@ impl SpanGuard {
         });
         SpanGuard {
             active: true,
+            flight,
+            name,
+            exit_args: Vec::new(),
+        }
+    }
+
+    /// Opens a flight-only span: no session item, no argument vector —
+    /// the zero-alloc path the `span!` macro takes when only the
+    /// recorder is on.
+    pub fn enter_flight(name: &'static str) -> Self {
+        flight_record(FlightKind::Enter, name);
+        SpanGuard {
+            active: false,
+            flight: true,
+            name,
             exit_args: Vec::new(),
         }
     }
@@ -276,6 +463,8 @@ impl SpanGuard {
     pub fn inactive() -> Self {
         SpanGuard {
             active: false,
+            flight: false,
+            name: "",
             exit_args: Vec::new(),
         }
     }
@@ -297,6 +486,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.flight {
+            flight_record(FlightKind::Exit, self.name);
+        }
         if !self.active {
             return;
         }
@@ -348,6 +540,71 @@ mod tests {
         drop(g);
         let trace = Collector::session().finish();
         assert!(trace.is_empty(), "leftovers: {trace:?}");
+    }
+
+    #[test]
+    fn trace_scope_nests_and_restores() {
+        std::thread::spawn(|| {
+            assert_eq!(Collector::current_trace_id(), 0);
+            let outer = Collector::trace_scope(7);
+            assert_eq!(Collector::current_trace_id(), 7);
+            {
+                let inner = Collector::trace_scope(9);
+                assert_eq!(Collector::current_trace_id(), 9);
+                drop(inner);
+            }
+            assert_eq!(Collector::current_trace_id(), 7);
+            drop(outer);
+            assert_eq!(Collector::current_trace_id(), 0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn flight_recorder_captures_without_a_session() {
+        Collector::enable_flight(64);
+        {
+            let _scope = Collector::trace_scope(0xf11f);
+            let _g = SpanGuard::enter_flight("flight.test.span");
+            flight_event("flight.test.event");
+        }
+        // No session needed: the flight ring holds the stamped window.
+        let dump = Collector::flight_dump().filter_trace(0xf11f);
+        assert_eq!(dump.total_records(), 3, "{dump:?}");
+        let kinds: Vec<FlightKind> = dump.threads[0].records.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![FlightKind::Enter, FlightKind::Event, FlightKind::Exit]
+        );
+        assert_eq!(dump.threads[0].records[0].name, "flight.test.span");
+        // Dumps copy, not drain: the window is still there.
+        assert_eq!(
+            Collector::flight_dump()
+                .filter_trace(0xf11f)
+                .total_records(),
+            3
+        );
+    }
+
+    #[test]
+    fn session_discarded_leftovers_are_counted() {
+        let counter = Metrics::counter("obs.session.discarded");
+        let before = counter.get();
+        {
+            let session = Collector::session();
+            Collector::event("leak.one", Vec::new());
+            Collector::event("leak.two", Vec::new());
+            drop(session); // never drained: items stay buffered
+        }
+        let session = Collector::session(); // discards and counts them
+        drop(session.finish());
+        assert!(
+            counter.get() >= before + 2,
+            "discards went uncounted: {} -> {}",
+            before,
+            counter.get()
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub enum Timebase {
 }
 
 /// Escapes `s` as the body of a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -338,6 +338,126 @@ pub fn validate_jsonl(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates Prometheus text exposition format (v0): every line is a
+/// comment (`# TYPE` lines are checked structurally) or a sample of
+/// the form `name[{label="value",…}] value [timestamp]`. The same
+/// offline-gate role [`validate_json`] plays for the JSON exporters.
+///
+/// # Errors
+///
+/// The first offending line number and a description.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        validate_prom_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(())
+}
+
+fn is_prom_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_prom_name_char(c: char) -> bool {
+    is_prom_name_start(c) || c.is_ascii_digit()
+}
+
+fn parse_prom_name(s: &str) -> Result<(&str, &str), String> {
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, c)) if is_prom_name_start(c) => {}
+        _ => return Err(format!("expected metric name at {s:?}")),
+    }
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !is_prom_name_char(*c))
+        .map_or(s.len(), |(i, _)| i);
+    Ok((&s[..end], &s[end..]))
+}
+
+fn validate_prom_line(line: &str) -> Result<(), String> {
+    if line.is_empty() {
+        return Ok(());
+    }
+    if let Some(comment) = line.strip_prefix('#') {
+        let comment = comment.trim_start();
+        if let Some(ty) = comment.strip_prefix("TYPE ") {
+            let mut parts = ty.split_whitespace();
+            let name = parts.next().ok_or("TYPE line missing metric name")?;
+            parse_prom_name(name)
+                .ok()
+                .filter(|(_, rest)| rest.is_empty())
+                .ok_or_else(|| format!("bad metric name {name:?} in TYPE line"))?;
+            let kind = parts.next().ok_or("TYPE line missing metric type")?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("unknown metric type {kind:?}"));
+            }
+            if parts.next().is_some() {
+                return Err("trailing tokens on TYPE line".to_owned());
+            }
+        }
+        return Ok(());
+    }
+    let (_, mut rest) = parse_prom_name(line)?;
+    if let Some(labels) = rest.strip_prefix('{') {
+        rest = validate_prom_labels(labels)?;
+    }
+    let rest = rest.trim_start();
+    let mut parts = rest.split_whitespace();
+    let value = parts.next().ok_or("sample line missing value")?;
+    let is_special = matches!(value, "+Inf" | "-Inf" | "NaN" | "Inf");
+    if !is_special && value.parse::<f64>().is_err() {
+        return Err(format!("bad sample value {value:?}"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("bad timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens on sample line".to_owned());
+    }
+    Ok(())
+}
+
+/// Validates `k="v",…}` (the leading `{` already consumed); returns
+/// the remainder after the closing brace.
+fn validate_prom_labels(mut s: &str) -> Result<&str, String> {
+    loop {
+        if let Some(rest) = s.strip_prefix('}') {
+            return Ok(rest);
+        }
+        let (_, rest) = parse_prom_name(s).map_err(|_| format!("expected label name at {s:?}"))?;
+        let rest = rest
+            .strip_prefix("=\"")
+            .ok_or_else(|| format!("expected =\" after label name at {s:?}"))?;
+        // Scan the quoted value, honoring \\, \", \n escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value".to_owned()),
+                Some(b'\\') => {
+                    if !matches!(bytes.get(i + 1), Some(b'\\' | b'"' | b'n')) {
+                        return Err(format!("bad escape in label value at byte {i}"));
+                    }
+                    i += 2;
+                }
+                Some(b'"') => break,
+                Some(_) => i += 1,
+            }
+        }
+        s = &rest[i + 1..];
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else if !s.starts_with('}') {
+            return Err(format!("expected ',' or '}}' after label at {s:?}"));
+        }
+    }
+}
+
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -485,6 +605,203 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
 }
 
+// ----------------------------------------------------------------------
+// JSON tree parsing — the consuming half of `validate_json`, for tools
+// that read exporter output back (`herc top` polling `/metrics`, e2e
+// tests asserting on access-log lines).
+// ----------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep their key order (the exporters
+/// emit deterministically ordered objects, and consumers may pin it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int/float).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as ordered `(key, value)` pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's `(key, value)` pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as one JSON value (trailing whitespace allowed) into
+/// a [`JsonValue`] tree.
+///
+/// # Errors
+///
+/// A byte offset and description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = tree_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn tree_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {pos}"));
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b'"') {
+                    return Err(format!("expected object key at byte {pos}"));
+                }
+                let key = tree_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, tree_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(tree_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => Ok(JsonValue::String(tree_string(b, pos)?)),
+        b't' => parse_lit(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        b'f' => parse_lit(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        b'n' => parse_lit(b, pos, "null").map(|()| JsonValue::Null),
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        c => Err(format!("unexpected byte {:?} at {pos}", c as char)),
+    }
+}
+
+/// Parses and unescapes a JSON string literal starting at `b[*pos]`.
+fn tree_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?; // validates; [start+1, *pos-1] is the body
+    let body = std::str::from_utf8(&b[start + 1..*pos - 1])
+        .map_err(|_| format!("non-UTF-8 string at byte {start}"))?;
+    if !body.contains('\\') {
+        return Ok(body.to_owned());
+    }
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                // Lone surrogates (the validator allows them) map to
+                // the replacement character rather than failing.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return Err("bad escape".to_owned()),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +894,27 @@ mod tests {
         assert!(validate_json("12.").is_err());
         assert!(validate_json("{} extra").is_err());
         assert!(validate_jsonl("{\"a\":1}\nnot json\n").is_err());
+    }
+
+    #[test]
+    fn json_tree_parser_round_trips_metrics_shapes() {
+        let text = r#"{"serve.requests{endpoint=\"plan\"}":3,"lat":{"count":2,"sum":2.5,"p50":0.4,"buckets":[[0.25,0],[null,2]]},"ok":true,"none":null,"s":"a\"b\\c\nd"}"#;
+        let v = parse_json(text).unwrap();
+        assert_eq!(
+            v.get("serve.requests{endpoint=\"plan\"}")
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        let lat = v.get("lat").unwrap();
+        assert_eq!(lat.get("sum").and_then(JsonValue::as_f64), Some(2.5));
+        let buckets = lat.get("buckets").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(buckets[1].as_array().unwrap()[0], JsonValue::Null);
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2] trailing").is_err());
+        // The exporters' own output parses.
+        parse_json(&crate::Metrics::to_json()).unwrap();
     }
 
     #[test]

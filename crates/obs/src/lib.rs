@@ -16,10 +16,18 @@
 //!   and the simulated WorkDay clock (milli-days, when published via
 //!   [`Collector::set_sim_md`]). Tracing is **off by default**: the
 //!   macros cost one relaxed atomic load when disabled, and the
-//!   `compile-off` feature removes even that.
-//! * **Metrics** ([`Metrics`], [`Counter`], [`Histogram`]) — an
-//!   always-on registry of named counters and fixed-bucket histograms
-//!   replacing ad-hoc stats structs.
+//!   `compile-off` feature removes even that. Two recording modes
+//!   coexist: exclusive lossless **sessions**
+//!   ([`Collector::session`]) and the lossy always-on **flight
+//!   recorder** ([`Collector::enable_flight`], [`flight::FlightDump`])
+//!   — bounded per-thread rings a live server keeps running
+//!   permanently and dumps on demand, with per-request correlation
+//!   via [`Collector::trace_scope`].
+//! * **Metrics** ([`Metrics`], [`Counter`], [`Gauge`], [`Histogram`])
+//!   — an always-on registry of named (optionally labeled) counters,
+//!   gauges, and fixed-bucket histograms replacing ad-hoc stats
+//!   structs, with interpolated percentiles and Prometheus text
+//!   exposition ([`Metrics::to_prometheus`]).
 //! * **Exporters** ([`export::to_jsonl`], [`export::to_chrome`]) —
 //!   JSONL event logs and Chrome `trace_event` JSON loadable in
 //!   `chrome://tracing`/Perfetto, written atomically via
@@ -50,11 +58,13 @@
 
 mod collector;
 pub mod export;
+pub mod flight;
 mod metrics;
 mod trace;
 
-pub use collector::{Collector, Session, SpanGuard};
-pub use metrics::{Counter, Histogram, MetricSnapshot, Metrics};
+pub use collector::{flight_event, Collector, Session, SpanGuard, TraceScope};
+pub use flight::{FlightDump, FlightKind, FlightRecord, FlightThread};
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, Metrics};
 pub use trace::{Arg, ArgValue, SpanView, ThreadTrace, Trace, TraceItem};
 
 /// Opens a span: returns a [`SpanGuard`] that records entry now and
@@ -75,6 +85,9 @@ macro_rules! span {
                 $name,
                 ::std::vec![$($crate::Arg::new(stringify!($key), $value)),*],
             )
+        } else if $crate::Collector::flight_enabled() {
+            // Flight-only: ring record, no argument vector built.
+            $crate::SpanGuard::enter_flight($name)
         } else {
             $crate::SpanGuard::inactive()
         }
@@ -97,6 +110,8 @@ macro_rules! event {
                 $name,
                 ::std::vec![$($crate::Arg::new(stringify!($key), $value)),*],
             );
+        } else if $crate::Collector::flight_enabled() {
+            $crate::flight_event($name);
         }
     };
 }
@@ -131,5 +146,39 @@ mod macro_tests {
         trace.validate().unwrap();
         assert!(trace.has_span("test.span"));
         assert_eq!(trace.events_named("test.event"), 1);
+    }
+
+    #[test]
+    fn macros_feed_the_flight_recorder_without_a_session() {
+        Collector::enable_flight(64);
+        let _scope = Collector::trace_scope(0xabc123);
+        // A parallel test may hold a session right now, which routes
+        // the macros down the session path (args evaluated, and the
+        // flight ring still fed) — only assert the zero-eval claim
+        // when the flight-only branch actually ran.
+        let session_seen = Collector::is_enabled();
+        let mut evaluated = false;
+        {
+            let _g = span!(
+                "macro.flight.span",
+                x = {
+                    evaluated = true;
+                    1u64
+                }
+            );
+            event!(
+                "macro.flight.event",
+                y = {
+                    evaluated = true;
+                    2u64
+                }
+            );
+        }
+        if !session_seen && !Collector::is_enabled() {
+            assert!(!evaluated, "flight-only path must not build args");
+        }
+        let dump = Collector::flight_dump().filter_trace(0xabc123);
+        assert_eq!(dump.total_records(), 3, "{dump:?}");
+        assert!(dump.to_json().contains("macro.flight.span"));
     }
 }

@@ -1,5 +1,5 @@
-//! A process-wide metrics registry: named monotonic counters and
-//! fixed-bucket histograms.
+//! A process-wide metrics registry: named monotonic counters, gauges,
+//! and fixed-bucket histograms, with optional key/value labels.
 //!
 //! Unlike tracing, metrics are **always on** — a counter bump is one
 //! atomic add, cheap enough to leave in release builds — and are meant
@@ -7,11 +7,23 @@
 //! (e.g. the planner's retired `PlanStats` snapshot and its
 //! accessor shims, fully replaced by `hercules.plan.*`). Handles are
 //! cheap to clone and safe to cache; the registry itself is keyed by
-//! name so distant layers share a metric by naming convention alone
-//! (`hercules.plan.cache_hits`, `journal.appends`, …).
+//! `(name, sorted labels)` so distant layers share a metric by naming
+//! convention alone (`hercules.plan.cache_hits`, `journal.appends`,
+//! `serve.requests{endpoint="plan"}`, …).
+//!
+//! **Label cardinality guidance:** labels multiply series. Use values
+//! from small closed sets (endpoint class, tenant name, status class)
+//! — never unbounded inputs like project names from requests or raw
+//! paths. Every labeled variant is a separate atomic cell held for the
+//! life of the process.
+//!
+//! Snapshots export three ways: [`Metrics::render`] (human table with
+//! p50/p95/p99), [`Metrics::to_json`] (the `/metrics` endpoint), and
+//! [`Metrics::to_prometheus`] (text exposition format v0, stable
+//! ordering and escaping — golden-pinned under `tests/`).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A monotonically increasing counter. Clones share the same cell.
@@ -45,6 +57,50 @@ impl Counter {
     }
 }
 
+/// A gauge: a value that goes up *and* down (queue depth, in-flight
+/// requests). Clones share the same cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.set(0);
+    }
+}
+
 /// A histogram over fixed, registration-time bucket bounds.
 ///
 /// `bounds` are upper edges: a sample lands in the first bucket whose
@@ -64,7 +120,10 @@ struct HistogramInner {
 }
 
 impl Histogram {
-    fn new(bounds: &[f64]) -> Self {
+    /// A standalone histogram (not registered anywhere) — for local
+    /// aggregation like the B13 latency kernel. Registry histograms
+    /// come from [`Metrics::histogram`].
+    pub fn with_bounds(bounds: &[f64]) -> Self {
         let mut b: Vec<f64> = bounds.to_vec();
         b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
         let buckets = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
@@ -121,6 +180,17 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`q` in `[0,1]`) estimated from the bucket
+    /// counts, linearly interpolated inside the winning bucket — the
+    /// same estimator Prometheus' `histogram_quantile` uses. The
+    /// result always lies within the bucket containing the true sample
+    /// quantile, so the error is bounded by that bucket's width. A
+    /// quantile landing in the overflow bucket reports the largest
+    /// finite bound (the histogram cannot see past it). 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile_from_buckets(&self.buckets(), q)
+    }
+
     /// `(upper_bound, count)` per bucket; the final entry uses
     /// `f64::INFINITY` for the overflow bucket.
     pub fn buckets(&self) -> Vec<(f64, u64)> {
@@ -146,13 +216,78 @@ impl Histogram {
     }
 }
 
+/// Bucket-interpolated quantile over `(upper_bound, count)` pairs (see
+/// [`Histogram::percentile`]).
+fn percentile_from_buckets(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|(_, c)| *c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // The fractional rank; the floor at ~0 makes q=0 pick the first
+    // non-empty bucket's lower edge instead of dividing by zero.
+    let target = (q * total as f64).max(1e-12);
+    let mut cum_before = 0.0f64;
+    let mut prev_finite: Option<f64> = None;
+    for (bound, c) in buckets {
+        let cum = cum_before + *c as f64;
+        if *c > 0 && cum >= target {
+            if !bound.is_finite() {
+                return prev_finite.unwrap_or(0.0);
+            }
+            let lower = match prev_finite {
+                Some(p) => p,
+                // Implicit lower edge of the first bucket: 0 for
+                // positive bounds (the common latency case).
+                None => bound.min(0.0),
+            };
+            return lower + (*bound - lower) * ((target - cum_before) / *c as f64);
+        }
+        cum_before = cum;
+        if bound.is_finite() {
+            prev_finite = Some(*bound);
+        }
+    }
+    prev_finite.unwrap_or(0.0)
+}
+
+/// Registry key: metric name plus sorted labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+fn make_key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    labels.sort();
+    MetricKey {
+        name: name.to_owned(),
+        labels,
+    }
+}
+
 enum Metric {
     Counter(Counter),
+    Gauge(Gauge),
     Histogram(Histogram),
 }
 
-fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
-    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<MetricKey, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<MetricKey, Metric>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
@@ -160,49 +295,91 @@ fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
 pub struct Metrics;
 
 impl Metrics {
-    /// The counter named `name`, registering it on first use. Cache
-    /// the returned handle on hot paths — lookup takes the registry
-    /// lock.
+    /// The unlabeled counter named `name`, registering it on first
+    /// use. Cache the returned handle on hot paths — lookup takes the
+    /// registry lock.
     pub fn counter(name: &str) -> Counter {
+        Self::counter_with(name, &[])
+    }
+
+    /// The counter named `name` with `labels` (order-insensitive).
+    pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = make_key(name, labels);
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         match reg
-            .entry(name.to_owned())
+            .entry(key)
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
-            Metric::Histogram(_) => {
-                panic!("metric {name:?} is already registered as a histogram")
-            }
+            other => panic!(
+                "metric {name:?} is already registered as a {}",
+                other.kind()
+            ),
         }
     }
 
-    /// The histogram named `name`, registering it with `bounds` on
-    /// first use (later calls reuse the original bounds).
-    pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    /// The unlabeled gauge named `name`.
+    pub fn gauge(name: &str) -> Gauge {
+        Self::gauge_with(name, &[])
+    }
+
+    /// The gauge named `name` with `labels`.
+    pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = make_key(name, labels);
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         match reg
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!(
+                "metric {name:?} is already registered as a {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// The unlabeled histogram named `name`, registering it with
+    /// `bounds` on first use (later calls reuse the original bounds).
+    pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+        Self::histogram_with(name, bounds, &[])
+    }
+
+    /// The histogram named `name` with `labels`.
+    pub fn histogram_with(name: &str, bounds: &[f64], labels: &[(&str, &str)]) -> Histogram {
+        let key = make_key(name, labels);
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        match reg
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
         {
             Metric::Histogram(h) => h.clone(),
-            Metric::Counter(_) => {
-                panic!("metric {name:?} is already registered as a counter")
-            }
+            other => panic!(
+                "metric {name:?} is already registered as a {}",
+                other.kind()
+            ),
         }
     }
 
     /// A point-in-time snapshot of every registered metric, sorted by
-    /// name.
+    /// `(name, labels)`.
     pub fn snapshot() -> Vec<MetricSnapshot> {
         let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         reg.iter()
-            .map(|(name, m)| match m {
+            .map(|(key, m)| match m {
                 Metric::Counter(c) => MetricSnapshot::Counter {
-                    name: name.clone(),
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
                     value: c.get(),
                 },
+                Metric::Gauge(g) => MetricSnapshot::Gauge {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    value: g.get(),
+                },
                 Metric::Histogram(h) => MetricSnapshot::Histogram {
-                    name: name.clone(),
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
                     count: h.count(),
                     sum: h.sum(),
                     buckets: h.buckets(),
@@ -218,34 +395,44 @@ impl Metrics {
         for m in reg.values() {
             match m {
                 Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
                 Metric::Histogram(h) => h.reset(),
             }
         }
     }
 
     /// Renders the snapshot as an aligned, human-readable table.
+    /// Histograms include the interpolated p50/p95/p99.
     pub fn render() -> String {
         let snap = Metrics::snapshot();
         let mut out = String::new();
-        let width = snap.iter().map(|s| s.name().len()).max().unwrap_or(0);
+        let width = snap.iter().map(|s| s.full_name().len()).max().unwrap_or(0);
         for s in &snap {
+            let name = s.full_name();
             match s {
-                MetricSnapshot::Counter { name, value } => {
+                MetricSnapshot::Counter { value, .. } => {
+                    out.push_str(&format!("{name:<width$}  {value}\n"));
+                }
+                MetricSnapshot::Gauge { value, .. } => {
                     out.push_str(&format!("{name:<width$}  {value}\n"));
                 }
                 MetricSnapshot::Histogram {
-                    name,
                     count,
                     sum,
                     buckets,
+                    ..
                 } => {
                     let mean = if *count == 0 {
                         0.0
                     } else {
                         sum / *count as f64
                     };
+                    let p50 = percentile_from_buckets(buckets, 0.50);
+                    let p95 = percentile_from_buckets(buckets, 0.95);
+                    let p99 = percentile_from_buckets(buckets, 0.99);
                     out.push_str(&format!(
-                        "{name:<width$}  count={count} sum={sum:.3} mean={mean:.3}\n"
+                        "{name:<width$}  count={count} sum={sum:.3} mean={mean:.3} \
+                         p50={p50:.3} p95={p95:.3} p99={p99:.3}\n"
                     ));
                     for (bound, c) in buckets {
                         if *c == 0 {
@@ -263,7 +450,9 @@ impl Metrics {
         out
     }
 
-    /// Serializes the snapshot as a JSON object keyed by metric name.
+    /// Serializes the snapshot as a JSON object keyed by metric name
+    /// (labeled series key as `name{k="v",…}`). Histograms carry
+    /// count/sum/p50/p95/p99 plus the raw buckets.
     pub fn to_json() -> String {
         use std::fmt::Write as _;
         let snap = Metrics::snapshot();
@@ -272,17 +461,29 @@ impl Metrics {
             if i > 0 {
                 out.push(',');
             }
+            out.push('"');
+            crate::export::escape_json(&s.full_name(), &mut out);
+            out.push_str("\":");
             match s {
-                MetricSnapshot::Counter { name, value } => {
-                    let _ = write!(out, "\"{name}\":{value}");
+                MetricSnapshot::Counter { value, .. } => {
+                    let _ = write!(out, "{value}");
+                }
+                MetricSnapshot::Gauge { value, .. } => {
+                    let _ = write!(out, "{value}");
                 }
                 MetricSnapshot::Histogram {
-                    name,
                     count,
                     sum,
                     buckets,
+                    ..
                 } => {
-                    let _ = write!(out, "\"{name}\":{{\"count\":{count},\"sum\":{sum}");
+                    let p50 = percentile_from_buckets(buckets, 0.50);
+                    let p95 = percentile_from_buckets(buckets, 0.95);
+                    let p99 = percentile_from_buckets(buckets, 0.99);
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{count},\"sum\":{sum},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}"
+                    );
                     out.push_str(",\"buckets\":[");
                     for (j, (bound, c)) in buckets.iter().enumerate() {
                         if j > 0 {
@@ -301,6 +502,125 @@ impl Metrics {
         out.push('}');
         out
     }
+
+    /// Serializes the snapshot in Prometheus text exposition format
+    /// (v0): one `# TYPE` line per family, counters/gauges as single
+    /// samples, histograms as cumulative `_bucket{le=…}` series plus
+    /// `_sum`/`_count`. Metric names are mangled to the legal charset
+    /// (`.` → `_`), label values escaped per the spec. Ordering is the
+    /// registry's `(name, labels)` order — deterministic, so output is
+    /// golden-pinnable.
+    pub fn to_prometheus() -> String {
+        use std::fmt::Write as _;
+        let snap = Metrics::snapshot();
+        let mut out = String::new();
+        let mut last_family: Option<(String, &'static str)> = None;
+        for s in &snap {
+            let family = mangle_name(s.name());
+            let kind = match s {
+                MetricSnapshot::Counter { .. } => "counter",
+                MetricSnapshot::Gauge { .. } => "gauge",
+                MetricSnapshot::Histogram { .. } => "histogram",
+            };
+            if last_family.as_ref() != Some(&(family.clone(), kind)) {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                last_family = Some((family.clone(), kind));
+            }
+            match s {
+                MetricSnapshot::Counter { labels, value, .. } => {
+                    out.push_str(&family);
+                    write_label_set(&mut out, labels, None);
+                    let _ = writeln!(out, " {value}");
+                }
+                MetricSnapshot::Gauge { labels, value, .. } => {
+                    out.push_str(&family);
+                    write_label_set(&mut out, labels, None);
+                    let _ = writeln!(out, " {value}");
+                }
+                MetricSnapshot::Histogram {
+                    labels,
+                    count,
+                    sum,
+                    buckets,
+                    ..
+                } => {
+                    let mut cum = 0u64;
+                    for (bound, c) in buckets {
+                        cum += c;
+                        let le = if bound.is_finite() {
+                            format!("{bound}")
+                        } else {
+                            "+Inf".to_owned()
+                        };
+                        let _ = write!(out, "{family}_bucket");
+                        write_label_set(&mut out, labels, Some(&le));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{family}_sum");
+                    write_label_set(&mut out, labels, None);
+                    let _ = writeln!(out, " {sum}");
+                    let _ = write!(out, "{family}_count");
+                    write_label_set(&mut out, labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn mangle_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Writes `{k="v",…,le="…"}` (omitted entirely when empty and no le).
+fn write_label_set(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&mangle_name(k));
+        out.push_str("=\"");
+        escape_label_value(v, out);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Escapes a label value per the exposition format: `\`, `"`, newline.
+fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
 }
 
 /// One metric's state at snapshot time.
@@ -310,13 +630,26 @@ pub enum MetricSnapshot {
     Counter {
         /// Metric name.
         name: String,
+        /// Sorted `(key, value)` labels (empty for unlabeled metrics).
+        labels: Vec<(String, String)>,
         /// Current count.
         value: u64,
+    },
+    /// A gauge's value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Sorted `(key, value)` labels.
+        labels: Vec<(String, String)>,
+        /// Current value.
+        value: i64,
     },
     /// A histogram's state.
     Histogram {
         /// Metric name.
         name: String,
+        /// Sorted `(key, value)` labels.
+        labels: Vec<(String, String)>,
         /// Samples recorded.
         count: u64,
         /// Sum of samples.
@@ -327,18 +660,50 @@ pub enum MetricSnapshot {
 }
 
 impl MetricSnapshot {
-    /// The metric's name.
+    /// The metric's base name (labels excluded).
     pub fn name(&self) -> &str {
         match self {
-            MetricSnapshot::Counter { name, .. } | MetricSnapshot::Histogram { name, .. } => name,
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
         }
+    }
+
+    /// The metric's labels.
+    pub fn labels(&self) -> &[(String, String)] {
+        match self {
+            MetricSnapshot::Counter { labels, .. }
+            | MetricSnapshot::Gauge { labels, .. }
+            | MetricSnapshot::Histogram { labels, .. } => labels,
+        }
+    }
+
+    /// The series key: `name` or `name{k="v",…}` with labels sorted.
+    pub fn full_name(&self) -> String {
+        let labels = self.labels();
+        if labels.is_empty() {
+            return self.name().to_owned();
+        }
+        let mut out = String::from(self.name());
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(v, &mut out);
+            out.push('"');
+        }
+        out.push('}');
+        out
     }
 
     /// The counter value, if this is a counter.
     pub fn counter_value(&self) -> Option<u64> {
         match self {
             MetricSnapshot::Counter { value, .. } => Some(*value),
-            MetricSnapshot::Histogram { .. } => None,
+            _ => None,
         }
     }
 }
@@ -364,6 +729,38 @@ mod tests {
     }
 
     #[test]
+    fn labels_separate_series_and_ignore_order() {
+        let a = Metrics::counter_with("test.metrics.labeled", &[("ep", "plan"), ("t", "a")]);
+        let same = Metrics::counter_with("test.metrics.labeled", &[("t", "a"), ("ep", "plan")]);
+        let other = Metrics::counter_with("test.metrics.labeled", &[("ep", "run"), ("t", "a")]);
+        a.reset();
+        other.reset();
+        a.add(3);
+        same.add(2);
+        other.inc();
+        assert_eq!(a.get(), 5, "label order must not split the series");
+        assert_eq!(other.get(), 1);
+        let snap = Metrics::snapshot();
+        let found = snap
+            .iter()
+            .find(|s| s.full_name() == "test.metrics.labeled{ep=\"plan\",t=\"a\"}")
+            .expect("labeled series in snapshot");
+        assert_eq!(found.counter_value(), Some(5));
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = Metrics::gauge("test.metrics.gauge");
+        g.set(0);
+        g.inc();
+        g.add(4);
+        g.dec();
+        assert_eq!(g.get(), 4);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
     fn histogram_buckets_sum_and_mean() {
         let h = Metrics::histogram("test.metrics.hist", &[1.0, 10.0, 100.0]);
         h.reset();
@@ -380,6 +777,24 @@ mod tests {
         assert_eq!(buckets[2], (100.0, 1));
         assert_eq!(buckets[3].1, 1); // overflow
         assert!(buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn percentile_interpolates_within_the_winning_bucket() {
+        let h = Histogram::with_bounds(&[10.0, 20.0, 40.0]);
+        // 10 samples in (10, 20]: the median interpolates inside it.
+        for _ in 0..10 {
+            h.observe(15.0);
+        }
+        let p50 = h.percentile(0.5);
+        assert!((10.0..=20.0).contains(&p50), "p50={p50}");
+        assert!((h.percentile(0.0) - 10.0).abs() < 1e-6);
+        assert!((h.percentile(1.0) - 20.0).abs() < 1e-9);
+        // Overflow-bucket quantiles clamp to the last finite bound.
+        h.observe(1e9);
+        assert!((h.percentile(1.0) - 40.0).abs() < 1e-9);
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::with_bounds(&[1.0]).percentile(0.9), 0.0);
     }
 
     #[test]
@@ -409,8 +824,23 @@ mod tests {
     fn render_and_json_are_parseable() {
         let c = Metrics::counter("test.metrics.render");
         c.inc();
+        let h = Metrics::histogram("test.metrics.render_hist", &[1.0, 2.0]);
+        h.observe(1.5);
         let text = Metrics::render();
         assert!(text.contains("test.metrics.render"));
+        assert!(text.contains("p95="), "histogram lines carry percentiles");
         crate::export::validate_json(&Metrics::to_json()).unwrap();
+        assert!(Metrics::to_json().contains("\"p99\":"));
+    }
+
+    #[test]
+    fn prometheus_exposition_validates() {
+        Metrics::counter_with("test.metrics.prom", &[("tenant", "a\"b\\c")]).inc();
+        Metrics::histogram("test.metrics.prom_hist", &[0.5, 1.0]).observe(0.7);
+        let text = Metrics::to_prometheus();
+        crate::export::validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE test_metrics_prom counter"), "{text}");
+        assert!(text.contains("tenant=\"a\\\"b\\\\c\""), "escaping: {text}");
+        assert!(text.contains("test_metrics_prom_hist_bucket{le=\"+Inf\"}"));
     }
 }

@@ -1,0 +1,79 @@
+//! Property tests for `Histogram::percentile`: monotone in `q`, and
+//! the estimate always lands in the bucket containing the true sample
+//! quantile (so error is bounded by bucket width).
+
+use harness::strategy::{any_u16, vec};
+use harness::{prop_assert, props};
+use obs::Histogram;
+
+/// Bucket upper edges used throughout; u16 samples above 16384 land in
+/// the overflow bucket, exercising the clamp-to-last-bound path.
+const BOUNDS: [f64; 6] = [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0];
+
+/// `[lower, upper]` edges of the bucket a sample falls into, mirroring
+/// the histogram's "first bound >= sample" rule.
+fn bucket_range(v: f64) -> (f64, f64) {
+    let mut lower = 0.0f64.min(BOUNDS[0]);
+    for &b in &BOUNDS {
+        if v <= b {
+            return (lower, b);
+        }
+        lower = b;
+    }
+    (lower, f64::INFINITY)
+}
+
+/// Nearest-rank sample quantile: the `max(ceil(q*n), 1)`-th smallest.
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+props! {
+    fn percentile_is_monotone_in_q(raw in vec(any_u16(), 1..300)) {
+        let h = Histogram::with_bounds(&BOUNDS);
+        for v in &raw {
+            h.observe(f64::from(*v));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=40 {
+            let q = i as f64 / 40.0;
+            let est = h.percentile(q);
+            prop_assert!(
+                est >= prev - 1e-9,
+                "percentile({q}) = {est} < percentile(prev) = {prev}"
+            );
+            prev = est;
+        }
+    }
+
+    fn percentile_brackets_the_true_sample_quantile(raw in vec(any_u16(), 1..300)) {
+        let h = Histogram::with_bounds(&BOUNDS);
+        let mut sorted: Vec<f64> = raw.iter().map(|v| f64::from(*v)).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for v in &sorted {
+            h.observe(*v);
+        }
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = h.percentile(q);
+            let truth = true_quantile(&sorted, q);
+            let (lower, upper) = bucket_range(truth);
+            if upper.is_finite() {
+                prop_assert!(
+                    (lower - 1e-9..=upper + 1e-9).contains(&est),
+                    "percentile({q}) = {est} outside true-quantile bucket [{lower}, {upper}] \
+                     (truth = {truth}, n = {})",
+                    sorted.len()
+                );
+            } else {
+                // Overflow bucket: the histogram cannot see past its
+                // largest finite bound and must say so, not guess.
+                prop_assert!(
+                    est == *BOUNDS.last().unwrap(),
+                    "overflow quantile must clamp to the last bound, got {est}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Golden test pinning the Prometheus text exposition byte-for-byte:
+//! family grouping, stable `(name, labels)` ordering, name mangling,
+//! label-value escaping, and cumulative histogram buckets. Runs in its
+//! own process, so the registry contains exactly what this file
+//! registers.
+
+use obs::Metrics;
+
+#[test]
+fn exposition_output_is_pinned() {
+    Metrics::counter("app.requests").add(3);
+    Metrics::gauge_with("serve.inflight", &[("tenant", "t1")]).set(5);
+    let h = Metrics::histogram_with("serve.latency", &[0.25, 1.0], &[("endpoint", "plan")]);
+    h.observe(0.5);
+    h.observe(2.0);
+    // Label order at registration must not matter, and hostile label
+    // values must be escaped.
+    Metrics::counter_with(
+        "serve.requests",
+        &[("tenant", "a\"b\\c"), ("endpoint", "plan")],
+    )
+    .add(2);
+    Metrics::counter_with("serve.requests", &[("endpoint", "run")]).inc();
+
+    let text = Metrics::to_prometheus();
+    obs::export::validate_prometheus(&text).expect("exposition must self-validate");
+
+    let expected = "\
+# TYPE app_requests counter
+app_requests 3
+# TYPE serve_inflight gauge
+serve_inflight{tenant=\"t1\"} 5
+# TYPE serve_latency histogram
+serve_latency_bucket{endpoint=\"plan\",le=\"0.25\"} 0
+serve_latency_bucket{endpoint=\"plan\",le=\"1\"} 1
+serve_latency_bucket{endpoint=\"plan\",le=\"+Inf\"} 2
+serve_latency_sum{endpoint=\"plan\"} 2.5
+serve_latency_count{endpoint=\"plan\"} 2
+# TYPE serve_requests counter
+serve_requests{endpoint=\"plan\",tenant=\"a\\\"b\\\\c\"} 2
+serve_requests{endpoint=\"run\"} 1
+";
+    assert_eq!(text, expected, "exposition drifted:\n{text}");
+
+    // The JSON and table renderings key the same labeled series (one
+    // test fn: a parallel test registering metrics would unpin the
+    // golden above).
+    let json = Metrics::to_json();
+    obs::export::validate_json(&json).unwrap();
+    assert!(
+        json.contains("\"serve.latency{endpoint=\\\"plan\\\"}\""),
+        "{json}"
+    );
+    assert!(Metrics::render().contains("serve.inflight{tenant=\"t1\"}"));
+}

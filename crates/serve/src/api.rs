@@ -12,8 +12,9 @@
 //!
 //! | Method | Path | Effect |
 //! |---|---|---|
-//! | GET | `/healthz` | liveness (no auth) |
-//! | GET | `/metrics` | obs metrics (JSON; `?format=text` for console form) |
+//! | GET | `/healthz` | liveness JSON: version, schema, uptime, projects, wedged stores (no auth) |
+//! | GET | `/metrics` | obs metrics (JSON; `?format=text` console form, `?format=prom` Prometheus exposition) |
+//! | GET | `/debug/flight` | flight-recorder dump (`?trace=<id>` for one request's records) |
 //! | GET | `/projects` | registered + on-disk project names, one per line |
 //! | POST | `/projects/{name}?team=N&seed=N` | create; body = schema source |
 //! | DELETE | `/projects/{name}` | unregister and delete |
@@ -26,25 +27,37 @@
 //!
 //! Kernel-level failures (unknown target, planning errors) map to 422;
 //! registry misses to 404; auth failures to 401; admission to 429.
+//!
+//! ## Request correlation
+//!
+//! Every request gets a 64-bit trace id: the `x-herc-trace` request
+//! header when the client sent one (hex), otherwise a server-generated
+//! id. The id is echoed in the `x-herc-trace` response header, stamped
+//! into flight-recorder records written while the request is handled,
+//! written to the access log, and appended to 5xx bodies together with
+//! the request's flight tail — so a single id correlates the client's
+//! view, the operator's log, and the in-memory ring.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use hercules::{
     ExecutionReport, Hercules, Project, ReplanOutcome, SchedulePlan, Workspace, WorkspaceError,
 };
-use obs::Metrics;
+use obs::{Collector, Metrics};
 use schema::parse_schema;
+use simtools::rng::SplitMix64;
 use simtools::workload::Team;
 use simtools::ToolLibrary;
 
+use crate::access_log::{AccessEntry, AccessLog};
 use crate::auth::{Admission, AuthError, TokenRegistry};
 use crate::batch::{Coalescer, Role};
 use crate::http::{Request, Response};
 
 /// Server-side behaviour knobs (transport only — never visible in
-/// response bodies).
+/// 2xx/4xx response bodies, which the differential suite pins).
 #[derive(Debug)]
 pub struct ApiConfig {
     /// Bearer-token registry; empty ⇒ open mode.
@@ -55,6 +68,8 @@ pub struct ApiConfig {
     /// project lock (mirrors the B12 `workspace_concurrent` kernel so
     /// worker-scaling benches measure concurrency, not CPU).
     pub session_latency: Duration,
+    /// Structured JSONL access log, one line per request.
+    pub access_log: Option<AccessLog>,
 }
 
 impl Default for ApiConfig {
@@ -63,12 +78,12 @@ impl Default for ApiConfig {
             tokens: TokenRegistry::default(),
             per_tenant_cap: 64,
             session_latency: Duration::ZERO,
+            access_log: None,
         }
     }
 }
 
 struct ApiMetrics {
-    requests: obs::Counter,
     rejected_auth: obs::Counter,
     rejected_busy: obs::Counter,
     replan_requests: obs::Counter,
@@ -79,7 +94,6 @@ struct ApiMetrics {
 fn metrics() -> &'static ApiMetrics {
     static METRICS: OnceLock<ApiMetrics> = OnceLock::new();
     METRICS.get_or_init(|| ApiMetrics {
-        requests: Metrics::counter("serve.requests"),
         rejected_auth: Metrics::counter("serve.rejected.auth"),
         rejected_busy: Metrics::counter("serve.rejected.busy"),
         replan_requests: Metrics::counter("serve.replan.requests"),
@@ -88,15 +102,32 @@ fn metrics() -> &'static ApiMetrics {
     })
 }
 
-/// Per-endpoint latency histogram, in milliseconds.
+/// Per-endpoint latency histogram, in milliseconds, keyed on the
+/// `endpoint` label (one family, many series — `?format=prom` renders
+/// them as `serve_latency_bucket{endpoint="plan",le="…"}`).
 fn latency_histogram(class: &str) -> obs::Histogram {
-    Metrics::histogram(
-        &format!("serve.latency.{class}"),
+    Metrics::histogram_with(
+        "serve.latency",
         &[
             0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0,
         ],
+        &[("endpoint", class)],
     )
 }
+
+/// Per-request fields the router threads back out to [`Api::handle`]
+/// for the access log and per-tenant telemetry.
+#[derive(Default)]
+struct RequestInfo {
+    /// Authenticated tenant, once auth succeeded.
+    tenant: Option<String>,
+    /// Whether a replan was answered from a concurrent leader's pass.
+    coalesced: bool,
+}
+
+/// How many flight records a 5xx body carries, newest last. A bounded
+/// tail: fault bodies must stay small even with a large ring.
+const FAULT_TAIL: usize = 16;
 
 /// The routing core shared by every worker thread.
 pub struct Api {
@@ -106,10 +137,22 @@ pub struct Api {
     coalescer: Coalescer,
     session_latency: Duration,
     trace_busy: AtomicBool,
+    access_log: Option<AccessLog>,
+    started: Instant,
+    /// Trace-id generator for requests that arrive without
+    /// `x-herc-trace`. Seeded from wall clock + pid so concurrent
+    /// servers don't collide; clients wanting determinism send the
+    /// header.
+    trace_ids: Mutex<SplitMix64>,
 }
 
 impl Api {
     pub fn new(ws: Arc<Workspace>, config: ApiConfig) -> Api {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ (u64::from(std::process::id()) << 32);
         Api {
             ws,
             tokens: config.tokens,
@@ -117,26 +160,72 @@ impl Api {
             coalescer: Coalescer::new(),
             session_latency: config.session_latency,
             trace_busy: AtomicBool::new(false),
+            access_log: config.access_log,
+            started: Instant::now(),
+            trace_ids: Mutex::new(SplitMix64::new(seed)),
         }
     }
 
     /// Routes one parsed request to a response. Total: every branch
     /// returns a well-formed `Response`.
     pub fn handle(&self, req: &Request) -> Response {
-        metrics().requests.inc();
         let class = route_class(req);
+        Metrics::counter_with("serve.requests", &[("endpoint", class)]).inc();
+        let trace_id = self.trace_id_for(req);
         let start = Instant::now();
-        let response = self.dispatch(req, class);
-        latency_histogram(class).observe(start.elapsed().as_secs_f64() * 1e3);
+        let mut info = RequestInfo::default();
+        let mut response = {
+            // Flight records written while this request runs carry its
+            // id; the guard restores the previous id on exit.
+            let _trace = Collector::trace_scope(trace_id);
+            self.dispatch(req, class, &mut info)
+        };
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        latency_histogram(class).observe(latency_ms);
+        if let Some(tenant) = &info.tenant {
+            Metrics::gauge_with("serve.inflight", &[("tenant", tenant)])
+                .set(self.admission.in_flight(tenant) as i64);
+        }
+        response
+            .extra_headers
+            .push(("x-herc-trace".to_owned(), format!("{trace_id:016x}")));
+        if response.status >= 500 {
+            annotate_fault(&mut response, trace_id);
+        }
+        if let Some(log) = &self.access_log {
+            log.record(&AccessEntry {
+                trace_id,
+                tenant: info.tenant,
+                endpoint: class,
+                status: response.status,
+                latency_ms,
+                coalesced: info.coalesced,
+            });
+        }
         response
     }
 
-    fn dispatch(&self, req: &Request, class: &str) -> Response {
+    /// The request's trace id: the client's `x-herc-trace` hex value
+    /// when present and parseable, else a fresh nonzero id.
+    fn trace_id_for(&self, req: &Request) -> u64 {
+        if let Some(id) = req.header("x-herc-trace").and_then(parse_trace_id) {
+            return id;
+        }
+        let mut rng = self.trace_ids.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let id = rng.next_u64();
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    fn dispatch(&self, req: &Request, class: &'static str, info: &mut RequestInfo) -> Response {
         let _span = obs::span!("serve.request", endpoint = class);
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         if segments.as_slice() == ["healthz"] {
             return match req.method.as_str() {
-                "GET" => Response::text(200, "ok\n"),
+                "GET" => Response::json(200, self.healthz_body()),
                 _ => Response::error(405, "method not allowed"),
             };
         }
@@ -153,33 +242,51 @@ impl Api {
                 return Response::error(401, "invalid bearer token");
             }
         };
+        Metrics::counter_with("serve.tenant.requests", &[("tenant", &tenant)]).inc();
+        info.tenant = Some(tenant.clone());
         let Some(_guard) = self.admission.try_enter(&tenant) else {
             metrics().rejected_busy.inc();
             return Response::error(429, "tenant at in-flight cap, retry later");
         };
+        Metrics::gauge_with("serve.inflight", &[("tenant", &tenant)])
+            .set(self.admission.in_flight(&tenant) as i64);
         match (req.method.as_str(), segments.as_slice()) {
-            ("GET", ["metrics"]) => {
-                if req.query_param("format") == Some("text") {
-                    Response::text(200, Metrics::render())
-                } else {
-                    Response::json(200, Metrics::to_json())
-                }
-            }
+            ("GET", ["metrics"]) => match req.query_param("format") {
+                Some("text") => Response::text(200, Metrics::render()),
+                Some("prom") => Response::text(200, Metrics::to_prometheus()),
+                _ => Response::json(200, Metrics::to_json()),
+            },
+            ("GET", ["debug", "flight"]) => debug_flight(req),
             ("GET", ["projects"]) => self.list_projects(),
             ("POST", ["projects", name]) => self.create_project(name, req),
             ("DELETE", ["projects", name]) => self.remove_project(name),
             ("GET", ["projects", name, "status"]) => self.project_status(name),
             ("GET", ["projects", name, "export"]) => self.project_export(name),
             ("POST", ["projects", name, "plan"]) => self.project_plan(name, req),
-            ("POST", ["projects", name, "replan"]) => self.project_replan(name, req),
+            ("POST", ["projects", name, "replan"]) => self.project_replan(name, req, info),
             ("POST", ["projects", name, "run"]) => self.project_run(name, req),
             ("GET", ["trace", scenario]) => self.record_trace(scenario, req),
             // Known resource, wrong verb → 405; anything else → 404.
-            (_, ["metrics"] | ["projects"] | ["projects", ..] | ["trace", _]) => {
-                Response::error(405, "method not allowed")
-            }
+            (
+                _,
+                ["metrics"] | ["projects"] | ["projects", ..] | ["trace", _] | ["debug", "flight"],
+            ) => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such route"),
         }
+    }
+
+    /// The `/healthz` body: liveness plus the numbers an orchestrator
+    /// or `herc top` header wants in one probe.
+    fn healthz_body(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"schema\":\"{}\",\
+             \"uptime_secs\":{},\"projects\":{},\"wedged\":{}}}",
+            env!("CARGO_PKG_VERSION"),
+            hercules::PROJECT_CONF_MAGIC,
+            self.started.elapsed().as_secs(),
+            self.ws.len(),
+            self.ws.wedged_projects().len(),
+        )
     }
 
     fn list_projects(&self) -> Response {
@@ -308,7 +415,7 @@ impl Api {
         }
     }
 
-    fn project_replan(&self, name: &str, req: &Request) -> Response {
+    fn project_replan(&self, name: &str, req: &Request, info: &mut RequestInfo) -> Response {
         let Some(target) = req.query_param("target") else {
             return Response::error(400, "replan needs ?target=");
         };
@@ -330,6 +437,7 @@ impl Api {
         });
         if role == Role::Follower {
             metrics().replan_coalesced.inc();
+            info.coalesced = true;
         }
         match result {
             Ok(body) => Response::text(200, body),
@@ -385,6 +493,61 @@ impl Api {
             Err(e) => Response::error(422, e),
         }
     }
+}
+
+/// Parses a trace id: 1–16 hex digits, nonzero (0 means "no trace"
+/// and must never correlate anything).
+fn parse_trace_id(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.len() > 16 || !raw.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    match u64::from_str_radix(raw, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+/// `GET /debug/flight[?trace=<hex id>]`: the merged flight-recorder
+/// snapshot, optionally restricted to one request's records.
+fn debug_flight(req: &Request) -> Response {
+    if !Collector::flight_enabled() {
+        return Response::error(409, "flight recorder disabled on this server");
+    }
+    let dump = Collector::flight_dump();
+    match req.query_param("trace") {
+        None => Response::json(200, dump.to_json()),
+        Some(raw) => match parse_trace_id(raw) {
+            Some(id) => Response::json(200, dump.filter_trace(id).to_json()),
+            None => Response::error(400, "bad ?trace=, want 1-16 hex digits"),
+        },
+    }
+}
+
+/// Appends the trace id and this request's flight tail to a 5xx body.
+/// Only server faults are annotated: 2xx/4xx bodies are pinned
+/// byte-for-byte by the differential suite and must not change.
+fn annotate_fault(response: &mut Response, trace_id: u64) {
+    use std::fmt::Write as _;
+    let mut tail = format!("\ntrace: {trace_id:016x}\n");
+    if Collector::flight_enabled() {
+        let dump = Collector::flight_dump().filter_trace(trace_id);
+        let mut records: Vec<&obs::FlightRecord> =
+            dump.threads.iter().flat_map(|t| &t.records).collect();
+        records.sort_by_key(|r| r.mono_ns);
+        if !records.is_empty() {
+            let skip = records.len().saturating_sub(FAULT_TAIL);
+            let _ = writeln!(
+                tail,
+                "flight tail ({} records, newest last):",
+                records.len() - skip
+            );
+            for r in &records[skip..] {
+                let _ = writeln!(tail, "  {:>6}ns {:?} {}", r.mono_ns, r.kind, r.name);
+            }
+        }
+    }
+    response.body.extend_from_slice(tail.as_bytes());
 }
 
 /// Parses an optional numeric query parameter, or answers 400.
@@ -488,6 +651,7 @@ fn route_class(req: &Request) -> &'static str {
     match (req.method.as_str(), segments.as_slice()) {
         (_, ["healthz"]) => "healthz",
         (_, ["metrics"]) => "metrics",
+        (_, ["debug", "flight"]) => "debug.flight",
         ("GET", ["projects"]) => "projects.list",
         ("POST", ["projects", _]) => "projects.create",
         ("DELETE", ["projects", _]) => "projects.remove",
@@ -535,9 +699,71 @@ mod tests {
         );
         let resp = api.handle(&request("GET", "/healthz", b""));
         assert_eq!(resp.status, 200);
-        // …but everything else requires the bearer token.
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        let health = obs::export::parse_json(&body).expect("healthz is JSON");
+        assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(
+            health.get("version").and_then(|v| v.as_str()),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            health.get("schema").and_then(|v| v.as_str()),
+            Some(hercules::PROJECT_CONF_MAGIC)
+        );
+        assert!(health.get("uptime_secs").and_then(|v| v.as_f64()).is_some());
+        // …but everything else requires the bearer token, including the
+        // flight recorder dump.
         let resp = api.handle(&request("GET", "/projects", b""));
         assert_eq!(resp.status, 401);
+        let resp = api.handle(&request("GET", "/debug/flight", b""));
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn trace_ids_are_parsed_echoed_or_generated() {
+        assert_eq!(parse_trace_id("00000000deadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_trace_id("  ff  "), Some(0xff));
+        assert_eq!(parse_trace_id("0"), None, "zero is not a trace id");
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("xyz"), None);
+        assert_eq!(parse_trace_id("00000000000000001"), None, "too long");
+
+        let api = api();
+        // Client-supplied id echoes back verbatim (zero-padded hex).
+        let mut req = request("GET", "/projects", b"");
+        req.headers
+            .push(("x-herc-trace".to_owned(), "beef".to_owned()));
+        let resp = api.handle(&req);
+        let echoed = resp
+            .extra_headers
+            .iter()
+            .find(|(name, _)| name == "x-herc-trace")
+            .map(|(_, value)| value.as_str());
+        assert_eq!(echoed, Some("000000000000beef"));
+        // Absent header ⇒ a fresh nonzero id, still echoed.
+        let resp = api.handle(&request("GET", "/projects", b""));
+        let echoed = resp
+            .extra_headers
+            .iter()
+            .find(|(name, _)| name == "x-herc-trace")
+            .map(|(_, value)| value.as_str())
+            .expect("generated id echoed");
+        assert_eq!(echoed.len(), 16);
+        assert_ne!(echoed, "0000000000000000");
+    }
+
+    #[test]
+    fn fault_bodies_carry_the_trace_id_and_flight_tail() {
+        let mut resp = Response::error(500, "store corruption: …");
+        annotate_fault(&mut resp, 0xdead_beef);
+        let body = String::from_utf8_lossy(&resp.body);
+        assert!(body.contains("trace: 00000000deadbeef"), "{body}");
+        // 4xx bodies are differential-pinned and must stay untouched:
+        // the router only calls annotate_fault for status >= 500.
+        let api = api();
+        let resp = api.handle(&request("GET", "/nope", b""));
+        assert_eq!(resp.status, 404);
+        assert!(!String::from_utf8_lossy(&resp.body).contains("trace:"));
     }
 
     #[test]

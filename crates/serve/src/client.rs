@@ -42,6 +42,7 @@ pub struct Client {
     addr: SocketAddr,
     token: Option<String>,
     timeout: Duration,
+    headers: Vec<(String, String)>,
 }
 
 impl Client {
@@ -50,6 +51,7 @@ impl Client {
             addr,
             token: None,
             timeout: Duration::from_secs(10),
+            headers: Vec::new(),
         }
     }
 
@@ -62,6 +64,13 @@ impl Client {
     /// Overrides the socket timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sends `name: value` on every request (e.g. `x-herc-trace` for
+    /// request correlation).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Client {
+        self.headers.push((name.into(), value.into()));
         self
     }
 
@@ -184,6 +193,12 @@ impl Client {
         if let Some(token) = &self.token {
             head.push_str("Authorization: Bearer ");
             head.push_str(token);
+            head.push_str("\r\n");
+        }
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
             head.push_str("\r\n");
         }
         head.push_str("\r\n");

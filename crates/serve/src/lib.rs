@@ -21,7 +21,14 @@
 //! * [`server`] — accept loop, bounded queue (429 on overflow),
 //!   worker pool;
 //! * [`client`] — a minimal blocking client for tests, benches, and
-//!   `herc serve --oneshot`.
+//!   `herc serve --oneshot`;
+//! * [`access_log`] — structured JSONL per-request log
+//!   (`--access-log`), one line per request with the trace id.
+//!
+//! Every request is stamped with a trace id (accepted from, or echoed
+//! into, the `x-herc-trace` header) that correlates the access log,
+//! 5xx error bodies, and the always-on flight recorder
+//! (`GET /debug/flight?trace=<id>`).
 //!
 //! # Example
 //!
@@ -38,6 +45,7 @@
 //! server.shutdown();
 //! ```
 
+pub mod access_log;
 pub mod api;
 pub mod auth;
 pub mod batch;
@@ -45,6 +53,7 @@ pub mod client;
 pub mod http;
 pub mod server;
 
+pub use access_log::{AccessEntry, AccessLog};
 pub use api::{plan_body, replan_body, run_body, status_body, Api, ApiConfig};
 pub use auth::{Admission, AdmissionGuard, AuthError, TokenRegistry};
 pub use batch::{Coalescer, Role};

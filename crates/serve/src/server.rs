@@ -17,14 +17,16 @@
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hercules::Workspace;
-use obs::Metrics;
+use obs::{Collector, Metrics};
 
+use crate::access_log::AccessLog;
 use crate::api::{Api, ApiConfig};
 use crate::auth::TokenRegistry;
 use crate::http::{read_request, ReadOutcome, Response, DEFAULT_IO_TIMEOUT};
@@ -46,6 +48,13 @@ pub struct ServerConfig {
     pub tokens: TokenRegistry,
     /// Socket read/write timeout.
     pub io_timeout: Duration,
+    /// Flight-recorder ring capacity per thread (0 disables). The
+    /// recorder is lossy and always-on: a live server keeps the most
+    /// recent spans for `GET /debug/flight` and 5xx fault bodies at a
+    /// cost bounded by B16 `obs_live`.
+    pub flight_cap: usize,
+    /// Where to append the JSONL access log, if anywhere.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +67,8 @@ impl Default for ServerConfig {
             session_latency: Duration::ZERO,
             tokens: TokenRegistry::default(),
             io_timeout: DEFAULT_IO_TIMEOUT,
+            flight_cap: 4096,
+            access_log: None,
         }
     }
 }
@@ -159,12 +170,20 @@ impl Server {
     pub fn start(ws: Arc<Workspace>, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        if config.flight_cap > 0 {
+            Collector::enable_flight(config.flight_cap);
+        }
+        let access_log = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path)?),
+            None => None,
+        };
         let api = Arc::new(Api::new(
             ws,
             ApiConfig {
                 tokens: config.tokens,
                 per_tenant_cap: config.per_tenant_cap,
                 session_latency: config.session_latency,
+                access_log,
             },
         ));
         let queue = Arc::new(ConnQueue::new(config.queue_cap));
@@ -303,8 +322,123 @@ mod tests {
         let (server, client) = start_open(2);
         let resp = client.get("/healthz").expect("healthz");
         assert_eq!(resp.status, 200);
-        assert_eq!(resp.body, "ok\n");
+        let health = obs::export::parse_json(&resp.body).expect("healthz is JSON");
+        assert_eq!(
+            health.get("status").and_then(|v| v.as_str()),
+            Some("ok"),
+            "{}",
+            resp.body
+        );
+        assert_eq!(
+            health.get("schema").and_then(|v| v.as_str()),
+            Some(hercules::PROJECT_CONF_MAGIC)
+        );
+        assert_eq!(health.get("projects").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(health.get("wedged").and_then(|v| v.as_f64()), Some(0.0));
+        // Every response echoes a trace id the client can log.
+        let trace = resp.header("x-herc-trace").expect("trace header");
+        assert_eq!(trace.len(), 16, "{trace}");
         server.shutdown();
+    }
+
+    #[test]
+    fn trace_header_round_trips_and_filters_the_flight_dump() {
+        let (server, _) = start_open(2);
+        let client = Client::new(server.addr()).with_header("x-herc-trace", "00000000deadbeef");
+        let resp = client
+            .post("/projects/alu?team=2&seed=7", schema_source().as_bytes())
+            .expect("create");
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        assert_eq!(resp.header("x-herc-trace"), Some("00000000deadbeef"));
+        let resp = client
+            .post("/projects/alu/plan?target=performance", b"")
+            .expect("plan");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // The flight recorder (on by default) kept this request's spans.
+        let resp = client
+            .get("/debug/flight?trace=00000000deadbeef")
+            .expect("flight");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        obs::export::validate_json(&resp.body).expect("flight dump is JSON");
+        assert!(
+            resp.body.contains("\"serve.request\""),
+            "dump should hold the request span: {}",
+            resp.body
+        );
+        assert!(resp.body.contains("00000000deadbeef"), "{}", resp.body);
+        // An id nobody used filters down to nothing.
+        let resp = client
+            .get("/debug/flight?trace=0000000000000001")
+            .expect("flight");
+        let dump = obs::export::parse_json(&resp.body).unwrap();
+        assert_eq!(
+            dump.get("total_records").and_then(|v| v.as_f64()),
+            Some(0.0),
+            "{}",
+            resp.body
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_expose_prometheus_and_labeled_series() {
+        let (server, client) = start_open(2);
+        client.get("/projects").expect("warm-up request");
+        let resp = client.get("/metrics?format=prom").expect("prom");
+        assert_eq!(resp.status, 200);
+        obs::export::validate_prometheus(&resp.body).expect("exposition must validate");
+        assert!(
+            resp.body
+                .contains("serve_requests{endpoint=\"projects.list\"}"),
+            "{}",
+            resp.body
+        );
+        let resp = client.get("/metrics").expect("json");
+        let metrics = obs::export::parse_json(&resp.body).expect("metrics JSON");
+        assert!(
+            metrics
+                .get("serve.requests{endpoint=\"projects.list\"}")
+                .is_some(),
+            "{}",
+            resp.body
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn access_log_records_every_request_with_its_trace_id() {
+        let dir = std::env::temp_dir().join(format!(
+            "schedflow-serve-log-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let server = Server::start(
+            Arc::new(Workspace::in_memory()),
+            ServerConfig {
+                workers: 1,
+                access_log: Some(path.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let client = Client::new(server.addr()).with_header("x-herc-trace", "0000000000c0ffee");
+        client.get("/projects").expect("list");
+        server.shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        obs::export::validate_jsonl(&text).expect("access log is JSONL");
+        let line = text
+            .lines()
+            .find(|l| l.contains("projects.list"))
+            .expect("list request logged");
+        let entry = obs::export::parse_json(line).unwrap();
+        assert_eq!(
+            entry.get("trace").and_then(|v| v.as_str()),
+            Some("0000000000c0ffee")
+        );
+        assert_eq!(entry.get("status").and_then(|v| v.as_f64()), Some(200.0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 #   golden  committed paper artifacts still match the binaries
 #   chaos   herc chaos over the fixed seed set (failure semantics)
 #   obs     tracing gate: obs property + scenario tests, herc trace
-#           exports of fig8 + chaos validate as JSON
+#           exports of fig8 + chaos validate as JSON, the end-to-end
+#           trace-id correlation suite, the B16 always-on flight
+#           recorder budget, and CLI-path checks that a traced oneshot
+#           request lands in the access log + flight dump and that
+#           /metrics?format=prom exposes the labeled series
 #   ws      workspace kernel gate: threaded stress + compaction
 #           property + store conformance + B12 scaling tests, then the
 #           end-to-end create->plan->crash->recover->gc->query script
@@ -118,7 +122,46 @@ stage_obs() {
     # exact command a user runs — with the exports checked as JSON.
     cargo test -q --offline --release -p dac95-schedflow \
         --test obs_properties --test trace_scenarios || return 1
+    # Live-telemetry correlation over real TCP: one trace id must show
+    # up in the echoed header, the JSONL access log, the filtered
+    # flight dump, and the labeled metrics (tests/serve_telemetry.rs).
+    cargo test -q --offline --release -p dac95-schedflow \
+        --test serve_telemetry || return 1
+    # B16 acceptance: the always-on flight recorder stays <= 1.15x on
+    # the B2 plan and B13 serve bodies — a tax, not a mode.
+    cargo test -q --offline --release -p bench \
+        --test obs_live || return 1
     mkdir -p target/traces
+    # The same correlation through the user-facing CLI: a oneshot
+    # request with a known trace id must land in the access log and be
+    # filterable back out of the flight dump. Both files ship in the
+    # `traces` CI artifact.
+    rm -f target/traces/ci_access.jsonl
+    cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
+        serve :memory: --access-log target/traces/ci_access.jsonl \
+        --trace-id deadbeef \
+        --oneshot GET '/debug/flight?trace=deadbeef' \
+        > target/traces/ci_flight.json || return 1
+    grep -q '"trace":"00000000deadbeef"' target/traces/ci_flight.json || {
+        echo "obs stage: flight dump lost the request's trace id" >&2
+        return 1
+    }
+    grep -q '"trace":"00000000deadbeef"' target/traces/ci_access.jsonl || {
+        echo "obs stage: access log lost the request's trace id" >&2
+        return 1
+    }
+    # Prometheus exposition through the CLI path: the scrape must carry
+    # the typed, labeled series `herc top` and a real scraper consume
+    # (the telemetry test above runs the full grammar validator).
+    cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
+        serve :memory: --oneshot GET '/metrics?format=prom' \
+        > target/traces/ci_metrics.prom || return 1
+    grep -q '^# TYPE serve_requests counter$' target/traces/ci_metrics.prom &&
+        grep -q '^serve_requests{endpoint="metrics"} 1$' \
+            target/traces/ci_metrics.prom || {
+        echo "obs stage: /metrics?format=prom lost the labeled series" >&2
+        return 1
+    }
     cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
         trace fig8 --logical --out target/traces/fig8_trace.json || return 1
     cargo run -q --release --offline -p dac95-schedflow --bin herc -- \

@@ -85,7 +85,9 @@ fn usage() -> ExitCode {
          \x20      herc gc <root> [<name>...]\n\
          \x20      herc fsck <root> [--repair]\n\
          \x20      herc serve <root> [--addr HOST:PORT] [--tokens FILE] [--workers N] \
-         [--queue-cap N] [--tenant-cap N] [--oneshot METHOD PATH]"
+         [--queue-cap N] [--tenant-cap N] [--access-log FILE] [--flight-cap N] \
+         [--oneshot METHOD PATH] [--trace-id HEX]\n\
+         \x20      herc top <url> [--token TOKEN] [--interval SECS] [--count N]"
     );
     ExitCode::from(2)
 }
@@ -684,12 +686,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let Some(root) = args.first() else {
         return Err(
             "serve usage: herc serve <root>|:memory: [--addr HOST:PORT] [--tokens FILE] \
-             [--workers N] [--queue-cap N] [--tenant-cap N] [--oneshot METHOD PATH]"
+             [--workers N] [--queue-cap N] [--tenant-cap N] [--access-log FILE] \
+             [--flight-cap N] [--oneshot METHOD PATH] [--trace-id HEX]"
                 .to_owned(),
         );
     };
     let mut config = serve::ServerConfig::default();
     let mut oneshot: Option<(String, String)> = None;
+    let mut trace_id: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -725,6 +729,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let path = value("--oneshot")?;
                 oneshot = Some((method, path));
             }
+            "--access-log" => {
+                config.access_log = Some(std::path::PathBuf::from(value("--access-log")?));
+            }
+            "--flight-cap" => {
+                config.flight_cap = value("--flight-cap")?
+                    .parse()
+                    .map_err(|e| format!("--flight-cap: {e}"))?;
+            }
+            "--trace-id" => {
+                let raw = value("--trace-id")?;
+                if raw.is_empty() || raw.len() > 16 || !raw.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!("--trace-id: want 1-16 hex digits, got {raw:?}"));
+                }
+                trace_id = Some(raw);
+            }
             other => return Err(format!("serve: unknown option {other:?}")),
         }
     }
@@ -741,7 +760,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = serve::Server::start(ws, config).map_err(|e| format!("serve: bind: {e}"))?;
     match oneshot {
         Some((method, path)) => {
-            let client = serve::Client::new(server.addr());
+            let mut client = serve::Client::new(server.addr());
+            if let Some(id) = trace_id {
+                client = client.with_header("x-herc-trace", id);
+            }
             let response = client
                 .request(&method, &path, b"")
                 .map_err(|e| format!("serve: oneshot request: {e}"))?;
@@ -762,17 +784,232 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `herc top <url>`: a polling terminal dashboard over a live server's
+/// `/metrics` JSON — per-endpoint request rates and latency
+/// percentiles, per-tenant in-flight gauges, queue depth, and
+/// flight-recorder drop counts. `--count N` bounds the number of
+/// samples (scripts/CI); the default polls until interrupted.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let Some(url) = args.first() else {
+        return Err(
+            "top usage: herc top <url> [--token TOKEN] [--interval SECS] [--count N]".to_owned(),
+        );
+    };
+    let mut token: Option<String> = None;
+    let mut interval = 2.0f64;
+    let mut count: Option<u64> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--token" => token = Some(value("--token")?),
+            "--interval" => {
+                interval = value("--interval")?
+                    .parse()
+                    .map_err(|e| format!("--interval: {e}"))?;
+            }
+            "--count" => {
+                count = Some(
+                    value("--count")?
+                        .parse()
+                        .map_err(|e| format!("--count: {e}"))?,
+                );
+            }
+            other => return Err(format!("top: unknown option {other:?}")),
+        }
+    }
+    let addr = parse_server_url(url)?;
+    let mut client = serve::Client::new(addr);
+    if let Some(token) = token {
+        client = client.with_token(token);
+    }
+    let mut previous: Option<(std::time::Instant, std::collections::BTreeMap<String, f64>)> = None;
+    let mut samples = 0u64;
+    loop {
+        let resp = client
+            .get("/metrics")
+            .map_err(|e| format!("top: {url}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("top: GET /metrics: HTTP {}", resp.status));
+        }
+        let now = std::time::Instant::now();
+        let metrics = obs::export::parse_json(&resp.body)
+            .map_err(|e| format!("top: bad metrics JSON: {e}"))?;
+        let health = client
+            .get("/healthz")
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| obs::export::parse_json(&r.body).ok());
+        print!(
+            "{}",
+            render_top(url, &metrics, health.as_ref(), &previous, now)
+        );
+        let mut counters = std::collections::BTreeMap::new();
+        if let Some(entries) = metrics.as_object() {
+            for (key, value) in entries {
+                if let Some(v) = value.as_f64() {
+                    counters.insert(key.clone(), v);
+                }
+            }
+        }
+        previous = Some((now, counters));
+        samples += 1;
+        if count.is_some_and(|n| samples >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.max(0.1)));
+    }
+}
+
+/// Accepts `http://host:port`, `host:port`, or `:port` (⇒ 127.0.0.1).
+fn parse_server_url(url: &str) -> Result<std::net::SocketAddr, String> {
+    let stripped = url
+        .strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/');
+    let hostport = if stripped.starts_with(':') {
+        format!("127.0.0.1{stripped}")
+    } else {
+        stripped.to_owned()
+    };
+    use std::net::ToSocketAddrs as _;
+    hostport
+        .to_socket_addrs()
+        .map_err(|e| format!("top: cannot resolve {url:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("top: {url:?} resolves to no address"))
+}
+
+/// Splits a labeled metric key: `serve.latency{endpoint="plan"}` ⇒
+/// `("serve.latency", Some("plan"))` (first label value only).
+fn metric_key_label(key: &str) -> (&str, Option<&str>) {
+    let Some(brace) = key.find('{') else {
+        return (key, None);
+    };
+    let name = &key[..brace];
+    let rest = &key[brace..];
+    let value = rest.find("=\"").and_then(|eq| {
+        rest[eq + 2..]
+            .find('"')
+            .map(|end| &rest[eq + 2..eq + 2 + end])
+    });
+    (name, value)
+}
+
+/// One dashboard frame, as a string (pure: unit-testable without a
+/// server).
+fn render_top(
+    url: &str,
+    metrics: &obs::export::JsonValue,
+    health: Option<&obs::export::JsonValue>,
+    previous: &Option<(std::time::Instant, std::collections::BTreeMap<String, f64>)>,
+    now: std::time::Instant,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "herc top — {url}");
+    if let Some(h) = health {
+        let field = |k: &str| h.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let _ = write!(
+            out,
+            " — up {}s, {} project{}, {} wedged",
+            field("uptime_secs"),
+            field("projects"),
+            if field("projects") == 1.0 { "" } else { "s" },
+            field("wedged"),
+        );
+    }
+    out.push('\n');
+    let entries = metrics.as_object().unwrap_or(&[]);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>8}",
+        "endpoint", "req/s", "total", "p50ms", "p95ms", "p99ms"
+    );
+    for (key, value) in entries {
+        let (name, label) = metric_key_label(key);
+        if name != "serve.requests" {
+            continue;
+        }
+        let endpoint = label.unwrap_or("(unlabeled)");
+        let total = value.as_f64().unwrap_or(0.0);
+        let rate = previous
+            .as_ref()
+            .map(|(t0, counters)| {
+                let elapsed = now.duration_since(*t0).as_secs_f64().max(1e-9);
+                (total - counters.get(key.as_str()).copied().unwrap_or(0.0)) / elapsed
+            })
+            .map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".to_owned());
+        // The latency histogram for this endpoint carries precomputed
+        // percentiles in the JSON rendering.
+        let lat_key = format!("serve.latency{{endpoint=\"{endpoint}\"}}");
+        let lat = metrics.get(&lat_key);
+        let pct = |q: &str| {
+            lat.and_then(|h| h.get(q))
+                .and_then(|v| v.as_f64())
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        let _ = writeln!(
+            out,
+            "{endpoint:<16} {rate:>8} {total:>10} {:>8} {:>8} {:>8}",
+            pct("p50"),
+            pct("p95"),
+            pct("p99"),
+        );
+    }
+    let mut tenants = String::new();
+    for (key, value) in entries {
+        let (name, label) = metric_key_label(key);
+        if name != "serve.inflight" {
+            continue;
+        }
+        if !tenants.is_empty() {
+            tenants.push_str(", ");
+        }
+        let _ = write!(
+            tenants,
+            "{} in-flight {}",
+            label.unwrap_or("(unlabeled)"),
+            value.as_f64().unwrap_or(0.0)
+        );
+    }
+    if !tenants.is_empty() {
+        let _ = writeln!(out, "tenants: {tenants}");
+    }
+    let scalar = |k: &str| metrics.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let queue_p95 = metrics
+        .get("serve.queue.depth")
+        .and_then(|h| h.get("p95"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "queue depth p95: {queue_p95:.1}   connections: {}   rejected: {}   flight dropped: {}",
+        scalar("serve.connections"),
+        scalar("serve.queue.rejected") + scalar("serve.rejected.busy"),
+        scalar("obs.flight.dropped"),
+    );
+    out.push('\n');
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return usage();
     };
-    // `chaos`, `trace`, `metrics`, `ws`, `gc`, `fsck`, and `serve`
-    // take no leading schema file: their scenarios and projects are
-    // derived from names, seeds, and workspace roots.
+    // `chaos`, `trace`, `metrics`, `ws`, `gc`, `fsck`, `serve`, and
+    // `top` take no leading schema file: their scenarios and projects
+    // are derived from names, seeds, workspace roots, and URLs.
     if matches!(
         command.as_str(),
-        "chaos" | "trace" | "metrics" | "ws" | "gc" | "fsck" | "serve"
+        "chaos" | "trace" | "metrics" | "ws" | "gc" | "fsck" | "serve" | "top"
     ) {
         let result = match command.as_str() {
             "chaos" => cmd_chaos(&args[1..]),
@@ -781,6 +1018,7 @@ fn main() -> ExitCode {
             "gc" => cmd_gc(&args[1..]),
             "fsck" => cmd_fsck(&args[1..]),
             "serve" => cmd_serve(&args[1..]),
+            "top" => cmd_top(&args[1..]),
             _ => cmd_metrics(&args[1..]),
         };
         return match result {

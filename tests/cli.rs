@@ -284,7 +284,14 @@ fn serve_oneshot_answers_healthz() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert_eq!(String::from_utf8_lossy(&out.stdout), "ok\n");
+    let body = String::from_utf8_lossy(&out.stdout).into_owned();
+    let health = obs::export::parse_json(&body).expect("healthz is JSON");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(
+        health.get("schema").and_then(|v| v.as_str()),
+        Some(hercules::PROJECT_CONF_MAGIC)
+    );
+    assert_eq!(health.get("wedged").and_then(|v| v.as_f64()), Some(0.0));
 }
 
 #[test]

@@ -1,0 +1,157 @@
+//! End-to-end live telemetry: one request's trace id must correlate
+//! every observability surface the server exposes — the echoed
+//! `x-herc-trace` header, the JSONL access log, the flight recorder
+//! (`GET /debug/flight?trace=`), and the labeled metrics that
+//! `herc top` renders. All over real TCP against a served workspace,
+//! so header plumbing, worker threads, and the per-thread trace slots
+//! are all in the loop.
+
+use std::sync::Arc;
+
+use hercules::Workspace;
+use obs::export::{parse_json, validate_jsonl, validate_prometheus, JsonValue};
+use schema::examples;
+use serve::{Client, Server, ServerConfig};
+
+const TRACE_ID: &str = "00000000feedf00d";
+
+fn schema_source() -> String {
+    format!(
+        "schema circuit;\n{}",
+        examples::circuit_design().to_source()
+    )
+}
+
+#[test]
+fn one_trace_id_correlates_header_log_flight_and_metrics() {
+    let dir = std::env::temp_dir().join(format!(
+        "schedflow-telemetry-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("access.jsonl");
+
+    let server = Server::start(
+        Arc::new(Workspace::in_memory()),
+        ServerConfig {
+            workers: 2,
+            access_log: Some(log_path.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let plain = Client::new(server.addr());
+    let traced = Client::new(server.addr()).with_header("x-herc-trace", TRACE_ID);
+
+    // Seed a project, then issue the request under test with a client-
+    // chosen trace id.
+    let resp = plain
+        .post("/projects/alu?team=2&seed=7", schema_source().as_bytes())
+        .expect("create");
+    assert_eq!(resp.status, 201, "{}", resp.body);
+    let resp = traced
+        .post("/projects/alu/plan?target=performance", b"")
+        .expect("plan");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // 1. The header echoes the id.
+    assert_eq!(resp.header("x-herc-trace"), Some(TRACE_ID));
+
+    // 2. The flight recorder kept the request's span, filterable by id.
+    let resp = plain
+        .get(&format!("/debug/flight?trace={TRACE_ID}"))
+        .expect("flight");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let dump = parse_json(&resp.body).expect("flight dump is JSON");
+    let total = dump
+        .get("total_records")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    assert!(
+        total >= 2.0,
+        "want the request span pair, got: {}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"serve.request\""), "{}", resp.body);
+    assert!(
+        resp.body.contains("\"hercules.plan\""),
+        "kernel spans must carry the request id across layers: {}",
+        resp.body
+    );
+
+    // 3. Prometheus exposition validates and carries the labeled
+    //    series for the traced endpoint.
+    let resp = plain.get("/metrics?format=prom").expect("prom");
+    assert_eq!(resp.status, 200);
+    validate_prometheus(&resp.body).expect("exposition must validate");
+    assert!(
+        resp.body.contains("serve_requests{endpoint=\"plan\"}"),
+        "{}",
+        resp.body
+    );
+    assert!(
+        resp.body
+            .contains("serve_latency_bucket{endpoint=\"plan\",le=\"0.25\"}"),
+        "{}",
+        resp.body
+    );
+
+    // 4. The JSON metrics carry interpolated percentiles for the same
+    //    histograms (`herc top`'s source).
+    let resp = plain.get("/metrics").expect("metrics json");
+    let metrics = parse_json(&resp.body).expect("metrics JSON");
+    let plan_latency = metrics
+        .get("serve.latency{endpoint=\"plan\"}")
+        .expect("labeled plan histogram");
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            plan_latency.get(q).and_then(|v| v.as_f64()).is_some(),
+            "missing {q}: {}",
+            resp.body
+        );
+    }
+
+    server.shutdown();
+
+    // 5. The access log has exactly one line with this trace id, on
+    //    the right endpoint, with a 200.
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    validate_jsonl(&text).expect("access log is JSONL");
+    let lines: Vec<&str> = text.lines().filter(|l| l.contains(TRACE_ID)).collect();
+    assert_eq!(lines.len(), 1, "one traced request, log:\n{text}");
+    let entry = parse_json(lines[0]).unwrap();
+    assert_eq!(entry.get("endpoint").and_then(|v| v.as_str()), Some("plan"));
+    assert_eq!(entry.get("status").and_then(|v| v.as_f64()), Some(200.0));
+    assert_eq!(
+        entry.get("tenant").and_then(|v| v.as_str()),
+        Some("anonymous"),
+        "open-mode requests log the anonymous tenant"
+    );
+    assert!(matches!(
+        entry.get("coalesced"),
+        Some(JsonValue::Bool(false))
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generated_trace_ids_are_unique_per_request_and_logged() {
+    let server =
+        Server::start(Arc::new(Workspace::in_memory()), ServerConfig::default()).expect("bind");
+    let client = Client::new(server.addr());
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..8 {
+        let resp = client.get("/projects").expect("list");
+        let id = resp
+            .header("x-herc-trace")
+            .expect("every response echoes an id")
+            .to_owned();
+        assert_eq!(id.len(), 16, "{id}");
+        assert_ne!(id, "0000000000000000");
+        assert!(seen.insert(id.clone()), "trace id {id} repeated");
+    }
+    server.shutdown();
+}
