@@ -14,6 +14,7 @@ pub mod baseline_compare;
 pub mod calibrate;
 pub mod cpm;
 pub mod cpm_scale;
+pub mod exec_policies;
 pub mod execution;
 pub mod gantt;
 pub mod obs_live;
@@ -29,10 +30,10 @@ pub mod trace_overhead;
 pub mod workspace_concurrent;
 
 /// All kernels in DESIGN.md order (B0 calibration first, then
-/// B1–B16). The calibration spin must run first: it warms the CPU for
+/// B1–B17). The calibration spin must run first: it warms the CPU for
 /// everything after it, and `bench_compare` uses its median to
 /// normalize away host-speed differences between runs.
-pub const KERNELS: [&str; 17] = [
+pub const KERNELS: [&str; 18] = [
     "calibrate",
     "cpm",
     "planning",
@@ -50,6 +51,7 @@ pub const KERNELS: [&str; 17] = [
     "cpm_scale",
     "store_durability",
     "obs_live",
+    "exec_policies",
 ];
 
 /// Runs every kernel whose name contains `filter` (all when `None`).
@@ -106,6 +108,9 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("obs_live") {
         records.extend(obs_live::run(quick));
+    }
+    if wanted("exec_policies") {
+        records.extend(exec_policies::run(quick));
     }
     records
 }

@@ -1,0 +1,102 @@
+//! The B17 acceptance gate for the policy-driven executor.
+//!
+//! Two halves:
+//!
+//! * **Simulated makespans** (host-independent, debug-safe): on the
+//!   contended layered flow over the heterogeneous cluster, at least
+//!   one of the schedule-aware policies (MinSlack, HEFT) must beat
+//!   Fifo's makespan — otherwise the policy layer is dead weight.
+//! * **Engine overhead** (optimized builds only): Fifo on the implicit
+//!   single-designer substrate must stay within **1.05×** of the
+//!   retired serial executor's wall-clock — the dispatch loop is
+//!   bookkeeping, not a regression. Ratio-only, no wall-clock floors.
+
+#[cfg(not(debug_assertions))]
+use bench::kernels::exec_policies::contended_manager;
+use bench::kernels::exec_policies::simulated_makespans;
+
+/// The policy field must actually separate on the contended scenario,
+/// and the schedule-aware policies must win.
+#[test]
+fn schedule_aware_policies_beat_fifo_makespan() {
+    let spans = simulated_makespans();
+    let of = |name: &str| {
+        spans
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name} missing from {spans:?}"))
+            .1
+    };
+    let fifo = of("fifo");
+    let minslack = of("minslack");
+    let heft = of("heft");
+    eprintln!("exec_policies: simulated makespans {spans:?}");
+    assert!(
+        minslack < fifo || heft < fifo,
+        "neither MinSlack ({minslack}) nor HEFT ({heft}) beats Fifo ({fifo}) \
+         on the contended scenario"
+    );
+    // Determinism: the table in EXPERIMENTS.md must be reproducible.
+    assert_eq!(
+        spans,
+        simulated_makespans(),
+        "makespans are not deterministic"
+    );
+}
+
+/// One timed try: pool construction (schema generation + planning) is
+/// untimed, the execution loop is.
+#[cfg(not(debug_assertions))]
+fn pool_secs(calls: usize, serial: bool) -> f64 {
+    let mut pool: Vec<hercules::Hercules> = (0..calls).map(|_| contended_manager(1)).collect();
+    let t0 = std::time::Instant::now();
+    for h in &mut pool {
+        if serial {
+            std::hint::black_box(h.execute_serial_reference("merged").expect("reference"));
+        } else {
+            std::hint::black_box(h.execute("merged").expect("fifo"));
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Timing gates only make sense on optimized builds.
+#[cfg(not(debug_assertions))]
+#[test]
+fn fifo_engine_tracks_serial_reference() {
+    const TRIES: usize = 9;
+    const CALLS: usize = 64;
+    const BUDGET: f64 = 1.05;
+
+    // Warmup both paths once.
+    pool_secs(2, true);
+    pool_secs(2, false);
+    // Interleave the two sides within each try (host-speed drift then
+    // hits both sides of a pair alike instead of skewing whichever
+    // block ran second) and take the median per-try ratio: robust to
+    // load spikes without the optimistic bias a min would have.
+    let median_ratio = || {
+        let mut ratios: Vec<f64> = (0..TRIES)
+            .map(|_| {
+                let serial = pool_secs(CALLS, true);
+                let engine = pool_secs(CALLS, false);
+                engine / serial
+            })
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        let median = ratios[TRIES / 2];
+        eprintln!("exec_policies: per-try fifo/serial ratios {ratios:.3?}, median {median:.3}");
+        median
+    };
+    // One re-measure on a miss: the engine sits within a few percent
+    // of the reference, so a loaded host can push a single median past
+    // the budget while a real regression fails both passes.
+    let mut ratio = median_ratio();
+    if ratio > BUDGET {
+        ratio = median_ratio().min(ratio);
+    }
+    assert!(
+        ratio <= BUDGET,
+        "fifo engine costs {ratio:.3}x the serial reference (budget {BUDGET}x)"
+    );
+}

@@ -45,6 +45,7 @@ use simtools::{FaultPlan, ToolLibrary};
 
 use crate::error::HerculesError;
 use crate::manager::Hercules;
+use crate::policy::ExecutionPolicy;
 
 /// One deterministic chaos scenario, fully derived from a seed.
 #[derive(Debug, Clone)]
@@ -56,6 +57,7 @@ pub struct ChaosScenario {
     project_seed: u64,
     fault_seed: u64,
     crash_after: u32,
+    policy: ExecutionPolicy,
 }
 
 impl ChaosScenario {
@@ -81,6 +83,10 @@ impl ChaosScenario {
         let project_seed = rng.next_u64();
         let fault_seed = rng.next_u64();
         let crash_after = rng.next_below(32) as u32;
+        // Drawn last so older scenario derivations (schema, team,
+        // seeds, crash point) are unchanged for every existing seed.
+        let policy =
+            ExecutionPolicy::ALL[rng.next_below(ExecutionPolicy::ALL.len() as u64) as usize];
         ChaosScenario {
             seed,
             schema,
@@ -89,7 +95,16 @@ impl ChaosScenario {
             project_seed,
             fault_seed,
             crash_after,
+            policy,
         }
+    }
+
+    /// Overrides the drawn scheduling policy — `herc chaos --policy`
+    /// and the per-policy CI legs pin every scenario to one policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The scenario's seed.
@@ -123,12 +138,18 @@ impl ChaosScenario {
         self.fault_seed
     }
 
+    /// The scheduling policy the scenario executes under.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
     /// Runs the scenario and collects property violations.
     pub fn run(&self) -> ChaosReport {
         let mut report = ChaosReport {
             seed: self.seed,
             schema: self.schema.name().to_owned(),
             target: self.target.clone(),
+            policy: self.policy.name().to_owned(),
             executed: 0,
             blocked: 0,
             skipped: 0,
@@ -141,6 +162,7 @@ impl ChaosScenario {
             Team::of_size(self.team_size),
             self.project_seed,
         );
+        h.set_execution_policy(self.policy);
         h.enable_journal();
         if let Err(e) = h.plan(&self.target) {
             report.violations.push(format!("plan failed: {e}"));
@@ -288,6 +310,8 @@ pub struct ChaosReport {
     pub schema: String,
     /// The derived execution target.
     pub target: String,
+    /// The scheduling policy the scenario dispatched under.
+    pub policy: String,
     /// Activities that executed to convergence.
     pub executed: usize,
     /// Activities blocked by the retry policy.
@@ -311,10 +335,11 @@ impl fmt::Display for ChaosReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "chaos seed {:>4}  {:<10} -> {:<16} exec {:>2}  blocked {}  skipped {}  crash {}  {}",
+            "chaos seed {:>4}  {:<10} -> {:<16} {:<9} exec {:>2}  blocked {}  skipped {}  crash {}  {}",
             self.seed,
             self.schema,
             self.target,
+            self.policy,
             self.executed,
             self.blocked,
             self.skipped,
@@ -352,6 +377,17 @@ mod tests {
             .map(|s| ChaosScenario::from_seed(s).target().to_owned())
             .collect();
         assert!(shapes.len() > 1, "all scenarios identical: {shapes:?}");
+    }
+
+    #[test]
+    fn seeds_vary_policy_and_override_pins_it() {
+        let policies: std::collections::BTreeSet<&str> = (0..16)
+            .map(|s| ChaosScenario::from_seed(s).policy().name())
+            .collect();
+        assert!(policies.len() > 1, "all scenarios drew {policies:?}");
+        let pinned = ChaosScenario::from_seed(3).with_policy(ExecutionPolicy::Heft);
+        assert_eq!(pinned.policy(), ExecutionPolicy::Heft);
+        assert!(pinned.run().is_clean());
     }
 
     #[test]

@@ -2,16 +2,18 @@ use std::collections::HashMap;
 
 use metadata::{EntityInstanceId, ScheduleInstanceId};
 use schedule::WorkDays;
+use simtools::cluster::Cluster;
 use simtools::{InjectedFault, ToolInvocation};
 
 use crate::error::HerculesError;
 use crate::manager::Hercules;
+use crate::policy::{ExecutionPolicy, SchedulingPolicy};
 
 /// Hard cap on iterations per activity, so a pathological tool model
 /// cannot spin forever. Real tool models converge far earlier. Hitting
 /// the cap is an error ([`HerculesError::IterationLimit`]), not a
 /// silent non-convergence.
-const ITERATION_CAP: u32 = 16;
+pub(crate) const ITERATION_CAP: u32 = 16;
 
 /// The record of executing one activity: its runs, dates, and final
 /// instance.
@@ -70,12 +72,12 @@ pub struct BlockedActivity {
 /// skipped for missing inputs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
-    target: String,
-    activities: Vec<ActivityExecution>,
-    blocked: Vec<BlockedActivity>,
-    skipped: Vec<String>,
-    replanned: Vec<(String, ScheduleInstanceId)>,
-    finished_at: WorkDays,
+    pub(crate) target: String,
+    pub(crate) activities: Vec<ActivityExecution>,
+    pub(crate) blocked: Vec<BlockedActivity>,
+    pub(crate) skipped: Vec<String>,
+    pub(crate) replanned: Vec<(String, ScheduleInstanceId)>,
+    pub(crate) finished_at: WorkDays,
 }
 
 impl ExecutionReport {
@@ -84,7 +86,8 @@ impl ExecutionReport {
         &self.target
     }
 
-    /// Per-activity execution records, in dependency order.
+    /// Per-activity execution records, in dispatch order — dependency
+    /// order under the default [`Fifo`](crate::policy::Fifo) policy.
     pub fn activities(&self) -> &[ActivityExecution] {
         &self.activities
     }
@@ -95,7 +98,7 @@ impl ExecutionReport {
     }
 
     /// Activities that exhausted the retry policy this session, in
-    /// dependency order.
+    /// dispatch order.
     pub fn blocked(&self) -> &[BlockedActivity] {
         &self.blocked
     }
@@ -158,8 +161,9 @@ impl Hercules {
     ///
     /// For each activity (inputs before outputs):
     ///
-    /// 1. wait for its input instances and its designer (one activity
-    ///    at a time per designer — a deterministic list schedule);
+    /// 1. wait for its input instances and a free worker — by default
+    ///    the assignee's designer slot (one activity at a time per
+    ///    designer, a deterministic list schedule);
     /// 2. iterate tool runs until the result converges ("a given
     ///    activity may need to be run several times before the design
     ///    goals are achieved") — every run creates a [`metadata::Run`]
@@ -172,6 +176,17 @@ impl Hercules {
     /// the current clock. Activities whose current plan is already
     /// complete are skipped (their final instance is reused), so
     /// re-executing after replanning only redoes open work.
+    ///
+    /// Dispatch runs through the policy engine under the manager's
+    /// configured [`ExecutionPolicy`] and simulated
+    /// [`Cluster`](simtools::cluster::Cluster) (see
+    /// [`set_execution_policy`](Hercules::set_execution_policy) and
+    /// [`set_cluster`](Hercules::set_cluster)). The defaults — the
+    /// [`Fifo`](crate::policy::Fifo) policy on the implicit
+    /// one-worker-per-designer cluster — reproduce the original serial
+    /// topo-order executor exactly, report and store mutations alike
+    /// ([`execute_serial_reference`](Hercules::execute_serial_reference)
+    /// is the pinned oracle).
     ///
     /// # Failure semantics
     ///
@@ -207,15 +222,53 @@ impl Hercules {
     /// * [`HerculesError::Metadata`] — database integrity failure,
     ///   including an armed crash injection firing mid-execution.
     pub fn execute(&mut self, target: &str) -> Result<ExecutionReport, HerculesError> {
-        obs::Collector::set_sim_days(self.clock.days());
-        let mut exec_span = obs::span!("hercules.execute", target = target);
-        let tree = self.extract_task_tree(target)?;
-        // Supply primary inputs up front.
-        for class in tree.primary_inputs() {
-            let designer = self.team.designer(0).to_owned();
-            self.supply_primary_input(class, &designer)?;
-        }
-        // data_ready: class -> (time available, instance).
+        let policy = self.execution_policy;
+        let cluster = self.cluster.clone();
+        self.execute_with(target, policy, cluster.as_ref())
+    }
+
+    /// [`execute`](Hercules::execute) under an explicit policy and
+    /// cluster, overriding the manager's configured defaults for this
+    /// call only. `cluster = None` selects the implicit
+    /// one-worker-per-designer substrate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`execute`](Hercules::execute).
+    pub fn execute_with(
+        &mut self,
+        target: &str,
+        policy: ExecutionPolicy,
+        cluster: Option<&Cluster>,
+    ) -> Result<ExecutionReport, HerculesError> {
+        let mut policy = policy.build();
+        self.run_policy_engine(target, policy.as_mut(), cluster)
+    }
+
+    /// [`execute`](Hercules::execute) under a caller-supplied
+    /// [`SchedulingPolicy`] implementation — the extension point for
+    /// policies beyond the built-in four. The policy must be
+    /// deterministic for replay to reproduce live execution.
+    ///
+    /// # Errors
+    ///
+    /// As for [`execute`](Hercules::execute).
+    pub fn execute_with_policy(
+        &mut self,
+        target: &str,
+        policy: &mut dyn SchedulingPolicy,
+        cluster: Option<&Cluster>,
+    ) -> Result<ExecutionReport, HerculesError> {
+        self.run_policy_engine(target, policy, cluster)
+    }
+
+    /// Seeds the class → (availability time, instance) map execution
+    /// and forecasting start from: supplied primary inputs plus the
+    /// linked results of already-completed plans in `tree`'s scope.
+    pub(crate) fn seed_data_ready(
+        &self,
+        tree: &crate::task::TaskTree,
+    ) -> HashMap<String, (WorkDays, EntityInstanceId)> {
         let mut data_ready: HashMap<String, (WorkDays, EntityInstanceId)> = HashMap::new();
         for (class, &inst) in &self.supplied {
             data_ready.insert(
@@ -232,6 +285,36 @@ impl Hercules {
                 }
             }
         }
+        data_ready
+    }
+
+    /// The original single-pass serial executor: one linear walk over
+    /// the task tree in dependency order, one activity at a time per
+    /// designer. Kept as the *reference implementation* the policy
+    /// engine is differentially pinned against — [`Fifo`] on the
+    /// implicit cluster must reproduce this method's report, store
+    /// mutations, and final clock exactly — and as the baseline for
+    /// the `exec_policies` bench gate.
+    ///
+    /// [`Fifo`]: crate::policy::Fifo
+    ///
+    /// # Errors
+    ///
+    /// As for [`execute`](Hercules::execute).
+    pub fn execute_serial_reference(
+        &mut self,
+        target: &str,
+    ) -> Result<ExecutionReport, HerculesError> {
+        obs::Collector::set_sim_days(self.clock.days());
+        let mut exec_span = obs::span!("hercules.execute", target = target);
+        let tree = self.extract_task_tree(target)?;
+        // Supply primary inputs up front.
+        for class in tree.primary_inputs() {
+            let designer = self.team.designer(0).to_owned();
+            self.supply_primary_input(class, &designer)?;
+        }
+        // data_ready: class -> (time available, instance).
+        let mut data_ready = self.seed_data_ready(&tree);
         let mut designer_free: HashMap<String, WorkDays> = self
             .team
             .iter()
@@ -245,7 +328,7 @@ impl Hercules {
         let mut skipped: Vec<String> = Vec::new();
         let mut newly_blocked: Vec<(String, WorkDays)> = Vec::new();
         let mut finished_at = self.clock;
-        for (k, activity) in tree.activities().iter().enumerate() {
+        for activity in tree.activities() {
             // Skip work already declared complete.
             if self
                 .db()
@@ -254,11 +337,14 @@ impl Hercules {
             {
                 continue;
             }
+            // Fallback assignment keys on the activity's *name*, not
+            // its position in the tree: the same activity always lands
+            // on the same designer regardless of scope or policy.
             let assignee = self
                 .db()
                 .current_plan(activity)
                 .and_then(|p| p.assignees().first().cloned())
-                .unwrap_or_else(|| self.team.assignee(k).to_owned());
+                .unwrap_or_else(|| self.team.assignee_for(activity).to_owned());
             // Ready when all inputs exist. An input can be missing only
             // when its producer blocked or was skipped upstream — then
             // this activity is skipped too (degradation, not an error).
@@ -861,5 +947,252 @@ mod tests {
         assert_eq!(report.activities().len(), 9);
         assert!(report.all_converged());
         assert_eq!(h.db().completed_activities().len(), 9);
+    }
+
+    /// Differential pin: the policy engine under the default Fifo
+    /// policy on the implicit cluster must reproduce the serial
+    /// reference executor exactly — report, database, and clock — for
+    /// clean, faulted, degraded, and unplanned sessions alike.
+    #[test]
+    fn default_execute_matches_serial_reference_differentially() {
+        let scenarios: Vec<(&str, Hercules, &str)> = vec![
+            (
+                "circuit clean",
+                {
+                    let mut h = manager(42);
+                    h.plan("performance").unwrap();
+                    h
+                },
+                "performance",
+            ),
+            (
+                "circuit faulted",
+                {
+                    let mut h = manager(9);
+                    h.plan("performance").unwrap();
+                    h.set_fault_plan(FaultPlan::seeded(3));
+                    h
+                },
+                "performance",
+            ),
+            (
+                "asic degraded",
+                {
+                    let mut h = Hercules::new(
+                        examples::asic_flow(),
+                        ToolLibrary::standard(),
+                        Team::of_size(3),
+                        11,
+                    );
+                    h.plan("signoff_report").unwrap();
+                    h.set_fault_plan(FaultPlan::breaking_tool("synthesizer"));
+                    h
+                },
+                "signoff_report",
+            ),
+            (
+                "asic unplanned",
+                {
+                    Hercules::new(
+                        examples::asic_flow(),
+                        ToolLibrary::standard(),
+                        Team::of_size(3),
+                        5,
+                    )
+                },
+                "signoff_report",
+            ),
+            (
+                "pipeline faulted",
+                {
+                    let mut h = Hercules::new(
+                        examples::pipeline(5),
+                        ToolLibrary::standard(),
+                        Team::of_size(2),
+                        2,
+                    );
+                    h.plan("d5").unwrap();
+                    h.set_fault_plan(FaultPlan::seeded(17).with_persistent_rate(0.25));
+                    h
+                },
+                "d5",
+            ),
+        ];
+        for (label, h, target) in scenarios {
+            let mut engine = h.clone();
+            let mut serial = h;
+            let re = engine.execute(target).unwrap();
+            let rs = serial.execute_serial_reference(target).unwrap();
+            assert_eq!(re, rs, "{label}: reports diverge");
+            assert_eq!(
+                engine.db().dump(),
+                serial.db().dump(),
+                "{label}: databases diverge"
+            );
+            assert_eq!(engine.clock(), serial.clock(), "{label}: clocks diverge");
+            assert_eq!(
+                engine.blocked_activities(),
+                serial.blocked_activities(),
+                "{label}: blocked sets diverge"
+            );
+        }
+    }
+
+    /// The acceptance pin: Fifo on a single explicit full-speed worker
+    /// reproduces the pre-refactor serial executor byte-identically.
+    #[test]
+    fn fifo_on_one_explicit_worker_matches_serial() {
+        let build = || {
+            let mut h = Hercules::new(
+                examples::asic_flow(),
+                ToolLibrary::standard(),
+                Team::of_size(1),
+                11,
+            );
+            h.plan("signoff_report").unwrap();
+            h.set_fault_plan(FaultPlan::seeded(8).with_persistent_rate(0.2));
+            h
+        };
+        let mut engine = build();
+        let cluster = simtools::cluster::Cluster::uniform(1);
+        let re = engine
+            .execute_with(
+                "signoff_report",
+                crate::policy::ExecutionPolicy::Fifo,
+                Some(&cluster),
+            )
+            .unwrap();
+        let mut serial = build();
+        let rs = serial.execute_serial_reference("signoff_report").unwrap();
+        assert_eq!(re, rs);
+        assert_eq!(engine.db().dump(), serial.db().dump());
+    }
+
+    /// Regression for the positional-assignee bug: the fallback
+    /// assignment now keys on the activity's name, so the same activity
+    /// lands on the same designer whatever scope (tree position) it is
+    /// executed under.
+    #[test]
+    fn fallback_assignee_is_stable_across_scopes() {
+        let build = || {
+            Hercules::new(
+                examples::asic_flow(),
+                ToolLibrary::standard(),
+                Team::of_size(3),
+                11,
+            )
+        };
+        // No plans anywhere: every assignee comes from the fallback.
+        let mut narrow = build();
+        let narrow_report = narrow.execute("netlist").unwrap();
+        let mut wide = build();
+        let wide_report = wide.execute("signoff_report").unwrap();
+        for exec in narrow_report.activities() {
+            assert_eq!(
+                exec.assignee,
+                narrow.team().assignee_for(&exec.activity),
+                "{} not on its stable designer",
+                exec.activity
+            );
+            let same = wide_report.activity(&exec.activity).unwrap();
+            assert_eq!(
+                exec.assignee, same.assignee,
+                "{} shifted designers between scopes",
+                exec.activity
+            );
+        }
+    }
+
+    /// Every built-in policy executes, blocks, and skips the same
+    /// activity set on uniform-speed substrates (fault outcomes are
+    /// per-activity and speed-independent there), and each is
+    /// deterministic.
+    #[test]
+    fn all_policies_agree_on_outcome_sets() {
+        use std::collections::BTreeSet;
+        let build = || {
+            let mut h = Hercules::new(
+                examples::asic_flow(),
+                ToolLibrary::standard(),
+                Team::of_size(3),
+                11,
+            );
+            h.plan("signoff_report").unwrap();
+            h.set_fault_plan(FaultPlan::seeded(8).with_persistent_rate(0.25));
+            h
+        };
+        let outcome = |r: &ExecutionReport| {
+            (
+                r.activities()
+                    .iter()
+                    .map(|a| a.activity.clone())
+                    .collect::<BTreeSet<_>>(),
+                r.blocked()
+                    .iter()
+                    .map(|b| b.activity.clone())
+                    .collect::<BTreeSet<_>>(),
+                r.skipped().iter().cloned().collect::<BTreeSet<_>>(),
+            )
+        };
+        let mut reference = None;
+        for policy in crate::policy::ExecutionPolicy::ALL {
+            let run = |cluster: Option<&simtools::cluster::Cluster>| {
+                let mut h = build();
+                let r = h.execute_with("signoff_report", policy, cluster).unwrap();
+                outcome(&r)
+            };
+            // Implicit substrate and an explicit uniform cluster are
+            // both uniform-speed: same outcome sets.
+            let implicit = run(None);
+            assert_eq!(implicit, run(None), "{policy} is not deterministic");
+            let uniform = simtools::cluster::Cluster::uniform(4);
+            assert_eq!(
+                implicit,
+                run(Some(&uniform)),
+                "{policy} outcome differs on an explicit uniform cluster"
+            );
+            match &reference {
+                None => reference = Some(implicit),
+                Some(expected) => {
+                    assert_eq!(expected, &implicit, "{policy} outcome set diverges")
+                }
+            }
+        }
+    }
+
+    /// Heterogeneous clusters with a network profile run every policy
+    /// to completion, deterministically, and actually change timing
+    /// relative to the implicit substrate.
+    #[test]
+    fn heterogeneous_cluster_execution_is_deterministic() {
+        let build = || {
+            let mut h = Hercules::new(
+                examples::layered(3, 3, 2),
+                ToolLibrary::standard(),
+                Team::of_size(3),
+                7,
+            );
+            h.plan("merged").unwrap();
+            h
+        };
+        let cluster = simtools::cluster::Cluster::heterogeneous(4, 21).with_network(0.02, 0.01);
+        let baseline = build().execute("merged").unwrap();
+        for policy in crate::policy::ExecutionPolicy::ALL {
+            let run = || {
+                let mut h = build();
+                h.set_execution_policy(policy);
+                h.set_cluster(cluster.clone());
+                h.execute("merged").unwrap()
+            };
+            let a = run();
+            assert_eq!(a, run(), "{policy} not deterministic on the cluster");
+            assert!(a.all_converged(), "{policy} failed to converge");
+            assert_eq!(a.activities().len(), baseline.activities().len());
+            assert_ne!(
+                a.finished_at(),
+                baseline.finished_at(),
+                "{policy}: heterogeneous speeds should perturb the makespan"
+            );
+        }
     }
 }

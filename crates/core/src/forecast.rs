@@ -96,11 +96,14 @@ impl Hercules {
         }
         let cpm = net.analyze()?;
         // Base offset: open work cannot start before now or before the
-        // latest completed actual finish feeding it.
-        let base = tree
-            .activities()
-            .iter()
-            .filter_map(|a| self.store.db().actual_finish(a))
+        // latest data already available in scope — the same seeding the
+        // executor's ready queue starts from (supplied inputs are
+        // always at or before the clock, so only completed actuals can
+        // push the base forward).
+        let base = self
+            .seed_data_ready(&tree)
+            .values()
+            .map(|&(at, _)| at)
             .fold(self.clock, WorkDays::max);
         let finish = base + cpm.project_duration();
         let critical = cpm

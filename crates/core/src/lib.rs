@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod error;
 mod execute;
 mod forecast;
@@ -70,6 +71,7 @@ mod workspace;
 pub mod browse;
 pub mod chaos;
 pub mod fsck;
+pub mod policy;
 pub mod report;
 pub mod trace;
 
@@ -79,6 +81,7 @@ pub use forecast::Forecast;
 pub use manager::Hercules;
 pub use optimize::{CrashAdvice, TeamPoint, TeamSweep};
 pub use plan::{PlannedActivity, SchedulePlan};
+pub use policy::{ExecutionPolicy, SchedulingPolicy};
 pub use replan::ReplanOutcome;
 pub use retry::RetryPolicy;
 pub use rollup::{BlockStatus, Decomposition};

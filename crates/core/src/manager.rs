@@ -6,8 +6,11 @@ use schema::TaskSchema;
 use simtools::workload::{primary_input_data, Team};
 use simtools::{FaultInjector, ToolLibrary};
 
+use simtools::cluster::Cluster;
+
 use crate::error::HerculesError;
 use crate::plan::PlanCache;
+use crate::policy::ExecutionPolicy;
 use crate::retry::RetryPolicy;
 use crate::task::TaskTree;
 
@@ -55,6 +58,14 @@ pub struct Hercules {
     pub(crate) retry_policy: RetryPolicy,
     /// Activities declared blocked after exhausting the retry policy.
     pub(crate) blocked: BTreeSet<String>,
+    /// The scheduling policy [`execute`](Hercules::execute) dispatches
+    /// under. Defaults to [`ExecutionPolicy::Fifo`], which on the
+    /// default implicit cluster reproduces the serial executor.
+    pub(crate) execution_policy: ExecutionPolicy,
+    /// The simulated cluster execution dispatches onto. `None` (the
+    /// default) is the implicit substrate: one full-speed worker per
+    /// designer, activities bound to their assignee's worker.
+    pub(crate) cluster: Option<Cluster>,
 }
 
 impl Hercules {
@@ -98,6 +109,8 @@ impl Hercules {
             fault_injector: FaultInjector::none(),
             retry_policy: RetryPolicy::default(),
             blocked: BTreeSet::new(),
+            execution_policy: ExecutionPolicy::default(),
+            cluster: None,
         };
         h.adopt_store_state();
         h
@@ -128,6 +141,50 @@ impl Hercules {
     /// execution.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry_policy = policy;
+    }
+
+    /// Selects the scheduling policy subsequent
+    /// [`execute`](Hercules::execute) calls dispatch under. The default
+    /// [`ExecutionPolicy::Fifo`] reproduces the serial dependency-order
+    /// executor on the implicit cluster.
+    pub fn set_execution_policy(&mut self, policy: ExecutionPolicy) {
+        self.execution_policy = policy;
+    }
+
+    /// Builder-style variant of
+    /// [`set_execution_policy`](Hercules::set_execution_policy).
+    #[must_use]
+    pub fn with_execution_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.set_execution_policy(policy);
+        self
+    }
+
+    /// The configured execution policy.
+    pub fn execution_policy(&self) -> ExecutionPolicy {
+        self.execution_policy
+    }
+
+    /// Installs (or with `None`, removes) the simulated cluster
+    /// subsequent [`execute`](Hercules::execute) calls dispatch onto.
+    /// Without one, execution runs on the implicit substrate: one
+    /// full-speed worker per designer, each activity bound to its
+    /// assignee. With an explicit cluster, the policy places every
+    /// activity on any worker; durations scale with worker speed and
+    /// entity hand-off pays the cluster's seeded network delay.
+    pub fn set_cluster(&mut self, cluster: impl Into<Option<Cluster>>) {
+        self.cluster = cluster.into();
+    }
+
+    /// Builder-style variant of [`set_cluster`](Hercules::set_cluster).
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: impl Into<Option<Cluster>>) -> Self {
+        self.set_cluster(cluster);
+        self
+    }
+
+    /// The configured simulated cluster, if any.
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.cluster.as_ref()
     }
 
     /// The retry policy governing fault handling during execution.

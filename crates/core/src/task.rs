@@ -17,10 +17,16 @@ pub struct TaskTree {
     target: String,
     /// Activities in dependency order (inputs before outputs).
     activities: Vec<String>,
-    /// Per activity: the data classes it consumes.
-    inputs: HashMap<String, Vec<String>>,
-    /// Per activity: the data class it produces.
-    outputs: HashMap<String, String>,
+    /// Activity name -> position in `activities`.
+    index_of: HashMap<String, usize>,
+    /// Per activity (by position): the data classes it consumes.
+    inputs: Vec<Vec<String>>,
+    /// Per activity (by position): the data class it produces.
+    outputs: Vec<String>,
+    /// Per activity (by position): positions of the activities its
+    /// output feeds directly, ascending. Precomputed so execution and
+    /// planning never re-derive the adjacency by scanning.
+    consumers: Vec<Vec<usize>>,
     /// Data classes with no producing activity — designer-supplied.
     primary_inputs: Vec<String>,
 }
@@ -38,26 +44,51 @@ impl TaskTree {
         if activities.is_empty() {
             return Err(HerculesError::UnknownTarget(target.to_owned()));
         }
-        let mut inputs = HashMap::new();
-        let mut outputs = HashMap::new();
+        let n = activities.len();
+        let mut inputs = Vec::with_capacity(n);
+        let mut outputs = Vec::with_capacity(n);
         let mut primary = Vec::new();
         for activity in &activities {
             let rule = schema
                 .rule(activity)
                 .expect("activities come from the schema");
-            inputs.insert(activity.clone(), rule.inputs().to_vec());
-            outputs.insert(activity.clone(), rule.output().to_owned());
+            inputs.push(rule.inputs().to_vec());
+            outputs.push(rule.output().to_owned());
             for input in rule.inputs() {
                 if schema.producer_of(input).is_none() && !primary.contains(input) {
                     primary.push(input.clone());
                 }
             }
         }
+        let index_of: HashMap<String, usize> = activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
+        // Direct consumers by position: resolve each input class to its
+        // in-scope producer once, while the edge list is in hand.
+        let producer_of: HashMap<&str, usize> = outputs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.as_str(), i))
+            .collect();
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, ins) in inputs.iter().enumerate() {
+            for class in ins {
+                if let Some(&i) = producer_of.get(class.as_str()) {
+                    if consumers[i].last() != Some(&j) {
+                        consumers[i].push(j);
+                    }
+                }
+            }
+        }
         Ok(TaskTree {
             target: target.to_owned(),
             activities,
+            index_of,
             inputs,
             outputs,
+            consumers,
             primary_inputs: primary,
         })
     }
@@ -84,13 +115,23 @@ impl TaskTree {
         self.activities.is_empty()
     }
 
+    /// The position of `activity` in dependency order, if in scope.
+    pub fn index_of(&self, activity: &str) -> Option<usize> {
+        self.index_of.get(activity).copied()
+    }
+
     /// Data classes `activity` consumes.
     ///
     /// # Panics
     ///
     /// Panics if `activity` is not in this tree.
     pub fn inputs_of(&self, activity: &str) -> &[String] {
-        &self.inputs[activity]
+        &self.inputs[self.index_of[activity]]
+    }
+
+    /// Data classes the activity at position `i` consumes.
+    pub fn inputs_at(&self, i: usize) -> &[String] {
+        &self.inputs[i]
     }
 
     /// The data class `activity` produces.
@@ -99,12 +140,17 @@ impl TaskTree {
     ///
     /// Panics if `activity` is not in this tree.
     pub fn output_of(&self, activity: &str) -> &str {
-        &self.outputs[activity]
+        &self.outputs[self.index_of[activity]]
+    }
+
+    /// The data class the activity at position `i` produces.
+    pub fn output_at(&self, i: usize) -> &str {
+        &self.outputs[i]
     }
 
     /// Whether `activity` is part of this tree.
     pub fn contains(&self, activity: &str) -> bool {
-        self.inputs.contains_key(activity)
+        self.index_of.contains_key(activity)
     }
 
     /// Designer-supplied data classes the tree needs (no producer in
@@ -116,14 +162,19 @@ impl TaskTree {
     /// The activities of this tree that `activity`'s output feeds,
     /// directly.
     pub fn consumers_of_output(&self, activity: &str) -> Vec<&str> {
-        let Some(output) = self.outputs.get(activity) else {
+        let Some(i) = self.index_of(activity) else {
             return Vec::new();
         };
-        self.activities
+        self.consumers[i]
             .iter()
-            .filter(|a| self.inputs[*a].iter().any(|i| i == output))
-            .map(String::as_str)
+            .map(|&j| self.activities[j].as_str())
             .collect()
+    }
+
+    /// Positions of the activities fed directly by the output of the
+    /// activity at position `i`, ascending.
+    pub fn consumers_at(&self, i: usize) -> &[usize] {
+        &self.consumers[i]
     }
 }
 

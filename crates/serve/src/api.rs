@@ -22,7 +22,7 @@
 //! | GET | `/projects/{name}/export` | metadata-db dump |
 //! | POST | `/projects/{name}/plan?target=T` | propose a schedule |
 //! | POST | `/projects/{name}/replan?target=T` | replan (coalesced per project) |
-//! | POST | `/projects/{name}/run?target=T` | plan + execute |
+//! | POST | `/projects/{name}/run?target=T` | plan + execute (`&policy=P` scheduling policy, `&workers=N` simulated uniform cluster) |
 //! | GET | `/trace/{scenario}?seed=N` | record a trace (503 while busy) |
 //!
 //! Kernel-level failures (unknown target, planning errors) map to 422;
@@ -449,14 +449,38 @@ impl Api {
         let Some(target) = req.query_param("target") else {
             return Response::error(400, "run needs ?target=");
         };
+        // Per-request execution overrides: `?policy=` picks the
+        // scheduling policy, `?workers=N` a simulated uniform cluster.
+        // Neither is persisted to the session — two runs with different
+        // parameters stay independently reproducible.
+        let policy = match req.query_param("policy") {
+            None => None,
+            Some(s) => match s.parse::<hercules::ExecutionPolicy>() {
+                Ok(p) => Some(p),
+                Err(e) => return Response::error(422, e),
+            },
+        };
+        let workers = match req.query_param("workers") {
+            None => None,
+            Some(s) => match s.parse::<usize>() {
+                Ok(0) => return Response::error(422, "workers wants at least 1"),
+                Ok(n) => Some(n),
+                Err(e) => return Response::error(400, format!("workers: {e}")),
+            },
+        };
         let project = match self.project(name) {
             Ok(p) => p,
             Err(resp) => return resp,
         };
         let result = project.update(|h| {
             self.session_work();
+            let policy = policy.unwrap_or(h.execution_policy());
+            let cluster = match workers {
+                Some(n) => Some(simtools::cluster::Cluster::uniform(n)),
+                None => h.cluster().cloned(),
+            };
             h.plan(target)?;
-            let report = h.execute(target)?;
+            let report = h.execute_with(target, policy, cluster.as_ref())?;
             Ok::<_, hercules::HerculesError>(run_body(name, &report, h))
         });
         match result {

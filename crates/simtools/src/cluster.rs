@@ -1,0 +1,302 @@
+//! Simulated heterogeneous execution clusters.
+//!
+//! A [`Cluster`] models the compute substrate a policy-driven executor
+//! dispatches onto: `N` workers, each with a *speed factor* scaling
+//! tool run durations, and a seeded network profile charging a
+//! *transfer delay* when an entity produced on one worker is consumed
+//! on another. Everything is a pure function of the cluster's
+//! configuration and seed, so simulated schedules are exactly
+//! reproducible.
+//!
+//! The cluster composes with the fault layer ([`crate::FaultInjector`])
+//! rather than replacing it: the injector decides *whether* an attempt
+//! fails, the cluster decides *how long* the attempt (or the elapsed
+//! fraction a transient crash burns) takes on the chosen worker.
+//!
+//! # Example
+//!
+//! ```
+//! use simtools::cluster::Cluster;
+//!
+//! let c = Cluster::heterogeneous(4, 7).with_network(0.01, 0.05);
+//! assert_eq!(c.len(), 4);
+//! // Hand-off between distinct workers costs seeded, deterministic time;
+//! // data already local is free.
+//! let d = c.transfer_delay(Some(0), 1, 1 << 20);
+//! assert!(d > 0.0);
+//! assert_eq!(c.transfer_delay(Some(1), 1, 1 << 20), 0.0);
+//! assert_eq!(d, c.transfer_delay(Some(0), 1, 1 << 20));
+//! ```
+
+use crate::rng::{mix, SplitMix64};
+
+/// One simulated worker: a named compute slot with a relative speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Worker {
+    name: String,
+    speed: f64,
+}
+
+impl Worker {
+    /// The worker's name (`worker0`, `worker1`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relative speed factor: a tool run of nominal duration `d` takes
+    /// `d / speed` on this worker. `1.0` is the reference machine.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+/// A simulated cluster: workers with heterogeneous speed factors plus a
+/// seeded network profile for entity hand-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    workers: Vec<Worker>,
+    seed: u64,
+    base_delay_days: f64,
+    delay_days_per_mib: f64,
+}
+
+impl Cluster {
+    /// A cluster of `n` identical full-speed workers with no network
+    /// delay — the neutral substrate (a single-worker uniform cluster
+    /// reproduces serial execution exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        Cluster::with_speeds(std::iter::repeat_n(1.0, n))
+    }
+
+    /// A cluster of `n` workers whose speed factors are drawn
+    /// deterministically from `seed`, uniform in `[0.5, 2.0)` — the
+    /// heterogeneous substrate scheduler comparisons run on. No network
+    /// delay until [`with_network`](Cluster::with_network) adds one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn heterogeneous(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a cluster needs at least one worker");
+        let mut rng = SplitMix64::new(mix(&[seed, 0xC1D5_7E8A]));
+        let mut c = Cluster::with_speeds((0..n).map(|_| 0.5 + 1.5 * rng.next_f64()));
+        c.seed = seed;
+        c
+    }
+
+    /// A cluster with explicit speed factors, one worker per factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds` is empty or any factor is not positive and
+    /// finite.
+    pub fn with_speeds<I>(speeds: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let workers: Vec<Worker> = speeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, speed)| {
+                assert!(
+                    speed > 0.0 && speed.is_finite(),
+                    "worker speed must be positive and finite, got {speed}"
+                );
+                Worker {
+                    name: format!("worker{i}"),
+                    speed,
+                }
+            })
+            .collect();
+        assert!(!workers.is_empty(), "a cluster needs at least one worker");
+        Cluster {
+            workers,
+            seed: 0,
+            base_delay_days: 0.0,
+            delay_days_per_mib: 0.0,
+        }
+    }
+
+    /// Adds a network profile: moving an entity between two distinct
+    /// workers costs `base_delay_days + size_mib * delay_days_per_mib`,
+    /// scaled by a seeded per-link jitter in `[0.75, 1.25)`. Data
+    /// consumed where it was produced (or read from shared storage) is
+    /// free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is negative or not finite.
+    #[must_use]
+    pub fn with_network(mut self, base_delay_days: f64, delay_days_per_mib: f64) -> Self {
+        assert!(
+            base_delay_days >= 0.0 && base_delay_days.is_finite(),
+            "base delay must be non-negative and finite"
+        );
+        assert!(
+            delay_days_per_mib >= 0.0 && delay_days_per_mib.is_finite(),
+            "per-MiB delay must be non-negative and finite"
+        );
+        self.base_delay_days = base_delay_days;
+        self.delay_days_per_mib = delay_days_per_mib;
+        self
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Returns `true` if... never: clusters are non-empty by
+    /// construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn worker(&self, i: usize) -> &Worker {
+        &self.workers[i]
+    }
+
+    /// Iterates over the workers.
+    pub fn workers(&self) -> impl Iterator<Item = &Worker> + '_ {
+        self.workers.iter()
+    }
+
+    /// The `i`-th worker's speed factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn speed(&self, i: usize) -> f64 {
+        self.workers[i].speed
+    }
+
+    /// Whether any inter-worker hand-off can cost time.
+    pub fn has_network_delay(&self) -> bool {
+        self.base_delay_days > 0.0 || self.delay_days_per_mib > 0.0
+    }
+
+    /// The nominal duration `days` as experienced on worker `i`
+    /// (`days / speed`). Exact for full-speed workers: dividing by 1.0
+    /// never perturbs the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn scaled_days(&self, i: usize, days: f64) -> f64 {
+        days / self.workers[i].speed
+    }
+
+    /// Simulated working days to move `bytes` of entity data from the
+    /// worker that produced it to worker `to`. Zero when the data is
+    /// already local (`from == Some(to)`), comes from shared storage
+    /// (`from == None` — supplied primary inputs, prior-session
+    /// results), or the cluster has no network profile. Otherwise the
+    /// configured base + per-MiB cost under a deterministic per-link
+    /// jitter, so the same hand-off always costs the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is out of range.
+    pub fn transfer_delay(&self, from: Option<usize>, to: usize, bytes: u64) -> f64 {
+        assert!(to < self.workers.len(), "worker {to} out of range");
+        let Some(from) = from else { return 0.0 };
+        assert!(from < self.workers.len(), "worker {from} out of range");
+        if from == to || !self.has_network_delay() {
+            return 0.0;
+        }
+        let mib = bytes as f64 / (1024.0 * 1024.0);
+        let nominal = self.base_delay_days + mib * self.delay_days_per_mib;
+        let mut link = SplitMix64::new(mix(&[self.seed, from as u64 + 1, to as u64 + 1]));
+        nominal * (0.75 + 0.5 * link.next_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_clusters_are_neutral() {
+        let c = Cluster::uniform(3);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.worker(1).name(), "worker1");
+        for w in 0..3 {
+            assert_eq!(c.speed(w), 1.0);
+            assert_eq!(c.scaled_days(w, 3.5), 3.5);
+        }
+        assert!(!c.has_network_delay());
+        assert_eq!(c.transfer_delay(Some(0), 2, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_are_seeded_and_bounded() {
+        let a = Cluster::heterogeneous(8, 7);
+        let b = Cluster::heterogeneous(8, 7);
+        assert_eq!(a, b);
+        let speeds: Vec<f64> = a.workers().map(Worker::speed).collect();
+        assert!(speeds.iter().all(|&s| (0.5..2.0).contains(&s)));
+        // Heterogeneous means actually varied.
+        assert!(speeds.iter().any(|&s| (s - speeds[0]).abs() > 1e-6));
+        assert_ne!(
+            speeds,
+            Cluster::heterogeneous(8, 8)
+                .workers()
+                .map(Worker::speed)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scaled_days_divides_by_speed() {
+        let c = Cluster::with_speeds([2.0, 0.5]);
+        assert_eq!(c.scaled_days(0, 10.0), 5.0);
+        assert_eq!(c.scaled_days(1, 10.0), 20.0);
+    }
+
+    #[test]
+    fn transfer_delay_charges_remote_handoff_only() {
+        let c = Cluster::uniform(3).with_network(0.02, 0.1);
+        assert!(c.has_network_delay());
+        // Local and shared-storage reads are free.
+        assert_eq!(c.transfer_delay(Some(1), 1, 1 << 20), 0.0);
+        assert_eq!(c.transfer_delay(None, 1, 1 << 20), 0.0);
+        // Remote hand-off costs base + per-MiB, jittered within 25%.
+        let d = c.transfer_delay(Some(0), 1, 2 << 20);
+        let nominal = 0.02 + 2.0 * 0.1;
+        assert!(d >= nominal * 0.75 && d < nominal * 1.25, "delay {d}");
+        // Deterministic per link; links differ from each other.
+        assert_eq!(d, c.transfer_delay(Some(0), 1, 2 << 20));
+        assert_ne!(d, c.transfer_delay(Some(2), 1, 2 << 20));
+        // More bytes, more delay.
+        assert!(c.transfer_delay(Some(0), 1, 8 << 20) > d);
+    }
+
+    #[test]
+    fn zero_byte_handoff_still_pays_base_latency() {
+        let c = Cluster::uniform(2).with_network(0.5, 0.0);
+        let d = c.transfer_delay(Some(0), 1, 0);
+        assert!((0.375..0.625).contains(&d), "delay {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_cluster_panics() {
+        Cluster::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nonpositive_speed_panics() {
+        Cluster::with_speeds([1.0, 0.0]);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`ToolLibrary`] — tool-name → model, with calibrated defaults for
 //!   the tool names used by the built-in schemas and a hash-derived
 //!   fallback for any other name.
+//! * [`cluster`] — simulated heterogeneous clusters (worker speed
+//!   factors, seeded transfer delay) that policy-driven executors
+//!   dispatch onto.
 //! * [`des`] — a minimal discrete-event core (clock + time-ordered
 //!   event queue) the execution engines are built on.
 //! * [`rng`] — the SplitMix64 generator used for all deterministic
@@ -50,6 +53,7 @@ mod fault;
 mod library;
 mod model;
 
+pub mod cluster;
 pub mod des;
 pub mod rng;
 pub mod vfs;

@@ -31,6 +31,13 @@
 #   scale   data-oriented CPM gate: B14 shape tests (subquadratic
 #           full pass, >=100x incremental advantage, thread-count
 #           invariance) plus a quick 10^5-activity B14 artifact
+#   exec    policy-engine gate: the cross-policy property suite
+#           (outcome-set invariance, replay ≡ live for every policy,
+#           uniform-cluster equivalence), a per-policy chaos leg
+#           pinning each policy over the shared seed set, and the B17
+#           acceptance tests (schedule-aware policies beat Fifo's
+#           simulated makespan; Fifo on one worker stays within 1.05x
+#           of the serial reference wall-clock)
 #   bench   bench_compare: fresh quick run vs committed BENCH_schedflow.json
 #   doc     rustdoc builds cleanly
 #
@@ -45,7 +52,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check golden chaos obs ws fsck serve scale bench doc)
+ALL_STAGES=(fmt clippy check golden chaos obs ws fsck serve scale exec bench doc)
 
 usage() {
     echo "usage: scripts/ci.sh [--stage NAME]... [--list]" >&2
@@ -250,6 +257,27 @@ stage_scale() {
     # artifact (full / full_serial / inc_leaf medians).
     cargo run -q --release --offline -p bench --bin benchmarks -- \
         cpm_scale --quick --out target/cpm_scale.json
+}
+
+stage_exec() {
+    # Policy-engine gate. The property suite sweeps seeded scenarios
+    # across every built-in policy: identical outcome sets, journal
+    # replay ≡ live under explicit clusters, and uniform-cluster ≡
+    # implicit equivalence. The chaos legs then pin each policy over
+    # the same fixed seed set the chaos stage sweeps, exercising the
+    # PR-3 invariants per policy through the user-facing CLI.
+    cargo test -q --offline --release -p dac95-schedflow \
+        --test policy_properties || return 1
+    local policy
+    for policy in fifo minslack heft worksteal; do
+        cargo run -q --release --offline -p dac95-schedflow --bin herc -- \
+            chaos --seed 0 --count 16 --policy "$policy" || return 1
+    done
+    # B17 acceptance: MinSlack/HEFT beat Fifo's simulated makespan on
+    # the contended heterogeneous scenario, and Fifo on one implicit
+    # worker stays within 1.05x of the serial reference wall-clock.
+    cargo test -q --offline --release -p bench \
+        --test exec_policies
 }
 
 stage_bench() {

@@ -40,6 +40,10 @@
 //!   --estimate ACTIVITY=DAYS   designer intuition (repeatable)
 //!   --save FILE   dump the metadata database after `run`
 //!   --load FILE   restore a previously saved database first
+//!   --policy P    scheduling policy for `run` / `ws run`:
+//!                 fifo (default), minslack, heft, worksteal
+//!   --workers N   execute on a simulated uniform cluster of N workers
+//!                 instead of binding activities to their assignees
 //! ```
 //!
 //! `trace` scenarios are the named sessions in [`hercules::trace`]:
@@ -59,10 +63,11 @@
 
 use std::process::ExitCode;
 
-use hercules::{Hercules, Workspace};
+use hercules::{ExecutionPolicy, Hercules, Workspace};
 use metadata::{PersistentStore, Store};
 use schedule::gantt::GanttOptions;
 use schedule::WorkDays;
+use simtools::cluster::Cluster;
 use simtools::{workload::Team, ToolLibrary};
 
 struct Options {
@@ -72,13 +77,16 @@ struct Options {
     estimates: Vec<(String, f64)>,
     save: Option<String>,
     load: Option<String>,
+    policy: Option<ExecutionPolicy>,
+    workers: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: herc <schema|plan|run|sweep|report> <schema-file> [<target>] \
-         [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS]\n\
-         \x20      herc chaos [--seed N] [--count K] [--trace-dir DIR]\n\
+         [--team N] [--seed N] [--deadline D] [--estimate ACTIVITY=DAYS] \
+         [--policy P] [--workers N]\n\
+         \x20      herc chaos [--seed N] [--count K] [--policy P] [--trace-dir DIR]\n\
          \x20      herc trace <fig8|chaos> [--seed N] [--out FILE] [--jsonl] [--logical]\n\
          \x20      herc metrics <fig8|chaos> [--seed N] [--json]\n\
          \x20      herc ws <root> <list|create|plan|run|status> [<name> <schema-file> [<target>]] [options]\n\
@@ -100,6 +108,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         estimates: Vec::new(),
         save: None,
         load: None,
+        policy: None,
+        workers: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -132,6 +142,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--load" => {
                 opts.load = Some(value("--load")?);
             }
+            "--policy" => {
+                opts.policy = Some(value("--policy")?.parse()?);
+            }
+            "--workers" => {
+                opts.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
             "--estimate" => {
                 let spec = value("--estimate")?;
                 let (activity, days) = spec
@@ -157,6 +177,15 @@ fn manager(source: &str, opts: &Options) -> Result<Hercules, String> {
     for (activity, days) in &opts.estimates {
         h.set_estimate(activity, WorkDays::new(*days))
             .map_err(|e| e.to_string())?;
+    }
+    if let Some(policy) = opts.policy {
+        h.set_execution_policy(policy);
+    }
+    if let Some(workers) = opts.workers {
+        if workers == 0 {
+            return Err("--workers wants at least 1".to_owned());
+        }
+        h.set_cluster(Cluster::uniform(workers));
     }
     if let Some(path) = &opts.load {
         let text =
@@ -277,9 +306,15 @@ fn cmd_sweep(source: &str, target: &str, opts: &Options) -> Result<(), String> {
 /// trace collector and its Chrome `trace_event` JSON is written to
 /// `DIR/chaos_trace_seed_N.json`, so the telemetry of the failure
 /// travels with the failure report.
+///
+/// Each seed normally draws its own scheduling policy; `--policy P`
+/// pins every scenario to one policy instead (the rest of the seed
+/// derivation is unchanged, so a sweep stays comparable across
+/// policies).
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut count = 1u64;
+    let mut policy: Option<ExecutionPolicy> = None;
     let mut trace_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -302,13 +337,25 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                     return Err("--count must be at least 1".to_owned());
                 }
             }
+            "--policy" => {
+                policy = Some(value("--policy")?.parse()?);
+            }
             "--trace-dir" => {
                 trace_dir = Some(value("--trace-dir")?);
             }
             other => return Err(format!("chaos: unknown option {other:?}")),
         }
     }
-    let reports = hercules::chaos::run_suite(seed, count);
+    let reports: Vec<_> = match policy {
+        None => hercules::chaos::run_suite(seed, count),
+        Some(p) => (seed..seed + count)
+            .map(|s| {
+                hercules::chaos::ChaosScenario::from_seed(s)
+                    .with_policy(p)
+                    .run()
+            })
+            .collect(),
+    };
     let mut failing: Vec<u64> = Vec::new();
     for report in &reports {
         println!("{report}");
@@ -567,6 +614,19 @@ fn ws_project(
         project
             .update(|h| h.set_estimate(activity, WorkDays::new(*days)))
             .map_err(|e| e.to_string())?;
+    }
+    if opts.policy.is_some() || opts.workers.is_some() {
+        if opts.workers == Some(0) {
+            return Err("--workers wants at least 1".to_owned());
+        }
+        project.update(|h| {
+            if let Some(policy) = opts.policy {
+                h.set_execution_policy(policy);
+            }
+            if let Some(workers) = opts.workers {
+                h.set_cluster(Cluster::uniform(workers));
+            }
+        });
     }
     Ok(project)
 }

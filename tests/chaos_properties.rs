@@ -1,6 +1,7 @@
-//! The chaos suite: random flows driven through random fault plans and
-//! injected metadata crashes, asserting the failure-semantics contract
-//! end to end (see `hercules::chaos` for the property list).
+//! The chaos suite: random flows driven through random fault plans,
+//! injected metadata crashes, and a per-seed random scheduling policy,
+//! asserting the failure-semantics contract end to end (see
+//! `hercules::chaos` for the property list).
 //!
 //! Two layers:
 //!
@@ -45,6 +46,15 @@ fn fixed_seed_sweep_is_clean() {
     assert!(
         reports.iter().any(|r| r.executed > 0 && r.blocked == 0),
         "no scenario ever completed cleanly"
+    );
+    // Each seed also draws a scheduling policy; 64 seeds must cover
+    // all four or the sweep only ever chaoses the default engine path.
+    let policies: std::collections::BTreeSet<&str> =
+        reports.iter().map(|r| r.policy.as_str()).collect();
+    assert_eq!(
+        policies.len(),
+        4,
+        "sweep covered only policies {policies:?}"
     );
 }
 

@@ -411,3 +411,102 @@ fn fsck_finds_corruption_and_repair_restores_service() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn run_accepts_policy_and_workers() {
+    let path = schema_file();
+    let out = herc(&[
+        "run",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--seed",
+        "7",
+        "--policy",
+        "heft",
+        "--workers",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("executed 2 activities"), "{stdout}");
+}
+
+#[test]
+fn run_rejects_unknown_policy_listing_valid_names() {
+    let path = schema_file();
+    let out = herc(&[
+        "run",
+        path.to_str().expect("utf-8 path"),
+        "performance",
+        "--policy",
+        "random",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fifo") && stderr.contains("minslack"),
+        "error must list the valid policy names: {stderr}"
+    );
+}
+
+#[test]
+fn ws_run_accepts_policy_and_workers() {
+    let path = schema_file();
+    let root = std::env::temp_dir().join(format!("herc-ws-policy-{}", std::process::id()));
+    let root_str = root.to_str().expect("utf-8 path");
+    let schema = path.to_str().expect("utf-8 path");
+    let out = herc(&["ws", root_str, "create", "alpha", schema, "--seed", "7"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = herc(&[
+        "ws",
+        root_str,
+        "run",
+        "alpha",
+        schema,
+        "performance",
+        "--policy",
+        "minslack",
+        "--workers",
+        "2",
+    ]);
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("executed 2 activities"), "{stdout}");
+}
+
+#[test]
+fn chaos_policy_override_pins_every_scenario() {
+    let out = herc(&[
+        "chaos",
+        "--seed",
+        "0",
+        "--count",
+        "3",
+        "--policy",
+        "worksteal",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let pinned = stdout.lines().filter(|l| l.contains("worksteal")).count();
+    assert_eq!(
+        pinned, 3,
+        "all scenarios must report the pinned policy: {stdout}"
+    );
+}

@@ -229,6 +229,80 @@ fn long_mixed_scenario_is_transport_invariant() {
 }
 
 #[test]
+fn run_policy_and_workers_params_are_transport_invariant() {
+    // `?policy=` / `?workers=` on the run endpoint must be pure
+    // pass-throughs to `execute_with` — same bodies, same final dumps,
+    // per policy, on both the implicit and an explicit substrate.
+    use simtools::cluster::Cluster;
+
+    let ws = Arc::new(Workspace::in_memory());
+    let server = Server::start(Arc::clone(&ws), ServerConfig::default()).expect("bind");
+    let client = Client::new(server.addr());
+    let direct_ws = Workspace::in_memory();
+    let source = schema_source();
+
+    for (i, policy) in hercules::ExecutionPolicy::ALL.into_iter().enumerate() {
+        for workers in [None, Some(3usize)] {
+            let name = format!("p{i}w{}", workers.unwrap_or(0));
+            let seed = 17 + i as u64;
+            let resp = client
+                .post(
+                    &format!("/projects/{name}?team=2&seed={seed}"),
+                    source.as_bytes(),
+                )
+                .expect("create over http");
+            assert_eq!(resp.status, 201, "{}", resp.body);
+            let direct = direct_ws
+                .create_project(
+                    &name,
+                    schema::examples::circuit_design(),
+                    ToolLibrary::standard(),
+                    Team::of_size(2),
+                    seed,
+                )
+                .expect("create direct");
+
+            let mut url = format!("/projects/{name}/run?target=performance&policy={policy}");
+            if let Some(n) = workers {
+                url.push_str(&format!("&workers={n}"));
+            }
+            let resp = client.post(&url, b"").expect("http run");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let cluster = workers.map(Cluster::uniform);
+            let direct_body = direct
+                .update(|h| {
+                    h.plan("performance")?;
+                    let report = h.execute_with("performance", policy, cluster.as_ref())?;
+                    Ok::<_, hercules::HerculesError>(run_body(&name, &report, h))
+                })
+                .expect("direct run");
+            assert_eq!(resp.body, direct_body, "{policy} run body diverged");
+
+            let export = client
+                .get(&format!("/projects/{name}/export"))
+                .expect("http export");
+            assert_eq!(
+                export.body,
+                direct.read(|h| h.db().dump()),
+                "{policy} database dumps diverged"
+            );
+        }
+    }
+
+    // Bad parameters answer without touching the project.
+    let resp = client
+        .post("/projects/p0w0/run?target=performance&policy=random", b"")
+        .expect("http run");
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("minslack"), "{}", resp.body);
+    let resp = client
+        .post("/projects/p0w0/run?target=performance&workers=0", b"")
+        .expect("http run");
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
 fn error_paths_are_transport_invariant_too() {
     // Unknown targets and replans-before-plans must produce the same
     // kernel error text over HTTP as in-process.
